@@ -1,0 +1,46 @@
+// Ablation: the Push-Pull threshold (Section 3.3 / Algorithm 5). Push
+// everything and a hot query region serializes on one module; pull
+// everything and the host link becomes the bottleneck. Sweeping the
+// threshold exposes the trade-off the paper's log^4 P default targets.
+
+#include "common.hpp"
+#include "pimtrie/pim_trie.hpp"
+#include "workload/generators.hpp"
+
+using namespace ptrie;
+
+int main() {
+  // Note: a pure hot-spot batch (everyone probing one key) dedups into a
+  // tiny query trie — the query-trie construction itself absorbs that
+  // skew, a benefit the paper claims in Section 4.1. To expose the
+  // push-pull trade-off we need *distinct* keys crowding the same region:
+  // shared-prefix data with Zipf-weighted queries.
+  std::printf("Ablation: push-pull threshold (P=16, n=4000, shared-prefix keys, "
+              "zipf-1.1 batch=2000)\n");
+  bench::header("LCP under query skew vs threshold",
+                {"threshold", "rounds", "words/op", "iotime/op", "imbalance"});
+  std::size_t n = 4000, batch = 2000, p = 16;
+  auto keys = workload::shared_prefix_keys(n, 256, 64, 171);
+  std::vector<std::uint64_t> vals(keys.size(), 1);
+  auto queries = workload::zipf_queries(keys, batch, 1.1, 172);
+
+  for (std::size_t thr : {64, 256, 1024, 4096, 16384}) {
+    pim::System sys(p, 173);
+    pimtrie::Config cfg;
+    cfg.seed = 174;
+    cfg.push_pull = thr;
+    pimtrie::PimTrie t(sys, cfg);
+    t.build(keys, vals);
+    auto c = bench::measure(sys, batch, [&] { t.batch_lcp(queries); });
+    bench::cell(thr);
+    bench::cell(c.rounds);
+    bench::cell(c.words_per_op);
+    bench::cell(c.io_time_per_op);
+    bench::cell(c.imbalance);
+    bench::endrow();
+  }
+  std::printf("shape check: a giant threshold pushes the whole hot query region to the "
+              "modules owning it (imbalance up); a tiny threshold pulls everything to "
+              "the host (words/op up). The default log^4 P sits between.\n");
+  return 0;
+}

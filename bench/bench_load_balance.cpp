@@ -1,0 +1,106 @@
+// Skew resistance (paper Definition 1 + Section 3.2's imbalance
+// argument): per-module communication imbalance (max/mean) under
+// progressively nastier query and data skew, for the range-partitioned
+// index (expected to serialize), the node-hashed radix tree, and
+// PIM-trie (expected to stay balanced whp — Theorem 4.3).
+
+#include "baselines/distributed_radix_tree.hpp"
+#include "baselines/range_partitioned.hpp"
+#include "common.hpp"
+#include "pimtrie/pim_trie.hpp"
+#include "workload/generators.hpp"
+
+using namespace ptrie;
+
+int main() {
+  std::printf("Skew-resistance reproduction (P=16, n=3000, batch=2000, l=64)\n");
+
+  std::size_t n = 3000, batch = 2000, l = 64, p = 16;
+
+  struct Workload {
+    const char* name;
+    std::vector<core::BitString> data;
+    std::vector<core::BitString> queries;
+  };
+  std::vector<Workload> loads;
+  {
+    auto data = workload::uniform_keys(n, l, 91);
+    loads.push_back({"uniform/uniform", data, workload::zipf_queries(data, batch, 0.0, 92)});
+    loads.push_back({"uniform/zipf.99", data, workload::zipf_queries(data, batch, 0.99, 93)});
+    loads.push_back({"uniform/zipf1.3", data, workload::zipf_queries(data, batch, 1.3, 94)});
+    loads.push_back({"uniform/hotspot", data, workload::hot_spot_queries(data, batch, 95)});
+  }
+  {
+    // Adversarial data skew: all keys under one long shared prefix.
+    auto data = workload::shared_prefix_keys(n, 200, 48, 96);
+    loads.push_back({"sharedpfx/zipf", data, workload::zipf_queries(data, batch, 0.99, 97)});
+    loads.push_back({"sharedpfx/hot", data, workload::hot_spot_queries(data, batch, 98)});
+  }
+
+  bench::header("comm imbalance (max/mean per-module words; 1.0 = perfect)",
+                {"workload", "range-part", "radix", "pim-trie", "pt rounds"});
+  for (auto& wl : loads) {
+    std::vector<std::uint64_t> vals(wl.data.size(), 1);
+    double range_imb = 0, radix_imb = 0, pt_imb = 0;
+    std::size_t pt_rounds = 0;
+    {
+      pim::System sys(p, 101);
+      baselines::RangePartitionedIndex t(sys);
+      t.build(wl.data, vals);
+      sys.metrics().reset();
+      t.batch_lcp(wl.queries);
+      range_imb = sys.metrics().comm_imbalance();
+    }
+    {
+      pim::System sys(p, 102);
+      baselines::DistributedRadixTree t(sys, 4);
+      t.build(wl.data, vals);
+      sys.metrics().reset();
+      t.batch_lcp(wl.queries);
+      radix_imb = sys.metrics().comm_imbalance();
+    }
+    {
+      pim::System sys(p, 103);
+      pimtrie::Config cfg;
+      cfg.seed = 104;
+      pimtrie::PimTrie t(sys, cfg);
+      t.build(wl.data, vals);
+      sys.metrics().reset();
+      t.batch_lcp(wl.queries);
+      pt_imb = sys.metrics().comm_imbalance();
+      pt_rounds = sys.metrics().io_rounds();
+    }
+    bench::cell(std::string(wl.name));
+    bench::cell(range_imb);
+    bench::cell(radix_imb);
+    bench::cell(pt_imb);
+    bench::cell(pt_rounds);
+    bench::endrow();
+  }
+  std::printf("shape check: range partitioning degrades toward P (=16) under hot-spot "
+              "skew (the whole batch lands on one module); the node-hashed radix tree "
+              "hot-spots the nodes on the shared search path; pim-trie stays near 1-2x "
+              "on every workload (Theorem 4.3's PIM-balance).\n");
+
+  // Static space balance under adversarial data.
+  bench::header("resident-space imbalance (max/mean per-module words)",
+                {"data", "pim-trie"});
+  for (const char* which : {"uniform", "sharedpfx", "caterpillar"}) {
+    std::vector<core::BitString> data;
+    if (std::string(which) == "uniform") data = workload::uniform_keys(n, l, 111);
+    else if (std::string(which) == "sharedpfx") data = workload::shared_prefix_keys(n, 200, 48, 112);
+    else data = workload::caterpillar_keys(800, 8, 113);
+    std::vector<std::uint64_t> vals(data.size(), 1);
+    pim::System sys(p, 114);
+    pimtrie::Config cfg;
+    cfg.seed = 115;
+    pimtrie::PimTrie t(sys, cfg);
+    t.build(data, vals);
+    bench::cell(std::string(which));
+    bench::cell(t.space_imbalance());
+    bench::endrow();
+  }
+  std::printf("shape check: random block placement keeps per-module space near-uniform "
+              "even for the path-shaped (caterpillar) trie.\n");
+  return 0;
+}

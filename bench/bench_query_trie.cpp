@@ -1,0 +1,67 @@
+// Query-trie construction and hashing cost (Lemmas 4.1, 4.4, 4.9):
+// google-benchmark micro sweeps over batch size and key length for
+// Algorithm 1 (sort -> adjacent LCP -> Patricia) plus node hashing.
+
+#include <benchmark/benchmark.h>
+
+#include "hash/poly_hash.hpp"
+#include "trie/query_trie.hpp"
+#include "workload/generators.hpp"
+
+using namespace ptrie;
+
+static void BM_QueryTrieBuild(benchmark::State& state) {
+  std::size_t n = state.range(0);
+  std::size_t l = state.range(1);
+  auto keys = workload::uniform_keys(n, l, 191);
+  hash::PolyHasher h(192);
+  for (auto _ : state) {
+    auto qt = trie::build_query_trie(keys, h);
+    benchmark::DoNotOptimize(qt.trie.node_count());
+  }
+  state.SetComplexityN(n);
+  state.counters["bits/key"] = double(l);
+}
+BENCHMARK(BM_QueryTrieBuild)
+    ->Args({256, 64})
+    ->Args({1024, 64})
+    ->Args({4096, 64})
+    ->Args({1024, 256})
+    ->Args({1024, 1024});
+
+static void BM_StringSort(benchmark::State& state) {
+  std::size_t n = state.range(0);
+  auto keys = workload::uniform_keys(n, 128, 193);
+  for (auto _ : state) {
+    auto copy = keys;
+    auto perm = trie::string_sort(copy);
+    benchmark::DoNotOptimize(perm.size());
+  }
+}
+BENCHMARK(BM_StringSort)->Arg(256)->Arg(1024)->Arg(4096);
+
+static void BM_AdjacentLcp(benchmark::State& state) {
+  auto keys = workload::uniform_keys(state.range(0), 256, 194);
+  std::sort(keys.begin(), keys.end());
+  for (auto _ : state) {
+    auto lcp = trie::adjacent_lcp(keys);
+    benchmark::DoNotOptimize(lcp.size());
+  }
+}
+BENCHMARK(BM_AdjacentLcp)->Arg(1024)->Arg(4096);
+
+static void BM_PivotHashing(benchmark::State& state) {
+  // Lemma 4.4/4.9: hashing a batch at word granularity.
+  std::size_t l = state.range(0);
+  auto keys = workload::uniform_keys(512, l, 195);
+  hash::PolyHasher h(196);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (const auto& k : keys) acc ^= h.pivot_hashes(k, 64).back();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["bits/key"] = double(l);
+}
+BENCHMARK(BM_PivotHashing)->Arg(64)->Arg(512)->Arg(4096);
+
+BENCHMARK_MAIN();

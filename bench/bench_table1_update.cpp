@@ -1,0 +1,112 @@
+// Table 1, Insert/Delete row: amortized IO rounds and communication per
+// update for the distributed radix tree vs PIM-trie (x-fast shown for
+// 64-bit keys only, insert-only).
+//
+// Paper predictions: radix O(l/s) rounds + O(l/s) words/op; x-fast
+// O(log l) rounds + O(l) words/op; PIM-trie O(log P) amortized rounds +
+// O(l/w) amortized words/op (maintenance included).
+
+#include "baselines/distributed_radix_tree.hpp"
+#include "baselines/distributed_xfast.hpp"
+#include "common.hpp"
+#include "pimtrie/pim_trie.hpp"
+#include "workload/generators.hpp"
+
+using namespace ptrie;
+
+int main() {
+  const unsigned kSpan = 4;
+  std::printf("Table 1 / Insert+Delete row reproduction (amortized over batches)\n");
+
+  bench::header("Insert, then Delete (P=16, base n=2000, 4 update batches of 500)",
+                {"l(bits)", "struct", "op", "rounds/batch", "words/op"});
+  for (std::size_t l : {64, 256}) {
+    std::size_t n = 2000, batch = 500;
+    auto base = workload::uniform_keys(n, l, 31);
+    std::vector<std::uint64_t> bvals(base.size(), 1);
+
+    {  // radix: insert only (deletion not supported by this strawman)
+      pim::System sys(16, 41);
+      baselines::DistributedRadixTree t(sys, kSpan);
+      t.build(base, bvals);
+      std::size_t rounds = 0;
+      std::uint64_t words = 0;
+      for (int b = 0; b < 4; ++b) {
+        auto extra = workload::uniform_keys(batch, l, 100 + b);
+        std::vector<std::uint64_t> evals(extra.size(), 2);
+        auto c = bench::measure(sys, extra.size(), [&] { t.batch_insert(extra, evals); });
+        rounds += c.rounds;
+        words += c.total_words;
+      }
+      bench::cell(l);
+      bench::cell(std::string("radix"));
+      bench::cell(std::string("insert"));
+      bench::cell(rounds / 4);
+      bench::cell(double(words) / (4 * batch));
+      bench::endrow();
+    }
+    if (l == 64) {  // x-fast insert: one round, O(l) words per key
+      pim::System sys(16, 42);
+      baselines::DistributedXFastTrie t(sys, 64);
+      auto ik = workload::uniform_u64(n, 32);
+      std::vector<std::uint64_t> vals(ik.size(), 1);
+      t.build(ik, vals);
+      std::size_t rounds = 0;
+      std::uint64_t words = 0;
+      for (int b = 0; b < 4; ++b) {
+        auto extra = workload::uniform_u64(batch, 200 + b);
+        std::vector<std::uint64_t> evals(extra.size(), 2);
+        auto c = bench::measure(sys, extra.size(), [&] { t.batch_insert(extra, evals); });
+        rounds += c.rounds;
+        words += c.total_words;
+      }
+      bench::cell(l);
+      bench::cell(std::string("xfast"));
+      bench::cell(std::string("insert"));
+      bench::cell(rounds / 4);
+      bench::cell(double(words) / (4 * batch));
+      bench::endrow();
+    }
+    {  // pim-trie: insert then delete, amortized with maintenance
+      pim::System sys(16, 43);
+      pimtrie::Config cfg;
+      cfg.seed = 33;
+      pimtrie::PimTrie t(sys, cfg);
+      t.build(base, bvals);
+      std::size_t rounds = 0;
+      std::uint64_t words = 0;
+      std::vector<std::vector<core::BitString>> batches;
+      for (int b = 0; b < 4; ++b)
+        batches.push_back(workload::uniform_keys(batch, l, 300 + b));
+      for (auto& extra : batches) {
+        std::vector<std::uint64_t> evals(extra.size(), 2);
+        auto c = bench::measure(sys, extra.size(), [&] { t.batch_insert(extra, evals); });
+        rounds += c.rounds;
+        words += c.total_words;
+      }
+      bench::cell(l);
+      bench::cell(std::string("pim-trie"));
+      bench::cell(std::string("insert"));
+      bench::cell(rounds / 4);
+      bench::cell(double(words) / (4 * batch));
+      bench::endrow();
+
+      rounds = 0;
+      words = 0;
+      for (auto& extra : batches) {
+        auto c = bench::measure(sys, extra.size(), [&] { t.batch_erase(extra); });
+        rounds += c.rounds;
+        words += c.total_words;
+      }
+      bench::cell(l);
+      bench::cell(std::string("pim-trie"));
+      bench::cell(std::string("delete"));
+      bench::cell(rounds / 4);
+      bench::cell(double(words) / (4 * batch));
+      bench::endrow();
+    }
+  }
+  std::printf("shape check: radix insert rounds ~l/s and words/op ~l/s; x-fast words/op "
+              "~l (one entry per level); pim-trie rounds ~log P with words/op ~l/64.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Verification / collision handling (Section 4.4.3): shrink the hash
+// fingerprints to force collisions and measure (a) that results stay
+// correct (rejected-collision + redo machinery), and (b) the extra
+// rounds/communication the redo path costs.
+
+#include "common.hpp"
+#include "pimtrie/pim_trie.hpp"
+#include "trie/patricia.hpp"
+#include "workload/generators.hpp"
+
+using namespace ptrie;
+
+int main() {
+  std::printf("Verification under forced hash collisions (P=8, n=2000, batch=1000)\n");
+  bench::header("LCP with truncated fingerprints",
+                {"fp bits", "wrong answers", "rejections", "redo rounds", "rounds",
+                 "words/op"});
+  std::size_t n = 2000, batch = 1000;
+  auto keys = workload::uniform_keys(n, 96, 181);
+  std::vector<std::uint64_t> vals(keys.size(), 1);
+  auto queries = workload::zipf_queries(keys, batch / 2, 0.0, 182);
+  for (auto& q : workload::miss_queries(batch / 2, 96, 183)) queries.push_back(q);
+
+  trie::Patricia ref;
+  for (std::size_t i = 0; i < n; ++i) ref.insert(keys[i], 1);
+
+  for (unsigned bits : {61, 16, 10, 6, 4, 3}) {
+    pim::System sys(8, 184);
+    pimtrie::Config cfg;
+    cfg.seed = 185;
+    cfg.fingerprint_bits = bits;
+    pimtrie::PimTrie t(sys, cfg);
+    t.build(keys, vals);
+    std::vector<std::size_t> got;
+    auto c = bench::measure(sys, batch, [&] { got = t.batch_lcp(queries); });
+    std::size_t wrong = 0;
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      if (got[i] != ref.lcp(queries[i]).first) ++wrong;
+    bench::cell(std::size_t(bits));
+    bench::cell(wrong);
+    bench::cell(std::size_t(t.verify_stats().rejected_collisions));
+    bench::cell(std::size_t(t.verify_stats().redo_rounds));
+    bench::cell(c.rounds);
+    bench::cell(c.words_per_op);
+    bench::endrow();
+  }
+  std::printf("shape check: as fingerprints shrink, rejected collisions (and sometimes "
+              "redo rounds) climb while answers stay correct — the S_last / bit-by-bit "
+              "verification of Section 4.4.3 absorbing false positives. At very small "
+              "widths residual wrong answers can appear when two distinct strings agree "
+              "on both the fingerprint and the w-bit S_last (the paper's whp residue).\n");
+  return 0;
+}

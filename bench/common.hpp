@@ -1,0 +1,65 @@
+#pragma once
+// Shared helpers for the paper-reproduction benchmarks: metric deltas
+// per batch operation and aligned table printing. Every bench binary
+// prints self-describing rows (CSV-ish) so EXPERIMENTS.md can quote them
+// directly.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pim/metrics.hpp"
+#include "pim/system.hpp"
+
+namespace bench {
+
+struct OpCost {
+  std::size_t rounds = 0;
+  double words_per_op = 0;
+  double io_time_per_op = 0;  // max-per-module words, summed over rounds
+  double imbalance = 1.0;     // max/mean per-module words for the op
+  std::uint64_t total_words = 0;
+  std::uint64_t pim_time = 0;
+
+  static OpCost delta(const ptrie::pim::Metrics::Snapshot& before, ptrie::pim::System& sys,
+                      std::size_t n_ops) {
+    auto after = sys.metrics().snapshot();
+    OpCost c;
+    c.rounds = after.rounds - before.rounds;
+    c.total_words = after.words - before.words;
+    c.words_per_op = n_ops ? double(c.total_words) / double(n_ops) : 0;
+    c.io_time_per_op = n_ops ? double(after.io_time - before.io_time) / double(n_ops) : 0;
+    c.pim_time = after.pim_time - before.pim_time;
+    c.imbalance = sys.metrics().comm_imbalance();
+    return c;
+  }
+};
+
+// Measures one metered batch operation.
+template <class F>
+OpCost measure(ptrie::pim::System& sys, std::size_t n_ops, F&& op) {
+  auto before = sys.metrics().snapshot();
+  op();
+  return OpCost::delta(before, sys, n_ops);
+}
+
+inline void header(const char* title, const std::vector<std::string>& cols) {
+  std::printf("\n== %s ==\n", title);
+  for (const auto& c : cols) std::printf("%-16s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%-16s", "----------");
+  std::printf("\n");
+}
+
+inline void cell(const std::string& s) { std::printf("%-16s", s.c_str()); }
+inline void cell(std::size_t v) { std::printf("%-16zu", v); }
+inline void cell(double v) { std::printf("%-16.2f", v); }
+inline void endrow() { std::printf("\n"); }
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace bench

@@ -1,0 +1,99 @@
+// Genome k-mer index: one of the PIM application domains the paper's
+// introduction cites (genome analysis). DNA 2-bit encodes naturally into
+// bit-strings; we index all k-mers of a synthetic genome and answer
+// longest-shared-prefix queries for read fragments — a building block of
+// seed-and-extend alignment. The data is heavily skewed on purpose
+// (repetitive genome regions), showing the skew-resistance machinery on
+// realistic-shaped data.
+//
+//   ./build/examples/genome_kmers
+
+#include <cstdio>
+#include <string>
+
+#include "pim/system.hpp"
+#include "pimtrie/pim_trie.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+// 2-bit DNA encoding: A=00 C=01 G=10 T=11.
+ptrie::core::BitString encode(const std::string& dna) {
+  ptrie::core::BitString out;
+  for (char c : dna) {
+    unsigned v = c == 'A' ? 0 : c == 'C' ? 1 : c == 'G' ? 2 : 3;
+    out.push_back(v & 2);
+    out.push_back(v & 1);
+  }
+  return out;
+}
+
+std::string random_genome(std::size_t n, ptrie::core::Rng& rng) {
+  static const char bases[] = "ACGT";
+  std::string g(n, 'A');
+  for (auto& c : g) c = bases[rng.below(4)];
+  // Inject repeats: copy a segment several times (real genomes are
+  // repetitive; this makes the k-mer trie skewed).
+  if (n > 600) {
+    std::string repeat = g.substr(50, 80);
+    for (int r = 0; r < 6; ++r) g.replace(150 + r * 90, repeat.size(), repeat);
+  }
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ptrie;
+
+  pim::System machine(/*p=*/16, /*seed=*/5);
+  pimtrie::Config cfg;
+  cfg.seed = 23;
+  pimtrie::PimTrie index(machine, cfg);
+
+  core::Rng rng(29);
+  const std::size_t k = 32;  // 32-mers = 64-bit keys
+  std::string genome = random_genome(6000, rng);
+
+  // Index every k-mer with its genome position as the value.
+  std::vector<core::BitString> kmers;
+  std::vector<std::uint64_t> positions;
+  for (std::size_t i = 0; i + k <= genome.size(); ++i) {
+    kmers.push_back(encode(genome.substr(i, k)));
+    positions.push_back(i);
+  }
+  index.build(kmers, positions);
+  std::printf("indexed %zu distinct %zu-mers of a %zu bp genome (%zu blocks)\n",
+              index.key_count(), k, genome.size(), index.block_count());
+
+  // Query: fragments of reads — some exact genome substrings, some with
+  // simulated sequencing errors.
+  std::vector<core::BitString> reads;
+  for (int i = 0; i < 800; ++i) {
+    std::size_t pos = rng.below(genome.size() - k);
+    std::string frag = genome.substr(pos, k);
+    if (i % 3 == 0) frag[5 + rng.below(k - 5)] = "ACGT"[rng.below(4)];  // error
+    reads.push_back(encode(frag));
+  }
+  machine.metrics().reset();
+  auto lcp = index.batch_lcp(reads);
+  std::size_t exact = 0, long_seed = 0;
+  for (auto l : lcp) {
+    if (l == 2 * k) ++exact;
+    if (l >= 30) ++long_seed;  // >= 15 bp seed
+  }
+  std::printf("\naligned %zu read fragments: %zu exact hits, %zu with seeds >= 15bp\n",
+              reads.size(), exact, long_seed);
+  std::printf("IO rounds = %zu, words/read = %.2f, comm imbalance = %.2fx "
+              "(repetitive k-mers do not hot-spot any module)\n",
+              machine.metrics().io_rounds(),
+              double(machine.metrics().total_comm_words()) / reads.size(),
+              machine.metrics().comm_imbalance());
+
+  // Which positions share a given seed? SubtreeQuery on the seed prefix.
+  core::BitString seed = encode(genome.substr(150, 16));  // inside the repeat
+  auto hits = index.batch_subtree({seed});
+  std::printf("\nseed scan (16 bp from the repeat region): %zu k-mer positions share it\n",
+              hits[0].size());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: build a PIM-trie over a small key set on a simulated
+// 8-module PIM machine, then run every batch operation and print the
+// PIM-Model cost metrics the paper analyzes.
+//
+//   cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "pim/system.hpp"
+#include "pimtrie/pim_trie.hpp"
+#include "workload/generators.hpp"
+
+int main() {
+  using namespace ptrie;
+  using core::BitString;
+
+  // A PIM machine with P = 8 modules (the "PIM side") plus the host CPU.
+  pim::System machine(/*p=*/8, /*seed=*/2024);
+
+  pimtrie::Config cfg;
+  cfg.seed = 42;  // hash seed; every run is deterministic
+  pimtrie::PimTrie index(machine, cfg);
+
+  // 1. Bulk-load variable-length bit-string keys.
+  auto keys = workload::variable_length_keys(/*n=*/2000, /*min_bits=*/24,
+                                             /*max_bits=*/160, /*seed=*/1);
+  std::vector<std::uint64_t> values(keys.size());
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] = 1000 + i;
+  index.build(keys, values);
+  std::printf("built: %zu keys in %zu blocks / %zu meta pieces, %zu words on PIM\n",
+              index.key_count(), index.block_count(), index.piece_count(),
+              index.space_words());
+
+  // 2. Batch LongestCommonPrefix (Section 5.1).
+  machine.metrics().reset();
+  std::vector<BitString> queries(keys.begin(), keys.begin() + 500);
+  for (auto& q : workload::miss_queries(500, 64, 7)) queries.push_back(q);
+  auto lcp = index.batch_lcp(queries);
+  std::printf("\nbatch_lcp over %zu queries:\n", queries.size());
+  std::printf("  lcp(stored key)   = %zu bits (its full length)\n", lcp[0]);
+  std::printf("  lcp(random probe) = %zu bits\n", lcp[600]);
+  std::printf("  IO rounds = %zu, IO time = %llu words, comm imbalance = %.2fx\n",
+              machine.metrics().io_rounds(),
+              (unsigned long long)machine.metrics().io_time(),
+              machine.metrics().comm_imbalance());
+
+  // 3. Batch Insert (Section 5.2) — maintenance (block re-partitioning,
+  //    meta updates) happens inside the call.
+  auto extra = workload::variable_length_keys(500, 24, 160, /*seed=*/2);
+  std::vector<std::uint64_t> evals(extra.size(), 7);
+  machine.metrics().reset();
+  index.batch_insert(extra, evals);
+  std::printf("\nbatch_insert of %zu keys: now %zu keys, %zu blocks, rounds = %zu\n",
+              extra.size(), index.key_count(), index.block_count(),
+              machine.metrics().io_rounds());
+
+  // 4. SubtreeQuery (Section 5.3): everything under a prefix.
+  BitString prefix = keys[3].prefix(8);
+  auto subtrees = index.batch_subtree({prefix});
+  std::printf("\nsubtree(\"%s\"): %zu keys stored under that prefix\n",
+              prefix.to_binary().c_str(), subtrees[0].size());
+
+  // 5. Batch Delete.
+  std::vector<BitString> victims(extra.begin(), extra.begin() + 250);
+  index.batch_erase(victims);
+  std::printf("\nbatch_erase of %zu keys: %zu keys remain, structure %s\n", victims.size(),
+              index.key_count(), index.debug_check().empty() ? "healthy" : "BROKEN");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Suffix search: the paper's conclusion names suffix trees as future
+// work to build on PIM-trie's methods. This example shows the natural
+// first step: index every suffix of a text as a bit-string key, so that
+// batched substring search becomes batched LCP (a query matches the text
+// iff its LCP against the suffix set equals its own length), and
+// batched occurrence listing becomes SubtreeQuery on the pattern.
+//
+//   ./build/examples/suffix_search
+
+#include <cstdio>
+#include <string>
+
+#include "pim/system.hpp"
+#include "pimtrie/pim_trie.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+ptrie::core::BitString encode(const std::string& s) {
+  return ptrie::core::BitString::from_bytes(s);
+}
+
+std::string random_text(std::size_t n, ptrie::core::Rng& rng) {
+  static const char alpha[] = "abcdefgh";  // small alphabet: many repeats
+  std::string t(n, 'a');
+  for (auto& c : t) c = alpha[rng.below(8)];
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ptrie;
+
+  pim::System machine(/*p=*/8, /*seed=*/77);
+  pimtrie::Config cfg;
+  cfg.seed = 78;
+  pimtrie::PimTrie index(machine, cfg);
+
+  core::Rng rng(79);
+  std::string text = random_text(1200, rng);
+
+  // Index all suffixes, capped at 24 characters (a "suffix array with
+  // limited context" — plenty for substring search up to that length).
+  const std::size_t cap = 24;
+  std::vector<core::BitString> suffixes;
+  std::vector<std::uint64_t> positions;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    suffixes.push_back(encode(text.substr(i, cap)));
+    positions.push_back(i);
+  }
+  index.build(suffixes, positions);
+  std::printf("suffix index over %zu chars: %zu suffixes, %zu blocks, %zu words on PIM\n",
+              text.size(), index.key_count(), index.block_count(), index.space_words());
+
+  // Batched substring search: 400 patterns, half genuine substrings.
+  std::vector<std::string> patterns;
+  for (int i = 0; i < 400; ++i) {
+    if (i % 2 == 0) {
+      std::size_t pos = rng.below(text.size() - 12);
+      patterns.push_back(text.substr(pos, 4 + rng.below(8)));
+    } else {
+      std::string p;
+      for (int k = 0; k < 6; ++k) p.push_back("abcdefgh"[rng.below(8)]);
+      patterns.push_back(p);
+    }
+  }
+  std::vector<core::BitString> queries;
+  for (const auto& p : patterns) queries.push_back(encode(p));
+
+  machine.metrics().reset();
+  auto lcp = index.batch_lcp(queries);
+  std::size_t found = 0, checked = 0, correct = 0;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    bool hit = lcp[i] == queries[i].size();
+    found += hit;
+    if (i % 13 == 0) {  // spot-check against std::string::find
+      ++checked;
+      bool want = text.find(patterns[i]) != std::string::npos;
+      correct += (hit == want);
+    }
+  }
+  std::printf("\nsubstring search over %zu patterns: %zu present; %zu/%zu spot-checks "
+              "agree with std::string::find\n",
+              patterns.size(), found, correct, checked);
+  std::printf("IO rounds = %zu, words/pattern = %.2f, comm imbalance = %.2fx\n",
+              machine.metrics().io_rounds(),
+              double(machine.metrics().total_comm_words()) / patterns.size(),
+              machine.metrics().comm_imbalance());
+
+  // Occurrence listing: all positions where one frequent 3-gram occurs.
+  std::string gram = text.substr(100, 3);
+  auto occ = index.batch_subtree({encode(gram)});
+  std::size_t want_occ = 0;
+  for (std::size_t i = 0; i + 3 <= text.size(); ++i)
+    if (text.compare(i, 3, gram) == 0) ++want_occ;
+  std::printf("\noccurrences of \"%s\": %zu via SubtreeQuery, %zu via scan — %s\n",
+              gram.c_str(), occ[0].size(), want_occ,
+              occ[0].size() == want_occ ? "match" : "MISMATCH");
+  return 0;
+}

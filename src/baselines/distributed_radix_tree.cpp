@@ -1,0 +1,535 @@
+#include "baselines/distributed_radix_tree.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <functional>
+
+namespace ptrie::baselines {
+
+using core::BitString;
+
+namespace {
+std::atomic<std::uint64_t> g_instance{1u << 20};
+
+// Per-module node store.
+struct RadixModuleState {
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> nodes;  // serialized Node
+};
+
+// Node wire format: [fanout children..., has_value, value, tail_len, tail words...]
+std::vector<std::uint64_t> pack_node(std::size_t fanout, const std::vector<std::uint64_t>& child,
+                                     bool has_value, std::uint64_t value,
+                                     const BitString& tail) {
+  std::vector<std::uint64_t> out;
+  out.reserve(fanout + 3 + tail.word_count());
+  for (std::size_t i = 0; i < fanout; ++i) out.push_back(child[i]);
+  out.push_back(has_value ? 1 : 0);
+  out.push_back(value);
+  out.push_back(tail.size());
+  for (std::size_t w = 0; w < tail.word_count(); ++w) out.push_back(tail.word(w));
+  return out;
+}
+}  // namespace
+
+DistributedRadixTree::DistributedRadixTree(pim::System& sys, unsigned span, std::uint64_t seed)
+    : sys_(&sys), span_(span), instance_(g_instance.fetch_add(1)) {
+  (void)seed;
+  assert(span_ >= 1 && span_ <= 16);
+}
+
+std::uint64_t DistributedRadixTree::new_node() {
+  std::uint64_t id = next_id_++;
+  dir_[id] = {static_cast<std::uint32_t>(sys_->random_module())};
+  ++n_nodes_;
+  return id;
+}
+
+void DistributedRadixTree::build(const std::vector<BitString>& keys,
+                                 const std::vector<std::uint64_t>& values) {
+  // Build host-side, then distribute nodes in one round (construction).
+  std::size_t fanout = std::size_t{1} << span_;
+  struct HNode {
+    std::vector<std::uint64_t> child;
+    bool has_value = false;
+    std::uint64_t value = 0;
+    BitString tail;
+  };
+  std::unordered_map<std::uint64_t, HNode> host;
+  root_ = new_node();
+  host[root_].child.assign(fanout, 0);
+
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const BitString& k = keys[i];
+    std::uint64_t cur = root_;
+    std::size_t pos = 0;
+    while (pos + span_ <= k.size()) {
+      std::size_t idx = 0;
+      for (unsigned b = 0; b < span_; ++b) idx = idx * 2 + (k.bit(pos + b) ? 1 : 0);
+      if (host[cur].child[idx] == 0) {
+        std::uint64_t id = new_node();
+        host[id].child.assign(fanout, 0);
+        host[cur].child[idx] = id;
+      }
+      cur = host[cur].child[idx];
+      pos += span_;
+    }
+    HNode& n = host[cur];
+    n.has_value = true;
+    n.value = values[i];
+    n.tail = k.suffix(pos);  // leftover < span bits (possibly empty)
+    ++n_keys_;
+  }
+
+  std::vector<pim::Buffer> buffers(sys_->p());
+  for (auto& [id, n] : host) {
+    if (n.child.empty()) n.child.assign(fanout, 0);
+    auto packed = pack_node(fanout, n.child, n.has_value, n.value, n.tail);
+    auto& buf = buffers[dir_[id].module];
+    buf.push_back(id);
+    buf.push_back(packed.size());
+    buf.insert(buf.end(), packed.begin(), packed.end());
+  }
+  std::uint64_t inst = instance_;
+  sys_->round("radix.build", std::move(buffers), [inst](pim::Module& m, pim::Buffer in) {
+    auto& st = m.state<RadixModuleState>(inst);
+    std::size_t i = 0;
+    while (i < in.size()) {
+      std::uint64_t id = in[i++];
+      std::uint64_t len = in[i++];
+      st.nodes[id] = std::vector<std::uint64_t>(in.begin() + i, in.begin() + i + len);
+      i += len;
+      m.work(len / 4 + 1);
+    }
+    return pim::Buffer{};
+  });
+}
+
+std::vector<std::size_t> DistributedRadixTree::batch_lcp(const std::vector<BitString>& keys) {
+  std::size_t fanout = std::size_t{1} << span_;
+  std::vector<std::size_t> out(keys.size(), 0);
+  struct Q {
+    std::uint64_t node;
+    std::size_t pos;
+    bool done = false;
+  };
+  std::vector<Q> qs(keys.size());
+  for (auto& q : qs) q = {root_, 0, false};
+
+  std::uint64_t inst = instance_;
+  int round = 0;
+  for (;;) {
+    ++round;
+    // One pointer-chasing round: each active query probes its node.
+    std::vector<pim::Buffer> buffers(sys_->p());
+    std::vector<std::vector<std::size_t>> sent(sys_->p());
+    bool any = false;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (qs[i].done) continue;
+      any = true;
+      std::uint32_t module = dir_.at(qs[i].node).module;
+      std::size_t idx = 0;
+      std::size_t remaining = keys[i].size() - qs[i].pos;
+      std::size_t take = std::min<std::size_t>(span_, remaining);
+      for (unsigned b = 0; b < take; ++b)
+        idx = idx * 2 + (keys[i].bit(qs[i].pos + b) ? 1 : 0);
+      // Message: node, chunk bits (padded), chunk length, plus the full
+      // remaining tail words are NOT sent (only on the last hop) — the
+      // per-hop payload is O(1) words as in the paper's accounting.
+      auto& buf = buffers[module];
+      buf.push_back(qs[i].node);
+      buf.push_back(idx);
+      buf.push_back(take);
+      // Tail bits for terminal comparison (cheap: < span bits as a word).
+      std::uint64_t tailbits = 0;
+      for (std::size_t b = 0; b < take; ++b)
+        tailbits = tailbits * 2 + (keys[i].bit(qs[i].pos + b) ? 1 : 0);
+      buf.push_back(tailbits);
+      sent[module].push_back(i);
+    }
+    if (!any) break;
+    std::string lbl = "radix.lcp" + std::to_string(round);
+    auto results = sys_->round(lbl, std::move(buffers), [inst, fanout](pim::Module& m,
+                                                                       pim::Buffer in) {
+      auto& st = m.state<RadixModuleState>(inst);
+      pim::Buffer out;
+      std::size_t i = 0;
+      std::size_t span_bits = 0;
+      while ((std::size_t{1} << span_bits) < fanout) ++span_bits;
+      while (i < in.size()) {
+        std::uint64_t id = in[i], idx = in[i + 1], take = in[i + 2], tailbits = in[i + 3];
+        i += 4;
+        m.work(3);
+        const auto& packed = st.nodes.at(id);
+        // Response: [child_id (0 = none), matched_extra_bits].
+        if (take == span_bits && packed[idx] != 0) {
+          out.push_back(packed[idx]);
+          out.push_back(take);
+          continue;
+        }
+        // Divergence or trailing partial chunk: compare against this
+        // node's stored key tail bit-by-bit (chunk-granularity LCP, the
+        // natural resolution of a span-s radix baseline).
+        std::uint64_t tail_len = packed[fanout + 2];
+        std::uint64_t matched = 0;
+        if (tail_len != 0 && take != 0) {
+          std::uint64_t word0 = packed.size() > fanout + 3 ? packed[fanout + 3] : 0;
+          for (std::uint64_t b = 0; b < std::min<std::uint64_t>(tail_len, take); ++b) {
+            bool tb = (word0 >> (63 - b)) & 1;
+            bool qb = (tailbits >> (take - 1 - b)) & 1;
+            if (tb != qb) break;
+            ++matched;
+          }
+          m.work(1 + matched / 8);
+        }
+        out.push_back(0);
+        out.push_back(matched);
+      }
+      return out;
+    });
+    // Apply responses.
+    std::vector<std::size_t> cursor(sys_->p(), 0);
+    for (std::size_t module = 0; module < sys_->p(); ++module) {
+      const auto& buf = results[module];
+      for (std::size_t k = 0; k < sent[module].size(); ++k) {
+        std::size_t i = sent[module][k];
+        std::uint64_t child = buf[cursor[module]];
+        std::uint64_t matched = buf[cursor[module] + 1];
+        cursor[module] += 2;
+        if (child != 0) {
+          qs[i].node = child;
+          qs[i].pos += matched;
+          out[i] = qs[i].pos;
+          if (qs[i].pos + 0 >= keys[i].size()) qs[i].done = true;
+        } else {
+          out[i] = qs[i].pos + matched;
+          qs[i].done = true;
+        }
+      }
+    }
+    if (round > 4096) break;
+  }
+  return out;
+}
+
+void DistributedRadixTree::batch_insert(const std::vector<BitString>& keys,
+                                        const std::vector<std::uint64_t>& values) {
+  std::size_t fanout = std::size_t{1} << span_;
+  std::uint64_t inst = instance_;
+
+  // Phase 1: pointer-chase each key to the deepest existing node, one
+  // probe round per level (the O(l/s) rounds of Table 1).
+  struct St {
+    std::uint64_t node;
+    std::size_t pos;
+    bool done;
+  };
+  std::vector<St> st(keys.size());
+  for (auto& q : st) q = {root_, 0, false};
+  int round = 0;
+  for (;;) {
+    ++round;
+    bool any = false;
+    std::vector<pim::Buffer> buffers(sys_->p());
+    std::vector<std::vector<std::size_t>> sent(sys_->p());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (st[i].done || st[i].pos + span_ > keys[i].size()) continue;
+      any = true;
+      std::size_t idx = 0;
+      for (unsigned b = 0; b < span_; ++b) idx = idx * 2 + (keys[i].bit(st[i].pos + b) ? 1 : 0);
+      std::uint32_t module = dir_.at(st[i].node).module;
+      buffers[module].push_back(st[i].node);
+      buffers[module].push_back(idx);
+      sent[module].push_back(i);
+    }
+    if (!any) break;
+    std::string lbl = "radix.insertwalk" + std::to_string(round);
+    auto results = sys_->round(lbl, std::move(buffers), [inst](pim::Module& m, pim::Buffer in) {
+      auto& stt = m.state<RadixModuleState>(inst);
+      pim::Buffer out;
+      for (std::size_t i = 0; i + 1 < in.size() + 0; i += 2) {
+        out.push_back(stt.nodes.at(in[i])[in[i + 1]]);
+        m.work(2);
+      }
+      return out;
+    });
+    std::vector<std::size_t> cursor(sys_->p(), 0);
+    for (std::size_t mdl = 0; mdl < sys_->p(); ++mdl)
+      for (std::size_t k = 0; k < sent[mdl].size(); ++k) {
+        std::size_t i = sent[mdl][k];
+        std::uint64_t child = results[mdl][cursor[mdl]++];
+        if (child == 0)
+          st[i].done = true;
+        else {
+          st[i].node = child;
+          st[i].pos += span_;
+        }
+      }
+    if (round > 4096) break;
+  }
+
+  // Phase 2: create the missing chains on the host directory; new links
+  // between inserted keys share nodes through `shadow`.
+  struct NewNode {
+    std::uint64_t id;
+    std::vector<std::uint64_t> child;
+    bool has_value = false;
+    std::uint64_t value = 0;
+    BitString tail;
+  };
+  std::vector<NewNode> created;
+  std::unordered_map<std::uint64_t, std::size_t> created_idx;  // id -> created slot
+  std::unordered_map<std::uint64_t, std::unordered_map<std::uint64_t, std::uint64_t>> shadow;
+  struct ValueUpdate {
+    std::uint64_t node;
+    std::uint64_t value;
+    BitString tail;
+  };
+  std::vector<ValueUpdate> value_updates;  // on pre-existing nodes
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>> links;  // existing node links
+
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const BitString& k = keys[i];
+    std::uint64_t cur = st[i].node;
+    std::size_t pos = st[i].pos;
+    bool cur_is_new = created_idx.contains(cur);
+    while (pos + span_ <= k.size()) {
+      std::size_t idx = 0;
+      for (unsigned b = 0; b < span_; ++b) idx = idx * 2 + (k.bit(pos + b) ? 1 : 0);
+      auto& slot = shadow[cur][idx];
+      if (slot == 0) {
+        std::uint64_t id = new_node();
+        slot = id;
+        created_idx[id] = created.size();
+        created.push_back({id, std::vector<std::uint64_t>(fanout, 0), false, 0, BitString()});
+        if (cur_is_new)
+          created[created_idx[cur]].child[idx] = id;
+        else
+          links.emplace_back(cur, idx, id);
+      } else if (cur_is_new) {
+        created[created_idx[cur]].child[idx] = slot;
+      }
+      cur = slot;
+      cur_is_new = true;
+      pos += span_;
+    }
+    BitString tail = k.suffix(pos);
+    if (cur_is_new) {
+      auto& nn = created[created_idx[cur]];
+      nn.has_value = true;
+      nn.value = values[i];
+      nn.tail = tail;
+    } else {
+      value_updates.push_back({cur, values[i], tail});
+    }
+    ++n_keys_;
+  }
+
+  // Phase 3: one round shipping new nodes, link updates and value
+  // updates (tagged messages).
+  std::vector<pim::Buffer> buffers(sys_->p());
+  for (const auto& nn : created) {
+    auto packed = pack_node(fanout, nn.child, nn.has_value, nn.value, nn.tail);
+    auto& buf = buffers[dir_.at(nn.id).module];
+    buf.push_back(0);  // tag: store node
+    buf.push_back(nn.id);
+    buf.push_back(packed.size());
+    buf.insert(buf.end(), packed.begin(), packed.end());
+  }
+  for (auto [node, idx, child] : links) {
+    auto& buf = buffers[dir_.at(node).module];
+    buf.push_back(1);  // tag: set link
+    buf.push_back(node);
+    buf.push_back(idx);
+    buf.push_back(child);
+  }
+  for (const auto& vu : value_updates) {
+    auto& buf = buffers[dir_.at(vu.node).module];
+    buf.push_back(2);  // tag: set value
+    buf.push_back(vu.node);
+    buf.push_back(vu.value);
+    buf.push_back(vu.tail.size());
+    for (std::size_t w = 0; w < vu.tail.word_count(); ++w) buf.push_back(vu.tail.word(w));
+  }
+  std::size_t fo = fanout;
+  sys_->round("radix.insertship", std::move(buffers), [inst, fo](pim::Module& m, pim::Buffer in) {
+    auto& stt = m.state<RadixModuleState>(inst);
+    std::size_t i = 0;
+    while (i < in.size()) {
+      std::uint64_t tag = in[i++];
+      if (tag == 0) {
+        std::uint64_t id = in[i++];
+        std::uint64_t len = in[i++];
+        stt.nodes[id] = std::vector<std::uint64_t>(in.begin() + i, in.begin() + i + len);
+        i += len;
+        m.work(len / 4 + 1);
+      } else if (tag == 1) {
+        std::uint64_t node = in[i], idx = in[i + 1], child = in[i + 2];
+        i += 3;
+        stt.nodes.at(node)[idx] = child;
+        m.work(1);
+      } else {
+        std::uint64_t node = in[i], value = in[i + 1], tail_bits = in[i + 2];
+        i += 3;
+        auto& packed = stt.nodes.at(node);
+        packed[fo] = 1;
+        packed[fo + 1] = value;
+        packed[fo + 2] = tail_bits;
+        std::size_t tw = (tail_bits + 63) / 64;
+        packed.resize(fo + 3 + tw);
+        for (std::size_t t = 0; t < tw; ++t) packed[fo + 3 + t] = in[i + t];
+        i += tw;
+        m.work(2);
+      }
+    }
+    return pim::Buffer{};
+  });
+}
+
+std::vector<std::vector<std::pair<BitString, std::uint64_t>>>
+DistributedRadixTree::batch_subtree(const std::vector<BitString>& prefixes) {
+  std::size_t fanout = std::size_t{1} << span_;
+  std::uint64_t inst = instance_;
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> out(prefixes.size());
+
+  // Walk to the prefix node (O(l/s) rounds via batch_lcp-style walk),
+  // then BFS the subtree one level per round — the O(n_D)-round behavior
+  // Table 1 reports.
+  struct Item {
+    std::size_t query;
+    std::uint64_t node;
+    BitString path;  // absolute string of `node`
+  };
+  std::vector<Item> frontier;
+  {
+    // Locate prefix nodes host-free: replay pointer chase.
+    struct Q {
+      std::uint64_t node;
+      std::size_t pos;
+      bool alive;
+    };
+    std::vector<Q> qs(prefixes.size());
+    for (std::size_t i = 0; i < prefixes.size(); ++i) qs[i] = {root_, 0, true};
+    int round = 0;
+    bool any = true;
+    while (any) {
+      ++round;
+      any = false;
+      std::vector<pim::Buffer> buffers(sys_->p());
+      std::vector<std::vector<std::size_t>> sent(sys_->p());
+      for (std::size_t i = 0; i < prefixes.size(); ++i) {
+        if (!qs[i].alive || qs[i].pos + span_ > prefixes[i].size()) continue;
+        any = true;
+        std::size_t idx = 0;
+        for (unsigned b = 0; b < span_; ++b)
+          idx = idx * 2 + (prefixes[i].bit(qs[i].pos + b) ? 1 : 0);
+        auto& buf = buffers[dir_.at(qs[i].node).module];
+        buf.push_back(qs[i].node);
+        buf.push_back(idx);
+        sent[dir_.at(qs[i].node).module].push_back(i);
+      }
+      if (!any) break;
+      std::string lbl = "radix.subwalk" + std::to_string(round);
+      auto results = sys_->round(lbl, std::move(buffers), [inst](pim::Module& m,
+                                                                 pim::Buffer in) {
+        auto& st = m.state<RadixModuleState>(inst);
+        pim::Buffer out;
+        for (std::size_t i = 0; i + 1 < in.size(); i += 2) {
+          const auto& packed = st.nodes.at(in[i]);
+          out.push_back(packed[in[i + 1]]);
+          m.work(2);
+        }
+        return out;
+      });
+      std::vector<std::size_t> cursor(sys_->p(), 0);
+      for (std::size_t mdl = 0; mdl < sys_->p(); ++mdl)
+        for (std::size_t k = 0; k < sent[mdl].size(); ++k) {
+          std::size_t i = sent[mdl][k];
+          std::uint64_t child = results[mdl][cursor[mdl]++];
+          if (child == 0)
+            qs[i].alive = false;
+          else {
+            qs[i].node = child;
+            qs[i].pos += span_;
+          }
+        }
+      if (round > 4096) break;
+    }
+    for (std::size_t i = 0; i < prefixes.size(); ++i) {
+      // Only exact multiples of span are supported as subtree anchors in
+      // this baseline (matching its fixed-chunk structure).
+      if (qs[i].alive && qs[i].pos + span_ > prefixes[i].size())
+        frontier.push_back({i, qs[i].node, prefixes[i].prefix(qs[i].pos)});
+    }
+  }
+
+  int level = 0;
+  while (!frontier.empty() && level < 4096) {
+    ++level;
+    std::vector<pim::Buffer> buffers(sys_->p());
+    std::vector<std::vector<std::size_t>> sent(sys_->p());
+    for (std::size_t f = 0; f < frontier.size(); ++f) {
+      auto& buf = buffers[dir_.at(frontier[f].node).module];
+      buf.push_back(frontier[f].node);
+      sent[dir_.at(frontier[f].node).module].push_back(f);
+    }
+    std::string lbl = "radix.subtree" + std::to_string(level);
+    auto results = sys_->round(lbl, std::move(buffers), [inst, fanout](pim::Module& m,
+                                                                       pim::Buffer in) {
+      auto& st = m.state<RadixModuleState>(inst);
+      pim::Buffer out;
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        const auto& packed = st.nodes.at(in[i]);
+        out.insert(out.end(), packed.begin(), packed.end());
+        m.work(packed.size() / 4 + 1);
+      }
+      return out;
+    });
+    std::vector<Item> next;
+    std::vector<std::size_t> cursor(sys_->p(), 0);
+    for (std::size_t mdl = 0; mdl < sys_->p(); ++mdl) {
+      const auto& buf = results[mdl];
+      for (std::size_t k = 0; k < sent[mdl].size(); ++k) {
+        const Item& item = frontier[sent[mdl][k]];
+        std::size_t base = cursor[mdl];
+        bool has_value = buf[base + fanout] != 0;
+        std::uint64_t value = buf[base + fanout + 1];
+        std::uint64_t tail_len = buf[base + fanout + 2];
+        cursor[mdl] += fanout + 3 + (tail_len + 63) / 64;
+        if (has_value) {
+          BitString key = item.path;
+          if (tail_len != 0) {
+            std::uint64_t word0 = buf[base + fanout + 3];
+            key.append(BitString::from_uint(word0 >> (64 - tail_len), tail_len));
+          }
+          out[item.query].emplace_back(std::move(key), value);
+        }
+        for (std::size_t c = 0; c < fanout; ++c) {
+          std::uint64_t child = buf[base + c];
+          if (child == 0) continue;
+          BitString path = item.path;
+          path.append(BitString::from_uint(c, span_));
+          next.push_back({item.query, child, std::move(path)});
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  for (auto& res : out)
+    std::sort(res.begin(), res.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::size_t DistributedRadixTree::space_words() const {
+  // Inspect module states directly (not a metered operation).
+  std::size_t words = 0;
+  for (std::size_t i = 0; i < sys_->p(); ++i) {
+    auto& mod = const_cast<pim::System*>(sys_)->module(i);
+    if (!mod.has_state<RadixModuleState>(instance_)) continue;
+    for (const auto& [id, packed] : mod.state<RadixModuleState>(instance_).nodes)
+      words += packed.size() + 2;
+  }
+  return words;
+}
+
+}  // namespace ptrie::baselines

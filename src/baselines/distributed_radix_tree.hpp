@@ -1,0 +1,64 @@
+#pragma once
+// Baseline 1 (paper Table 1, row "Distributed Radix Tree"): a span-s
+// radix tree whose nodes are hashed uniformly at random to PIM modules,
+// queried by pointer chasing — one IO round per traversed node, O(l/s)
+// rounds and O(l/s) words per operation, and O(n_D) rounds for Subtree.
+// This is the strawman Section 3.4 analyzes: randomization fixes *space*
+// balance but neither the round count nor query-skew contention.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bitstring.hpp"
+#include "pim/system.hpp"
+
+namespace ptrie::baselines {
+
+class DistributedRadixTree {
+ public:
+  // span: bits consumed per node (fanout 2^span).
+  DistributedRadixTree(pim::System& sys, unsigned span, std::uint64_t seed = 0x8BADF00D);
+
+  void build(const std::vector<core::BitString>& keys, const std::vector<std::uint64_t>& values);
+
+  // Batch LCP: returns per-key LCP length in bits.
+  std::vector<std::size_t> batch_lcp(const std::vector<core::BitString>& keys);
+  void batch_insert(const std::vector<core::BitString>& keys,
+                    const std::vector<std::uint64_t>& values);
+  std::vector<std::vector<std::pair<core::BitString, std::uint64_t>>> batch_subtree(
+      const std::vector<core::BitString>& prefixes);
+
+  std::size_t key_count() const { return n_keys_; }
+  std::size_t node_count() const { return n_nodes_; }
+  std::size_t space_words() const;
+
+ private:
+  struct Node {
+    // Child node ids indexed by the next `span` bits (dense table: the
+    // classic radix-node space overhead the paper calls out).
+    std::vector<std::uint64_t> child;
+    bool has_value = false;
+    std::uint64_t value = 0;
+    // Terminal marker for keys whose length is not a multiple of span:
+    // leftover bits of the key tail (flagged by tail_len > 0).
+    std::uint32_t tail_len = 0;
+    core::BitString tail;
+  };
+  struct HostRef {
+    std::uint32_t module;
+  };
+
+  std::uint64_t new_node();
+
+  pim::System* sys_;
+  unsigned span_;
+  std::uint64_t instance_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t root_ = 0;
+  std::size_t n_keys_ = 0, n_nodes_ = 0;
+  std::unordered_map<std::uint64_t, HostRef> dir_;  // node -> module
+};
+
+}  // namespace ptrie::baselines

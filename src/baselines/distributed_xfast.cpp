@@ -1,0 +1,168 @@
+#include "baselines/distributed_xfast.hpp"
+
+#include <atomic>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ptrie::baselines {
+
+namespace {
+std::atomic<std::uint64_t> g_instance{1u << 24};
+
+struct XFastModuleState {
+  // (level << 57 | prefix-hash-key) -> present; leaf level also keeps the
+  // value and the full key for subtree scans.
+  std::unordered_set<std::uint64_t> prefixes;
+  std::unordered_map<std::uint64_t, std::uint64_t> leaves;  // key -> value
+};
+
+std::uint64_t slot_key(unsigned level, std::uint64_t prefix) {
+  return (static_cast<std::uint64_t>(level) << 57) ^ (prefix * 0x9E3779B97F4A7C15ull >> 7);
+}
+}  // namespace
+
+DistributedXFastTrie::DistributedXFastTrie(pim::System& sys, unsigned width,
+                                           std::uint64_t seed)
+    : sys_(&sys), width_(width), instance_(g_instance.fetch_add(1)), salt_(seed) {}
+
+std::uint32_t DistributedXFastTrie::module_of(unsigned level, std::uint64_t prefix) const {
+  std::uint64_t h = (slot_key(level, prefix) ^ salt_) * 0xC2B2AE3D27D4EB4Full;
+  return static_cast<std::uint32_t>((h >> 29) % sys_->p());
+}
+
+void DistributedXFastTrie::build(const std::vector<std::uint64_t>& keys,
+                                 const std::vector<std::uint64_t>& values) {
+  batch_insert(keys, values);
+}
+
+void DistributedXFastTrie::batch_insert(const std::vector<std::uint64_t>& keys,
+                                        const std::vector<std::uint64_t>& values) {
+  std::uint64_t inst = instance_;
+  std::vector<pim::Buffer> buffers(sys_->p());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    for (unsigned level = 0; level <= width_; ++level) {
+      std::uint64_t prefix = level == 0 ? 0 : (keys[i] >> (width_ - level));
+      std::uint32_t module = module_of(level, prefix);
+      auto& buf = buffers[module];
+      buf.push_back(slot_key(level, prefix));
+      buf.push_back(level == width_ ? 1 : 0);
+      buf.push_back(level == width_ ? keys[i] : 0);
+      buf.push_back(level == width_ ? values[i] : 0);
+    }
+    ++n_keys_;
+  }
+  sys_->round("xfast.insert", std::move(buffers), [inst](pim::Module& m, pim::Buffer in) {
+    auto& st = m.state<XFastModuleState>(inst);
+    for (std::size_t i = 0; i + 3 < in.size() + 0; i += 4) {
+      st.prefixes.insert(in[i]);
+      if (in[i + 1] != 0) st.leaves[in[i + 2]] = in[i + 3];
+      m.work(2);
+    }
+    return pim::Buffer{};
+  });
+}
+
+std::vector<unsigned> DistributedXFastTrie::batch_lcp(const std::vector<std::uint64_t>& keys) {
+  std::uint64_t inst = instance_;
+  std::vector<unsigned> lo(keys.size(), 0), hi(keys.size(), width_);
+  if (n_keys_ == 0) return lo;
+  // Binary search over levels, one membership-probe round per step.
+  int round = 0;
+  for (;;) {
+    ++round;
+    bool any = false;
+    std::vector<pim::Buffer> buffers(sys_->p());
+    std::vector<std::vector<std::size_t>> sent(sys_->p());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (lo[i] >= hi[i]) continue;
+      any = true;
+      unsigned mid = (lo[i] + hi[i] + 1) / 2;
+      std::uint64_t prefix = mid == 0 ? 0 : (keys[i] >> (width_ - mid));
+      std::uint32_t module = module_of(mid, prefix);
+      buffers[module].push_back(slot_key(mid, prefix));
+      sent[module].push_back(i);
+    }
+    if (!any) break;
+    std::string lbl = "xfast.lcp" + std::to_string(round);
+    auto results = sys_->round(lbl, std::move(buffers), [inst](pim::Module& m, pim::Buffer in) {
+      auto& st = m.state<XFastModuleState>(inst);
+      pim::Buffer out;
+      for (std::uint64_t key : in) {
+        out.push_back(st.prefixes.contains(key) ? 1 : 0);
+        m.work(1);
+      }
+      return out;
+    });
+    std::vector<std::size_t> cursor(sys_->p(), 0);
+    for (std::size_t mdl = 0; mdl < sys_->p(); ++mdl)
+      for (std::size_t k = 0; k < sent[mdl].size(); ++k) {
+        std::size_t i = sent[mdl][k];
+        unsigned mid = (lo[i] + hi[i] + 1) / 2;
+        if (results[mdl][cursor[mdl]++] != 0)
+          lo[i] = mid;
+        else
+          hi[i] = mid - 1;
+      }
+  }
+  return lo;
+}
+
+std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+DistributedXFastTrie::batch_subtree(
+    const std::vector<std::pair<std::uint64_t, unsigned>>& prefixes) {
+  std::uint64_t inst = instance_;
+  // One broadcast round: every module scans its leaves for each prefix.
+  pim::Buffer payload;
+  for (const auto& [prefix, len] : prefixes) {
+    payload.push_back(prefix);
+    payload.push_back(len);
+  }
+  unsigned width = width_;
+  auto results = sys_->broadcast_round(
+      "xfast.subtree", payload, [inst, width](pim::Module& m, pim::Buffer in) {
+        auto& st = m.state<XFastModuleState>(inst);
+        pim::Buffer out;
+        for (std::size_t q = 0; q + 1 < in.size() + 0; q += 2) {
+          std::uint64_t prefix = in[q];
+          unsigned len = static_cast<unsigned>(in[q + 1]);
+          std::size_t mark = out.size();
+          out.push_back(0);  // count placeholder
+          for (const auto& [key, value] : st.leaves) {
+            bool match = len == 0 || (key >> (width - len)) == prefix;
+            if (match) {
+              out.push_back(key);
+              out.push_back(value);
+            }
+            m.work(1);
+          }
+          out[mark] = (out.size() - mark - 1) / 2;
+        }
+        return out;
+      });
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> out(prefixes.size());
+  for (const auto& buf : results) {
+    std::size_t i = 0;
+    for (std::size_t q = 0; q < prefixes.size(); ++q) {
+      std::uint64_t count = buf[i++];
+      for (std::uint64_t k = 0; k < count; ++k) {
+        out[q].emplace_back(buf[i], buf[i + 1]);
+        i += 2;
+      }
+    }
+  }
+  for (auto& v : out) std::sort(v.begin(), v.end());
+  return out;
+}
+
+std::size_t DistributedXFastTrie::space_words() const {
+  std::size_t words = 0;
+  for (std::size_t i = 0; i < sys_->p(); ++i) {
+    auto& mod = const_cast<pim::System*>(sys_)->module(i);
+    if (!mod.has_state<XFastModuleState>(instance_)) continue;
+    const auto& st = mod.state<XFastModuleState>(instance_);
+    words += st.prefixes.size() + st.leaves.size() * 2;
+  }
+  return words;
+}
+
+}  // namespace ptrie::baselines

@@ -1,0 +1,46 @@
+#pragma once
+// Baseline 2 (paper Table 1, row "Distributed x-fast trie"): an x-fast
+// trie for fixed-width integer keys whose per-level prefix tables are
+// spread over PIM modules by hashing (level, prefix). LCP resolves by a
+// binary search over levels — O(log l) IO rounds, O(log l) words per
+// query — but space is O(n*l) words and only l = O(w) bit keys are
+// supported (the (#) restriction in Table 1).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bitstring.hpp"
+#include "pim/system.hpp"
+
+namespace ptrie::baselines {
+
+class DistributedXFastTrie {
+ public:
+  DistributedXFastTrie(pim::System& sys, unsigned width, std::uint64_t seed = 0xFACEFEED);
+
+  void build(const std::vector<std::uint64_t>& keys, const std::vector<std::uint64_t>& values);
+
+  // LCP length (in bits) of each query against the stored key set.
+  std::vector<unsigned> batch_lcp(const std::vector<std::uint64_t>& keys);
+  // Insert: one round carrying all l+1 prefixes per key (O(l) words/key).
+  void batch_insert(const std::vector<std::uint64_t>& keys,
+                    const std::vector<std::uint64_t>& values);
+  // Subtree: all stored keys with the given high-bit prefix. One scan
+  // round; O(L_S) response words (Table 1's Subtree column).
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> batch_subtree(
+      const std::vector<std::pair<std::uint64_t, unsigned>>& prefixes);
+
+  std::size_t key_count() const { return n_keys_; }
+  std::size_t space_words() const;
+
+ private:
+  std::uint32_t module_of(unsigned level, std::uint64_t prefix) const;
+
+  pim::System* sys_;
+  unsigned width_;
+  std::uint64_t instance_;
+  std::uint64_t salt_;
+  std::size_t n_keys_ = 0;
+};
+
+}  // namespace ptrie::baselines

@@ -1,0 +1,44 @@
+#pragma once
+// Baseline 3 (paper Section 3.2, "Range-partitioned Indexes"): the key
+// space is split by separator keys kept on the host CPU; each module
+// owns one contiguous range as a local Patricia trie. Operations route
+// to exactly one module in a single round — minimal communication, but
+// under query skew every message lands on the same module and the batch
+// serializes (the load-imbalance argument PIM-trie exists to beat).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/bitstring.hpp"
+#include "pim/system.hpp"
+#include "trie/patricia.hpp"
+
+namespace ptrie::baselines {
+
+class RangePartitionedIndex {
+ public:
+  explicit RangePartitionedIndex(pim::System& sys, std::uint64_t seed = 0xBEEFCAFE);
+
+  void build(const std::vector<core::BitString>& keys,
+             const std::vector<std::uint64_t>& values);
+
+  std::vector<std::size_t> batch_lcp(const std::vector<core::BitString>& keys);
+  void batch_insert(const std::vector<core::BitString>& keys,
+                    const std::vector<std::uint64_t>& values);
+  std::vector<std::vector<std::pair<core::BitString, std::uint64_t>>> batch_subtree(
+      const std::vector<core::BitString>& prefixes);
+
+  std::size_t key_count() const { return n_keys_; }
+  std::size_t space_words() const;
+
+ private:
+  std::uint32_t route(const core::BitString& key) const;
+
+  pim::System* sys_;
+  std::uint64_t instance_;
+  std::vector<core::BitString> separators_;  // P-1 of them, sorted
+  std::size_t n_keys_ = 0;
+};
+
+}  // namespace ptrie::baselines

@@ -1,0 +1,92 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ptrie::core {
+
+namespace {
+std::size_t env_workers() {
+  if (const char* s = std::getenv("PTRIE_WORKERS")) {
+    long v = std::strtol(s, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1u, hw);
+}
+}  // namespace
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(env_workers());
+  return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t nworkers) : nworkers_(std::max<std::size_t>(1, nworkers)) {
+  for (std::size_t i = 1; i < nworkers_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  std::size_t chunk_size = (job.n + job.chunks - 1) / job.chunks;
+  for (;;) {
+    std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.chunks) break;
+    std::size_t lo = c * chunk_size;
+    std::size_t hi = std::min(job.n, lo + chunk_size);
+    if (lo < hi) (*job.body)(c, lo, hi);
+    job.done.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    run_chunks(job_);
+    cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::run_blocked(std::size_t n, std::size_t chunks,
+                             const std::function<void(std::size_t, std::size_t, std::size_t)>& f) {
+  if (chunks == 0) return;
+  if (nworkers_ == 1 || chunks == 1) {
+    std::size_t chunk_size = (n + chunks - 1) / chunks;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      std::size_t lo = c * chunk_size, hi = std::min(n, lo + chunk_size);
+      if (lo < hi) f(c, lo, hi);
+    }
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    job_.body = &f;
+    job_.n = n;
+    job_.chunks = chunks;
+    job_.next.store(0, std::memory_order_relaxed);
+    job_.done.store(0, std::memory_order_relaxed);
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  run_chunks(job_);
+  // Wait until every chunk has been executed (workers may still be in-flight).
+  std::unique_lock lock(mu_);
+  cv_done_.wait(lock, [&] { return job_.done.load(std::memory_order_acquire) >= job_.chunks; });
+}
+
+}  // namespace ptrie::core

@@ -1,0 +1,125 @@
+#pragma once
+// Minimal fork-join parallel runtime in the style of the binary-forking
+// model the paper assumes for its CPU side: a persistent worker pool with
+// blocked parallel_for / reduce / scan. On a single hardware thread the
+// same code paths run serially with no overhead surprises.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ptrie::core {
+
+class ThreadPool {
+ public:
+  static ThreadPool& instance();
+
+  // Number of workers (>= 1). Includes the calling thread's share of work.
+  std::size_t workers() const { return nworkers_; }
+
+  // Runs f(chunk_index, begin, end) over `chunks` contiguous chunks of
+  // [0, n) and waits for completion. Chunk 0 runs on the caller.
+  void run_blocked(std::size_t n, std::size_t chunks,
+                   const std::function<void(std::size_t, std::size_t, std::size_t)>& f);
+
+  ~ThreadPool();
+
+ private:
+  explicit ThreadPool(std::size_t nworkers);
+
+  struct Job {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* body = nullptr;
+    std::size_t n = 0;
+    std::size_t chunks = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::uint64_t epoch = 0;
+  };
+
+  void worker_loop();
+  static void run_chunks(Job& job);
+
+  std::size_t nworkers_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Job job_;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+// Parallel for over [begin, end). `grain` bounds serialization granularity.
+template <class F>
+void parallel_for(std::size_t begin, std::size_t end, F&& f, std::size_t grain = 512) {
+  if (begin >= end) return;
+  std::size_t n = end - begin;
+  auto& pool = ThreadPool::instance();
+  std::size_t chunks = std::min(pool.workers() * 4, (n + grain - 1) / grain);
+  if (chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) f(i);
+    return;
+  }
+  std::function<void(std::size_t, std::size_t, std::size_t)> body =
+      [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) f(begin + i);
+      };
+  pool.run_blocked(n, chunks, body);
+}
+
+// Parallel reduction with identity `id` and associative combiner `comb`;
+// `f(i)` produces the element value.
+template <class T, class F, class Comb>
+T parallel_reduce(std::size_t begin, std::size_t end, T id, F&& f, Comb&& comb,
+                  std::size_t grain = 512) {
+  if (begin >= end) return id;
+  std::size_t n = end - begin;
+  auto& pool = ThreadPool::instance();
+  std::size_t chunks = std::min(pool.workers() * 4, (n + grain - 1) / grain);
+  if (chunks <= 1) {
+    T acc = id;
+    for (std::size_t i = begin; i < end; ++i) acc = comb(acc, f(i));
+    return acc;
+  }
+  std::vector<T> partial(chunks, id);
+  std::function<void(std::size_t, std::size_t, std::size_t)> body =
+      [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        T acc = id;
+        for (std::size_t i = lo; i < hi; ++i) acc = comb(acc, f(begin + i));
+        partial[c] = acc;
+      };
+  pool.run_blocked(n, chunks, body);
+  T acc = id;
+  for (const T& p : partial) acc = comb(acc, p);
+  return acc;
+}
+
+// Exclusive prefix sum of `values` in place; returns the total.
+// This is the workhorse behind the paper's prefix-sum uses (Lemma 4.4,
+// Euler-tour blocking in Section 4.2).
+template <class T>
+T exclusive_scan(std::vector<T>& values) {
+  T total{};
+  for (auto& v : values) {
+    T next = total + v;
+    v = total;
+    total = next;
+  }
+  return total;
+}
+
+template <class T>
+T inclusive_scan(std::vector<T>& values) {
+  T total{};
+  for (auto& v : values) {
+    total = total + v;
+    v = total;
+  }
+  return total;
+}
+
+}  // namespace ptrie::core

@@ -1,0 +1,63 @@
+#pragma once
+// Deterministic, seedable random number generation. Every randomized
+// component of the library (module placement, hash seeds, workload
+// generators) draws from these so runs are exactly reproducible.
+
+#include <cstdint>
+#include <limits>
+
+namespace ptrie::core {
+
+// SplitMix64: used to expand a user seed into stream seeds.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97f4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Xoshiro256** — fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5DEECE66Dull) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() {
+    std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n). Unbiased enough for simulation purposes.
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : (*this)() % n; }
+
+  // Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  bool coin() { return ((*this)() >> 63) != 0; }
+
+  // Derives an independent child stream (for per-module / per-key streams).
+  Rng fork() {
+    std::uint64_t s = (*this)();
+    return Rng(s);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t s_[4];
+};
+
+}  // namespace ptrie::core

@@ -1,0 +1,59 @@
+#include "core/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ptrie::core {
+
+ZipfSampler::ZipfSampler(std::size_t n, double theta) : n_(n), theta_(theta) {
+  if (n_ == 0) n_ = 1;
+  if (theta_ <= 0) {
+    theta_ = 0;
+    return;  // uniform; sample() handles it directly
+  }
+  if (n_ <= kExactLimit) {
+    exact_ = true;
+    cdf_.resize(n_);
+    double sum = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+    return;
+  }
+  // YCSB-style approximation for large n.
+  zetan_ = 0;
+  for (std::size_t i = 0; i < kExactLimit; ++i)
+    zetan_ += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+  // Tail estimate by integral: sum_{k=m+1}^{n} k^-theta ~ (n^{1-t} - m^{1-t}) / (1-t)
+  if (theta_ != 1.0) {
+    double m = static_cast<double>(kExactLimit), N = static_cast<double>(n_);
+    zetan_ += (std::pow(N, 1 - theta_) - std::pow(m, 1 - theta_)) / (1 - theta_);
+  } else {
+    zetan_ += std::log(static_cast<double>(n_) / kExactLimit);
+  }
+  double zeta2 = 1.0 + std::pow(0.5, theta_) * 0;  // zeta(theta, 2 terms)
+  zeta2 = 1.0 + 1.0 / std::pow(2.0, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1 - std::pow(2.0 / static_cast<double>(n_), 1 - theta_)) / (1 - zeta2 / zetan_);
+  half_pow_ = 1.0 + std::pow(0.5, theta_);
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  if (theta_ <= 0) return rng.below(n_);
+  if (exact_) {
+    double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+  double u = rng.uniform();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < half_pow_) return 1;
+  auto rank = static_cast<std::size_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1, alpha_));
+  return std::min(rank, n_ - 1);
+}
+
+}  // namespace ptrie::core

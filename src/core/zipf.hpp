@@ -1,0 +1,36 @@
+#pragma once
+// Zipf-distributed sampling over ranks 0..n-1 with exponent theta.
+// Used to build skewed query batches for the load-balance experiments
+// (paper Section 3.2 argues range-partitioned indexes serialize under
+// exactly this kind of skew; Theorems 4.3/5.1 claim PIM-trie does not).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace ptrie::core {
+
+class ZipfSampler {
+ public:
+  // theta = 0 is uniform; theta around 0.99 is the YCSB-style default;
+  // larger values concentrate mass on rank 0.
+  ZipfSampler(std::size_t n, double theta);
+
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::size_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cumulative probabilities, size n (built for n <= kExactLimit)
+  // For large n we use the Gray/Jim (YCSB) closed-form approximation.
+  double zetan_ = 0, alpha_ = 0, eta_ = 0, half_pow_ = 0;
+  bool exact_ = false;
+  static constexpr std::size_t kExactLimit = 1 << 16;
+};
+
+}  // namespace ptrie::core

@@ -1,0 +1,164 @@
+#include "fasttrie/second_layer.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace ptrie::fasttrie {
+
+using core::BitString;
+
+SecondLayerIndex::SecondLayerIndex(unsigned w) : w_(w), order_(w) {
+  assert(w_ >= 1 && w_ <= 64);
+}
+
+std::uint64_t SecondLayerIndex::pad(const BitString& s, bool ones) const {
+  assert(s.size() <= w_);
+  // String bits occupy the high |s| bits of a w_-bit integer.
+  std::uint64_t v = s.size() == 0 ? 0 : (s.word(0) >> (64 - w_));
+  // word(0) already has bits MSB-aligned in 64; shifting by (64-w_) puts
+  // bit 0 of the string at integer bit w_-1. Bits below |s| are zero.
+  if (ones && s.size() < w_) {
+    std::uint64_t fill = (std::uint64_t{1} << (w_ - s.size())) - 1;
+    v |= fill;
+  }
+  return v;
+}
+
+void SecondLayerIndex::add_validity(std::uint64_t padded, unsigned len) {
+  auto [it, fresh] = validity_.try_emplace(padded, 0);
+  if (fresh) order_.insert(padded);
+  it->second |= std::uint64_t{1} << len;
+}
+
+void SecondLayerIndex::remove_validity(std::uint64_t padded, unsigned len) {
+  auto it = validity_.find(padded);
+  if (it == validity_.end()) return;
+  it->second &= ~(std::uint64_t{1} << len);
+  if (it->second == 0) {
+    validity_.erase(it);
+    order_.erase(padded);
+  }
+}
+
+void SecondLayerIndex::insert(const BitString& s, std::uint64_t payload) {
+  assert(s.size() < w_);
+  auto [it, fresh] = by_string_.try_emplace(s, payload);
+  if (!fresh) {
+    it->second = payload;
+    return;
+  }
+  unsigned len = static_cast<unsigned>(s.size());
+  add_validity(pad(s, false), len);
+  add_validity(pad(s, true), len);
+}
+
+bool SecondLayerIndex::erase(const BitString& s) {
+  auto it = by_string_.find(s);
+  if (it == by_string_.end()) return false;
+  by_string_.erase(it);
+  unsigned len = static_cast<unsigned>(s.size());
+  remove_validity(pad(s, false), len);
+  remove_validity(pad(s, true), len);
+  return true;
+}
+
+namespace {
+// LCP of two w-bit integers viewed as bit-strings of length w.
+unsigned int_lcp(std::uint64_t a, std::uint64_t b, unsigned w) {
+  std::uint64_t d = (a ^ b) << (64 - w);
+  if (d == 0) return w;
+  return static_cast<unsigned>(std::countl_zero(d));
+}
+}  // namespace
+
+std::optional<SecondLayerIndex::Result> SecondLayerIndex::query(const BitString& q) const {
+  assert(q.size() <= w_);
+  if (by_string_.empty()) return std::nullopt;
+
+  std::uint64_t q0 = pad(q, false), q1 = pad(q, true);
+  std::uint64_t candidates[16];
+  std::size_t ncand = 0;
+  for (std::uint64_t qq : {q0, q1}) {
+    if (auto p = order_.pred(qq)) {
+      candidates[ncand++] = *p;
+      // Padding collapse: several short strings can pad onto qq itself
+      // (e.g. every "1"-prefix of an all-ones query 1-pads to the same
+      // integer). The entry *strictly* below may be the true maximizer,
+      // shadowed by the exact occupant — take it as well.
+      if (*p == qq && qq != 0) {
+        if (auto p2 = order_.pred(qq - 1)) candidates[ncand++] = *p2;
+      }
+    }
+    std::uint64_t top = w_ == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w_) - 1);
+    if (auto s = order_.succ(qq)) {
+      candidates[ncand++] = *s;
+      if (*s == qq && qq != top) {
+        if (auto s2 = order_.succ(qq + 1)) candidates[ncand++] = *s2;
+      }
+    }
+  }
+
+  bool have = false;
+  Result best;
+  std::size_t qlen = q.size();
+  for (std::size_t c = 0; c < ncand; ++c) {
+    std::uint64_t padded = candidates[c];
+    std::uint64_t mask = validity_.at(padded);
+    // LCP between the candidate integer and Q as padded strings; against
+    // both paddings of Q, take the larger (the true agreement with Q's
+    // bits is the same; padding differences only matter past |Q|).
+    unsigned raw = std::max(int_lcp(padded, q0, w_), int_lcp(padded, q1, w_));
+    std::size_t bound = std::min<std::size_t>(raw, qlen);
+    // Shortest valid length >= bound, else longest valid length < bound
+    // (the paper's binary search over the validity vector).
+    std::uint64_t ge = mask & (~std::uint64_t{0} << bound);
+    unsigned len;
+    if (bound < 64 && ge != 0) {
+      len = static_cast<unsigned>(std::countr_zero(ge));
+    } else {
+      std::uint64_t lt = bound >= 64 ? mask : mask & ((std::uint64_t{1} << bound) - 1);
+      if (lt == 0) continue;  // no valid prefix on this candidate
+      len = 63 - static_cast<unsigned>(std::countl_zero(lt));
+    }
+    std::size_t lcp = std::min<std::size_t>(len, bound);
+    if (!have || lcp > best.lcp || (lcp == best.lcp && len < best.str.size())) {
+      // Reconstruct the stored string: the first `len` bits of `padded`.
+      BitString s = BitString::from_uint(padded >> (w_ - len), len);
+      // Guard: only accept genuinely stored strings (validity guarantees
+      // this by construction).
+      auto it = by_string_.find(s);
+      if (it == by_string_.end()) continue;
+      best = Result{std::move(s), it->second, lcp};
+      have = true;
+    }
+  }
+  if (!have) {
+    // All candidates lacked valid prefixes under the bound; fall back to
+    // the globally shortest stored string reachable via length-0/least
+    // mask bits. Scan candidates for any valid length.
+    for (std::size_t c = 0; c < ncand; ++c) {
+      std::uint64_t padded = candidates[c];
+      std::uint64_t mask = validity_.at(padded);
+      unsigned len = static_cast<unsigned>(std::countr_zero(mask));
+      BitString s = BitString::from_uint(len == 0 ? 0 : (padded >> (w_ - len)), len);
+      auto it = by_string_.find(s);
+      if (it == by_string_.end()) continue;
+      std::size_t lcp = std::min(std::min<std::size_t>(s.size(), qlen),
+                                 static_cast<std::size_t>(int_lcp(padded, q0, w_)));
+      if (!have || lcp > best.lcp) {
+        best = Result{std::move(s), it->second, lcp};
+        have = true;
+      }
+    }
+  }
+  if (!have) return std::nullopt;
+  return best;
+}
+
+std::size_t SecondLayerIndex::space_words() const {
+  std::size_t words = order_.space_words() + validity_.size() * 2;
+  for (const auto& [s, payload] : by_string_) words += s.space_words() + 1;
+  return words;
+}
+
+}  // namespace ptrie::fasttrie

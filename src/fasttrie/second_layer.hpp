@@ -1,0 +1,62 @@
+#pragma once
+// The two-layer index's *second layer* (paper Section 4.4.2, "Efficient
+// HashMatching", and the worked example of Figure 5): an ordered
+// dictionary over bit-strings shorter than w bits.
+//
+// Contract (verbatim from the paper): it maintains a set K of strings all
+// shorter than w bits; for a query string Q it returns the K_i whose LCP
+// with Q is longest among all of K, and such that no K_j with the same
+// LCP is a proper prefix of K_i (so the caller finds the critical block
+// root itself or one of its *direct children*, never an arbitrary
+// descendant).
+//
+// Construction (also per the paper): every stored S is padded with 0s and
+// with 1s to w bits; both padded integers go into a y-fast trie; each
+// padded integer keeps a w-bit validity vector of the stored lengths that
+// pad to it. A query pads Q both ways, takes predecessor and successor of
+// each padded form, and binary-searches the validity vectors.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/bitstring.hpp"
+#include "fasttrie/yfast.hpp"
+
+namespace ptrie::fasttrie {
+
+class SecondLayerIndex {
+ public:
+  explicit SecondLayerIndex(unsigned w);
+
+  unsigned w() const { return w_; }
+  std::size_t size() const { return by_string_.size(); }
+
+  // |s| < w required. `payload` is returned on query hits (PIM-trie stores
+  // the meta-tree node address here).
+  void insert(const core::BitString& s, std::uint64_t payload);
+  bool erase(const core::BitString& s);
+  bool contains(const core::BitString& s) const { return by_string_.contains(s); }
+
+  struct Result {
+    core::BitString str;
+    std::uint64_t payload = 0;
+    std::size_t lcp = 0;  // LCP(str, Q) in bits
+  };
+  // |q| <= w. Empty result only when the index is empty.
+  std::optional<Result> query(const core::BitString& q) const;
+
+  std::size_t space_words() const;
+
+ private:
+  std::uint64_t pad(const core::BitString& s, bool ones) const;
+  void add_validity(std::uint64_t padded, unsigned len);
+  void remove_validity(std::uint64_t padded, unsigned len);
+
+  unsigned w_;
+  YFastTrie order_;                                        // padded integers
+  std::unordered_map<std::uint64_t, std::uint64_t> validity_;  // padded -> length mask
+  std::unordered_map<core::BitString, std::uint64_t, core::BitStringHash> by_string_;
+};
+
+}  // namespace ptrie::fasttrie

@@ -1,0 +1,178 @@
+#include "fasttrie/xfast.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace ptrie::fasttrie {
+
+XFastTrie::XFastTrie(unsigned width) : width_(width) {
+  assert(width_ >= 1 && width_ <= 64);
+  levels_.resize(width_ + 1);
+}
+
+bool XFastTrie::contains(std::uint64_t key) const {
+  auto it = levels_[width_].find(prefix_of(key, width_));
+  return it != levels_[width_].end();
+}
+
+unsigned XFastTrie::lcp_level(std::uint64_t key) const {
+  // Binary search for the deepest level whose table holds key's prefix.
+  unsigned lo = 0, hi = width_;
+  // Level 0 is present iff the trie is non-empty.
+  if (empty()) return 0;
+  while (lo < hi) {
+    unsigned mid = (lo + hi + 1) / 2;
+    if (levels_[mid].contains(prefix_of(key, mid)))
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  return lo;
+}
+
+std::optional<std::uint64_t> XFastTrie::pred(std::uint64_t key) const {
+  if (empty()) return std::nullopt;
+  if (contains(key)) return key;
+  unsigned l = lcp_level(key);
+  if (l == width_) return key;  // exact (handled above, defensive)
+  // The first differing bit is at position l (0-based from MSB of width_).
+  bool next_bit = (key >> (width_ - 1 - l)) & 1;
+  if (next_bit) {
+    // key goes right where subtree may only have left content <= key:
+    // everything under this prefix with a 0 at position l is smaller.
+    std::uint64_t left_prefix = (prefix_of(key, l) << 1);  // 0-extended
+    auto it = levels_[l + 1].find(left_prefix);
+    if (it != levels_[l + 1].end()) return it->second.max_leaf;
+    // No left child: all stored keys under prefix are in the right subtree
+    // but key diverged left of... cannot happen: l is the deepest match, so
+    // one child must exist and it is not key's side.
+    // Fall through to linked-list step via subtree min.
+    std::uint64_t right_prefix = left_prefix | 1;
+    const PrefixInfo& r = levels_[l + 1].at(right_prefix);
+    // right subtree's keys all share key's prefix then have bit 1 = key's
+    // bit, contradiction with l maximal; defensive:
+    auto leaf_it = leaves_.find(r.min_leaf);
+    if (leaf_it != leaves_.end() && leaf_it->second.has_prev) return leaf_it->second.prev;
+    return std::nullopt;
+  }
+  // key goes left; the subtree's right part is > key, left part doesn't
+  // exist below l. Successor = min leaf of right child; pred = its prev.
+  std::uint64_t right_prefix = (prefix_of(key, l) << 1) | 1;
+  auto it = levels_[l + 1].find(right_prefix);
+  std::uint64_t succ_leaf;
+  if (it != levels_[l + 1].end()) {
+    succ_leaf = it->second.min_leaf;
+  } else {
+    // Defensive (mirror of above).
+    const PrefixInfo& lft = levels_[l + 1].at(prefix_of(key, l) << 1);
+    succ_leaf = lft.min_leaf;
+  }
+  auto leaf_it = leaves_.find(succ_leaf);
+  if (leaf_it != leaves_.end() && leaf_it->second.has_prev) return leaf_it->second.prev;
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> XFastTrie::succ(std::uint64_t key) const {
+  if (empty()) return std::nullopt;
+  if (contains(key)) return key;
+  unsigned l = lcp_level(key);
+  bool next_bit = (key >> (width_ - 1 - l)) & 1;
+  if (!next_bit) {
+    std::uint64_t right_prefix = (prefix_of(key, l) << 1) | 1;
+    auto it = levels_[l + 1].find(right_prefix);
+    if (it != levels_[l + 1].end()) return it->second.min_leaf;
+    std::uint64_t left_prefix = prefix_of(key, l) << 1;
+    const PrefixInfo& lft = levels_[l + 1].at(left_prefix);
+    auto leaf_it = leaves_.find(lft.max_leaf);
+    if (leaf_it != leaves_.end() && leaf_it->second.has_next) return leaf_it->second.next;
+    return std::nullopt;
+  }
+  std::uint64_t left_prefix = prefix_of(key, l) << 1;
+  auto it = levels_[l + 1].find(left_prefix);
+  std::uint64_t pred_leaf;
+  if (it != levels_[l + 1].end()) {
+    pred_leaf = it->second.max_leaf;
+  } else {
+    const PrefixInfo& r = levels_[l + 1].at((prefix_of(key, l) << 1) | 1);
+    pred_leaf = r.max_leaf;
+  }
+  auto leaf_it = leaves_.find(pred_leaf);
+  if (leaf_it != leaves_.end() && leaf_it->second.has_next) return leaf_it->second.next;
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> XFastTrie::min() const {
+  if (empty()) return std::nullopt;
+  return levels_[0].at(0).min_leaf;
+}
+
+std::optional<std::uint64_t> XFastTrie::max() const {
+  if (empty()) return std::nullopt;
+  return levels_[0].at(0).max_leaf;
+}
+
+bool XFastTrie::insert(std::uint64_t key) {
+  if (contains(key)) return false;
+  // Wire the leaf list first (find neighbors before tables change).
+  std::optional<std::uint64_t> p = pred(key), s = succ(key);
+  LeafLinks links;
+  if (p) {
+    links.has_prev = true;
+    links.prev = *p;
+    leaves_[*p].has_next = true;
+    leaves_[*p].next = key;
+  }
+  if (s) {
+    links.has_next = true;
+    links.next = *s;
+    leaves_[*s].has_prev = true;
+    leaves_[*s].prev = key;
+  }
+  leaves_[key] = links;
+  for (unsigned l = 0; l <= width_; ++l) {
+    auto [it, fresh] = levels_[l].try_emplace(prefix_of(key, l), PrefixInfo{key, key, 0});
+    PrefixInfo& info = it->second;
+    if (!fresh) {
+      info.min_leaf = std::min(info.min_leaf, key);
+      info.max_leaf = std::max(info.max_leaf, key);
+    }
+    ++info.count;
+  }
+  ++size_;
+  return true;
+}
+
+bool XFastTrie::erase(std::uint64_t key) {
+  if (!contains(key)) return false;
+  auto links = leaves_.at(key);
+  if (links.has_prev) {
+    leaves_[links.prev].has_next = links.has_next;
+    leaves_[links.prev].next = links.next;
+  }
+  if (links.has_next) {
+    leaves_[links.next].has_prev = links.has_prev;
+    leaves_[links.next].prev = links.prev;
+  }
+  leaves_.erase(key);
+  for (unsigned l = 0; l <= width_; ++l) {
+    auto it = levels_[l].find(prefix_of(key, l));
+    PrefixInfo& info = it->second;
+    if (--info.count == 0) {
+      levels_[l].erase(it);
+      continue;
+    }
+    if (info.min_leaf == key) info.min_leaf = links.has_next ? links.next : info.max_leaf;
+    if (info.max_leaf == key) info.max_leaf = links.has_prev ? links.prev : info.min_leaf;
+  }
+  --size_;
+  return true;
+}
+
+std::size_t XFastTrie::space_words() const {
+  std::size_t words = 0;
+  for (const auto& level : levels_) words += level.size() * 3;
+  words += leaves_.size() * 3;
+  return words;
+}
+
+}  // namespace ptrie::fasttrie

@@ -1,0 +1,65 @@
+#pragma once
+// x-fast trie [Willard 83] over fixed-width integer keys: one hash table
+// per level storing every present prefix, leaf doubly-linked list, and
+// per-prefix subtree min/max so predecessor/successor resolve after the
+// binary search over levels. O(log w) queries, O(w) updates, O(n w)
+// space — exactly the profile the paper's Table 1 row two exhibits, and
+// the top structure of our y-fast trie.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace ptrie::fasttrie {
+
+class XFastTrie {
+ public:
+  // width in [1, 64]; keys must be < 2^width.
+  explicit XFastTrie(unsigned width = 64);
+
+  unsigned width() const { return width_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool insert(std::uint64_t key);
+  bool erase(std::uint64_t key);
+  bool contains(std::uint64_t key) const;
+
+  // Longest prefix of `key` present as a prefix of some stored key, found
+  // by binary search over levels: returns its length in bits (0..width).
+  unsigned lcp_level(std::uint64_t key) const;
+
+  // Largest stored key <= key / smallest stored key >= key.
+  std::optional<std::uint64_t> pred(std::uint64_t key) const;
+  std::optional<std::uint64_t> succ(std::uint64_t key) const;
+
+  std::optional<std::uint64_t> min() const;
+  std::optional<std::uint64_t> max() const;
+
+  // Space in words, for Table 1's space column (O(n w)).
+  std::size_t space_words() const;
+
+ private:
+  struct PrefixInfo {
+    std::uint64_t min_leaf;
+    std::uint64_t max_leaf;
+    std::uint32_t count = 0;  // number of stored keys under this prefix
+  };
+  struct LeafLinks {
+    bool has_prev = false, has_next = false;
+    std::uint64_t prev = 0, next = 0;
+  };
+
+  std::uint64_t prefix_of(std::uint64_t key, unsigned level) const {
+    return level == 0 ? 0 : (key >> (width_ - level));
+  }
+
+  unsigned width_;
+  std::size_t size_ = 0;
+  // levels_[l] maps l-bit prefixes to subtree info (level 0 = root).
+  std::vector<std::unordered_map<std::uint64_t, PrefixInfo>> levels_;
+  std::unordered_map<std::uint64_t, LeafLinks> leaves_;
+};
+
+}  // namespace ptrie::fasttrie

@@ -1,0 +1,119 @@
+#include "fasttrie/yfast.hpp"
+
+#include <cassert>
+
+namespace ptrie::fasttrie {
+
+YFastTrie::YFastTrie(unsigned width) : width_(width), top_(width) {}
+
+std::map<std::uint64_t, YFastTrie::Bucket>::const_iterator YFastTrie::bucket_for(
+    std::uint64_t key) const {
+  // The bucket whose representative (minimum) is the largest <= key; if key
+  // precedes every representative, the first bucket.
+  if (buckets_.empty()) return buckets_.end();
+  auto rep = top_.pred(key);
+  if (!rep) return buckets_.begin();
+  return buckets_.find(*rep);
+}
+
+bool YFastTrie::contains(std::uint64_t key) const {
+  auto it = bucket_for(key);
+  return it != buckets_.end() && it->second.contains(key);
+}
+
+std::optional<std::uint64_t> YFastTrie::pred(std::uint64_t key) const {
+  auto it = bucket_for(key);
+  if (it == buckets_.end()) return std::nullopt;
+  auto bit = it->second.upper_bound(key);
+  if (bit != it->second.begin()) return *std::prev(bit);
+  // key precedes this bucket's minimum: only possible for the first bucket.
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> YFastTrie::succ(std::uint64_t key) const {
+  auto it = bucket_for(key);
+  if (it == buckets_.end()) return std::nullopt;
+  auto bit = it->second.lower_bound(key);
+  if (bit != it->second.end()) return *bit;
+  auto next = std::next(it);
+  if (next == buckets_.end()) return std::nullopt;
+  return *next->second.begin();
+}
+
+std::map<std::uint64_t, YFastTrie::Bucket>::iterator YFastTrie::rekey(
+    std::map<std::uint64_t, Bucket>::iterator it) {
+  std::uint64_t old_rep = it->first;
+  std::uint64_t new_rep = *it->second.begin();
+  if (old_rep == new_rep) return it;
+  Bucket b = std::move(it->second);
+  buckets_.erase(it);
+  top_.erase(old_rep);
+  top_.insert(new_rep);
+  return buckets_.emplace(new_rep, std::move(b)).first;
+}
+
+void YFastTrie::split_if_needed(std::map<std::uint64_t, Bucket>::iterator it) {
+  if (it->second.size() <= 2 * width_) return;
+  // Split at the median into two buckets.
+  Bucket& b = it->second;
+  auto mid = b.begin();
+  std::advance(mid, b.size() / 2);
+  Bucket upper(mid, b.end());
+  b.erase(mid, b.end());
+  std::uint64_t rep = *upper.begin();
+  top_.insert(rep);
+  buckets_.emplace(rep, std::move(upper));
+}
+
+void YFastTrie::merge_if_needed(std::map<std::uint64_t, Bucket>::iterator it) {
+  if (it->second.size() * 4 >= width_ || buckets_.size() <= 1) return;
+  // Merge with a neighbor, then re-split if oversized.
+  auto victim = it;
+  auto into = it == buckets_.begin() ? std::next(it) : std::prev(it);
+  std::uint64_t victim_rep = victim->first;
+  into->second.insert(victim->second.begin(), victim->second.end());
+  buckets_.erase(victim);
+  top_.erase(victim_rep);
+  into = rekey(into);
+  split_if_needed(into);
+}
+
+bool YFastTrie::insert(std::uint64_t key) {
+  if (buckets_.empty()) {
+    top_.insert(key);
+    buckets_[key].insert(key);
+    ++size_;
+    return true;
+  }
+  auto cit = bucket_for(key);
+  auto it = buckets_.find(cit->first);
+  if (!it->second.insert(key).second) return false;
+  ++size_;
+  it = rekey(it);
+  split_if_needed(it);
+  return true;
+}
+
+bool YFastTrie::erase(std::uint64_t key) {
+  auto cit = bucket_for(key);
+  if (cit == buckets_.end()) return false;
+  auto it = buckets_.find(cit->first);
+  if (it->second.erase(key) == 0) return false;
+  --size_;
+  if (it->second.empty()) {
+    top_.erase(it->first);
+    buckets_.erase(it);
+    return true;
+  }
+  it = rekey(it);
+  merge_if_needed(it);
+  return true;
+}
+
+std::size_t YFastTrie::space_words() const {
+  std::size_t words = top_.space_words();
+  for (const auto& [rep, b] : buckets_) words += 1 + b.size();
+  return words;
+}
+
+}  // namespace ptrie::fasttrie

@@ -1,0 +1,51 @@
+#pragma once
+// y-fast trie [Willard 83]: an x-fast trie over O(n/w) bucket
+// representatives plus balanced ordered buckets of Theta(w) keys.
+// O(n) space, O(log w) queries, amortized O(log w) updates — the
+// second-layer ordered component of the paper's HashMatching index
+// (Section 4.4.2) and the "Distributed x-fast trie" baseline's building
+// block.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "fasttrie/xfast.hpp"
+
+namespace ptrie::fasttrie {
+
+class YFastTrie {
+ public:
+  explicit YFastTrie(unsigned width = 64);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  unsigned width() const { return width_; }
+
+  bool insert(std::uint64_t key);
+  bool erase(std::uint64_t key);
+  bool contains(std::uint64_t key) const;
+  std::optional<std::uint64_t> pred(std::uint64_t key) const;  // largest <= key
+  std::optional<std::uint64_t> succ(std::uint64_t key) const;  // smallest >= key
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::size_t space_words() const;
+
+ private:
+  using Bucket = std::set<std::uint64_t>;
+  // Representative = the bucket's minimum, stored in the x-fast top.
+  std::map<std::uint64_t, Bucket>::const_iterator bucket_for(std::uint64_t key) const;
+  void split_if_needed(std::map<std::uint64_t, Bucket>::iterator it);
+  void merge_if_needed(std::map<std::uint64_t, Bucket>::iterator it);
+  // Re-keys the bucket under its current minimum; returns the (possibly
+  // re-created) iterator.
+  std::map<std::uint64_t, Bucket>::iterator rekey(std::map<std::uint64_t, Bucket>::iterator it);
+
+  unsigned width_;
+  std::size_t size_ = 0;
+  XFastTrie top_;
+  std::map<std::uint64_t, Bucket> buckets_;  // rep -> bucket
+};
+
+}  // namespace ptrie::fasttrie

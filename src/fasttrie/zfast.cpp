@@ -1,0 +1,124 @@
+#include "fasttrie/zfast.hpp"
+
+#include <cassert>
+
+namespace ptrie::fasttrie {
+
+using trie::kNil;
+using trie::NodeId;
+using trie::Position;
+
+std::uint64_t two_fattest(std::uint64_t a, std::uint64_t b) {
+  assert(a < b);
+  // Clear b's bits below the highest bit where a and b differ.
+  std::uint64_t d = a ^ b;
+  int msb = 63 - __builtin_clzll(d);
+  return b & (~std::uint64_t{0} << msb);
+}
+
+ZFastTrie::ZFastTrie(const trie::Patricia& t, const hash::PolyHasher& hasher)
+    : trie_(&t), hasher_(&hasher) {
+  // Handle of node v: hash of v's string prefix of length
+  // two_fattest(depth(parent(v)), depth(v)]. Computed top-down so each
+  // node's full-string hash extends its parent's.
+  std::vector<hash::HashVal> node_hash(t.slot_count(), 0);
+  for (NodeId id : t.preorder_ids()) {
+    const auto& n = t.node(id);
+    if (n.parent == kNil) {
+      node_hash[id] = hasher.empty();
+      max_depth_ = std::max(max_depth_, n.depth);
+      continue;
+    }
+    node_hash[id] = hasher.extend(node_hash[n.parent], n.edge, 0, n.edge.size());
+    max_depth_ = std::max(max_depth_, n.depth);
+    std::uint64_t pd = t.node(n.parent).depth;
+    std::uint64_t f = two_fattest(pd, n.depth);
+    // Hash of the prefix of length f = parent's hash extended over the
+    // first (f - pd) bits of the edge.
+    hash::HashVal hf = hasher.extend(node_hash[n.parent], n.edge, 0, f - pd);
+    handles_.emplace(hf, id);
+  }
+}
+
+std::pair<std::size_t, Position> ZFastTrie::locate(const core::BitString& key,
+                                                   std::size_t* probes) const {
+  const trie::Patricia& t = *trie_;
+  hash::PrefixHashes ph(*hasher_, key);
+  std::size_t nprobes = 0;
+
+  // Fat binary search over prefix lengths for the deepest node whose
+  // handle is a prefix of `key`.
+  std::uint64_t lo = 0, hi = std::min<std::uint64_t>(key.size(), max_depth_);
+  NodeId candidate = t.root();
+  while (lo < hi) {
+    std::uint64_t f = two_fattest(lo, hi);
+    auto it = handles_.find(ph.prefix(f));
+    ++nprobes;
+    if (it != handles_.end()) {
+      candidate = it->second;
+      lo = std::min<std::uint64_t>(t.node(candidate).depth, hi);
+      if (t.node(candidate).depth >= hi) break;
+    } else {
+      hi = f - 1;
+    }
+  }
+  if (probes) *probes = nprobes;
+
+  // Verify: hash matches can be false positives, and even a true handle
+  // match only certifies the prefix up to the handle length. Walk up from
+  // the candidate to the deepest ancestor consistent with `key`, then walk
+  // down plainly. With sound hashes the down-walk is O(1) edges.
+  NodeId anchor = candidate;
+  while (anchor != t.root()) {
+    const auto& n = t.node(anchor);
+    std::uint64_t pd = t.node(n.parent).depth;
+    if (pd < key.size()) {
+      // Check the edge bits against key[pd, min(depth, |key|)).
+      std::uint64_t span = std::min<std::uint64_t>(n.depth, key.size()) - pd;
+      if (key.lcp_at(pd, n.edge) >= span && span == n.depth - pd) {
+        break;  // fully consistent through this node
+      }
+      if (key.lcp_at(pd, n.edge) >= span) {
+        // Consistent into the middle of this edge: the match ends here.
+        break;
+      }
+    }
+    anchor = n.parent;
+  }
+  // Plain walk from `anchor` (its represented string is a verified prefix
+  // of key, except possibly a partial last edge handled below).
+  std::uint64_t pos;
+  if (anchor == t.root()) {
+    pos = 0;
+  } else {
+    const auto& n = t.node(anchor);
+    std::uint64_t pd = t.node(n.parent).depth;
+    std::uint64_t span = std::min<std::uint64_t>(n.depth, key.size()) - pd;
+    std::uint64_t matched = key.lcp_at(pd, n.edge);
+    if (matched < span || n.depth > key.size()) {
+      // Ends inside anchor's edge.
+      std::uint64_t end = pd + std::min(matched, span);
+      if (end == t.node(n.parent).depth) return {end, Position{n.parent, 0}};
+      return {end, Position{anchor, n.depth - end}};
+    }
+    pos = n.depth;
+  }
+  NodeId cur = anchor;
+  while (pos < key.size()) {
+    int b = key.bit(pos) ? 1 : 0;
+    NodeId child = t.node(cur).child[b];
+    if (child == kNil) return {pos, Position{cur, 0}};
+    const auto& e = t.node(child).edge;
+    std::size_t m = key.lcp_at(pos, e);
+    pos += m;
+    if (m == e.size()) {
+      cur = child;
+      continue;
+    }
+    if (m == 0) return {pos, Position{cur, 0}};
+    return {pos, Position{child, e.size() - m}};
+  }
+  return {pos, Position{cur, 0}};
+}
+
+}  // namespace ptrie::fasttrie

@@ -1,0 +1,49 @@
+#pragma once
+// z-fast trie search structure [Belazzougui-Boldi-Vigna 10] over a
+// Patricia trie: a dictionary of node *handles* (the hash of each node's
+// string prefix of 2-fattest length within its edge interval) enabling fat
+// binary search — locating the deepest trie position along a query string
+// in O(log h) hash probes for height h, instead of walking the path.
+//
+// PIM-trie uses z-fast tries of height w as per-pivot shortcuts in both
+// the CPU-side pull HashMatching and the local block matching on PIM
+// modules (Section 4.4.2). Results are verified against the actual edge
+// bits, so a hash collision degrades to a plain walk, never to a wrong
+// answer (the paper's verification stance).
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "hash/prefix_hashes.hpp"
+#include "trie/patricia.hpp"
+
+namespace ptrie::fasttrie {
+
+// The 2-fattest number in (a, b]: the one divisible by the largest power
+// of two. Defined for a < b.
+std::uint64_t two_fattest(std::uint64_t a, std::uint64_t b);
+
+class ZFastTrie {
+ public:
+  // Indexes all non-root nodes of `t`. The trie must outlive this index
+  // and not mutate while it is in use.
+  ZFastTrie(const trie::Patricia& t, const hash::PolyHasher& hasher);
+
+  // Deepest position along `key` (same contract as Patricia::lcp): the
+  // matched length in bits and the trie position where the match ends.
+  // `probes` (optional) counts hash probes, for the work-bound tests.
+  std::pair<std::size_t, trie::Position> locate(const core::BitString& key,
+                                                std::size_t* probes = nullptr) const;
+
+  std::size_t handle_count() const { return handles_.size(); }
+  std::size_t space_words() const { return handles_.size() * 2 + 2; }
+
+ private:
+  const trie::Patricia* trie_;
+  const hash::PolyHasher* hasher_;
+  // handle hash -> node id (collisions resolved by verification).
+  std::unordered_map<std::uint64_t, trie::NodeId> handles_;
+  std::uint64_t max_depth_ = 0;
+};
+
+}  // namespace ptrie::fasttrie

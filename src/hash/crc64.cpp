@@ -1,0 +1,81 @@
+#include "hash/crc64.hpp"
+
+namespace ptrie::hash {
+
+Crc64::Crc64() {
+  // shift1_: the linear map a state undergoes when one zero bit is fed.
+  // State transition for MSB-first CRC: s' = (s << 1) ^ (msb(s) ? poly : 0).
+  for (int c = 0; c < 64; ++c) {
+    std::uint64_t basis = std::uint64_t{1} << c;
+    std::uint64_t out = basis << 1;
+    if (basis & (std::uint64_t{1} << 63)) out ^= kPoly;
+    shift1_[c] = out;
+  }
+  shiftp_[0] = shift1_;
+  for (int k = 1; k < 64; ++k) shiftp_[k] = times_mat(shiftp_[k - 1], shiftp_[k - 1]);
+}
+
+std::uint64_t Crc64::times_vec(const Matrix& m, std::uint64_t v) {
+  std::uint64_t out = 0;
+  while (v != 0) {
+    int c = __builtin_ctzll(v);
+    out ^= m[c];
+    v &= v - 1;
+  }
+  return out;
+}
+
+Crc64::Matrix Crc64::times_mat(const Matrix& a, const Matrix& b) {
+  Matrix out{};
+  for (int c = 0; c < 64; ++c) out[c] = times_vec(a, b[c]);
+  return out;
+}
+
+std::uint64_t Crc64::extend_bit(std::uint64_t state, bool b) const {
+  bool msb = (state >> 63) & 1;
+  state <<= 1;
+  if (msb != b) state ^= kPoly;
+  return state;
+}
+
+std::uint64_t Crc64::extend(std::uint64_t state, const core::BitString& s, std::size_t from,
+                            std::size_t len) const {
+  for (std::size_t i = 0; i < len; ++i) state = extend_bit(state, s.bit(from + i));
+  return state;
+}
+
+std::uint64_t Crc64::hash(const core::BitString& s) const {
+  return finish(extend(init(), s, 0, s.size()));
+}
+
+std::uint64_t Crc64::combine(std::uint64_t crc_a, std::uint64_t crc_b,
+                             std::size_t len_b) const {
+  // Undo the output xor, advance A's register through len_b zero bits, and
+  // fold in B. The advance is linear, so apply shift1_^len_b by its binary
+  // expansion. crc_b already encodes B fed into an all-ones register, so
+  // account for the initial register: crc(AB) = advance(~crc_a ^ init) ...
+  // Standard derivation (as in zlib): with out-xor and init both ~0,
+  // crc(AB) = advance_{|B|}(crc_a) ^ crc_b ^ advance_{|B|}(~0) ^ ~0 cancels
+  // to advance(crc_a ^ ~0 .. ) — we simply track raw registers instead:
+  std::uint64_t a_reg = ~crc_a;  // raw register after A
+  std::size_t k = 0;
+  std::uint64_t reg = a_reg;
+  std::uint64_t init_reg = ~0ull;
+  std::uint64_t n = len_b;
+  while (n != 0) {
+    if (n & 1) {
+      reg = times_vec(shiftp_[k], reg);
+      init_reg = times_vec(shiftp_[k], init_reg);
+    }
+    ++k;
+    n >>= 1;
+  }
+  // raw register after AB = advance(a_reg) ^ advance(init) ^ raw_b, because
+  // feeding B into register X equals feeding B into init-register plus the
+  // homogeneous evolution of (X ^ init).
+  std::uint64_t b_reg = ~crc_b;
+  std::uint64_t ab_reg = reg ^ init_reg ^ b_reg;
+  return ~ab_reg;
+}
+
+}  // namespace ptrie::hash

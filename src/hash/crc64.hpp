@@ -1,0 +1,48 @@
+#pragma once
+// CRC-64 (ECMA-182 polynomial) over bit-strings, used as the alternative
+// incremental hash in the ablation benches. CRC is incremental in the
+// sense of paper Definition 2 (extend a running state bit by bit) and, via
+// GF(2) matrix exponentiation, also supports the Definition 3 combine:
+// crc(AB) from crc(A), crc(B) and |B| (same construction as zlib's
+// crc32_combine, lifted to 64 bits and bit granularity).
+
+#include <array>
+#include <cstdint>
+
+#include "core/bitstring.hpp"
+
+namespace ptrie::hash {
+
+class Crc64 {
+ public:
+  static constexpr std::uint64_t kPoly = 0x42F0E1EBA9EA3693ull;  // ECMA-182
+
+  Crc64();
+
+  std::uint64_t init() const { return ~0ull; }
+  std::uint64_t finish(std::uint64_t state) const { return ~state; }
+
+  // Extends a running state by one bit (MSB-first bit stream).
+  std::uint64_t extend_bit(std::uint64_t state, bool b) const;
+
+  // Extends by bits [from, from+len) of s.
+  std::uint64_t extend(std::uint64_t state, const core::BitString& s, std::size_t from,
+                       std::size_t len) const;
+
+  // Full hash of a bit-string.
+  std::uint64_t hash(const core::BitString& s) const;
+
+  // Combines finished CRCs: crc(AB) from crc(A), crc(B), |B| in bits.
+  std::uint64_t combine(std::uint64_t crc_a, std::uint64_t crc_b, std::size_t len_b) const;
+
+ private:
+  using Matrix = std::array<std::uint64_t, 64>;  // column-major GF(2) 64x64
+
+  static std::uint64_t times_vec(const Matrix& m, std::uint64_t v);
+  static Matrix times_mat(const Matrix& a, const Matrix& b);
+
+  Matrix shift1_;                 // advance CRC register by one zero bit
+  std::array<Matrix, 64> shiftp_;  // shift1_^(2^k) for k = 0..63
+};
+
+}  // namespace ptrie::hash

@@ -1,0 +1,117 @@
+#include "hash/hash_table.hpp"
+
+#include <bit>
+
+namespace ptrie::hash {
+
+namespace {
+std::size_t round_capacity(std::size_t expected) {
+  std::size_t want = std::max<std::size_t>(8, expected * 2);
+  return std::bit_ceil(want);
+}
+}  // namespace
+
+HashTable::HashTable(std::size_t expected, std::uint64_t seed) : seed_(seed) {
+  std::size_t cap = round_capacity(expected);
+  slots_.assign(cap, Slot{});
+  shift_ = 64 - static_cast<unsigned>(std::countr_zero(cap));
+}
+
+void HashTable::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  std::size_t cap = old.size() * 2;
+  slots_.assign(cap, Slot{});
+  shift_ = 64 - static_cast<unsigned>(std::countr_zero(cap));
+  size_ = 0;
+  for (const Slot& s : old)
+    if (s.used) insert(s.key, s.value);
+}
+
+bool HashTable::insert(std::uint64_t key, std::uint64_t value) {
+  if ((size_ + 1) * 2 > slots_.size()) grow();
+  std::size_t mask = slots_.size() - 1;
+  std::size_t i = probe(key) & mask;
+  for (;; i = (i + 1) & mask) {
+    if (!slots_[i].used) {
+      slots_[i] = {key, value, true};
+      ++size_;
+      return true;
+    }
+    if (slots_[i].key == key) return false;
+  }
+}
+
+void HashTable::upsert(std::uint64_t key, std::uint64_t value) {
+  if ((size_ + 1) * 2 > slots_.size()) grow();
+  std::size_t mask = slots_.size() - 1;
+  std::size_t i = probe(key) & mask;
+  for (;; i = (i + 1) & mask) {
+    if (!slots_[i].used) {
+      slots_[i] = {key, value, true};
+      ++size_;
+      return;
+    }
+    if (slots_[i].key == key) {
+      slots_[i].value = value;
+      return;
+    }
+  }
+}
+
+std::optional<std::uint64_t> HashTable::find(std::uint64_t key) const {
+  std::size_t mask = slots_.size() - 1;
+  std::size_t i = probe(key) & mask;
+  for (;; i = (i + 1) & mask) {
+    if (!slots_[i].used) return std::nullopt;
+    if (slots_[i].key == key) return slots_[i].value;
+  }
+}
+
+bool HashTable::erase(std::uint64_t key) {
+  std::size_t mask = slots_.size() - 1;
+  std::size_t i = probe(key) & mask;
+  for (;; i = (i + 1) & mask) {
+    if (!slots_[i].used) return false;
+    if (slots_[i].key == key) break;
+  }
+  // Backward-shift deletion keeps probe chains contiguous without
+  // tombstones.
+  std::size_t hole = i;
+  for (std::size_t j = (hole + 1) & mask;; j = (j + 1) & mask) {
+    if (!slots_[j].used) break;
+    std::size_t home = probe(slots_[j].key) & mask;
+    // Move j into the hole if its home position does not lie strictly
+    // between hole (exclusive) and j (inclusive) in probe order.
+    bool between = hole <= j ? (home > hole && home <= j) : (home > hole || home <= j);
+    if (!between) {
+      slots_[hole] = slots_[j];
+      hole = j;
+    }
+  }
+  slots_[hole] = Slot{};
+  --size_;
+  return true;
+}
+
+void HashTable::batch_insert(const std::vector<std::pair<std::uint64_t, std::uint64_t>>& kvs) {
+  for (const auto& [k, v] : kvs) insert(k, v);
+}
+
+std::vector<std::optional<std::uint64_t>> HashTable::batch_find(
+    const std::vector<std::uint64_t>& keys) const {
+  std::vector<std::optional<std::uint64_t>> out(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) out[i] = find(keys[i]);
+  return out;
+}
+
+void HashTable::for_each(const std::function<void(std::uint64_t, std::uint64_t)>& f) const {
+  for (const Slot& s : slots_)
+    if (s.used) f(s.key, s.value);
+}
+
+void HashTable::clear() {
+  for (auto& s : slots_) s = Slot{};
+  size_ = 0;
+}
+
+}  // namespace ptrie::hash

@@ -1,0 +1,63 @@
+#pragma once
+// Open-addressing hash table from 64-bit fingerprints to 64-bit payloads,
+// with batch lookup/insert/erase entry points. This stands in for the
+// linear-space, O(1)-expected-per-op parallel hash tables [24] the paper
+// uses both on the CPU side and inside every meta-block on the PIM side.
+//
+// Linear probing with tombstone-free backward-shift deletion; capacity is
+// always a power of two and kept at most 50% full.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace ptrie::hash {
+
+class HashTable {
+ public:
+  explicit HashTable(std::size_t expected = 8, std::uint64_t seed = 0x2545F4914F6CDD1Dull);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  // Space in 64-bit words (for the paper's space accounting).
+  std::size_t space_words() const { return slots_.size() * 3 + 4; }
+
+  // Inserts key->value; returns false (and leaves the old value) if the key
+  // was already present.
+  bool insert(std::uint64_t key, std::uint64_t value);
+  // Inserts or overwrites.
+  void upsert(std::uint64_t key, std::uint64_t value);
+  std::optional<std::uint64_t> find(std::uint64_t key) const;
+  bool contains(std::uint64_t key) const { return find(key).has_value(); }
+  bool erase(std::uint64_t key);
+
+  // Batched forms (parallel-friendly on the CPU side; the PIM side calls
+  // them serially since a module is a single weak core).
+  void batch_insert(const std::vector<std::pair<std::uint64_t, std::uint64_t>>& kvs);
+  std::vector<std::optional<std::uint64_t>> batch_find(
+      const std::vector<std::uint64_t>& keys) const;
+
+  void for_each(const std::function<void(std::uint64_t, std::uint64_t)>& f) const;
+  void clear();
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+    bool used = false;
+  };
+
+  std::size_t probe(std::uint64_t key) const {
+    // Fibonacci hashing spreads adjacent fingerprints.
+    return static_cast<std::size_t>(((key ^ seed_) * 0x9E3779B97F4A7C15ull) >> shift_);
+  }
+  void grow();
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  unsigned shift_ = 61;
+  std::uint64_t seed_;
+};
+
+}  // namespace ptrie::hash

@@ -1,0 +1,116 @@
+#include "hash/poly_hash.hpp"
+
+#include <cassert>
+
+#include "core/rng.hpp"
+
+namespace ptrie::hash {
+
+namespace {
+constexpr std::size_t kW = core::BitString::kWordBits;
+}
+
+PolyHasher::PolyHasher(std::uint64_t seed, unsigned fingerprint_bits)
+    : seed_(seed), fingerprint_bits_(fingerprint_bits) {
+  core::Rng rng(seed);
+  // r uniform in [2, p-2].
+  r_ = 2 + rng.below(kP - 3);
+
+  r_pow_.resize(kPowCache + 1);
+  r_pow_[0] = 1;
+  for (std::size_t i = 1; i <= kPowCache; ++i) r_pow_[i] = mul(r_pow_[i - 1], r_);
+
+  // chunk_table_[v] = g(16-bit string with bits of v, MSB first)
+  //                 = sum_i bit_i(v) * r^{15-i}  (no leading-1 term).
+  chunk_table_.resize(std::size_t{1} << 16);
+  chunk_table_[0] = 0;
+  // Build incrementally: g(v) = sum over set bits b (b=0 is MSB) of r^(15-b).
+  for (std::size_t v = 1; v < chunk_table_.size(); ++v) {
+    // lowest set bit of v corresponds to string position 15 - tz, power tz.
+    unsigned tz = static_cast<unsigned>(__builtin_ctzll(v));
+    chunk_table_[v] = add(chunk_table_[v & (v - 1)], r_pow_[tz]);
+  }
+}
+
+std::uint64_t PolyHasher::pow_r(std::size_t k) const {
+  if (k <= kPowCache) return r_pow_[k];
+  // Square-and-multiply on top of the cache.
+  std::uint64_t result = r_pow_[k % kPowCache];
+  std::uint64_t step = r_pow_[kPowCache];
+  std::size_t times = k / kPowCache;
+  // step^times via binary exponentiation.
+  std::uint64_t acc = 1;
+  while (times != 0) {
+    if (times & 1) acc = mul(acc, step);
+    step = mul(step, step);
+    times >>= 1;
+  }
+  return mul(result, acc);
+}
+
+HashVal PolyHasher::extend_bit(HashVal h, bool b) const {
+  return add(mul(h, r_), b ? 1 : 0);
+}
+
+HashVal PolyHasher::extend(HashVal h, const core::BitString& s, std::size_t from,
+                           std::size_t len) const {
+  assert(from + len <= s.size());
+  std::size_t done = 0;
+  // Process 16 bits at a time through the chunk table.
+  while (done < len) {
+    std::size_t take = std::min<std::size_t>(16, len - done);
+    // Extract `take` bits starting at absolute position from+done.
+    std::size_t pos = from + done;
+    std::size_t w = pos / kW, off = pos % kW;
+    std::uint64_t window = s.word(w) << off;
+    if (off != 0) window |= s.word(w + 1) >> (kW - off);
+    // Top `take` bits of window, as a 16-bit chunk value left-aligned in 16.
+    std::uint64_t chunk = window >> (kW - 16);
+    if (take < 16) chunk &= ~((std::uint64_t{1} << (16 - take)) - 1);
+    if (take < 16) {
+      // Shorter chunk: bits occupy the high `take` of 16; shift down so the
+      // table (which is exact for 16-bit strings) is used at the right power.
+      chunk >>= (16 - take);
+      // g for a `take`-bit string v: reuse table by noting the table is a sum
+      // of r^powers keyed by bit positions; for short chunks recompute cheap.
+      std::uint64_t g = 0;
+      for (std::size_t i = 0; i < take; ++i)
+        if ((chunk >> (take - 1 - i)) & 1) g = add(g, r_pow_[take - 1 - i]);
+      h = add(mul(h, r_pow_[take]), g);
+    } else {
+      h = add(mul(h, r_pow_[16]), chunk_table_[chunk]);
+    }
+    done += take;
+  }
+  return h;
+}
+
+HashVal PolyHasher::hash(const core::BitString& s) const {
+  return extend(empty(), s, 0, s.size());
+}
+
+HashVal PolyHasher::hash_prefix(const core::BitString& s, std::size_t len) const {
+  return extend(empty(), s, 0, len);
+}
+
+HashVal PolyHasher::combine(HashVal ha, HashVal hb, std::size_t len_b) const {
+  std::uint64_t rm = pow_r(len_b);
+  return add(mul(ha, rm), sub(hb, rm));
+}
+
+std::vector<HashVal> PolyHasher::pivot_hashes(const core::BitString& s,
+                                              std::size_t stride) const {
+  std::vector<HashVal> out;
+  out.reserve(s.size() / stride + 1);
+  HashVal h = empty();
+  out.push_back(h);
+  std::size_t pos = 0;
+  while (pos + stride <= s.size()) {
+    h = extend(h, s, pos, stride);
+    out.push_back(h);
+    pos += stride;
+  }
+  return out;
+}
+
+}  // namespace ptrie::hash

@@ -1,0 +1,96 @@
+#pragma once
+// Rolling polynomial hash over GF(2^61 - 1), *binary associatively
+// incremental* in the sense of paper Definition 3: for C = AB,
+//     h(C) = combine(h(A), h(B), |B|)
+// using only the two hash values and |B|. This is the property PIM-trie
+// needs so a node hash can be produced from its block root's hash plus the
+// suffix inside the block (Definition 2), and so pivot hashes can be built
+// by parallel prefix sums / rootfix scans (Lemmas 4.4, 4.9).
+//
+// Encoding: a bit-string B = b0 b1 .. b_{n-1} hashes to
+//     h(B) = r^n + sum_i b_i * r^{n-1-i}   (mod p),
+// i.e. the string with a leading 1 read as a polynomial in r. The leading
+// r^n term makes strings of different lengths hash differently even when
+// they are all zeroes. combine(hA, hB, m) = hA * r^m + (hB - r^m).
+//
+// Hash values are always full 61-bit residues so the algebra stays exact;
+// `fingerprint()` exposes a truncated view that the comparison layers
+// (hash tables in the hash value manager) store. Tests shrink
+// `fingerprint_bits` to force collisions and exercise the verification
+// path of Section 4.4.3.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bitstring.hpp"
+
+namespace ptrie::hash {
+
+using HashVal = std::uint64_t;
+
+class PolyHasher {
+ public:
+  static constexpr std::uint64_t kP = (std::uint64_t{1} << 61) - 1;
+
+  explicit PolyHasher(std::uint64_t seed = 0x9E3779B97F4A7C15ull,
+                      unsigned fingerprint_bits = 61);
+
+  unsigned fingerprint_bits() const { return fingerprint_bits_; }
+  std::uint64_t seed() const { return seed_; }
+
+  // Truncated view used wherever two hashes are *compared* or stored in a
+  // table. With fingerprint_bits = 61 this is the identity.
+  HashVal fingerprint(HashVal h) const {
+    return fingerprint_bits_ >= 61 ? h : (h & ((std::uint64_t{1} << fingerprint_bits_) - 1));
+  }
+
+  // Hash of the empty string (the leading-1 encoding makes this r^0 = 1).
+  HashVal empty() const { return 1; }
+
+  // Hash of a full bit-string, O(|s|/w) time via 16-bit chunk tables.
+  HashVal hash(const core::BitString& s) const;
+
+  // Hash of bits [0, len) of s.
+  HashVal hash_prefix(const core::BitString& s, std::size_t len) const;
+
+  // h(A . s[from, from+len)) given h = h(A). This is Definition 2's f().
+  HashVal extend(HashVal h, const core::BitString& s, std::size_t from,
+                 std::size_t len) const;
+
+  // h(A . b) for a single bit.
+  HashVal extend_bit(HashVal h, bool b) const;
+
+  // Definition 3: h(AB) from h(A), h(B) and |B|.
+  HashVal combine(HashVal ha, HashVal hb, std::size_t len_b) const;
+
+  // Hashes of every prefix of s whose length is a multiple of `stride`
+  // bits (the pivot hashes of Section 4.4.2), including length 0; output
+  // has floor(|s|/stride)+1 entries. Linear work in |s|/w.
+  std::vector<HashVal> pivot_hashes(const core::BitString& s, std::size_t stride) const;
+
+  // r^k mod p.
+  std::uint64_t pow_r(std::size_t k) const;
+
+ private:
+  static std::uint64_t add(std::uint64_t a, std::uint64_t b) {
+    std::uint64_t s = a + b;
+    if (s >= kP) s -= kP;
+    return s;
+  }
+  static std::uint64_t sub(std::uint64_t a, std::uint64_t b) { return add(a, kP - b); }
+  static std::uint64_t mul(std::uint64_t a, std::uint64_t b) {
+    unsigned __int128 t = static_cast<unsigned __int128>(a) * b;
+    std::uint64_t lo = static_cast<std::uint64_t>(t) & kP;
+    std::uint64_t hi = static_cast<std::uint64_t>(t >> 61);
+    return add(lo, hi);
+  }
+
+  std::uint64_t seed_;
+  unsigned fingerprint_bits_;
+  std::uint64_t r_;
+  std::vector<std::uint64_t> chunk_table_;  // 65536 entries: g() of 16 explicit bits
+  std::vector<std::uint64_t> r_pow_;        // r^0 .. r^kPowCache
+  static constexpr std::size_t kPowCache = 512;
+};
+
+}  // namespace ptrie::hash

@@ -1,0 +1,35 @@
+#pragma once
+// O(1) prefix-hash queries over one bit-string: precomputes the pivot
+// hashes (every 64 bits) once, then answers hash(s[0..len)) by a single
+// <=63-bit extend. This is the CPU-side data the pivot-node optimization
+// of Section 4.4.2 keeps for each query string / edge.
+
+#include <vector>
+
+#include "core/bitstring.hpp"
+#include "hash/poly_hash.hpp"
+
+namespace ptrie::hash {
+
+class PrefixHashes {
+ public:
+  PrefixHashes(const PolyHasher& hasher, const core::BitString& s)
+      : hasher_(&hasher), s_(&s), pivots_(hasher.pivot_hashes(s, 64)) {}
+
+  HashVal prefix(std::size_t len) const {
+    std::size_t piv = len / 64;
+    HashVal h = pivots_[piv];
+    std::size_t rem = len - piv * 64;
+    if (rem != 0) h = hasher_->extend(h, *s_, piv * 64, rem);
+    return h;
+  }
+
+  const std::vector<HashVal>& pivots() const { return pivots_; }
+
+ private:
+  const PolyHasher* hasher_;
+  const core::BitString* s_;
+  std::vector<HashVal> pivots_;
+};
+
+}  // namespace ptrie::hash

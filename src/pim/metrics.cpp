@@ -1,0 +1,59 @@
+#include "pim/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace ptrie::pim {
+
+void Metrics::begin_round(const std::string& label) {
+  assert(!in_round_);
+  in_round_ = true;
+  current_ = RoundStats{};
+  current_.label = label;
+}
+
+void Metrics::record_module(std::size_t module, std::uint64_t words, std::uint64_t work) {
+  assert(in_round_);
+  current_.total_words += words;
+  current_.total_work += work;
+  current_.max_words = std::max(current_.max_words, words);
+  current_.max_work = std::max(current_.max_work, work);
+  if (words != 0 || work != 0) ++current_.touched_modules;
+  per_module_words_[module] += words;
+  per_module_work_[module] += work;
+}
+
+void Metrics::end_round() {
+  assert(in_round_);
+  in_round_ = false;
+  io_time_ += current_.max_words;
+  total_words_ += current_.total_words;
+  pim_time_ += current_.max_work;
+  total_work_ += current_.total_work;
+  rounds_.push_back(std::move(current_));
+}
+
+namespace {
+double imbalance(const std::vector<std::uint64_t>& v) {
+  if (v.empty()) return 1.0;
+  std::uint64_t total = std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+  if (total == 0) return 1.0;
+  std::uint64_t mx = *std::max_element(v.begin(), v.end());
+  double mean = static_cast<double>(total) / static_cast<double>(v.size());
+  return static_cast<double>(mx) / mean;
+}
+}  // namespace
+
+double Metrics::comm_imbalance() const { return imbalance(per_module_words_); }
+double Metrics::work_imbalance() const { return imbalance(per_module_work_); }
+
+void Metrics::reset() {
+  rounds_.clear();
+  in_round_ = false;
+  io_time_ = total_words_ = pim_time_ = total_work_ = cpu_work_ = 0;
+  std::fill(per_module_words_.begin(), per_module_words_.end(), 0);
+  std::fill(per_module_work_.begin(), per_module_work_.end(), 0);
+}
+
+}  // namespace ptrie::pim

@@ -1,0 +1,75 @@
+#pragma once
+// Cost accounting for the PIM Model (paper Section 2).
+//
+// Per BSP round we record, for every module, the number of 64-bit words
+// written to it plus read from it; the model's "IO time" of a round is the
+// maximum over modules, and rounds' maxima add up. "PIM time" is likewise
+// the per-round maximum of per-module work counters, summed over rounds.
+// CPU work is a plain counter bumped by host-side algorithms.
+//
+// The balance report (max/mean per-module totals) is how we check the
+// paper's PIM-balance claims (Definition 1) under skew.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ptrie::pim {
+
+struct RoundStats {
+  std::string label;
+  std::uint64_t total_words = 0;   // sum over modules of in+out words
+  std::uint64_t max_words = 0;     // max over modules (the round's IO time)
+  std::uint64_t total_work = 0;    // sum over modules of PIM work
+  std::uint64_t max_work = 0;      // max over modules (the round's PIM time)
+  std::size_t touched_modules = 0;
+};
+
+class Metrics {
+ public:
+  explicit Metrics(std::size_t p) : per_module_words_(p, 0), per_module_work_(p, 0) {}
+
+  void begin_round(const std::string& label);
+  void record_module(std::size_t module, std::uint64_t words, std::uint64_t work);
+  void end_round();
+
+  void add_cpu_work(std::uint64_t w) { cpu_work_ += w; }
+
+  std::size_t io_rounds() const { return rounds_.size(); }
+  std::uint64_t io_time() const { return io_time_; }          // sum of per-round maxima
+  std::uint64_t total_comm_words() const { return total_words_; }
+  std::uint64_t pim_time() const { return pim_time_; }        // sum of per-round max work
+  std::uint64_t total_pim_work() const { return total_work_; }
+  std::uint64_t cpu_work() const { return cpu_work_; }
+
+  const std::vector<std::uint64_t>& per_module_words() const { return per_module_words_; }
+  const std::vector<std::uint64_t>& per_module_work() const { return per_module_work_; }
+  const std::vector<RoundStats>& rounds() const { return rounds_; }
+
+  // max / mean of per-module communication; 1.0 is perfect balance.
+  double comm_imbalance() const;
+  double work_imbalance() const;
+
+  void reset();
+
+  // Captures a snapshot so callers can measure deltas across an operation.
+  struct Snapshot {
+    std::size_t rounds = 0;
+    std::uint64_t io_time = 0, words = 0, pim_time = 0, pim_work = 0, cpu = 0;
+  };
+  Snapshot snapshot() const {
+    return {io_rounds(), io_time(), total_comm_words(), pim_time(), total_pim_work(),
+            cpu_work()};
+  }
+
+ private:
+  std::vector<RoundStats> rounds_;
+  RoundStats current_;
+  bool in_round_ = false;
+  std::uint64_t io_time_ = 0, total_words_ = 0, pim_time_ = 0, total_work_ = 0,
+                cpu_work_ = 0;
+  std::vector<std::uint64_t> per_module_words_;
+  std::vector<std::uint64_t> per_module_work_;
+};
+
+}  // namespace ptrie::pim

@@ -1,0 +1,89 @@
+#pragma once
+// One PIM module: a private state arena plus a work counter. Kernels run
+// host-side as C++ callables but receive only this object, so they can
+// touch nothing except their own module's state — the same isolation the
+// PIM Model imposes (a module can access only its own PIM memory).
+
+#include <cstdint>
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
+
+#include "core/rng.hpp"
+
+namespace ptrie::pim {
+
+class Module {
+ public:
+  Module(std::size_t id, std::uint64_t seed) : id_(id), rng_(seed) {}
+
+  std::size_t id() const { return id_; }
+
+  // Charges `n` units of PIM work (roughly: instructions executed).
+  void work(std::uint64_t n) { work_ += n; }
+  std::uint64_t drain_work() {
+    std::uint64_t w = work_;
+    work_ = 0;
+    return w;
+  }
+
+  core::Rng& rng() { return rng_; }
+
+  // Typed state slots. A data structure creates its per-module state once
+  // (via System::install) and kernels retrieve it by type + slot key.
+  template <class T, class... Args>
+  T& emplace_state(std::uint64_t slot, Args&&... args) {
+    auto ptr = std::make_unique<Holder<T>>(std::forward<Args>(args)...);
+    T& ref = ptr->value;
+    state_[key<T>(slot)] = std::move(ptr);
+    return ref;
+  }
+
+  template <class T>
+  T& state(std::uint64_t slot = 0) {
+    auto it = state_.find(key<T>(slot));
+    if (it == state_.end()) return emplace_state<T>(slot);
+    return static_cast<Holder<T>*>(it->second.get())->value;
+  }
+
+  template <class T>
+  bool has_state(std::uint64_t slot = 0) const {
+    return state_.contains(key<T>(slot));
+  }
+
+  template <class T>
+  void drop_state(std::uint64_t slot = 0) {
+    state_.erase(key<T>(slot));
+  }
+
+ private:
+  struct HolderBase {
+    virtual ~HolderBase() = default;
+  };
+  template <class T>
+  struct Holder : HolderBase {
+    template <class... Args>
+    explicit Holder(Args&&... args) : value(std::forward<Args>(args)...) {}
+    T value;
+  };
+
+  template <class T>
+  static std::pair<std::type_index, std::uint64_t> key(std::uint64_t slot) {
+    return {std::type_index(typeid(T)), slot};
+  }
+
+  struct KeyHash {
+    std::size_t operator()(const std::pair<std::type_index, std::uint64_t>& k) const {
+      return k.first.hash_code() * 0x9E3779B97F4A7C15ull + k.second;
+    }
+  };
+
+  std::size_t id_;
+  std::uint64_t work_ = 0;
+  core::Rng rng_;
+  std::unordered_map<std::pair<std::type_index, std::uint64_t>, std::unique_ptr<HolderBase>,
+                     KeyHash>
+      state_;
+};
+
+}  // namespace ptrie::pim

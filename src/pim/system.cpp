@@ -1,0 +1,49 @@
+#include "pim/system.hpp"
+
+#include <cassert>
+
+#include "core/parallel.hpp"
+
+namespace ptrie::pim {
+
+System::System(std::size_t p, std::uint64_t seed) : metrics_(p), placement_rng_(seed) {
+  assert(p >= 1);
+  core::Rng seeder(seed ^ 0xD1B54A32D192ED03ull);
+  modules_.reserve(p);
+  for (std::size_t i = 0; i < p; ++i) modules_.emplace_back(i, seeder());
+}
+
+std::vector<Buffer> System::round(const std::string& label, std::vector<Buffer> to_modules,
+                                  const std::function<Buffer(Module&, Buffer)>& kernel,
+                                  bool launch_all) {
+  assert(to_modules.size() == p());
+  std::vector<Buffer> results(p());
+  std::vector<std::uint64_t> words(p(), 0), work(p(), 0);
+
+  core::parallel_for(
+      0, p(),
+      [&](std::size_t i) {
+        bool launched = launch_all || !to_modules[i].empty();
+        if (!launched) return;
+        std::uint64_t in_words = to_modules[i].size();
+        modules_[i].drain_work();  // isolate this round's work
+        results[i] = kernel(modules_[i], std::move(to_modules[i]));
+        work[i] = modules_[i].drain_work();
+        words[i] = in_words + results[i].size();
+      },
+      /*grain=*/1);
+
+  metrics_.begin_round(label);
+  for (std::size_t i = 0; i < p(); ++i) metrics_.record_module(i, words[i], work[i]);
+  metrics_.end_round();
+  return results;
+}
+
+std::vector<Buffer> System::broadcast_round(
+    const std::string& label, const Buffer& payload,
+    const std::function<Buffer(Module&, Buffer)>& kernel) {
+  std::vector<Buffer> to(p(), payload);
+  return round(label, std::move(to), kernel, /*launch_all=*/true);
+}
+
+}  // namespace ptrie::pim

@@ -1,0 +1,58 @@
+#pragma once
+// The PIM Model machine (paper Section 2): a host CPU plus P modules,
+// executing BSP-like synchronous rounds. In each round the host
+//   (1) computes locally,
+//   (2) writes a buffer of words to each module,
+//   (3) launches kernels and waits,
+//   (4) reads a buffer of words back from each module.
+// System::round() performs (2)-(4) with exact word accounting; modules a
+// round does not touch cost nothing. Kernels run in parallel across
+// modules (they are independent by construction).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pim/metrics.hpp"
+#include "pim/module.hpp"
+
+namespace ptrie::pim {
+
+// Inter-round message payloads, counted in 64-bit words.
+using Buffer = std::vector<std::uint64_t>;
+
+class System {
+ public:
+  System(std::size_t p, std::uint64_t seed = 0xC0FFEE);
+
+  std::size_t p() const { return modules_.size(); }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  // One BSP round. `to_modules[i]` is pushed to module i (empty = module
+  // not launched unless `launch_all`); the kernel returns the buffer read
+  // back. Word counts in both directions are charged to module i.
+  std::vector<Buffer> round(
+      const std::string& label, std::vector<Buffer> to_modules,
+      const std::function<Buffer(Module&, Buffer)>& kernel, bool launch_all = false);
+
+  // Broadcast helper: pushes a copy of `payload` to all P modules (charged
+  // P times, as the model requires) and runs the kernel everywhere.
+  std::vector<Buffer> broadcast_round(const std::string& label, const Buffer& payload,
+                                      const std::function<Buffer(Module&, Buffer)>& kernel);
+
+  // Direct access for *setup/inspection only* (not part of a measured
+  // operation): lets structures build initial state or report space.
+  Module& module(std::size_t i) { return modules_[i]; }
+  const Module& module(std::size_t i) const { return modules_[i]; }
+
+  // Uniformly random module id (placement of blocks, Lemma 2.1 setting).
+  std::size_t random_module() { return placement_rng_.below(p()); }
+
+ private:
+  std::vector<Module> modules_;
+  Metrics metrics_;
+  core::Rng placement_rng_;
+};
+
+}  // namespace ptrie::pim

@@ -1,0 +1,436 @@
+#include "pimtrie/block.hpp"
+
+#include <cassert>
+
+namespace ptrie::pimtrie {
+
+using core::BitString;
+using trie::kNil;
+using trie::NodeId;
+using trie::Patricia;
+
+void Block::serialize(pim::Buffer& out) const {
+  BufWriter w{out};
+  w.u64(id);
+  w.u64(parent);
+  w.u64(root_hash);
+  w.u64(root_depth);
+  // Mirror nodes are written as *preorder slots*: deserialization assigns
+  // node ids in serialized (preorder) order, so slot == id on the far
+  // side regardless of this side's id layout.
+  std::vector<NodeId> order = trie.preorder_ids();
+  std::vector<std::uint32_t> slot_of(trie.slot_count(), 0);
+  for (std::size_t i = 0; i < order.size(); ++i) slot_of[order[i]] = static_cast<std::uint32_t>(i);
+  w.u64(mirrors.size());
+  for (const auto& [node, child] : mirrors) {
+    w.u64(slot_of[node]);
+    w.u64(child);
+  }
+  trie.serialize(out);
+}
+
+Block Block::deserialize(BufReader& r) {
+  Block b;
+  b.id = r.u64();
+  b.parent = r.u64();
+  b.root_hash = r.u64();
+  b.root_depth = r.u64();
+  std::uint64_t nm = r.u64();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> mirror_slots;
+  for (std::uint64_t i = 0; i < nm; ++i) {
+    std::uint64_t node = r.u64();
+    std::uint64_t child = r.u64();
+    mirror_slots.emplace_back(node, child);
+  }
+  std::size_t used = 0;
+  b.trie = Patricia::deserialize(r.in.data() + r.pos, r.in.size() - r.pos, &used);
+  r.pos += used;
+  // Patricia::deserialize numbers nodes in serialized order: slot == id.
+  for (auto [slot, child] : mirror_slots) b.mirrors.emplace(static_cast<NodeId>(slot), child);
+  return b;
+}
+
+void QueryPiece::serialize(pim::Buffer& out) const {
+  BufWriter w{out};
+  w.u64(root_depth);
+  w.u64(root_hash);
+  w.u64(root_pivot_hash);
+  w.bits(root_tail);
+  trie.serialize(out);
+}
+
+QueryPiece QueryPiece::deserialize(BufReader& r) {
+  QueryPiece q;
+  q.root_depth = r.u64();
+  q.root_hash = r.u64();
+  q.root_pivot_hash = r.u64();
+  q.root_tail = r.bits();
+  std::size_t used = 0;
+  q.trie = Patricia::deserialize(r.in.data() + r.pos, r.in.size() - r.pos, &used);
+  r.pos += used;
+  return q;
+}
+
+std::size_t QueryPiece::wire_words() const {
+  pim::Buffer tmp;
+  serialize(tmp);
+  return tmp.size();
+}
+
+namespace {
+
+// A position in the data block: `ab` bits above the bottom of node `dn`
+// (ab == 0 means exactly at dn). This representation survives edge
+// splits: a split inserts an ancestor, and renormalize() walks up when ab
+// exceeds dn's (possibly shortened) edge.
+struct DPos {
+  NodeId dn;
+  std::size_t ab;
+};
+
+struct Walker {
+  const QueryPiece& q;
+  const Block& d;
+  std::uint64_t* work;
+
+  void charge(std::uint64_t units) const {
+    if (work) *work += units;
+  }
+
+  void renormalize(DPos& p) const {
+    while (p.dn != d.trie.root() && p.ab > d.trie.node(p.dn).edge.size()) {
+      p.ab -= d.trie.node(p.dn).edge.size();
+      p.dn = d.trie.node(p.dn).parent;
+    }
+  }
+
+  bool at_node(const DPos& p) const { return p.ab == 0; }
+
+  // Walks query node qc's edge from position p (which must be
+  // renormalized). Returns bits matched; p ends at the match end;
+  // `boundary` reports stopping at a mirror stub with query bits left.
+  std::size_t walk_edge(NodeId qc, DPos& p, bool& boundary) const {
+    const BitString& e = q.trie.node(qc).edge;
+    std::size_t i = 0;
+    boundary = false;
+    while (i < e.size()) {
+      const auto& dn = d.trie.node(p.dn);
+      if (p.ab == 0) {
+        if (d.is_mirror(p.dn)) {
+          boundary = true;
+          return i;
+        }
+        int b = e.bit(i) ? 1 : 0;
+        NodeId c = dn.child[b];
+        charge(1);
+        if (c == kNil) return i;
+        p.dn = c;
+        p.ab = d.trie.node(c).edge.size();
+        continue;
+      }
+      const auto& cur = d.trie.node(p.dn);
+      std::size_t used = cur.edge.size() - p.ab;
+      std::size_t m = e.lcp_range(i, cur.edge, used);
+      charge(m / 64 + 1);
+      i += m;
+      p.ab -= m;
+      if (i < e.size() && p.ab > 0) return i;  // mid-edge mismatch
+    }
+    return i;
+  }
+};
+
+}  // namespace
+
+std::vector<MatchLen> match_block(const QueryPiece& q, const Block& d, std::uint64_t* work) {
+  std::vector<MatchLen> out;
+  Walker walker{q, d, work};
+  struct Frame {
+    NodeId qn;
+    DPos pos;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({q.trie.root(), {d.trie.root(), 0}});
+  {
+    MatchLen root_ml;
+    root_ml.origin = q.trie.node(q.trie.root()).origin;
+    root_ml.match_len = q.root_depth;
+    root_ml.full = true;
+    root_ml.dnode = d.trie.root();
+    root_ml.dabove = 0;
+    out.push_back(root_ml);
+  }
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const auto& qn = q.trie.node(f.qn);
+    for (int b = 0; b < 2; ++b) {
+      NodeId qc = qn.child[b];
+      if (qc == kNil) continue;
+      DPos p = f.pos;
+      bool boundary = false;
+      std::size_t matched = walker.walk_edge(qc, p, boundary);
+      const auto& qcn = q.trie.node(qc);
+      MatchLen ml;
+      ml.origin = qcn.origin;
+      ml.match_len = q.root_depth + qn.depth + matched;
+      ml.full = matched == qcn.edge.size();
+      ml.boundary = boundary;
+      ml.dnode = p.dn;
+      ml.dabove = p.ab;
+      out.push_back(ml);
+      if (ml.full) stack.push_back({qc, p});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Copies the query subtree below `qsrc` into `d` under `dparent`, with
+// the first edge starting at `edge_from` bits into qsrc's edge. Piece
+// nodes with has_value become stored keys.
+std::size_t graft_subtree(const QueryPiece& q, Block& d, NodeId qsrc, std::size_t edge_from,
+                          NodeId dparent, std::uint64_t* work) {
+  std::size_t added = 0;
+  Patricia& dt = d.trie;
+  const auto& src = q.trie.node(qsrc);
+  NodeId top = dt.new_node();
+  dt.set_edge(top, src.edge.substr(edge_from, src.edge.size() - edge_from));
+  dt.mutable_node(top).depth = dt.node(dparent).depth + dt.node(top).edge.size();
+  if (work) *work += dt.node(top).edge.size() / 64 + 2;
+  dt.attach(dparent, top);
+  if (q.trie.node(qsrc).has_value) {
+    dt.set_value(top, q.trie.node(qsrc).value);
+    ++added;
+  }
+  std::vector<std::pair<NodeId, NodeId>> stack{{qsrc, top}};
+  while (!stack.empty()) {
+    auto [qs, ds] = stack.back();
+    stack.pop_back();
+    for (int b = 0; b < 2; ++b) {
+      NodeId qc = q.trie.node(qs).child[b];
+      if (qc == kNil) continue;
+      NodeId dc = dt.new_node();
+      dt.set_edge(dc, q.trie.node(qc).edge);
+      dt.mutable_node(dc).depth = dt.node(ds).depth + dt.node(dc).edge.size();
+      dt.attach(ds, dc);
+      if (q.trie.node(qc).has_value) {
+        dt.set_value(dc, q.trie.node(qc).value);
+        ++added;
+      }
+      if (work) *work += q.trie.node(qc).edge.size() / 64 + 2;
+      stack.push_back({qc, dc});
+    }
+  }
+  return added;
+}
+
+}  // namespace
+
+InsertStats insert_into_block(const QueryPiece& q, Block& d, std::uint64_t* work) {
+  InsertStats stats;
+  Walker walker{q, d, work};
+  struct Frame {
+    NodeId qn;
+    DPos pos;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({q.trie.root(), {d.trie.root(), 0}});
+  if (q.trie.node(q.trie.root()).has_value) {
+    bool fresh = !d.trie.node(d.trie.root()).has_value;
+    d.trie.set_value(d.trie.root(), q.trie.node(q.trie.root()).value);
+    (fresh ? stats.new_keys : stats.updated_keys) += 1;
+  }
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    walker.renormalize(f.pos);
+    const auto& qn = q.trie.node(f.qn);
+    for (int b = 0; b < 2; ++b) {
+      NodeId qc = qn.child[b];
+      if (qc == kNil) continue;
+      DPos p = f.pos;
+      walker.renormalize(p);
+      bool boundary = false;
+      std::size_t matched = walker.walk_edge(qc, p, boundary);
+      bool full = matched == q.trie.node(qc).edge.size();
+      if (full) {
+        if (q.trie.node(qc).has_value) {
+          NodeId target;
+          if (p.ab == 0) {
+            target = p.dn;
+          } else {
+            target = d.trie.split_edge(p.dn, p.ab);
+            p = {target, 0};
+          }
+          bool fresh = !d.trie.node(target).has_value;
+          d.trie.set_value(target, q.trie.node(qc).value);
+          (fresh ? stats.new_keys : stats.updated_keys) += 1;
+        }
+        stack.push_back({qc, p});
+        continue;
+      }
+      if (boundary) continue;  // continuation lives in a child block's span
+      NodeId attach_parent;
+      if (p.ab == 0) {
+        attach_parent = p.dn;
+      } else {
+        attach_parent = d.trie.split_edge(p.dn, p.ab);
+      }
+      stats.new_keys += graft_subtree(q, d, qc, matched, attach_parent, work);
+    }
+  }
+  return stats;
+}
+
+std::size_t erase_from_block(const QueryPiece& q, Block& d, std::uint64_t* work) {
+  std::size_t removed = 0;
+  Walker walker{q, d, work};
+  struct Frame {
+    NodeId qn;
+    DPos pos;
+  };
+  std::vector<Frame> stack;
+  std::vector<NodeId> cleanup;
+  stack.push_back({q.trie.root(), {d.trie.root(), 0}});
+  if (q.trie.node(q.trie.root()).has_value && d.trie.node(d.trie.root()).has_value) {
+    d.trie.clear_value(d.trie.root());
+    ++removed;
+  }
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const auto& qn = q.trie.node(f.qn);
+    for (int b = 0; b < 2; ++b) {
+      NodeId qc = qn.child[b];
+      if (qc == kNil) continue;
+      DPos p = f.pos;
+      bool boundary = false;
+      std::size_t matched = walker.walk_edge(qc, p, boundary);
+      bool full = matched == q.trie.node(qc).edge.size();
+      if (!full) continue;
+      if (q.trie.node(qc).has_value && p.ab == 0 && d.trie.node(p.dn).has_value &&
+          !d.is_mirror(p.dn)) {
+        d.trie.clear_value(p.dn);
+        ++removed;
+        cleanup.push_back(p.dn);
+      }
+      stack.push_back({qc, p});
+    }
+  }
+  for (NodeId id : cleanup) {
+    NodeId cur = id;
+    while (cur != kNil && cur != d.trie.root() && d.trie.alive(cur)) {
+      const auto& n = d.trie.node(cur);
+      if (n.has_value || d.is_mirror(cur)) break;
+      int nchildren = (n.child[0] != kNil) + (n.child[1] != kNil);
+      if (nchildren == 0) {
+        // Mirrors are always leaves, so a parent is never a mirror and
+        // remove_leaf's parent-splice can only grow a mirror's edge,
+        // which is safe.
+        cur = d.trie.remove_leaf(cur);
+        continue;
+      }
+      if (nchildren == 1) {
+        NodeId parent = n.parent;
+        d.trie.try_splice(cur);
+        cur = parent;
+        continue;
+      }
+      break;
+    }
+  }
+  return removed;
+}
+
+std::vector<std::pair<NodeId, trie::Value>> get_from_block(const QueryPiece& q,
+                                                           const Block& d,
+                                                           std::uint64_t* work) {
+  std::vector<std::pair<NodeId, trie::Value>> out;
+  Walker walker{q, d, work};
+  struct Frame {
+    NodeId qn;
+    DPos pos;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({q.trie.root(), {d.trie.root(), 0}});
+  if (q.trie.node(q.trie.root()).has_value && d.trie.node(d.trie.root()).has_value &&
+      !d.is_mirror(d.trie.root()))
+    out.emplace_back(q.trie.node(q.trie.root()).origin, d.trie.node(d.trie.root()).value);
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const auto& qn = q.trie.node(f.qn);
+    for (int b = 0; b < 2; ++b) {
+      NodeId qc = qn.child[b];
+      if (qc == kNil) continue;
+      DPos p = f.pos;
+      bool boundary = false;
+      std::size_t matched = walker.walk_edge(qc, p, boundary);
+      if (matched != q.trie.node(qc).edge.size()) continue;
+      if (q.trie.node(qc).has_value && p.ab == 0 && d.trie.node(p.dn).has_value &&
+          !d.is_mirror(p.dn))
+        out.emplace_back(q.trie.node(qc).origin, d.trie.node(p.dn).value);
+      stack.push_back({qc, p});
+    }
+  }
+  return out;
+}
+
+SubtreeSlice slice_block(const Block& d, trie::Position pos, std::uint64_t abs_pos_depth,
+                         std::uint64_t* work) {
+  SubtreeSlice out;
+  out.root_depth = abs_pos_depth;
+  Patricia& t = out.trie;
+  const Patricia& dt = d.trie;
+
+  std::vector<std::pair<NodeId, NodeId>> stack;
+  if (pos.above == 0) {
+    t.mutable_node(t.root()).origin = pos.node;
+    if (d.is_mirror(pos.node)) {
+      out.child_blocks.emplace_back(t.root(), d.mirrors.at(pos.node));
+      return out;
+    }
+    if (dt.node(pos.node).has_value) t.set_value(t.root(), dt.node(pos.node).value);
+    stack.emplace_back(pos.node, t.root());
+  } else {
+    NodeId c = t.new_node();
+    const auto& dn = dt.node(pos.node);
+    t.set_edge(c, dn.edge.suffix(dn.edge.size() - pos.above));
+    t.mutable_node(c).depth = t.node(c).edge.size();
+    t.mutable_node(c).origin = pos.node;
+    t.attach(t.root(), c);
+    if (work) *work += t.node(c).edge.size() / 64 + 1;
+    if (d.is_mirror(pos.node)) {
+      out.child_blocks.emplace_back(c, d.mirrors.at(pos.node));
+    } else {
+      if (dn.has_value) t.set_value(c, dn.value);
+      stack.emplace_back(pos.node, c);
+    }
+  }
+
+  while (!stack.empty()) {
+    auto [src, dst] = stack.back();
+    stack.pop_back();
+    for (int b = 0; b < 2; ++b) {
+      NodeId sc = dt.node(src).child[b];
+      if (sc == kNil) continue;
+      NodeId nc = t.new_node();
+      t.set_edge(nc, dt.node(sc).edge);
+      t.mutable_node(nc).depth = t.node(dst).depth + t.node(nc).edge.size();
+      t.mutable_node(nc).origin = sc;
+      t.attach(dst, nc);
+      if (work) *work += t.node(nc).edge.size() / 64 + 2;
+      if (d.is_mirror(sc)) {
+        out.child_blocks.emplace_back(nc, d.mirrors.at(sc));
+        continue;
+      }
+      if (dt.node(sc).has_value) t.set_value(nc, dt.node(sc).value);
+      stack.emplace_back(sc, nc);
+    }
+  }
+  return out;
+}
+
+}  // namespace ptrie::pimtrie

@@ -1,0 +1,102 @@
+#pragma once
+// Data-trie blocks (paper Section 4.2): the data trie is decomposed into
+// sub-tries of O(K_B) words; each block lives wholly on one uniformly
+// random PIM module and carries its root's absolute hash/depth as
+// metadata. Block roots are replicated as *mirror* leaf stubs in their
+// parent block. This header also defines the query piece wire format and
+// the *local trie matching* routine (Algorithm 2's Match(...)), which is
+// a pure function so push (on a module) and pull (on the CPU) share it,
+// along with the local Insert/Delete grafting used in Section 5.2.
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/bitstring.hpp"
+#include "hash/poly_hash.hpp"
+#include "pimtrie/types.hpp"
+#include "trie/patricia.hpp"
+
+namespace ptrie::pimtrie {
+
+struct Block {
+  BlockId id = kNone;
+  BlockId parent = kNone;
+  hash::HashVal root_hash = 0;   // absolute hash of the root's string
+  std::uint64_t root_depth = 0;  // absolute depth of the root, in bits
+  trie::Patricia trie;           // root node's edge is empty; depths relative
+  // Mirror stubs: node id in `trie` -> the child block rooted there.
+  std::unordered_map<trie::NodeId, BlockId> mirrors;
+
+  bool is_mirror(trie::NodeId n) const { return mirrors.contains(n); }
+  std::size_t space_words() const { return trie.space_words() + mirrors.size() * 2 + 4; }
+
+  void serialize(pim::Buffer& out) const;
+  static Block deserialize(BufReader& r);
+};
+
+// A spanned piece of the query trie shipped between host and modules.
+struct QueryPiece {
+  std::uint64_t root_depth = 0;      // absolute depth of the piece root
+  hash::HashVal root_hash = 0;       // absolute hash of the piece root string
+  hash::HashVal root_pivot_hash = 0; // hash of the prefix of length floor(root_depth/w)*w
+  core::BitString root_tail;         // last min(w, root_depth) bits of root string
+  trie::Patricia trie;               // origin = query-trie global node id
+
+  void serialize(pim::Buffer& out) const;
+  static QueryPiece deserialize(BufReader& r);
+  std::size_t wire_words() const;
+};
+
+// One matched-trie report entry: query-trie global node -> how many bits
+// of its represented string matched the data trie (absolute), plus the
+// data-side position (relative to the block's trie) where the match ends.
+struct MatchLen {
+  trie::NodeId origin = trie::kNil;
+  std::uint64_t match_len = 0;
+  bool full = false;      // the node's entire string matched
+  bool boundary = false;  // match ran into a mirror stub (child block)
+  trie::NodeId dnode = trie::kNil;  // data node at/below the match end
+  std::uint64_t dabove = 0;         // bits above dnode (0 = at dnode)
+};
+
+// Local trie matching between a query piece and a data block whose roots
+// represent the same absolute string. Reports a MatchLen per visited
+// query node. `work` accrues PIM/CPU work (words compared + nodes).
+std::vector<MatchLen> match_block(const QueryPiece& q, const Block& d, std::uint64_t* work);
+
+// Local Insert: grafts every unmatched part of `q` into `d`. Query-piece
+// nodes with has_value are the batch's keys (value = payload). Returns
+// counts. Divergences at mirror stubs are *not* grafted (the child
+// block's own span handles them).
+struct InsertStats {
+  std::size_t new_keys = 0;
+  std::size_t updated_keys = 0;
+};
+InsertStats insert_into_block(const QueryPiece& q, Block& d, std::uint64_t* work);
+
+// Local Delete: query-piece nodes with has_value are the keys to delete.
+// Removes exactly-matched stored keys (path-compressing inside the
+// block; mirror stubs are never spliced). Returns the number removed.
+std::size_t erase_from_block(const QueryPiece& q, Block& d, std::uint64_t* work);
+
+// Local Get: for every query node with has_value whose string matches a
+// stored key exactly, emits (origin, stored value).
+std::vector<std::pair<trie::NodeId, trie::Value>> get_from_block(const QueryPiece& q,
+                                                                 const Block& d,
+                                                                 std::uint64_t* work);
+
+// Extracts from `d` the sub-trie strictly below the (relative) position
+// given by (node, above) — used by SubtreeQuery. The result is serialized
+// as a standalone Patricia plus the list of child blocks whose mirrors
+// fall inside the extracted region.
+struct SubtreeSlice {
+  trie::Patricia trie;      // rooted at the queried position
+  std::uint64_t root_depth = 0;  // absolute depth of the slice root
+  // Mirror stubs inside the slice: (slice trie node, child block rooted
+  // there). Node ids are this trie's; serialize as preorder slots.
+  std::vector<std::pair<trie::NodeId, BlockId>> child_blocks;
+};
+SubtreeSlice slice_block(const Block& d, trie::Position pos, std::uint64_t abs_pos_depth,
+                         std::uint64_t* work);
+
+}  // namespace ptrie::pimtrie

@@ -1,0 +1,41 @@
+#pragma once
+// PIM-trie tuning parameters (paper Section 4). Defaults follow the
+// paper: K_B = log^2 P words per block, K_MB = P meta-tree nodes per
+// meta-block, K_SMB = K_B nodes per meta-block-tree piece, push-pull
+// threshold log^4 P, scapegoat alpha in (0.5, 1).
+
+#include <bit>
+#include <cstdint>
+
+namespace ptrie::pimtrie {
+
+struct Config {
+  std::size_t p = 32;     // PIM modules
+  unsigned w = 64;        // word size in bits: pivot stride, srem bound
+  std::size_t kb = 0;     // block bound in words (0 => log^2 P, min 16)
+  std::size_t kmb = 0;    // meta-block upper bound in nodes (0 => P)
+  std::size_t ksmb = 0;   // meta-block piece bound in nodes (0 => kb)
+  std::size_t push_pull = 0;  // query piece push threshold (0 => log^4 P)
+  double alpha = 0.75;    // meta-block-tree rebuild threshold
+  std::uint64_t seed = 0xBADC0FFEE0DDF00Dull;
+  unsigned fingerprint_bits = 61;  // shrink to force hash collisions (tests)
+
+  static std::size_t log2_ceil(std::size_t x) {
+    return x <= 1 ? 1 : static_cast<std::size_t>(std::bit_width(x - 1));
+  }
+
+  std::size_t block_bound() const {
+    if (kb != 0) return kb;
+    std::size_t lg = log2_ceil(p);
+    return std::max<std::size_t>(16, lg * lg);
+  }
+  std::size_t meta_block_bound() const { return kmb != 0 ? kmb : std::max<std::size_t>(8, p); }
+  std::size_t piece_bound() const { return ksmb != 0 ? ksmb : block_bound(); }
+  std::size_t push_threshold() const {
+    if (push_pull != 0) return push_pull;
+    std::size_t lg = log2_ceil(p);
+    return std::max<std::size_t>(64, lg * lg * lg * lg);
+  }
+};
+
+}  // namespace ptrie::pimtrie

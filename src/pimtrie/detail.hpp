@@ -1,0 +1,97 @@
+#pragma once
+// Internal: per-module state and the round kernel protocol of PimTrie.
+// Each BSP round ships a buffer of framed messages to each module; the
+// kernel dispatches on an opcode per message and appends one framed
+// response per message (in order). Not part of the public API.
+
+#include <unordered_map>
+
+#include "hash/poly_hash.hpp"
+#include "pim/module.hpp"
+#include "pimtrie/block.hpp"
+#include "pimtrie/meta_index.hpp"
+
+namespace ptrie::pimtrie::detail {
+
+enum Op : std::uint64_t {
+  kStoreBlock = 1,
+  kDeleteBlock,
+  kFetchBlock,
+  kMatchBlock,    // block_id, QueryPiece -> MatchLens (+ verification)
+  kInsertBlock,   // block_id, QueryPiece -> MatchLens + stats + new space
+  kEraseBlock,    // block_id, QueryPiece -> removed + remaining keys
+  kGetBlock,      // block_id, QueryPiece -> match lens + (origin, value) hits
+  kSliceBlock,    // block_id, abs_depth, suffix bits -> SubtreeSlice
+  kRemoveMirror,  // block_id, child_block -> ack
+
+  kStorePiece,
+  kDeletePiece,
+  kFetchPiece,
+  kMatchPiece,           // piece_id, QueryPiece -> resolved matches
+  kFetchPieceChildren,   // piece_id -> ChildPieceRefs
+  kPieceAddEntries,      // piece_id, entries... -> ack
+  kPieceRemoveEntries,   // piece_id, block ids... -> ack
+  kPieceSetChildren,     // piece_id, ChildPieceRefs... -> ack
+  kPieceSetParent,       // piece_id, block, new_parent -> ack (entry + child refs)
+  kPieceDropChildRef,    // piece_id, child_piece_id -> ack
+  kCollectSubtree,       // piece_id, block_id -> entries under block + child pieces
+
+  kStoreMaster,   // master roots -> ack
+  kMatchMaster,   // QueryPiece -> resolved matches against master
+};
+
+struct MasterReplica {
+  std::vector<MetaEntry> roots;
+  std::vector<std::uint64_t> piece_of;   // PieceId per root
+  std::vector<std::uint32_t> module_of;  // module per root
+  TwoLayerIndex index{64};
+
+  void rebuild(const hash::PolyHasher& hasher, unsigned w) {
+    index = TwoLayerIndex(w);
+    for (std::uint32_t i = 0; i < roots.size(); ++i)
+      index.insert(hasher, roots[i], {IndexPayload::kEntry, i});
+  }
+};
+
+struct ModuleState {
+  std::unordered_map<BlockId, Block> blocks;
+  std::unordered_map<PieceId, Piece> pieces;
+  MasterReplica master;
+
+  std::size_t space_words() const {
+    std::size_t words = 0;
+    for (const auto& [id, b] : blocks) words += b.space_words();
+    for (const auto& [id, p] : pieces) words += p.wire_words() + p.index().space_words();
+    words += master.roots.size() * 8 + master.index.space_words();
+    return words;
+  }
+};
+
+// The single round kernel: parses framed messages from `in`, appends
+// framed responses. `instance` selects the PimTrie's state slot.
+pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
+                   const hash::PolyHasher& hasher, unsigned w);
+
+// Executes one BSP round of the PimTrie protocol.
+inline std::vector<pim::Buffer> run_round(pim::System& sys, const char* label,
+                                          std::vector<pim::Buffer> buffers,
+                                          std::uint64_t instance,
+                                          const hash::PolyHasher& hasher, unsigned w) {
+  return sys.round(label, std::move(buffers),
+                   [instance, &hasher, w](pim::Module& m, pim::Buffer in) {
+                     return kernel(m, std::move(in), instance, hasher, w);
+                   });
+}
+
+// Message framing helpers: each message is [word_count, payload...].
+struct FrameWriter {
+  pim::Buffer& out;
+  std::size_t mark = 0;
+  void begin() {
+    out.push_back(0);
+    mark = out.size();
+  }
+  void end() { out[mark - 1] = out.size() - mark; }
+};
+
+}  // namespace ptrie::pimtrie::detail

@@ -1,0 +1,177 @@
+#pragma once
+// PIM-trie (paper Sections 4-5): the batch-parallel, skew-resistant
+// radix-based index for the PIM Model. Data lives on the modules as
+// randomly-placed blocks; block metadata lives in meta-block pieces
+// organized into bounded-height meta-block trees, with the roots
+// replicated on every module (master index). Batch operations run as BSP
+// rounds over pim::System:
+//
+//   Phase A (Algorithm 4)  query trie cut into O(P log P) master pieces,
+//                          pushed to random modules, HashMatched against
+//                          the master replica;
+//   Phase B (Algorithm 5)  per matched meta-block: push small query
+//                          pieces / pull child root hashes (recursive
+//                          meta-block descent) / pull whole leaf pieces,
+//                          yielding the critical block roots;
+//   Phase C (Algorithm 2)  spanned query blocks matched against data
+//                          blocks under Push-Pull, with verification and
+//                          redo on detected hash collisions;
+//   plus op-specific maintenance (Section 5.2): block re-partitioning,
+//   meta-entry insertion/removal, piece splits, bounded-height rebuilds.
+//
+// Host-side directories (block/piece locations and block-tree adjacency)
+// are kept as a simulation convenience; all *data* movement happens
+// through metered rounds, so IO rounds / IO time / PIM time match the
+// algorithm the paper analyzes.
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bitstring.hpp"
+#include "hash/poly_hash.hpp"
+#include "pim/system.hpp"
+#include "pimtrie/block.hpp"
+#include "pimtrie/config.hpp"
+#include "pimtrie/meta_index.hpp"
+#include "trie/query_trie.hpp"
+
+namespace ptrie::pimtrie {
+
+class PimTrie {
+ public:
+  PimTrie(pim::System& sys, Config cfg);
+
+  // Bulk load; replaces current contents. Rounds are labeled "build.*".
+  void build(const std::vector<core::BitString>& keys,
+             const std::vector<trie::Value>& values);
+
+  // Batch LongestCommonPrefix (Section 5.1): out[i] = LCP length in bits
+  // of keys[i] against the stored set.
+  std::vector<std::size_t> batch_lcp(const std::vector<core::BitString>& keys);
+
+  // Batch Insert / Delete (Section 5.2).
+  void batch_insert(const std::vector<core::BitString>& keys,
+                    const std::vector<trie::Value>& values);
+  void batch_erase(const std::vector<core::BitString>& keys);
+
+  // Batch SubtreeQuery (Section 5.3): all stored (key, value) pairs with
+  // prefixes[i] as a prefix, absolute keys, lexicographic order.
+  std::vector<std::vector<std::pair<core::BitString, trie::Value>>> batch_subtree(
+      const std::vector<core::BitString>& prefixes);
+
+  // Batch point reads: out[i] = value stored at keys[i], if present.
+  std::vector<std::optional<trie::Value>> batch_get(const std::vector<core::BitString>& keys);
+
+  // Single point read (sugar over batch_get).
+  std::optional<trie::Value> find(const core::BitString& key);
+
+  const Config& config() const { return cfg_; }
+  std::size_t key_count() const { return n_keys_; }
+  std::size_t block_count() const { return blocks_.size(); }
+  std::size_t piece_count() const { return pieces_.size(); }
+
+  // Space on the PIM side in words (Lemma 4.2 / 4.7 accounting), summed
+  // over modules by inspection (not a metered operation).
+  std::size_t space_words() const;
+  // max/mean per-module resident words — the static balance check.
+  double space_imbalance() const;
+
+  struct VerifyStats {
+    std::uint64_t rejected_collisions = 0;
+    std::uint64_t redo_rounds = 0;
+  };
+  const VerifyStats& verify_stats() const { return verify_; }
+
+  // Inspection-only (no rounds, not metered): reconstructs every stored
+  // (key, value) pair by stitching blocks across modules, and checks
+  // structural invariants (mirror links, directory consistency, meta
+  // entries present and correctly keyed). Used by tests.
+  std::vector<std::pair<core::BitString, trie::Value>> debug_collect() const;
+  // Returns a human-readable violation description, or "" if healthy.
+  std::string debug_check() const;
+
+ private:
+  // ---- host directories ----
+  struct HostBlockInfo {
+    std::uint32_t module = 0;
+    BlockId parent = kNone;
+    std::vector<BlockId> children;
+    std::uint64_t root_depth = 0;
+    hash::HashVal root_hash = 0;
+    core::BitString root_tail;  // last min(w, depth) bits of root string
+    PieceId piece = kNone;      // piece holding this block's meta entry
+    std::size_t space = 0;
+    std::size_t keys = 0;
+  };
+  struct HostPieceInfo {
+    std::uint32_t module = 0;
+    PieceId parent = kNone;
+    std::vector<PieceId> children;
+    BlockId root_block = kNone;
+    std::size_t entries = 0;
+    std::uint32_t depth = 0;  // depth within its meta-block tree
+  };
+  struct MasterRoot {
+    MetaEntry root;
+    PieceId piece = kNone;
+    std::uint32_t module = 0;
+  };
+
+  // ---- matching pipeline ----
+  struct CriticalRoot {
+    trie::NodeId qnode = trie::kNil;  // materialized query-trie node
+    BlockId block = kNone;
+  };
+  struct MatchOutcome {
+    // Per query-trie slot: deepest matched absolute length (and whether
+    // the node's full string matched), after merging all block reports.
+    std::vector<std::uint64_t> match_len;
+    std::vector<bool> reported;
+    std::vector<CriticalRoot> spans;  // phase-C span roots (post-redo)
+    // Get-operation hits: (query node, stored value).
+    std::vector<std::pair<trie::NodeId, trie::Value>> get_hits;
+    // span block of each query node (nearest span root at/above it).
+    std::vector<std::size_t> span_of;  // index into spans, or npos
+  };
+
+  QueryPiece make_piece(const trie::QueryTrie& qt, trie::NodeId root,
+                        const std::vector<trie::NodeId>& cuts) const;
+  // Ensures a query-trie node exists exactly at abs_depth on the edge
+  // into `below`; returns it (splitting the edge if needed).
+  trie::NodeId materialize(trie::QueryTrie& qt, trie::NodeId below,
+                           std::uint64_t abs_depth) const;
+
+  std::vector<CriticalRoot> match_critical_roots(trie::QueryTrie& qt, const char* label);
+  MatchOutcome run_matching(trie::QueryTrie& qt, const char* label, int op_kind);
+
+  // ---- maintenance ----
+  void repartition_oversized_blocks(const std::vector<BlockId>& oversized, const char* label);
+  void add_meta_entries(std::vector<MetaEntry> entries, const char* label);
+  void split_oversized_pieces(const char* label);
+  void rebuild_unbalanced_trees(const char* label);
+  void remove_blocks(const std::vector<BlockId>& blocks, const char* label);
+
+  // ---- small helpers ----
+  std::uint64_t fresh_block_id() { return next_block_id_++; }
+  std::uint64_t fresh_piece_id() { return next_piece_id_++; }
+  MetaEntry make_entry(BlockId b) const;  // from host directory info
+  void push_master(const char* label);    // broadcast master replica
+
+  pim::System* sys_;
+  Config cfg_;
+  hash::PolyHasher hasher_;
+  std::uint64_t instance_;  // module state slot
+
+  std::unordered_map<BlockId, HostBlockInfo> blocks_;
+  std::unordered_map<BlockId, hash::HashVal> spre_of_;  // hash(S_pre) per block
+  std::unordered_map<PieceId, HostPieceInfo> pieces_;
+  std::vector<MasterRoot> master_roots_;
+  BlockId root_block_ = kNone;
+  std::size_t n_keys_ = 0;
+  std::uint64_t next_block_id_ = 1;
+  std::uint64_t next_piece_id_ = 1;
+  VerifyStats verify_;
+};
+
+}  // namespace ptrie::pimtrie

@@ -1,0 +1,62 @@
+#pragma once
+// Shared identifiers and wire helpers for the PIM-trie. Everything that
+// crosses the host<->module boundary is packed into pim::Buffer words via
+// BufWriter/BufReader so communication is counted exactly.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/bitstring.hpp"
+#include "pim/system.hpp"
+
+namespace ptrie::pimtrie {
+
+using BlockId = std::uint64_t;
+using PieceId = std::uint64_t;
+inline constexpr std::uint64_t kNone = ~std::uint64_t{0};
+
+// Where a block / meta-block piece lives.
+struct BlockRef {
+  BlockId id = kNone;
+  std::uint32_t module = 0;
+  bool valid() const { return id != kNone; }
+};
+
+struct BufWriter {
+  pim::Buffer& out;
+  void u64(std::uint64_t v) { out.push_back(v); }
+  void bits(const core::BitString& s) {
+    out.push_back(s.size());
+    for (std::size_t w = 0; w < s.word_count(); ++w) out.push_back(s.word(w));
+  }
+};
+
+struct BufReader {
+  const pim::Buffer& in;
+  std::size_t pos = 0;
+  bool done() const { return pos >= in.size(); }
+  std::uint64_t u64() {
+    if (pos >= in.size()) throw std::runtime_error("BufReader: underrun");
+    return in[pos++];
+  }
+  core::BitString bits() {
+    std::uint64_t nbits = u64();
+    core::BitString s;
+    std::size_t nw = (nbits + 63) / 64;
+    for (std::size_t w = 0; w < nw; ++w) {
+      std::uint64_t word = u64();
+      std::size_t take = std::min<std::size_t>(64, nbits - w * 64);
+      s.append_slice(core::BitString::from_uint(word >> (64 - take), take), 0, take);
+    }
+    return s;
+  }
+  const std::uint64_t* raw(std::size_t n) {
+    if (pos + n > in.size()) throw std::runtime_error("BufReader: underrun");
+    const std::uint64_t* p = in.data() + pos;
+    pos += n;
+    return p;
+  }
+};
+
+}  // namespace ptrie::pimtrie

@@ -1,0 +1,115 @@
+#include "trie/euler_partition.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace ptrie::trie {
+
+LcaIndex::LcaIndex(const Patricia& t) {
+  first_.assign(t.slot_count(), ~std::uint32_t{0});
+  // Iterative Euler tour: visit node, recurse child, re-visit node.
+  struct Frame {
+    NodeId id;
+    int next_child;
+    std::uint32_t level;
+  };
+  std::vector<Frame> stack{{t.root(), 0, 0}};
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child == 0) {
+      first_[f.id] = static_cast<std::uint32_t>(tour_.size());
+      tour_.push_back(f.id);
+      tour_depth_.push_back(f.level);
+    }
+    NodeId c = kNil;
+    while (f.next_child < 2 && c == kNil) {
+      c = t.node(f.id).child[f.next_child];
+      ++f.next_child;
+    }
+    if (c != kNil) {
+      stack.push_back({c, 0, f.level + 1});
+    } else {
+      std::uint32_t level = f.level;
+      stack.pop_back();
+      if (!stack.empty()) {
+        tour_.push_back(stack.back().id);
+        tour_depth_.push_back(level - 1);
+      }
+    }
+  }
+  // Sparse table of argmin over tour_depth_.
+  std::size_t m = tour_.size();
+  std::size_t levels = m <= 1 ? 1 : std::bit_width(m) ;
+  sparse_.assign(levels, std::vector<std::uint32_t>(m));
+  for (std::size_t i = 0; i < m; ++i) sparse_[0][i] = static_cast<std::uint32_t>(i);
+  for (std::size_t k = 1; k < levels; ++k) {
+    std::size_t half = std::size_t{1} << (k - 1);
+    for (std::size_t i = 0; i + (std::size_t{1} << k) <= m; ++i) {
+      std::uint32_t a = sparse_[k - 1][i], b = sparse_[k - 1][i + half];
+      sparse_[k][i] = tour_depth_[a] <= tour_depth_[b] ? a : b;
+    }
+  }
+}
+
+std::uint32_t LcaIndex::rmq(std::uint32_t lo, std::uint32_t hi) const {
+  if (lo > hi) std::swap(lo, hi);
+  std::uint32_t len = hi - lo + 1;
+  std::uint32_t k = static_cast<std::uint32_t>(std::bit_width(len)) - 1;
+  std::uint32_t a = sparse_[k][lo];
+  std::uint32_t b = sparse_[k][hi + 1 - (std::uint32_t{1} << k)];
+  return tour_depth_[a] <= tour_depth_[b] ? a : b;
+}
+
+NodeId LcaIndex::lca(NodeId a, NodeId b) const {
+  std::uint32_t fa = first_[a], fb = first_[b];
+  return tour_[rmq(fa, fb)];
+}
+
+PartitionResult euler_partition(const Patricia& t,
+                                const std::function<std::uint64_t(NodeId)>& weight,
+                                std::uint64_t bound) {
+  assert(bound > 0);
+  PartitionResult out;
+  std::vector<NodeId> order = t.preorder_ids();
+
+  // Prefix-sum weights along the (preorder) tour; a preorder walk visits
+  // each node's weight exactly once, which is all the Euler-tour trick
+  // needs for base-node selection.
+  std::vector<bool> marked(t.slot_count(), false);
+  marked[t.root()] = true;
+  std::uint64_t running = 0;
+  std::vector<NodeId> base;
+  for (NodeId id : order) {
+    std::uint64_t w = weight(id);
+    assert(w <= bound && "cut long edges before partitioning");
+    std::uint64_t before = running;
+    running += w;
+    if (before / bound != running / bound) {
+      base.push_back(id);
+      marked[id] = true;
+    }
+  }
+
+  // Mark LCAs of consecutive base nodes.
+  if (base.size() > 1) {
+    LcaIndex lca(t);
+    for (std::size_t i = 1; i < base.size(); ++i) marked[lca.lca(base[i - 1], base[i])] = true;
+  }
+
+  // Owner assignment: nearest marked ancestor-or-self, by preorder
+  // propagation.
+  out.owner.assign(t.slot_count(), kNil);
+  for (NodeId id : order) {
+    const auto& n = t.node(id);
+    if (marked[id]) {
+      out.roots.push_back(id);
+      out.owner[id] = id;
+    } else {
+      out.owner[id] = out.owner[n.parent];
+    }
+  }
+  return out;
+}
+
+}  // namespace ptrie::trie

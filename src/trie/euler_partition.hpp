@@ -1,0 +1,48 @@
+#pragma once
+// Weighted Euler-tour tree partitioning (paper Section 4.2, "Block Size
+// and Blocking Algorithm"): divides a trie into blocks of bounded weight
+// by (1) generating the Euler tour, (2) prefix-summing node weights along
+// the tour and marking a base node wherever the running sum crosses a
+// multiple of the bound K_B, and (3) adding all lowest common ancestors of
+// consecutive base nodes. The marked set (plus the root) is an ideal
+// partition: every block — a marked node together with its descendants
+// down to the next marked nodes — has weight <= K_B (for weights
+// individually <= K_B), and there are O(W_total / K_B) blocks.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "trie/patricia.hpp"
+
+namespace ptrie::trie {
+
+struct PartitionResult {
+  // Marked partition-node ids, in preorder; always contains the root.
+  std::vector<NodeId> roots;
+  // For each slot: the partition root owning this node (the nearest marked
+  // ancestor-or-self).
+  std::vector<NodeId> owner;
+};
+
+// weight(v) must be <= bound for every node (cut long edges first).
+PartitionResult euler_partition(const Patricia& t,
+                                const std::function<std::uint64_t(NodeId)>& weight,
+                                std::uint64_t bound);
+
+// LCA structure over a Patricia trie: Euler tour + sparse-table RMQ.
+// O(n log n) build, O(1) queries.
+class LcaIndex {
+ public:
+  explicit LcaIndex(const Patricia& t);
+  NodeId lca(NodeId a, NodeId b) const;
+
+ private:
+  std::vector<NodeId> tour_;           // Euler tour of node ids
+  std::vector<std::uint32_t> tour_depth_;  // depth (in tree levels) at tour position
+  std::vector<std::uint32_t> first_;   // first tour position of each node slot
+  std::vector<std::vector<std::uint32_t>> sparse_;  // RMQ over tour positions
+  std::uint32_t rmq(std::uint32_t lo, std::uint32_t hi) const;  // argmin position
+};
+
+}  // namespace ptrie::trie

@@ -1,0 +1,480 @@
+#include "trie/patricia.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ptrie::trie {
+
+using core::BitString;
+
+Patricia::Patricia() {
+  nodes_.emplace_back();  // root: depth 0, empty edge
+  root_ = 0;
+  n_nodes_ = 1;
+}
+
+NodeId Patricia::new_node() {
+  if (!free_.empty()) {
+    NodeId id = free_.back();
+    free_.pop_back();
+    nodes_[id] = Node{};
+    ++n_nodes_;
+    return id;
+  }
+  nodes_.emplace_back();
+  ++n_nodes_;
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Patricia::free_node(NodeId id) {
+  add_edge_bits(-static_cast<std::int64_t>(nodes_[id].edge.size()));
+  nodes_[id].alive = false;
+  nodes_[id].edge.clear();
+  free_.push_back(id);
+  --n_nodes_;
+}
+
+void Patricia::attach(NodeId parent, NodeId child) {
+  Node& c = nodes_[child];
+  assert(!c.edge.empty());
+  c.parent = parent;
+  nodes_[parent].child[c.edge.bit(0) ? 1 : 0] = child;
+}
+
+void Patricia::detach(NodeId child) {
+  Node& c = nodes_[child];
+  if (c.parent == kNil) return;
+  Node& p = nodes_[c.parent];
+  int side = c.edge.bit(0) ? 1 : 0;
+  assert(p.child[side] == child);
+  p.child[side] = kNil;
+  c.parent = kNil;
+}
+
+void Patricia::set_value(NodeId id, Value v) {
+  Node& n = nodes_[id];
+  if (!n.has_value) {
+    n.has_value = true;
+    ++n_keys_;
+  }
+  n.value = v;
+}
+
+void Patricia::clear_value(NodeId id) {
+  Node& n = nodes_[id];
+  if (n.has_value) {
+    n.has_value = false;
+    --n_keys_;
+  }
+}
+
+NodeId Patricia::split_edge(NodeId id, std::uint64_t above) {
+  Node& c = nodes_[id];
+  assert(above > 0 && above < c.edge.size());
+  std::uint64_t keep = c.edge.size() - above;  // bits kept on the upper part
+  NodeId parent = c.parent;
+  NodeId mid = new_node();
+  Node& m = nodes_[mid];
+  Node& c2 = nodes_[id];  // re-fetch: new_node may have reallocated
+  m.depth = c2.depth - above;
+  m.edge = c2.edge.prefix(keep);
+  BitString lower = c2.edge.suffix(keep);
+  c2.edge = std::move(lower);
+  // Edge-bit total is unchanged: keep + above == old edge size.
+  // Rewire: parent -> mid -> id.
+  if (parent != kNil) {
+    int side = m.edge.bit(0) ? 1 : 0;
+    nodes_[parent].child[side] = mid;
+    m.parent = parent;
+  }
+  c2.parent = mid;
+  m.child[c2.edge.bit(0) ? 1 : 0] = id;
+  return mid;
+}
+
+bool Patricia::insert(const BitString& key, Value value) {
+  NodeId cur = root_;
+  std::size_t pos = 0;
+  for (;;) {
+    if (pos == key.size()) {
+      bool fresh = !nodes_[cur].has_value;
+      set_value(cur, value);
+      return fresh;
+    }
+    int b = key.bit(pos) ? 1 : 0;
+    NodeId child = nodes_[cur].child[b];
+    if (child == kNil) {
+      NodeId leaf = new_node();
+      Node& l = nodes_[leaf];
+      l.edge = key.substr(pos, key.size() - pos);
+      l.depth = key.size();
+      add_edge_bits(static_cast<std::int64_t>(l.edge.size()));
+      attach(cur, leaf);
+      set_value(leaf, value);
+      return true;
+    }
+    const BitString& edge = nodes_[child].edge;
+    std::size_t m = key.lcp_at(pos, edge);
+    if (m == edge.size()) {
+      cur = child;
+      pos += m;
+      continue;
+    }
+    // Diverges (or key ends) mid-edge: materialize the hidden node.
+    NodeId mid = split_edge(child, edge.size() - m);
+    pos += m;
+    if (pos == key.size()) {
+      set_value(mid, value);
+      return true;
+    }
+    NodeId leaf = new_node();
+    Node& l = nodes_[leaf];
+    l.edge = key.substr(pos, key.size() - pos);
+    l.depth = key.size();
+    add_edge_bits(static_cast<std::int64_t>(l.edge.size()));
+    attach(mid, leaf);
+    set_value(leaf, value);
+    return true;
+  }
+}
+
+void Patricia::try_splice(NodeId id) {
+  Node& n = nodes_[id];
+  if (id == root_ || !n.alive || n.has_value) return;
+  int nchildren = (n.child[0] != kNil) + (n.child[1] != kNil);
+  if (nchildren != 1) return;
+  NodeId only = n.child[0] != kNil ? n.child[0] : n.child[1];
+  NodeId parent = n.parent;
+  // Merge: parent -(n.edge + only.edge)-> only.
+  BitString merged = n.edge;
+  merged.append(nodes_[only].edge);
+  std::int64_t delta = static_cast<std::int64_t>(merged.size()) -
+                       static_cast<std::int64_t>(nodes_[only].edge.size());
+  nodes_[only].edge = std::move(merged);
+  add_edge_bits(delta);
+  int side = nodes_[id].edge.bit(0) ? 1 : 0;
+  nodes_[parent].child[side] = only;
+  nodes_[only].parent = parent;
+  nodes_[id].child[0] = nodes_[id].child[1] = kNil;
+  nodes_[id].parent = kNil;
+  free_node(id);
+}
+
+NodeId Patricia::remove_leaf(NodeId id) {
+  Node& n = nodes_[id];
+  assert(n.child[0] == kNil && n.child[1] == kNil);
+  NodeId parent = n.parent;
+  detach(id);
+  free_node(id);
+  if (parent != kNil) try_splice(parent);
+  return parent;
+}
+
+bool Patricia::erase(const BitString& key) {
+  // Locate the node representing key exactly.
+  NodeId cur = root_;
+  std::size_t pos = 0;
+  while (pos < key.size()) {
+    int b = key.bit(pos) ? 1 : 0;
+    NodeId child = nodes_[cur].child[b];
+    if (child == kNil) return false;
+    const BitString& edge = nodes_[child].edge;
+    std::size_t m = key.lcp_at(pos, edge);
+    if (m != edge.size()) return false;  // key ends mid-edge or diverges
+    cur = child;
+    pos += m;
+  }
+  if (!nodes_[cur].has_value) return false;
+  clear_value(cur);
+  if (nodes_[cur].child[0] == kNil && nodes_[cur].child[1] == kNil) {
+    if (cur != root_) remove_leaf(cur);
+  } else {
+    try_splice(cur);
+  }
+  return true;
+}
+
+std::optional<Value> Patricia::find(const BitString& key) const {
+  NodeId cur = root_;
+  std::size_t pos = 0;
+  while (pos < key.size()) {
+    int b = key.bit(pos) ? 1 : 0;
+    NodeId child = nodes_[cur].child[b];
+    if (child == kNil) return std::nullopt;
+    const BitString& edge = nodes_[child].edge;
+    std::size_t m = key.lcp_at(pos, edge);
+    if (m != edge.size()) return std::nullopt;
+    cur = child;
+    pos += m;
+  }
+  if (!nodes_[cur].has_value) return std::nullopt;
+  return nodes_[cur].value;
+}
+
+std::pair<std::size_t, Position> Patricia::lcp(const BitString& key) const {
+  NodeId cur = root_;
+  std::size_t pos = 0;
+  for (;;) {
+    if (pos == key.size()) return {pos, Position{cur, 0}};
+    int b = key.bit(pos) ? 1 : 0;
+    NodeId child = nodes_[cur].child[b];
+    if (child == kNil) return {pos, Position{cur, 0}};
+    const BitString& edge = nodes_[child].edge;
+    std::size_t m = key.lcp_at(pos, edge);
+    pos += m;
+    if (m == edge.size()) {
+      cur = child;
+      continue;
+    }
+    // Match ends `edge.size()-m` bits above `child` (a hidden node, unless
+    // m == 0, in which case it ends at the parent compressed node).
+    if (m == 0) return {pos, Position{cur, 0}};
+    return {pos, Position{child, edge.size() - m}};
+  }
+}
+
+std::vector<std::pair<BitString, Value>> Patricia::subtree(const BitString& prefix) const {
+  std::vector<std::pair<BitString, Value>> out;
+  // Walk to the position covering `prefix`.
+  NodeId cur = root_;
+  std::size_t pos = 0;
+  while (pos < prefix.size()) {
+    int b = prefix.bit(pos) ? 1 : 0;
+    NodeId child = nodes_[cur].child[b];
+    if (child == kNil) return out;
+    const BitString& edge = nodes_[child].edge;
+    std::size_t m = prefix.lcp_at(pos, edge);
+    pos += m;
+    if (m == edge.size()) {
+      cur = child;
+      continue;
+    }
+    if (pos != prefix.size()) return out;  // diverged: nothing under prefix
+    cur = child;                            // prefix ends inside child's edge
+    break;
+  }
+  // DFS from cur, reconstructing keys by appending edges.
+  BitString base = node_string(cur);
+  std::vector<std::pair<NodeId, BitString>> work;
+  work.emplace_back(cur, base);
+  while (!work.empty()) {
+    auto [id, s] = std::move(work.back());
+    work.pop_back();
+    const Node& n = nodes_[id];
+    if (n.has_value) out.emplace_back(s, n.value);
+    // Right child pushed first so left (0) is visited first: lexicographic.
+    for (int b = 1; b >= 0; --b) {
+      NodeId c = n.child[b];
+      if (c == kNil) continue;
+      BitString cs = s;
+      cs.append(nodes_[c].edge);
+      work.emplace_back(c, std::move(cs));
+    }
+  }
+  // The DFS above emits in preorder which for tries is lexicographic,
+  // except the stack pops reverse sibling order; we pushed right-first so
+  // left pops first — already lexicographic.
+  return out;
+}
+
+Patricia Patricia::build_sorted(const std::vector<BitString>& keys,
+                                const std::vector<std::size_t>& lcp,
+                                const std::vector<Value>* values) {
+  Patricia t;
+  if (keys.empty()) return t;
+  assert(lcp.size() == keys.size());
+  // Rightmost-path stack of node ids; depths strictly increase.
+  std::vector<NodeId> stack{t.root_};
+  auto depth_of = [&](NodeId id) { return t.nodes_[id].depth; };
+
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const BitString& key = keys[i];
+    std::size_t l = i == 0 ? 0 : lcp[i];
+    // Pop nodes deeper than l; remember the last popped.
+    NodeId last = kNil;
+    while (depth_of(stack.back()) > l) {
+      last = stack.back();
+      stack.pop_back();
+    }
+    NodeId parent;
+    if (depth_of(stack.back()) == l) {
+      parent = stack.back();
+    } else {
+      // Split the edge into `last` at depth l.
+      assert(last != kNil);
+      std::uint64_t above = t.nodes_[last].depth - l;
+      // `last`'s edge spans (depth(stack.back()), depth(last)]; the split
+      // point is `above` bits above `last`... but `last` may itself have
+      // accumulated depth via earlier splits; edge length equals
+      // depth(last) - depth(stack.back()).
+      parent = t.split_edge(last, above);
+      stack.push_back(parent);
+    }
+    if (l == key.size()) {
+      // Duplicate or prefix key ending exactly at `parent`.
+      t.set_value(parent, values ? (*values)[i] : Value{i});
+      continue;
+    }
+    NodeId leaf = t.new_node();
+    Node& lf = t.nodes_[leaf];
+    lf.edge = key.substr(l, key.size() - l);
+    lf.depth = key.size();
+    t.add_edge_bits(static_cast<std::int64_t>(lf.edge.size()));
+    t.attach(parent, leaf);
+    t.set_value(leaf, values ? (*values)[i] : Value{i});
+    stack.push_back(leaf);
+  }
+  return t;
+}
+
+BitString Patricia::node_string(NodeId id) const {
+  // Collect edges root-ward then append in reverse.
+  std::vector<NodeId> path;
+  for (NodeId cur = id; cur != kNil; cur = nodes_[cur].parent) path.push_back(cur);
+  BitString s;
+  for (auto it = path.rbegin(); it != path.rend(); ++it) s.append(nodes_[*it].edge);
+  return s;
+}
+
+void Patricia::preorder(const std::function<void(NodeId)>& f) const {
+  std::vector<NodeId> stack{root_};
+  while (!stack.empty()) {
+    NodeId id = stack.back();
+    stack.pop_back();
+    f(id);
+    const Node& n = nodes_[id];
+    for (int b = 1; b >= 0; --b)
+      if (n.child[b] != kNil) stack.push_back(n.child[b]);
+  }
+}
+
+std::vector<NodeId> Patricia::preorder_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(n_nodes_);
+  preorder([&](NodeId id) { out.push_back(id); });
+  return out;
+}
+
+std::vector<NodeId> Patricia::leaves() const {
+  std::vector<NodeId> out;
+  preorder([&](NodeId id) {
+    const Node& n = nodes_[id];
+    if (n.child[0] == kNil && n.child[1] == kNil) out.push_back(id);
+  });
+  return out;
+}
+
+Patricia Patricia::extract(NodeId root_id, const std::vector<NodeId>& cuts) const {
+  Patricia out;
+  // Map original -> new id. Root of the piece is out.root_ and keeps no
+  // edge (its string context lives in the block metadata).
+  std::vector<std::pair<NodeId, NodeId>> stack;  // (orig, new)
+  out.nodes_[out.root_].origin = root_id;
+  out.nodes_[out.root_].has_value = nodes_[root_id].has_value;
+  out.nodes_[out.root_].value = nodes_[root_id].value;
+  out.nodes_[out.root_].depth = 0;  // depths inside a piece are relative
+  if (nodes_[root_id].has_value) ++out.n_keys_;
+
+  std::vector<bool> is_cut(slot_count(), false);
+  for (NodeId c : cuts) is_cut[c] = true;
+
+  stack.emplace_back(root_id, out.root_);
+  while (!stack.empty()) {
+    auto [orig, mine] = stack.back();
+    stack.pop_back();
+    for (int b = 0; b < 2; ++b) {
+      NodeId oc = nodes_[orig].child[b];
+      if (oc == kNil) continue;
+      NodeId nc = out.new_node();
+      Node& m = out.nodes_[nc];
+      m.edge = nodes_[oc].edge;
+      m.depth = out.nodes_[mine].depth + m.edge.size();
+      m.origin = oc;
+      out.add_edge_bits(static_cast<std::int64_t>(m.edge.size()));
+      if (!is_cut[oc]) {
+        m.has_value = nodes_[oc].has_value;
+        m.value = nodes_[oc].value;
+        if (m.has_value) ++out.n_keys_;
+      }
+      out.attach(mine, nc);
+      if (!is_cut[oc]) stack.emplace_back(oc, nc);
+      // Cut children stay as leaf stubs: the "mirror nodes" of Section 4.2.
+    }
+  }
+  return out;
+}
+
+void Patricia::serialize(std::vector<std::uint64_t>& out) const {
+  // Format: [n] then per live node in preorder:
+  //   parent_slot (index into serialized order; root = ~0)
+  //   flags (bit0 has_value), value, depth, origin, edge_nbits, edge words...
+  std::vector<NodeId> order = preorder_ids();
+  std::vector<std::uint32_t> slot_of(slot_count(), 0);
+  for (std::size_t i = 0; i < order.size(); ++i) slot_of[order[i]] = static_cast<std::uint32_t>(i);
+  out.push_back(order.size());
+  for (NodeId id : order) {
+    const Node& n = nodes_[id];
+    out.push_back(id == root_ ? ~std::uint64_t{0} : slot_of[n.parent]);
+    out.push_back(n.has_value ? 1 : 0);
+    out.push_back(n.value);
+    out.push_back(n.depth);
+    out.push_back(n.origin == kNil ? ~std::uint64_t{0} : n.origin);
+    out.push_back(n.edge.size());
+    for (std::size_t w = 0; w < n.edge.word_count(); ++w) out.push_back(n.edge.word(w));
+  }
+}
+
+Patricia Patricia::deserialize(const std::uint64_t* words, std::size_t n, std::size_t* used) {
+  Patricia t;
+  std::size_t i = 0;
+  auto next = [&]() {
+    if (i >= n) throw std::runtime_error("Patricia::deserialize: truncated buffer");
+    return words[i++];
+  };
+  std::size_t count = next();
+  std::vector<NodeId> ids(count, kNil);
+  for (std::size_t s = 0; s < count; ++s) {
+    std::uint64_t parent_slot = next();
+    std::uint64_t flags = next();
+    std::uint64_t value = next();
+    std::uint64_t depth = next();
+    std::uint64_t origin = next();
+    std::uint64_t nbits = next();
+    core::BitString edge;
+    std::size_t nw = (nbits + 63) / 64;
+    // Rebuild the edge from its packed words.
+    for (std::size_t w = 0; w < nw; ++w) {
+      std::uint64_t word = next();
+      std::size_t take = std::min<std::size_t>(64, nbits - w * 64);
+      edge.append_slice(core::BitString::from_uint(word >> (64 - take), take), 0, take);
+    }
+    NodeId id;
+    if (parent_slot == ~std::uint64_t{0}) {
+      id = t.root_;
+    } else {
+      id = t.new_node();
+      Node& m = t.nodes_[id];
+      m.edge = std::move(edge);
+      t.add_edge_bits(static_cast<std::int64_t>(m.edge.size()));
+      t.attach(ids[parent_slot], id);
+    }
+    Node& m = t.nodes_[id];
+    m.depth = depth;
+    m.origin = origin == ~std::uint64_t{0} ? kNil : static_cast<NodeId>(origin);
+    if (flags & 1) t.set_value(id, value);
+    ids[s] = id;
+  }
+  if (used) *used = i;
+  return t;
+}
+
+std::size_t Patricia::space_words() const {
+  std::size_t words = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].alive) continue;
+    words += 6 + nodes_[i].edge.word_count();
+  }
+  return words;
+}
+
+}  // namespace ptrie::trie

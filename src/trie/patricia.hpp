@@ -1,0 +1,148 @@
+#pragma once
+// Compressed binary trie (binary radix tree / Patricia trie) over
+// arbitrary-length bit-string keys — the paper's "trie" (Section 4, Basic
+// Structures): after path compression only O(n) compressed nodes/edges
+// remain; every other valid prefix is a *hidden node*, addressed by
+// (host edge, offset in bits).
+//
+// The same structure serves as: the reference data trie, the per-batch
+// query trie, the sub-trie inside every PIM block, and the node type of
+// the baselines. It supports single-key updates, batch construction from
+// sorted keys + adjacent-LCP array (Algorithm 1's PatriciaGenerate),
+// sub-trie extraction (block decomposition), and word-exact
+// serialization for pushing blocks across the PIM boundary.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/bitstring.hpp"
+
+namespace ptrie::trie {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNil = static_cast<NodeId>(-1);
+
+using Value = std::uint64_t;
+
+// A position in the trie: a compressed node (`offset == 0`, measured from
+// `node`'s own depth) or a hidden node `offset` bits *above* `node` on the
+// edge into `node`.
+struct Position {
+  NodeId node = kNil;
+  std::uint64_t above = 0;  // 0 => the compressed node itself
+  bool is_compressed() const { return above == 0; }
+  bool operator==(const Position&) const = default;
+};
+
+class Patricia {
+ public:
+  struct Node {
+    NodeId parent = kNil;
+    NodeId child[2] = {kNil, kNil};
+    std::uint64_t depth = 0;    // length in bits of the represented string
+    core::BitString edge;       // label of the edge from parent to this node
+    bool has_value = false;
+    Value value = 0;
+    // Cross-reference into an "original" trie when this trie is an
+    // extracted block (paper: "each node contains the ID of its
+    // corresponding node in the original trie").
+    NodeId origin = kNil;
+    bool alive = true;
+  };
+
+  Patricia();
+
+  NodeId root() const { return root_; }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  std::size_t key_count() const { return n_keys_; }
+  std::size_t node_count() const { return n_nodes_; }
+  bool empty() const { return n_keys_ == 0; }
+
+  // --- single-key operations (reference semantics) ---
+  // Inserts key -> value; returns false if the key already existed (value
+  // is overwritten either way).
+  bool insert(const core::BitString& key, Value value);
+  bool erase(const core::BitString& key);
+  std::optional<Value> find(const core::BitString& key) const;
+  // Longest common prefix of `key` with the stored set, in bits, plus the
+  // trie position where the match ends.
+  std::pair<std::size_t, Position> lcp(const core::BitString& key) const;
+  // All stored (key, value) pairs whose key has `prefix` as a prefix, in
+  // lexicographic order.
+  std::vector<std::pair<core::BitString, Value>> subtree(const core::BitString& prefix) const;
+
+  // --- batch construction (Algorithm 1) ---
+  // Keys must be sorted and distinct; lcp[i] = LCP(keys[i-1], keys[i]),
+  // lcp[0] = 0. Linear work via the rightmost-path stack.
+  static Patricia build_sorted(const std::vector<core::BitString>& keys,
+                               const std::vector<std::size_t>& lcp,
+                               const std::vector<Value>* values = nullptr);
+
+  // --- structure access ---
+  // The full bit-string a node represents (walks to the root; O(depth/w)).
+  core::BitString node_string(NodeId id) const;
+  // Preorder visit of live nodes: f(id, depth_of_visit).
+  void preorder(const std::function<void(NodeId)>& f) const;
+  // Ids of live nodes, preorder.
+  std::vector<NodeId> preorder_ids() const;
+  std::vector<NodeId> leaves() const;
+
+  // --- decomposition (Section 4.2) ---
+  // Splits the edge into `id` at `above` bits above id's depth, creating
+  // and returning a new compressed node (used to cut long edges and to
+  // materialize hidden nodes during inserts).
+  NodeId split_edge(NodeId id, std::uint64_t above);
+  // Extracts the sub-trie rooted at `root_id`, cut below at `cut` nodes
+  // (each cut node becomes a leaf *mirror* marker in the piece via its
+  // `origin` field). The extracted root's edge is cleared.
+  Patricia extract(NodeId root_id, const std::vector<NodeId>& cuts) const;
+
+  // --- serialization: word-exact, preorder ---
+  void serialize(std::vector<std::uint64_t>& out) const;
+  static Patricia deserialize(const std::uint64_t* words, std::size_t n, std::size_t* used = nullptr);
+
+  // --- accounting ---
+  std::size_t edge_bits_total() const { return L_bits_; }  // L_T
+  // Q_T = O(L_T/w + n_T): words of live payload.
+  std::size_t space_words() const;
+
+  // Direct mutation hooks used by the PIM-trie internals.
+  Node& mutable_node(NodeId id) { return nodes_[id]; }
+  // Assigns an edge label, keeping the aggregate edge-bit count correct.
+  void set_edge(NodeId id, core::BitString edge) {
+    add_edge_bits(static_cast<std::int64_t>(edge.size()) -
+                  static_cast<std::int64_t>(nodes_[id].edge.size()));
+    nodes_[id].edge = std::move(edge);
+  }
+  NodeId new_node();
+  void attach(NodeId parent, NodeId child);  // wires child under parent by edge's first bit
+  void detach(NodeId child);
+  void set_value(NodeId id, Value v);
+  void clear_value(NodeId id);
+  // Splices out a valueless single-child non-root node (path compression).
+  void try_splice(NodeId id);
+  // Removes a leaf and path-compresses upwards; returns first surviving
+  // ancestor.
+  NodeId remove_leaf(NodeId id);
+
+  std::size_t live_begin() const { return 0; }
+  std::size_t slot_count() const { return nodes_.size(); }
+  bool alive(NodeId id) const { return nodes_[id].alive; }
+
+ private:
+  void free_node(NodeId id);
+  void add_edge_bits(std::int64_t delta) {
+    L_bits_ = static_cast<std::size_t>(static_cast<std::int64_t>(L_bits_) + delta);
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> free_;
+  NodeId root_;
+  std::size_t n_keys_ = 0;
+  std::size_t n_nodes_ = 0;  // live nodes
+  std::size_t L_bits_ = 0;   // aggregate edge length in bits
+};
+
+}  // namespace ptrie::trie

@@ -1,0 +1,49 @@
+#pragma once
+// Query trie (paper Section 4.1, Algorithm 1): the per-batch trie built on
+// the CPU from the batch's operation keys. Construction = string sort,
+// adjacent-LCP array, Patricia generation — plus the pivot-node hash
+// augmentation of Section 4.4.2 (node hashes at every depth that is a
+// multiple of w bits, computed by per-edge prefix sums and a rootfix scan,
+// Lemmas 4.4/4.9).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bitstring.hpp"
+#include "hash/poly_hash.hpp"
+#include "trie/patricia.hpp"
+
+namespace ptrie::trie {
+
+struct QueryTrie {
+  Patricia trie;
+  // Index of the batch key each leaf/value node represents:
+  // key_node[i] = node id representing keys[i] (after dedup: first
+  // occurrence wins; duplicates map to the same node).
+  std::vector<NodeId> key_node;
+  // Sorted, deduplicated keys and the map original index -> sorted slot.
+  std::vector<core::BitString> sorted_keys;
+  std::vector<std::size_t> sorted_slot_of_input;
+  // For each live node id: hash of the node's represented string
+  // (computed incrementally down the trie).
+  std::vector<hash::HashVal> node_hash;
+  // CPU work charged for construction (string sort + LCP + build + hash).
+  std::uint64_t cpu_work = 0;
+
+  std::size_t q_words() const {  // Q_Q = O(L_Q/w + n_Q)
+    return trie.edge_bits_total() / 64 + trie.node_count();
+  }
+};
+
+// Sorts bit-strings lexicographically (MSD radix on packed words) and
+// returns the permutation applied. O(n (1 + k/w))-ish work.
+std::vector<std::size_t> string_sort(std::vector<core::BitString>& keys);
+
+// lcp[i] = LCP(keys[i-1], keys[i]) in bits for sorted keys; lcp[0] = 0.
+std::vector<std::size_t> adjacent_lcp(const std::vector<core::BitString>& keys);
+
+// Algorithm 1 end-to-end. `hasher` computes the per-node hashes.
+QueryTrie build_query_trie(const std::vector<core::BitString>& batch_keys,
+                           const hash::PolyHasher& hasher);
+
+}  // namespace ptrie::trie

@@ -1,0 +1,17 @@
+#include "trie/treefix.hpp"
+
+namespace ptrie::trie {
+
+std::vector<std::uint32_t> subtree_node_counts(const Patricia& t) {
+  return leaffix<std::uint32_t>(
+      t, [](NodeId) { return std::uint32_t{1}; },
+      [](std::uint32_t a, std::uint32_t b) { return a + b; });
+}
+
+std::vector<std::uint64_t> subtree_weights(const Patricia& t,
+                                           const std::function<std::uint64_t(NodeId)>& w) {
+  return leaffix<std::uint64_t>(t, [&](NodeId id) { return w(id); },
+                                [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+}  // namespace ptrie::trie

@@ -1,0 +1,52 @@
+#pragma once
+// Treefix operations over a Patricia trie (paper Section 4: "treefix
+// operations [53], including rootfix and leaffix, can be executed in
+// O(n_T) work"). rootfix propagates an associative accumulation from the
+// root toward every node; leaffix aggregates from leaves up. PIM-trie uses
+// rootfix for LCP answer extraction (Section 5.1) and node-hash
+// generation, and leaffix to find completely-deleted subtrees during
+// Delete (Section 5.2).
+
+#include <functional>
+#include <vector>
+
+#include "trie/patricia.hpp"
+
+namespace ptrie::trie {
+
+// out[id] = op(out[parent], id); out[root] = init. O(n) work.
+template <class T, class Op>
+std::vector<T> rootfix(const Patricia& t, T init, Op&& op) {
+  std::vector<T> out(t.slot_count(), init);
+  for (NodeId id : t.preorder_ids()) {
+    const auto& n = t.node(id);
+    out[id] = n.parent == kNil ? init : op(out[n.parent], id);
+  }
+  return out;
+}
+
+// out[id] = combine over children c of op-processed child values, seeded
+// with leaf(id). Children are visited before parents (reverse preorder).
+template <class T, class Leaf, class Combine>
+std::vector<T> leaffix(const Patricia& t, Leaf&& leaf, Combine&& combine) {
+  std::vector<NodeId> order = t.preorder_ids();
+  std::vector<T> out(t.slot_count());
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    NodeId id = *it;
+    const auto& n = t.node(id);
+    T acc = leaf(id);
+    for (int b = 0; b < 2; ++b)
+      if (n.child[b] != kNil) acc = combine(acc, out[n.child[b]]);
+    out[id] = acc;
+  }
+  return out;
+}
+
+// Subtree sizes in nodes (a common leaffix instance).
+std::vector<std::uint32_t> subtree_node_counts(const Patricia& t);
+
+// Subtree weights: leaffix over a caller-supplied per-node weight.
+std::vector<std::uint64_t> subtree_weights(const Patricia& t,
+                                           const std::function<std::uint64_t(NodeId)>& w);
+
+}  // namespace ptrie::trie

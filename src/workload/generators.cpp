@@ -1,0 +1,145 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/zipf.hpp"
+
+namespace ptrie::workload {
+
+using core::BitString;
+using core::Rng;
+
+namespace {
+BitString random_bits(Rng& rng, std::size_t bits) {
+  BitString s;
+  std::size_t full = bits / 64;
+  for (std::size_t i = 0; i < full; ++i)
+    s.append(BitString::from_uint(rng(), 64));
+  std::size_t rem = bits % 64;
+  if (rem != 0) s.append(BitString::from_uint(rng() >> (64 - rem), rem));
+  return s;
+}
+}  // namespace
+
+std::vector<BitString> uniform_keys(std::size_t n, std::size_t bits, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BitString> out;
+  std::unordered_set<std::size_t> seen;
+  out.reserve(n);
+  while (out.size() < n) {
+    BitString s = random_bits(rng, bits);
+    if (seen.insert(s.std_hash()).second) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<BitString> variable_length_keys(std::size_t n, std::size_t min_bits,
+                                            std::size_t max_bits, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BitString> out;
+  out.reserve(n);
+  std::unordered_set<std::size_t> seen;
+  while (out.size() < n) {
+    // Geometric-ish length: halving probability per extra step.
+    std::size_t len = min_bits;
+    while (len < max_bits && rng.coin()) len += std::max<std::size_t>(1, (max_bits - min_bits) / 8);
+    len = std::min(len, max_bits);
+    BitString s = random_bits(rng, len);
+    if (seen.insert(s.std_hash()).second) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<BitString> shared_prefix_keys(std::size_t n, std::size_t prefix_bits,
+                                          std::size_t tail_bits, std::uint64_t seed) {
+  Rng rng(seed);
+  BitString prefix = random_bits(rng, prefix_bits);
+  std::vector<BitString> out;
+  out.reserve(n);
+  std::unordered_set<std::size_t> seen;
+  while (out.size() < n) {
+    BitString s = prefix;
+    s.append(random_bits(rng, tail_bits));
+    if (seen.insert(s.std_hash()).second) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<BitString> caterpillar_keys(std::size_t n, std::size_t step, std::uint64_t seed) {
+  Rng rng(seed);
+  BitString spine = random_bits(rng, n * step);
+  std::vector<BitString> out;
+  out.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) out.push_back(spine.prefix(i * step));
+  return out;
+}
+
+std::vector<BitString> zipf_queries(const std::vector<BitString>& data, std::size_t m,
+                                    double theta, std::uint64_t seed) {
+  Rng rng(seed);
+  core::ZipfSampler zipf(data.size(), theta);
+  std::vector<BitString> out;
+  out.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) out.push_back(data[zipf.sample(rng)]);
+  return out;
+}
+
+std::vector<BitString> hot_spot_queries(const std::vector<BitString>& data, std::size_t m,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  // Hot spot: one random stored key, probed by everyone, with tiny
+  // perturbations in the last byte so queries are not all identical.
+  const BitString& hot = data[rng.below(data.size())];
+  std::vector<BitString> out;
+  out.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    BitString s = hot;
+    if (s.size() >= 4 && !rng.coin()) {
+      // flip one of the last 4 bits
+      std::size_t pos = s.size() - 1 - rng.below(4);
+      BitString t = s.prefix(pos);
+      t.push_back(!s.bit(pos));
+      t.append_slice(s, pos + 1, s.size() - pos - 1);
+      s = std::move(t);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<BitString> miss_queries(std::size_t m, std::size_t bits, std::uint64_t seed) {
+  return uniform_keys(m, bits, seed ^ 0xDEADBEEFull);
+}
+
+std::vector<BitString> ipv4_prefixes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BitString> out;
+  std::unordered_set<std::size_t> seen;
+  out.reserve(n);
+  while (out.size() < n) {
+    std::uint32_t addr = static_cast<std::uint32_t>(rng());
+    // Prefix length: mostly /16../24, some /8 and /32.
+    static const unsigned lens[] = {8, 16, 16, 18, 20, 22, 24, 24, 24, 28, 32};
+    unsigned len = lens[rng.below(sizeof(lens) / sizeof(lens[0]))];
+    std::uint32_t masked = len == 32 ? addr : (addr & ~((1u << (32 - len)) - 1));
+    BitString s = BitString::from_uint(static_cast<std::uint64_t>(masked) << 32 >> 32, 32)
+                      .prefix(len);
+    if (seen.insert(s.std_hash()).second) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> uniform_u64(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    std::uint64_t v = rng();
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace ptrie::workload

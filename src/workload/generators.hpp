@@ -1,0 +1,58 @@
+#pragma once
+// Deterministic workload generators for the experiments. Each produces
+// bit-string key sets / query batches matching a scenario from the
+// paper's analysis: uniform data, adversarially skewed data (deep
+// caterpillar tries via shared prefixes and nested prefixes), Zipf and
+// single-hot-spot query skew, variable-length keys, and IP-style
+// prefixes for the routing example.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bitstring.hpp"
+#include "core/rng.hpp"
+
+namespace ptrie::workload {
+
+// n distinct uniform random keys of exactly `bits` bits.
+std::vector<core::BitString> uniform_keys(std::size_t n, std::size_t bits, std::uint64_t seed);
+
+// n keys with geometric length distribution in [min_bits, max_bits].
+std::vector<core::BitString> variable_length_keys(std::size_t n, std::size_t min_bits,
+                                                  std::size_t max_bits, std::uint64_t seed);
+
+// Adversarial data skew: all keys share one random `prefix_bits` prefix,
+// then diverge in `tail_bits` random bits — the data trie becomes a long
+// path with a bushy tip (worst case for range partitioning and for naive
+// node distribution).
+std::vector<core::BitString> shared_prefix_keys(std::size_t n, std::size_t prefix_bits,
+                                                std::size_t tail_bits, std::uint64_t seed);
+
+// Worst-case trie shape: key i is the first (i+1)*step bits of one long
+// random string — the trie is a single caterpillar path of nested
+// prefixes (height n*step).
+std::vector<core::BitString> caterpillar_keys(std::size_t n, std::size_t step,
+                                              std::uint64_t seed);
+
+// Query batches -------------------------------------------------------
+
+// m queries sampled from `data` by Zipf(theta) rank (theta=0 uniform).
+std::vector<core::BitString> zipf_queries(const std::vector<core::BitString>& data,
+                                          std::size_t m, double theta, std::uint64_t seed);
+
+// m queries that all probe keys under one shared hot prefix (worst-case
+// query skew: every lookup lands in the same region of the key space).
+std::vector<core::BitString> hot_spot_queries(const std::vector<core::BitString>& data,
+                                              std::size_t m, std::uint64_t seed);
+
+// m fresh uniform queries of the same width as `bits` (mostly misses).
+std::vector<core::BitString> miss_queries(std::size_t m, std::size_t bits, std::uint64_t seed);
+
+// IPv4-style routing prefixes: 32-bit addresses with prefix length in
+// [8, 32] (weighted toward /16../24 as in real tables).
+std::vector<core::BitString> ipv4_prefixes(std::size_t n, std::uint64_t seed);
+
+// Uniform 64-bit integer keys (for the x-fast baseline).
+std::vector<std::uint64_t> uniform_u64(std::size_t n, std::uint64_t seed);
+
+}  // namespace ptrie::workload

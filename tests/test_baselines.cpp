@@ -1,0 +1,190 @@
+// Unit tests: the three Table 1 / Section 3.2 baselines, validated
+// against reference structures plus their characteristic round counts.
+
+#include <gtest/gtest.h>
+
+#include "baselines/distributed_radix_tree.hpp"
+#include "baselines/distributed_xfast.hpp"
+#include "baselines/range_partitioned.hpp"
+#include "pim/system.hpp"
+#include "trie/patricia.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using ptrie::core::BitString;
+using ptrie::pim::System;
+
+TEST(DistRadix, LcpChunkGranularity) {
+  System sys(4, 11);
+  ptrie::baselines::DistributedRadixTree t(sys, /*span=*/4);
+  auto keys = ptrie::workload::uniform_keys(120, 64, 51);
+  std::vector<std::uint64_t> vals(keys.size(), 1);
+  t.build(keys, vals);
+
+  ptrie::trie::Patricia ref;
+  for (std::size_t i = 0; i < keys.size(); ++i) ref.insert(keys[i], i);
+
+  auto got = t.batch_lcp(keys);
+  for (std::size_t i = 0; i < keys.size(); ++i) EXPECT_EQ(got[i], 64u);
+
+  // Misses: the baseline resolves LCP at span granularity; it must agree
+  // with the reference rounded down to a multiple of the span, and never
+  // overshoot the true LCP by a full chunk.
+  auto misses = ptrie::workload::miss_queries(60, 64, 52);
+  auto got2 = t.batch_lcp(misses);
+  for (std::size_t i = 0; i < misses.size(); ++i) {
+    std::size_t want = ref.lcp(misses[i]).first;
+    EXPECT_LE(got2[i], want);
+    EXPECT_GE(got2[i] + 4, (want / 4) * 4);
+  }
+}
+
+TEST(DistRadix, RoundsScaleWithKeyLength) {
+  System sys(4, 12);
+  ptrie::baselines::DistributedRadixTree t(sys, 4);
+  auto keys = ptrie::workload::uniform_keys(50, 64, 53);
+  std::vector<std::uint64_t> vals(keys.size(), 1);
+  t.build(keys, vals);
+  sys.metrics().reset();
+  t.batch_lcp(keys);
+  // Pointer chasing: ~l/s rounds (64/4 = 16), plus O(1).
+  EXPECT_GE(sys.metrics().io_rounds(), 64u / 4u);
+  EXPECT_LE(sys.metrics().io_rounds(), 64u / 4u + 3u);
+}
+
+TEST(DistRadix, InsertThenQuery) {
+  System sys(4, 13);
+  ptrie::baselines::DistributedRadixTree t(sys, 4);
+  auto keys = ptrie::workload::uniform_keys(60, 32, 54);
+  std::vector<std::uint64_t> vals(keys.size(), 1);
+  t.build({keys.begin(), keys.begin() + 30}, {vals.begin(), vals.begin() + 30});
+  t.batch_insert({keys.begin() + 30, keys.end()}, {vals.begin() + 30, vals.end()});
+  auto got = t.batch_lcp(keys);
+  for (std::size_t i = 0; i < keys.size(); ++i) EXPECT_EQ(got[i], 32u) << i;
+}
+
+TEST(DistRadix, SubtreeMatchesReference) {
+  System sys(4, 14);
+  ptrie::baselines::DistributedRadixTree t(sys, 4);
+  auto keys = ptrie::workload::uniform_keys(100, 32, 55);
+  std::vector<std::uint64_t> vals(keys.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = i;
+  t.build(keys, vals);
+  ptrie::trie::Patricia ref;
+  for (std::size_t i = 0; i < keys.size(); ++i) ref.insert(keys[i], i);
+
+  // Prefix lengths multiple of the span (the baseline's anchor points).
+  for (std::size_t plen : {0u, 4u, 8u}) {
+    BitString p = keys[7].prefix(plen);
+    auto got = t.batch_subtree({p});
+    auto want = ref.subtree(p);
+    ASSERT_EQ(got[0].size(), want.size()) << "plen=" << plen;
+    for (std::size_t k = 0; k < want.size(); ++k) {
+      EXPECT_EQ(got[0][k].first, want[k].first);
+    }
+  }
+}
+
+TEST(DistXFast, LcpMatchesBruteForce) {
+  System sys(4, 15);
+  ptrie::baselines::DistributedXFastTrie t(sys, 64);
+  auto keys = ptrie::workload::uniform_u64(200, 61);
+  std::vector<std::uint64_t> vals(keys.size(), 1);
+  t.build(keys, vals);
+
+  auto brute_lcp = [&](std::uint64_t q) {
+    unsigned best = 0;
+    for (auto k : keys) {
+      std::uint64_t d = k ^ q;
+      unsigned l = d == 0 ? 64 : static_cast<unsigned>(__builtin_clzll(d));
+      best = std::max(best, l);
+    }
+    return best;
+  };
+  auto queries = ptrie::workload::uniform_u64(100, 62);
+  for (auto k : keys) queries.push_back(k);
+  auto got = t.batch_lcp(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) EXPECT_EQ(got[i], brute_lcp(queries[i]));
+}
+
+TEST(DistXFast, LogLRounds) {
+  System sys(8, 16);
+  ptrie::baselines::DistributedXFastTrie t(sys, 64);
+  auto keys = ptrie::workload::uniform_u64(300, 63);
+  std::vector<std::uint64_t> vals(keys.size(), 1);
+  t.build(keys, vals);
+  sys.metrics().reset();
+  t.batch_lcp(keys);
+  // Binary search over 64 levels: <= 7 rounds (log2 64 + 1).
+  EXPECT_LE(sys.metrics().io_rounds(), 7u);
+}
+
+TEST(DistXFast, SpaceIsPerLevel) {
+  System sys(4, 17);
+  ptrie::baselines::DistributedXFastTrie t(sys, 64);
+  auto keys = ptrie::workload::uniform_u64(500, 64);
+  std::vector<std::uint64_t> vals(keys.size(), 1);
+  t.build(keys, vals);
+  // O(n*l): at least ~n*l/2 distinct prefixes for uniform keys.
+  EXPECT_GT(t.space_words(), keys.size() * 20);
+}
+
+TEST(DistXFast, SubtreeByPrefix) {
+  System sys(4, 18);
+  ptrie::baselines::DistributedXFastTrie t(sys, 64);
+  std::vector<std::uint64_t> keys = {0x1111000000000000ull, 0x1111FFFFFFFFFFFFull,
+                                     0x2222000000000000ull};
+  std::vector<std::uint64_t> vals = {1, 2, 3};
+  t.build(keys, vals);
+  auto got = t.batch_subtree({{0x1111ull, 16}});
+  ASSERT_EQ(got[0].size(), 2u);
+  EXPECT_EQ(got[0][0].first, keys[0]);
+  EXPECT_EQ(got[0][1].first, keys[1]);
+}
+
+TEST(RangePartitioned, LcpAndSubtree) {
+  System sys(8, 19);
+  ptrie::baselines::RangePartitionedIndex t(sys);
+  auto keys = ptrie::workload::uniform_keys(300, 64, 65);
+  std::vector<std::uint64_t> vals(keys.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = i;
+  t.build(keys, vals);
+
+  auto got = t.batch_lcp(keys);
+  for (std::size_t i = 0; i < keys.size(); ++i) EXPECT_EQ(got[i], 64u);
+
+  ptrie::trie::Patricia ref;
+  for (std::size_t i = 0; i < keys.size(); ++i) ref.insert(keys[i], i);
+  BitString p = keys[11].prefix(9);
+  auto sub = t.batch_subtree({p});
+  auto want = ref.subtree(p);
+  ASSERT_EQ(sub[0].size(), want.size());
+}
+
+TEST(RangePartitioned, SingleRoundPointOps) {
+  System sys(8, 20);
+  ptrie::baselines::RangePartitionedIndex t(sys);
+  auto keys = ptrie::workload::uniform_keys(200, 64, 66);
+  std::vector<std::uint64_t> vals(keys.size(), 1);
+  t.build(keys, vals);
+  sys.metrics().reset();
+  t.batch_lcp(keys);
+  EXPECT_EQ(sys.metrics().io_rounds(), 1u);
+}
+
+TEST(RangePartitioned, SkewSerializesOneModule) {
+  System sys(8, 21);
+  ptrie::baselines::RangePartitionedIndex t(sys);
+  auto keys = ptrie::workload::uniform_keys(400, 64, 67);
+  std::vector<std::uint64_t> vals(keys.size(), 1);
+  t.build(keys, vals);
+  sys.metrics().reset();
+  // Hot-spot batch: all queries in one key range.
+  auto hot = ptrie::workload::hot_spot_queries(keys, 400, 68);
+  t.batch_lcp(hot);
+  // Section 3.2's failure mode: max/mean per-module communication ~ P.
+  EXPECT_GT(sys.metrics().comm_imbalance(), 4.0);
+}
+
+}  // namespace

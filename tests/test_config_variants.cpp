@@ -1,0 +1,167 @@
+// Configuration-variant coverage: non-default word size w (the pivot
+// stride and S_rem bound), exhaustive small-w SecondLayerIndex
+// enumeration, Config-derived thresholds, and end-to-end kernel wire
+// round-trips through the simulator.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fasttrie/second_layer.hpp"
+#include "pim/system.hpp"
+#include "pimtrie/config.hpp"
+#include "pimtrie/pim_trie.hpp"
+#include "trie/patricia.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using ptrie::core::BitString;
+using ptrie::pim::System;
+using ptrie::pimtrie::Config;
+using ptrie::pimtrie::PimTrie;
+using ptrie::trie::Patricia;
+
+TEST(ConfigDefaults, PaperThresholds) {
+  Config cfg;
+  cfg.p = 1024;
+  // K_B = log^2 P = 100; K_MB = P; K_SMB = K_B; push = log^4 P.
+  EXPECT_EQ(cfg.block_bound(), 100u);
+  EXPECT_EQ(cfg.meta_block_bound(), 1024u);
+  EXPECT_EQ(cfg.piece_bound(), 100u);
+  EXPECT_EQ(cfg.push_threshold(), 10000u);
+  cfg.p = 4;  // clamps kick in at tiny P
+  EXPECT_GE(cfg.block_bound(), 16u);
+  EXPECT_GE(cfg.push_threshold(), 64u);
+  EXPECT_EQ(Config::log2_ceil(1), 1u);
+  EXPECT_EQ(Config::log2_ceil(2), 1u);
+  EXPECT_EQ(Config::log2_ceil(3), 2u);
+  EXPECT_EQ(Config::log2_ceil(1024), 10u);
+}
+
+class WordSize : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WordSize, EndToEndAtNonDefaultW) {
+  unsigned w = GetParam();
+  System sys(8, 900 + w);
+  Config cfg;
+  cfg.seed = 901 + w;
+  cfg.w = w;
+  PimTrie pt(sys, cfg);
+  auto keys = ptrie::workload::variable_length_keys(250, 8, 120, 902 + w);
+  std::vector<std::uint64_t> vals(keys.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = i;
+  pt.build(keys, vals);
+  ASSERT_EQ(pt.debug_check(), "") << "w=" << w;
+
+  Patricia ref;
+  for (std::size_t i = 0; i < keys.size(); ++i) ref.insert(keys[i], i);
+  std::vector<BitString> queries(keys.begin(), keys.begin() + 120);
+  for (auto& q : ptrie::workload::miss_queries(80, 64, 903 + w)) queries.push_back(q);
+  auto got = pt.batch_lcp(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    EXPECT_EQ(got[i], ref.lcp(queries[i]).first) << "w=" << w << " q=" << i;
+
+  // Updates still work at this stride.
+  auto extra = ptrie::workload::uniform_keys(100, 48, 904 + w);
+  std::vector<std::uint64_t> evals(extra.size(), 7);
+  pt.batch_insert(extra, evals);
+  for (const auto& k : extra) ref.insert(k, 7);
+  EXPECT_EQ(pt.key_count(), ref.key_count());
+  auto got2 = pt.batch_lcp(extra);
+  for (std::size_t i = 0; i < extra.size(); ++i) EXPECT_EQ(got2[i], extra[i].size());
+  ASSERT_EQ(pt.debug_check(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, WordSize, ::testing::Values(16u, 32u, 48u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+// Exhaustive SecondLayerIndex check at w=4: every subset of the 15
+// possible stored strings (length < 4) against every query (length <= 4),
+// compared with the brute-force paper contract (longest LCP; among ties
+// the index may return the root or a direct extension of it — we assert
+// the *LCP value* is maximal, which is what the caller verifies against).
+TEST(SecondLayerExhaustive, AllSubsetsW4) {
+  unsigned w = 4;
+  // Enumerate all strings of length 0..3.
+  std::vector<BitString> all;
+  for (unsigned len = 0; len < w; ++len)
+    for (unsigned v = 0; v < (1u << len); ++v)
+      all.push_back(BitString::from_uint(static_cast<std::uint64_t>(v) << (64 - (len ? len : 1)) >> (64 - (len ? len : 1)), len));
+  // Fix the encoding: from_uint(v, len) wants the value in the low bits.
+  all.clear();
+  for (unsigned len = 0; len < w; ++len)
+    for (unsigned v = 0; v < (1u << len); ++v) all.push_back(BitString::from_uint(v, len));
+  ASSERT_EQ(all.size(), 15u);
+
+  std::vector<BitString> queries;
+  for (unsigned len = 0; len <= w; ++len)
+    for (unsigned v = 0; v < (1u << len); ++v) queries.push_back(BitString::from_uint(v, len));
+
+  for (std::uint32_t mask = 1; mask < (1u << 15); mask += 7) {  // stride the subsets
+    ptrie::fasttrie::SecondLayerIndex idx(w);
+    std::vector<BitString> stored;
+    for (unsigned b = 0; b < 15; ++b)
+      if (mask & (1u << b)) {
+        idx.insert(all[b], b);
+        stored.push_back(all[b]);
+      }
+    for (const auto& q : queries) {
+      std::size_t want = 0;
+      for (const auto& s : stored) want = std::max(want, s.lcp(q));
+      auto got = idx.query(q);
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->lcp, want) << "mask=" << mask << " q=" << q.to_binary();
+    }
+  }
+}
+
+TEST(PimTrieConfig, AlphaRebuildKeepsWorking) {
+  // Aggressive rebuild threshold + tiny pieces: insert-heavy churn forces
+  // the scapegoat-style rebuild path repeatedly.
+  System sys(4, 950);
+  Config cfg;
+  cfg.seed = 951;
+  cfg.kb = 16;
+  cfg.kmb = 8;
+  cfg.ksmb = 4;
+  cfg.alpha = 0.55;
+  PimTrie pt(sys, cfg);
+  auto keys = ptrie::workload::caterpillar_keys(40, 7, 952);
+  std::vector<std::uint64_t> vals(keys.size(), 1);
+  pt.build({keys.begin(), keys.begin() + 10}, {vals.begin(), vals.begin() + 10});
+  // Append ever-deeper keys in small batches: the meta-block tree keeps
+  // growing at the bottom, the adversarial pattern of Section 5.2.
+  for (std::size_t at = 10; at < keys.size(); at += 5) {
+    std::size_t end = std::min(at + 5, keys.size());
+    pt.batch_insert({keys.begin() + at, keys.begin() + end},
+                    {vals.begin() + at, vals.begin() + end});
+    ASSERT_EQ(pt.debug_check(), "") << "after batch at " << at;
+  }
+  Patricia ref;
+  for (std::size_t i = 0; i < keys.size(); ++i) ref.insert(keys[i], 1);
+  auto got = pt.batch_lcp(keys);
+  for (std::size_t i = 0; i < keys.size(); ++i) EXPECT_EQ(got[i], keys[i].size());
+}
+
+TEST(PimTrieConfig, SingleModuleDegenerate) {
+  // P = 1: everything lands on one module; correctness must be unaffected.
+  System sys(1, 960);
+  Config cfg;
+  cfg.seed = 961;
+  PimTrie pt(sys, cfg);
+  auto keys = ptrie::workload::variable_length_keys(120, 8, 90, 962);
+  std::vector<std::uint64_t> vals(keys.size(), 3);
+  pt.build(keys, vals);
+  auto got = pt.batch_get(keys);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(got[i].has_value());
+    EXPECT_EQ(*got[i], 3u);
+  }
+  auto sub = pt.batch_subtree({BitString()});
+  EXPECT_EQ(sub[0].size(), pt.key_count());
+}
+
+}  // namespace

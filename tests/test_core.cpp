@@ -1,0 +1,216 @@
+// Unit tests: BitString, parallel runtime, RNG, Zipf sampler.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/bitstring.hpp"
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
+#include "core/zipf.hpp"
+
+namespace {
+
+using ptrie::core::BitString;
+using ptrie::core::Rng;
+
+TEST(BitString, FromBinaryRoundTrip) {
+  for (const char* s : {"", "0", "1", "0101", "111111111", "000000000000000000000001"}) {
+    EXPECT_EQ(BitString::from_binary(s).to_binary(), s);
+  }
+}
+
+TEST(BitString, FromUint) {
+  BitString s = BitString::from_uint(0b1011, 4);
+  EXPECT_EQ(s.to_binary(), "1011");
+  EXPECT_EQ(BitString::from_uint(0, 0).size(), 0u);
+  BitString full = BitString::from_uint(~0ull, 64);
+  EXPECT_EQ(full.size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_TRUE(full.bit(i));
+}
+
+TEST(BitString, FromBytes) {
+  BitString s = BitString::from_bytes(std::string_view("\xA5", 1));
+  EXPECT_EQ(s.to_binary(), "10100101");
+}
+
+TEST(BitString, PushPopBack) {
+  BitString s;
+  std::string want;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    bool b = rng.coin();
+    s.push_back(b);
+    want.push_back(b ? '1' : '0');
+  }
+  EXPECT_EQ(s.to_binary(), want);
+  for (int i = 0; i < 77; ++i) {
+    s.pop_back();
+    want.pop_back();
+  }
+  EXPECT_EQ(s.to_binary(), want);
+}
+
+TEST(BitString, AppendCrossesWordBoundaries) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string a, b;
+    for (std::size_t i = 0, n = rng.below(130); i < n; ++i) a.push_back(rng.coin() ? '1' : '0');
+    for (std::size_t i = 0, n = rng.below(130); i < n; ++i) b.push_back(rng.coin() ? '1' : '0');
+    BitString sa = BitString::from_binary(a), sb = BitString::from_binary(b);
+    BitString c = sa;
+    c.append(sb);
+    EXPECT_EQ(c.to_binary(), a + b);
+  }
+}
+
+TEST(BitString, SubstrAndSuffix) {
+  Rng rng(3);
+  std::string s;
+  for (int i = 0; i < 300; ++i) s.push_back(rng.coin() ? '1' : '0');
+  BitString bs = BitString::from_binary(s);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::size_t from = rng.below(s.size());
+    std::size_t len = rng.below(s.size() - from + 1);
+    EXPECT_EQ(bs.substr(from, len).to_binary(), s.substr(from, len));
+  }
+  EXPECT_EQ(bs.suffix(100).to_binary(), s.substr(100));
+  EXPECT_EQ(bs.prefix(99).to_binary(), s.substr(0, 99));
+}
+
+TEST(BitString, Truncate) {
+  BitString s = BitString::from_binary("110100111010011101");
+  s.truncate(7);
+  EXPECT_EQ(s.to_binary(), "1101001");
+  s.truncate(0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(BitString, LcpAgainstReference) {
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string a, b;
+    std::size_t shared = rng.below(150);
+    for (std::size_t i = 0; i < shared; ++i) {
+      char c = rng.coin() ? '1' : '0';
+      a.push_back(c);
+      b.push_back(c);
+    }
+    for (std::size_t i = 0, n = rng.below(80); i < n; ++i) a.push_back(rng.coin() ? '1' : '0');
+    for (std::size_t i = 0, n = rng.below(80); i < n; ++i) b.push_back(rng.coin() ? '1' : '0');
+    BitString sa = BitString::from_binary(a), sb = BitString::from_binary(b);
+    std::size_t want = 0;
+    while (want < a.size() && want < b.size() && a[want] == b[want]) ++want;
+    EXPECT_EQ(sa.lcp(sb), want);
+    EXPECT_EQ(sb.lcp(sa), want);
+  }
+}
+
+TEST(BitString, LcpAtAndRange) {
+  BitString a = BitString::from_binary("0011010111001101011100");
+  BitString b = BitString::from_binary("0101110011");
+  // a[4..] = "010111001101011100"; b is a 10-bit prefix of it.
+  EXPECT_EQ(a.lcp_at(4, b), 10u);
+  EXPECT_EQ(a.lcp_range(4, b, 0), 10u);
+  EXPECT_EQ(a.lcp_range(4, a, 4), 18u);
+  // Diverging case.
+  BitString c = BitString::from_binary("0101111");
+  EXPECT_EQ(a.lcp_at(4, c), 6u);
+}
+
+TEST(BitString, CompareIsLexicographic) {
+  std::vector<std::string> raw = {"", "0", "00", "0001", "01", "1", "10", "101", "11"};
+  std::vector<BitString> keys;
+  for (const auto& r : raw) keys.push_back(BitString::from_binary(r));
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    for (std::size_t j = 0; j < keys.size(); ++j) {
+      int want = raw[i] < raw[j] ? -1 : (raw[i] == raw[j] ? 0 : 1);
+      EXPECT_EQ(keys[i].compare(keys[j]), want) << raw[i] << " vs " << raw[j];
+    }
+}
+
+TEST(BitString, PrefixRelation) {
+  BitString a = BitString::from_binary("0101");
+  BitString b = BitString::from_binary("01011");
+  EXPECT_TRUE(a.is_prefix_of(b));
+  EXPECT_FALSE(b.is_prefix_of(a));
+  EXPECT_TRUE(a.is_prefix_of(a));
+  EXPECT_TRUE(BitString().is_prefix_of(a));
+}
+
+TEST(BitString, HashDistinguishesLengths) {
+  BitString a = BitString::from_binary("0");
+  BitString b = BitString::from_binary("00");
+  EXPECT_NE(a.std_hash(), b.std_hash());
+}
+
+TEST(Parallel, ParallelForCoversRange) {
+  std::vector<int> hits(10'000, 0);
+  ptrie::core::parallel_for(0, hits.size(), [&](std::size_t i) { hits[i]++; });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; }));
+}
+
+TEST(Parallel, ReduceMatchesSerial) {
+  std::size_t n = 100'000;
+  auto f = [](std::size_t i) { return static_cast<std::uint64_t>(i) * 7 + 3; };
+  std::uint64_t got = ptrie::core::parallel_reduce<std::uint64_t>(
+      0, n, 0, f, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  std::uint64_t want = 0;
+  for (std::size_t i = 0; i < n; ++i) want += f(i);
+  EXPECT_EQ(got, want);
+}
+
+TEST(Parallel, ScanExclusive) {
+  std::vector<std::uint64_t> v = {3, 1, 4, 1, 5};
+  std::uint64_t total = ptrie::core::exclusive_scan(v);
+  EXPECT_EQ(total, 14u);
+  EXPECT_EQ(v, (std::vector<std::uint64_t>{0, 3, 4, 8, 9}));
+}
+
+TEST(Rng, DeterministicAndForkIndependent) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  Rng c(42);
+  Rng child = c.fork();
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) any_diff |= (c() != child());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Zipf, UniformWhenThetaZero) {
+  ptrie::core::ZipfSampler z(100, 0.0);
+  Rng rng(8);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20'000; ++i) counts[z.sample(rng)]++;
+  auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GT(*mn, 100);   // ~200 expected
+  EXPECT_LT(*mx, 400);
+}
+
+TEST(Zipf, SkewConcentratesOnLowRanks) {
+  ptrie::core::ZipfSampler z(1000, 1.2);
+  Rng rng(9);
+  std::size_t low = 0, n = 20'000;
+  for (std::size_t i = 0; i < n; ++i)
+    if (z.sample(rng) < 10) ++low;
+  // With theta=1.2 the top-10 ranks should dominate.
+  EXPECT_GT(low, n / 2);
+}
+
+TEST(Zipf, LargeNApproximationInBounds) {
+  ptrie::core::ZipfSampler z(1u << 20, 0.99);
+  Rng rng(10);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(z.sample(rng), 1u << 20);
+}
+
+}  // namespace

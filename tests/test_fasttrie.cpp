@@ -1,0 +1,286 @@
+// Unit + property tests: x-fast trie, y-fast trie, z-fast trie, and the
+// Section 4.4.2 two-layer SecondLayerIndex — all against brute-force
+// reference models.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "core/rng.hpp"
+#include "fasttrie/second_layer.hpp"
+#include "fasttrie/xfast.hpp"
+#include "fasttrie/yfast.hpp"
+#include "fasttrie/zfast.hpp"
+#include "trie/patricia.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using ptrie::core::BitString;
+using ptrie::core::Rng;
+using ptrie::fasttrie::SecondLayerIndex;
+using ptrie::fasttrie::two_fattest;
+using ptrie::fasttrie::XFastTrie;
+using ptrie::fasttrie::YFastTrie;
+using ptrie::fasttrie::ZFastTrie;
+
+template <class Trie>
+void ordered_set_property_test(unsigned width, std::uint64_t seed, std::size_t ops) {
+  Trie t(width);
+  std::set<std::uint64_t> model;
+  Rng rng(seed);
+  std::uint64_t mask = width == 64 ? ~0ull : ((1ull << width) - 1);
+  for (std::size_t i = 0; i < ops; ++i) {
+    std::uint64_t key = rng() & mask;
+    switch (rng.below(4)) {
+      case 0:
+      case 1: {
+        bool fresh = model.insert(key).second;
+        EXPECT_EQ(t.insert(key), fresh);
+        break;
+      }
+      case 2: {
+        // Erase something present half the time.
+        std::uint64_t victim = key;
+        if (!model.empty() && rng.coin()) {
+          auto it = model.lower_bound(key);
+          if (it == model.end()) it = model.begin();
+          victim = *it;
+        }
+        bool present = model.erase(victim) > 0;
+        EXPECT_EQ(t.erase(victim), present);
+        break;
+      }
+      default: {
+        // pred / succ probes.
+        auto it = model.upper_bound(key);
+        std::optional<std::uint64_t> want_pred;
+        if (it != model.begin()) want_pred = *std::prev(it);
+        if (model.contains(key)) want_pred = key;
+        auto it2 = model.lower_bound(key);
+        std::optional<std::uint64_t> want_succ;
+        if (it2 != model.end()) want_succ = *it2;
+        EXPECT_EQ(t.pred(key), want_pred) << "pred(" << key << ")";
+        EXPECT_EQ(t.succ(key), want_succ) << "succ(" << key << ")";
+        EXPECT_EQ(t.contains(key), model.contains(key));
+        break;
+      }
+    }
+    EXPECT_EQ(t.size(), model.size());
+  }
+}
+
+TEST(XFast, PropertyWidth8) { ordered_set_property_test<XFastTrie>(8, 21, 3000); }
+TEST(XFast, PropertyWidth16) { ordered_set_property_test<XFastTrie>(16, 22, 3000); }
+TEST(XFast, PropertyWidth64) { ordered_set_property_test<XFastTrie>(64, 23, 1500); }
+
+TEST(XFast, LcpLevel) {
+  XFastTrie t(8);
+  t.insert(0b10110000);
+  t.insert(0b10111111);
+  EXPECT_EQ(t.lcp_level(0b10110000), 8u);
+  EXPECT_EQ(t.lcp_level(0b10111110), 7u);
+  EXPECT_EQ(t.lcp_level(0b10100000), 3u);
+  EXPECT_EQ(t.lcp_level(0b01000000), 0u);
+}
+
+TEST(XFast, MinMax) {
+  XFastTrie t(16);
+  EXPECT_FALSE(t.min().has_value());
+  for (std::uint64_t v : {900u, 5u, 30000u, 77u}) t.insert(v);
+  EXPECT_EQ(t.min(), std::optional<std::uint64_t>(5));
+  EXPECT_EQ(t.max(), std::optional<std::uint64_t>(30000));
+  t.erase(5);
+  EXPECT_EQ(t.min(), std::optional<std::uint64_t>(77));
+}
+
+TEST(YFast, PropertyWidth16) { ordered_set_property_test<YFastTrie>(16, 24, 3000); }
+TEST(YFast, PropertyWidth64) { ordered_set_property_test<YFastTrie>(64, 25, 1500); }
+
+TEST(YFast, BucketsStayBounded) {
+  YFastTrie t(16);
+  Rng rng(26);
+  for (int i = 0; i < 4000; ++i) t.insert(rng() & 0xFFFF);
+  // O(n/w) buckets for n keys of width w.
+  EXPECT_LE(t.bucket_count(), t.size() / 4 + 2);
+  EXPECT_GE(t.bucket_count(), t.size() / (2 * 16 + 1));
+}
+
+TEST(YFast, SpaceLinear) {
+  YFastTrie t(64);
+  Rng rng(27);
+  std::size_t n = 3000;
+  for (std::size_t i = 0; i < n; ++i) t.insert(rng());
+  // Linear space: well under the O(n*w) an x-fast trie would need.
+  XFastTrie x(64);
+  Rng rng2(27);
+  for (std::size_t i = 0; i < n; ++i) x.insert(rng2());
+  EXPECT_LT(t.space_words(), x.space_words() / 4);
+}
+
+TEST(TwoFattest, Definition) {
+  // two_fattest(a, b] = the value in (a, b] divisible by the largest
+  // power of two.
+  auto brute = [](std::uint64_t a, std::uint64_t b) {
+    std::uint64_t best = a + 1;
+    auto tz = [](std::uint64_t x) { return x == 0 ? 64 : __builtin_ctzll(x); };
+    for (std::uint64_t v = a + 1; v <= b; ++v)
+      if (tz(v) > tz(best)) best = v;
+    return best;
+  };
+  Rng rng(28);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::uint64_t a = rng.below(500);
+    std::uint64_t b = a + 1 + rng.below(500);
+    EXPECT_EQ(two_fattest(a, b), brute(a, b)) << a << "," << b;
+  }
+}
+
+TEST(ZFast, LocateMatchesPatriciaLcp) {
+  ptrie::hash::PolyHasher h(3);
+  for (int scenario = 0; scenario < 3; ++scenario) {
+    auto keys = scenario == 0   ? ptrie::workload::uniform_keys(150, 64, 29)
+                : scenario == 1 ? ptrie::workload::caterpillar_keys(80, 6, 30)
+                                : ptrie::workload::variable_length_keys(150, 8, 120, 31);
+    ptrie::trie::Patricia t;
+    for (std::size_t i = 0; i < keys.size(); ++i) t.insert(keys[i], i);
+    ZFastTrie z(t, h);
+    auto queries = keys;
+    for (auto& q : ptrie::workload::miss_queries(80, 64, 32)) queries.push_back(q);
+    for (const auto& q : queries) {
+      auto [want_len, want_pos] = t.lcp(q);
+      std::size_t probes = 0;
+      auto [got_len, got_pos] = z.locate(q, &probes);
+      EXPECT_EQ(got_len, want_len) << q.to_binary();
+      EXPECT_EQ(got_pos.node, want_pos.node);
+      EXPECT_EQ(got_pos.above, want_pos.above);
+    }
+  }
+}
+
+TEST(ZFast, LogarithmicProbes) {
+  ptrie::hash::PolyHasher h(4);
+  // Deep caterpillar: height ~ 600 bits; plain walk would touch ~100
+  // nodes, fat binary search should need ~O(log height) probes.
+  auto keys = ptrie::workload::caterpillar_keys(100, 6, 33);
+  ptrie::trie::Patricia t;
+  for (std::size_t i = 0; i < keys.size(); ++i) t.insert(keys[i], i);
+  ZFastTrie z(t, h);
+  std::size_t total_probes = 0, n = 0;
+  for (std::size_t i = 0; i < keys.size(); i += 5) {
+    std::size_t probes = 0;
+    z.locate(keys[i], &probes);
+    total_probes += probes;
+    ++n;
+  }
+  EXPECT_LE(total_probes, n * 16);  // ~2*log2(600) with slack
+}
+
+// ---- SecondLayerIndex: the paper's exact contract ----
+
+struct SLModel {
+  std::vector<BitString> strings;
+  // Paper semantics: longest LCP with Q; among ties, the one that is not
+  // an extension of another tie (i.e., the shortest).
+  std::optional<BitString> query(const BitString& q) const {
+    std::optional<BitString> best;
+    std::size_t best_lcp = 0;
+    for (const auto& s : strings) {
+      std::size_t l = s.lcp(q);
+      if (!best || l > best_lcp || (l == best_lcp && s.size() < best->size())) {
+        if (!best || l >= best_lcp) {
+          best = s;
+          best_lcp = l;
+        }
+      }
+    }
+    return best;
+  }
+};
+
+TEST(SecondLayer, PaperContractSmallW) {
+  unsigned w = 8;
+  Rng rng(34);
+  for (int trial = 0; trial < 40; ++trial) {
+    SecondLayerIndex idx(w);
+    SLModel model;
+    std::set<std::string> used;
+    for (int i = 0, n = 1 + rng.below(12); i < n; ++i) {
+      std::size_t len = rng.below(w);  // < w
+      BitString s;
+      for (std::size_t b = 0; b < len; ++b) s.push_back(rng.coin());
+      if (!used.insert(s.to_binary()).second) continue;
+      idx.insert(s, i);
+      model.strings.push_back(s);
+    }
+    if (model.strings.empty()) continue;
+    for (int qi = 0; qi < 30; ++qi) {
+      std::size_t qlen = rng.below(w + 1);
+      BitString q;
+      for (std::size_t b = 0; b < qlen; ++b) q.push_back(rng.coin());
+      auto got = idx.query(q);
+      auto want = model.query(q);
+      ASSERT_TRUE(got.has_value());
+      // The paper's guarantee we rely on: the returned string has the
+      // maximum LCP with q (ties may resolve to root-or-direct-child;
+      // both verify downstream).
+      std::size_t want_lcp = want->lcp(q);
+      EXPECT_EQ(got->lcp, want_lcp) << "q=" << q.to_binary() << " got=" << got->str.to_binary()
+                                    << " want=" << want->to_binary();
+    }
+  }
+}
+
+TEST(SecondLayer, OnPathChainReturnsDeepest) {
+  // Stored: nested prefixes of one string (an on-path chain); query = the
+  // full string. Must return the deepest (longest) chain member.
+  unsigned w = 16;
+  SecondLayerIndex idx(w);
+  BitString spine = BitString::from_binary("101100111000110");
+  for (std::size_t len : {0u, 3u, 7u, 12u})
+    idx.insert(spine.prefix(len), len);
+  auto got = idx.query(spine);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->str.size(), 12u);
+  EXPECT_EQ(got->lcp, 12u);
+}
+
+TEST(SecondLayer, EraseRestoresPrevious) {
+  unsigned w = 8;
+  SecondLayerIndex idx(w);
+  idx.insert(BitString::from_binary("101"), 1);
+  idx.insert(BitString::from_binary("1011"), 2);
+  BitString q = BitString::from_binary("10111111");
+  EXPECT_EQ(idx.query(q)->payload, 2u);
+  idx.erase(BitString::from_binary("1011"));
+  EXPECT_EQ(idx.query(q)->payload, 1u);
+  idx.erase(BitString::from_binary("101"));
+  EXPECT_FALSE(idx.query(q).has_value());
+}
+
+TEST(SecondLayer, EmptyStringStored) {
+  SecondLayerIndex idx(8);
+  idx.insert(BitString(), 7);
+  auto got = idx.query(BitString::from_binary("1010"));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, 7u);
+  EXPECT_EQ(got->lcp, 0u);
+}
+
+TEST(SecondLayer, Figure5Example) {
+  // Paper Figure 5 (w = 3): padded "0" -> "011"/"000" in the y-fast trie,
+  // validity vectors pick S_rem = "01" for the block root's child.
+  unsigned w = 3;
+  SecondLayerIndex idx(w);
+  idx.insert(BitString::from_binary("01"), 42);  // the child's S_rem
+  // Query S'_rem = "0" (padded to "000"/"011").
+  auto got = idx.query(BitString::from_binary("0"));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->str.to_binary(), "01");
+  EXPECT_EQ(got->payload, 42u);
+  EXPECT_EQ(got->lcp, 1u);
+}
+
+}  // namespace

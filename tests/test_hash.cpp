@@ -1,0 +1,208 @@
+// Unit tests: polynomial hash (associativity, Definitions 2/3), CRC64
+// (incrementality + GF(2) combine), fingerprint truncation, hash table.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/bitstring.hpp"
+#include "core/rng.hpp"
+#include "hash/crc64.hpp"
+#include "hash/hash_table.hpp"
+#include "hash/poly_hash.hpp"
+#include "hash/prefix_hashes.hpp"
+
+namespace {
+
+using ptrie::core::BitString;
+using ptrie::core::Rng;
+using ptrie::hash::Crc64;
+using ptrie::hash::HashTable;
+using ptrie::hash::PolyHasher;
+
+BitString random_bits(Rng& rng, std::size_t n) {
+  BitString s;
+  for (std::size_t i = 0; i < n; ++i) s.push_back(rng.coin());
+  return s;
+}
+
+TEST(PolyHash, EmptyAndSingleBits) {
+  PolyHasher h(1);
+  EXPECT_EQ(h.hash(BitString()), h.empty());
+  EXPECT_NE(h.hash(BitString::from_binary("0")), h.hash(BitString::from_binary("1")));
+  // Leading-1 encoding: all-zero strings of different lengths differ.
+  EXPECT_NE(h.hash(BitString::from_binary("0")), h.hash(BitString::from_binary("00")));
+  EXPECT_NE(h.hash(BitString::from_binary("00")), h.empty());
+}
+
+TEST(PolyHash, ExtendMatchesDirect) {
+  PolyHasher h(2);
+  Rng rng(11);
+  for (int trial = 0; trial < 60; ++trial) {
+    BitString a = random_bits(rng, rng.below(200));
+    BitString b = random_bits(rng, rng.below(200));
+    BitString ab = a;
+    ab.append(b);
+    // Definition 2: h(AB) from h(A) and the bits of B.
+    EXPECT_EQ(h.extend(h.hash(a), ab, a.size(), b.size()), h.hash(ab));
+  }
+}
+
+TEST(PolyHash, CombineIsAssociativeIncremental) {
+  PolyHasher h(3);
+  Rng rng(12);
+  for (int trial = 0; trial < 60; ++trial) {
+    BitString a = random_bits(rng, rng.below(150));
+    BitString b = random_bits(rng, rng.below(150));
+    BitString c = random_bits(rng, rng.below(150));
+    BitString ab = a;
+    ab.append(b);
+    BitString abc = ab;
+    abc.append(c);
+    // Definition 3: h(AB) = combine(h(A), h(B), |B|).
+    EXPECT_EQ(h.combine(h.hash(a), h.hash(b), b.size()), h.hash(ab));
+    // Associativity: combine(combine(a,b),c) == combine(a,combine(b,c)).
+    auto left = h.combine(h.combine(h.hash(a), h.hash(b), b.size()), h.hash(c), c.size());
+    auto right =
+        h.combine(h.hash(a), h.combine(h.hash(b), h.hash(c), c.size()), b.size() + c.size());
+    EXPECT_EQ(left, right);
+    EXPECT_EQ(left, h.hash(abc));
+  }
+}
+
+TEST(PolyHash, ExtendBitChain) {
+  PolyHasher h(4);
+  BitString s = BitString::from_binary("10110100111");
+  auto acc = h.empty();
+  for (std::size_t i = 0; i < s.size(); ++i) acc = h.extend_bit(acc, s.bit(i));
+  EXPECT_EQ(acc, h.hash(s));
+}
+
+TEST(PolyHash, PivotHashesMatchPrefixes) {
+  PolyHasher h(5);
+  Rng rng(13);
+  BitString s = random_bits(rng, 300);
+  auto pivots = h.pivot_hashes(s, 64);
+  ASSERT_EQ(pivots.size(), 300 / 64 + 1);
+  for (std::size_t k = 0; k < pivots.size(); ++k)
+    EXPECT_EQ(pivots[k], h.hash_prefix(s, k * 64));
+}
+
+TEST(PolyHash, PrefixHashesHelper) {
+  PolyHasher h(6);
+  Rng rng(14);
+  BitString s = random_bits(rng, 257);
+  ptrie::hash::PrefixHashes ph(h, s);
+  for (std::size_t len : {0u, 1u, 63u, 64u, 65u, 128u, 200u, 257u})
+    EXPECT_EQ(ph.prefix(len), h.hash_prefix(s, len));
+}
+
+TEST(PolyHash, SeedsProduceDifferentFunctions) {
+  PolyHasher h1(100), h2(101);
+  BitString s = BitString::from_binary("1011001");
+  EXPECT_NE(h1.hash(s), h2.hash(s));
+}
+
+TEST(PolyHash, FingerprintTruncationForcesCollisions) {
+  PolyHasher h(7, /*fingerprint_bits=*/8);
+  Rng rng(15);
+  std::unordered_set<std::uint64_t> fps;
+  bool collided = false;
+  for (int i = 0; i < 1000 && !collided; ++i) {
+    auto fp = h.fingerprint(h.hash(random_bits(rng, 64)));
+    EXPECT_LT(fp, 256u);
+    collided = !fps.insert(fp).second;
+  }
+  EXPECT_TRUE(collided);
+}
+
+TEST(PolyHash, CollisionRareAtFullWidth) {
+  PolyHasher h(8);
+  Rng rng(16);
+  std::unordered_set<std::uint64_t> seen;
+  for (int i = 0; i < 20'000; ++i)
+    EXPECT_TRUE(seen.insert(h.hash(random_bits(rng, 40 + rng.below(40)))).second);
+}
+
+TEST(Crc64, MatchesBitwiseDefinition) {
+  Crc64 crc;
+  BitString s = BitString::from_binary("110100111010");
+  auto st = crc.init();
+  for (std::size_t i = 0; i < s.size(); ++i) st = crc.extend_bit(st, s.bit(i));
+  EXPECT_EQ(crc.finish(st), crc.hash(s));
+}
+
+TEST(Crc64, IncrementalExtend) {
+  Crc64 crc;
+  Rng rng(17);
+  BitString a = random_bits(rng, 90), b = random_bits(rng, 70);
+  BitString ab = a;
+  ab.append(b);
+  auto st = crc.extend(crc.init(), a, 0, a.size());
+  st = crc.extend(st, b, 0, b.size());
+  EXPECT_EQ(crc.finish(st), crc.hash(ab));
+}
+
+TEST(Crc64, CombineMatchesConcatenation) {
+  Crc64 crc;
+  Rng rng(18);
+  for (int trial = 0; trial < 30; ++trial) {
+    BitString a = random_bits(rng, rng.below(120));
+    BitString b = random_bits(rng, rng.below(120));
+    BitString ab = a;
+    ab.append(b);
+    EXPECT_EQ(crc.combine(crc.hash(a), crc.hash(b), b.size()), crc.hash(ab))
+        << "|a|=" << a.size() << " |b|=" << b.size();
+  }
+}
+
+TEST(HashTable, InsertFindErase) {
+  HashTable t;
+  EXPECT_TRUE(t.insert(1, 10));
+  EXPECT_FALSE(t.insert(1, 11));  // already present
+  EXPECT_EQ(t.find(1), std::optional<std::uint64_t>(10));
+  t.upsert(1, 12);
+  EXPECT_EQ(t.find(1), std::optional<std::uint64_t>(12));
+  EXPECT_TRUE(t.erase(1));
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_FALSE(t.find(1).has_value());
+}
+
+TEST(HashTable, GrowsAndKeepsAll) {
+  HashTable t(4);
+  Rng rng(19);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> kvs;
+  for (int i = 0; i < 5000; ++i) kvs.emplace_back(rng(), rng());
+  for (auto [k, v] : kvs) t.upsert(k, v);
+  for (auto [k, v] : kvs) EXPECT_EQ(t.find(k), std::optional<std::uint64_t>(v));
+  EXPECT_EQ(t.size(), kvs.size());
+}
+
+TEST(HashTable, BackwardShiftDeletionKeepsChains) {
+  HashTable t(8);
+  // Insert colliding-ish keys, delete half, check the rest.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 200; ++i) keys.push_back(i * 1024);
+  for (auto k : keys) t.insert(k, k + 1);
+  for (std::size_t i = 0; i < keys.size(); i += 2) EXPECT_TRUE(t.erase(keys[i]));
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i % 2 == 0)
+      EXPECT_FALSE(t.find(keys[i]).has_value());
+    else
+      EXPECT_EQ(t.find(keys[i]), std::optional<std::uint64_t>(keys[i] + 1));
+  }
+}
+
+TEST(HashTable, BatchOps) {
+  HashTable t;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> kvs;
+  for (std::uint64_t i = 0; i < 100; ++i) kvs.emplace_back(i * 7 + 1, i);
+  t.batch_insert(kvs);
+  std::vector<std::uint64_t> probe{1, 8, 9999};
+  auto res = t.batch_find(probe);
+  EXPECT_EQ(res[0], std::optional<std::uint64_t>(0));
+  EXPECT_EQ(res[1], std::optional<std::uint64_t>(1));
+  EXPECT_FALSE(res[2].has_value());
+}
+
+}  // namespace

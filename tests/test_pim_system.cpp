@@ -1,0 +1,115 @@
+// Unit tests: the PIM Model simulator — round semantics, exact word
+// accounting, IO-time = per-round maxima, PIM-time, balance reports.
+
+#include <gtest/gtest.h>
+
+#include "pim/system.hpp"
+
+namespace {
+
+using ptrie::pim::Buffer;
+using ptrie::pim::Module;
+using ptrie::pim::System;
+
+TEST(PimSystem, RoundEchoesAndCounts) {
+  System sys(4);
+  std::vector<Buffer> to(4);
+  to[1] = {10, 20, 30};
+  to[3] = {7};
+  auto res = sys.round("t", std::move(to), [](Module& m, Buffer in) {
+    m.work(in.size());
+    Buffer out = in;
+    out.push_back(99);
+    return out;
+  });
+  EXPECT_TRUE(res[0].empty());  // not launched
+  EXPECT_EQ(res[1], (Buffer{10, 20, 30, 99}));
+  EXPECT_EQ(res[3], (Buffer{7, 99}));
+
+  const auto& m = sys.metrics();
+  EXPECT_EQ(m.io_rounds(), 1u);
+  // Module 1: 3 in + 4 out = 7 words; module 3: 1 + 2 = 3.
+  EXPECT_EQ(m.total_comm_words(), 10u);
+  EXPECT_EQ(m.io_time(), 7u);  // max across modules
+  EXPECT_EQ(m.per_module_words()[1], 7u);
+  EXPECT_EQ(m.per_module_words()[3], 3u);
+  EXPECT_EQ(m.pim_time(), 3u);   // max work
+  EXPECT_EQ(m.total_pim_work(), 4u);
+}
+
+TEST(PimSystem, IoTimeSumsPerRoundMaxima) {
+  System sys(2);
+  for (int r = 0; r < 3; ++r) {
+    std::vector<Buffer> to(2);
+    to[r % 2] = Buffer(static_cast<std::size_t>(5 + r), 1);
+    sys.round("r", std::move(to), [](Module&, Buffer) { return Buffer{}; });
+  }
+  // Maxima: 5, 6, 7 -> 18.
+  EXPECT_EQ(sys.metrics().io_time(), 18u);
+  EXPECT_EQ(sys.metrics().io_rounds(), 3u);
+}
+
+TEST(PimSystem, BroadcastChargesAllModules) {
+  System sys(8);
+  Buffer payload{1, 2, 3};
+  sys.broadcast_round("b", payload, [](Module& m, Buffer in) {
+    m.work(1);
+    return Buffer{static_cast<std::uint64_t>(in.size())};
+  });
+  EXPECT_EQ(sys.metrics().total_comm_words(), 8u * 4u);
+  EXPECT_DOUBLE_EQ(sys.metrics().comm_imbalance(), 1.0);
+}
+
+TEST(PimSystem, ModuleStateIsolatedPerSlot) {
+  System sys(2);
+  sys.module(0).emplace_state<int>(1, 42);
+  sys.module(0).emplace_state<int>(2, 7);
+  EXPECT_EQ(sys.module(0).state<int>(1), 42);
+  EXPECT_EQ(sys.module(0).state<int>(2), 7);
+  EXPECT_FALSE(sys.module(1).has_state<int>(1));
+  sys.module(0).drop_state<int>(1);
+  EXPECT_FALSE(sys.module(0).has_state<int>(1));
+}
+
+TEST(PimSystem, ImbalanceDetectsSkew) {
+  System sys(4);
+  std::vector<Buffer> to(4);
+  to[0] = Buffer(100, 1);  // everything to one module
+  sys.round("skew", std::move(to), [](Module&, Buffer) { return Buffer{}; });
+  EXPECT_GT(sys.metrics().comm_imbalance(), 3.9);
+}
+
+TEST(PimSystem, SnapshotDeltas) {
+  System sys(2);
+  auto before = sys.metrics().snapshot();
+  std::vector<Buffer> to(2);
+  to[0] = {1, 2};
+  sys.round("x", std::move(to), [](Module& m, Buffer) {
+    m.work(5);
+    return Buffer{9};
+  });
+  auto after = sys.metrics().snapshot();
+  EXPECT_EQ(after.rounds - before.rounds, 1u);
+  EXPECT_EQ(after.words - before.words, 3u);
+  EXPECT_EQ(after.pim_time - before.pim_time, 5u);
+}
+
+TEST(PimSystem, ResetClears) {
+  System sys(2);
+  std::vector<Buffer> to(2);
+  to[1] = {1};
+  sys.round("x", std::move(to), [](Module&, Buffer) { return Buffer{}; });
+  sys.metrics().reset();
+  EXPECT_EQ(sys.metrics().io_rounds(), 0u);
+  EXPECT_EQ(sys.metrics().total_comm_words(), 0u);
+  EXPECT_EQ(sys.metrics().per_module_words()[1], 0u);
+}
+
+TEST(PimSystem, RandomModuleCoversAll) {
+  System sys(8, 99);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 2000; ++i) hits[sys.random_module()]++;
+  for (int h : hits) EXPECT_GT(h, 100);
+}
+
+}  // namespace

@@ -1,0 +1,242 @@
+// End-to-end PimTrie correctness against a reference Patricia trie:
+// batch LCP / Insert / Delete / SubtreeQuery on several workload shapes
+// and machine sizes, plus round/communication sanity checks.
+
+#include <gtest/gtest.h>
+
+#include "pim/system.hpp"
+#include "pimtrie/pim_trie.hpp"
+#include "trie/patricia.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using ptrie::core::BitString;
+using ptrie::pim::System;
+using ptrie::pimtrie::Config;
+using ptrie::pimtrie::PimTrie;
+using ptrie::trie::Patricia;
+
+std::vector<std::uint64_t> iota_values(std::size_t n) {
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = 1000 + i;
+  return v;
+}
+
+Patricia reference_of(const std::vector<BitString>& keys,
+                      const std::vector<std::uint64_t>& values) {
+  Patricia ref;
+  for (std::size_t i = 0; i < keys.size(); ++i) ref.insert(keys[i], values[i]);
+  return ref;
+}
+
+void check_lcp(PimTrie& pt, const Patricia& ref, const std::vector<BitString>& queries) {
+  auto got = pt.batch_lcp(queries);
+  ASSERT_EQ(got.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto [want, pos] = ref.lcp(queries[i]);
+    (void)pos;
+    EXPECT_EQ(got[i], want) << "query " << i << " = " << queries[i].to_binary();
+  }
+}
+
+struct Scenario {
+  const char* name;
+  std::vector<BitString> keys;
+};
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> out;
+  out.push_back({"uniform64", ptrie::workload::uniform_keys(300, 64, 1)});
+  out.push_back({"varlen", ptrie::workload::variable_length_keys(300, 24, 200, 2)});
+  out.push_back({"shared_prefix", ptrie::workload::shared_prefix_keys(200, 300, 48, 3)});
+  out.push_back({"caterpillar", ptrie::workload::caterpillar_keys(120, 9, 4)});
+  return out;
+}
+
+class PimTrieScenario : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(PimTrieScenario, LcpMatchesReference) {
+  auto [p, scen_idx] = GetParam();
+  Scenario scen = scenarios()[scen_idx];
+  System sys(p, 42);
+  Config cfg;
+  cfg.seed = 7;
+  PimTrie pt(sys, cfg);
+  auto values = iota_values(scen.keys.size());
+  pt.build(scen.keys, values);
+  Patricia ref = reference_of(scen.keys, values);
+  ASSERT_EQ(pt.key_count(), ref.key_count());
+
+  // Stored keys: LCP == full length.
+  std::vector<BitString> exact(scen.keys.begin(), scen.keys.begin() + scen.keys.size() / 2);
+  check_lcp(pt, ref, exact);
+  // Random misses.
+  check_lcp(pt, ref, ptrie::workload::miss_queries(150, 64, 99));
+  // Near hits: stored keys with flipped trailing bits.
+  check_lcp(pt, ref, ptrie::workload::hot_spot_queries(scen.keys, 100, 5));
+  // Prefixes of stored keys (ends on hidden nodes).
+  {
+    std::vector<BitString> prefixes;
+    for (std::size_t i = 0; i < scen.keys.size(); i += 7)
+      prefixes.push_back(scen.keys[i].prefix(scen.keys[i].size() / 2));
+    check_lcp(pt, ref, prefixes);
+  }
+  EXPECT_EQ(pt.verify_stats().redo_rounds, 0u);
+}
+
+std::string scenario_name(const ::testing::TestParamInfo<std::tuple<std::size_t, int>>& info) {
+  static const char* names[] = {"uniform64", "varlen", "shared_prefix", "caterpillar"};
+  return "P" + std::to_string(std::get<0>(info.param)) + "_" + names[std::get<1>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(Machine, PimTrieScenario,
+                         ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{4},
+                                                              std::size_t{16}),
+                                            ::testing::Values(0, 1, 2, 3)),
+                         scenario_name);
+
+TEST(PimTrieInsert, InsertThenLcpAndFind) {
+  System sys(8, 43);
+  Config cfg;
+  cfg.seed = 11;
+  PimTrie pt(sys, cfg);
+  auto base = ptrie::workload::uniform_keys(200, 64, 21);
+  auto values = iota_values(base.size());
+  pt.build(base, values);
+  Patricia ref = reference_of(base, values);
+
+  auto extra = ptrie::workload::uniform_keys(150, 64, 22);
+  std::vector<std::uint64_t> evals(extra.size());
+  for (std::size_t i = 0; i < extra.size(); ++i) evals[i] = 5000 + i;
+  pt.batch_insert(extra, evals);
+  for (std::size_t i = 0; i < extra.size(); ++i) ref.insert(extra[i], evals[i]);
+  EXPECT_EQ(pt.key_count(), ref.key_count());
+
+  check_lcp(pt, ref, extra);
+  check_lcp(pt, ref, base);
+  check_lcp(pt, ref, ptrie::workload::miss_queries(100, 64, 23));
+}
+
+TEST(PimTrieInsert, OverlappingAndPrefixKeys) {
+  System sys(4, 44);
+  Config cfg;
+  cfg.seed = 12;
+  PimTrie pt(sys, cfg);
+  auto base = ptrie::workload::caterpillar_keys(60, 7, 31);
+  auto values = iota_values(base.size());
+  pt.build(base, values);
+  Patricia ref = reference_of(base, values);
+
+  // Insert keys that extend and branch off the caterpillar.
+  std::vector<BitString> extra;
+  for (std::size_t i = 0; i < base.size(); i += 3) {
+    BitString k = base[i];
+    k.push_back(!k.bit(k.size() - 1));
+    k.append(BitString::from_binary("1011"));
+    extra.push_back(std::move(k));
+  }
+  std::vector<std::uint64_t> evals(extra.size(), 777);
+  pt.batch_insert(extra, evals);
+  for (std::size_t i = 0; i < extra.size(); ++i) ref.insert(extra[i], evals[i]);
+  EXPECT_EQ(pt.key_count(), ref.key_count());
+  check_lcp(pt, ref, extra);
+  check_lcp(pt, ref, base);
+}
+
+TEST(PimTrieErase, EraseHalf) {
+  System sys(8, 45);
+  Config cfg;
+  cfg.seed = 13;
+  PimTrie pt(sys, cfg);
+  auto keys = ptrie::workload::uniform_keys(240, 64, 41);
+  auto values = iota_values(keys.size());
+  pt.build(keys, values);
+  Patricia ref = reference_of(keys, values);
+
+  std::vector<BitString> victims;
+  for (std::size_t i = 0; i < keys.size(); i += 2) victims.push_back(keys[i]);
+  pt.batch_erase(victims);
+  for (const auto& k : victims) ref.erase(k);
+  EXPECT_EQ(pt.key_count(), ref.key_count());
+  check_lcp(pt, ref, keys);
+  check_lcp(pt, ref, ptrie::workload::miss_queries(80, 64, 42));
+}
+
+TEST(PimTrieErase, EraseAllOfSubtree) {
+  System sys(4, 46);
+  Config cfg;
+  cfg.seed = 14;
+  PimTrie pt(sys, cfg);
+  auto keys = ptrie::workload::shared_prefix_keys(150, 120, 40, 51);
+  auto values = iota_values(keys.size());
+  pt.build(keys, values);
+  Patricia ref = reference_of(keys, values);
+  pt.batch_erase(keys);
+  for (const auto& k : keys) ref.erase(k);
+  EXPECT_EQ(pt.key_count(), 0u);
+  // After erasing everything, all LCPs should be 0 (only root remains).
+  auto got = pt.batch_lcp({keys[0], keys[1]});
+  EXPECT_EQ(got[0], ref.lcp(keys[0]).first);
+}
+
+TEST(PimTrieSubtree, MatchesReference) {
+  System sys(8, 47);
+  Config cfg;
+  cfg.seed = 15;
+  PimTrie pt(sys, cfg);
+  auto keys = ptrie::workload::variable_length_keys(250, 24, 160, 61);
+  auto values = iota_values(keys.size());
+  pt.build(keys, values);
+  Patricia ref = reference_of(keys, values);
+
+  std::vector<BitString> prefixes;
+  prefixes.push_back(BitString());                     // whole set
+  prefixes.push_back(keys[3].prefix(6));               // shallow prefix
+  prefixes.push_back(keys[10].prefix(keys[10].size()));  // exact key
+  prefixes.push_back(keys[20].prefix(keys[20].size() / 2));
+  prefixes.push_back(ptrie::workload::miss_queries(1, 64, 62)[0]);  // likely miss
+
+  auto got = pt.batch_subtree(prefixes);
+  ASSERT_EQ(got.size(), prefixes.size());
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    auto want = ref.subtree(prefixes[i]);
+    ASSERT_EQ(got[i].size(), want.size()) << "prefix " << i;
+    for (std::size_t k = 0; k < want.size(); ++k) {
+      EXPECT_EQ(got[i][k].first, want[k].first);
+      EXPECT_EQ(got[i][k].second, want[k].second);
+    }
+  }
+}
+
+TEST(PimTrieFind, PointReads) {
+  System sys(4, 48);
+  Config cfg;
+  cfg.seed = 16;
+  PimTrie pt(sys, cfg);
+  auto keys = ptrie::workload::uniform_keys(100, 64, 71);
+  auto values = iota_values(keys.size());
+  pt.build(keys, values);
+  for (std::size_t i = 0; i < keys.size(); i += 11) {
+    auto v = pt.find(keys[i]);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, values[i]);
+  }
+  EXPECT_FALSE(pt.find(ptrie::workload::miss_queries(1, 64, 72)[0]).has_value());
+}
+
+TEST(PimTrieRounds, LcpRoundsModest) {
+  System sys(16, 49);
+  Config cfg;
+  cfg.seed = 17;
+  PimTrie pt(sys, cfg);
+  auto keys = ptrie::workload::uniform_keys(400, 64, 81);
+  pt.build(keys, iota_values(keys.size()));
+  sys.metrics().reset();
+  auto queries = ptrie::workload::zipf_queries(keys, 300, 0.0, 82);
+  pt.batch_lcp(queries);
+  // O(log P) rounds: generous constant for the A/B/C phases.
+  EXPECT_LE(sys.metrics().io_rounds(), 10u + 4u * Config::log2_ceil(16));
+}
+
+}  // namespace

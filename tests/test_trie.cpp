@@ -1,0 +1,326 @@
+// Unit tests: Patricia trie, batch construction (Algorithm 1 pieces),
+// treefix, Euler-tour partitioning, serialization, extraction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/rng.hpp"
+#include "trie/euler_partition.hpp"
+#include "trie/patricia.hpp"
+#include "trie/query_trie.hpp"
+#include "trie/treefix.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using ptrie::core::BitString;
+using ptrie::core::Rng;
+using ptrie::trie::kNil;
+using ptrie::trie::NodeId;
+using ptrie::trie::Patricia;
+
+std::vector<BitString> gen_keys(int scenario, std::size_t n, std::uint64_t seed) {
+  switch (scenario) {
+    case 0: return ptrie::workload::uniform_keys(n, 64, seed);
+    case 1: return ptrie::workload::variable_length_keys(n, 8, 128, seed);
+    case 2: return ptrie::workload::shared_prefix_keys(n, 100, 32, seed);
+    default: return ptrie::workload::caterpillar_keys(n, 5, seed);
+  }
+}
+
+// Reference model: sorted map of binary strings.
+class PatriciaModel : public ::testing::TestWithParam<int> {};
+
+TEST_P(PatriciaModel, InsertFindEraseAgainstMap) {
+  auto keys = gen_keys(GetParam(), 150, 77);
+  Patricia t;
+  std::map<std::string, std::uint64_t> model;
+  Rng rng(78);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    t.insert(keys[i], i);
+    model[keys[i].to_binary()] = i;
+  }
+  EXPECT_EQ(t.key_count(), model.size());
+  for (const auto& k : keys) {
+    auto v = t.find(k);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, model.at(k.to_binary()));
+  }
+  // Erase a random half; re-check everything.
+  std::vector<std::size_t> idx(keys.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  for (std::size_t i = 0; i < idx.size() / 2; ++i) {
+    std::size_t pick = rng.below(idx.size());
+    const BitString& k = keys[idx[pick]];
+    bool was = model.erase(k.to_binary()) > 0;
+    EXPECT_EQ(t.erase(k), was);
+  }
+  EXPECT_EQ(t.key_count(), model.size());
+  for (const auto& k : keys) {
+    bool want = model.contains(k.to_binary());
+    EXPECT_EQ(t.find(k).has_value(), want);
+  }
+}
+
+TEST_P(PatriciaModel, LcpAgainstBruteForce) {
+  auto keys = gen_keys(GetParam(), 120, 79);
+  Patricia t;
+  for (std::size_t i = 0; i < keys.size(); ++i) t.insert(keys[i], i);
+  auto queries = ptrie::workload::miss_queries(60, 64, 80);
+  for (const auto& k : keys) queries.push_back(k);
+  for (const auto& q : queries) {
+    std::size_t want = 0;
+    for (const auto& k : keys) want = std::max(want, q.lcp(k));
+    EXPECT_EQ(t.lcp(q).first, want) << q.to_binary();
+  }
+}
+
+TEST_P(PatriciaModel, BuildSortedEqualsIncremental) {
+  auto keys = gen_keys(GetParam(), 200, 81);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::vector<std::size_t> lcp(keys.size(), 0);
+  for (std::size_t i = 1; i < keys.size(); ++i) lcp[i] = keys[i - 1].lcp(keys[i]);
+  Patricia bulk = Patricia::build_sorted(keys, lcp);
+  Patricia incr;
+  for (std::size_t i = 0; i < keys.size(); ++i) incr.insert(keys[i], i);
+  EXPECT_EQ(bulk.key_count(), incr.key_count());
+  EXPECT_EQ(bulk.node_count(), incr.node_count());
+  EXPECT_EQ(bulk.edge_bits_total(), incr.edge_bits_total());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto v = bulk.find(keys[i]);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST_P(PatriciaModel, SerializeRoundTrip) {
+  auto keys = gen_keys(GetParam(), 100, 82);
+  Patricia t;
+  for (std::size_t i = 0; i < keys.size(); ++i) t.insert(keys[i], i);
+  std::vector<std::uint64_t> wire;
+  t.serialize(wire);
+  std::size_t used = 0;
+  Patricia u = Patricia::deserialize(wire.data(), wire.size(), &used);
+  EXPECT_EQ(used, wire.size());
+  EXPECT_EQ(u.key_count(), t.key_count());
+  EXPECT_EQ(u.node_count(), t.node_count());
+  EXPECT_EQ(u.edge_bits_total(), t.edge_bits_total());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto v = u.find(keys[i]);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST_P(PatriciaModel, SubtreeMatchesBruteForce) {
+  auto keys = gen_keys(GetParam(), 120, 83);
+  Patricia t;
+  for (std::size_t i = 0; i < keys.size(); ++i) t.insert(keys[i], i);
+  std::vector<BitString> prefixes{BitString(), keys[0].prefix(3),
+                                  keys[5].prefix(keys[5].size() / 2), keys[9]};
+  for (const auto& p : prefixes) {
+    auto got = t.subtree(p);
+    std::vector<std::pair<BitString, std::uint64_t>> want;
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      if (p.is_prefix_of(keys[i])) want.emplace_back(keys[i], i);
+    std::sort(want.begin(), want.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].first, want[i].first);
+      EXPECT_EQ(got[i].second, want[i].second);
+    }
+  }
+}
+
+std::string shape_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* names[] = {"uniform", "varlen", "shared", "caterpillar"};
+  return names[info.param];
+}
+INSTANTIATE_TEST_SUITE_P(Shapes, PatriciaModel, ::testing::Values(0, 1, 2, 3), shape_name);
+
+TEST(Patricia, PathCompressionInvariant) {
+  // After arbitrary inserts/erases, every non-root valueless node has 2
+  // children.
+  auto keys = ptrie::workload::variable_length_keys(200, 8, 96, 84);
+  Patricia t;
+  for (std::size_t i = 0; i < keys.size(); ++i) t.insert(keys[i], i);
+  for (std::size_t i = 0; i < keys.size(); i += 2) t.erase(keys[i]);
+  t.preorder([&](NodeId id) {
+    const auto& n = t.node(id);
+    if (id == t.root() || n.has_value) return;
+    int nc = (n.child[0] != kNil) + (n.child[1] != kNil);
+    EXPECT_EQ(nc, 2) << "node " << id;
+  });
+}
+
+TEST(Patricia, HiddenNodePositionFromLcp) {
+  Patricia t;
+  t.insert(BitString::from_binary("00001101"), 1);
+  t.insert(BitString::from_binary("00001001"), 2);
+  // Query diverging mid-edge: "000010" shares 5 bits then the trie has a
+  // node at depth 5 (branch); "00000..." ends mid first edge.
+  auto [len1, pos1] = t.lcp(BitString::from_binary("000011"));
+  EXPECT_EQ(len1, 6u);
+  auto [len2, pos2] = t.lcp(BitString::from_binary("000001"));
+  EXPECT_EQ(len2, 4u);
+  EXPECT_FALSE(pos2.is_compressed());  // ends on a hidden node mid-edge
+}
+
+TEST(Patricia, SplitEdgePreservesContent) {
+  Patricia t;
+  BitString k = BitString::from_binary("110011001100");
+  t.insert(k, 9);
+  NodeId leaf = kNil;
+  t.preorder([&](NodeId id) {
+    if (t.node(id).has_value) leaf = id;
+  });
+  std::size_t before = t.edge_bits_total();
+  NodeId mid = t.split_edge(leaf, 5);
+  EXPECT_EQ(t.edge_bits_total(), before);
+  EXPECT_EQ(t.node(mid).depth, 7u);
+  EXPECT_EQ(t.find(k), std::optional<std::uint64_t>(9));
+  EXPECT_EQ(t.node_string(mid).to_binary(), "1100110");
+}
+
+TEST(Patricia, ExtractWithCutsMakesMirrors) {
+  Patricia t;
+  for (const char* s : {"0000", "0001", "0010", "0100", "1000", "1100"})
+    t.insert(BitString::from_binary(s), 1);
+  // Find the node for prefix "00" and cut there.
+  auto [len, pos] = t.lcp(BitString::from_binary("00"));
+  ASSERT_EQ(len, 2u);
+  ASSERT_TRUE(pos.is_compressed());
+  Patricia piece = t.extract(t.root(), {pos.node});
+  // The piece must contain the cut node as a leaf stub with its origin.
+  bool found_stub = false;
+  piece.preorder([&](NodeId id) {
+    const auto& n = piece.node(id);
+    if (n.origin == pos.node && id != piece.root()) {
+      found_stub = true;
+      EXPECT_EQ(n.child[0], kNil);
+      EXPECT_EQ(n.child[1], kNil);
+    }
+  });
+  EXPECT_TRUE(found_stub);
+  // Keys not under the cut remain.
+  EXPECT_TRUE(piece.find(BitString::from_binary("0100")).has_value());
+  EXPECT_FALSE(piece.find(BitString::from_binary("0000")).has_value());
+}
+
+TEST(Treefix, RootfixDepths) {
+  auto keys = ptrie::workload::uniform_keys(50, 32, 85);
+  Patricia t;
+  for (std::size_t i = 0; i < keys.size(); ++i) t.insert(keys[i], i);
+  auto depth = ptrie::trie::rootfix<std::uint64_t>(
+      t, 0, [&](std::uint64_t acc, NodeId id) { return acc + t.node(id).edge.size(); });
+  t.preorder([&](NodeId id) { EXPECT_EQ(depth[id], t.node(id).depth); });
+}
+
+TEST(Treefix, LeaffixSubtreeCounts) {
+  auto keys = ptrie::workload::uniform_keys(80, 32, 86);
+  Patricia t;
+  for (std::size_t i = 0; i < keys.size(); ++i) t.insert(keys[i], i);
+  auto counts = ptrie::trie::subtree_node_counts(t);
+  EXPECT_EQ(counts[t.root()], t.node_count());
+  // Leaves count exactly 1.
+  for (NodeId leaf : t.leaves()) EXPECT_EQ(counts[leaf], 1u);
+}
+
+TEST(EulerPartition, BlocksRespectBound) {
+  auto keys = ptrie::workload::variable_length_keys(300, 16, 120, 87);
+  Patricia t;
+  for (std::size_t i = 0; i < keys.size(); ++i) t.insert(keys[i], i);
+  auto weight = [&](NodeId id) -> std::uint64_t { return 1 + t.node(id).edge.word_count(); };
+  std::uint64_t bound = 12;
+  auto part = ptrie::trie::euler_partition(t, weight, bound);
+  // Every node is owned by a marked ancestor-or-self.
+  t.preorder([&](NodeId id) {
+    NodeId owner = part.owner[id];
+    ASSERT_NE(owner, kNil);
+    // owner is an ancestor-or-self:
+    NodeId cur = id;
+    bool ok = false;
+    while (cur != kNil) {
+      if (cur == owner) {
+        ok = true;
+        break;
+      }
+      cur = t.node(cur).parent;
+    }
+    EXPECT_TRUE(ok);
+  });
+  // Per-owner weight = O(bound): a block accrues at most `bound` between
+  // base marks plus the boundary node's own weight and LCA additions.
+  std::map<NodeId, std::uint64_t> block_weight;
+  std::uint64_t max_node_weight = 0;
+  t.preorder([&](NodeId id) {
+    block_weight[part.owner[id]] += weight(id);
+    max_node_weight = std::max(max_node_weight, weight(id));
+  });
+  for (auto [root, w] : block_weight)
+    EXPECT_LE(w, 2 * bound + 2 * max_node_weight) << "block at " << root;
+  // Block count is within a constant of total/bound.
+  std::uint64_t total = 0;
+  t.preorder([&](NodeId id) { total += weight(id); });
+  EXPECT_LE(part.roots.size(), 3 * (total / bound) + 2);
+}
+
+TEST(EulerPartition, LcaIndexAgainstNaive) {
+  auto keys = ptrie::workload::uniform_keys(60, 40, 88);
+  Patricia t;
+  for (std::size_t i = 0; i < keys.size(); ++i) t.insert(keys[i], i);
+  ptrie::trie::LcaIndex lca(t);
+  auto naive = [&](NodeId a, NodeId b) {
+    std::vector<NodeId> pa;
+    for (NodeId c = a; c != kNil; c = t.node(c).parent) pa.push_back(c);
+    for (NodeId c = b; c != kNil; c = t.node(c).parent)
+      if (std::find(pa.begin(), pa.end(), c) != pa.end()) return c;
+    return t.root();
+  };
+  auto ids = t.preorder_ids();
+  Rng rng(89);
+  for (int trial = 0; trial < 200; ++trial) {
+    NodeId a = ids[rng.below(ids.size())], b = ids[rng.below(ids.size())];
+    EXPECT_EQ(lca.lca(a, b), naive(a, b));
+  }
+}
+
+TEST(QueryTrie, BuildDedupsAndMaps) {
+  std::vector<BitString> batch = {
+      BitString::from_binary("0101"), BitString::from_binary("0100"),
+      BitString::from_binary("0101"),  // duplicate
+      BitString::from_binary("11"),   BitString::from_binary("0")};
+  ptrie::hash::PolyHasher h(1);
+  auto qt = ptrie::trie::build_query_trie(batch, h);
+  EXPECT_EQ(qt.sorted_keys.size(), 4u);  // deduped
+  EXPECT_EQ(qt.trie.key_count(), 4u);
+  // Input index -> slot -> node representing exactly that key.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    NodeId n = qt.key_node[qt.sorted_slot_of_input[i]];
+    ASSERT_NE(n, kNil);
+    EXPECT_EQ(qt.trie.node_string(n), batch[i]);
+  }
+}
+
+TEST(QueryTrie, NodeHashesMatchDirect) {
+  auto keys = ptrie::workload::variable_length_keys(80, 8, 100, 90);
+  ptrie::hash::PolyHasher h(2);
+  auto qt = ptrie::trie::build_query_trie(keys, h);
+  qt.trie.preorder([&](NodeId id) {
+    EXPECT_EQ(qt.node_hash[id], h.hash(qt.trie.node_string(id)));
+  });
+}
+
+TEST(QueryTrie, AdjacentLcpCorrect) {
+  auto keys = ptrie::workload::uniform_keys(100, 48, 91);
+  std::sort(keys.begin(), keys.end());
+  auto lcp = ptrie::trie::adjacent_lcp(keys);
+  EXPECT_EQ(lcp[0], 0u);
+  for (std::size_t i = 1; i < keys.size(); ++i) EXPECT_EQ(lcp[i], keys[i - 1].lcp(keys[i]));
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Unit tests: workload generators — determinism, distinctness, the
+// structural properties each scenario promises, and wire helpers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pimtrie/types.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using ptrie::core::BitString;
+
+template <class V>
+std::set<std::string> as_set(const V& keys) {
+  std::set<std::string> s;
+  for (const auto& k : keys) s.insert(k.to_binary());
+  return s;
+}
+
+TEST(Workload, UniformDistinctFixedLength) {
+  auto keys = ptrie::workload::uniform_keys(500, 48, 1);
+  EXPECT_EQ(as_set(keys).size(), 500u);
+  for (const auto& k : keys) EXPECT_EQ(k.size(), 48u);
+  // Deterministic by seed.
+  auto again = ptrie::workload::uniform_keys(500, 48, 1);
+  EXPECT_EQ(as_set(again), as_set(keys));
+  auto other = ptrie::workload::uniform_keys(500, 48, 2);
+  EXPECT_NE(as_set(other), as_set(keys));
+}
+
+TEST(Workload, VariableLengthInRange) {
+  auto keys = ptrie::workload::variable_length_keys(400, 16, 90, 3);
+  EXPECT_EQ(as_set(keys).size(), 400u);
+  std::size_t mn = 1e9, mx = 0;
+  for (const auto& k : keys) {
+    mn = std::min(mn, k.size());
+    mx = std::max(mx, k.size());
+  }
+  EXPECT_GE(mn, 16u);
+  EXPECT_LE(mx, 90u);
+  EXPECT_LT(mn, mx);  // actually variable
+}
+
+TEST(Workload, SharedPrefixReallyShared) {
+  auto keys = ptrie::workload::shared_prefix_keys(100, 150, 30, 4);
+  for (const auto& k : keys) EXPECT_EQ(k.size(), 180u);
+  for (std::size_t i = 1; i < keys.size(); ++i)
+    EXPECT_GE(keys[0].lcp(keys[i]), 150u);
+}
+
+TEST(Workload, CaterpillarNestedPrefixes) {
+  auto keys = ptrie::workload::caterpillar_keys(50, 7, 5);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i].size(), (i + 1) * 7);
+    if (i > 0) EXPECT_TRUE(keys[i - 1].is_prefix_of(keys[i]));
+  }
+}
+
+TEST(Workload, ZipfDrawsFromData) {
+  auto data = ptrie::workload::uniform_keys(200, 32, 6);
+  auto qs = ptrie::workload::zipf_queries(data, 1000, 1.0, 7);
+  auto dset = as_set(data);
+  std::set<std::string> distinct;
+  for (const auto& q : qs) {
+    EXPECT_TRUE(dset.count(q.to_binary()));
+    distinct.insert(q.to_binary());
+  }
+  // Skewed: far fewer distinct keys than draws, but more than a handful.
+  EXPECT_LT(distinct.size(), 180u);
+  EXPECT_GT(distinct.size(), 10u);
+}
+
+TEST(Workload, HotSpotConcentrates) {
+  auto data = ptrie::workload::uniform_keys(200, 32, 8);
+  auto qs = ptrie::workload::hot_spot_queries(data, 500, 9);
+  std::set<std::string> distinct = as_set(qs);
+  EXPECT_LE(distinct.size(), 8u);  // one key +- low-bit flips
+}
+
+TEST(Workload, Ipv4PrefixLengths) {
+  auto keys = ptrie::workload::ipv4_prefixes(300, 10);
+  EXPECT_EQ(as_set(keys).size(), 300u);
+  for (const auto& k : keys) {
+    EXPECT_GE(k.size(), 8u);
+    EXPECT_LE(k.size(), 32u);
+  }
+}
+
+TEST(Workload, UniformU64Distinct) {
+  auto keys = ptrie::workload::uniform_u64(1000, 11);
+  EXPECT_EQ(std::set<std::uint64_t>(keys.begin(), keys.end()).size(), 1000u);
+}
+
+TEST(Wire, BufWriterReaderRoundTrip) {
+  ptrie::pim::Buffer buf;
+  ptrie::pimtrie::BufWriter w{buf};
+  w.u64(42);
+  BitString s = BitString::from_binary("101100111000101");
+  w.bits(s);
+  w.u64(7);
+  ptrie::pimtrie::BufReader r{buf};
+  EXPECT_EQ(r.u64(), 42u);
+  EXPECT_EQ(r.bits(), s);
+  EXPECT_EQ(r.u64(), 7u);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, ReaderUnderrunThrows) {
+  ptrie::pim::Buffer buf{1, 2};
+  ptrie::pimtrie::BufReader r{buf};
+  r.u64();
+  r.u64();
+  EXPECT_THROW(r.u64(), std::runtime_error);
+  ptrie::pim::Buffer bad{1000};  // claims a 1000-bit string with no words
+  ptrie::pimtrie::BufReader r2{bad};
+  EXPECT_THROW(r2.bits(), std::runtime_error);
+}
+
+TEST(Wire, EmptyBitsRoundTrip) {
+  ptrie::pim::Buffer buf;
+  ptrie::pimtrie::BufWriter w{buf};
+  w.bits(BitString());
+  ptrie::pimtrie::BufReader r{buf};
+  EXPECT_TRUE(r.bits().empty());
+}
+
+}  // namespace
