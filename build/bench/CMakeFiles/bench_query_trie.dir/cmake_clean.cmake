@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_trie.dir/bench_query_trie.cpp.o"
+  "CMakeFiles/bench_query_trie.dir/bench_query_trie.cpp.o.d"
+  "bench_query_trie"
+  "bench_query_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_lcp.dir/bench_table1_lcp.cpp.o"
+  "CMakeFiles/bench_table1_lcp.dir/bench_table1_lcp.cpp.o.d"
+  "bench_table1_lcp"
+  "bench_table1_lcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_lcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_subtree.dir/bench_table1_subtree.cpp.o"
+  "CMakeFiles/bench_table1_subtree.dir/bench_table1_subtree.cpp.o.d"
+  "bench_table1_subtree"
+  "bench_table1_subtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_subtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_update.dir/bench_table1_update.cpp.o"
+  "CMakeFiles/bench_table1_update.dir/bench_table1_update.cpp.o.d"
+  "bench_table1_update"
+  "bench_table1_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_kmers.dir/genome_kmers.cpp.o"
+  "CMakeFiles/genome_kmers.dir/genome_kmers.cpp.o.d"
+  "genome_kmers"
+  "genome_kmers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_kmers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

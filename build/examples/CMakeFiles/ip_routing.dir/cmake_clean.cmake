@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_routing.dir/ip_routing.cpp.o"
+  "CMakeFiles/ip_routing.dir/ip_routing.cpp.o.d"
+  "ip_routing"
+  "ip_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

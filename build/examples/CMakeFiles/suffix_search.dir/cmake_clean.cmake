@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suffix_search.dir/suffix_search.cpp.o"
+  "CMakeFiles/suffix_search.dir/suffix_search.cpp.o.d"
+  "suffix_search"
+  "suffix_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suffix_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/distributed_radix_tree.cpp" "src/CMakeFiles/pimtrie_core.dir/baselines/distributed_radix_tree.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/baselines/distributed_radix_tree.cpp.o.d"
+  "/root/repo/src/baselines/distributed_xfast.cpp" "src/CMakeFiles/pimtrie_core.dir/baselines/distributed_xfast.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/baselines/distributed_xfast.cpp.o.d"
+  "/root/repo/src/baselines/range_partitioned.cpp" "src/CMakeFiles/pimtrie_core.dir/baselines/range_partitioned.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/baselines/range_partitioned.cpp.o.d"
+  "/root/repo/src/core/bitstring.cpp" "src/CMakeFiles/pimtrie_core.dir/core/bitstring.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/core/bitstring.cpp.o.d"
+  "/root/repo/src/core/parallel.cpp" "src/CMakeFiles/pimtrie_core.dir/core/parallel.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/core/parallel.cpp.o.d"
+  "/root/repo/src/core/zipf.cpp" "src/CMakeFiles/pimtrie_core.dir/core/zipf.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/core/zipf.cpp.o.d"
+  "/root/repo/src/fasttrie/second_layer.cpp" "src/CMakeFiles/pimtrie_core.dir/fasttrie/second_layer.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/fasttrie/second_layer.cpp.o.d"
+  "/root/repo/src/fasttrie/xfast.cpp" "src/CMakeFiles/pimtrie_core.dir/fasttrie/xfast.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/fasttrie/xfast.cpp.o.d"
+  "/root/repo/src/fasttrie/yfast.cpp" "src/CMakeFiles/pimtrie_core.dir/fasttrie/yfast.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/fasttrie/yfast.cpp.o.d"
+  "/root/repo/src/fasttrie/zfast.cpp" "src/CMakeFiles/pimtrie_core.dir/fasttrie/zfast.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/fasttrie/zfast.cpp.o.d"
+  "/root/repo/src/hash/crc64.cpp" "src/CMakeFiles/pimtrie_core.dir/hash/crc64.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/hash/crc64.cpp.o.d"
+  "/root/repo/src/hash/hash_table.cpp" "src/CMakeFiles/pimtrie_core.dir/hash/hash_table.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/hash/hash_table.cpp.o.d"
+  "/root/repo/src/hash/poly_hash.cpp" "src/CMakeFiles/pimtrie_core.dir/hash/poly_hash.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/hash/poly_hash.cpp.o.d"
+  "/root/repo/src/pim/metrics.cpp" "src/CMakeFiles/pimtrie_core.dir/pim/metrics.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/pim/metrics.cpp.o.d"
+  "/root/repo/src/pim/system.cpp" "src/CMakeFiles/pimtrie_core.dir/pim/system.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/pim/system.cpp.o.d"
+  "/root/repo/src/pimtrie/block.cpp" "src/CMakeFiles/pimtrie_core.dir/pimtrie/block.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/pimtrie/block.cpp.o.d"
+  "/root/repo/src/pimtrie/kernel.cpp" "src/CMakeFiles/pimtrie_core.dir/pimtrie/kernel.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/pimtrie/kernel.cpp.o.d"
+  "/root/repo/src/pimtrie/meta_index.cpp" "src/CMakeFiles/pimtrie_core.dir/pimtrie/meta_index.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/pimtrie/meta_index.cpp.o.d"
+  "/root/repo/src/pimtrie/pim_trie.cpp" "src/CMakeFiles/pimtrie_core.dir/pimtrie/pim_trie.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/pimtrie/pim_trie.cpp.o.d"
+  "/root/repo/src/pimtrie/pim_trie_match.cpp" "src/CMakeFiles/pimtrie_core.dir/pimtrie/pim_trie_match.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/pimtrie/pim_trie_match.cpp.o.d"
+  "/root/repo/src/pimtrie/pim_trie_update.cpp" "src/CMakeFiles/pimtrie_core.dir/pimtrie/pim_trie_update.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/pimtrie/pim_trie_update.cpp.o.d"
+  "/root/repo/src/trie/euler_partition.cpp" "src/CMakeFiles/pimtrie_core.dir/trie/euler_partition.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/trie/euler_partition.cpp.o.d"
+  "/root/repo/src/trie/patricia.cpp" "src/CMakeFiles/pimtrie_core.dir/trie/patricia.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/trie/patricia.cpp.o.d"
+  "/root/repo/src/trie/query_trie.cpp" "src/CMakeFiles/pimtrie_core.dir/trie/query_trie.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/trie/query_trie.cpp.o.d"
+  "/root/repo/src/trie/treefix.cpp" "src/CMakeFiles/pimtrie_core.dir/trie/treefix.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/trie/treefix.cpp.o.d"
+  "/root/repo/src/workload/generators.cpp" "src/CMakeFiles/pimtrie_core.dir/workload/generators.cpp.o" "gcc" "src/CMakeFiles/pimtrie_core.dir/workload/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

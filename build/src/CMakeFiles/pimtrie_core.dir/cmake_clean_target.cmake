@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpimtrie_core.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/pimtrie_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/pimtrie_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_bitstring.cpp" "tests/CMakeFiles/pimtrie_tests.dir/test_bitstring.cpp.o" "gcc" "tests/CMakeFiles/pimtrie_tests.dir/test_bitstring.cpp.o.d"
+  "/root/repo/tests/test_config_variants.cpp" "tests/CMakeFiles/pimtrie_tests.dir/test_config_variants.cpp.o" "gcc" "tests/CMakeFiles/pimtrie_tests.dir/test_config_variants.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/pimtrie_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/pimtrie_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_fasttrie.cpp" "tests/CMakeFiles/pimtrie_tests.dir/test_fasttrie.cpp.o" "gcc" "tests/CMakeFiles/pimtrie_tests.dir/test_fasttrie.cpp.o.d"
+  "/root/repo/tests/test_figures.cpp" "tests/CMakeFiles/pimtrie_tests.dir/test_figures.cpp.o" "gcc" "tests/CMakeFiles/pimtrie_tests.dir/test_figures.cpp.o.d"
+  "/root/repo/tests/test_hash.cpp" "tests/CMakeFiles/pimtrie_tests.dir/test_hash.cpp.o" "gcc" "tests/CMakeFiles/pimtrie_tests.dir/test_hash.cpp.o.d"
+  "/root/repo/tests/test_pim_system.cpp" "tests/CMakeFiles/pimtrie_tests.dir/test_pim_system.cpp.o" "gcc" "tests/CMakeFiles/pimtrie_tests.dir/test_pim_system.cpp.o.d"
+  "/root/repo/tests/test_pim_trie.cpp" "tests/CMakeFiles/pimtrie_tests.dir/test_pim_trie.cpp.o" "gcc" "tests/CMakeFiles/pimtrie_tests.dir/test_pim_trie.cpp.o.d"
+  "/root/repo/tests/test_pimtrie_internals.cpp" "tests/CMakeFiles/pimtrie_tests.dir/test_pimtrie_internals.cpp.o" "gcc" "tests/CMakeFiles/pimtrie_tests.dir/test_pimtrie_internals.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/pimtrie_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/pimtrie_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_trie.cpp" "tests/CMakeFiles/pimtrie_tests.dir/test_trie.cpp.o" "gcc" "tests/CMakeFiles/pimtrie_tests.dir/test_trie.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/pimtrie_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/pimtrie_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pimtrie_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimtrie_tests.dir/test_baselines.cpp.o"
+  "CMakeFiles/pimtrie_tests.dir/test_baselines.cpp.o.d"
+  "CMakeFiles/pimtrie_tests.dir/test_bitstring.cpp.o"
+  "CMakeFiles/pimtrie_tests.dir/test_bitstring.cpp.o.d"
+  "CMakeFiles/pimtrie_tests.dir/test_config_variants.cpp.o"
+  "CMakeFiles/pimtrie_tests.dir/test_config_variants.cpp.o.d"
+  "CMakeFiles/pimtrie_tests.dir/test_core.cpp.o"
+  "CMakeFiles/pimtrie_tests.dir/test_core.cpp.o.d"
+  "CMakeFiles/pimtrie_tests.dir/test_fasttrie.cpp.o"
+  "CMakeFiles/pimtrie_tests.dir/test_fasttrie.cpp.o.d"
+  "CMakeFiles/pimtrie_tests.dir/test_figures.cpp.o"
+  "CMakeFiles/pimtrie_tests.dir/test_figures.cpp.o.d"
+  "CMakeFiles/pimtrie_tests.dir/test_hash.cpp.o"
+  "CMakeFiles/pimtrie_tests.dir/test_hash.cpp.o.d"
+  "CMakeFiles/pimtrie_tests.dir/test_pim_system.cpp.o"
+  "CMakeFiles/pimtrie_tests.dir/test_pim_system.cpp.o.d"
+  "CMakeFiles/pimtrie_tests.dir/test_pim_trie.cpp.o"
+  "CMakeFiles/pimtrie_tests.dir/test_pim_trie.cpp.o.d"
+  "CMakeFiles/pimtrie_tests.dir/test_pimtrie_internals.cpp.o"
+  "CMakeFiles/pimtrie_tests.dir/test_pimtrie_internals.cpp.o.d"
+  "CMakeFiles/pimtrie_tests.dir/test_stress.cpp.o"
+  "CMakeFiles/pimtrie_tests.dir/test_stress.cpp.o.d"
+  "CMakeFiles/pimtrie_tests.dir/test_trie.cpp.o"
+  "CMakeFiles/pimtrie_tests.dir/test_trie.cpp.o.d"
+  "CMakeFiles/pimtrie_tests.dir/test_workload.cpp.o"
+  "CMakeFiles/pimtrie_tests.dir/test_workload.cpp.o.d"
+  "pimtrie_tests"
+  "pimtrie_tests.pdb"
+  "pimtrie_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimtrie_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
