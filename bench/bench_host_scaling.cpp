@@ -1,0 +1,110 @@
+// Host-side scaling of the batch pipeline: wall-clock for batch build,
+// batch LCP and batch insert while sweeping the worker count 1/2/4/8 via
+// ThreadPool::set_workers (same effect as re-exec'ing with PTRIE_WORKERS).
+//
+// The model metrics (rounds, words, PIM time) are worker-count invariant
+// by the determinism contract in core/parallel.hpp; this bench asserts
+// that while measuring the host speedup. Speedup is relative to the
+// 1-worker row and naturally tops out at the hardware thread count.
+//
+// PTRIE_BENCH_N overrides the key count (default 1M).
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common.hpp"
+#include "core/parallel.hpp"
+#include "pimtrie/pim_trie.hpp"
+#include "workload/generators.hpp"
+
+using namespace ptrie;
+
+namespace {
+
+struct OpRow {
+  double wall_ms = 0;
+  std::size_t rounds = 0;
+  std::uint64_t total_words = 0;
+  std::uint64_t pim_time = 0;
+  std::vector<std::size_t> lcp;  // query results, for the invariance check
+};
+
+OpRow run_pipeline(std::size_t n, const std::vector<core::BitString>& keys,
+                   const std::vector<core::BitString>& extra,
+                   const std::vector<core::BitString>& queries, int which) {
+  pim::System sys(64, 42);
+  pimtrie::Config cfg;
+  cfg.seed = 9;
+  pimtrie::PimTrie t(sys, cfg);
+  std::vector<std::uint64_t> vals(keys.size(), 1);
+  OpRow row;
+  if (which == 0) {  // build
+    auto c = bench::measure(sys, n, [&] { t.build(keys, vals); });
+    row.wall_ms = c.wall_ms;
+    row.rounds = c.rounds;
+    row.total_words = c.total_words;
+    row.pim_time = c.pim_time;
+    return row;
+  }
+  t.build(keys, vals);
+  if (which == 1) {  // lcp
+    auto c = bench::measure(sys, queries.size(), [&] { row.lcp = t.batch_lcp(queries); });
+    row.wall_ms = c.wall_ms;
+    row.rounds = c.rounds;
+    row.total_words = c.total_words;
+    row.pim_time = c.pim_time;
+    return row;
+  }
+  // insert
+  std::vector<std::uint64_t> evals(extra.size(), 2);
+  auto c = bench::measure(sys, extra.size(), [&] { t.batch_insert(extra, evals); });
+  row.wall_ms = c.wall_ms;
+  row.rounds = c.rounds;
+  row.total_words = c.total_words;
+  row.pim_time = c.pim_time;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::size_t n = 1u << 20;
+  if (const char* env = std::getenv("PTRIE_BENCH_N")) n = std::strtoull(env, nullptr, 10);
+  const std::size_t kWorkerSweep[] = {1, 2, 4, 8};
+
+  std::printf("Host batch-pipeline scaling (n=%zu keys, l=64 bits, P=64)\n", n);
+  std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
+
+  auto keys = workload::uniform_keys(n, 64, 1);
+  auto extra = workload::uniform_keys(n / 2, 64, 2);
+  auto queries = workload::zipf_queries(keys, n / 2, 0.5, 3);
+
+  const char* op_names[] = {"build", "lcp", "insert"};
+  for (int which = 0; which < 3; ++which) {
+    bench::header(op_names[which],
+                  {"workers", "wall_ms", "speedup", "rounds", "words", "pim_time"});
+    OpRow base;
+    for (std::size_t w : kWorkerSweep) {
+      core::ThreadPool::instance().set_workers(w);
+      OpRow row = run_pipeline(n, keys, extra, queries, which);
+      if (w == 1) base = row;
+      // Worker-count invariance: the model metrics and (for lcp) the query
+      // results must match the 1-worker run exactly.
+      if (row.rounds != base.rounds || row.total_words != base.total_words ||
+          row.pim_time != base.pim_time || row.lcp != base.lcp) {
+        std::printf("DETERMINISM VIOLATION at workers=%zu (op=%s)\n", w, op_names[which]);
+        return 1;
+      }
+      bench::cell(w);
+      bench::cell(bench::fmt(row.wall_ms, 1));
+      bench::cell(bench::fmt(row.wall_ms > 0 ? base.wall_ms / row.wall_ms : 0.0, 2));
+      bench::cell(row.rounds);
+      bench::cell(std::size_t(row.total_words));
+      bench::cell(std::size_t(row.pim_time));
+      bench::endrow();
+    }
+  }
+  core::ThreadPool::instance().set_workers(1);
+  std::printf("\nmodel metrics identical across worker counts: OK\n");
+  return 0;
+}

@@ -4,6 +4,7 @@
 // prints self-describing rows (CSV-ish) so EXPERIMENTS.md can quote them
 // directly.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -20,6 +21,7 @@ struct OpCost {
   double imbalance = 1.0;     // max/mean per-module words for the op
   std::uint64_t total_words = 0;
   std::uint64_t pim_time = 0;
+  double wall_ms = 0;  // host wall-clock; the model metrics above stay machine-independent
 
   static OpCost delta(const ptrie::pim::Metrics::Snapshot& before, ptrie::pim::System& sys,
                       std::size_t n_ops) {
@@ -35,12 +37,23 @@ struct OpCost {
   }
 };
 
-// Measures one metered batch operation.
+// Wall-clock for an arbitrary host-side operation, in milliseconds.
+template <class F>
+double time_ms(F&& op) {
+  auto t0 = std::chrono::steady_clock::now();
+  op();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+// Measures one metered batch operation (model metrics + wall-clock).
 template <class F>
 OpCost measure(ptrie::pim::System& sys, std::size_t n_ops, F&& op) {
   auto before = sys.metrics().snapshot();
-  op();
-  return OpCost::delta(before, sys, n_ops);
+  double ms = time_ms(op);
+  OpCost c = OpCost::delta(before, sys, n_ops);
+  c.wall_ms = ms;
+  return c;
 }
 
 inline void header(const char* title, const std::vector<std::string>& cols) {

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI gate: full build + tests in the normal configuration, then a
+# ThreadSanitizer build running the parallel-runtime determinism suite
+# with a multi-worker pool (races in the batch pipeline show up there).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== plain build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== thread-sanitized build + parallel determinism suite =="
+cmake -B build-tsan -S . -DPTRIE_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target pimtrie_tests
+PTRIE_WORKERS=8 ./build-tsan/tests/pimtrie_tests \
+  --gtest_filter='WorkerSweep.*'
+
+echo "all checks passed"

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <functional>
 
+#include "core/parallel.hpp"
+
 namespace ptrie::baselines {
 
 using core::BitString;
@@ -120,33 +122,48 @@ std::vector<std::size_t> DistributedRadixTree::batch_lcp(const std::vector<BitSt
   for (;;) {
     ++round;
     // One pointer-chasing round: each active query probes its node.
+    // Pack with flag+scan+scatter (4 fixed words per active query): the
+    // per-module byte order equals the serial index-order append.
     std::vector<pim::Buffer> buffers(sys_->p());
     std::vector<std::vector<std::size_t>> sent(sys_->p());
-    bool any = false;
-    for (std::size_t i = 0; i < keys.size(); ++i) {
-      if (qs[i].done) continue;
-      any = true;
-      std::uint32_t module = dir_.at(qs[i].node).module;
-      std::size_t idx = 0;
-      std::size_t remaining = keys[i].size() - qs[i].pos;
-      std::size_t take = std::min<std::size_t>(span_, remaining);
-      for (unsigned b = 0; b < take; ++b)
-        idx = idx * 2 + (keys[i].bit(qs[i].pos + b) ? 1 : 0);
-      // Message: node, chunk bits (padded), chunk length, plus the full
-      // remaining tail words are NOT sent (only on the last hop) — the
-      // per-hop payload is O(1) words as in the paper's accounting.
-      auto& buf = buffers[module];
-      buf.push_back(qs[i].node);
-      buf.push_back(idx);
-      buf.push_back(take);
-      // Tail bits for terminal comparison (cheap: < span bits as a word).
-      std::uint64_t tailbits = 0;
-      for (std::size_t b = 0; b < take; ++b)
-        tailbits = tailbits * 2 + (keys[i].bit(qs[i].pos + b) ? 1 : 0);
-      buf.push_back(tailbits);
-      sent[module].push_back(i);
+    std::vector<std::size_t> active_q = core::parallel_pack<std::size_t>(
+        keys.size(), [&](std::size_t i) { return !qs[i].done; },
+        [](std::size_t i) { return i; });
+    if (active_q.empty()) break;
+    auto layout = core::parallel_bucket_offsets(
+        active_q.size(), sys_->p(),
+        [&](std::size_t j) { return dir_.at(qs[active_q[j]].node).module; },
+        [](std::size_t) { return std::size_t{4}; });
+    for (std::size_t m = 0; m < sys_->p(); ++m) {
+      buffers[m].resize(layout.total[m]);
+      sent[m].resize(layout.total[m] / 4);
     }
-    if (!any) break;
+    core::parallel_for(
+        0, active_q.size(),
+        [&](std::size_t j) {
+          std::size_t i = active_q[j];
+          std::uint32_t module = dir_.at(qs[i].node).module;
+          std::size_t idx = 0;
+          std::size_t remaining = keys[i].size() - qs[i].pos;
+          std::size_t take = std::min<std::size_t>(span_, remaining);
+          for (unsigned b = 0; b < take; ++b)
+            idx = idx * 2 + (keys[i].bit(qs[i].pos + b) ? 1 : 0);
+          // Message: node, chunk bits (padded), chunk length, plus the full
+          // remaining tail words are NOT sent (only on the last hop) — the
+          // per-hop payload is O(1) words as in the paper's accounting.
+          std::size_t off = layout.offset[j];
+          std::uint64_t* buf = buffers[module].data() + off;
+          buf[0] = qs[i].node;
+          buf[1] = idx;
+          buf[2] = take;
+          // Tail bits for terminal comparison (cheap: < span bits as a word).
+          std::uint64_t tailbits = 0;
+          for (std::size_t b = 0; b < take; ++b)
+            tailbits = tailbits * 2 + (keys[i].bit(qs[i].pos + b) ? 1 : 0);
+          buf[3] = tailbits;
+          sent[module][off / 4] = i;
+        },
+        /*grain=*/1024);
     std::string lbl = "radix.lcp" + std::to_string(round);
     auto results = sys_->round(lbl, std::move(buffers), [inst, fanout](pim::Module& m,
                                                                        pim::Buffer in) {
@@ -186,26 +203,28 @@ std::vector<std::size_t> DistributedRadixTree::batch_lcp(const std::vector<BitSt
       }
       return out;
     });
-    // Apply responses.
-    std::vector<std::size_t> cursor(sys_->p(), 0);
-    for (std::size_t module = 0; module < sys_->p(); ++module) {
-      const auto& buf = results[module];
-      for (std::size_t k = 0; k < sent[module].size(); ++k) {
-        std::size_t i = sent[module][k];
-        std::uint64_t child = buf[cursor[module]];
-        std::uint64_t matched = buf[cursor[module] + 1];
-        cursor[module] += 2;
-        if (child != 0) {
-          qs[i].node = child;
-          qs[i].pos += matched;
-          out[i] = qs[i].pos;
-          if (qs[i].pos + 0 >= keys[i].size()) qs[i].done = true;
-        } else {
-          out[i] = qs[i].pos + matched;
-          qs[i].done = true;
-        }
-      }
-    }
+    // Apply responses: modules are independent and each query appears in
+    // exactly one module's reply, so unpack fans out across modules.
+    core::parallel_for(
+        0, sys_->p(),
+        [&](std::size_t module) {
+          const auto& buf = results[module];
+          for (std::size_t k = 0; k < sent[module].size(); ++k) {
+            std::size_t i = sent[module][k];
+            std::uint64_t child = buf[2 * k];
+            std::uint64_t matched = buf[2 * k + 1];
+            if (child != 0) {
+              qs[i].node = child;
+              qs[i].pos += matched;
+              out[i] = qs[i].pos;
+              if (qs[i].pos + 0 >= keys[i].size()) qs[i].done = true;
+            } else {
+              out[i] = qs[i].pos + matched;
+              qs[i].done = true;
+            }
+          }
+        },
+        /*grain=*/1);
     if (round > 4096) break;
   }
   return out;
@@ -228,20 +247,35 @@ void DistributedRadixTree::batch_insert(const std::vector<BitString>& keys,
   int round = 0;
   for (;;) {
     ++round;
-    bool any = false;
     std::vector<pim::Buffer> buffers(sys_->p());
     std::vector<std::vector<std::size_t>> sent(sys_->p());
-    for (std::size_t i = 0; i < keys.size(); ++i) {
-      if (st[i].done || st[i].pos + span_ > keys[i].size()) continue;
-      any = true;
-      std::size_t idx = 0;
-      for (unsigned b = 0; b < span_; ++b) idx = idx * 2 + (keys[i].bit(st[i].pos + b) ? 1 : 0);
-      std::uint32_t module = dir_.at(st[i].node).module;
-      buffers[module].push_back(st[i].node);
-      buffers[module].push_back(idx);
-      sent[module].push_back(i);
+    std::vector<std::size_t> walk_q = core::parallel_pack<std::size_t>(
+        keys.size(),
+        [&](std::size_t i) { return !st[i].done && st[i].pos + span_ <= keys[i].size(); },
+        [](std::size_t i) { return i; });
+    if (walk_q.empty()) break;
+    auto layout = core::parallel_bucket_offsets(
+        walk_q.size(), sys_->p(),
+        [&](std::size_t j) { return dir_.at(st[walk_q[j]].node).module; },
+        [](std::size_t) { return std::size_t{2}; });
+    for (std::size_t m = 0; m < sys_->p(); ++m) {
+      buffers[m].resize(layout.total[m]);
+      sent[m].resize(layout.total[m] / 2);
     }
-    if (!any) break;
+    core::parallel_for(
+        0, walk_q.size(),
+        [&](std::size_t j) {
+          std::size_t i = walk_q[j];
+          std::size_t idx = 0;
+          for (unsigned b = 0; b < span_; ++b)
+            idx = idx * 2 + (keys[i].bit(st[i].pos + b) ? 1 : 0);
+          std::uint32_t module = dir_.at(st[i].node).module;
+          std::size_t off = layout.offset[j];
+          buffers[module][off] = st[i].node;
+          buffers[module][off + 1] = idx;
+          sent[module][off / 2] = i;
+        },
+        /*grain=*/1024);
     std::string lbl = "radix.insertwalk" + std::to_string(round);
     auto results = sys_->round(lbl, std::move(buffers), [inst](pim::Module& m, pim::Buffer in) {
       auto& stt = m.state<RadixModuleState>(inst);
@@ -252,18 +286,21 @@ void DistributedRadixTree::batch_insert(const std::vector<BitString>& keys,
       }
       return out;
     });
-    std::vector<std::size_t> cursor(sys_->p(), 0);
-    for (std::size_t mdl = 0; mdl < sys_->p(); ++mdl)
-      for (std::size_t k = 0; k < sent[mdl].size(); ++k) {
-        std::size_t i = sent[mdl][k];
-        std::uint64_t child = results[mdl][cursor[mdl]++];
-        if (child == 0)
-          st[i].done = true;
-        else {
-          st[i].node = child;
-          st[i].pos += span_;
-        }
-      }
+    core::parallel_for(
+        0, sys_->p(),
+        [&](std::size_t mdl) {
+          for (std::size_t k = 0; k < sent[mdl].size(); ++k) {
+            std::size_t i = sent[mdl][k];
+            std::uint64_t child = results[mdl][k];
+            if (child == 0)
+              st[i].done = true;
+            else {
+              st[i].node = child;
+              st[i].pos += span_;
+            }
+          }
+        },
+        /*grain=*/1);
     if (round > 4096) break;
   }
 

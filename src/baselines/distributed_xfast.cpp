@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/parallel.hpp"
+
 namespace ptrie::baselines {
 
 namespace {
@@ -39,18 +41,39 @@ void DistributedXFastTrie::batch_insert(const std::vector<std::uint64_t>& keys,
                                         const std::vector<std::uint64_t>& values) {
   std::uint64_t inst = instance_;
   std::vector<pim::Buffer> buffers(sys_->p());
-  for (std::size_t i = 0; i < keys.size(); ++i) {
-    for (unsigned level = 0; level <= width_; ++level) {
-      std::uint64_t prefix = level == 0 ? 0 : (keys[i] >> (width_ - level));
-      std::uint32_t module = module_of(level, prefix);
-      auto& buf = buffers[module];
-      buf.push_back(slot_key(level, prefix));
-      buf.push_back(level == width_ ? 1 : 0);
-      buf.push_back(level == width_ ? keys[i] : 0);
-      buf.push_back(level == width_ ? values[i] : 0);
-    }
-    ++n_keys_;
-  }
+  // One 4-word item per (key, level) pair; fixed size makes the bucket
+  // offsets exact, so the parallel scatter reproduces the serial append
+  // order per module.
+  std::size_t levels = width_ + 1;
+  std::size_t n_items = keys.size() * levels;
+  auto item_prefix = [&](std::size_t it) {
+    std::size_t i = it / levels;
+    unsigned level = static_cast<unsigned>(it % levels);
+    std::uint64_t prefix = level == 0 ? 0 : (keys[i] >> (width_ - level));
+    return std::pair<unsigned, std::uint64_t>{level, prefix};
+  };
+  auto layout = core::parallel_bucket_offsets(
+      n_items, sys_->p(),
+      [&](std::size_t it) {
+        auto [level, prefix] = item_prefix(it);
+        return module_of(level, prefix);
+      },
+      [](std::size_t) { return std::size_t{4}; });
+  for (std::size_t m = 0; m < sys_->p(); ++m) buffers[m].resize(layout.total[m]);
+  core::parallel_for(
+      0, n_items,
+      [&](std::size_t it) {
+        std::size_t i = it / levels;
+        auto [level, prefix] = item_prefix(it);
+        auto& buf = buffers[module_of(level, prefix)];
+        std::size_t off = layout.offset[it];
+        buf[off] = slot_key(level, prefix);
+        buf[off + 1] = level == width_ ? 1 : 0;
+        buf[off + 2] = level == width_ ? keys[i] : 0;
+        buf[off + 3] = level == width_ ? values[i] : 0;
+      },
+      /*grain=*/512);
+  n_keys_ += keys.size();
   sys_->round("xfast.insert", std::move(buffers), [inst](pim::Module& m, pim::Buffer in) {
     auto& st = m.state<XFastModuleState>(inst);
     for (std::size_t i = 0; i + 3 < in.size() + 0; i += 4) {
@@ -70,19 +93,39 @@ std::vector<unsigned> DistributedXFastTrie::batch_lcp(const std::vector<std::uin
   int round = 0;
   for (;;) {
     ++round;
-    bool any = false;
     std::vector<pim::Buffer> buffers(sys_->p());
     std::vector<std::vector<std::size_t>> sent(sys_->p());
-    for (std::size_t i = 0; i < keys.size(); ++i) {
-      if (lo[i] >= hi[i]) continue;
-      any = true;
+    std::vector<std::size_t> active_q = core::parallel_pack<std::size_t>(
+        keys.size(), [&](std::size_t i) { return lo[i] < hi[i]; },
+        [](std::size_t i) { return i; });
+    if (active_q.empty()) break;
+    auto probe = [&](std::size_t i) {
       unsigned mid = (lo[i] + hi[i] + 1) / 2;
       std::uint64_t prefix = mid == 0 ? 0 : (keys[i] >> (width_ - mid));
-      std::uint32_t module = module_of(mid, prefix);
-      buffers[module].push_back(slot_key(mid, prefix));
-      sent[module].push_back(i);
+      return std::pair<unsigned, std::uint64_t>{mid, prefix};
+    };
+    auto layout = core::parallel_bucket_offsets(
+        active_q.size(), sys_->p(),
+        [&](std::size_t j) {
+          auto [mid, prefix] = probe(active_q[j]);
+          return module_of(mid, prefix);
+        },
+        [](std::size_t) { return std::size_t{1}; });
+    for (std::size_t m = 0; m < sys_->p(); ++m) {
+      buffers[m].resize(layout.total[m]);
+      sent[m].resize(layout.total[m]);
     }
-    if (!any) break;
+    core::parallel_for(
+        0, active_q.size(),
+        [&](std::size_t j) {
+          std::size_t i = active_q[j];
+          auto [mid, prefix] = probe(i);
+          std::uint32_t module = module_of(mid, prefix);
+          std::size_t off = layout.offset[j];
+          buffers[module][off] = slot_key(mid, prefix);
+          sent[module][off] = i;
+        },
+        /*grain=*/1024);
     std::string lbl = "xfast.lcp" + std::to_string(round);
     auto results = sys_->round(lbl, std::move(buffers), [inst](pim::Module& m, pim::Buffer in) {
       auto& st = m.state<XFastModuleState>(inst);
@@ -93,16 +136,19 @@ std::vector<unsigned> DistributedXFastTrie::batch_lcp(const std::vector<std::uin
       }
       return out;
     });
-    std::vector<std::size_t> cursor(sys_->p(), 0);
-    for (std::size_t mdl = 0; mdl < sys_->p(); ++mdl)
-      for (std::size_t k = 0; k < sent[mdl].size(); ++k) {
-        std::size_t i = sent[mdl][k];
-        unsigned mid = (lo[i] + hi[i] + 1) / 2;
-        if (results[mdl][cursor[mdl]++] != 0)
-          lo[i] = mid;
-        else
-          hi[i] = mid - 1;
-      }
+    core::parallel_for(
+        0, sys_->p(),
+        [&](std::size_t mdl) {
+          for (std::size_t k = 0; k < sent[mdl].size(); ++k) {
+            std::size_t i = sent[mdl][k];
+            unsigned mid = (lo[i] + hi[i] + 1) / 2;
+            if (results[mdl][k] != 0)
+              lo[i] = mid;
+            else
+              hi[i] = mid - 1;
+          }
+        },
+        /*grain=*/1);
   }
   return lo;
 }

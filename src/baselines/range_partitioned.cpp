@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "core/parallel.hpp"
 #include "pimtrie/types.hpp"
 
 namespace ptrie::baselines {
@@ -37,8 +38,8 @@ void RangePartitionedIndex::build(const std::vector<BitString>& keys,
   // Separators: evenly spaced sample of the sorted keys.
   std::vector<std::size_t> perm(keys.size());
   for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
-  std::sort(perm.begin(), perm.end(),
-            [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+  core::parallel_stable_sort(perm.begin(), perm.end(),
+                             [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
   separators_.clear();
   for (std::size_t m = 1; m < sys_->p(); ++m) {
     std::size_t pos = m * keys.size() / sys_->p();
@@ -53,13 +54,25 @@ void RangePartitionedIndex::batch_insert(const std::vector<BitString>& keys,
                                          const std::vector<std::uint64_t>& values) {
   std::uint64_t inst = instance_;
   std::vector<pim::Buffer> buffers(sys_->p());
-  for (std::size_t i = 0; i < keys.size(); ++i) {
-    std::uint32_t module = route(keys[i]);
-    BufWriter w{buffers[module]};
-    w.u64(1);
-    w.bits(keys[i]);
-    w.u64(values[i]);
-  }
+  // Variable-size items (op word + bits + value word); the bucket offsets
+  // account for each item's exact wire size, so the parallel scatter lays
+  // bytes out exactly as the serial BufWriter loop did.
+  auto layout = core::parallel_bucket_offsets(
+      keys.size(), sys_->p(), [&](std::size_t i) { return route(keys[i]); },
+      [&](std::size_t i) { return 3 + keys[i].word_count(); });
+  for (std::size_t m = 0; m < sys_->p(); ++m) buffers[m].resize(layout.total[m]);
+  core::parallel_for(
+      0, keys.size(),
+      [&](std::size_t i) {
+        auto& buf = buffers[route(keys[i])];
+        std::size_t off = layout.offset[i];
+        buf[off] = 1;
+        buf[off + 1] = keys[i].size();
+        for (std::size_t w = 0; w < keys[i].word_count(); ++w)
+          buf[off + 2 + w] = keys[i].word(w);
+        buf[off + 2 + keys[i].word_count()] = values[i];
+      },
+      /*grain=*/512);
   n_keys_ += keys.size();
   sys_->round("range.insert", std::move(buffers), [inst](pim::Module& m, pim::Buffer in) {
     auto& st = m.state<RangeModuleState>(inst);
@@ -79,12 +92,30 @@ std::vector<std::size_t> RangePartitionedIndex::batch_lcp(const std::vector<BitS
   std::uint64_t inst = instance_;
   std::vector<pim::Buffer> buffers(sys_->p());
   std::vector<std::vector<std::size_t>> sent(sys_->p());
-  for (std::size_t i = 0; i < keys.size(); ++i) {
-    std::uint32_t module = route(keys[i]);
-    BufWriter w{buffers[module]};
-    w.bits(keys[i]);
-    sent[module].push_back(i);
+  auto probe_layout = core::parallel_bucket_offsets(
+      keys.size(), sys_->p(), [&](std::size_t i) { return route(keys[i]); },
+      [&](std::size_t i) { return 1 + keys[i].word_count(); });
+  // Replies are one word per query, so the k-th probe written to a module
+  // maps to reply slot k; count probes per module with a second layout.
+  auto slot_layout = core::parallel_bucket_offsets(
+      keys.size(), sys_->p(), [&](std::size_t i) { return route(keys[i]); },
+      [](std::size_t) { return std::size_t{1}; });
+  for (std::size_t m = 0; m < sys_->p(); ++m) {
+    buffers[m].resize(probe_layout.total[m]);
+    sent[m].resize(slot_layout.total[m]);
   }
+  core::parallel_for(
+      0, keys.size(),
+      [&](std::size_t i) {
+        std::uint32_t module = route(keys[i]);
+        auto& buf = buffers[module];
+        std::size_t off = probe_layout.offset[i];
+        buf[off] = keys[i].size();
+        for (std::size_t w = 0; w < keys[i].word_count(); ++w)
+          buf[off + 1 + w] = keys[i].word(w);
+        sent[module][slot_layout.offset[i]] = i;
+      },
+      /*grain=*/512);
   auto results = sys_->round("range.lcp", std::move(buffers),
                              [inst](pim::Module& m, pim::Buffer in) {
                                auto& st = m.state<RangeModuleState>(inst);
@@ -100,8 +131,12 @@ std::vector<std::size_t> RangePartitionedIndex::batch_lcp(const std::vector<BitS
                                return out;
                              });
   std::vector<std::size_t> out(keys.size(), 0);
-  for (std::size_t mdl = 0; mdl < sys_->p(); ++mdl)
-    for (std::size_t k = 0; k < sent[mdl].size(); ++k) out[sent[mdl][k]] = results[mdl][k];
+  core::parallel_for(
+      0, sys_->p(),
+      [&](std::size_t mdl) {
+        for (std::size_t k = 0; k < sent[mdl].size(); ++k) out[sent[mdl][k]] = results[mdl][k];
+      },
+      /*grain=*/1);
   // Note: keys straddling a separator boundary can have their true LCP
   // partner in the neighbor range; a production range index stores
   // boundary fences. For the load-balance experiments this boundary

@@ -14,6 +14,11 @@ std::size_t env_workers() {
   unsigned hw = std::thread::hardware_concurrency();
   return std::max(1u, hw);
 }
+
+// Set while a thread executes chunk bodies; nested parallel constructs
+// check it and degrade to serial execution instead of deadlocking on the
+// single shared job slot.
+thread_local bool tls_in_parallel = false;
 }  // namespace
 
 ThreadPool& ThreadPool::instance() {
@@ -21,10 +26,38 @@ ThreadPool& ThreadPool::instance() {
   return pool;
 }
 
+bool ThreadPool::in_parallel_region() { return tls_in_parallel; }
+
 ThreadPool::ThreadPool(std::size_t nworkers) : nworkers_(std::max<std::size_t>(1, nworkers)) {
+  spawn_workers();
+}
+
+void ThreadPool::spawn_workers() {
   for (std::size_t i = 1; i < nworkers_; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
   }
+}
+
+void ThreadPool::join_workers() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  {
+    std::lock_guard lock(mu_);
+    stop_ = false;
+  }
+}
+
+void ThreadPool::set_workers(std::size_t n) {
+  n = std::max<std::size_t>(1, n);
+  if (n == nworkers_) return;
+  join_workers();
+  nworkers_ = n;
+  spawn_workers();
 }
 
 ThreadPool::~ThreadPool() {
@@ -36,28 +69,50 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::run_chunks(Job& job) {
-  std::size_t chunk_size = (job.n + job.chunks - 1) / job.chunks;
+void ThreadPool::run_chunks(const std::function<void(std::size_t, std::size_t, std::size_t)>* f,
+                            std::size_t n, std::size_t chunks, std::uint64_t tag) {
+  std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::uint64_t hi_tag = (tag & 0xffffffffull) << 32;
+  tls_in_parallel = true;
   for (;;) {
-    std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
-    if (c >= job.chunks) break;
+    std::uint64_t v = job_.next.load(std::memory_order_acquire);
+    if ((v & ~0xffffffffull) != hi_tag) break;  // a newer job took the slot
+    std::size_t c = static_cast<std::size_t>(v & 0xffffffffull);
+    if (c >= chunks) break;
+    if (!job_.next.compare_exchange_weak(v, v + 1, std::memory_order_acq_rel)) continue;
     std::size_t lo = c * chunk_size;
-    std::size_t hi = std::min(job.n, lo + chunk_size);
-    if (lo < hi) (*job.body)(c, lo, hi);
-    job.done.fetch_add(1, std::memory_order_acq_rel);
+    std::size_t hi = std::min(n, lo + chunk_size);
+    if (lo < hi) (*f)(c, lo, hi);
+    job_.done.fetch_add(1, std::memory_order_acq_rel);
   }
+  tls_in_parallel = false;
 }
 
 void ThreadPool::worker_loop() {
-  std::uint64_t seen = 0;
+  std::uint64_t seen;
+  {
+    // Workers spawned after earlier jobs ran must not mistake a stale
+    // epoch for fresh work; start from the current epoch.
+    std::lock_guard lock(mu_);
+    seen = epoch_;
+  }
   for (;;) {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* body;
+    std::size_t n, chunks;
     {
       std::unique_lock lock(mu_);
       cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
       if (stop_) return;
       seen = epoch_;
+      // Snapshot the job under the lock: installs also hold it, so these
+      // reads never race. A worker that slept through this job entirely
+      // snapshots stale fields, but its claims fail on the epoch tag and
+      // the dead body pointer is never dereferenced.
+      body = job_.body;
+      n = job_.n;
+      chunks = job_.chunks;
     }
-    run_chunks(job_);
+    run_chunks(body, n, chunks, seen);
     cv_done_.notify_one();
   }
 }
@@ -65,7 +120,10 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run_blocked(std::size_t n, std::size_t chunks,
                              const std::function<void(std::size_t, std::size_t, std::size_t)>& f) {
   if (chunks == 0) return;
-  if (nworkers_ == 1 || chunks == 1) {
+  if (nworkers_ == 1 || chunks == 1 || tls_in_parallel) {
+    // Single worker, trivial job, or nested call from inside a chunk
+    // body: execute inline. (Nested jobs cannot share the single job
+    // slot without deadlocking the outer region.)
     std::size_t chunk_size = (n + chunks - 1) / chunks;
     for (std::size_t c = 0; c < chunks; ++c) {
       std::size_t lo = c * chunk_size, hi = std::min(n, lo + chunk_size);
@@ -73,20 +131,27 @@ void ThreadPool::run_blocked(std::size_t n, std::size_t chunks,
     }
     return;
   }
+  std::uint64_t tag;
   {
     std::lock_guard lock(mu_);
     job_.body = &f;
     job_.n = n;
     job_.chunks = chunks;
-    job_.next.store(0, std::memory_order_relaxed);
     job_.done.store(0, std::memory_order_relaxed);
     ++epoch_;
+    tag = epoch_;
+    // Publishing the tagged claim word opens the job; stale stragglers'
+    // CASes fail against the new tag from this point on.
+    job_.next.store((tag & 0xffffffffull) << 32, std::memory_order_release);
   }
+  // Queue the work for all workers first, then join in: the caller claims
+  // chunks from the same shared counter, so workers never sit idle while
+  // the caller churns through a fixed share.
   cv_work_.notify_all();
-  run_chunks(job_);
+  run_chunks(&f, n, chunks, tag);
   // Wait until every chunk has been executed (workers may still be in-flight).
   std::unique_lock lock(mu_);
-  cv_done_.wait(lock, [&] { return job_.done.load(std::memory_order_acquire) >= job_.chunks; });
+  cv_done_.wait(lock, [&] { return job_.done.load(std::memory_order_acquire) >= chunks; });
 }
 
 }  // namespace ptrie::core

@@ -1,13 +1,22 @@
 #pragma once
 // Minimal fork-join parallel runtime in the style of the binary-forking
 // model the paper assumes for its CPU side: a persistent worker pool with
-// blocked parallel_for / reduce / scan. On a single hardware thread the
-// same code paths run serially with no overhead surprises.
+// blocked parallel_for / reduce / scan / sort / pack. On a single hardware
+// thread the same code paths run serially with no overhead surprises.
+//
+// Determinism contract: every primitive here produces output that is
+// independent of the worker count (PTRIE_WORKERS). Chunk boundaries may
+// vary, but results are combined in index order, sorts are merged stably,
+// and scans use exact (integer) recombination — so the batch pipeline
+// built on top yields byte-identical results and identical model metrics
+// for any number of workers.
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <iterator>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -21,10 +30,22 @@ class ThreadPool {
   // Number of workers (>= 1). Includes the calling thread's share of work.
   std::size_t workers() const { return nworkers_; }
 
+  // Resizes the pool to exactly n workers (n >= 1). Joins the current
+  // worker threads and spawns fresh ones; must not be called while a
+  // parallel region is in flight. Used by benchmarks/tests to sweep the
+  // worker count without re-exec'ing with a new PTRIE_WORKERS.
+  void set_workers(std::size_t n);
+
   // Runs f(chunk_index, begin, end) over `chunks` contiguous chunks of
-  // [0, n) and waits for completion. Chunk 0 runs on the caller.
+  // [0, n) and waits for completion. Chunks are claimed dynamically by the
+  // caller plus all workers. Nested calls (from inside a chunk body) are
+  // detected and run serially on the calling thread, so primitives built
+  // on run_blocked compose without deadlocking.
   void run_blocked(std::size_t n, std::size_t chunks,
                    const std::function<void(std::size_t, std::size_t, std::size_t)>& f);
+
+  // True when the calling thread is already inside a parallel region.
+  static bool in_parallel_region();
 
   ~ThreadPool();
 
@@ -35,13 +56,23 @@ class ThreadPool {
     const std::function<void(std::size_t, std::size_t, std::size_t)>* body = nullptr;
     std::size_t n = 0;
     std::size_t chunks = 0;
-    std::atomic<std::size_t> next{0};
+    // Claim word: (epoch & 0xffffffff) << 32 | chunks-claimed-so-far.
+    // Claims are CAS'd, so a straggler still looping on a finished job can
+    // neither claim nor skip a chunk of the next job — its CAS carries the
+    // stale epoch tag and fails.
+    std::atomic<std::uint64_t> next{0};
     std::atomic<std::size_t> done{0};
-    std::uint64_t epoch = 0;
   };
 
+  void spawn_workers();
+  void join_workers();
   void worker_loop();
-  static void run_chunks(Job& job);
+  // Claims and runs chunks of the current job. All job parameters are
+  // passed in (snapshotted under mu_ by the caller); only the tagged
+  // atomic claim word is shared, so stale participants exit without
+  // touching a dead body pointer.
+  void run_chunks(const std::function<void(std::size_t, std::size_t, std::size_t)>* f,
+                  std::size_t n, std::size_t chunks, std::uint64_t tag);
 
   std::size_t nworkers_;
   std::vector<std::thread> threads_;
@@ -53,14 +84,26 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+namespace detail {
+// Chunk count for n items: enough chunks for dynamic load balancing
+// (workers * 8) but never chunks smaller than `grain` items. Using a
+// multiple of the worker count keeps the tail chunk from dominating when
+// n is slightly above grain (the old `workers * 4` cap could produce two
+// wildly uneven chunks).
+inline std::size_t chunk_count(std::size_t n, std::size_t grain, std::size_t workers) {
+  if (grain == 0) grain = 1;
+  return std::min(workers * 8, (n + grain - 1) / grain);
+}
+}  // namespace detail
+
 // Parallel for over [begin, end). `grain` bounds serialization granularity.
 template <class F>
 void parallel_for(std::size_t begin, std::size_t end, F&& f, std::size_t grain = 512) {
   if (begin >= end) return;
   std::size_t n = end - begin;
   auto& pool = ThreadPool::instance();
-  std::size_t chunks = std::min(pool.workers() * 4, (n + grain - 1) / grain);
-  if (chunks <= 1) {
+  std::size_t chunks = detail::chunk_count(n, grain, pool.workers());
+  if (chunks <= 1 || ThreadPool::in_parallel_region()) {
     for (std::size_t i = begin; i < end; ++i) f(i);
     return;
   }
@@ -79,8 +122,8 @@ T parallel_reduce(std::size_t begin, std::size_t end, T id, F&& f, Comb&& comb,
   if (begin >= end) return id;
   std::size_t n = end - begin;
   auto& pool = ThreadPool::instance();
-  std::size_t chunks = std::min(pool.workers() * 4, (n + grain - 1) / grain);
-  if (chunks <= 1) {
+  std::size_t chunks = detail::chunk_count(n, grain, pool.workers());
+  if (chunks <= 1 || ThreadPool::in_parallel_region()) {
     T acc = id;
     for (std::size_t i = begin; i < end; ++i) acc = comb(acc, f(i));
     return acc;
@@ -100,7 +143,8 @@ T parallel_reduce(std::size_t begin, std::size_t end, T id, F&& f, Comb&& comb,
 
 // Exclusive prefix sum of `values` in place; returns the total.
 // This is the workhorse behind the paper's prefix-sum uses (Lemma 4.4,
-// Euler-tour blocking in Section 4.2).
+// Euler-tour blocking in Section 4.2). Serial reference implementation;
+// parallel_exclusive_scan below is the blocked two-pass version.
 template <class T>
 T exclusive_scan(std::vector<T>& values) {
   T total{};
@@ -120,6 +164,230 @@ T inclusive_scan(std::vector<T>& values) {
     v = total;
   }
   return total;
+}
+
+namespace detail {
+// Shared blocked two-pass scan: chunk-local sums -> serial scan of the
+// sums -> chunk-local rescan seeded with the chunk offset. Exact for the
+// integer types used throughout, hence worker-count invariant.
+template <class T, bool Inclusive>
+T blocked_scan(std::vector<T>& values, std::size_t grain) {
+  std::size_t n = values.size();
+  if (n == 0) return T{};
+  auto& pool = ThreadPool::instance();
+  std::size_t chunks = chunk_count(n, grain, pool.workers());
+  if (chunks <= 1 || ThreadPool::in_parallel_region()) {
+    return Inclusive ? inclusive_scan(values) : exclusive_scan(values);
+  }
+  std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<T> sums(chunks, T{});
+  std::function<void(std::size_t, std::size_t, std::size_t)> pass1 =
+      [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        T acc{};
+        for (std::size_t i = lo; i < hi; ++i) acc = acc + values[i];
+        sums[c] = acc;
+      };
+  pool.run_blocked(n, chunks, pass1);
+  T total = exclusive_scan(sums);
+  std::function<void(std::size_t, std::size_t, std::size_t)> pass2 =
+      [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        T acc = sums[c];
+        for (std::size_t i = lo; i < hi; ++i) {
+          if constexpr (Inclusive) {
+            acc = acc + values[i];
+            values[i] = acc;
+          } else {
+            T next = acc + values[i];
+            values[i] = acc;
+            acc = next;
+          }
+        }
+      };
+  // Both passes must agree on chunk boundaries; run_blocked derives them
+  // from (n, chunks) deterministically.
+  (void)chunk_size;
+  pool.run_blocked(n, chunks, pass2);
+  return total;
+}
+}  // namespace detail
+
+// Parallel exclusive/inclusive prefix sums (blocked two-pass). In-place;
+// return the grand total, matching the serial variants above.
+template <class T>
+T parallel_exclusive_scan(std::vector<T>& values, std::size_t grain = 2048) {
+  return detail::blocked_scan<T, false>(values, grain);
+}
+
+template <class T>
+T parallel_inclusive_scan(std::vector<T>& values, std::size_t grain = 2048) {
+  return detail::blocked_scan<T, true>(values, grain);
+}
+
+namespace detail {
+// Merge-based parallel sort shared by parallel_sort / parallel_stable_sort.
+// Blocks are sorted independently, then merged pairwise with std::merge
+// (stable: left block wins ties), doubling the run width each round. The
+// fully sorted stable result is unique, so the output does not depend on
+// the number of workers or block boundaries.
+template <class It, class Compare, class BlockSort>
+void merge_sort_impl(It first, It last, Compare comp, BlockSort block_sort) {
+  using V = typename std::iterator_traits<It>::value_type;
+  std::size_t n = static_cast<std::size_t>(last - first);
+  auto& pool = ThreadPool::instance();
+  constexpr std::size_t kMinBlock = 4096;
+  std::size_t max_blocks = chunk_count(n, kMinBlock, pool.workers());
+  if (max_blocks <= 1 || ThreadPool::in_parallel_region()) {
+    block_sort(first, last);
+    return;
+  }
+  // Round the block count down to a power of two so merge rounds pair up
+  // evenly (the last block simply runs long).
+  std::size_t blocks = 1;
+  while (blocks * 2 <= max_blocks) blocks *= 2;
+  std::size_t bs = (n + blocks - 1) / blocks;
+
+  parallel_for(
+      0, blocks,
+      [&](std::size_t b) {
+        std::size_t lo = b * bs, hi = std::min(n, lo + bs);
+        if (lo < hi) block_sort(first + lo, first + hi);
+      },
+      /*grain=*/1);
+
+  std::vector<V> buf(n);
+  V* src = &*first;
+  V* dst = buf.data();
+  std::size_t width = bs;
+  while (width < n) {
+    std::size_t pairs = (n + 2 * width - 1) / (2 * width);
+    parallel_for(
+        0, pairs,
+        [&](std::size_t p) {
+          std::size_t lo = p * 2 * width;
+          std::size_t mid = std::min(n, lo + width);
+          std::size_t hi = std::min(n, lo + 2 * width);
+          std::merge(src + lo, src + mid, src + mid, src + hi, dst + lo, comp);
+        },
+        /*grain=*/1);
+    std::swap(src, dst);
+    width *= 2;
+  }
+  if (src == buf.data()) {
+    parallel_for(0, n, [&](std::size_t i) { *(first + i) = std::move(buf[i]); },
+                 /*grain=*/8192);
+  }
+}
+}  // namespace detail
+
+// Parallel merge sort for arbitrary comparators. Not guaranteed stable.
+template <class It, class Compare>
+void parallel_sort(It first, It last, Compare comp) {
+  detail::merge_sort_impl(first, last, comp,
+                          [&](It lo, It hi) { std::sort(lo, hi, comp); });
+}
+
+template <class It>
+void parallel_sort(It first, It last) {
+  parallel_sort(first, last, std::less<typename std::iterator_traits<It>::value_type>{});
+}
+
+// Stable parallel merge sort: equal elements keep their input order
+// (blocks are stably sorted and std::merge prefers the left run).
+template <class It, class Compare>
+void parallel_stable_sort(It first, It last, Compare comp) {
+  detail::merge_sort_impl(first, last, comp,
+                          [&](It lo, It hi) { std::stable_sort(lo, hi, comp); });
+}
+
+template <class It>
+void parallel_stable_sort(It first, It last) {
+  parallel_stable_sort(first, last,
+                       std::less<typename std::iterator_traits<It>::value_type>{});
+}
+
+// Parallel pack (flag + scan + scatter): collects get(i) for every i in
+// [0, n) with flag(i) true, preserving index order.
+template <class T, class Flag, class Get>
+std::vector<T> parallel_pack(std::size_t n, Flag&& flag, Get&& get) {
+  std::vector<std::size_t> pos(n);
+  parallel_for(0, n, [&](std::size_t i) { pos[i] = flag(i) ? 1 : 0; }, /*grain=*/4096);
+  std::size_t total = parallel_exclusive_scan(pos);
+  std::vector<T> out(total);
+  parallel_for(
+      0, n,
+      [&](std::size_t i) {
+        if (flag(i)) out[pos[i]] = get(i);
+      },
+      /*grain=*/4096);
+  return out;
+}
+
+// Parallel filter: keeps the elements of `in` satisfying `pred`, in order.
+template <class T, class Pred>
+std::vector<T> parallel_filter(const std::vector<T>& in, Pred&& pred) {
+  return parallel_pack<T>(
+      in.size(), [&](std::size_t i) { return pred(in[i]); },
+      [&](std::size_t i) { return in[i]; });
+}
+
+// Stable parallel bucket placement for scatter-style packing: item i goes
+// to bucket dest(i) occupying size(i) slots. Returns {offset, totals}
+// where offset[i] is item i's start position inside its bucket (items of
+// one bucket keep index order) and totals[b] is bucket b's total size.
+// Built from chunk-local per-bucket sums + a scan over (chunk, bucket)
+// sums, so it is deterministic for any worker count.
+struct BucketLayout {
+  std::vector<std::size_t> offset;  // per item
+  std::vector<std::size_t> total;   // per bucket
+};
+
+template <class Dest, class Size>
+BucketLayout parallel_bucket_offsets(std::size_t n, std::size_t buckets, Dest&& dest,
+                                     Size&& size) {
+  BucketLayout out;
+  out.offset.assign(n, 0);
+  out.total.assign(buckets, 0);
+  if (n == 0) return out;
+  auto& pool = ThreadPool::instance();
+  std::size_t chunks = detail::chunk_count(n, 4096, pool.workers());
+  if (chunks <= 1 || ThreadPool::in_parallel_region()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t b = dest(i);
+      out.offset[i] = out.total[b];
+      out.total[b] += size(i);
+    }
+    return out;
+  }
+  // local[c * buckets + b] = words chunk c sends to bucket b.
+  std::vector<std::size_t> local(chunks * buckets, 0);
+  std::function<void(std::size_t, std::size_t, std::size_t)> pass1 =
+      [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        std::size_t* row = local.data() + c * buckets;
+        for (std::size_t i = lo; i < hi; ++i) row[dest(i)] += size(i);
+      };
+  pool.run_blocked(n, chunks, pass1);
+  // Column-wise exclusive scan: chunk c's starting offset in bucket b.
+  for (std::size_t b = 0; b < buckets; ++b) {
+    std::size_t acc = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      std::size_t v = local[c * buckets + b];
+      local[c * buckets + b] = acc;
+      acc += v;
+    }
+    out.total[b] = acc;
+  }
+  std::function<void(std::size_t, std::size_t, std::size_t)> pass2 =
+      [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        std::vector<std::size_t> run(local.begin() + c * buckets,
+                                     local.begin() + (c + 1) * buckets);
+        for (std::size_t i = lo; i < hi; ++i) {
+          std::size_t b = dest(i);
+          out.offset[i] = run[b];
+          run[b] += size(i);
+        }
+      };
+  pool.run_blocked(n, chunks, pass2);
+  return out;
 }
 
 }  // namespace ptrie::core

@@ -18,23 +18,37 @@ std::vector<Buffer> System::round(const std::string& label, std::vector<Buffer> 
                                   bool launch_all) {
   assert(to_modules.size() == p());
   std::vector<Buffer> results(p());
-  std::vector<std::uint64_t> words(p(), 0), work(p(), 0);
 
+  // Decide the launch set up front so an all-idle round (common during
+  // convergence loops) skips the per-module accounting vectors entirely,
+  // and the kernel loop only visits launched modules.
+  std::vector<std::size_t> launched = core::parallel_pack<std::size_t>(
+      p(), [&](std::size_t i) { return launch_all || !to_modules[i].empty(); },
+      [](std::size_t i) { return i; });
+  if (launched.empty()) {
+    metrics_.begin_round(label);
+    metrics_.end_round();
+    return results;
+  }
+
+  std::vector<std::uint64_t> words(launched.size(), 0), work(launched.size(), 0);
   core::parallel_for(
-      0, p(),
-      [&](std::size_t i) {
-        bool launched = launch_all || !to_modules[i].empty();
-        if (!launched) return;
+      0, launched.size(),
+      [&](std::size_t k) {
+        std::size_t i = launched[k];
         std::uint64_t in_words = to_modules[i].size();
         modules_[i].drain_work();  // isolate this round's work
         results[i] = kernel(modules_[i], std::move(to_modules[i]));
-        work[i] = modules_[i].drain_work();
-        words[i] = in_words + results[i].size();
+        work[k] = modules_[i].drain_work();
+        words[k] = in_words + results[i].size();
       },
       /*grain=*/1);
 
   metrics_.begin_round(label);
-  for (std::size_t i = 0; i < p(); ++i) metrics_.record_module(i, words[i], work[i]);
+  // record_module(i, 0, 0) is a no-op, so recording only launched modules
+  // yields metrics identical to the old full sweep.
+  for (std::size_t k = 0; k < launched.size(); ++k)
+    metrics_.record_module(launched[k], words[k], work[k]);
   metrics_.end_round();
   return results;
 }

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cassert>
 
+#include "core/parallel.hpp"
 #include "pimtrie/detail.hpp"
 #include "trie/euler_partition.hpp"
 #include "trie/treefix.hpp"
@@ -218,33 +219,48 @@ void PimTrie::build(const std::vector<BitString>& keys, const std::vector<trie::
   n_keys_ = 0;
 
   // 1. Reference data trie on the host (construction-time only).
-  std::vector<BitString> sorted = keys;
-  std::vector<trie::Value> vals = values;
+  //    Parallel stable sort + run-boundary dedup + scatter: each stage is
+  //    worker-count invariant (see core/parallel.hpp).
+  std::vector<BitString> sorted(keys.size());
+  std::vector<trie::Value> vals(keys.size());
   {
-    std::vector<std::size_t> perm(sorted.size());
-    for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
-    std::stable_sort(perm.begin(), perm.end(),
-                     [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
-    for (std::size_t i = 0; i < perm.size(); ++i) {
-      sorted[i] = keys[perm[i]];
-      vals[i] = values[perm[i]];
-    }
-    // Dedup: last value wins.
-    std::vector<BitString> uk;
-    std::vector<trie::Value> uv;
-    for (std::size_t i = 0; i < sorted.size(); ++i) {
-      if (!uk.empty() && uk.back() == sorted[i]) {
-        uv.back() = vals[i];
-      } else {
-        uk.push_back(std::move(sorted[i]));
-        uv.push_back(vals[i]);
-      }
-    }
+    std::size_t n = keys.size();
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+    core::parallel_stable_sort(
+        perm.begin(), perm.end(),
+        [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+    core::parallel_for(
+        0, n,
+        [&](std::size_t i) {
+          sorted[i] = keys[perm[i]];
+          vals[i] = values[perm[i]];
+        },
+        /*grain=*/2048);
+    // Dedup, last value wins: a run's slot takes the value of its last
+    // element (run end = boundary of the next run).
+    std::vector<std::size_t> rank(n, 0);
+    core::parallel_for(
+        0, n,
+        [&](std::size_t i) { rank[i] = (i == 0 || !(sorted[i - 1] == sorted[i])) ? 1 : 0; },
+        /*grain=*/2048);
+    std::size_t n_uniq = n == 0 ? 0 : core::parallel_inclusive_scan(rank);
+    std::vector<BitString> uk(n_uniq);
+    std::vector<trie::Value> uv(n_uniq);
+    core::parallel_for(
+        0, n,
+        [&](std::size_t i) {
+          if (i == 0 || rank[i] != rank[i - 1]) uk[rank[i] - 1] = std::move(sorted[i]);
+          if (i + 1 == n || rank[i + 1] != rank[i]) uv[rank[i] - 1] = vals[i];
+        },
+        /*grain=*/2048);
     sorted = std::move(uk);
     vals = std::move(uv);
   }
   std::vector<std::size_t> lcp(sorted.size(), 0);
-  for (std::size_t i = 1; i < sorted.size(); ++i) lcp[i] = sorted[i - 1].lcp(sorted[i]);
+  core::parallel_for(
+      1, sorted.size(), [&](std::size_t i) { lcp[i] = sorted[i - 1].lcp(sorted[i]); },
+      /*grain=*/1024);
   Patricia data = Patricia::build_sorted(sorted, lcp, &vals);
   n_keys_ = data.key_count();
 
@@ -312,28 +328,45 @@ void PimTrie::build(const std::vector<BitString>& keys, const std::vector<trie::
 
   std::vector<pim::Buffer> buffers(sys_->p());
   std::vector<BlockId> order;  // block creation order = meta preorder
-  for (NodeId r : part.roots) {
+  // Module placement consumes the RNG in root order (serial, so the
+  // stream is identical for every worker count), then the expensive
+  // extraction of each block runs in parallel; registration and
+  // serialization stay serial to keep directory + wire order canonical.
+  std::vector<std::uint32_t> module_of_root(part.roots.size());
+  for (std::size_t ri = 0; ri < part.roots.size(); ++ri)
+    module_of_root[ri] = static_cast<std::uint32_t>(sys_->random_module());
+  std::vector<Block> built_blocks(part.roots.size());
+  core::parallel_for(
+      0, part.roots.size(),
+      [&](std::size_t ri) {
+        NodeId r = part.roots[ri];
+        // Cut at every other partition root.
+        std::vector<NodeId> cuts;
+        for (NodeId other : part.roots)
+          if (other != r) cuts.push_back(other);
+        Block& blk = built_blocks[ri];
+        blk.id = block_of_root.at(r);
+        blk.root_hash = node_hash[r];
+        blk.root_depth = data.node(r).depth;
+        blk.trie = data.extract(r, cuts);
+        // Mirrors: extracted stubs whose origin is another partition root.
+        blk.trie.preorder([&](NodeId n) {
+          NodeId origin = blk.trie.node(n).origin;
+          if (n != blk.trie.root() && origin != kNil && is_root[origin])
+            blk.mirrors.emplace(n, block_of_root.at(origin));
+        });
+        // Meta-tree parent: owner of r's parent in the data trie.
+        BlockId parent = kNone;
+        if (r != data.root()) parent = block_of_root.at(part.owner[data.node(r).parent]);
+        blk.parent = parent;
+      },
+      /*grain=*/1);
+  for (std::size_t ri = 0; ri < part.roots.size(); ++ri) {
+    NodeId r = part.roots[ri];
     BlockId id = block_of_root[r];
-    std::uint32_t module = static_cast<std::uint32_t>(sys_->random_module());
-    // Cut at every other partition root.
-    std::vector<NodeId> cuts;
-    for (NodeId other : part.roots)
-      if (other != r) cuts.push_back(other);
-    Block blk;
-    blk.id = id;
-    blk.root_hash = node_hash[r];
-    blk.root_depth = data.node(r).depth;
-    blk.trie = data.extract(r, cuts);
-    // Mirrors: extracted stubs whose origin is another partition root.
-    blk.trie.preorder([&](NodeId n) {
-      NodeId origin = blk.trie.node(n).origin;
-      if (n != blk.trie.root() && origin != kNil && is_root[origin])
-        blk.mirrors.emplace(n, block_of_root[origin]);
-    });
-    // Meta-tree parent: owner of r's parent in the data trie.
-    BlockId parent = kNone;
-    if (r != data.root()) parent = block_of_root[part.owner[data.node(r).parent]];
-    blk.parent = parent;
+    std::uint32_t module = module_of_root[ri];
+    Block& blk = built_blocks[ri];
+    BlockId parent = blk.parent;
 
     HostBlockInfo info;
     info.module = module;

@@ -16,6 +16,7 @@ bool debug_on() {
 }
 }  // namespace
 
+#include "core/parallel.hpp"
 #include "pimtrie/detail.hpp"
 #include "pimtrie/pim_trie.hpp"
 #include "trie/euler_partition.hpp"
@@ -134,17 +135,30 @@ std::vector<PimTrie::CriticalRoot> PimTrie::match_critical_roots(trie::QueryTrie
     }
     trie::PartitionResult part = trie::euler_partition(qt.trie, weight, bound);
     std::vector<pim::Buffer> buffers(sys_->p());
-    for (NodeId r : part.roots) {
-      std::vector<NodeId> cuts;
-      for (NodeId other : part.roots)
-        if (other != r) cuts.push_back(other);
-      QueryPiece piece = make_piece(qt, r, cuts);
-      std::size_t module = sys_->random_module();
+    // Placement consumes the RNG serially (worker-count invariant); the
+    // expensive piece extraction runs in parallel; serialization appends
+    // in root order so the wire bytes are canonical.
+    std::vector<std::size_t> piece_module(part.roots.size());
+    for (std::size_t i = 0; i < part.roots.size(); ++i)
+      piece_module[i] = sys_->random_module();
+    std::vector<QueryPiece> master_pieces(part.roots.size());
+    core::parallel_for(
+        0, part.roots.size(),
+        [&](std::size_t i) {
+          NodeId r = part.roots[i];
+          std::vector<NodeId> cuts;
+          for (NodeId other : part.roots)
+            if (other != r) cuts.push_back(other);
+          master_pieces[i] = make_piece(qt, r, cuts);
+        },
+        /*grain=*/1);
+    for (std::size_t i = 0; i < part.roots.size(); ++i) {
+      std::size_t module = piece_module[i];
       detail::FrameWriter fw{buffers[module]};
       fw.begin();
       BufWriter bw{buffers[module]};
       bw.u64(detail::kMatchMaster);
-      piece.serialize(buffers[module]);
+      master_pieces[i].serialize(buffers[module]);
       fw.end();
     }
     std::string lbl = std::string(label) + ".master";
@@ -191,11 +205,18 @@ std::vector<PimTrie::CriticalRoot> PimTrie::match_critical_roots(trie::QueryTrie
     std::vector<Pending> pending;
     std::vector<QueryPiece> qpieces(work.size());
 
+    // Piece extraction per work item is independent and dominates this
+    // loop's host cost; packing below stays serial in work order.
+    core::parallel_for(
+        0, work.size(),
+        [&](std::size_t i) {
+          std::vector<NodeId> cuts;
+          for (NodeId s : span_nodes)
+            if (s != work[i].span_root) cuts.push_back(s);
+          qpieces[i] = make_piece(qt, work[i].span_root, cuts);
+        },
+        /*grain=*/1);
     for (std::size_t i = 0; i < work.size(); ++i) {
-      std::vector<NodeId> cuts;
-      for (NodeId s : span_nodes)
-        if (s != work[i].span_root) cuts.push_back(s);
-      qpieces[i] = make_piece(qt, work[i].span_root, cuts);
       std::size_t sz = qpieces[i].wire_words();
       std::uint32_t module = work[i].module;
       detail::FrameWriter fw{buffers[module]};
@@ -343,13 +364,19 @@ PimTrie::MatchOutcome PimTrie::run_matching(trie::QueryTrie& qt, const char* lab
     std::vector<Pending> pending;
     std::vector<QueryPiece> qpieces(spans.size());
 
+    core::parallel_for(
+        0, spans.size(),
+        [&](std::size_t i) {
+          if (rejected[i] || !active[i]) return;
+          std::vector<NodeId> cuts;
+          for (NodeId s : span_nodes)
+            if (s != spans[i].qnode) cuts.push_back(s);
+          qpieces[i] = make_piece(qt, spans[i].qnode, cuts);
+        },
+        /*grain=*/1);
     for (std::size_t i = 0; i < spans.size(); ++i) {
       if (rejected[i] || !active[i]) continue;
       const HostBlockInfo& info = blocks_.at(spans[i].block);
-      std::vector<NodeId> cuts;
-      for (NodeId s : span_nodes)
-        if (s != spans[i].qnode) cuts.push_back(s);
-      qpieces[i] = make_piece(qt, spans[i].qnode, cuts);
       std::size_t sz = qpieces[i].wire_words();
       std::uint32_t module = info.module;
       detail::FrameWriter fw{buffers[module]};
@@ -563,10 +590,13 @@ std::vector<std::size_t> PimTrie::batch_lcp(const std::vector<BitString>& keys) 
   trie::QueryTrie qt = trie::build_query_trie(keys, hasher_);
   sys_->metrics().add_cpu_work(qt.cpu_work);
   MatchOutcome mo = run_matching(qt, "lcp", /*op_kind=*/0);
-  for (std::size_t i = 0; i < keys.size(); ++i) {
-    NodeId node = qt.key_node[qt.sorted_slot_of_input[i]];
-    out[i] = mo.match_len[node];
-  }
+  core::parallel_for(
+      0, keys.size(),
+      [&](std::size_t i) {
+        NodeId node = qt.key_node[qt.sorted_slot_of_input[i]];
+        out[i] = mo.match_len[node];
+      },
+      /*grain=*/2048);
   return out;
 }
 
@@ -763,13 +793,26 @@ std::vector<std::vector<std::pair<BitString, trie::Value>>> PimTrie::batch_subtr
                                      hasher_, cfg_.w);
     std::vector<BufReader> readers;
     for (const auto& buf : results) readers.push_back(BufReader{buf});
-    for (auto [b, module] : pend) {
-      BufReader& r = readers[module];
+    // Frames arrive per module in send order; a cheap serial pass slices
+    // the frame spans, then the heavy block deserialization runs in
+    // parallel over independent spans.
+    std::vector<std::pair<std::uint32_t, std::size_t>> span_at(pend.size());  // module, pos
+    for (std::size_t i = 0; i < pend.size(); ++i) {
+      BufReader& r = readers[pend[i].second];
       std::uint64_t frame = r.u64();
-      std::size_t end = r.pos + frame;
-      fetched.emplace(b, Block::deserialize(r));
-      r.pos = end;
+      span_at[i] = {pend[i].second, r.pos};
+      r.pos += frame;
     }
+    std::vector<Block> parsed(pend.size());
+    core::parallel_for(
+        0, pend.size(),
+        [&](std::size_t i) {
+          BufReader r{results[span_at[i].first], span_at[i].second};
+          parsed[i] = Block::deserialize(r);
+        },
+        /*grain=*/1);
+    for (std::size_t i = 0; i < pend.size(); ++i)
+      fetched.emplace(pend[i].first, std::move(parsed[i]));
   }
 
   // Assemble: DFS each slice, appending keys; recurse into fetched
@@ -806,21 +849,29 @@ std::vector<std::vector<std::pair<BitString, trie::Value>>> PimTrie::batch_subtr
         }
       };
 
+  // Each target assembles + sorts independently (emit only reads the
+  // fetched block map), so the unpack fans out across targets.
   std::vector<std::vector<std::pair<BitString, trie::Value>>> per_target(targets.size());
-  for (std::size_t i = 0; i < targets.size(); ++i) {
-    if (!slices[i].found) continue;
-    std::unordered_map<NodeId, BlockId> stubs(slices[i].child_blocks.begin(),
-                                              slices[i].child_blocks.end());
-    emit(slices[i].trie, slices[i].trie.root(), prefixes[targets[i].query], stubs,
-         per_target[i]);
-    std::sort(per_target[i].begin(), per_target[i].end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-  }
-  for (std::size_t i = 0; i < prefixes.size(); ++i) {
-    std::size_t slot = qt.sorted_slot_of_input[i];
-    auto it = target_of_slot.find(slot);
-    if (it != target_of_slot.end()) out[i] = per_target[it->second];
-  }
+  core::parallel_for(
+      0, targets.size(),
+      [&](std::size_t i) {
+        if (!slices[i].found) return;
+        std::unordered_map<NodeId, BlockId> stubs(slices[i].child_blocks.begin(),
+                                                  slices[i].child_blocks.end());
+        emit(slices[i].trie, slices[i].trie.root(), prefixes[targets[i].query], stubs,
+             per_target[i]);
+        std::sort(per_target[i].begin(), per_target[i].end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+      },
+      /*grain=*/1);
+  core::parallel_for(
+      0, prefixes.size(),
+      [&](std::size_t i) {
+        std::size_t slot = qt.sorted_slot_of_input[i];
+        auto it = target_of_slot.find(slot);
+        if (it != target_of_slot.end()) out[i] = per_target[it->second];
+      },
+      /*grain=*/256);
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <functional>
 
+#include "core/parallel.hpp"
 #include "pimtrie/detail.hpp"
 #include "pimtrie/pim_trie.hpp"
 #include "trie/euler_partition.hpp"
@@ -49,12 +50,16 @@ void PimTrie::batch_insert(const std::vector<BitString>& keys,
   // Replace slot indices with the actual values (last write wins).
   {
     std::vector<trie::Value> val_of_slot(qt.sorted_keys.size(), 0);
+    // Serial: several inputs can share a slot and the last write must win.
     for (std::size_t i = 0; i < keys.size(); ++i)
       val_of_slot[qt.sorted_slot_of_input[i]] = values[i];
-    for (std::size_t slot = 0; slot < qt.key_node.size(); ++slot) {
-      NodeId n = qt.key_node[slot];
-      if (n != kNil) qt.trie.mutable_node(n).value = val_of_slot[slot];
-    }
+    core::parallel_for(
+        0, qt.key_node.size(),
+        [&](std::size_t slot) {
+          NodeId n = qt.key_node[slot];
+          if (n != kNil) qt.trie.mutable_node(n).value = val_of_slot[slot];
+        },
+        /*grain=*/2048);
   }
 
   run_matching(qt, "insert", /*op_kind=*/1);
@@ -105,49 +110,101 @@ void PimTrie::repartition_oversized_blocks(const std::vector<BlockId>& oversized
   // block): their on-module entries/refs need a parent-pointer update.
   std::vector<std::pair<BlockId, BlockId>> reparented;  // (block, new parent)
 
-  for (auto [bid, module] : pend) {
-    BufReader& r = readers[module];
+  // Host-side prep per oversized block (deserialize, edge cutting,
+  // partition, per-node hashes) is independent across blocks and is the
+  // expensive part — fan it out. Registration below is serial so that id
+  // assignment, RNG placement, and directory mutation stay canonical.
+  struct Prep {
+    Block blk;
+    trie::PartitionResult part;
+    std::vector<hash::HashVal> node_hash, pivot_hash;
+    std::vector<char> is_root;
+  };
+  std::vector<Prep> preps(pend.size());
+  std::vector<std::size_t> frame_pos(pend.size());
+  for (std::size_t i = 0; i < pend.size(); ++i) {
+    BufReader& r = readers[pend[i].second];
     std::uint64_t frame = r.u64();
-    std::size_t end = r.pos + frame;
-    Block blk = Block::deserialize(r);
-    r.pos = end;
+    frame_pos[i] = r.pos;
+    r.pos += frame;
+  }
+  core::parallel_for(
+      0, pend.size(),
+      [&](std::size_t pi) {
+        Prep& p = preps[pi];
+        BufReader r{results[pend[pi].second], frame_pos[pi]};
+        p.blk = Block::deserialize(r);
+        Block& blk = p.blk;
 
-    // Cut long edges, partition by weight.
-    {
-      std::size_t max_edge_bits = std::max<std::size_t>(64, (kb > 9 ? kb - 8 : 1) * 64);
-      bool again = true;
-      while (again) {
-        again = false;
-        for (NodeId id : blk.trie.preorder_ids())
-          if (blk.trie.node(id).edge.size() > max_edge_bits) {
-            blk.trie.split_edge(id, blk.trie.node(id).edge.size() - max_edge_bits);
-            again = true;
+        // Cut long edges, partition by weight.
+        {
+          std::size_t max_edge_bits = std::max<std::size_t>(64, (kb > 9 ? kb - 8 : 1) * 64);
+          bool again = true;
+          while (again) {
+            again = false;
+            for (NodeId id : blk.trie.preorder_ids())
+              if (blk.trie.node(id).edge.size() > max_edge_bits) {
+                blk.trie.split_edge(id, blk.trie.node(id).edge.size() - max_edge_bits);
+                again = true;
+              }
           }
-      }
-    }
-    auto weight = [&](NodeId id) -> std::uint64_t {
-      return 8 + blk.trie.node(id).edge.word_count();
-    };
-    trie::PartitionResult part = trie::euler_partition(blk.trie, weight, kb);
-    // Mirror stubs must never root new blocks: the stub is a replica of a
-    // child block's root, and making it a root would shadow that child.
-    // Dropping a stub from the root set folds it back into its owner
-    // block (at most one extra node of slack per stub).
-    {
-      std::vector<NodeId> filtered;
-      for (NodeId rt : part.roots)
-        if (rt == blk.trie.root() || !blk.is_mirror(rt)) filtered.push_back(rt);
-      if (filtered.size() != part.roots.size()) {
-        part.roots = std::move(filtered);
-        std::vector<char> keep(blk.trie.slot_count(), 0);
-        for (NodeId rt : part.roots) keep[rt] = 1;
-        part.owner.assign(blk.trie.slot_count(), trie::kNil);
-        for (NodeId id : blk.trie.preorder_ids()) {
-          const auto& n = blk.trie.node(id);
-          part.owner[id] = keep[id] ? id : part.owner[n.parent];
         }
-      }
-    }
+        auto weight = [&](NodeId id) -> std::uint64_t {
+          return 8 + blk.trie.node(id).edge.word_count();
+        };
+        p.part = trie::euler_partition(blk.trie, weight, kb);
+        trie::PartitionResult& part = p.part;
+        // Mirror stubs must never root new blocks: the stub is a replica
+        // of a child block's root, and making it a root would shadow that
+        // child. Dropping a stub from the root set folds it back into its
+        // owner block (at most one extra node of slack per stub).
+        {
+          std::vector<NodeId> filtered;
+          for (NodeId rt : part.roots)
+            if (rt == blk.trie.root() || !blk.is_mirror(rt)) filtered.push_back(rt);
+          if (filtered.size() != part.roots.size()) {
+            part.roots = std::move(filtered);
+            std::vector<char> keep(blk.trie.slot_count(), 0);
+            for (NodeId rt : part.roots) keep[rt] = 1;
+            part.owner.assign(blk.trie.slot_count(), trie::kNil);
+            for (NodeId id : blk.trie.preorder_ids()) {
+              const auto& n = blk.trie.node(id);
+              part.owner[id] = keep[id] ? id : part.owner[n.parent];
+            }
+          }
+        }
+        if (part.roots.size() <= 1) return;  // stored back unchanged below
+
+        // Per-node hashes within the block (absolute), seeded by the root.
+        p.node_hash.assign(blk.trie.slot_count(), 0);
+        p.pivot_hash.assign(blk.trie.slot_count(), 0);
+        p.node_hash[blk.trie.root()] = blk.root_hash;
+        p.pivot_hash[blk.trie.root()] = spre_of_.at(pend[pi].first);
+        for (NodeId c : blk.trie.preorder_ids()) {
+          const auto& cn = blk.trie.node(c);
+          if (cn.parent == kNil) continue;
+          std::uint64_t du = blk.root_depth + blk.trie.node(cn.parent).depth;
+          std::uint64_t dv = du + cn.edge.size();
+          hash::HashVal h = p.node_hash[cn.parent];
+          hash::HashVal hp = p.pivot_hash[cn.parent];
+          std::uint64_t dcur = du;
+          for (std::uint64_t piv = (du / cfg_.w + 1) * cfg_.w; piv <= dv; piv += cfg_.w) {
+            h = hasher_.extend(h, cn.edge, dcur - du, piv - dcur);
+            hp = h;
+            dcur = piv;
+          }
+          p.node_hash[c] = hasher_.extend(h, cn.edge, dcur - du, dv - dcur);
+          p.pivot_hash[c] = hp;
+        }
+        p.is_root.assign(blk.trie.slot_count(), 0);
+        for (NodeId rt : part.roots) p.is_root[rt] = 1;
+      },
+      /*grain=*/1);
+
+  for (std::size_t prep_i = 0; prep_i < pend.size(); ++prep_i) {
+    auto [bid, module] = pend[prep_i];
+    Block& blk = preps[prep_i].blk;
+    trie::PartitionResult& part = preps[prep_i].part;
     if (part.roots.size() <= 1) {
       // Nothing to split (can happen right at the boundary): store back.
       detail::FrameWriter fw{push[module]};
@@ -158,31 +215,9 @@ void PimTrie::repartition_oversized_blocks(const std::vector<BlockId>& oversized
       fw.end();
       continue;
     }
-
-    // Per-node hashes within the block (absolute), seeded by the root.
-    std::vector<hash::HashVal> node_hash(blk.trie.slot_count(), 0);
-    std::vector<hash::HashVal> pivot_hash(blk.trie.slot_count(), 0);
-    node_hash[blk.trie.root()] = blk.root_hash;
-    pivot_hash[blk.trie.root()] = spre_of_.at(bid);
-    for (NodeId c : blk.trie.preorder_ids()) {
-      const auto& cn = blk.trie.node(c);
-      if (cn.parent == kNil) continue;
-      std::uint64_t du = blk.root_depth + blk.trie.node(cn.parent).depth;
-      std::uint64_t dv = du + cn.edge.size();
-      hash::HashVal h = node_hash[cn.parent];
-      hash::HashVal hp = pivot_hash[cn.parent];
-      std::uint64_t dcur = du;
-      for (std::uint64_t pi = (du / cfg_.w + 1) * cfg_.w; pi <= dv; pi += cfg_.w) {
-        h = hasher_.extend(h, cn.edge, dcur - du, pi - dcur);
-        hp = h;
-        dcur = pi;
-      }
-      node_hash[c] = hasher_.extend(h, cn.edge, dcur - du, dv - dcur);
-      pivot_hash[c] = hp;
-    }
-
-    std::vector<char> is_root(blk.trie.slot_count(), 0);
-    for (NodeId rt : part.roots) is_root[rt] = 1;
+    const std::vector<hash::HashVal>& node_hash = preps[prep_i].node_hash;
+    const std::vector<hash::HashVal>& pivot_hash = preps[prep_i].pivot_hash;
+    const std::vector<char>& is_root = preps[prep_i].is_root;
     std::unordered_map<NodeId, BlockId> block_of_root;
     for (NodeId rt : part.roots)
       block_of_root[rt] = rt == blk.trie.root() ? bid : fresh_block_id();

@@ -14,12 +14,16 @@ std::vector<std::size_t> string_sort(std::vector<BitString>& keys) {
   // BitString packing makes compare() word-at-a-time, so this behaves like
   // an O(n log n * k/w) comparison sort — adequate for the simulator's CPU
   // side; the paper's O(n (1+k/w) loglog n) bound is a theoretical target.
+  // The stable parallel merge sort keeps the permutation worker-count
+  // invariant even with duplicate keys.
   std::vector<std::size_t> perm(keys.size());
   std::iota(perm.begin(), perm.end(), 0);
-  std::stable_sort(perm.begin(), perm.end(),
-                   [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+  core::parallel_stable_sort(perm.begin(), perm.end(),
+                             [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
   std::vector<BitString> sorted(keys.size());
-  for (std::size_t i = 0; i < perm.size(); ++i) sorted[i] = std::move(keys[perm[i]]);
+  core::parallel_for(
+      0, perm.size(), [&](std::size_t i) { sorted[i] = std::move(keys[perm[i]]); },
+      /*grain=*/2048);
   keys = std::move(sorted);
   return perm;
 }
@@ -37,17 +41,30 @@ QueryTrie build_query_trie(const std::vector<BitString>& batch_keys,
   qt.sorted_keys = batch_keys;
   std::vector<std::size_t> perm = string_sort(qt.sorted_keys);
 
-  // Dedup (duplicates in a batch share a query trie node).
+  // Dedup (duplicates in a batch share a query trie node): run-boundary
+  // flags, a prefix scan assigning slots, and a parallel scatter.
   std::vector<std::size_t> slot_of_sorted_pos(n);
-  std::vector<BitString> uniq;
-  uniq.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (uniq.empty() || !(uniq.back() == qt.sorted_keys[i])) uniq.push_back(qt.sorted_keys[i]);
-    slot_of_sorted_pos[i] = uniq.size() - 1;
-  }
+  std::vector<std::size_t> rank(n, 0);
+  core::parallel_for(
+      0, n,
+      [&](std::size_t i) {
+        rank[i] = (i == 0 || !(qt.sorted_keys[i - 1] == qt.sorted_keys[i])) ? 1 : 0;
+      },
+      /*grain=*/2048);
+  std::size_t n_uniq = n == 0 ? 0 : core::parallel_inclusive_scan(rank);
+  std::vector<BitString> uniq(n_uniq);
+  core::parallel_for(
+      0, n,
+      [&](std::size_t i) {
+        slot_of_sorted_pos[i] = rank[i] - 1;
+        if (i == 0 || rank[i] != rank[i - 1]) uniq[rank[i] - 1] = qt.sorted_keys[i];
+      },
+      /*grain=*/2048);
   qt.sorted_slot_of_input.assign(n, 0);
-  for (std::size_t i = 0; i < n; ++i) qt.sorted_slot_of_input[perm[i]] = slot_of_sorted_pos[i];
-  qt.sorted_keys = uniq;
+  core::parallel_for(
+      0, n, [&](std::size_t i) { qt.sorted_slot_of_input[perm[i]] = slot_of_sorted_pos[i]; },
+      /*grain=*/2048);
+  qt.sorted_keys = std::move(uniq);
 
   std::vector<std::size_t> lcp = adjacent_lcp(qt.sorted_keys);
   qt.trie = Patricia::build_sorted(qt.sorted_keys, lcp);
@@ -79,8 +96,10 @@ QueryTrie build_query_trie(const std::vector<BitString>& batch_keys,
 
   // Work accounting: sort ~ n log n word-compares, lcp ~ sum k/w, build ~ n,
   // hashing ~ L/w + n.
-  std::uint64_t kw = 0;
-  for (const auto& k : qt.sorted_keys) kw += k.word_count();
+  std::uint64_t kw = core::parallel_reduce<std::uint64_t>(
+      0, qt.sorted_keys.size(), 0,
+      [&](std::size_t i) { return qt.sorted_keys[i].word_count(); },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; }, /*grain=*/4096);
   std::size_t logn = 1;
   while ((std::size_t{1} << logn) < std::max<std::size_t>(2, n)) ++logn;
   qt.cpu_work = n * logn + 2 * kw + qt.trie.node_count() +

@@ -1,0 +1,216 @@
+// Worker-count invariance of the parallel runtime and of the batch
+// pipeline built on it: every primitive in core/parallel.hpp must produce
+// the same bytes for any PTRIE_WORKERS, and a full insert + LCP + subtree
+// workload must yield byte-identical results and identical model metrics
+// (rounds, words, PIM time) at workers=1 and workers=8. The sweep uses
+// ThreadPool::set_workers directly, so one test process covers all counts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
+#include "pimtrie/pim_trie.hpp"
+#include "workload/generators.hpp"
+
+using namespace ptrie;
+using core::ThreadPool;
+
+namespace {
+
+class WorkerSweep : public ::testing::Test {
+ protected:
+  void TearDown() override { ThreadPool::instance().set_workers(1); }
+  static constexpr std::size_t kCounts[] = {1, 2, 3, 8};
+};
+
+std::vector<std::uint64_t> random_values(std::size_t n, std::uint64_t seed) {
+  core::Rng rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng();
+  return v;
+}
+
+// Adversarial inputs for sort/scan: random, all-equal, pre-sorted, reverse.
+std::vector<std::vector<std::uint64_t>> sort_inputs() {
+  std::vector<std::vector<std::uint64_t>> inputs;
+  inputs.push_back(random_values(50'000, 7));
+  inputs.emplace_back(30'000, 42u);  // all equal
+  auto sorted = random_values(40'000, 8);
+  std::sort(sorted.begin(), sorted.end());
+  inputs.push_back(sorted);
+  std::reverse(sorted.begin(), sorted.end());
+  inputs.push_back(sorted);
+  inputs.emplace_back();           // empty
+  inputs.push_back({5});           // single
+  inputs.push_back(random_values(4097, 9));  // just past one grain
+  return inputs;
+}
+
+}  // namespace
+
+TEST_F(WorkerSweep, ParallelSortMatchesSerial) {
+  for (const auto& in : sort_inputs()) {
+    auto expect = in;
+    std::sort(expect.begin(), expect.end());
+    for (std::size_t w : kCounts) {
+      ThreadPool::instance().set_workers(w);
+      auto got = in;
+      core::parallel_sort(got.begin(), got.end());
+      EXPECT_EQ(got, expect) << "workers=" << w << " n=" << in.size();
+    }
+  }
+}
+
+TEST_F(WorkerSweep, ParallelStableSortIsStable) {
+  // Sort pairs by first only; second records input order. Stability means
+  // seconds stay ascending within equal firsts — and the whole output is
+  // then worker-count invariant.
+  core::Rng rng(11);
+  std::size_t n = 60'000;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> in(n);
+  for (std::size_t i = 0; i < n; ++i)
+    in[i] = {static_cast<std::uint32_t>(rng() % 64), static_cast<std::uint32_t>(i)};
+  auto expect = in;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t w : kCounts) {
+    ThreadPool::instance().set_workers(w);
+    auto got = in;
+    core::parallel_stable_sort(got.begin(), got.end(),
+                               [](const auto& a, const auto& b) { return a.first < b.first; });
+    ASSERT_EQ(got, expect) << "workers=" << w;
+  }
+}
+
+TEST_F(WorkerSweep, ParallelScansMatchSerial) {
+  for (const auto& in : sort_inputs()) {
+    auto ex_ref = in;
+    std::uint64_t ex_total = core::exclusive_scan(ex_ref);
+    auto in_ref = in;
+    std::uint64_t in_total = core::inclusive_scan(in_ref);
+    for (std::size_t w : kCounts) {
+      ThreadPool::instance().set_workers(w);
+      auto ex = in;
+      EXPECT_EQ(core::parallel_exclusive_scan(ex, /*grain=*/512), ex_total);
+      EXPECT_EQ(ex, ex_ref) << "workers=" << w << " n=" << in.size();
+      auto inc = in;
+      EXPECT_EQ(core::parallel_inclusive_scan(inc, /*grain=*/512), in_total);
+      EXPECT_EQ(inc, in_ref) << "workers=" << w << " n=" << in.size();
+    }
+  }
+}
+
+TEST_F(WorkerSweep, ParallelPackPreservesIndexOrder) {
+  auto vals = random_values(30'000, 13);
+  std::vector<std::uint64_t> expect;
+  for (auto v : vals)
+    if (v % 3 == 0) expect.push_back(v);
+  for (std::size_t w : kCounts) {
+    ThreadPool::instance().set_workers(w);
+    auto got = core::parallel_filter(vals, [](std::uint64_t v) { return v % 3 == 0; });
+    ASSERT_EQ(got, expect) << "workers=" << w;
+  }
+}
+
+TEST_F(WorkerSweep, BucketOffsetsReplaySerialAppendOrder) {
+  auto vals = random_values(20'000, 17);
+  const std::size_t kBuckets = 37;
+  auto dest = [&](std::size_t i) { return vals[i] % kBuckets; };
+  auto size = [&](std::size_t i) { return 1 + vals[i] % 5; };
+  // Serial reference: append in index order.
+  std::vector<std::size_t> ref_offset(vals.size());
+  std::vector<std::size_t> ref_total(kBuckets, 0);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    ref_offset[i] = ref_total[dest(i)];
+    ref_total[dest(i)] += size(i);
+  }
+  for (std::size_t w : kCounts) {
+    ThreadPool::instance().set_workers(w);
+    auto layout = core::parallel_bucket_offsets(vals.size(), kBuckets, dest, size);
+    ASSERT_EQ(layout.offset, ref_offset) << "workers=" << w;
+    ASSERT_EQ(layout.total, ref_total) << "workers=" << w;
+  }
+}
+
+TEST_F(WorkerSweep, NestedParallelForFallsBackToSerial) {
+  ThreadPool::instance().set_workers(4);
+  std::vector<std::uint64_t> sums(1000, 0);
+  core::parallel_for(
+      0, sums.size(),
+      [&](std::size_t i) {
+        // Nested constructs must run inline (no deadlock, no data races).
+        std::vector<std::uint64_t> local(200);
+        core::parallel_for(0, local.size(), [&](std::size_t j) { local[j] = i + j; },
+                           /*grain=*/1);
+        std::uint64_t total = core::parallel_inclusive_scan(local, /*grain=*/1);
+        sums[i] = total;
+      },
+      /*grain=*/1);
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    std::uint64_t expect = 200 * i + 199 * 200 / 2;
+    ASSERT_EQ(sums[i], expect) << i;
+  }
+}
+
+namespace {
+
+struct PipelineResult {
+  std::vector<std::size_t> lcp;
+  std::vector<std::vector<std::pair<core::BitString, std::uint64_t>>> subtrees;
+  std::vector<std::pair<core::BitString, std::uint64_t>> contents;
+  pim::Metrics::Snapshot metrics;
+};
+
+// Full build + insert + LCP + subtree workload at the given worker count.
+PipelineResult run_pipeline(std::size_t workers) {
+  ThreadPool::instance().set_workers(workers);
+  pim::System sys(16, 77);
+  pimtrie::Config cfg;
+  cfg.seed = 5;
+  pimtrie::PimTrie t(sys, cfg);
+
+  auto keys = workload::uniform_keys(800, 96, 1);
+  std::vector<std::uint64_t> vals(keys.size());
+  std::iota(vals.begin(), vals.end(), 100);
+  t.build(keys, vals);
+
+  // Skewed inserts (shared prefixes) to force block repartitioning.
+  auto extra = workload::shared_prefix_keys(400, 48, 48, 2);
+  std::vector<std::uint64_t> evals(extra.size());
+  std::iota(evals.begin(), evals.end(), 5000);
+  t.batch_insert(extra, evals);
+
+  auto queries = workload::zipf_queries(keys, 300, 0.8, 3);
+  for (auto& q : workload::miss_queries(100, 96, 4)) queries.push_back(q);
+
+  PipelineResult r;
+  r.lcp = t.batch_lcp(queries);
+  std::vector<core::BitString> prefixes;
+  for (std::size_t i = 0; i < 20; ++i) prefixes.push_back(keys[i * 7].prefix(16));
+  r.subtrees = t.batch_subtree(prefixes);
+  r.contents = t.debug_collect();
+  std::sort(r.contents.begin(), r.contents.end());
+  EXPECT_EQ(t.debug_check(), "");
+  r.metrics = sys.metrics().snapshot();
+  return r;
+}
+
+}  // namespace
+
+TEST_F(WorkerSweep, PipelineByteIdenticalAcrossWorkerCounts) {
+  PipelineResult base = run_pipeline(1);
+  for (std::size_t w : {2, 8}) {
+    PipelineResult got = run_pipeline(w);
+    ASSERT_EQ(got.lcp, base.lcp) << "workers=" << w;
+    ASSERT_EQ(got.subtrees, base.subtrees) << "workers=" << w;
+    ASSERT_EQ(got.contents, base.contents) << "workers=" << w;
+    EXPECT_EQ(got.metrics.rounds, base.metrics.rounds) << "workers=" << w;
+    EXPECT_EQ(got.metrics.words, base.metrics.words) << "workers=" << w;
+    EXPECT_EQ(got.metrics.io_time, base.metrics.io_time) << "workers=" << w;
+    EXPECT_EQ(got.metrics.pim_time, base.metrics.pim_time) << "workers=" << w;
+    EXPECT_EQ(got.metrics.pim_work, base.metrics.pim_work) << "workers=" << w;
+  }
+}
