@@ -9,7 +9,8 @@
 
 using namespace ptrie;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   std::printf("Ablation: block size bound K_B (P=16, n=4000, l=128, batch=2000)\n");
   bench::header("LCP cost vs K_B",
                 {"K_B(words)", "blocks", "rounds", "words/op", "imbalance", "space w/key"});

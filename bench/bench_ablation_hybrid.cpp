@@ -14,7 +14,8 @@
 
 using namespace ptrie;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   std::printf("Ablation: trie-only vs hash-only vs hybrid (Section 4.2 dilemma)\n");
   std::size_t n = 3000, batch = 1500, p = 16;
 

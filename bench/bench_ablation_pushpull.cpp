@@ -9,7 +9,8 @@
 
 using namespace ptrie;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   // Note: a pure hot-spot batch (everyone probing one key) dedups into a
   // tiny query trie — the query-trie construction itself absorbs that
   // skew, a benefit the paper claims in Section 4.1. To expose the

@@ -8,7 +8,8 @@
 
 using namespace ptrie;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   std::printf("Batch-size sensitivity (P=16, n=4000, l=64, zipf-0.99 queries)\n");
   bench::header("LCP vs batch size",
                 {"batch", "rounds", "words/op", "iotime/op", "imbalance"});

@@ -67,7 +67,8 @@ OpRow run_pipeline(std::size_t n, const std::vector<core::BitString>& keys,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   std::size_t n = 1u << 20;
   if (const char* env = std::getenv("PTRIE_BENCH_N")) n = std::strtoull(env, nullptr, 10);
   const std::size_t kWorkerSweep[] = {1, 2, 4, 8};

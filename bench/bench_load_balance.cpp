@@ -12,7 +12,8 @@
 
 using namespace ptrie;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   std::printf("Skew-resistance reproduction (P=16, n=3000, batch=2000, l=64)\n");
 
   std::size_t n = 3000, batch = 2000, l = 64, p = 16;

@@ -10,7 +10,8 @@
 
 using namespace ptrie;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   std::printf("PIM-trie scaling in P (n=4000, l=128, batch=2000)\n");
   bench::header("LCP cost vs P",
                 {"P", "rounds", "rounds/log2P", "words/op", "iotime/op", "imbalance"});

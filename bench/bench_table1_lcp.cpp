@@ -20,7 +20,8 @@
 
 using namespace ptrie;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   const unsigned kSpan = 4;
   std::printf("Table 1 / LCP row reproduction (radix span s=%u, word w=64)\n", kSpan);
 

@@ -11,7 +11,8 @@
 
 using namespace ptrie;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   std::printf("Table 1 / space column reproduction (P=16, words per stored key)\n");
   bench::header("space vs key length (n=3000 uniform keys)",
                 {"l(bits)", "radix w/key", "xfast w/key", "pimtrie w/key", "trie Q/key"});

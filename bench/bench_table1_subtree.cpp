@@ -12,7 +12,8 @@
 
 using namespace ptrie;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   std::printf("Table 1 / Subtree row reproduction (P=16)\n");
 
   bench::header("SubtreeQuery rounds vs data shape",

@@ -14,7 +14,8 @@
 
 using namespace ptrie;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   const unsigned kSpan = 4;
   std::printf("Table 1 / Insert+Delete row reproduction (amortized over batches)\n");
 

@@ -10,7 +10,8 @@
 
 using namespace ptrie;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   std::printf("Verification under forced hash collisions (P=8, n=2000, batch=1000)\n");
   bench::header("LCP with truncated fingerprints",
                 {"fp bits", "wrong answers", "rejections", "redo rounds", "rounds",

@@ -3,12 +3,24 @@
 // per batch operation and aligned table printing. Every bench binary
 // prints self-describing rows (CSV-ish) so EXPERIMENTS.md can quote them
 // directly.
+//
+// Call bench::init(argc, argv) first thing in main:
+//   --json <path>   additionally emit every table as structured JSON
+//   --help          print the flags plus the recognized PTRIE_* env vars
+// The JSON mirrors the printed tables cell for cell (typed: strings stay
+// strings, numbers stay numbers) and appends the obs counter values, so
+// scripts never have to scrape the aligned text output.
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "obs/counters.hpp"
+#include "obs/env.hpp"
+#include "obs/json.hpp"
 #include "pim/metrics.hpp"
 #include "pim/system.hpp"
 
@@ -32,7 +44,22 @@ struct OpCost {
     c.words_per_op = n_ops ? double(c.total_words) / double(n_ops) : 0;
     c.io_time_per_op = n_ops ? double(after.io_time - before.io_time) / double(n_ops) : 0;
     c.pim_time = after.pim_time - before.pim_time;
-    c.imbalance = sys.metrics().comm_imbalance();
+    // Imbalance over the measured window only: per-module word deltas
+    // between the snapshots (the cumulative ratio would smear in traffic
+    // from construction and earlier ops).
+    if (!before.module_words.empty() &&
+        after.module_words.size() == before.module_words.size()) {
+      std::uint64_t max = 0, sum = 0;
+      for (std::size_t m = 0; m < after.module_words.size(); ++m) {
+        std::uint64_t d = after.module_words[m] - before.module_words[m];
+        sum += d;
+        if (d > max) max = d;
+      }
+      double mean = after.module_words.empty()
+                        ? 0.0
+                        : double(sum) / double(after.module_words.size());
+      c.imbalance = mean > 0 ? double(max) / mean : 1.0;
+    }
     return c;
   }
 };
@@ -56,7 +83,128 @@ OpCost measure(ptrie::pim::System& sys, std::size_t n_ops, F&& op) {
   return c;
 }
 
+// ---- structured output ------------------------------------------------
+
+namespace detail {
+
+// Mirrors the printed tables; flushed as JSON at exit when --json is set.
+struct Reporter {
+  struct Cell {
+    enum class Kind { kString, kInt, kDouble } kind = Kind::kString;
+    std::string s;
+    std::size_t i = 0;
+    double d = 0;
+  };
+  struct Table {
+    std::string title;
+    std::vector<std::string> cols;
+    std::vector<std::vector<Cell>> rows;
+  };
+  std::string json_path;
+  std::string binary;
+  std::vector<Table> tables;
+  bool row_open = false;
+
+  static Reporter& instance() {
+    static Reporter r;
+    return r;
+  }
+
+  void begin_table(const char* title, const std::vector<std::string>& cols) {
+    tables.push_back({title, cols, {}});
+    row_open = false;
+  }
+  void push(Cell c) {
+    if (tables.empty()) return;  // cell() before any header(): print-only
+    if (!row_open) {
+      tables.back().rows.emplace_back();
+      row_open = true;
+    }
+    tables.back().rows.back().push_back(std::move(c));
+  }
+  void end_row() { row_open = false; }
+
+  void flush() {
+    if (json_path.empty()) return;
+    namespace json = ptrie::obs::json;
+    std::string out = "{\n  \"binary\": " + json::escape(binary) + ",\n  \"tables\": [";
+    for (std::size_t t = 0; t < tables.size(); ++t) {
+      const Table& tab = tables[t];
+      out += t ? ",\n    {" : "\n    {";
+      out += "\"title\": " + json::escape(tab.title) + ", \"columns\": [";
+      for (std::size_t c = 0; c < tab.cols.size(); ++c)
+        out += (c ? ", " : "") + json::escape(tab.cols[c]);
+      out += "], \"rows\": [";
+      for (std::size_t r = 0; r < tab.rows.size(); ++r) {
+        out += r ? ",\n      [" : "\n      [";
+        for (std::size_t c = 0; c < tab.rows[r].size(); ++c) {
+          const Cell& cell = tab.rows[r][c];
+          if (c) out += ", ";
+          char buf[64];
+          switch (cell.kind) {
+            case Cell::Kind::kString: out += json::escape(cell.s); break;
+            case Cell::Kind::kInt:
+              std::snprintf(buf, sizeof buf, "%zu", cell.i);
+              out += buf;
+              break;
+            case Cell::Kind::kDouble:
+              std::snprintf(buf, sizeof buf, "%.6g", cell.d);
+              out += buf;
+              break;
+          }
+        }
+        out += "]";
+      }
+      out += tab.rows.empty() ? "]}" : "\n    ]}";
+    }
+    out += tables.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"counters\": {";
+    auto counters = ptrie::obs::counters_snapshot();
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%llu", (unsigned long long)counters[i].second);
+      out += (i ? ", " : "") + json::escape(counters[i].first) + ": " + buf;
+    }
+    out += "}\n}\n";
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fwrite(out.data(), 1, out.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "[bench] cannot open %s for writing\n", json_path.c_str());
+    }
+  }
+};
+
+inline void flush_at_exit() { Reporter::instance().flush(); }
+
+}  // namespace detail
+
+// Parses bench flags; call first in main(). Safe to skip (print-only).
+inline void init(int argc, char** argv) {
+  auto& rep = detail::Reporter::instance();
+  rep.binary = argc > 0 ? argv[0] : "bench";
+  if (auto pos = rep.binary.find_last_of('/'); pos != std::string::npos)
+    rep.binary = rep.binary.substr(pos + 1);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: %s [--json <path>]\n\n", rep.binary.c_str());
+      std::printf("  --json <path>  write the result tables + counters as JSON\n\n");
+      ptrie::obs::env::dump(stdout);
+      std::exit(0);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      rep.json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      rep.json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  if (!rep.json_path.empty()) std::atexit(detail::flush_at_exit);
+}
+
 inline void header(const char* title, const std::vector<std::string>& cols) {
+  detail::Reporter::instance().begin_table(title, cols);
   std::printf("\n== %s ==\n", title);
   for (const auto& c : cols) std::printf("%-16s", c.c_str());
   std::printf("\n");
@@ -64,10 +212,22 @@ inline void header(const char* title, const std::vector<std::string>& cols) {
   std::printf("\n");
 }
 
-inline void cell(const std::string& s) { std::printf("%-16s", s.c_str()); }
-inline void cell(std::size_t v) { std::printf("%-16zu", v); }
-inline void cell(double v) { std::printf("%-16.2f", v); }
-inline void endrow() { std::printf("\n"); }
+inline void cell(const std::string& s) {
+  detail::Reporter::instance().push({detail::Reporter::Cell::Kind::kString, s, 0, 0});
+  std::printf("%-16s", s.c_str());
+}
+inline void cell(std::size_t v) {
+  detail::Reporter::instance().push({detail::Reporter::Cell::Kind::kInt, {}, v, 0});
+  std::printf("%-16zu", v);
+}
+inline void cell(double v) {
+  detail::Reporter::instance().push({detail::Reporter::Cell::Kind::kDouble, {}, 0, v});
+  std::printf("%-16.2f", v);
+}
+inline void endrow() {
+  detail::Reporter::instance().end_row();
+  std::printf("\n");
+}
 
 inline std::string fmt(double v, int prec = 2) {
   char buf[64];

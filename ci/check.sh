@@ -12,10 +12,25 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== observability smoke: trace + bench JSON round-trip =="
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+PTRIE_TRACE="$OBS_TMP/trace.json" ./build/bench/bench_table1_lcp \
+  --json "$OBS_TMP/bench.json" >/dev/null
+# ptrie_report parses both files back; a malformed trace or bench JSON
+# fails here, and the greps assert phase attribution and counter export
+# actually happened.
+./build/tools/ptrie_report "$OBS_TMP/trace.json" --rounds 0 >"$OBS_TMP/trace_report.txt"
+grep -q 'LCP/MetaQuery/HashMatching-L1' "$OBS_TMP/trace_report.txt"
+./build/tools/ptrie_report "$OBS_TMP/bench.json" >"$OBS_TMP/bench_report.txt"
+grep -q 'counters' "$OBS_TMP/bench_report.txt"
+
 echo "== thread-sanitized build + parallel determinism suite =="
 cmake -B build-tsan -S . -DPTRIE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target pimtrie_tests
+# WorkerSweep* covers the batch-pipeline suite and the trace byte-equality
+# suite (WorkerSweepTrace) in tests/test_obs.cpp.
 PTRIE_WORKERS=8 ./build-tsan/tests/pimtrie_tests \
-  --gtest_filter='WorkerSweep.*'
+  --gtest_filter='WorkerSweep*'
 
 echo "all checks passed"

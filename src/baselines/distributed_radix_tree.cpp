@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "core/parallel.hpp"
+#include "obs/phase.hpp"
 
 namespace ptrie::baselines {
 
@@ -48,6 +49,7 @@ std::uint64_t DistributedRadixTree::new_node() {
 
 void DistributedRadixTree::build(const std::vector<BitString>& keys,
                                  const std::vector<std::uint64_t>& values) {
+  obs::Phase op_phase("Build");
   // Build host-side, then distribute nodes in one round (construction).
   std::size_t fanout = std::size_t{1} << span_;
   struct HNode {
@@ -107,6 +109,7 @@ void DistributedRadixTree::build(const std::vector<BitString>& keys,
 }
 
 std::vector<std::size_t> DistributedRadixTree::batch_lcp(const std::vector<BitString>& keys) {
+  obs::Phase op_phase("LCP");
   std::size_t fanout = std::size_t{1} << span_;
   std::vector<std::size_t> out(keys.size(), 0);
   struct Q {
@@ -232,6 +235,7 @@ std::vector<std::size_t> DistributedRadixTree::batch_lcp(const std::vector<BitSt
 
 void DistributedRadixTree::batch_insert(const std::vector<BitString>& keys,
                                         const std::vector<std::uint64_t>& values) {
+  obs::Phase op_phase("Insert");
   std::size_t fanout = std::size_t{1} << span_;
   std::uint64_t inst = instance_;
 
@@ -424,6 +428,7 @@ void DistributedRadixTree::batch_insert(const std::vector<BitString>& keys,
 
 std::vector<std::vector<std::pair<BitString, std::uint64_t>>>
 DistributedRadixTree::batch_subtree(const std::vector<BitString>& prefixes) {
+  obs::Phase op_phase("Subtree");
   std::size_t fanout = std::size_t{1} << span_;
   std::uint64_t inst = instance_;
   std::vector<std::vector<std::pair<BitString, std::uint64_t>>> out(prefixes.size());

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "core/parallel.hpp"
+#include "obs/phase.hpp"
 
 namespace ptrie::baselines {
 
@@ -39,6 +40,7 @@ void DistributedXFastTrie::build(const std::vector<std::uint64_t>& keys,
 
 void DistributedXFastTrie::batch_insert(const std::vector<std::uint64_t>& keys,
                                         const std::vector<std::uint64_t>& values) {
+  obs::Phase op_phase("Insert");
   std::uint64_t inst = instance_;
   std::vector<pim::Buffer> buffers(sys_->p());
   // One 4-word item per (key, level) pair; fixed size makes the bucket
@@ -86,6 +88,7 @@ void DistributedXFastTrie::batch_insert(const std::vector<std::uint64_t>& keys,
 }
 
 std::vector<unsigned> DistributedXFastTrie::batch_lcp(const std::vector<std::uint64_t>& keys) {
+  obs::Phase op_phase("LCP");
   std::uint64_t inst = instance_;
   std::vector<unsigned> lo(keys.size(), 0), hi(keys.size(), width_);
   if (n_keys_ == 0) return lo;
@@ -156,6 +159,7 @@ std::vector<unsigned> DistributedXFastTrie::batch_lcp(const std::vector<std::uin
 std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
 DistributedXFastTrie::batch_subtree(
     const std::vector<std::pair<std::uint64_t, unsigned>>& prefixes) {
+  obs::Phase op_phase("Subtree");
   std::uint64_t inst = instance_;
   // One broadcast round: every module scans its leaves for each prefix.
   pim::Buffer payload;

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "core/parallel.hpp"
+#include "obs/phase.hpp"
 #include "pimtrie/types.hpp"
 
 namespace ptrie::baselines {
@@ -35,6 +36,7 @@ std::uint32_t RangePartitionedIndex::route(const BitString& key) const {
 
 void RangePartitionedIndex::build(const std::vector<BitString>& keys,
                                   const std::vector<std::uint64_t>& values) {
+  obs::Phase op_phase("Build");
   // Separators: evenly spaced sample of the sorted keys.
   std::vector<std::size_t> perm(keys.size());
   for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
@@ -52,6 +54,7 @@ void RangePartitionedIndex::build(const std::vector<BitString>& keys,
 
 void RangePartitionedIndex::batch_insert(const std::vector<BitString>& keys,
                                          const std::vector<std::uint64_t>& values) {
+  obs::Phase op_phase("Insert");
   std::uint64_t inst = instance_;
   std::vector<pim::Buffer> buffers(sys_->p());
   // Variable-size items (op word + bits + value word); the bucket offsets
@@ -89,6 +92,7 @@ void RangePartitionedIndex::batch_insert(const std::vector<BitString>& keys,
 }
 
 std::vector<std::size_t> RangePartitionedIndex::batch_lcp(const std::vector<BitString>& keys) {
+  obs::Phase op_phase("LCP");
   std::uint64_t inst = instance_;
   std::vector<pim::Buffer> buffers(sys_->p());
   std::vector<std::vector<std::size_t>> sent(sys_->p());
@@ -146,6 +150,7 @@ std::vector<std::size_t> RangePartitionedIndex::batch_lcp(const std::vector<BitS
 
 std::vector<std::vector<std::pair<BitString, std::uint64_t>>>
 RangePartitionedIndex::batch_subtree(const std::vector<BitString>& prefixes) {
+  obs::Phase op_phase("Subtree");
   std::uint64_t inst = instance_;
   std::vector<pim::Buffer> buffers(sys_->p());
   std::vector<std::vector<std::size_t>> sent(sys_->p());

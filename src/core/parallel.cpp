@@ -1,18 +1,16 @@
 #include "core/parallel.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "obs/env.hpp"
 
 namespace ptrie::core {
 
 namespace {
 std::size_t env_workers() {
-  if (const char* s = std::getenv("PTRIE_WORKERS")) {
-    long v = std::strtol(s, nullptr, 10);
-    if (v >= 1) return static_cast<std::size_t>(v);
-  }
   unsigned hw = std::thread::hardware_concurrency();
-  return std::max(1u, hw);
+  return obs::env::u64("PTRIE_WORKERS", std::max(1u, hw),
+                       "host worker threads (default: hardware concurrency)");
 }
 
 // Set while a thread executes chunk bodies; nested parallel constructs

@@ -1,0 +1,108 @@
+#include "obs/counters.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+
+#include "obs/env.hpp"
+
+namespace ptrie::obs {
+
+namespace {
+
+struct CounterRegistry {
+  std::mutex mu;
+  // deque: stable addresses across growth (callers hold references).
+  std::deque<Counter> storage;
+  std::map<std::string, Counter*, std::less<>> by_name;
+
+  static CounterRegistry& instance() {
+    // Intentionally leaked: counters are read from atexit handlers (bench
+    // --json flush), which can run after function-local statics destruct.
+    static CounterRegistry* r = new CounterRegistry;
+    return *r;
+  }
+};
+
+LogLevel parse_level() {
+  std::string s = env::str("PTRIE_LOG", "log level: error, warn, info, debug (default: warn)");
+  if (s == "error") return LogLevel::kError;
+  if (s == "warn" || s.empty()) {
+    // Legacy escape hatch: PTRIE_DEBUG turns on full debug output.
+    if (env::flag("PTRIE_DEBUG",
+                  "verbose matching/kernel diagnostics on stderr (implies PTRIE_LOG=debug)"))
+      return LogLevel::kDebug;
+    return LogLevel::kWarn;
+  }
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "debug") return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+LogLevel active_level() {
+  static LogLevel level = parse_level();
+  return level;
+}
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  CounterRegistry& r = CounterRegistry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.by_name.find(name);
+  if (it != r.by_name.end()) return *it->second;
+  r.storage.emplace_back(std::string(name));
+  Counter* c = &r.storage.back();
+  r.by_name.emplace(c->name(), c);
+  return *c;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> counters_snapshot() {
+  CounterRegistry& r = CounterRegistry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(r.by_name.size());
+  for (const auto& [name, c] : r.by_name) out.emplace_back(name, c->get());
+  return out;
+}
+
+void counters_reset() {
+  CounterRegistry& r = CounterRegistry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& c : r.storage) c.reset();
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(active_level());
+}
+
+void logf(LogLevel level, const char* tag, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  // One formatted write so concurrent module kernels don't interleave.
+  char buf[1024];
+  int off = std::snprintf(buf, sizeof buf, "[ptrie][%s][%s] ", level_name(level), tag);
+  if (off < 0) return;
+  std::va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf + off, sizeof buf - static_cast<std::size_t>(off), fmt, args);
+  va_end(args);
+  if (n < 0) return;
+  std::size_t len = std::min(sizeof buf - 2, static_cast<std::size_t>(off + n));
+  buf[len] = '\n';
+  std::fwrite(buf, 1, len + 1, stderr);
+}
+
+}  // namespace ptrie::obs

@@ -1,0 +1,57 @@
+#pragma once
+// Structured counters and leveled logging, replacing the ad-hoc
+// PTRIE_DEBUG fprintf guards that used to sit in kernel.cpp,
+// meta_index.cpp and pim_trie_match.cpp.
+//
+//   obs::counter("hash/rejected_collisions").add();   // thread-safe
+//   obs::logf(obs::LogLevel::kDebug, "phaseA", "criticals=%zu", n);
+//
+// Counters are process-global, created on first use, and safe to bump
+// from pool workers (kernels run in parallel across modules). The log
+// level comes from PTRIE_LOG (error/warn/info/debug); PTRIE_DEBUG
+// implies debug for backward compatibility with the old guards.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptrie::obs {
+
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t get() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Registry lookup; creates the counter on first use. The reference stays
+// valid for the process lifetime, so hot paths cache it:
+//   static obs::Counter& c = obs::counter("kernel/hash_match");
+Counter& counter(std::string_view name);
+
+// (name, value) for every registered counter, sorted by name.
+std::vector<std::pair<std::string, std::uint64_t>> counters_snapshot();
+
+// Zeroes every registered counter (tests, per-run deltas).
+void counters_reset();
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+// True when `level` messages are emitted. Cheap (cached atomic).
+bool log_enabled(LogLevel level);
+
+// "[ptrie][debug][tag] message\n" on stderr when the level is enabled.
+#if defined(__GNUC__)
+__attribute__((format(printf, 3, 4)))
+#endif
+void logf(LogLevel level, const char* tag, const char* fmt, ...);
+
+}  // namespace ptrie::obs

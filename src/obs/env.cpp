@@ -1,0 +1,99 @@
+#include "obs/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace ptrie::obs::env {
+
+namespace {
+
+struct Entry {
+  std::string help;
+  std::string value;
+  bool set = false;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Entry> entries;
+
+  static Registry& instance() {
+    // Leaked on purpose: consulted from atexit flushes and static
+    // destructors, which may run after local statics are gone.
+    static Registry* r = new Registry;
+    return *r;
+  }
+
+  // Known variables are pre-registered so `dump` is complete even before
+  // their first use in this process.
+  Registry() {
+    pre("PTRIE_WORKERS", "host worker threads (default: hardware concurrency)");
+    pre("PTRIE_DEBUG", "verbose matching/kernel diagnostics on stderr (implies PTRIE_LOG=debug)");
+    pre("PTRIE_LOG", "log level: error, warn, info, debug (default: warn)");
+    pre("PTRIE_NO_MAINT", "disable all insert-time maintenance (repartition/split/rebuild)");
+    pre("PTRIE_NO_PSPLIT", "disable piece splits + meta-tree rebuilds (keep block repartition)");
+    pre("PTRIE_TRACE", "write a phase-attributed trace on exit (*.csv -> CSV, else Chrome JSON)");
+    pre("PTRIE_TELEMETRY", "retain per-round per-module words/work for phase imbalance reports");
+  }
+
+  void pre(const char* name, const char* help) {
+    Entry e;
+    e.help = help;
+    if (const char* v = std::getenv(name)) {
+      e.value = v;
+      e.set = true;
+    }
+    entries.emplace(name, std::move(e));
+  }
+
+  const Entry& lookup(const char* name, const char* help) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(name);
+    if (it == entries.end()) {
+      Entry e;
+      e.help = help;
+      if (const char* v = std::getenv(name)) {
+        e.value = v;
+        e.set = true;
+      }
+      it = entries.emplace(name, std::move(e)).first;
+    } else if (it->second.help.empty()) {
+      it->second.help = help;
+    }
+    return it->second;
+  }
+};
+
+}  // namespace
+
+std::string str(const char* name, const char* help) {
+  return Registry::instance().lookup(name, help).value;
+}
+
+bool flag(const char* name, const char* help) {
+  const Entry& e = Registry::instance().lookup(name, help);
+  return e.set && !e.value.empty() && e.value != "0";
+}
+
+std::size_t u64(const char* name, std::size_t def, const char* help) {
+  const Entry& e = Registry::instance().lookup(name, help);
+  if (!e.set) return def;
+  char* end = nullptr;
+  long v = std::strtol(e.value.c_str(), &end, 10);
+  if (end == e.value.c_str() || v < 1) return def;
+  return static_cast<std::size_t>(v);
+}
+
+void dump(std::FILE* out) {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::fprintf(out, "Recognized PTRIE_* environment variables:\n");
+  for (const auto& [name, e] : r.entries)
+    std::fprintf(out, "  %-18s %-12s %s\n", name.c_str(),
+                 e.set ? ("=" + e.value).c_str() : "<unset>", e.help.c_str());
+}
+
+}  // namespace ptrie::obs::env

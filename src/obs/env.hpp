@@ -1,0 +1,31 @@
+#pragma once
+// Single parse point for every PTRIE_* environment variable. Call sites
+// declare the variable with a help string; the registry caches the parsed
+// value (first declaration wins the help text) and `dump` prints every
+// recognized variable with its current setting — the `--help`-style
+// listing that bench::init and ptrie_report expose.
+//
+// Semantics: flag() is true when the variable is set to anything other
+// than "" or "0" (so PTRIE_DEBUG=0 now reads as off; the legacy guards
+// treated any setting as on).
+
+#include <cstdio>
+#include <string>
+
+namespace ptrie::obs::env {
+
+// Raw value, or empty string when unset. Registers `name` with `help`.
+std::string str(const char* name, const char* help);
+
+// True when set and neither "" nor "0".
+bool flag(const char* name, const char* help);
+
+// Unsigned integer value, or `def` when unset/unparsable (values < 1
+// fall back to `def` as well, matching the PTRIE_WORKERS contract).
+std::size_t u64(const char* name, std::size_t def, const char* help);
+
+// Prints every registered variable as "NAME=value  help" (unset values
+// shown as "<unset>"), sorted by name.
+void dump(std::FILE* out);
+
+}  // namespace ptrie::obs::env

@@ -1,0 +1,236 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ptrie::obs::json {
+
+namespace {
+
+struct Parser {
+  const std::string& s;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& msg) {
+    error = msg + " at offset " + std::to_string(pos);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                              s[pos] == '\r'))
+      ++pos;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos >= s.size() || s[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    skip_ws();
+    if (pos >= s.size()) return fail("unexpected end of input");
+    char c = s[pos];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.kind = Value::Kind::kString;
+      return parse_string(out.str);
+    }
+    if (c == 't' || c == 'f') return parse_bool(out);
+    if (c == 'n') return parse_null(out);
+    return parse_number(out);
+  }
+
+  bool parse_object(Value& out) {
+    out.kind = Value::Kind::kObject;
+    if (!consume('{')) return fail("expected '{'");
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      std::string key;
+      skip_ws();
+      if (pos >= s.size() || s[pos] != '"') return fail("expected object key");
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return fail("expected ':'");
+      Value v;
+      if (!parse_value(v)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(Value& out) {
+    out.kind = Value::Kind::kArray;
+    if (!consume('[')) return fail("expected '['");
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      Value v;
+      if (!parse_value(v)) return false;
+      out.arr.push_back(std::move(v));
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos >= s.size() || s[pos] != '"') return fail("expected '\"'");
+    ++pos;
+    out.clear();
+    while (pos < s.size()) {
+      char c = s[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos;
+        if (pos >= s.size()) return fail("dangling escape");
+        char e = s[pos];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 >= s.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              char h = s[pos + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            pos += 4;
+            // We only ever emit \u00XX for control bytes; decode BMP code
+            // points as UTF-8 for completeness.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        ++pos;
+        continue;
+      }
+      out += c;
+      ++pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_bool(Value& out) {
+    out.kind = Value::Kind::kBool;
+    if (s.compare(pos, 4, "true") == 0) {
+      out.boolean = true;
+      pos += 4;
+      return true;
+    }
+    if (s.compare(pos, 5, "false") == 0) {
+      out.boolean = false;
+      pos += 5;
+      return true;
+    }
+    return fail("expected boolean");
+  }
+
+  bool parse_null(Value& out) {
+    out.kind = Value::Kind::kNull;
+    if (s.compare(pos, 4, "null") == 0) {
+      pos += 4;
+      return true;
+    }
+    return fail("expected null");
+  }
+
+  bool parse_number(Value& out) {
+    out.kind = Value::Kind::kNumber;
+    std::size_t start = pos;
+    if (pos < s.size() && s[pos] == '-') ++pos;
+    bool digits = false, frac = false;
+    while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+      digits = true;
+    }
+    if (pos < s.size() && s[pos] == '.') {
+      frac = true;
+      ++pos;
+      while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) ++pos;
+    }
+    if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+      frac = true;
+      ++pos;
+      if (pos < s.size() && (s[pos] == '+' || s[pos] == '-')) ++pos;
+      while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) ++pos;
+    }
+    if (!digits) return fail("expected number");
+    std::string tok = s.substr(start, pos - start);
+    out.num = std::strtod(tok.c_str(), nullptr);
+    out.is_int = !frac;
+    if (out.is_int) out.inum = std::strtoll(tok.c_str(), nullptr, 10);
+    return true;
+  }
+};
+
+}  // namespace
+
+bool parse(const std::string& text, Value& out, std::string& error) {
+  Parser p{text, 0, {}};
+  if (!p.parse_value(out)) {
+    error = p.error;
+    return false;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    error = "trailing content at offset " + std::to_string(p.pos);
+    return false;
+  }
+  return true;
+}
+
+std::string escape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace ptrie::obs::json

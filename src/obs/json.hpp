@@ -1,0 +1,59 @@
+#pragma once
+// Minimal JSON DOM + recursive-descent parser, enough to read back the
+// trace and bench files this repo writes (objects, arrays, strings with
+// the escapes we emit, integers, doubles, bools, null). Integers are
+// kept exactly in `inum` so ptrie_report can reconcile phase totals with
+// Metrics aggregates word-for-word; `num` always holds the double view.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ptrie::obs::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+
+  bool boolean = false;
+  double num = 0.0;
+  std::int64_t inum = 0;  // exact when is_int
+  bool is_int = false;
+  std::string str;
+  std::vector<Value> arr;
+  // Insertion order preserved (traces rely on event order).
+  std::vector<std::pair<std::string, Value>> obj;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : obj)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  std::int64_t as_int(std::int64_t def = 0) const {
+    if (kind != Kind::kNumber) return def;
+    return is_int ? inum : static_cast<std::int64_t>(num);
+  }
+  double as_double(double def = 0.0) const { return kind == Kind::kNumber ? num : def; }
+  std::string as_string(const std::string& def = "") const {
+    return kind == Kind::kString ? str : def;
+  }
+};
+
+// Parses `text`; on failure returns false and sets `error` to a
+// position-annotated message. `out` is valid only on success.
+bool parse(const std::string& text, Value& out, std::string& error);
+
+// Serializes a string with JSON escaping (quotes included). Shared by
+// every writer in the repo so output stays parseable by this parser.
+std::string escape(const std::string& s);
+
+}  // namespace ptrie::obs::json

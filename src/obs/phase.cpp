@@ -1,0 +1,26 @@
+#include "obs/phase.hpp"
+
+namespace ptrie::obs {
+
+std::vector<std::string>& Phase::stack() {
+  thread_local std::vector<std::string> s;
+  return s;
+}
+
+Phase::Phase(std::string name) { stack().push_back(std::move(name)); }
+
+Phase::~Phase() { stack().pop_back(); }
+
+std::string Phase::current_path() {
+  const auto& s = stack();
+  std::string path;
+  for (const auto& n : s) {
+    if (!path.empty()) path += '/';
+    path += n;
+  }
+  return path;
+}
+
+std::size_t Phase::depth() { return stack().size(); }
+
+}  // namespace ptrie::obs

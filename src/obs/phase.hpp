@@ -1,0 +1,35 @@
+#pragma once
+// Hierarchical RAII phase annotator. Algorithm code brackets each named
+// step of the paper (ChunkPush, MetaQuery, HashMatching-L1/L2, Verify,
+// PushPull, Rebuild, ...) in an obs::Phase; pim::System::round consults
+// the innermost stack at round time, so every RoundStats carries the
+// full phase path ("Insert/PushPull/Verify") and Metrics can roll costs
+// up per algorithm step.
+//
+// The stack is thread-local: phases are pushed on whatever thread issues
+// the rounds (the host thread in this codebase), and kernels running on
+// pool workers never consult it.
+
+#include <string>
+#include <vector>
+
+namespace ptrie::obs {
+
+class Phase {
+ public:
+  explicit Phase(std::string name);
+  ~Phase();
+
+  Phase(const Phase&) = delete;
+  Phase& operator=(const Phase&) = delete;
+
+  // The calling thread's phase path, innermost last, joined with '/'.
+  // Empty string outside any phase.
+  static std::string current_path();
+  static std::size_t depth();
+
+ private:
+  static std::vector<std::string>& stack();
+};
+
+}  // namespace ptrie::obs

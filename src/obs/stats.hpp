@@ -1,0 +1,46 @@
+#pragma once
+// Distribution summaries for per-module telemetry: nearest-rank
+// percentiles plus the max/mean imbalance the paper's PIM-balance
+// arguments (Definition 1) are stated in. Header-only; inputs are copied
+// so callers can hand in live metric vectors.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ptrie::obs {
+
+struct DistSummary {
+  std::uint64_t p50 = 0, p95 = 0, p99 = 0, max = 0;
+  double mean = 0.0;
+  // max/mean; 1.0 is perfect balance, and the convention for empty or
+  // all-zero distributions (nothing to be imbalanced about).
+  double imbalance = 1.0;
+};
+
+// Nearest-rank percentile of a sorted vector: smallest element covering
+// at least q% of the mass (q in [0, 100]).
+inline std::uint64_t percentile_sorted(const std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  double rank = q / 100.0 * static_cast<double>(sorted.size());
+  std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank + 0.5) - 1;
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+inline DistSummary summarize(std::vector<std::uint64_t> v) {
+  DistSummary s;
+  if (v.empty()) return s;
+  std::sort(v.begin(), v.end());
+  std::uint64_t total = 0;
+  for (std::uint64_t x : v) total += x;
+  s.p50 = percentile_sorted(v, 50);
+  s.p95 = percentile_sorted(v, 95);
+  s.p99 = percentile_sorted(v, 99);
+  s.max = v.back();
+  s.mean = static_cast<double>(total) / static_cast<double>(v.size());
+  s.imbalance = total == 0 ? 1.0 : static_cast<double>(s.max) / s.mean;
+  return s;
+}
+
+}  // namespace ptrie::obs

@@ -1,0 +1,169 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/env.hpp"
+#include "obs/json.hpp"
+
+namespace ptrie::obs {
+
+namespace {
+// Chrome tid layout per system: tid 0 is the phase track, module m maps
+// to tid m + 1.
+constexpr std::uint32_t kPhaseTid = 0;
+constexpr std::uint32_t kModuleTidBase = 1;
+}  // namespace
+
+struct TraceAtExit {
+  ~TraceAtExit() { Trace::instance().flush_to_path(); }
+};
+
+Trace::Trace() {
+  path_ = env::str("PTRIE_TRACE",
+                   "write a phase-attributed trace on exit (*.csv -> CSV, else Chrome JSON)");
+  enabled_ = !path_.empty();
+}
+
+Trace& Trace::instance() {
+  // Intentionally leaked so late recorders (static destructors, atexit
+  // handlers) never touch a destructed object; the flusher below still
+  // destructs normally and writes the file.
+  static Trace* t = new Trace;
+  static TraceAtExit flusher;
+  (void)flusher;
+  return *t;
+}
+
+std::uint32_t Trace::register_system(std::size_t p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  system_p_.push_back(p);
+  return static_cast<std::uint32_t>(system_p_.size());
+}
+
+void Trace::record(TraceRound r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rounds_.push_back(std::move(r));
+}
+
+void Trace::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rounds_.clear();
+  system_p_.clear();
+}
+
+std::size_t Trace::round_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rounds_.size();
+}
+
+void Trace::write_chrome(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+  // Metadata: name each system's process and its tracks.
+  for (std::size_t s = 0; s < system_p_.size(); ++s) {
+    std::uint32_t pid = static_cast<std::uint32_t>(s + 1);
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":0,\"name\":\"process_name\","
+        << "\"args\":{\"name\":\"pim-system-" << pid << " (P=" << system_p_[s] << ")\"}}";
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << kPhaseTid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"rounds\"}}";
+    for (std::size_t m = 0; m < system_p_[s]; ++m) {
+      sep();
+      out << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << (kModuleTidBase + m)
+          << ",\"name\":\"thread_name\",\"args\":{\"name\":\"module " << m << "\"}}";
+    }
+  }
+  std::size_t round_idx = 0;
+  for (const auto& r : rounds_) {
+    std::string cat = r.phase.empty() ? std::string("unphased") : r.phase;
+    std::uint64_t dur = r.io_dur + r.pim_dur;
+    sep();
+    out << "{\"ph\":\"X\",\"pid\":" << r.system << ",\"tid\":" << kPhaseTid
+        << ",\"ts\":" << r.ts << ",\"dur\":" << dur << ",\"name\":" << json::escape(r.label)
+        << ",\"cat\":" << json::escape(cat) << ",\"args\":{\"round\":" << round_idx
+        << ",\"total_words\":" << r.total_words << ",\"io_time\":" << r.io_dur
+        << ",\"total_work\":" << r.total_work << ",\"pim_time\":" << r.pim_dur
+        << ",\"touched_modules\":" << r.touched << "}}";
+    // Per-module lanes: words define the span; work rides in args. The
+    // work vector is sparse and may touch modules the word vector does
+    // not (and vice versa), so join by walking both.
+    std::size_t wi = 0;
+    for (const auto& [m, words] : r.module_words) {
+      std::uint64_t work = 0;
+      while (wi < r.module_work.size() && r.module_work[wi].first < m) ++wi;
+      if (wi < r.module_work.size() && r.module_work[wi].first == m)
+        work = r.module_work[wi].second;
+      sep();
+      out << "{\"ph\":\"X\",\"pid\":" << r.system << ",\"tid\":" << (kModuleTidBase + m)
+          << ",\"ts\":" << r.ts << ",\"dur\":" << (words + work)
+          << ",\"name\":" << json::escape(r.label) << ",\"cat\":" << json::escape(cat)
+          << ",\"args\":{\"round\":" << round_idx << ",\"words\":" << words
+          << ",\"work\":" << work << "}}";
+    }
+    ++round_idx;
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+      << "\"clock\":\"pim-model-words\",\"source\":\"pim-trie simulator\"}}\n";
+}
+
+void Trace::write_csv(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "system,round,label,phase,ts,io_time,pim_time,total_words,total_work,"
+         "touched_modules,module,module_words,module_work\n";
+  std::size_t round_idx = 0;
+  for (const auto& r : rounds_) {
+    std::string prefix;
+    {
+      std::ostringstream os;
+      os << r.system << ',' << round_idx << ',' << r.label << ',' << r.phase << ','
+         << r.ts << ',' << r.io_dur << ',' << r.pim_dur << ',' << r.total_words << ','
+         << r.total_work << ',' << r.touched;
+      prefix = os.str();
+    }
+    if (r.module_words.empty()) {
+      out << prefix << ",,,\n";
+    } else {
+      std::size_t wi = 0;
+      for (const auto& [m, words] : r.module_words) {
+        std::uint64_t work = 0;
+        while (wi < r.module_work.size() && r.module_work[wi].first < m) ++wi;
+        if (wi < r.module_work.size() && r.module_work[wi].first == m)
+          work = r.module_work[wi].second;
+        out << prefix << ',' << m << ',' << words << ',' << work << '\n';
+      }
+    }
+    ++round_idx;
+  }
+}
+
+std::string Trace::chrome_json() const {
+  std::ostringstream os;
+  write_chrome(os);
+  return os.str();
+}
+
+void Trace::flush_to_path() const {
+  if (path_.empty()) return;
+  std::ofstream f(path_);
+  if (!f) {
+    std::fprintf(stderr, "[ptrie][warn][trace] cannot open %s for writing\n", path_.c_str());
+    return;
+  }
+  if (path_.size() >= 4 && path_.compare(path_.size() - 4, 4, ".csv") == 0)
+    write_csv(f);
+  else
+    write_chrome(f);
+}
+
+}  // namespace ptrie::obs

@@ -1,0 +1,78 @@
+#pragma once
+// Process-global trace recorder. pim::System registers itself on
+// construction and reports one TraceRound per BSP round (label, phase
+// path, model timestamps, per-module word/work vectors). Sinks export
+// Chrome trace_event JSON (chrome://tracing / Perfetto: one track for
+// phases plus one per touched module, per system) or CSV.
+//
+// Enabled by PTRIE_TRACE=<path> (extension .csv selects CSV, anything
+// else Chrome JSON); the file is written at process exit. When the
+// variable is unset every hook reduces to a single cached-bool branch —
+// no allocation, no locking, no retained memory.
+//
+// Determinism: timestamps are *model* time (cumulative IO + PIM time of
+// the owning system), never wall-clock, and rounds are appended from the
+// host thread in issue order — so trace bytes are identical for any
+// PTRIE_WORKERS, matching the runtime's determinism contract.
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ptrie::obs {
+
+struct TraceRound {
+  std::uint32_t system = 0;  // track id from register_system
+  std::string label;
+  std::string phase;
+  std::uint64_t ts = 0;       // model time before the round (io_time + pim_time)
+  std::uint64_t io_dur = 0;   // round max over modules of words
+  std::uint64_t pim_dur = 0;  // round max over modules of work
+  std::uint64_t total_words = 0;
+  std::uint64_t total_work = 0;
+  std::uint32_t touched = 0;
+  // Sparse per-module detail, index order (only touched modules).
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> module_words;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> module_work;
+};
+
+class Trace {
+ public:
+  static Trace& instance();
+
+  // True when PTRIE_TRACE is set or a test forced recording on.
+  bool enabled() const { return enabled_; }
+
+  // Overrides the env decision (tests capture in-memory). Does not
+  // change the exit-time file behavior, which follows PTRIE_TRACE only.
+  void force_enabled(bool on) { enabled_ = on; }
+
+  // Returns a fresh system track id (1-based).
+  std::uint32_t register_system(std::size_t p);
+
+  void record(TraceRound r);
+
+  // Drops all recorded rounds and restarts system ids at 1.
+  void clear();
+
+  std::size_t round_count() const;
+
+  void write_chrome(std::ostream& out) const;
+  void write_csv(std::ostream& out) const;
+  std::string chrome_json() const;
+
+ private:
+  Trace();
+
+  bool enabled_ = false;
+  std::string path_;  // exit-time destination ("" = none)
+  mutable std::mutex mu_;
+  std::vector<TraceRound> rounds_;
+  std::vector<std::size_t> system_p_;  // modules per registered system
+  friend struct TraceAtExit;
+  void flush_to_path() const;
+};
+
+}  // namespace ptrie::obs

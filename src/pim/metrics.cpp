@@ -3,14 +3,16 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <unordered_map>
 
 namespace ptrie::pim {
 
-void Metrics::begin_round(const std::string& label) {
+void Metrics::begin_round(const std::string& label, std::string phase) {
   assert(!in_round_);
   in_round_ = true;
   current_ = RoundStats{};
   current_.label = label;
+  current_.phase = std::move(phase);
 }
 
 void Metrics::record_module(std::size_t module, std::uint64_t words, std::uint64_t work) {
@@ -22,6 +24,14 @@ void Metrics::record_module(std::size_t module, std::uint64_t words, std::uint64
   if (words != 0 || work != 0) ++current_.touched_modules;
   per_module_words_[module] += words;
   per_module_work_[module] += work;
+  if (round_detail_) {
+    // Callers record modules in index order (System::round walks the
+    // launched set ascending), so the sparse vectors stay sorted.
+    if (words != 0)
+      current_.module_words.emplace_back(static_cast<std::uint32_t>(module), words);
+    if (work != 0)
+      current_.module_work.emplace_back(static_cast<std::uint32_t>(module), work);
+  }
 }
 
 void Metrics::end_round() {
@@ -47,6 +57,35 @@ double imbalance(const std::vector<std::uint64_t>& v) {
 
 double Metrics::comm_imbalance() const { return imbalance(per_module_words_); }
 double Metrics::work_imbalance() const { return imbalance(per_module_work_); }
+
+std::vector<PhaseRollup> Metrics::phase_rollups() const {
+  std::vector<PhaseRollup> out;
+  std::unordered_map<std::string, std::size_t> idx;
+  // Per-phase per-module word totals, dense over all P modules so the
+  // imbalance denominator matches Definition 1 (mean over the machine).
+  std::vector<std::vector<std::uint64_t>> phase_module_words;
+  for (const auto& r : rounds_) {
+    auto [it, fresh] = idx.try_emplace(r.phase, out.size());
+    if (fresh) {
+      PhaseRollup pr;
+      pr.phase = r.phase;
+      out.push_back(std::move(pr));
+      phase_module_words.emplace_back(per_module_words_.size(), 0);
+    }
+    PhaseRollup& pr = out[it->second];
+    ++pr.rounds;
+    pr.words += r.total_words;
+    pr.io_time += r.max_words;
+    pr.work += r.total_work;
+    pr.pim_time += r.max_work;
+    pr.touched_modules += r.touched_modules;
+    for (const auto& [m, w] : r.module_words) phase_module_words[it->second][m] += w;
+  }
+  if (round_detail_)
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i].words_dist = obs::summarize(phase_module_words[i]);
+  return out;
+}
 
 void Metrics::reset() {
   rounds_.clear();

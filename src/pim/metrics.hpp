@@ -9,31 +9,65 @@
 //
 // The balance report (max/mean per-module totals) is how we check the
 // paper's PIM-balance claims (Definition 1) under skew.
+//
+// Every round additionally carries the algorithm phase path active when
+// it ran (see obs/phase.hpp), and — when per-round detail is enabled —
+// the sparse per-module word/work vectors, which make PIM-balance
+// checkable *per algorithm step* via phase_rollups().
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/stats.hpp"
+
 namespace ptrie::pim {
 
 struct RoundStats {
   std::string label;
+  std::string phase;               // obs::Phase path active at round time
   std::uint64_t total_words = 0;   // sum over modules of in+out words
   std::uint64_t max_words = 0;     // max over modules (the round's IO time)
   std::uint64_t total_work = 0;    // sum over modules of PIM work
   std::uint64_t max_work = 0;      // max over modules (the round's PIM time)
   std::size_t touched_modules = 0;
+  // Sparse per-module detail in module-index order; retained only when
+  // Metrics::set_round_detail(true) (opt-in: it costs memory per round).
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> module_words;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> module_work;
+};
+
+// Per-phase aggregate over all recorded rounds, in first-seen order.
+struct PhaseRollup {
+  std::string phase;
+  std::size_t rounds = 0;
+  std::uint64_t words = 0;     // sum of total_words
+  std::uint64_t io_time = 0;   // sum of per-round maxima
+  std::uint64_t work = 0;      // sum of total_work
+  std::uint64_t pim_time = 0;  // sum of per-round max work
+  std::size_t touched_modules = 0;  // sum over rounds
+  // Distribution of this phase's per-module word totals (p50/p95/p99/max
+  // + max/mean imbalance). Meaningful only when round detail was on;
+  // otherwise a default (balanced) summary.
+  obs::DistSummary words_dist;
 };
 
 class Metrics {
  public:
   explicit Metrics(std::size_t p) : per_module_words_(p, 0), per_module_work_(p, 0) {}
 
-  void begin_round(const std::string& label);
+  void begin_round(const std::string& label) { begin_round(label, std::string()); }
+  void begin_round(const std::string& label, std::string phase);
   void record_module(std::size_t module, std::uint64_t words, std::uint64_t work);
   void end_round();
 
   void add_cpu_work(std::uint64_t w) { cpu_work_ += w; }
+
+  // Opt-in retention of per-round per-module vectors (phase imbalance,
+  // trace export). Off by default: with it off, metrics behave exactly
+  // as before this knob existed.
+  void set_round_detail(bool on) { round_detail_ = on; }
+  bool round_detail() const { return round_detail_; }
 
   std::size_t io_rounds() const { return rounds_.size(); }
   std::uint64_t io_time() const { return io_time_; }          // sum of per-round maxima
@@ -50,22 +84,31 @@ class Metrics {
   double comm_imbalance() const;
   double work_imbalance() const;
 
+  // Aggregates rounds by phase path, first-seen order. Phase totals sum
+  // exactly to the global aggregates above (every round has exactly one
+  // phase; rounds outside any obs::Phase group under "").
+  std::vector<PhaseRollup> phase_rollups() const;
+
   void reset();
 
   // Captures a snapshot so callers can measure deltas across an operation.
+  // Includes the per-module word totals so delta imbalance can be computed
+  // over just the measured window (not cumulatively since construction).
   struct Snapshot {
     std::size_t rounds = 0;
     std::uint64_t io_time = 0, words = 0, pim_time = 0, pim_work = 0, cpu = 0;
+    std::vector<std::uint64_t> module_words;
   };
   Snapshot snapshot() const {
-    return {io_rounds(), io_time(), total_comm_words(), pim_time(), total_pim_work(),
-            cpu_work()};
+    return {io_rounds(), io_time(),       total_comm_words(), pim_time(),
+            total_pim_work(), cpu_work(), per_module_words_};
   }
 
  private:
   std::vector<RoundStats> rounds_;
   RoundStats current_;
   bool in_round_ = false;
+  bool round_detail_ = false;
   std::uint64_t io_time_ = 0, total_words_ = 0, pim_time_ = 0, total_work_ = 0,
                 cpu_work_ = 0;
   std::vector<std::uint64_t> per_module_words_;

@@ -3,14 +3,33 @@
 #include <cassert>
 
 #include "core/parallel.hpp"
+#include "obs/env.hpp"
+#include "obs/phase.hpp"
+#include "obs/trace.hpp"
 
 namespace ptrie::pim {
+
+namespace {
+bool telemetry_requested() {
+  static const bool on = obs::env::flag(
+      "PTRIE_TELEMETRY", "retain per-round per-module words/work for phase imbalance reports");
+  return on;
+}
+}  // namespace
 
 System::System(std::size_t p, std::uint64_t seed) : metrics_(p), placement_rng_(seed) {
   assert(p >= 1);
   core::Rng seeder(seed ^ 0xD1B54A32D192ED03ull);
   modules_.reserve(p);
   for (std::size_t i = 0; i < p; ++i) modules_.emplace_back(i, seeder());
+  // Tracing needs per-module detail; PTRIE_TELEMETRY asks for it without
+  // the export file. Both off -> metrics behave exactly as pre-obs.
+  if (obs::Trace::instance().enabled()) {
+    trace_id_ = obs::Trace::instance().register_system(p);
+    metrics_.set_round_detail(true);
+  } else if (telemetry_requested()) {
+    metrics_.set_round_detail(true);
+  }
 }
 
 std::vector<Buffer> System::round(const std::string& label, std::vector<Buffer> to_modules,
@@ -19,6 +38,10 @@ std::vector<Buffer> System::round(const std::string& label, std::vector<Buffer> 
   assert(to_modules.size() == p());
   std::vector<Buffer> results(p());
 
+  std::string phase = obs::Phase::current_path();
+  // Model time before this round; trace spans start here.
+  std::uint64_t ts = metrics_.io_time() + metrics_.pim_time();
+
   // Decide the launch set up front so an all-idle round (common during
   // convergence loops) skips the per-module accounting vectors entirely,
   // and the kernel loop only visits launched modules.
@@ -26,8 +49,9 @@ std::vector<Buffer> System::round(const std::string& label, std::vector<Buffer> 
       p(), [&](std::size_t i) { return launch_all || !to_modules[i].empty(); },
       [](std::size_t i) { return i; });
   if (launched.empty()) {
-    metrics_.begin_round(label);
+    metrics_.begin_round(label, std::move(phase));
     metrics_.end_round();
+    if (trace_id_ != 0) record_trace(ts);
     return results;
   }
 
@@ -44,13 +68,32 @@ std::vector<Buffer> System::round(const std::string& label, std::vector<Buffer> 
       },
       /*grain=*/1);
 
-  metrics_.begin_round(label);
+  metrics_.begin_round(label, std::move(phase));
   // record_module(i, 0, 0) is a no-op, so recording only launched modules
-  // yields metrics identical to the old full sweep.
+  // yields metrics identical to the old full sweep. `launched` ascends,
+  // keeping the retained per-module vectors in module-index order.
   for (std::size_t k = 0; k < launched.size(); ++k)
     metrics_.record_module(launched[k], words[k], work[k]);
   metrics_.end_round();
+  if (trace_id_ != 0) record_trace(ts);
   return results;
+}
+
+void System::record_trace(std::uint64_t ts) {
+  const RoundStats& r = metrics_.rounds().back();
+  obs::TraceRound tr;
+  tr.system = trace_id_;
+  tr.label = r.label;
+  tr.phase = r.phase;
+  tr.ts = ts;
+  tr.io_dur = r.max_words;
+  tr.pim_dur = r.max_work;
+  tr.total_words = r.total_words;
+  tr.total_work = r.total_work;
+  tr.touched = static_cast<std::uint32_t>(r.touched_modules);
+  tr.module_words = r.module_words;
+  tr.module_work = r.module_work;
+  obs::Trace::instance().record(std::move(tr));
 }
 
 std::vector<Buffer> System::broadcast_round(

@@ -21,6 +21,11 @@ namespace ptrie::pim {
 // Inter-round message payloads, counted in 64-bit words.
 using Buffer = std::vector<std::uint64_t>;
 
+// Every round is tagged with the obs::Phase path active on the calling
+// thread, and — when PTRIE_TRACE / PTRIE_TELEMETRY is on — retains
+// per-module word/work vectors and streams the round into the global
+// trace recorder (model-time stamps only, so traces are deterministic).
+
 class System {
  public:
   System(std::size_t p, std::uint64_t seed = 0xC0FFEE);
@@ -50,9 +55,14 @@ class System {
   std::size_t random_module() { return placement_rng_.below(p()); }
 
  private:
+  // Ships the just-ended round (metrics_.rounds().back()) to obs::Trace.
+  void record_trace(std::uint64_t ts);
+
   std::vector<Module> modules_;
   Metrics metrics_;
   core::Rng placement_rng_;
+  // Track id in the global obs::Trace (0 = tracing off at construction).
+  std::uint32_t trace_id_ = 0;
 };
 
 }  // namespace ptrie::pim

@@ -5,14 +5,17 @@
 #include "pimtrie/detail.hpp"
 
 #include <cassert>
-#include <cstdio>
-#include <cstdlib>
+
+#include "obs/counters.hpp"
 
 namespace {
+// Kernels execute on pool workers; both the log call (single fwrite)
+// and the counters (relaxed atomics) are safe there.
 bool kdebug() {
-  static bool on = std::getenv("PTRIE_DEBUG") != nullptr;
+  static const bool on = ptrie::obs::log_enabled(ptrie::obs::LogLevel::kDebug);
   return on;
 }
+constexpr auto kDebug = ptrie::obs::LogLevel::kDebug;
 }  // namespace
 
 namespace ptrie::pimtrie::detail {
@@ -279,16 +282,20 @@ pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
                                                      : &piece.children[pl.idx].root;
             },
             [&](BlockId b) { return piece.entry_of(b); }, &hms, &work);
+        obs::counter("kernel/pivot_lookups").add(hms.pivot_lookups);
+        obs::counter("kernel/second_layer_queries").add(hms.second_layer_queries);
+        obs::counter("kernel/verifications").add(hms.verifications);
+        obs::counter("kernel/rejected_collisions").add(hms.rejected_collisions);
         if (kdebug())
-          std::fprintf(stderr,
-                       "[kMatchPiece m%zu p%llu] entries=%zu kids=%zu matches=%zu piv=%llu sl=%llu ver=%llu rej=%llu qdepth=%llu qsize=%zu\n",
-                       mod.id(), (unsigned long long)id, piece.entries.size(),
-                       piece.children.size(), matches.size(),
-                       (unsigned long long)hms.pivot_lookups,
-                       (unsigned long long)hms.second_layer_queries,
-                       (unsigned long long)hms.verifications,
-                       (unsigned long long)hms.rejected_collisions,
-                       (unsigned long long)q.root_depth, q.trie.node_count());
+          obs::logf(kDebug, "kMatchPiece",
+                    "m%zu p%llu entries=%zu kids=%zu matches=%zu piv=%llu sl=%llu ver=%llu rej=%llu qdepth=%llu qsize=%zu",
+                    mod.id(), (unsigned long long)id, piece.entries.size(),
+                    piece.children.size(), matches.size(),
+                    (unsigned long long)hms.pivot_lookups,
+                    (unsigned long long)hms.second_layer_queries,
+                    (unsigned long long)hms.verifications,
+                    (unsigned long long)hms.rejected_collisions,
+                    (unsigned long long)q.root_depth, q.trie.node_count());
         write_resolved_matches(bw, matches, &piece, nullptr);
         break;
       }
@@ -433,15 +440,19 @@ pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
               return nullptr;
             },
             &hms, &work);
+        obs::counter("kernel/pivot_lookups").add(hms.pivot_lookups);
+        obs::counter("kernel/second_layer_queries").add(hms.second_layer_queries);
+        obs::counter("kernel/verifications").add(hms.verifications);
+        obs::counter("kernel/rejected_collisions").add(hms.rejected_collisions);
         if (kdebug())
-          std::fprintf(stderr,
-                       "[kMatchMaster m%zu] roots=%zu matches=%zu piv=%llu sl=%llu ver=%llu rej=%llu qdepth=%llu qsize=%zu\n",
-                       mod.id(), rep.roots.size(), matches.size(),
-                       (unsigned long long)hms.pivot_lookups,
-                       (unsigned long long)hms.second_layer_queries,
-                       (unsigned long long)hms.verifications,
-                       (unsigned long long)hms.rejected_collisions,
-                       (unsigned long long)q.root_depth, q.trie.node_count());
+          obs::logf(kDebug, "kMatchMaster",
+                    "m%zu roots=%zu matches=%zu piv=%llu sl=%llu ver=%llu rej=%llu qdepth=%llu qsize=%zu",
+                    mod.id(), rep.roots.size(), matches.size(),
+                    (unsigned long long)hms.pivot_lookups,
+                    (unsigned long long)hms.second_layer_queries,
+                    (unsigned long long)hms.verifications,
+                    (unsigned long long)hms.rejected_collisions,
+                    (unsigned long long)q.root_depth, q.trie.node_count());
         // Re-tag payload idx for piece resolution: the writer needs the
         // master root index; entries resolved via parent keep their
         // original payload, so recover indices by pointer arithmetic.

@@ -1,14 +1,15 @@
 #include "pimtrie/meta_index.hpp"
 
 #include <cassert>
-#include <cstdio>
-#include <cstdlib>
+
+#include "obs/counters.hpp"
 
 namespace {
 bool mdebug() {
-  static bool on = std::getenv("PTRIE_DEBUG") != nullptr;
+  static const bool on = ptrie::obs::log_enabled(ptrie::obs::LogLevel::kDebug);
   return on;
 }
+constexpr auto kDebug = ptrie::obs::LogLevel::kDebug;
 }  // namespace
 
 namespace ptrie::pimtrie {
@@ -158,13 +159,13 @@ bool verify_candidate(const MetaEntry& e, std::uint64_t pivot, std::uint64_t edg
   if (work) *work += 2 + e.slast.size() / 64;
   std::uint64_t piv_of_e = (e.root_depth / w) * w;
   if (mdebug())
-    std::fprintf(stderr,
-                 "  [verify] e.depth=%llu pivot=%llu piv_of_e=%llu edge=(%llu,%llu] "
-                 "path_base=%llu |srem|=%zu |slast|=%zu\n",
-                 (unsigned long long)e.root_depth, (unsigned long long)pivot,
-                 (unsigned long long)piv_of_e, (unsigned long long)edge_lo,
-                 (unsigned long long)edge_hi, (unsigned long long)path_base, e.srem.size(),
-                 e.slast.size());
+    obs::logf(kDebug, "verify",
+              "e.depth=%llu pivot=%llu piv_of_e=%llu edge=(%llu,%llu] "
+              "path_base=%llu |srem|=%zu |slast|=%zu",
+              (unsigned long long)e.root_depth, (unsigned long long)pivot,
+              (unsigned long long)piv_of_e, (unsigned long long)edge_lo,
+              (unsigned long long)edge_hi, (unsigned long long)path_base, e.srem.size(),
+              e.slast.size());
   if (piv_of_e != pivot) return false;
   if (e.root_depth <= edge_lo || e.root_depth > edge_hi) return false;
   // srem on path: path bits [pivot, e.root_depth) == e.srem.
@@ -172,7 +173,7 @@ bool verify_candidate(const MetaEntry& e, std::uint64_t pivot, std::uint64_t edg
   std::size_t off = static_cast<std::size_t>(pivot - path_base);
   if (off + e.srem.size() > path.size()) return false;
   if (path.lcp_range(off, e.srem, 0) != e.srem.size()) {
-    if (mdebug()) std::fprintf(stderr, "  [verify] srem mismatch\n");
+    if (mdebug()) obs::logf(kDebug, "verify", "srem mismatch");
     return false;
   }
   // slast: path bits [e.root_depth - |slast|, e.root_depth).

@@ -8,6 +8,8 @@
 #include <cassert>
 
 #include "core/parallel.hpp"
+#include "obs/counters.hpp"
+#include "obs/phase.hpp"
 #include "pimtrie/detail.hpp"
 #include "trie/euler_partition.hpp"
 #include "trie/treefix.hpp"
@@ -153,6 +155,10 @@ void PimTrie::push_master(const char* label) {
     return cur == kNone ? kNone : cur;
   };
 
+  // Master replication is a broadcast store; attribute it to ChunkPush
+  // alongside the build-time block/piece pushes.
+  obs::Phase push_phase("ChunkPush");
+  obs::counter("master/pushes").add();
   pim::Buffer payload;
   detail::FrameWriter fw{payload};
   fw.begin();
@@ -212,6 +218,7 @@ trie::NodeId PimTrie::materialize(trie::QueryTrie& qt, NodeId below,
 
 void PimTrie::build(const std::vector<BitString>& keys, const std::vector<trie::Value>& values) {
   assert(keys.size() == values.size());
+  obs::Phase op_phase("Build");
   blocks_.clear();
   pieces_.clear();
   master_roots_.clear();
@@ -389,6 +396,7 @@ void PimTrie::build(const std::vector<BitString>& keys, const std::vector<trie::
     fw.end();
   }
   {
+    obs::Phase push_phase("ChunkPush");
     const hash::PolyHasher& hasher = hasher_;
     unsigned w = cfg_.w;
     std::uint64_t inst = instance_;
@@ -514,6 +522,7 @@ void PimTrie::build(const std::vector<BitString>& keys, const std::vector<trie::
       all_built[i].serialize(pbuf[all_mod[i]]);
       fw.end();
     }
+    obs::Phase push_phase("ChunkPush");
     const hash::PolyHasher& hasher = hasher_;
     unsigned w = cfg_.w;
     std::uint64_t inst = instance_;

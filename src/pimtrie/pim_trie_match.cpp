@@ -5,21 +5,23 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstdio>
-#include <cstdlib>
 #include <map>
-
-namespace {
-bool debug_on() {
-  static bool on = std::getenv("PTRIE_DEBUG") != nullptr;
-  return on;
-}
-}  // namespace
+#include <optional>
 
 #include "core/parallel.hpp"
+#include "obs/counters.hpp"
+#include "obs/phase.hpp"
 #include "pimtrie/detail.hpp"
 #include "pimtrie/pim_trie.hpp"
 #include "trie/euler_partition.hpp"
+
+namespace {
+bool debug_on() {
+  static const bool on = ptrie::obs::log_enabled(ptrie::obs::LogLevel::kDebug);
+  return on;
+}
+constexpr auto kDebug = ptrie::obs::LogLevel::kDebug;
+}  // namespace
 
 namespace ptrie::pimtrie {
 
@@ -109,6 +111,8 @@ std::vector<PimTrie::CriticalRoot> PimTrie::match_critical_roots(trie::QueryTrie
 
   // ---- Phase A: master matching (Algorithm 4) ----
   {
+    obs::Phase phase_a("MetaQuery");
+    obs::Phase phase_l1("HashMatching-L1");
     std::size_t lg = Config::log2_ceil(cfg_.p);
     std::size_t qq = qt.q_words();
     std::size_t bound = std::max<std::size_t>(16, qq / std::max<std::size_t>(1, cfg_.p * lg));
@@ -180,11 +184,13 @@ std::vector<PimTrie::CriticalRoot> PimTrie::match_critical_roots(trie::QueryTrie
       }
     }
     if (debug_on())
-      std::fprintf(stderr, "[phaseA] master_roots=%zu criticals=%zu work=%zu\n",
-                   master_roots_.size(), criticals.size(), work.size());
+      obs::logf(kDebug, "phaseA", "master_roots=%zu criticals=%zu work=%zu",
+                master_roots_.size(), criticals.size(), work.size());
   }
 
   // ---- Phase B: meta-block descent (Algorithm 5) ----
+  obs::Phase phase_b("MetaQuery");
+  obs::Phase phase_l2("HashMatching-L2");
   std::size_t push_threshold = cfg_.push_threshold();
   int round_no = 0;
   while (!work.empty()) {
@@ -322,8 +328,8 @@ std::vector<PimTrie::CriticalRoot> PimTrie::match_critical_roots(trie::QueryTrie
     }
     work = std::move(next);
     if (debug_on())
-      std::fprintf(stderr, "[phaseB.%d] criticals=%zu next_work=%zu\n", round_no,
-                   criticals.size(), work.size());
+      obs::logf(kDebug, "phaseB", "round=%d criticals=%zu next_work=%zu", round_no,
+                criticals.size(), work.size());
     // Safety valve: descent depth is bounded by the piece-tree height.
     if (round_no > 64) break;
   }
@@ -335,14 +341,15 @@ PimTrie::MatchOutcome PimTrie::run_matching(trie::QueryTrie& qt, const char* lab
   MatchOutcome out;
   std::vector<std::pair<NodeId, trie::Value>> get_hits;
   std::vector<CriticalRoot> spans = match_critical_roots(qt, label);
+  obs::counter("match/spans").add(spans.size());
   if (debug_on())
     for (const auto& s : spans)
-      std::fprintf(stderr, "[span] qnode=%u qdepth=%llu block=%llu bdepth=%llu\n", s.qnode,
-                   (unsigned long long)qt.trie.node(s.qnode).depth,
-                   (unsigned long long)s.block,
-                   (unsigned long long)blocks_.at(s.block).root_depth);
+      obs::logf(kDebug, "span", "qnode=%u qdepth=%llu block=%llu bdepth=%llu", s.qnode,
+                (unsigned long long)qt.trie.node(s.qnode).depth, (unsigned long long)s.block,
+                (unsigned long long)blocks_.at(s.block).root_depth);
 
   // ---- Phase C: block matching with Push-Pull + verification/redo ----
+  obs::Phase phase_c("PushPull");
   std::size_t kb = cfg_.block_bound();
   std::vector<char> rejected(spans.size(), 0);
   std::vector<char> active(spans.size(), 1);
@@ -350,6 +357,10 @@ PimTrie::MatchOutcome PimTrie::run_matching(trie::QueryTrie& qt, const char* lab
 
   int redo_round = 0;
   for (;;) {
+    // Redo iterations re-match under the collision-verification protocol;
+    // attribute their rounds to a nested Verify phase.
+    std::optional<obs::Phase> verify_phase;
+    if (redo_round > 0) verify_phase.emplace("Verify");
     // Span set = non-rejected span nodes.
     std::vector<NodeId> span_nodes;
     for (std::size_t i = 0; i < spans.size(); ++i)
@@ -417,10 +428,10 @@ PimTrie::MatchOutcome PimTrie::run_matching(trie::QueryTrie& qt, const char* lab
       if (p.push) {
         bool ok = r.u64() != 0;
         if (!ok) {
+          obs::counter("verify/span_rejects").add();
           if (debug_on())
-            std::fprintf(stderr, "[phaseC] REJECT span qnode=%u block=%llu\n",
-                         spans[p.span_idx].qnode,
-                         (unsigned long long)spans[p.span_idx].block);
+            obs::logf(kDebug, "phaseC", "REJECT span qnode=%u block=%llu",
+                      spans[p.span_idx].qnode, (unsigned long long)spans[p.span_idx].block);
           rejected[p.span_idx] = 1;
           any_reject = true;
           ++verify_.rejected_collisions;
@@ -428,10 +439,10 @@ PimTrie::MatchOutcome PimTrie::run_matching(trie::QueryTrie& qt, const char* lab
           reports[p.span_idx] = read_match_lens(r);
           if (debug_on())
             for (const auto& ml : reports[p.span_idx])
-              std::fprintf(stderr, "[report] span_block=%llu origin=%u len=%llu full=%d bnd=%d\n",
-                           (unsigned long long)spans[p.span_idx].block, ml.origin,
-                           (unsigned long long)ml.match_len, ml.full ? 1 : 0,
-                           ml.boundary ? 1 : 0);
+              obs::logf(kDebug, "report", "span_block=%llu origin=%u len=%llu full=%d bnd=%d",
+                        (unsigned long long)spans[p.span_idx].block, ml.origin,
+                        (unsigned long long)ml.match_len, ml.full ? 1 : 0,
+                        ml.boundary ? 1 : 0);
           if (op_kind == 1) {
             r.u64();  // new_keys (tallied below via key counts)
             r.u64();  // updated
@@ -472,11 +483,10 @@ PimTrie::MatchOutcome PimTrie::run_matching(trie::QueryTrie& qt, const char* lab
           reports[p.span_idx] = match_block(qpieces[p.span_idx], blk, &cpu_work);
           if (debug_on())
             for (const auto& ml : reports[p.span_idx])
-              std::fprintf(stderr,
-                           "[report/pull] span_block=%llu origin=%u len=%llu full=%d bnd=%d\n",
-                           (unsigned long long)spans[p.span_idx].block, ml.origin,
-                           (unsigned long long)ml.match_len, ml.full ? 1 : 0,
-                           ml.boundary ? 1 : 0);
+              obs::logf(kDebug, "report/pull", "span_block=%llu origin=%u len=%llu full=%d bnd=%d",
+                        (unsigned long long)spans[p.span_idx].block, ml.origin,
+                        (unsigned long long)ml.match_len, ml.full ? 1 : 0,
+                        ml.boundary ? 1 : 0);
           if (op_kind == 1) {
             insert_into_block(qpieces[p.span_idx], blk, &cpu_work);
             auto& binfo = blocks_.at(spans[p.span_idx].block);
@@ -518,6 +528,7 @@ PimTrie::MatchOutcome PimTrie::run_matching(trie::QueryTrie& qt, const char* lab
     // ancestor span, which must re-match with updated cuts.
     ++verify_.redo_rounds;
     ++redo_round;
+    obs::counter("verify/redo_rounds").add();
     // Find surviving ancestors of rejected spans and reactivate them.
     for (std::size_t i = 0; i < spans.size(); ++i) {
       if (!rejected[i]) continue;
@@ -587,6 +598,7 @@ PimTrie::MatchOutcome PimTrie::run_matching(trie::QueryTrie& qt, const char* lab
 std::vector<std::size_t> PimTrie::batch_lcp(const std::vector<BitString>& keys) {
   std::vector<std::size_t> out(keys.size(), 0);
   if (keys.empty() || root_block_ == kNone) return out;
+  obs::Phase op_phase("LCP");
   trie::QueryTrie qt = trie::build_query_trie(keys, hasher_);
   sys_->metrics().add_cpu_work(qt.cpu_work);
   MatchOutcome mo = run_matching(qt, "lcp", /*op_kind=*/0);
@@ -604,6 +616,7 @@ std::vector<std::optional<trie::Value>> PimTrie::batch_get(
     const std::vector<BitString>& keys) {
   std::vector<std::optional<trie::Value>> out(keys.size());
   if (keys.empty() || root_block_ == kNone) return out;
+  obs::Phase op_phase("Get");
   trie::QueryTrie qt = trie::build_query_trie(keys, hasher_);
   sys_->metrics().add_cpu_work(qt.cpu_work);
   MatchOutcome mo = run_matching(qt, "get", /*op_kind=*/3);
@@ -621,6 +634,7 @@ std::vector<std::vector<std::pair<BitString, trie::Value>>> PimTrie::batch_subtr
     const std::vector<BitString>& prefixes) {
   std::vector<std::vector<std::pair<BitString, trie::Value>>> out(prefixes.size());
   if (prefixes.empty() || root_block_ == kNone) return out;
+  obs::Phase op_phase("Subtree");
   trie::QueryTrie qt = trie::build_query_trie(prefixes, hasher_);
   sys_->metrics().add_cpu_work(qt.cpu_work);
   MatchOutcome mo = run_matching(qt, "subtree", /*op_kind=*/0);
@@ -653,6 +667,10 @@ std::vector<std::vector<std::pair<BitString, trie::Value>>> PimTrie::batch_subtr
     target_of_slot[slot] = targets.size();
     targets.push_back(std::move(t));
   }
+
+  // The slice / collect / fetch rounds below are all block traffic;
+  // group them under the Push-Pull phase like run_matching's Phase C.
+  obs::Phase pushpull_phase("PushPull");
 
   // Round 1: slices.
   struct SliceResult {
@@ -770,8 +788,8 @@ std::vector<std::vector<std::pair<BitString, trie::Value>>> PimTrie::batch_subtr
       nslices += s.found ? 1 : 0;
       nstubs += s.child_blocks.size();
     }
-    std::fprintf(stderr, "[subtree] targets=%zu slices=%zu stubs=%zu all_blocks=%zu\n",
-                 targets.size(), nslices, nstubs, all_blocks.size());
+    obs::logf(kDebug, "subtree", "targets=%zu slices=%zu stubs=%zu all_blocks=%zu",
+              targets.size(), nslices, nstubs, all_blocks.size());
   }
 
   // Final round: fetch all collected blocks.

@@ -8,10 +8,12 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstdlib>
 #include <functional>
 
 #include "core/parallel.hpp"
+#include "obs/counters.hpp"
+#include "obs/env.hpp"
+#include "obs/phase.hpp"
 #include "pimtrie/detail.hpp"
 #include "pimtrie/pim_trie.hpp"
 #include "trie/euler_partition.hpp"
@@ -37,6 +39,21 @@ TreePieces decompose_tree(const std::vector<std::vector<int>>& children, int roo
                           std::size_t bound);
 }  // namespace internal
 
+namespace {
+// Maintenance kill switches (used by tests to isolate the matching
+// pipeline from structural maintenance). Parsed once via the obs::env
+// registry so they show up in obs::env::dump().
+bool no_maint() {
+  static const bool v = obs::env::flag("PTRIE_NO_MAINT", "disable post-update structural maintenance");
+  return v;
+}
+bool no_psplit() {
+  static const bool v =
+      obs::env::flag("PTRIE_NO_PSPLIT", "disable piece splitting / meta-tree rebuild maintenance");
+  return v;
+}
+}  // namespace
+
 void PimTrie::batch_insert(const std::vector<BitString>& keys,
                            const std::vector<trie::Value>& values) {
   assert(keys.size() == values.size());
@@ -45,6 +62,7 @@ void PimTrie::batch_insert(const std::vector<BitString>& keys,
     build(keys, values);
     return;
   }
+  obs::Phase op_phase("Insert");
   trie::QueryTrie qt = trie::build_query_trie(keys, hasher_);
   sys_->metrics().add_cpu_work(qt.cpu_work);
   // Replace slot indices with the actual values (last write wins).
@@ -65,13 +83,17 @@ void PimTrie::batch_insert(const std::vector<BitString>& keys,
   run_matching(qt, "insert", /*op_kind=*/1);
 
   // ---- maintenance ----
-  if (std::getenv("PTRIE_NO_MAINT") == nullptr) {
+  if (!no_maint()) {
+    obs::Phase maint_phase("Rebuild");
     std::size_t kb = cfg_.block_bound();
     std::vector<BlockId> oversized;
     for (const auto& [id, info] : blocks_)
       if (info.space > kb) oversized.push_back(id);
-    if (!oversized.empty()) repartition_oversized_blocks(oversized, "insert.repart");
-    if (std::getenv("PTRIE_NO_PSPLIT") == nullptr) {
+    if (!oversized.empty()) {
+      obs::counter("maint/block_reparts").add(oversized.size());
+      repartition_oversized_blocks(oversized, "insert.repart");
+    }
+    if (!no_psplit()) {
       split_oversized_pieces("insert.psplit");
       rebuild_unbalanced_trees("insert.rebuild");
     }
@@ -374,6 +396,7 @@ void PimTrie::split_oversized_pieces(const char* label) {
   for (const auto& [id, info] : pieces_)
     if (info.entries > cfg_.piece_bound()) oversized.push_back(id);
   if (oversized.empty()) return;
+  obs::counter("maint/piece_splits").add(oversized.size());
 
   // Pull them.
   std::vector<pim::Buffer> buffers(sys_->p());
@@ -531,6 +554,7 @@ void PimTrie::rebuild_unbalanced_trees(const char* label) {
                                   std::max<std::size_t>(2, pieces_in_tree))) +
                           4;
     if (height <= bound || tree.size() <= 2) continue;
+    obs::counter("maint/tree_rebuilds").add();
 
     // Fetch every piece of the tree.
     std::vector<pim::Buffer> buffers(sys_->p());
@@ -667,6 +691,7 @@ void PimTrie::rebuild_unbalanced_trees(const char* label) {
 
 void PimTrie::batch_erase(const std::vector<BitString>& keys) {
   if (keys.empty() || root_block_ == kNone) return;
+  obs::Phase op_phase("Erase");
   trie::QueryTrie qt = trie::build_query_trie(keys, hasher_);
   sys_->metrics().add_cpu_work(qt.cpu_work);
   run_matching(qt, "erase", /*op_kind=*/2);
@@ -688,7 +713,11 @@ void PimTrie::batch_erase(const std::vector<BitString>& keys) {
   std::vector<BlockId> victims;
   for (const auto& [id, ok] : deletable)
     if (ok) victims.push_back(id);
-  if (!victims.empty()) remove_blocks(victims, "erase.gc");
+  if (!victims.empty()) {
+    obs::Phase maint_phase("Rebuild");
+    obs::counter("maint/blocks_removed").add(victims.size());
+    remove_blocks(victims, "erase.gc");
+  }
 
   n_keys_ = 0;
   for (const auto& [id, info] : blocks_) n_keys_ += info.keys;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/parallel.hpp"
+#include "obs/counters.hpp"
 
 namespace ptrie::trie {
 
@@ -104,6 +105,9 @@ QueryTrie build_query_trie(const std::vector<BitString>& batch_keys,
   while ((std::size_t{1} << logn) < std::max<std::size_t>(2, n)) ++logn;
   qt.cpu_work = n * logn + 2 * kw + qt.trie.node_count() +
                 qt.trie.edge_bits_total() / 64 + qt.trie.node_count();
+  obs::counter("query_trie/builds").add();
+  obs::counter("query_trie/keys").add(n);
+  obs::counter("query_trie/nodes").add(qt.trie.node_count());
   return qt;
 }
 

@@ -1,0 +1,297 @@
+// Observability subsystem: phase stack semantics, per-phase rollups that
+// reconcile exactly with the Metrics aggregates, distribution summaries,
+// counter thread-safety under the pool, trace-JSON well-formedness
+// (parsed back with the in-tree parser), and byte-identical traces across
+// worker counts (the WorkerSweep determinism contract).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/parallel.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "obs/phase.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+#include "pim/system.hpp"
+#include "pimtrie/pim_trie.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using ptrie::core::ThreadPool;
+using ptrie::pim::Buffer;
+using ptrie::pim::System;
+namespace obs = ptrie::obs;
+namespace json = ptrie::obs::json;
+
+Buffer echo_kernel(ptrie::pim::Module& m, Buffer in) {
+  m.work(in.size());
+  return in;
+}
+
+// Runs a tiny phased schedule against `sys`: two rounds under A/B, one
+// under A, one unphased.
+void run_phased_schedule(System& sys) {
+  {
+    obs::Phase a("A");
+    {
+      obs::Phase b("B");
+      for (int r = 0; r < 2; ++r) {
+        std::vector<Buffer> to(sys.p());
+        for (std::size_t m = 0; m < sys.p(); ++m) to[m].assign(m + 1, 7);
+        sys.round("ab", std::move(to), echo_kernel);
+      }
+    }
+    std::vector<Buffer> to(sys.p());
+    to[0].assign(4, 9);
+    sys.round("a_only", std::move(to), echo_kernel);
+  }
+  sys.broadcast_round("plain", Buffer{1, 2, 3}, echo_kernel);
+}
+
+TEST(Phase, NestingAndPathRestore) {
+  EXPECT_EQ(obs::Phase::current_path(), "");
+  {
+    obs::Phase outer("Insert");
+    EXPECT_EQ(obs::Phase::current_path(), "Insert");
+    {
+      obs::Phase inner("PushPull");
+      EXPECT_EQ(obs::Phase::current_path(), "Insert/PushPull");
+      EXPECT_EQ(obs::Phase::depth(), 2u);
+    }
+    EXPECT_EQ(obs::Phase::current_path(), "Insert");
+  }
+  EXPECT_EQ(obs::Phase::current_path(), "");
+  EXPECT_EQ(obs::Phase::depth(), 0u);
+}
+
+TEST(Phase, IsThreadLocal) {
+  obs::Phase outer("Main");
+  std::string other;
+  std::thread t([&] { other = obs::Phase::current_path(); });
+  t.join();
+  EXPECT_EQ(other, "");  // a fresh thread starts unphased
+  EXPECT_EQ(obs::Phase::current_path(), "Main");
+}
+
+TEST(Phase, RoundsCarryPhasePathsAndRollupsReconcile) {
+  System sys(4);
+  sys.metrics().set_round_detail(true);
+  run_phased_schedule(sys);
+
+  const auto& rounds = sys.metrics().rounds();
+  ASSERT_EQ(rounds.size(), 4u);
+  EXPECT_EQ(rounds[0].phase, "A/B");
+  EXPECT_EQ(rounds[1].phase, "A/B");
+  EXPECT_EQ(rounds[2].phase, "A");
+  EXPECT_EQ(rounds[3].phase, "");
+
+  auto rollups = sys.metrics().phase_rollups();
+  ASSERT_EQ(rollups.size(), 3u);  // first-seen order: A/B, A, ""
+  EXPECT_EQ(rollups[0].phase, "A/B");
+  EXPECT_EQ(rollups[0].rounds, 2u);
+  EXPECT_EQ(rollups[1].phase, "A");
+  EXPECT_EQ(rollups[2].phase, "");
+
+  // Exact reconciliation: phase totals sum to the global aggregates.
+  std::size_t rounds_sum = 0;
+  std::uint64_t words_sum = 0, io_sum = 0, work_sum = 0, pim_sum = 0;
+  for (const auto& r : rollups) {
+    rounds_sum += r.rounds;
+    words_sum += r.words;
+    io_sum += r.io_time;
+    work_sum += r.work;
+    pim_sum += r.pim_time;
+  }
+  EXPECT_EQ(rounds_sum, sys.metrics().io_rounds());
+  EXPECT_EQ(words_sum, sys.metrics().total_comm_words());
+  EXPECT_EQ(io_sum, sys.metrics().io_time());
+  EXPECT_EQ(work_sum, sys.metrics().total_pim_work());
+  EXPECT_EQ(pim_sum, sys.metrics().pim_time());
+
+  // With detail on, the skewed A/B rounds report their true imbalance:
+  // module m gets (m+1) words in and out, so max/mean = 2*4/(2*2.5).
+  EXPECT_NEAR(rollups[0].words_dist.imbalance, 8.0 / 5.0, 1e-9);
+}
+
+TEST(Stats, PercentilesNearestRank) {
+  std::vector<std::uint64_t> v;
+  for (std::uint64_t i = 1; i <= 100; ++i) v.push_back(i);
+  obs::DistSummary s = obs::summarize(v);
+  EXPECT_EQ(s.p50, 50u);
+  EXPECT_EQ(s.p95, 95u);
+  EXPECT_EQ(s.p99, 99u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+  EXPECT_NEAR(s.imbalance, 100.0 / 50.5, 1e-9);
+
+  obs::DistSummary one = obs::summarize({42});
+  EXPECT_EQ(one.p50, 42u);
+  EXPECT_EQ(one.p99, 42u);
+  EXPECT_EQ(one.max, 42u);
+  EXPECT_NEAR(one.imbalance, 1.0, 1e-9);
+
+  obs::DistSummary empty = obs::summarize({});
+  EXPECT_EQ(empty.max, 0u);
+  EXPECT_NEAR(empty.imbalance, 1.0, 1e-9);
+}
+
+TEST(Counters, RegistryAccumulatesAndResets) {
+  obs::Counter& c = obs::counter("test_obs/basic");
+  c.reset();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.get(), 42u);
+  // Same name resolves to the same counter.
+  EXPECT_EQ(&obs::counter("test_obs/basic"), &c);
+  bool found = false;
+  for (const auto& [name, value] : obs::counters_snapshot())
+    if (name == "test_obs/basic") {
+      found = true;
+      EXPECT_EQ(value, 42u);
+    }
+  EXPECT_TRUE(found);
+  c.reset();
+  EXPECT_EQ(c.get(), 0u);
+}
+
+TEST(Counters, ThreadSafeUnderPool) {
+  ThreadPool::instance().set_workers(8);
+  obs::Counter& c = obs::counter("test_obs/pool");
+  c.reset();
+  constexpr std::size_t kN = 200'000;
+  // Mix cached-reference adds with registry-lookup adds from pool workers.
+  ptrie::core::parallel_for(0, kN, [&](std::size_t i) {
+    if (i % 2 == 0)
+      c.add();
+    else
+      obs::counter("test_obs/pool").add();
+  });
+  EXPECT_EQ(c.get(), kN);
+  ThreadPool::instance().set_workers(1);
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Trace::instance().clear();
+    obs::Trace::instance().force_enabled(true);
+  }
+  void TearDown() override {
+    obs::Trace::instance().force_enabled(false);
+    obs::Trace::instance().clear();
+    ThreadPool::instance().set_workers(1);
+  }
+};
+
+TEST_F(TraceTest, ChromeJsonParsesAndReconcilesWithMetrics) {
+  System sys(4);
+  run_phased_schedule(sys);
+  ASSERT_EQ(obs::Trace::instance().round_count(), 4u);
+
+  std::string text = obs::Trace::instance().chrome_json();
+  json::Value root;
+  std::string error;
+  ASSERT_TRUE(json::parse(text, root, error)) << error;
+  const json::Value* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  // Phase-track events (tid 0, ph X) reconcile exactly with Metrics.
+  std::uint64_t words = 0, io = 0, pim = 0, work = 0;
+  std::size_t round_events = 0, module_events = 0;
+  for (const auto& ev : events->arr) {
+    const json::Value* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->as_string() != "X") continue;
+    const json::Value* args = ev.find("args");
+    ASSERT_NE(args, nullptr);
+    if (ev.find("tid")->as_int() == 0) {
+      ++round_events;
+      words += static_cast<std::uint64_t>(args->find("total_words")->as_int());
+      io += static_cast<std::uint64_t>(args->find("io_time")->as_int());
+      pim += static_cast<std::uint64_t>(args->find("pim_time")->as_int());
+      work += static_cast<std::uint64_t>(args->find("total_work")->as_int());
+    } else {
+      ++module_events;
+    }
+  }
+  EXPECT_EQ(round_events, sys.metrics().io_rounds());
+  EXPECT_EQ(words, sys.metrics().total_comm_words());
+  EXPECT_EQ(io, sys.metrics().io_time());
+  EXPECT_EQ(pim, sys.metrics().pim_time());
+  EXPECT_EQ(work, sys.metrics().total_pim_work());
+  // Touched modules only: 2*4 for the two ab rounds, 1 for a_only, 4 for
+  // the broadcast.
+  EXPECT_EQ(module_events, 13u);
+}
+
+TEST_F(TraceTest, CsvHasOneLinePerTouchedModule) {
+  System sys(2);
+  sys.broadcast_round("r", Buffer{5}, echo_kernel);
+  std::ostringstream os;
+  obs::Trace::instance().write_csv(os);
+  std::string csv = os.str();
+  // Header + one line per touched module.
+  std::size_t lines = 0;
+  for (char ch : csv)
+    if (ch == '\n') ++lines;
+  EXPECT_EQ(lines, 3u);
+  EXPECT_NE(csv.find("system,round,label,phase"), std::string::npos);
+  EXPECT_NE(csv.find(",r,"), std::string::npos);
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  obs::Trace::instance().force_enabled(false);
+  System sys(2);
+  sys.broadcast_round("r", Buffer{5}, echo_kernel);
+  EXPECT_EQ(obs::Trace::instance().round_count(), 0u);
+  // And metrics round detail stays off -> RoundStats carry no vectors.
+  EXPECT_FALSE(sys.metrics().round_detail());
+  EXPECT_TRUE(sys.metrics().rounds().back().module_words.empty());
+}
+
+// The determinism contract extended to traces: identical bytes for any
+// worker count. Runs a real PimTrie workload (build + LCP + insert),
+// which exercises every instrumented phase.
+class WorkerSweepTrace : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ThreadPool::instance().set_workers(1);
+    obs::Trace::instance().force_enabled(false);
+    obs::Trace::instance().clear();
+  }
+};
+
+TEST_F(WorkerSweepTrace, TraceBytesInvariantAcrossWorkerCounts) {
+  auto keys = ptrie::workload::shared_prefix_keys(250, 120, 64, 21);
+  auto more = ptrie::workload::uniform_keys(120, 96, 22);
+  std::vector<std::uint64_t> values(keys.size(), 1), more_values(more.size(), 2);
+
+  auto run = [&]() -> std::string {
+    obs::Trace::instance().clear();
+    obs::Trace::instance().force_enabled(true);
+    System sys(8);
+    ptrie::pimtrie::PimTrie pt(sys, ptrie::pimtrie::Config{});
+    pt.build(keys, values);
+    pt.batch_lcp(more);
+    pt.batch_insert(more, more_values);
+    pt.batch_lcp(keys);
+    std::string out = obs::Trace::instance().chrome_json();
+    obs::Trace::instance().force_enabled(false);
+    return out;
+  };
+
+  ThreadPool::instance().set_workers(1);
+  std::string serial = run();
+  EXPECT_GT(serial.size(), 1000u);
+  for (std::size_t w : {2u, 8u}) {
+    ThreadPool::instance().set_workers(w);
+    std::string parallel = run();
+    EXPECT_EQ(serial, parallel) << "trace bytes differ at workers=" << w;
+  }
+}
+
+}  // namespace

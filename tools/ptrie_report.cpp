@@ -1,0 +1,322 @@
+// ptrie_report: offline summarizer for the simulator's machine-readable
+// outputs. Accepts either
+//   - a Chrome trace written via PTRIE_TRACE=<path> (obs/trace.cpp), or
+//   - a bench result file written via --json (bench/common.hpp),
+// detected by shape. For traces it prints per-phase breakdowns (rounds,
+// words, IO/PIM time, imbalance), a per-module balance heatmap, and a
+// round-by-round listing; for bench files it re-prints the tables and
+// counters.
+//
+//   ptrie_report <file> [--rounds N]   (N = round listing cap, default 30;
+//                                       0 = suppress, -1 = unlimited)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace json = ptrie::obs::json;
+
+namespace {
+
+struct RoundRow {
+  std::uint32_t system = 0;
+  std::size_t round = 0;
+  std::string label, phase;
+  std::uint64_t ts = 0, io = 0, pim = 0, words = 0, work = 0, touched = 0;
+};
+
+struct ModuleSample {
+  std::uint32_t system = 0;
+  std::size_t round = 0;
+  std::uint32_t module = 0;
+  std::uint64_t words = 0, work = 0;
+};
+
+struct PhaseAgg {
+  std::size_t rounds = 0;
+  std::uint64_t words = 0, io = 0, work = 0, pim = 0, touched = 0;
+  std::vector<std::uint64_t> module_words;  // dense, sized to max module + 1
+};
+
+std::uint64_t get_u64(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.find(key);
+  return v ? static_cast<std::uint64_t>(v->as_int()) : 0;
+}
+
+double imbalance_of(const std::vector<std::uint64_t>& per_module, std::size_t p) {
+  if (p == 0) return 1.0;
+  std::uint64_t max = 0, sum = 0;
+  for (std::size_t m = 0; m < p; ++m) {
+    std::uint64_t v = m < per_module.size() ? per_module[m] : 0;
+    sum += v;
+    if (v > max) max = v;
+  }
+  double mean = double(sum) / double(p);
+  return mean > 0 ? double(max) / mean : 1.0;
+}
+
+char heat_char(std::uint64_t v, std::uint64_t max) {
+  static const char kRamp[] = " .:-=+*#%@";
+  if (max == 0) return kRamp[0];
+  std::size_t idx = static_cast<std::size_t>((v * 9 + max - 1) / max);  // ceil to [0,9]
+  return kRamp[std::min<std::size_t>(idx, 9)];
+}
+
+int report_trace(const json::Value& root, long rounds_cap) {
+  const json::Value* events = root.find("traceEvents");
+  if (!events || events->kind != json::Value::Kind::kArray) {
+    std::fprintf(stderr, "no traceEvents array\n");
+    return 1;
+  }
+
+  std::vector<RoundRow> rounds;
+  std::vector<ModuleSample> samples;
+  std::map<std::uint32_t, std::string> system_name;
+  std::map<std::uint32_t, std::size_t> system_p;  // modules seen per system
+  for (const auto& ev : events->arr) {
+    const json::Value* ph = ev.find("ph");
+    if (!ph) continue;
+    std::uint32_t pid = static_cast<std::uint32_t>(get_u64(ev, "pid"));
+    std::uint32_t tid = static_cast<std::uint32_t>(get_u64(ev, "tid"));
+    if (ph->as_string() == "M") {
+      const json::Value* name = ev.find("name");
+      const json::Value* args = ev.find("args");
+      if (name && args && name->as_string() == "process_name")
+        if (const json::Value* n = args->find("name")) system_name[pid] = n->as_string();
+      if (name && name->as_string() == "thread_name" && tid >= 1)
+        system_p[pid] = std::max(system_p[pid], static_cast<std::size_t>(tid));
+      continue;
+    }
+    if (ph->as_string() != "X") continue;
+    const json::Value* args = ev.find("args");
+    if (!args) continue;
+    if (tid == 0) {
+      RoundRow r;
+      r.system = pid;
+      r.round = static_cast<std::size_t>(get_u64(*args, "round"));
+      if (const json::Value* n = ev.find("name")) r.label = n->as_string();
+      if (const json::Value* c = ev.find("cat")) r.phase = c->as_string();
+      r.ts = get_u64(ev, "ts");
+      r.words = get_u64(*args, "total_words");
+      r.io = get_u64(*args, "io_time");
+      r.work = get_u64(*args, "total_work");
+      r.pim = get_u64(*args, "pim_time");
+      r.touched = get_u64(*args, "touched_modules");
+      rounds.push_back(std::move(r));
+    } else {
+      ModuleSample s;
+      s.system = pid;
+      s.round = static_cast<std::size_t>(get_u64(*args, "round"));
+      s.module = tid - 1;
+      s.words = get_u64(*args, "words");
+      s.work = get_u64(*args, "work");
+      samples.push_back(s);
+      system_p[pid] = std::max(system_p[pid], static_cast<std::size_t>(tid));
+    }
+  }
+  if (rounds.empty()) {
+    std::fprintf(stderr, "trace has no rounds\n");
+    return 1;
+  }
+
+  // Phase of each (system, round) for joining module samples.
+  std::map<std::pair<std::uint32_t, std::size_t>, const RoundRow*> round_of;
+  for (const auto& r : rounds) round_of[{r.system, r.round}] = &r;
+
+  // Group by system; phases in first-seen order.
+  std::vector<std::uint32_t> systems;
+  for (const auto& r : rounds)
+    if (std::find(systems.begin(), systems.end(), r.system) == systems.end())
+      systems.push_back(r.system);
+
+  for (std::uint32_t sys : systems) {
+    std::size_t p = system_p.count(sys) ? system_p[sys] : 0;
+    std::string name = system_name.count(sys)
+                           ? system_name[sys]
+                           : ("pim-system-" + std::to_string(sys));
+    std::printf("=== %s ===\n", name.c_str());
+
+    std::vector<std::string> order;
+    std::map<std::string, PhaseAgg> agg;
+    std::uint64_t tot_words = 0, tot_io = 0, tot_work = 0, tot_pim = 0;
+    std::size_t tot_rounds = 0, tot_touched = 0;
+    for (const auto& r : rounds) {
+      if (r.system != sys) continue;
+      std::string key = r.phase.empty() || r.phase == "unphased" ? "(unphased)" : r.phase;
+      if (!agg.count(key)) order.push_back(key);
+      PhaseAgg& a = agg[key];
+      ++a.rounds;
+      a.words += r.words;
+      a.io += r.io;
+      a.work += r.work;
+      a.pim += r.pim;
+      a.touched += r.touched;
+      ++tot_rounds;
+      tot_words += r.words;
+      tot_io += r.io;
+      tot_work += r.work;
+      tot_pim += r.pim;
+      tot_touched += r.touched;
+    }
+    bool have_modules = false;
+    for (const auto& s : samples) {
+      if (s.system != sys) continue;
+      auto it = round_of.find({s.system, s.round});
+      if (it == round_of.end()) continue;
+      const std::string& ph = it->second->phase;
+      std::string key = ph.empty() || ph == "unphased" ? "(unphased)" : ph;
+      PhaseAgg& a = agg[key];
+      if (a.module_words.size() <= s.module) a.module_words.resize(s.module + 1, 0);
+      a.module_words[s.module] += s.words;
+      have_modules = true;
+    }
+
+    std::printf("\n-- per-phase breakdown --\n");
+    std::printf("%-36s %8s %12s %12s %12s %10s %10s\n", "phase", "rounds", "words",
+                "io_time", "pim_time", "touched", "imbal");
+    for (const auto& key : order) {
+      const PhaseAgg& a = agg[key];
+      char imbal[16] = "-";
+      if (have_modules && p > 0)
+        std::snprintf(imbal, sizeof imbal, "%.2f", imbalance_of(a.module_words, p));
+      std::printf("%-36s %8zu %12llu %12llu %12llu %10llu %10s\n", key.c_str(), a.rounds,
+                  (unsigned long long)a.words, (unsigned long long)a.io,
+                  (unsigned long long)a.pim, (unsigned long long)a.touched, imbal);
+    }
+    std::printf("%-36s %8zu %12llu %12llu %12llu %10zu\n", "TOTAL", tot_rounds,
+                (unsigned long long)tot_words, (unsigned long long)tot_io,
+                (unsigned long long)tot_pim, tot_touched);
+
+    if (have_modules && p > 0) {
+      std::printf("\n-- per-module balance heatmap (words; scale ' .:-=+*#%%@') --\n");
+      std::printf("%-36s  modules 0..%zu\n", "phase", p - 1);
+      for (const auto& key : order) {
+        const PhaseAgg& a = agg[key];
+        std::uint64_t max = 0;
+        for (std::uint64_t v : a.module_words) max = std::max(max, v);
+        std::string row;
+        for (std::size_t m = 0; m < p; ++m)
+          row += heat_char(m < a.module_words.size() ? a.module_words[m] : 0, max);
+        std::printf("%-36s  [%s]\n", key.c_str(), row.c_str());
+      }
+    }
+
+    if (rounds_cap != 0) {
+      std::printf("\n-- rounds --\n");
+      std::printf("%6s %-26s %-36s %10s %10s %10s %8s\n", "round", "label", "phase",
+                  "words", "io_time", "pim_time", "touched");
+      long shown = 0;
+      std::size_t in_sys = 0;
+      for (const auto& r : rounds)
+        if (r.system == sys) ++in_sys;
+      for (const auto& r : rounds) {
+        if (r.system != sys) continue;
+        if (rounds_cap > 0 && shown >= rounds_cap) {
+          std::printf("  ... %zu more rounds (--rounds -1 for all)\n",
+                      in_sys - static_cast<std::size_t>(shown));
+          break;
+        }
+        std::printf("%6zu %-26s %-36s %10llu %10llu %10llu %8llu\n", r.round,
+                    r.label.c_str(), (r.phase.empty() ? "(unphased)" : r.phase).c_str(),
+                    (unsigned long long)r.words, (unsigned long long)r.io,
+                    (unsigned long long)r.pim, (unsigned long long)r.touched);
+        ++shown;
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int report_bench(const json::Value& root) {
+  const json::Value* binary = root.find("binary");
+  std::printf("=== bench result: %s ===\n",
+              binary ? binary->as_string().c_str() : "(unknown)");
+  const json::Value* tables = root.find("tables");
+  if (!tables || tables->kind != json::Value::Kind::kArray) {
+    std::fprintf(stderr, "no tables array\n");
+    return 1;
+  }
+  for (const auto& t : tables->arr) {
+    const json::Value* title = t.find("title");
+    const json::Value* cols = t.find("columns");
+    const json::Value* rows = t.find("rows");
+    std::printf("\n== %s ==\n", title ? title->as_string().c_str() : "");
+    if (cols)
+      for (const auto& c : cols->arr) std::printf("%-16s", c.as_string().c_str());
+    std::printf("\n");
+    std::size_t n_rows = 0;
+    if (rows) {
+      for (const auto& row : rows->arr) {
+        for (const auto& cell : row.arr) {
+          if (cell.kind == json::Value::Kind::kString)
+            std::printf("%-16s", cell.as_string().c_str());
+          else if (cell.is_int)
+            std::printf("%-16lld", (long long)cell.as_int());
+          else
+            std::printf("%-16.2f", cell.as_double());
+        }
+        std::printf("\n");
+        ++n_rows;
+      }
+    }
+    std::printf("(%zu rows)\n", n_rows);
+  }
+  if (const json::Value* counters = root.find("counters");
+      counters && !counters->obj.empty()) {
+    std::printf("\n== counters ==\n");
+    for (const auto& [name, v] : counters->obj)
+      std::printf("%-36s %llu\n", name.c_str(), (unsigned long long)v.as_int());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  long rounds_cap = 30;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds_cap = std::strtol(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: ptrie_report <trace.json | bench.json> [--rounds N]\n");
+      return 0;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: ptrie_report <trace.json | bench.json> [--rounds N]\n");
+    return 2;
+  }
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  std::string text = ss.str();
+
+  json::Value root;
+  std::string error;
+  if (!json::parse(text, root, error)) {
+    std::fprintf(stderr, "parse error in %s: %s\n", path, error.c_str());
+    return 1;
+  }
+  if (root.find("traceEvents")) return report_trace(root, rounds_cap);
+  if (root.find("tables")) return report_bench(root);
+  std::fprintf(stderr, "%s: neither a PTRIE_TRACE file nor a bench --json file\n", path);
+  return 1;
+}
