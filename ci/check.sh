@@ -1,16 +1,25 @@
 #!/usr/bin/env bash
-# CI gate: full build + tests in the normal configuration, then a
-# ThreadSanitizer build running the parallel-runtime determinism suite
-# with a multi-worker pool (races in the batch pipeline show up there).
+# CI gate: full build + tests in the normal configuration, a fixed-seed
+# differential fuzz matrix, then sanitizer builds — AddressSanitizer
+# runs the unit-label tests plus the fuzz matrix; ThreadSanitizer runs
+# the parallel-runtime determinism suite with a multi-worker pool and
+# the fuzz matrix again (races in the batch pipeline show up there).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
+# Fixed seed matrix for sanitizer fuzz runs: deterministic, so a failure
+# here is replayable with the printed `ptrie_fuzz --replay` command.
+FUZZ_SEEDS="${FUZZ_SEEDS:-5}"
 
 echo "== plain build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== differential fuzz: seed matrix over all structures =="
+./build/tools/ptrie_fuzz --seed 1 --seeds 20 --structure all --profile all \
+  --shrink-out build/fuzz_min.sched
 
 echo "== observability smoke: trace + bench JSON round-trip =="
 OBS_TMP="$(mktemp -d)"
@@ -25,12 +34,23 @@ grep -q 'LCP/MetaQuery/HashMatching-L1' "$OBS_TMP/trace_report.txt"
 ./build/tools/ptrie_report "$OBS_TMP/bench.json" >"$OBS_TMP/bench_report.txt"
 grep -q 'counters' "$OBS_TMP/bench_report.txt"
 
-echo "== thread-sanitized build + parallel determinism suite =="
+echo "== address-sanitized build + unit tests + fuzz matrix =="
+cmake -B build-asan -S . -DPTRIE_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS" --target pimtrie_tests ptrie_fuzz
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L unit
+./build-asan/tools/ptrie_fuzz --seed 1 --seeds "$FUZZ_SEEDS" \
+  --structure all --profile auto --batches 12 --batch-cap 12 --init 40 \
+  --shrink-out build-asan/fuzz_min.sched
+
+echo "== thread-sanitized build + parallel determinism suite + fuzz matrix =="
 cmake -B build-tsan -S . -DPTRIE_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target pimtrie_tests
+cmake --build build-tsan -j "$JOBS" --target pimtrie_tests ptrie_fuzz
 # WorkerSweep* covers the batch-pipeline suite and the trace byte-equality
 # suite (WorkerSweepTrace) in tests/test_obs.cpp.
 PTRIE_WORKERS=8 ./build-tsan/tests/pimtrie_tests \
   --gtest_filter='WorkerSweep*'
+PTRIE_WORKERS=8 ./build-tsan/tools/ptrie_fuzz --seed 1 --seeds "$FUZZ_SEEDS" \
+  --structure all --profile auto --batches 12 --batch-cap 12 --init 40 \
+  --shrink-out build-tsan/fuzz_min.sched
 
 echo "all checks passed"

@@ -78,10 +78,10 @@ void DistributedRadixTree::build(const std::vector<BitString>& keys,
       pos += span_;
     }
     HNode& n = host[cur];
+    if (!n.has_value) ++n_keys_;  // duplicate (or tail-colliding) keys overwrite
     n.has_value = true;
     n.value = values[i];
     n.tail = k.suffix(pos);  // leftover < span bits (possibly empty)
-    ++n_keys_;
   }
 
   std::vector<pim::Buffer> buffers(sys_->p());
@@ -356,13 +356,15 @@ void DistributedRadixTree::batch_insert(const std::vector<BitString>& keys,
     BitString tail = k.suffix(pos);
     if (cur_is_new) {
       auto& nn = created[created_idx[cur]];
+      if (!nn.has_value) ++n_keys_;  // batch-internal duplicates overwrite
       nn.has_value = true;
       nn.value = values[i];
       nn.tail = tail;
     } else {
+      // Freshness on a pre-existing node is only known module-side; the
+      // ship round reports it back per value update.
       value_updates.push_back({cur, values[i], tail});
     }
-    ++n_keys_;
   }
 
   // Phase 3: one round shipping new nodes, link updates and value
@@ -392,8 +394,10 @@ void DistributedRadixTree::batch_insert(const std::vector<BitString>& keys,
     for (std::size_t w = 0; w < vu.tail.word_count(); ++w) buf.push_back(vu.tail.word(w));
   }
   std::size_t fo = fanout;
-  sys_->round("radix.insertship", std::move(buffers), [inst, fo](pim::Module& m, pim::Buffer in) {
+  auto ship = sys_->round("radix.insertship", std::move(buffers),
+                          [inst, fo](pim::Module& m, pim::Buffer in) {
     auto& stt = m.state<RadixModuleState>(inst);
+    pim::Buffer out;
     std::size_t i = 0;
     while (i < in.size()) {
       std::uint64_t tag = in[i++];
@@ -412,6 +416,7 @@ void DistributedRadixTree::batch_insert(const std::vector<BitString>& keys,
         std::uint64_t node = in[i], value = in[i + 1], tail_bits = in[i + 2];
         i += 3;
         auto& packed = stt.nodes.at(node);
+        out.push_back(packed[fo] == 0 ? 1 : 0);  // fresh?
         packed[fo] = 1;
         packed[fo + 1] = value;
         packed[fo + 2] = tail_bits;
@@ -422,8 +427,123 @@ void DistributedRadixTree::batch_insert(const std::vector<BitString>& keys,
         m.work(2);
       }
     }
-    return pim::Buffer{};
+    return out;
   });
+  for (const auto& buf : ship)
+    for (std::uint64_t fresh : buf) n_keys_ += fresh;
+}
+
+void DistributedRadixTree::batch_erase(const std::vector<BitString>& keys) {
+  obs::Phase op_phase("Delete");
+  std::size_t fanout = std::size_t{1} << span_;
+  std::uint64_t inst = instance_;
+
+  // Phase 1: pointer-chase each key through its full chunks, one probe
+  // round per level. A query that hits a missing link is absent.
+  struct St {
+    std::uint64_t node;
+    std::size_t pos;
+    bool stuck;
+  };
+  std::vector<St> st(keys.size());
+  for (auto& q : st) q = {root_, 0, false};
+  int round = 0;
+  for (;;) {
+    ++round;
+    std::vector<pim::Buffer> buffers(sys_->p());
+    std::vector<std::vector<std::size_t>> sent(sys_->p());
+    std::vector<std::size_t> walk_q = core::parallel_pack<std::size_t>(
+        keys.size(),
+        [&](std::size_t i) { return !st[i].stuck && st[i].pos + span_ <= keys[i].size(); },
+        [](std::size_t i) { return i; });
+    if (walk_q.empty()) break;
+    auto layout = core::parallel_bucket_offsets(
+        walk_q.size(), sys_->p(),
+        [&](std::size_t j) { return dir_.at(st[walk_q[j]].node).module; },
+        [](std::size_t) { return std::size_t{2}; });
+    for (std::size_t m = 0; m < sys_->p(); ++m) {
+      buffers[m].resize(layout.total[m]);
+      sent[m].resize(layout.total[m] / 2);
+    }
+    core::parallel_for(
+        0, walk_q.size(),
+        [&](std::size_t j) {
+          std::size_t i = walk_q[j];
+          std::size_t idx = 0;
+          for (unsigned b = 0; b < span_; ++b)
+            idx = idx * 2 + (keys[i].bit(st[i].pos + b) ? 1 : 0);
+          std::uint32_t module = dir_.at(st[i].node).module;
+          std::size_t off = layout.offset[j];
+          buffers[module][off] = st[i].node;
+          buffers[module][off + 1] = idx;
+          sent[module][off / 2] = i;
+        },
+        /*grain=*/1024);
+    std::string lbl = "radix.erasewalk" + std::to_string(round);
+    auto results = sys_->round(lbl, std::move(buffers), [inst](pim::Module& m, pim::Buffer in) {
+      auto& stt = m.state<RadixModuleState>(inst);
+      pim::Buffer out;
+      for (std::size_t i = 0; i + 1 < in.size(); i += 2) {
+        out.push_back(stt.nodes.at(in[i])[in[i + 1]]);
+        m.work(2);
+      }
+      return out;
+    });
+    core::parallel_for(
+        0, sys_->p(),
+        [&](std::size_t mdl) {
+          for (std::size_t k = 0; k < sent[mdl].size(); ++k) {
+            std::size_t i = sent[mdl][k];
+            std::uint64_t child = results[mdl][k];
+            if (child == 0)
+              st[i].stuck = true;
+            else {
+              st[i].node = child;
+              st[i].pos += span_;
+            }
+          }
+        },
+        /*grain=*/1);
+    if (round > 4096) break;
+  }
+
+  // Phase 2: one round clearing values whose stored tail equals the key's
+  // leftover bits; the kernel reports what it actually removed.
+  std::vector<pim::Buffer> buffers(sys_->p());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (st[i].stuck) continue;  // chain missing: key absent
+    BitString tail = keys[i].suffix(st[i].pos);
+    auto& buf = buffers[dir_.at(st[i].node).module];
+    buf.push_back(st[i].node);
+    buf.push_back(tail.size());
+    buf.push_back(tail.size() == 0 ? 0 : tail.word(0));
+  }
+  std::size_t fo = fanout;
+  auto results = sys_->round("radix.eraseship", std::move(buffers),
+                             [inst, fo](pim::Module& m, pim::Buffer in) {
+    auto& stt = m.state<RadixModuleState>(inst);
+    pim::Buffer out;
+    for (std::size_t i = 0; i + 2 < in.size(); i += 3) {
+      auto& packed = stt.nodes.at(in[i]);
+      std::uint64_t tail_len = in[i + 1], tail_word = in[i + 2];
+      bool match = packed[fo] != 0 && packed[fo + 2] == tail_len;
+      if (match && tail_len != 0) {
+        std::uint64_t stored = packed.size() > fo + 3 ? packed[fo + 3] : 0;
+        std::uint64_t mask = tail_len >= 64 ? ~std::uint64_t{0}
+                                            : ~((std::uint64_t{1} << (64 - tail_len)) - 1);
+        match = (stored & mask) == (tail_word & mask);
+      }
+      if (match) {
+        packed[fo] = 0;
+        packed[fo + 1] = 0;
+      }
+      out.push_back(match ? 1 : 0);
+      m.work(2);
+    }
+    return out;
+  });
+  for (const auto& buf : results)
+    for (std::uint64_t removed : buf) n_keys_ -= removed;
 }
 
 std::vector<std::vector<std::pair<BitString, std::uint64_t>>>
@@ -560,6 +680,80 @@ DistributedRadixTree::batch_subtree(const std::vector<BitString>& prefixes) {
     std::sort(res.begin(), res.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
+}
+
+std::string DistributedRadixTree::debug_check() const {
+  std::string problems;
+  auto complain = [&](const std::string& s) {
+    if (problems.size() < 4000) problems += s + "\n";
+  };
+  std::size_t fanout = std::size_t{1} << span_;
+  // Gather resident nodes; every resident node must be in the directory
+  // on that module, and vice versa.
+  std::unordered_map<std::uint64_t, const std::vector<std::uint64_t>*> resident;
+  for (std::size_t m = 0; m < sys_->p(); ++m) {
+    auto& mod = const_cast<pim::System*>(sys_)->module(m);
+    if (!mod.has_state<RadixModuleState>(instance_)) continue;
+    for (const auto& [id, packed] : mod.state<RadixModuleState>(instance_).nodes) {
+      auto it = dir_.find(id);
+      if (it == dir_.end())
+        complain("node " + std::to_string(id) + " resident but not in directory");
+      else if (it->second.module != m)
+        complain("node " + std::to_string(id) + " on wrong module");
+      if (!resident.emplace(id, &packed).second)
+        complain("node " + std::to_string(id) + " resident on two modules");
+    }
+  }
+  if (dir_.size() != n_nodes_) complain("directory size != node_count");
+  std::size_t values = 0;
+  for (const auto& [id, ref] : dir_) {
+    auto it = resident.find(id);
+    if (it == resident.end()) {
+      complain("node " + std::to_string(id) + " in directory but not resident");
+      continue;
+    }
+    const auto& packed = *it->second;
+    if (packed.size() < fanout + 3) {
+      complain("node " + std::to_string(id) + " truncated");
+      continue;
+    }
+    std::uint64_t tail_len = packed[fanout + 2];
+    if (tail_len >= span_)
+      complain("node " + std::to_string(id) + " tail as long as span");
+    if (packed.size() < fanout + 3 + (tail_len + 63) / 64)
+      complain("node " + std::to_string(id) + " tail words missing");
+    if (packed[fanout] != 0) ++values;
+    for (std::size_t c = 0; c < fanout; ++c) {
+      if (packed[c] != 0 && !dir_.contains(packed[c]))
+        complain("node " + std::to_string(id) + " dangling child " + std::to_string(packed[c]));
+    }
+  }
+  if (values != n_keys_)
+    complain("value flags sum " + std::to_string(values) + " != key_count " +
+             std::to_string(n_keys_));
+  // Reachability from the root.
+  if (root_ != 0) {
+    std::unordered_map<std::uint64_t, bool> seen;
+    std::vector<std::uint64_t> stack{root_};
+    seen[root_] = true;
+    while (!stack.empty()) {
+      std::uint64_t id = stack.back();
+      stack.pop_back();
+      auto it = resident.find(id);
+      if (it == resident.end()) continue;
+      const auto& packed = *it->second;
+      for (std::size_t c = 0; c < fanout && c < packed.size(); ++c) {
+        std::uint64_t child = packed[c];
+        if (child != 0 && !seen[child]) {
+          seen[child] = true;
+          stack.push_back(child);
+        }
+      }
+    }
+    for (const auto& [id, ref] : dir_)
+      if (!seen[id]) complain("node " + std::to_string(id) + " unreachable from root");
+  }
+  return problems;
 }
 
 std::size_t DistributedRadixTree::space_words() const {

@@ -27,12 +27,22 @@ class DistributedRadixTree {
   std::vector<std::size_t> batch_lcp(const std::vector<core::BitString>& keys);
   void batch_insert(const std::vector<core::BitString>& keys,
                     const std::vector<std::uint64_t>& values);
+  // Batch Delete: clears the value at exactly-matched keys (chain nodes are
+  // retained — this baseline never splices, matching its strawman role).
+  // Absent keys and repeated deletes are no-ops.
+  void batch_erase(const std::vector<core::BitString>& keys);
   std::vector<std::vector<std::pair<core::BitString, std::uint64_t>>> batch_subtree(
       const std::vector<core::BitString>& prefixes);
 
+  unsigned span() const { return span_; }
   std::size_t key_count() const { return n_keys_; }
   std::size_t node_count() const { return n_nodes_; }
   std::size_t space_words() const;
+
+  // Inspection-only structural invariants: directory/module agreement,
+  // child links resolve, every node reachable from the root, and value
+  // flags sum to key_count(). "" if healthy.
+  std::string debug_check() const;
 
  private:
   struct Node {

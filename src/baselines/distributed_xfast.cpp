@@ -13,9 +13,10 @@ namespace {
 std::atomic<std::uint64_t> g_instance{1u << 24};
 
 struct XFastModuleState {
-  // (level << 57 | prefix-hash-key) -> present; leaf level also keeps the
-  // value and the full key for subtree scans.
-  std::unordered_set<std::uint64_t> prefixes;
+  // (level << 57 | prefix-hash-key) -> reference count (number of stored
+  // keys carrying that prefix); leaf level also keeps the value and the
+  // full key for subtree scans.
+  std::unordered_map<std::uint64_t, std::uint64_t> prefixes;
   std::unordered_map<std::uint64_t, std::uint64_t> leaves;  // key -> value
 };
 
@@ -43,9 +44,71 @@ void DistributedXFastTrie::batch_insert(const std::vector<std::uint64_t>& keys,
   obs::Phase op_phase("Insert");
   std::uint64_t inst = instance_;
   std::vector<pim::Buffer> buffers(sys_->p());
+  // Freshness is decided on the host (serially, so the first occurrence of
+  // a batch-internal duplicate is the fresh one): fresh keys ship their
+  // whole prefix chain; duplicates ship a value-update-only leaf item.
+  std::vector<char> fresh(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    fresh[i] = host_keys_.insert(keys[i]).second ? 1 : 0;
   // One 4-word item per (key, level) pair; fixed size makes the bucket
   // offsets exact, so the parallel scatter reproduces the serial append
-  // order per module.
+  // order per module. Non-leaf items of duplicate keys have size 0.
+  std::size_t levels = width_ + 1;
+  std::size_t n_items = keys.size() * levels;
+  auto item_prefix = [&](std::size_t it) {
+    std::size_t i = it / levels;
+    unsigned level = static_cast<unsigned>(it % levels);
+    std::uint64_t prefix = level == 0 ? 0 : (keys[i] >> (width_ - level));
+    return std::pair<unsigned, std::uint64_t>{level, prefix};
+  };
+  auto item_live = [&](std::size_t it) {
+    return fresh[it / levels] != 0 || it % levels == width_;
+  };
+  auto layout = core::parallel_bucket_offsets(
+      n_items, sys_->p(),
+      [&](std::size_t it) {
+        auto [level, prefix] = item_prefix(it);
+        return module_of(level, prefix);
+      },
+      [&](std::size_t it) { return item_live(it) ? std::size_t{4} : std::size_t{0}; });
+  for (std::size_t m = 0; m < sys_->p(); ++m) buffers[m].resize(layout.total[m]);
+  core::parallel_for(
+      0, n_items,
+      [&](std::size_t it) {
+        if (!item_live(it)) return;
+        std::size_t i = it / levels;
+        auto [level, prefix] = item_prefix(it);
+        auto& buf = buffers[module_of(level, prefix)];
+        std::size_t off = layout.offset[it];
+        // Tags: 0 = prefix refcount only, 1 = leaf + refcount (fresh key),
+        // 2 = leaf value update only (duplicate key).
+        buf[off] = slot_key(level, prefix);
+        buf[off + 1] = level != width_ ? 0 : (fresh[i] != 0 ? 1 : 2);
+        buf[off + 2] = level == width_ ? keys[i] : 0;
+        buf[off + 3] = level == width_ ? values[i] : 0;
+      },
+      /*grain=*/512);
+  for (char f : fresh) n_keys_ += f != 0 ? 1 : 0;
+  sys_->round("xfast.insert", std::move(buffers), [inst](pim::Module& m, pim::Buffer in) {
+    auto& st = m.state<XFastModuleState>(inst);
+    for (std::size_t i = 0; i + 3 < in.size() + 0; i += 4) {
+      if (in[i + 1] != 2) ++st.prefixes[in[i]];
+      if (in[i + 1] != 0) st.leaves[in[i + 2]] = in[i + 3];
+      m.work(2);
+    }
+    return pim::Buffer{};
+  });
+}
+
+void DistributedXFastTrie::batch_erase(const std::vector<std::uint64_t>& keys) {
+  obs::Phase op_phase("Delete");
+  std::uint64_t inst = instance_;
+  std::vector<pim::Buffer> buffers(sys_->p());
+  // Host-side presence check (serial: the first occurrence of a
+  // batch-internal repeat is the one that deletes).
+  std::vector<char> present(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    present[i] = host_keys_.erase(keys[i]) != 0 ? 1 : 0;
   std::size_t levels = width_ + 1;
   std::size_t n_items = keys.size() * levels;
   auto item_prefix = [&](std::size_t it) {
@@ -60,27 +123,30 @@ void DistributedXFastTrie::batch_insert(const std::vector<std::uint64_t>& keys,
         auto [level, prefix] = item_prefix(it);
         return module_of(level, prefix);
       },
-      [](std::size_t) { return std::size_t{4}; });
+      [&](std::size_t it) {
+        return present[it / levels] != 0 ? std::size_t{3} : std::size_t{0};
+      });
   for (std::size_t m = 0; m < sys_->p(); ++m) buffers[m].resize(layout.total[m]);
   core::parallel_for(
       0, n_items,
       [&](std::size_t it) {
         std::size_t i = it / levels;
+        if (present[i] == 0) return;
         auto [level, prefix] = item_prefix(it);
         auto& buf = buffers[module_of(level, prefix)];
         std::size_t off = layout.offset[it];
         buf[off] = slot_key(level, prefix);
         buf[off + 1] = level == width_ ? 1 : 0;
         buf[off + 2] = level == width_ ? keys[i] : 0;
-        buf[off + 3] = level == width_ ? values[i] : 0;
       },
       /*grain=*/512);
-  n_keys_ += keys.size();
-  sys_->round("xfast.insert", std::move(buffers), [inst](pim::Module& m, pim::Buffer in) {
+  for (char pr : present) n_keys_ -= pr != 0 ? 1 : 0;
+  sys_->round("xfast.erase", std::move(buffers), [inst](pim::Module& m, pim::Buffer in) {
     auto& st = m.state<XFastModuleState>(inst);
-    for (std::size_t i = 0; i + 3 < in.size() + 0; i += 4) {
-      st.prefixes.insert(in[i]);
-      if (in[i + 1] != 0) st.leaves[in[i + 2]] = in[i + 3];
+    for (std::size_t i = 0; i + 2 < in.size() + 0; i += 3) {
+      auto it = st.prefixes.find(in[i]);
+      if (it != st.prefixes.end() && --it->second == 0) st.prefixes.erase(it);
+      if (in[i + 1] != 0) st.leaves.erase(in[i + 2]);
       m.work(2);
     }
     return pim::Buffer{};
@@ -202,6 +268,54 @@ DistributedXFastTrie::batch_subtree(
   }
   for (auto& v : out) std::sort(v.begin(), v.end());
   return out;
+}
+
+std::string DistributedXFastTrie::debug_check() const {
+  std::string problems;
+  auto complain = [&](const std::string& s) {
+    if (problems.size() < 4000) problems += s + "\n";
+  };
+  if (host_keys_.size() != n_keys_) complain("host key set size != key_count");
+  // Expected per-module slot reference counts, computed exactly from the
+  // host key set (slot-key collisions merge counts on both sides).
+  std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> want_prefixes(sys_->p());
+  std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> want_leaves(sys_->p());
+  for (std::uint64_t k : host_keys_) {
+    for (unsigned level = 0; level <= width_; ++level) {
+      std::uint64_t prefix = level == 0 ? 0 : (k >> (width_ - level));
+      ++want_prefixes[module_of(level, prefix)][slot_key(level, prefix)];
+    }
+    want_leaves[module_of(width_, k)][k] = 1;
+  }
+  for (std::size_t m = 0; m < sys_->p(); ++m) {
+    auto& mod = const_cast<pim::System*>(sys_)->module(m);
+    bool empty_state = !mod.has_state<XFastModuleState>(instance_);
+    if (empty_state) {
+      if (!want_prefixes[m].empty())
+        complain("module " + std::to_string(m) + " missing expected state");
+      continue;
+    }
+    const auto& st = mod.state<XFastModuleState>(instance_);
+    if (st.prefixes.size() != want_prefixes[m].size())
+      complain("module " + std::to_string(m) + " prefix table size " +
+               std::to_string(st.prefixes.size()) + " != expected " +
+               std::to_string(want_prefixes[m].size()));
+    for (const auto& [slot, count] : want_prefixes[m]) {
+      auto it = st.prefixes.find(slot);
+      if (it == st.prefixes.end())
+        complain("module " + std::to_string(m) + " missing prefix slot");
+      else if (it->second != count)
+        complain("module " + std::to_string(m) + " refcount " + std::to_string(it->second) +
+                 " != expected " + std::to_string(count));
+    }
+    if (st.leaves.size() != want_leaves[m].size())
+      complain("module " + std::to_string(m) + " leaf table size mismatch");
+    for (const auto& [key, value] : st.leaves) {
+      if (!want_leaves[m].contains(key))
+        complain("module " + std::to_string(m) + " orphan leaf " + std::to_string(key));
+    }
+  }
+  return problems;
 }
 
 std::size_t DistributedXFastTrie::space_words() const {

@@ -7,6 +7,7 @@
 // supported (the (#) restriction in Table 1).
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "core/bitstring.hpp"
@@ -23,15 +24,26 @@ class DistributedXFastTrie {
   // LCP length (in bits) of each query against the stored key set.
   std::vector<unsigned> batch_lcp(const std::vector<std::uint64_t>& keys);
   // Insert: one round carrying all l+1 prefixes per key (O(l) words/key).
+  // Duplicate keys (in the batch or vs the stored set) overwrite the value
+  // without inflating prefix reference counts.
   void batch_insert(const std::vector<std::uint64_t>& keys,
                     const std::vector<std::uint64_t>& values);
+  // Delete: one round decrementing every prefix's reference count and
+  // dropping the leaf. Absent keys and batch-internal repeats are no-ops.
+  void batch_erase(const std::vector<std::uint64_t>& keys);
   // Subtree: all stored keys with the given high-bit prefix. One scan
   // round; O(L_S) response words (Table 1's Subtree column).
   std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> batch_subtree(
       const std::vector<std::pair<std::uint64_t, unsigned>>& prefixes);
 
+  unsigned width() const { return width_; }
   std::size_t key_count() const { return n_keys_; }
   std::size_t space_words() const;
+
+  // Inspection-only structural invariants: every stored key's full prefix
+  // chain is resident with exact reference counts, leaves match the host
+  // key set, and no orphan table entries exist. "" if healthy.
+  std::string debug_check() const;
 
  private:
   std::uint32_t module_of(unsigned level, std::uint64_t prefix) const;
@@ -41,6 +53,10 @@ class DistributedXFastTrie {
   std::uint64_t instance_;
   std::uint64_t salt_;
   std::size_t n_keys_ = 0;
+  // Host directory of stored keys (simulation convenience, like the other
+  // baselines' host directories): freshness of inserts/deletes is decided
+  // here so module-side reference counts stay exact.
+  std::unordered_set<std::uint64_t> host_keys_;
 };
 
 }  // namespace ptrie::baselines

@@ -48,8 +48,7 @@ void RangePartitionedIndex::build(const std::vector<BitString>& keys,
     if (pos < keys.size()) separators_.push_back(keys[perm[pos]]);
   }
   separators_.erase(std::unique(separators_.begin(), separators_.end()), separators_.end());
-  batch_insert(keys, values);
-  n_keys_ = keys.size();
+  batch_insert(keys, values);  // counts fresh keys exactly (duplicates overwrite)
 }
 
 void RangePartitionedIndex::batch_insert(const std::vector<BitString>& keys,
@@ -76,19 +75,56 @@ void RangePartitionedIndex::batch_insert(const std::vector<BitString>& keys,
         buf[off + 2 + keys[i].word_count()] = values[i];
       },
       /*grain=*/512);
-  n_keys_ += keys.size();
-  sys_->round("range.insert", std::move(buffers), [inst](pim::Module& m, pim::Buffer in) {
+  auto results = sys_->round("range.insert", std::move(buffers),
+                             [inst](pim::Module& m, pim::Buffer in) {
     auto& st = m.state<RangeModuleState>(inst);
     BufReader r{in};
+    pim::Buffer out;
     while (!r.done()) {
       r.u64();
       BitString key = r.bits();
       std::uint64_t value = r.u64();
-      st.local.insert(key, value);
+      out.push_back(st.local.insert(key, value) ? 1 : 0);  // fresh?
       m.work(key.word_count() + 2);
     }
-    return pim::Buffer{};
+    return out;
   });
+  for (const auto& buf : results)
+    for (std::uint64_t fresh : buf) n_keys_ += fresh;
+}
+
+void RangePartitionedIndex::batch_erase(const std::vector<BitString>& keys) {
+  obs::Phase op_phase("Delete");
+  std::uint64_t inst = instance_;
+  std::vector<pim::Buffer> buffers(sys_->p());
+  auto layout = core::parallel_bucket_offsets(
+      keys.size(), sys_->p(), [&](std::size_t i) { return route(keys[i]); },
+      [&](std::size_t i) { return 1 + keys[i].word_count(); });
+  for (std::size_t m = 0; m < sys_->p(); ++m) buffers[m].resize(layout.total[m]);
+  core::parallel_for(
+      0, keys.size(),
+      [&](std::size_t i) {
+        auto& buf = buffers[route(keys[i])];
+        std::size_t off = layout.offset[i];
+        buf[off] = keys[i].size();
+        for (std::size_t w = 0; w < keys[i].word_count(); ++w)
+          buf[off + 1 + w] = keys[i].word(w);
+      },
+      /*grain=*/512);
+  auto results = sys_->round("range.erase", std::move(buffers),
+                             [inst](pim::Module& m, pim::Buffer in) {
+    auto& st = m.state<RangeModuleState>(inst);
+    BufReader r{in};
+    pim::Buffer out;
+    while (!r.done()) {
+      BitString key = r.bits();
+      out.push_back(st.local.erase(key) ? 1 : 0);
+      m.work(key.word_count() + 2);
+    }
+    return out;
+  });
+  for (const auto& buf : results)
+    for (std::uint64_t removed : buf) n_keys_ -= removed;
 }
 
 std::vector<std::size_t> RangePartitionedIndex::batch_lcp(const std::vector<BitString>& keys) {
@@ -203,6 +239,32 @@ RangePartitionedIndex::batch_subtree(const std::vector<BitString>& prefixes) {
     std::sort(v.begin(), v.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
+}
+
+std::string RangePartitionedIndex::debug_check() const {
+  std::string problems;
+  auto complain = [&](const std::string& s) {
+    if (problems.size() < 4000) problems += s + "\n";
+  };
+  for (std::size_t s = 1; s < separators_.size(); ++s) {
+    if (!(separators_[s - 1] < separators_[s])) complain("separators not strictly sorted");
+  }
+  std::size_t keysum = 0;
+  for (std::size_t m = 0; m < sys_->p(); ++m) {
+    auto& mod = const_cast<pim::System*>(sys_)->module(m);
+    if (!mod.has_state<RangeModuleState>(instance_)) continue;
+    const auto& st = mod.state<RangeModuleState>(instance_);
+    keysum += st.local.key_count();
+    for (const auto& [k, v] : st.local.subtree(core::BitString())) {
+      if (route(k) != m)
+        complain("key on module " + std::to_string(m) + " routes to module " +
+                 std::to_string(route(k)));
+    }
+  }
+  if (keysum != n_keys_)
+    complain("per-module key counts sum " + std::to_string(keysum) + " != key_count " +
+             std::to_string(n_keys_));
+  return problems;
 }
 
 std::size_t RangePartitionedIndex::space_words() const {

@@ -26,11 +26,23 @@ class RangePartitionedIndex {
   std::vector<std::size_t> batch_lcp(const std::vector<core::BitString>& keys);
   void batch_insert(const std::vector<core::BitString>& keys,
                     const std::vector<std::uint64_t>& values);
+  // Delete: routes each key to its range owner in one round. Absent keys
+  // and batch-internal repeats are no-ops.
+  void batch_erase(const std::vector<core::BitString>& keys);
   std::vector<std::vector<std::pair<core::BitString, std::uint64_t>>> batch_subtree(
       const std::vector<core::BitString>& prefixes);
 
   std::size_t key_count() const { return n_keys_; }
   std::size_t space_words() const;
+  // The sorted separator keys (P-1 or fewer): module m owns the keys k
+  // with separators()[m-1] <= k < separators()[m]. Exposed so tests can
+  // compute exact per-range expectations.
+  const std::vector<core::BitString>& separators() const { return separators_; }
+
+  // Inspection-only structural invariants: separators sorted and unique,
+  // every resident key routed to its owning module, per-module key counts
+  // summing to key_count(). "" if healthy.
+  std::string debug_check() const;
 
  private:
   std::uint32_t route(const core::BitString& key) const;

@@ -1,0 +1,355 @@
+#include "check/adapters.hpp"
+
+#include <algorithm>
+
+#include "baselines/distributed_radix_tree.hpp"
+#include "baselines/distributed_xfast.hpp"
+#include "baselines/range_partitioned.hpp"
+#include "obs/env.hpp"
+#include "pimtrie/config.hpp"
+#include "pimtrie/pim_trie.hpp"
+
+namespace ptrie::check {
+
+using core::BitString;
+
+std::string IndexAdapter::check_lcp(const BitString& tkey, std::size_t got,
+                                    const Oracle& live, const Oracle& ever) const {
+  (void)ever;
+  std::size_t want = live.lcp(tkey);
+  if (got != want)
+    return "lcp(" + (tkey.empty() ? std::string("-") : tkey.to_binary()) + ") = " +
+           std::to_string(got) + ", oracle says " + std::to_string(want);
+  return std::string();
+}
+
+namespace {
+
+std::size_t log2p(const pim::System& sys) {
+  return pimtrie::Config::log2_ceil(std::max<std::size_t>(sys.p(), 2));
+}
+
+// Deterministic structure-only phantom key for the default corruption
+// hook (inserted into the structure but never into the oracles, so the
+// differential content/count checks must fire).
+BitString phantom_key(int kind) {
+  return BitString::from_uint(0xFEEDFACEDEADBEEFull + static_cast<std::uint64_t>(kind),
+                              32);
+}
+
+// ---- PimTrie --------------------------------------------------------
+
+class PimTrieAdapter final : public IndexAdapter {
+ public:
+  PimTrieAdapter(pim::System& sys, std::uint64_t seed) : sys_(&sys) {
+    pimtrie::Config cfg;
+    cfg.seed = seed * 2654435761u + 17;
+    pt_ = std::make_unique<pimtrie::PimTrie>(sys, cfg);
+  }
+  std::string name() const override { return "pimtrie"; }
+
+  void build(const std::vector<BitString>& keys,
+             const std::vector<std::uint64_t>& values) override {
+    pt_->build(keys, values);
+  }
+  void insert(const std::vector<BitString>& keys,
+              const std::vector<std::uint64_t>& values) override {
+    pt_->batch_insert(keys, values);
+  }
+  void erase(const std::vector<BitString>& keys) override { pt_->batch_erase(keys); }
+  std::vector<std::size_t> lcp(const std::vector<BitString>& keys) override {
+    return pt_->batch_lcp(keys);
+  }
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> subtree(
+      const std::vector<BitString>& prefixes) override {
+    return pt_->batch_subtree(prefixes);
+  }
+  bool supports_get() const override { return true; }
+  std::vector<std::optional<std::uint64_t>> get(
+      const std::vector<BitString>& keys) override {
+    return pt_->batch_get(keys);
+  }
+
+  std::size_t key_count() const override { return pt_->key_count(); }
+  std::string check() const override { return pt_->debug_check(); }
+  std::string deep_check() const override {
+    // The occupancy invariants only hold with maintenance enabled.
+    if (obs::env::flag("PTRIE_NO_MAINT", "Disable PimTrie maintenance (tests)") ||
+        obs::env::flag("PTRIE_NO_PSPLIT", "Disable piece splitting (tests)"))
+      return std::string();
+    return pt_->debug_check_deep();
+  }
+
+  std::vector<std::pair<BitString, std::uint64_t>> collect() override {
+    auto all = pt_->debug_collect();
+    std::sort(all.begin(), all.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return all;
+  }
+
+  std::size_t round_envelope(OpKind op, std::size_t max_bits) const override {
+    (void)max_bits;
+    std::size_t lg = log2p(*sys_);
+    switch (op) {
+      case OpKind::kLcp:
+      case OpKind::kGet:
+        return 16 + 6 * lg;
+      case OpKind::kSubtree:
+        // Phase A/B as for LCP plus the per-level block-tree descent.
+        return 16 + 6 * lg + 2 * pt_->block_count() + 8;
+      default:
+        // Insert/erase add maintenance (re-partitioning, piece splits,
+        // scapegoat rebuilds, master broadcast).
+        return 64 + 16 * lg;
+    }
+  }
+
+  void corrupt(int kind) override {
+    if (kind <= 1) pt_->debug_corrupt(kind);
+    else pt_->batch_insert({phantom_key(kind)}, {0});
+  }
+
+ private:
+  pim::System* sys_;
+  std::unique_ptr<pimtrie::PimTrie> pt_;
+};
+
+// ---- Distributed radix tree -----------------------------------------
+
+class RadixAdapter final : public IndexAdapter {
+ public:
+  static constexpr unsigned kSpan = 4;
+  RadixAdapter(pim::System& sys, std::uint64_t seed)
+      : sys_(&sys), rt_(sys, kSpan, seed) {}
+  std::string name() const override { return "radix"; }
+
+  // Chunk-truncate: the radix baseline stores one tail slot per node, so
+  // keys sharing a node's chunk path but differing inside the final
+  // partial chunk would collide. Span-aligned keys avoid tails entirely.
+  BitString transform(const BitString& raw) const override {
+    return raw.prefix(raw.size() / kSpan * kSpan);
+  }
+
+  void build(const std::vector<BitString>& keys,
+             const std::vector<std::uint64_t>& values) override {
+    note_depths(keys);
+    rt_.build(keys, values);
+  }
+  void insert(const std::vector<BitString>& keys,
+              const std::vector<std::uint64_t>& values) override {
+    note_depths(keys);
+    rt_.batch_insert(keys, values);
+  }
+  void erase(const std::vector<BitString>& keys) override { rt_.batch_erase(keys); }
+  std::vector<std::size_t> lcp(const std::vector<BitString>& keys) override {
+    return rt_.batch_lcp(keys);
+  }
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> subtree(
+      const std::vector<BitString>& prefixes) override {
+    return rt_.batch_subtree(prefixes);
+  }
+
+  std::size_t key_count() const override { return rt_.key_count(); }
+  std::string check() const override { return rt_.debug_check(); }
+
+  std::string check_lcp(const BitString& tkey, std::size_t got, const Oracle& live,
+                        const Oracle& ever) const override {
+    // Chunk-granular answers; erased keys leave their chain nodes behind
+    // (this baseline never splices), so the walk can run deeper than the
+    // live set justifies — but never deeper than the ever-inserted set.
+    std::size_t lo = live.lcp(tkey) / kSpan * kSpan;
+    std::size_t hi = ever.lcp(tkey) / kSpan * kSpan;
+    if (got % kSpan != 0)
+      return "radix lcp " + std::to_string(got) + " not chunk-aligned";
+    if (got < lo || got > hi)
+      return "radix lcp(" + (tkey.empty() ? std::string("-") : tkey.to_binary()) +
+             ") = " + std::to_string(got) + " outside [" + std::to_string(lo) + ", " +
+             std::to_string(hi) + "]";
+    return std::string();
+  }
+
+  std::vector<std::pair<BitString, std::uint64_t>> collect() override {
+    return rt_.batch_subtree({BitString()})[0];
+  }
+
+  std::size_t round_envelope(OpKind op, std::size_t max_bits) const override {
+    std::size_t hops = max_bits / kSpan + 2;
+    if (op == OpKind::kSubtree) {
+      // Walk to the anchor (query hops) plus one BFS round per stored
+      // level below it — bounded by the deepest key ever inserted, not
+      // by the query length.
+      std::size_t levels = max_stored_bits_ / kSpan + 2;
+      return hops + levels + 8;
+    }
+    if (op == OpKind::kInsert || op == OpKind::kErase) return hops + 6;
+    return hops + 2;
+  }
+
+  void corrupt(int kind) override { rt_.batch_insert({phantom_key(kind)}, {0}); }
+
+ private:
+  void note_depths(const std::vector<BitString>& keys) {
+    for (const auto& k : keys) max_stored_bits_ = std::max(max_stored_bits_, k.size());
+  }
+
+  pim::System* sys_;
+  baselines::DistributedRadixTree rt_;
+  std::size_t max_stored_bits_ = 0;
+};
+
+// ---- Distributed x-fast trie ----------------------------------------
+
+class XFastAdapter final : public IndexAdapter {
+ public:
+  static constexpr unsigned kWidth = 64;
+  XFastAdapter(pim::System& sys, std::uint64_t seed)
+      : sys_(&sys), xf_(sys, kWidth, seed) {}
+  std::string name() const override { return "xfast"; }
+
+  // Fixed-width integers only (Table 1's (#) restriction): a raw key
+  // becomes its first 64 bits, zero-extended — exactly word 0 of the
+  // MSB-first packing.
+  BitString transform(const BitString& raw) const override {
+    return BitString::from_uint(raw.word(0), kWidth);
+  }
+  BitString transform_prefix(const BitString& raw) const override {
+    return raw.prefix(std::min<std::size_t>(raw.size(), kWidth));
+  }
+
+  void build(const std::vector<BitString>& keys,
+             const std::vector<std::uint64_t>& values) override {
+    xf_.build(to_ints(keys), values);
+  }
+  void insert(const std::vector<BitString>& keys,
+              const std::vector<std::uint64_t>& values) override {
+    xf_.batch_insert(to_ints(keys), values);
+  }
+  void erase(const std::vector<BitString>& keys) override {
+    xf_.batch_erase(to_ints(keys));
+  }
+  std::vector<std::size_t> lcp(const std::vector<BitString>& keys) override {
+    auto got = xf_.batch_lcp(to_ints(keys));
+    return {got.begin(), got.end()};
+  }
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> subtree(
+      const std::vector<BitString>& prefixes) override {
+    std::vector<std::pair<std::uint64_t, unsigned>> qs;
+    for (const auto& p : prefixes) {
+      unsigned len = static_cast<unsigned>(p.size());
+      qs.emplace_back(len == 0 ? 0 : p.word(0) >> (kWidth - len), len);
+    }
+    auto raw = xf_.batch_subtree(qs);
+    std::vector<std::vector<std::pair<BitString, std::uint64_t>>> out(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      for (const auto& [k, v] : raw[i])
+        out[i].emplace_back(BitString::from_uint(k, kWidth), v);
+      std::sort(out[i].begin(), out[i].end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+    }
+    return out;
+  }
+
+  std::size_t key_count() const override { return xf_.key_count(); }
+  std::string check() const override { return xf_.debug_check(); }
+
+  std::vector<std::pair<BitString, std::uint64_t>> collect() override {
+    return subtree({BitString()})[0];
+  }
+
+  std::size_t round_envelope(OpKind op, std::size_t max_bits) const override {
+    (void)max_bits;
+    if (op == OpKind::kLcp) return 10;  // binary search over log2(64) levels
+    return 3;
+  }
+
+  void corrupt(int kind) override {
+    xf_.batch_insert({0xFEEDFACEDEADBEEFull + static_cast<std::uint64_t>(kind)}, {0});
+  }
+
+ private:
+  static std::vector<std::uint64_t> to_ints(const std::vector<BitString>& keys) {
+    std::vector<std::uint64_t> out;
+    out.reserve(keys.size());
+    for (const auto& k : keys) out.push_back(k.word(0));
+    return out;
+  }
+
+  pim::System* sys_;
+  baselines::DistributedXFastTrie xf_;
+};
+
+// ---- Range-partitioned index ----------------------------------------
+
+class RangeAdapter final : public IndexAdapter {
+ public:
+  RangeAdapter(pim::System& sys, std::uint64_t seed) : sys_(&sys), rp_(sys, seed) {}
+  std::string name() const override { return "range"; }
+
+  void build(const std::vector<BitString>& keys,
+             const std::vector<std::uint64_t>& values) override {
+    rp_.build(keys, values);
+  }
+  void insert(const std::vector<BitString>& keys,
+              const std::vector<std::uint64_t>& values) override {
+    rp_.batch_insert(keys, values);
+  }
+  void erase(const std::vector<BitString>& keys) override { rp_.batch_erase(keys); }
+  std::vector<std::size_t> lcp(const std::vector<BitString>& keys) override {
+    return rp_.batch_lcp(keys);
+  }
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> subtree(
+      const std::vector<BitString>& prefixes) override {
+    return rp_.batch_subtree(prefixes);
+  }
+
+  std::size_t key_count() const override { return rp_.key_count(); }
+  std::string check() const override { return rp_.debug_check(); }
+
+  std::string check_lcp(const BitString& tkey, std::size_t got, const Oracle& live,
+                        const Oracle& ever) const override {
+    (void)ever;
+    // LCP only sees the routed module's range (keys straddling a
+    // separator boundary are the documented approximation), so the
+    // expectation is the oracle LCP restricted to that window.
+    const auto& seps = rp_.separators();
+    auto it = std::upper_bound(seps.begin(), seps.end(), tkey);
+    std::size_t m = static_cast<std::size_t>(it - seps.begin());
+    const BitString* lo = m > 0 ? &seps[m - 1] : nullptr;
+    const BitString* hi = m < seps.size() ? &seps[m] : nullptr;
+    std::size_t want = live.lcp_in_range(tkey, lo, hi);
+    if (got != want)
+      return "range lcp(" + (tkey.empty() ? std::string("-") : tkey.to_binary()) +
+             ") = " + std::to_string(got) + ", windowed oracle says " +
+             std::to_string(want);
+    return std::string();
+  }
+
+  std::vector<std::pair<BitString, std::uint64_t>> collect() override {
+    return rp_.batch_subtree({BitString()})[0];
+  }
+
+  std::size_t round_envelope(OpKind op, std::size_t max_bits) const override {
+    (void)op;
+    (void)max_bits;
+    return 3;  // every operation routes in a single round
+  }
+
+  void corrupt(int kind) override { rp_.batch_insert({phantom_key(kind)}, {0}); }
+
+ private:
+  pim::System* sys_;
+  baselines::RangePartitionedIndex rp_;
+};
+
+}  // namespace
+
+std::unique_ptr<IndexAdapter> make_adapter(const std::string& name, pim::System& sys,
+                                           std::uint64_t seed) {
+  if (name == "pimtrie") return std::make_unique<PimTrieAdapter>(sys, seed);
+  if (name == "radix") return std::make_unique<RadixAdapter>(sys, seed);
+  if (name == "xfast") return std::make_unique<XFastAdapter>(sys, seed);
+  if (name == "range") return std::make_unique<RangeAdapter>(sys, seed);
+  return nullptr;
+}
+
+}  // namespace ptrie::check

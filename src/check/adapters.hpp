@@ -1,0 +1,95 @@
+#pragma once
+// Uniform driver interface over the four index structures (PimTrie and
+// the three Table-1 baselines) for the differential fuzz harness. Each
+// adapter knows how to map raw schedule keys into its structure's key
+// domain (transform / transform_prefix), what its LCP answers promise
+// relative to the reference oracle (check_lcp — exact for PimTrie and
+// the x-fast trie, chunk-granular with retained delete chains for the
+// radix baseline, range-windowed for range partitioning), how to dump
+// its full contents for content cross-checks, how many IO rounds a
+// batch may legitimately take (round_envelope), and how to corrupt
+// itself for the harness's own mutation tests.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/oracle.hpp"
+#include "check/schedule.hpp"
+#include "core/bitstring.hpp"
+#include "pim/system.hpp"
+
+namespace ptrie::check {
+
+class IndexAdapter {
+ public:
+  virtual ~IndexAdapter() = default;
+  virtual std::string name() const = 0;
+
+  // Maps a raw schedule key into this structure's key domain. The
+  // oracles are fed transformed keys, so differential checks compare
+  // like with like.
+  virtual core::BitString transform(const core::BitString& raw) const { return raw; }
+  // Same for subtree prefixes (a prefix must stay a prefix: the x-fast
+  // adapter truncates instead of widening to full words).
+  virtual core::BitString transform_prefix(const core::BitString& raw) const {
+    return transform(raw);
+  }
+
+  virtual void build(const std::vector<core::BitString>& keys,
+                     const std::vector<std::uint64_t>& values) = 0;
+  virtual void insert(const std::vector<core::BitString>& keys,
+                      const std::vector<std::uint64_t>& values) = 0;
+  virtual void erase(const std::vector<core::BitString>& keys) = 0;
+  virtual std::vector<std::size_t> lcp(const std::vector<core::BitString>& keys) = 0;
+  virtual std::vector<std::vector<std::pair<core::BitString, std::uint64_t>>> subtree(
+      const std::vector<core::BitString>& prefixes) = 0;
+  virtual bool supports_get() const { return false; }
+  virtual std::vector<std::optional<std::uint64_t>> get(
+      const std::vector<core::BitString>& keys) {
+    return std::vector<std::optional<std::uint64_t>>(keys.size());
+  }
+
+  virtual std::size_t key_count() const = 0;
+  // Structural invariants ("" when healthy). deep_check() covers the
+  // occupancy/accounting invariants that only hold with maintenance on.
+  virtual std::string check() const = 0;
+  virtual std::string deep_check() const { return std::string(); }
+
+  // Differential LCP acceptance for one transformed query: "" when the
+  // structure's answer `got` is consistent with the oracles. `live`
+  // holds the current key set, `ever` every key ever inserted (needed by
+  // the radix baseline, whose delete retains chain nodes).
+  virtual std::string check_lcp(const core::BitString& tkey, std::size_t got,
+                                const Oracle& live, const Oracle& ever) const;
+
+  // Expected subtree answer for one transformed prefix.
+  virtual std::vector<std::pair<core::BitString, std::uint64_t>> expect_subtree(
+      const core::BitString& tprefix, const Oracle& live) const {
+    return live.subtree(tprefix);
+  }
+
+  // Every stored pair (transformed keys, lexicographic) — the full
+  // content cross-check. May issue rounds (baselines enumerate via a
+  // subtree query over the empty prefix).
+  virtual std::vector<std::pair<core::BitString, std::uint64_t>> collect() = 0;
+
+  // Upper bound on IO rounds for one batch of `op` whose longest key has
+  // `max_bits` bits (the harness's cost envelope).
+  virtual std::size_t round_envelope(OpKind op, std::size_t max_bits) const = 0;
+
+  // Test-only fault injection: perturb internal state (without telling
+  // the oracle) so the harness's checks must fire. Used by the mutation
+  // tests that prove the harness detects and shrinks real corruption.
+  virtual void corrupt(int kind) = 0;
+};
+
+// name: pimtrie | radix | xfast | range. Returns nullptr for unknown
+// names. The adapter keeps a reference to `sys` (one adapter per System).
+std::unique_ptr<IndexAdapter> make_adapter(const std::string& name, pim::System& sys,
+                                           std::uint64_t seed);
+
+}  // namespace ptrie::check

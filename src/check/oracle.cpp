@@ -1,0 +1,61 @@
+#include "check/oracle.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+namespace ptrie::check {
+
+using core::BitString;
+
+bool Oracle::insert(const BitString& key, std::uint64_t value) {
+  auto [it, fresh] = map_.insert_or_assign(key, value);
+  (void)it;
+  return fresh;
+}
+
+bool Oracle::erase(const BitString& key) { return map_.erase(key) != 0; }
+
+std::optional<std::uint64_t> Oracle::find(const BitString& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t Oracle::lcp(const BitString& q) const {
+  return lcp_in_range(q, nullptr, nullptr);
+}
+
+std::size_t Oracle::lcp_in_range(const BitString& q, const BitString* lo,
+                                 const BitString* hi) const {
+  auto first = lo ? map_.lower_bound(*lo) : map_.begin();
+  auto last = hi ? map_.lower_bound(*hi) : map_.end();
+  if (first == last) return 0;
+  // The LCP maximizer over a lexicographically sorted window is adjacent
+  // to q's insertion point clamped into [first, last].
+  auto it = map_.lower_bound(q);
+  if (lo && q < *lo) it = first;
+  if (hi && !(q < *hi)) it = last;
+  std::size_t best = 0;
+  if (it != last) best = std::max(best, q.lcp(it->first));
+  if (it != first) best = std::max(best, q.lcp(std::prev(it)->first));
+  return best;
+}
+
+std::vector<std::pair<BitString, std::uint64_t>> Oracle::subtree(
+    const BitString& prefix) const {
+  std::vector<std::pair<BitString, std::uint64_t>> out;
+  // Keys extending `prefix` form a contiguous run starting at
+  // lower_bound(prefix) in lexicographic order (a proper prefix sorts
+  // before its extensions).
+  for (auto it = map_.lower_bound(prefix); it != map_.end(); ++it) {
+    if (!prefix.is_prefix_of(it->first)) break;
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+std::vector<std::pair<BitString, std::uint64_t>> Oracle::all() const {
+  return {map_.begin(), map_.end()};
+}
+
+}  // namespace ptrie::check

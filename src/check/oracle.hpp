@@ -1,0 +1,54 @@
+#pragma once
+// Host-side reference oracle for differential testing: a plain sorted
+// map over bit-strings with the exact batch semantics of the paper's
+// operations (last-write-wins inserts, no-op deletes of absent keys,
+// LCP against the live set, lexicographic subtree enumeration). Every
+// index structure under fuzz (src/check/adapters.hpp) is cross-checked
+// against one of these after each batch.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/bitstring.hpp"
+
+namespace ptrie::check {
+
+class Oracle {
+ public:
+  // Returns true when the key was not present (fresh insert); a
+  // duplicate overwrites the value, matching every structure's contract.
+  bool insert(const core::BitString& key, std::uint64_t value);
+  // Returns true when the key was present (absent keys are no-ops).
+  bool erase(const core::BitString& key);
+
+  std::optional<std::uint64_t> find(const core::BitString& key) const;
+
+  // LCP length in bits of `q` against the stored set (0 when empty).
+  // In lexicographic order the maximizer is always a neighbor of q, so
+  // only the predecessor and successor are examined.
+  std::size_t lcp(const core::BitString& q) const;
+
+  // LCP restricted to stored keys k with lo <= k < hi (either bound
+  // optional) — the per-range expectation for the range-partitioned
+  // baseline, whose LCP only sees the routed module's keys.
+  std::size_t lcp_in_range(const core::BitString& q,
+                           const core::BitString* lo,
+                           const core::BitString* hi) const;
+
+  // All stored pairs with `prefix` as a prefix, lexicographic order.
+  std::vector<std::pair<core::BitString, std::uint64_t>> subtree(
+      const core::BitString& prefix) const;
+
+  // Every stored pair in lexicographic order.
+  std::vector<std::pair<core::BitString, std::uint64_t>> all() const;
+
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::map<core::BitString, std::uint64_t> map_;
+};
+
+}  // namespace ptrie::check

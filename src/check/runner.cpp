@@ -1,0 +1,217 @@
+#include "check/runner.hpp"
+
+#include <algorithm>
+
+#include "check/adapters.hpp"
+#include "check/oracle.hpp"
+#include "pim/system.hpp"
+
+namespace ptrie::check {
+
+using core::BitString;
+
+namespace {
+
+std::string key_str(const BitString& k) {
+  return k.empty() ? std::string("-") : k.to_binary();
+}
+
+// First difference between two sorted (key, value) lists, or "".
+std::string diff_lists(const std::vector<std::pair<BitString, std::uint64_t>>& got,
+                       const std::vector<std::pair<BitString, std::uint64_t>>& want) {
+  for (std::size_t i = 0; i < std::min(got.size(), want.size()); ++i) {
+    if (got[i].first != want[i].first)
+      return "entry " + std::to_string(i) + ": key " + key_str(got[i].first) +
+             " vs oracle " + key_str(want[i].first);
+    if (got[i].second != want[i].second)
+      return "entry " + std::to_string(i) + " (" + key_str(got[i].first) + "): value " +
+             std::to_string(got[i].second) + " vs oracle " + std::to_string(want[i].second);
+  }
+  if (got.size() != want.size())
+    return "size " + std::to_string(got.size()) + " vs oracle " +
+           std::to_string(want.size());
+  return std::string();
+}
+
+}  // namespace
+
+RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
+  RunResult res;
+  pim::System sys(s.p, s.seed * 0x9E3779B97F4A7C15ull + 0xC43C5);
+  auto adapter = make_adapter(s.structure, sys, s.seed);
+  if (!adapter) {
+    res.ok = false;
+    res.error = "unknown structure '" + s.structure + "'";
+    return res;
+  }
+  Oracle live, ever;
+
+  auto fail = [&](std::size_t batch, std::string why) {
+    res.ok = false;
+    res.fail_batch = batch;
+    res.error = std::move(why);
+  };
+
+  // Post-batch checks: differential key count, structural invariants,
+  // deep invariants, optionally the full content cross-check.
+  auto post_checks = [&](std::size_t bi, bool content) -> bool {
+    ++res.checks;
+    if (adapter->key_count() != live.size()) {
+      fail(bi, "key_count " + std::to_string(adapter->key_count()) + " != oracle " +
+                   std::to_string(live.size()));
+      return false;
+    }
+    ++res.checks;
+    if (std::string p = adapter->check(); !p.empty()) {
+      fail(bi, "invariant violated: " + p);
+      return false;
+    }
+    if (opt.deep) {
+      ++res.checks;
+      if (std::string p = adapter->deep_check(); !p.empty()) {
+        fail(bi, "deep invariant violated: " + p);
+        return false;
+      }
+    }
+    if (content) {
+      ++res.checks;
+      if (std::string d = diff_lists(adapter->collect(), live.all()); !d.empty()) {
+        fail(bi, "content mismatch: " + d);
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Initial bulk load.
+  {
+    std::vector<BitString> tkeys;
+    tkeys.reserve(s.init_keys.size());
+    for (const auto& k : s.init_keys) tkeys.push_back(adapter->transform(k));
+    adapter->build(tkeys, s.init_values);
+    for (std::size_t i = 0; i < tkeys.size(); ++i) {
+      live.insert(tkeys[i], s.init_values[i]);
+      ever.insert(tkeys[i], s.init_values[i]);
+    }
+    res.ops += tkeys.size();
+    if (opt.corrupt_kind >= 0 && opt.corrupt_from == 0 && s.batches.empty())
+      adapter->corrupt(opt.corrupt_kind);
+    if (!post_checks(kNoBatch, true)) return res;
+  }
+
+  for (std::size_t bi = 0; bi < s.batches.size(); ++bi) {
+    const Batch& b = s.batches[bi];
+    std::vector<BitString> tkeys;
+    tkeys.reserve(b.keys.size());
+    std::size_t max_bits = 0;
+    for (const auto& k : b.keys) {
+      tkeys.push_back(b.op == OpKind::kSubtree ? adapter->transform_prefix(k)
+                                               : adapter->transform(k));
+      max_bits = std::max(max_bits, tkeys.back().size());
+    }
+    res.ops += tkeys.size();
+
+    auto before = sys.metrics().snapshot();
+    bool query_ok = true;
+    switch (b.op) {
+      case OpKind::kInsert: {
+        adapter->insert(tkeys, b.values);
+        for (std::size_t i = 0; i < tkeys.size(); ++i) {
+          live.insert(tkeys[i], b.values[i]);
+          ever.insert(tkeys[i], b.values[i]);
+        }
+        break;
+      }
+      case OpKind::kErase: {
+        adapter->erase(tkeys);
+        for (const auto& k : tkeys) live.erase(k);
+        break;
+      }
+      case OpKind::kLcp: {
+        auto got = adapter->lcp(tkeys);
+        for (std::size_t i = 0; i < tkeys.size() && query_ok; ++i) {
+          ++res.checks;
+          if (std::string e = adapter->check_lcp(tkeys[i], got[i], live, ever);
+              !e.empty()) {
+            fail(bi, e);
+            query_ok = false;
+          }
+        }
+        break;
+      }
+      case OpKind::kSubtree: {
+        auto got = adapter->subtree(tkeys);
+        for (std::size_t i = 0; i < tkeys.size() && query_ok; ++i) {
+          ++res.checks;
+          if (std::string d = diff_lists(got[i], adapter->expect_subtree(tkeys[i], live));
+              !d.empty()) {
+            fail(bi, "subtree(" + key_str(tkeys[i]) + "): " + d);
+            query_ok = false;
+          }
+        }
+        break;
+      }
+      case OpKind::kGet: {
+        auto got = adapter->get(tkeys);
+        for (std::size_t i = 0; i < tkeys.size() && query_ok; ++i) {
+          ++res.checks;
+          auto want = live.find(tkeys[i]);
+          if (got[i] != want) {
+            fail(bi, "get(" + key_str(tkeys[i]) + ") = " +
+                         (got[i] ? std::to_string(*got[i]) : "absent") + ", oracle says " +
+                         (want ? std::to_string(*want) : "absent"));
+            query_ok = false;
+          }
+        }
+        break;
+      }
+    }
+    if (!query_ok) return res;
+
+    // Cost envelopes over the batch's own rounds (checks and the
+    // corruption hook below issue rounds of their own, measured never).
+    auto after = sys.metrics().snapshot();
+    std::size_t batch_rounds = after.rounds - before.rounds;
+    res.max_batch_rounds = std::max(res.max_batch_rounds, batch_rounds);
+    if (opt.envelopes) {
+      ++res.checks;
+      std::size_t cap = adapter->round_envelope(b.op, max_bits);
+      if (batch_rounds > cap) {
+        fail(bi, std::string(op_name(b.op)) + " batch took " +
+                     std::to_string(batch_rounds) + " rounds, envelope " +
+                     std::to_string(cap));
+        return res;
+      }
+      // Per-batch communication imbalance: only PimTrie claims skew
+      // resistance, and only sizable batches are statistically meaningful.
+      if (s.structure == "pimtrie") {
+        std::uint64_t total = after.words - before.words, mx = 0;
+        for (std::size_t m = 0; m < after.module_words.size(); ++m)
+          mx = std::max(mx, after.module_words[m] - before.module_words[m]);
+        if (total >= 256 * sys.p()) {
+          double imb = static_cast<double>(mx) * static_cast<double>(sys.p()) /
+                       static_cast<double>(total);
+          res.max_imbalance = std::max(res.max_imbalance, imb);
+          ++res.checks;
+          double bound = std::max(3.5, 0.8 * static_cast<double>(sys.p()));
+          if (imb > bound) {
+            fail(bi, "per-batch comm imbalance " + std::to_string(imb) + " > bound " +
+                         std::to_string(bound));
+            return res;
+          }
+        }
+      }
+    }
+
+    if (opt.corrupt_kind >= 0 && bi >= opt.corrupt_from)
+      adapter->corrupt(opt.corrupt_kind);
+
+    bool content = (opt.content_every != 0 && (bi + 1) % opt.content_every == 0) ||
+                   bi + 1 == s.batches.size();
+    if (!post_checks(bi, content)) return res;
+  }
+  res.rounds = sys.metrics().io_rounds();
+  return res;
+}
+
+}  // namespace ptrie::check

@@ -1,0 +1,47 @@
+#pragma once
+// Differential schedule runner: drives one index structure through a
+// Schedule, cross-checking every batch against the reference oracle,
+// running the structure's deep invariants, and asserting cost envelopes
+// (bounded IO rounds per batch, bounded per-batch communication
+// imbalance for PimTrie). Fails fast: the first violated check aborts
+// the run with the failing batch index and a description, which is what
+// the shrinker (src/check/shrink.hpp) minimizes against.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "check/schedule.hpp"
+
+namespace ptrie::check {
+
+inline constexpr std::size_t kNoBatch = static_cast<std::size_t>(-1);
+
+struct CheckOptions {
+  bool deep = true;        // run deep_check() after every batch
+  bool envelopes = true;   // assert round/imbalance cost envelopes
+  // Full content cross-check (collect() vs oracle) every N batches and
+  // after the final batch; 0 disables the periodic checks.
+  std::size_t content_every = 8;
+  // Test-only mutation hook: when >= 0, adapter.corrupt(corrupt_kind)
+  // fires after applying every batch with index >= corrupt_from, before
+  // that batch's checks run — so a corrupted run fails at the first
+  // hooked batch and shrinks to a minimal schedule.
+  int corrupt_kind = -1;
+  std::size_t corrupt_from = 0;
+};
+
+struct RunResult {
+  bool ok = true;
+  std::size_t fail_batch = kNoBatch;  // kNoBatch: during initial build
+  std::string error;
+  std::size_t ops = 0;     // keys applied (init + batches reached)
+  std::size_t checks = 0;  // individual assertions evaluated
+  std::size_t rounds = 0;  // total IO rounds issued (determinism probe)
+  std::size_t max_batch_rounds = 0;  // worst per-batch rounds seen
+  double max_imbalance = 0.0;        // worst per-batch comm imbalance seen
+};
+
+RunResult run_schedule(const Schedule& s, const CheckOptions& opt = {});
+
+}  // namespace ptrie::check

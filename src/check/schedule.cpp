@@ -1,0 +1,252 @@
+#include "check/schedule.hpp"
+
+#include <sstream>
+
+#include "core/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace ptrie::check {
+
+using core::BitString;
+using core::Rng;
+
+const char* op_name(OpKind op) {
+  switch (op) {
+    case OpKind::kInsert: return "insert";
+    case OpKind::kErase: return "erase";
+    case OpKind::kLcp: return "lcp";
+    case OpKind::kSubtree: return "subtree";
+    case OpKind::kGet: return "get";
+  }
+  return "?";
+}
+
+namespace {
+
+bool op_from_name(const std::string& s, OpKind* out) {
+  for (OpKind op : {OpKind::kInsert, OpKind::kErase, OpKind::kLcp, OpKind::kSubtree,
+                    OpKind::kGet}) {
+    if (s == op_name(op)) {
+      *out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+BitString random_key(Rng& rng, std::size_t max_bits) {
+  std::size_t len = rng.below(max_bits + 1);
+  BitString k;
+  for (std::size_t i = 0; i < len; ++i) k.push_back(rng.coin());
+  return k;
+}
+
+// Near-miss mutations of a pool key: truncate, extend, or flip one bit.
+BitString mutate_key(const BitString& k, Rng& rng, std::size_t max_bits) {
+  if (k.empty()) return random_key(rng, 8);
+  switch (rng.below(3)) {
+    case 0:
+      return k.prefix(1 + rng.below(k.size()));
+    case 1: {
+      BitString out = k;
+      std::size_t extra = 1 + rng.below(8);
+      for (std::size_t i = 0; i < extra && out.size() < max_bits; ++i)
+        out.push_back(rng.coin());
+      return out;
+    }
+    default: {
+      std::size_t i = rng.below(k.size());
+      BitString out = k.prefix(i);
+      out.push_back(!k.bit(i));
+      out.append_slice(k, i + 1, k.size() - i - 1);
+      return out;
+    }
+  }
+}
+
+std::string key_token(const BitString& k) {
+  return k.empty() ? std::string("-") : k.to_binary();
+}
+
+bool parse_key(const std::string& tok, BitString* out) {
+  if (tok == "-") {
+    *out = BitString();
+    return true;
+  }
+  for (char c : tok)
+    if (c != '0' && c != '1') return false;
+  *out = BitString::from_binary(tok);
+  return true;
+}
+
+}  // namespace
+
+std::size_t Schedule::op_count() const {
+  std::size_t n = init_keys.size();
+  for (const auto& b : batches) n += b.keys.size();
+  return n;
+}
+
+Schedule make_schedule(const std::string& structure, const std::string& profile,
+                       std::uint64_t seed, const GenParams& gp) {
+  Schedule s;
+  s.structure = structure;
+  s.profile = profile;
+  s.seed = seed;
+  // Mix the profile into the stream so the same seed explores different
+  // key material per profile; p cycles through small machine sizes.
+  std::uint64_t mix = seed;
+  for (char c : profile) mix = mix * 131 + static_cast<unsigned char>(c);
+  Rng rng(mix * 0x9E3779B97F4A7C15ull + 1);
+  s.p = std::size_t{1} << (1 + seed % 3);  // 2, 4, or 8 modules
+
+  // Key pool by profile.
+  std::vector<BitString> pool;
+  std::uint64_t d1 = rng(), d2 = rng();
+  if (profile == "cluster") {
+    for (auto& k : workload::shared_prefix_keys(gp.init_n, 40, 24, d1)) pool.push_back(k);
+    for (auto& k : workload::caterpillar_keys(24, 5, d2)) pool.push_back(k);
+  } else if (profile == "dup") {
+    // Adversarial-duplicate universe: a handful of keys hammered from
+    // every batch, so dup-insert / repeat-delete paths dominate.
+    for (auto& k : workload::variable_length_keys(12, 8, 40, d1)) pool.push_back(k);
+  } else {  // uniform, zipf
+    for (auto& k : workload::uniform_keys(gp.init_n, 48, d1)) pool.push_back(k);
+    for (auto& k : workload::variable_length_keys(gp.init_n / 2, 8, gp.max_bits, d2))
+      pool.push_back(k);
+  }
+
+  // Zipf-skewed pool picks: pre-draw one ranked sample stream.
+  std::vector<BitString> zipf_stream;
+  std::size_t zipf_at = 0;
+  if (profile == "zipf")
+    zipf_stream =
+        workload::zipf_queries(pool, gp.n_batches * gp.batch_cap + 1, 0.99, rng());
+
+  auto pool_pick = [&]() -> const BitString& {
+    if (!zipf_stream.empty()) {
+      const BitString& k = zipf_stream[zipf_at];
+      zipf_at = (zipf_at + 1) % zipf_stream.size();
+      return k;
+    }
+    return pool[rng.below(pool.size())];
+  };
+  auto draw_key = [&]() -> BitString {
+    std::uint64_t roll = rng.below(10);
+    std::size_t hit = profile == "dup" ? 9 : 6;
+    if (roll < hit) return pool_pick();
+    if (roll < 8) return mutate_key(pool_pick(), rng, gp.max_bits);
+    return random_key(rng, gp.max_bits);
+  };
+
+  // Initial bulk load.
+  std::size_t init_n = std::min(gp.init_n, pool.size());
+  for (std::size_t i = 0; i < init_n; ++i) {
+    s.init_keys.push_back(pool[i]);
+    s.init_values.push_back(rng.below(1u << 16));
+  }
+
+  bool with_get = structure == "pimtrie";
+  for (std::size_t b = 0; b < gp.n_batches; ++b) {
+    Batch batch;
+    std::uint64_t roll = rng.below(100);
+    if (roll < 30) batch.op = OpKind::kInsert;
+    else if (roll < 55) batch.op = OpKind::kErase;
+    else if (roll < 75) batch.op = OpKind::kLcp;
+    else if (roll < 85) batch.op = OpKind::kSubtree;
+    else batch.op = with_get ? OpKind::kGet : OpKind::kLcp;
+
+    if (batch.op == OpKind::kSubtree) {
+      // Subtree answers can be large; keep these batches narrow and use
+      // prefixes of pool keys (plus the occasional empty/full prefix).
+      std::size_t n = 1 + rng.below(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        const BitString& base = pool_pick();
+        batch.keys.push_back(base.prefix(rng.below(base.size() + 1)));
+      }
+    } else {
+      std::size_t n = 1 + rng.below(gp.batch_cap);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.keys.push_back(draw_key());
+        if (batch.op == OpKind::kInsert) batch.values.push_back(rng.below(1u << 16));
+      }
+    }
+    s.batches.push_back(std::move(batch));
+  }
+  return s;
+}
+
+std::string serialize(const Schedule& s) {
+  std::ostringstream out;
+  out << "ptrie-fuzz-schedule v1\n";
+  out << "structure " << s.structure << "\n";
+  out << "profile " << s.profile << "\n";
+  out << "p " << s.p << "\n";
+  out << "seed " << s.seed << "\n";
+  out << "init " << s.init_keys.size() << "\n";
+  for (std::size_t i = 0; i < s.init_keys.size(); ++i)
+    out << key_token(s.init_keys[i]) << " " << s.init_values[i] << "\n";
+  out << "batches " << s.batches.size() << "\n";
+  for (const auto& b : s.batches) {
+    out << "batch " << op_name(b.op) << " " << b.keys.size() << "\n";
+    for (std::size_t i = 0; i < b.keys.size(); ++i) {
+      out << key_token(b.keys[i]);
+      if (b.op == OpKind::kInsert) out << " " << b.values[i];
+      out << "\n";
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+bool parse(const std::string& text, Schedule* out, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error) *error = why;
+    return false;
+  };
+  std::istringstream in(text);
+  std::string magic, version;
+  if (!(in >> magic >> version) || magic != "ptrie-fuzz-schedule" || version != "v1")
+    return fail("bad header (want 'ptrie-fuzz-schedule v1')");
+  Schedule s;
+  std::string tag;
+  std::size_t n_init = 0, n_batches = 0;
+  if (!(in >> tag >> s.structure) || tag != "structure") return fail("missing structure");
+  if (!(in >> tag >> s.profile) || tag != "profile") return fail("missing profile");
+  if (!(in >> tag >> s.p) || tag != "p" || s.p == 0) return fail("missing p");
+  if (!(in >> tag >> s.seed) || tag != "seed") return fail("missing seed");
+  if (!(in >> tag >> n_init) || tag != "init") return fail("missing init count");
+  for (std::size_t i = 0; i < n_init; ++i) {
+    std::string ktok;
+    std::uint64_t v;
+    BitString k;
+    if (!(in >> ktok >> v) || !parse_key(ktok, &k)) return fail("bad init pair");
+    s.init_keys.push_back(std::move(k));
+    s.init_values.push_back(v);
+  }
+  if (!(in >> tag >> n_batches) || tag != "batches") return fail("missing batch count");
+  for (std::size_t b = 0; b < n_batches; ++b) {
+    std::string opname;
+    std::size_t n = 0;
+    Batch batch;
+    if (!(in >> tag >> opname >> n) || tag != "batch" || !op_from_name(opname, &batch.op))
+      return fail("bad batch header");
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string ktok;
+      BitString k;
+      if (!(in >> ktok) || !parse_key(ktok, &k)) return fail("bad batch key");
+      batch.keys.push_back(std::move(k));
+      if (batch.op == OpKind::kInsert) {
+        std::uint64_t v;
+        if (!(in >> v)) return fail("missing insert value");
+        batch.values.push_back(v);
+      }
+    }
+    s.batches.push_back(std::move(batch));
+  }
+  if (!(in >> tag) || tag != "end") return fail("missing end marker");
+  *out = std::move(s);
+  return true;
+}
+
+}  // namespace ptrie::check

@@ -1,0 +1,61 @@
+#pragma once
+// Randomized batch schedules for the differential fuzz harness: a
+// Schedule is a fully self-contained description of one run — target
+// structure, machine size, an initial bulk-load key set, and a sequence
+// of mixed Insert/Delete/LCP/Subtree/Get batches. Schedules are derived
+// deterministically from a seed (make_schedule) and round-trip through
+// a line-oriented text format (serialize/parse) so any failure is
+// replayable from a single file — the shrinker re-serializes minimized
+// schedules in the same format.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bitstring.hpp"
+
+namespace ptrie::check {
+
+enum class OpKind { kInsert, kErase, kLcp, kSubtree, kGet };
+
+const char* op_name(OpKind op);
+
+struct Batch {
+  OpKind op = OpKind::kLcp;
+  std::vector<core::BitString> keys;
+  // Parallel to keys; meaningful for kInsert only.
+  std::vector<std::uint64_t> values;
+};
+
+struct Schedule {
+  std::string structure = "pimtrie";  // pimtrie | radix | xfast | range
+  std::string profile = "uniform";    // uniform | zipf | cluster | dup
+  std::size_t p = 4;                  // PIM modules
+  std::uint64_t seed = 1;
+  std::vector<core::BitString> init_keys;
+  std::vector<std::uint64_t> init_values;
+  std::vector<Batch> batches;
+
+  std::size_t op_count() const;  // init keys + sum of batch sizes
+};
+
+struct GenParams {
+  std::size_t n_batches = 30;
+  std::size_t batch_cap = 24;  // max keys per batch
+  std::size_t init_n = 64;     // initial bulk-load size
+  std::size_t max_bits = 96;   // longest generated key
+};
+
+// Deterministic schedule from (structure, profile, seed). Key material
+// mixes workload-generator pools (uniform / Zipf-sampled / shared-prefix
+// clustered / tiny adversarial-duplicate universes) with mutated and
+// fresh keys so hit, near-miss and miss paths are all exercised.
+Schedule make_schedule(const std::string& structure, const std::string& profile,
+                       std::uint64_t seed, const GenParams& gp = {});
+
+// Text round-trip. parse() returns false and fills `error` on malformed
+// input; serialize(parse(s)) == s for schedules produced here.
+std::string serialize(const Schedule& s);
+bool parse(const std::string& text, Schedule* out, std::string* error);
+
+}  // namespace ptrie::check

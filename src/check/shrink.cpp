@@ -1,0 +1,133 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+
+namespace ptrie::check {
+
+namespace {
+
+// Removes [start, start+len) from a batch's keys (and values, when the
+// batch carries them).
+void drop_ops(Batch* b, std::size_t start, std::size_t len) {
+  b->keys.erase(b->keys.begin() + start, b->keys.begin() + start + len);
+  if (!b->values.empty())
+    b->values.erase(b->values.begin() + start, b->values.begin() + start + len);
+}
+
+}  // namespace
+
+Schedule shrink(const Schedule& failing, const CheckOptions& opt, std::size_t max_runs,
+                ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats ? *stats : local;
+
+  Schedule cur = failing;
+
+  auto still_fails = [&](const Schedule& cand) {
+    if (st.runs >= max_runs) return false;  // budget spent: accept nothing more
+    ++st.runs;
+    return !run_schedule(cand, opt).ok;
+  };
+  auto accept = [&](Schedule&& cand) {
+    cur = std::move(cand);
+    ++st.accepted;
+  };
+
+  RunResult first = run_schedule(cur, opt);
+  ++st.runs;
+  if (first.ok) return cur;
+
+  // Everything after the failing batch is irrelevant (the runner fails
+  // fast), so truncate before searching.
+  if (first.fail_batch != kNoBatch && first.fail_batch + 1 < cur.batches.size())
+    cur.batches.resize(first.fail_batch + 1);
+
+  // Chunked removal over a sequence of `size()` elements: repeatedly try
+  // deleting [start, start+chunk) from the end backwards, halving the
+  // chunk when a full scan makes no progress (delta-debugging style).
+  auto chunked_removal = [&](auto size, auto remove_chunk) {
+    std::size_t chunk = std::max<std::size_t>(size(cur) / 2, 1);
+    while (st.runs < max_runs) {
+      bool progress = false;
+      std::size_t start = size(cur);
+      while (start >= chunk && st.runs < max_runs) {
+        Schedule cand = cur;
+        remove_chunk(cand, start - chunk, chunk);
+        if (still_fails(cand)) {
+          accept(std::move(cand));
+          progress = true;
+        }
+        // Whether or not the removal was kept, continue scanning to the
+        // left of the attempted window.
+        start -= chunk;
+        start = std::min(start, size(cur));
+      }
+      if (!progress) {
+        if (chunk == 1) break;
+        chunk /= 2;
+      } else {
+        chunk = std::min(chunk, std::max<std::size_t>(size(cur), 1));
+      }
+    }
+  };
+
+  // Pass 1: drop whole batches.
+  chunked_removal([](const Schedule& s) { return s.batches.size(); },
+                  [](Schedule& s, std::size_t at, std::size_t n) {
+                    s.batches.erase(s.batches.begin() + at, s.batches.begin() + at + n);
+                  });
+
+  // Pass 2: drop initial keys.
+  chunked_removal([](const Schedule& s) { return s.init_keys.size(); },
+                  [](Schedule& s, std::size_t at, std::size_t n) {
+                    s.init_keys.erase(s.init_keys.begin() + at,
+                                      s.init_keys.begin() + at + n);
+                    s.init_values.erase(s.init_values.begin() + at,
+                                        s.init_values.begin() + at + n);
+                  });
+
+  // Pass 3: drop individual ops inside each surviving batch (scanned by
+  // index; batch bi may disappear when its last op goes).
+  for (std::size_t bi = cur.batches.size(); bi-- > 0 && st.runs < max_runs;) {
+    if (bi >= cur.batches.size()) continue;
+    chunked_removal(
+        [bi](const Schedule& s) {
+          return bi < s.batches.size() ? s.batches[bi].keys.size() : 0;
+        },
+        [bi](Schedule& s, std::size_t at, std::size_t n) {
+          drop_ops(&s.batches[bi], at, n);
+          if (s.batches[bi].keys.empty()) s.batches.erase(s.batches.begin() + bi);
+        });
+  }
+
+  // Pass 4: shorten keys to halving prefixes, init keys then batch keys.
+  bool progress = true;
+  while (progress && st.runs < max_runs) {
+    progress = false;
+    for (std::size_t i = 0; i < cur.init_keys.size(); ++i) {
+      while (cur.init_keys[i].size() >= 2 && st.runs < max_runs) {
+        Schedule cand = cur;
+        cand.init_keys[i] = cand.init_keys[i].prefix(cand.init_keys[i].size() / 2);
+        if (!still_fails(cand)) break;
+        accept(std::move(cand));
+        progress = true;
+      }
+    }
+    for (std::size_t bi = 0; bi < cur.batches.size(); ++bi) {
+      for (std::size_t i = 0; i < cur.batches[bi].keys.size(); ++i) {
+        while (cur.batches[bi].keys[i].size() >= 2 && st.runs < max_runs) {
+          Schedule cand = cur;
+          cand.batches[bi].keys[i] =
+              cand.batches[bi].keys[i].prefix(cand.batches[bi].keys[i].size() / 2);
+          if (!still_fails(cand)) break;
+          accept(std::move(cand));
+          progress = true;
+        }
+      }
+    }
+  }
+
+  return cur;
+}
+
+}  // namespace ptrie::check

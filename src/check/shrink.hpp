@@ -1,0 +1,26 @@
+#pragma once
+// Greedy schedule minimizer: given a failing Schedule, repeatedly
+// re-runs candidate simplifications and keeps any that still fail —
+// first dropping whole batches (chunked, delta-debugging style), then
+// dropping initial keys, then individual ops inside batches, then
+// shortening keys. Deterministic (the runner is), bounded by a re-run
+// budget, and the result serializes to a replayable file.
+
+#include <cstddef>
+
+#include "check/runner.hpp"
+#include "check/schedule.hpp"
+
+namespace ptrie::check {
+
+struct ShrinkStats {
+  std::size_t runs = 0;      // schedules re-executed
+  std::size_t accepted = 0;  // simplifications kept
+};
+
+// Returns the minimized schedule (the input itself if it does not fail
+// under `opt`, or if the budget is exhausted before any progress).
+Schedule shrink(const Schedule& failing, const CheckOptions& opt,
+                std::size_t max_runs = 400, ShrinkStats* stats = nullptr);
+
+}  // namespace ptrie::check

@@ -18,7 +18,10 @@ std::uint64_t SecondLayerIndex::pad(const BitString& s, bool ones) const {
   // word(0) already has bits MSB-aligned in 64; shifting by (64-w_) puts
   // bit 0 of the string at integer bit w_-1. Bits below |s| are zero.
   if (ones && s.size() < w_) {
-    std::uint64_t fill = (std::uint64_t{1} << (w_ - s.size())) - 1;
+    // w_ - |s| can be 64 (empty string, full-width index): a plain shift
+    // would be UB and silently produce an all-zeros fill on x86.
+    std::uint64_t fill = w_ - s.size() >= 64 ? ~std::uint64_t{0}
+                                             : (std::uint64_t{1} << (w_ - s.size())) - 1;
     v |= fill;
   }
   return v;
@@ -153,6 +156,45 @@ std::optional<SecondLayerIndex::Result> SecondLayerIndex::query(const BitString&
   }
   if (!have) return std::nullopt;
   return best;
+}
+
+std::string SecondLayerIndex::debug_check() const {
+  std::string problems;
+  auto complain = [&](const std::string& s) {
+    if (problems.size() < 2000) problems += s + "\n";
+  };
+  for (const auto& [s, payload] : by_string_) {
+    if (s.size() >= w_) complain("stored string as long as w: " + s.to_binary());
+    unsigned len = static_cast<unsigned>(s.size());
+    for (bool ones : {false, true}) {
+      std::uint64_t padded = pad(s, ones);
+      auto it = validity_.find(padded);
+      if (it == validity_.end() || !(it->second >> len & 1)) {
+        complain("missing validity bit for " + s.to_binary());
+      } else if (!order_.contains(padded)) {
+        complain("padded key absent from y-fast trie for " + s.to_binary());
+      }
+    }
+  }
+  std::size_t bits = 0;
+  for (const auto& [padded, mask] : validity_) {
+    if (mask == 0) complain("empty validity mask retained");
+    if (!order_.contains(padded)) complain("validity key absent from y-fast trie");
+    for (unsigned len = 0; len < 64; ++len) {
+      if (!(mask >> len & 1)) continue;
+      ++bits;
+      BitString s = BitString::from_uint(len == 0 ? 0 : (padded >> (w_ - len)), len);
+      if (!by_string_.contains(s))
+        complain("validity bit without stored string: " + s.to_binary());
+    }
+  }
+  // Each stored string contributes a bit at both paddings; the paddings
+  // coincide exactly for full-width strings, which insert() forbids.
+  if (bits != 2 * by_string_.size())
+    complain("validity bit count mismatch: " + std::to_string(bits) + " bits vs " +
+             std::to_string(by_string_.size()) + " strings, w=" + std::to_string(w_));
+  if (order_.size() != validity_.size()) complain("y-fast size != validity size");
+  return problems;
 }
 
 std::size_t SecondLayerIndex::space_words() const {

@@ -48,6 +48,12 @@ class SecondLayerIndex {
 
   std::size_t space_words() const;
 
+  // Structural invariants: every stored string owns validity bits at both
+  // paddings, every validity bit reconstructs to a stored string, and the
+  // y-fast trie holds exactly the validity keys. Returns a human-readable
+  // violation description, or "" if healthy.
+  std::string debug_check() const;
+
  private:
   std::uint64_t pad(const core::BitString& s, bool ones) const;
   void add_validity(std::uint64_t padded, unsigned len);

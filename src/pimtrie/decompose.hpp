@@ -1,0 +1,30 @@
+#pragma once
+// Generic rooted-tree recursive cut-node decomposition (paper Section
+// 4.4.1, Lemma 4.5): splits a tree into pieces of at most `bound` nodes;
+// the resulting piece tree has height O(log n). Shared by bulk load,
+// piece splitting and the scapegoat rebuild (pim_trie.cpp /
+// pim_trie_update.cpp), and exercised directly by the Figure 4 golden
+// tests.
+
+#include <cstddef>
+#include <vector>
+
+namespace ptrie::pimtrie::internal {
+
+// Nodes are indices into `children`; `piece_of[v]` receives the piece
+// index; pieces list their nodes in (meta-tree) preorder with the piece
+// root first.
+struct TreePieces {
+  struct P {
+    int parent_piece = -1;
+    int root = -1;
+    std::vector<int> nodes;  // preorder within the piece
+  };
+  std::vector<P> pieces;
+  std::vector<int> piece_of;
+};
+
+TreePieces decompose_tree(const std::vector<std::vector<int>>& children, int root,
+                          std::size_t bound);
+
+}  // namespace ptrie::pimtrie::internal

@@ -241,6 +241,7 @@ pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
         work += blk.mirrors.size() + 2;
         bw.u64(blk.trie.key_count());
         bw.u64(blk.mirrors.size());
+        bw.u64(blk.space_words());
         break;
       }
 
@@ -385,18 +386,30 @@ pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
         assert(it != st.pieces.end());
         const Piece& piece = it->second;
         // Entries of this piece whose meta-tree ancestor chain (within
-        // the piece) reaches `target`, or the target itself.
+        // the piece) reaches `target`, or the target itself. Incremental
+        // inserts append entries in arbitrary order, so close over the
+        // parent links by BFS rather than a positional pass.
+        std::unordered_multimap<std::uint64_t, const MetaEntry*> by_parent;
+        for (const auto& e : piece.entries) {
+          by_parent.emplace(e.parent_block, &e);
+          work += 1;
+        }
         std::unordered_map<std::uint64_t, bool> under;
         under[target] = true;
-        // Entries are stored in meta-tree preorder within a piece
-        // (parents before children), so one pass suffices.
         std::vector<const MetaEntry*> collected;
-        for (const auto& e : piece.entries) {
-          bool in = e.block == target ||
-                    (under.contains(e.parent_block) && under[e.parent_block]);
-          under[e.block] = in;
-          if (in && e.block != target) collected.push_back(&e);
-          work += 1;
+        std::vector<BlockId> bfs{target};
+        while (!bfs.empty()) {
+          BlockId b = bfs.back();
+          bfs.pop_back();
+          auto [lo, hi] = by_parent.equal_range(b);
+          for (auto pe = lo; pe != hi; ++pe) {
+            const MetaEntry* e = pe->second;
+            if (under.contains(e->block)) continue;
+            under[e->block] = true;
+            collected.push_back(e);
+            bfs.push_back(e->block);
+            work += 1;
+          }
         }
         bw.u64(collected.size());
         for (const auto* e : collected) e->serialize(out);

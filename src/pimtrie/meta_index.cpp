@@ -94,6 +94,17 @@ std::size_t TwoLayerIndex::space_words() const {
   return words;
 }
 
+std::string TwoLayerIndex::debug_check() const {
+  std::string problems;
+  for (const auto& [fp, sl] : first_) {
+    if (sl.size() == 0) problems += "empty second-layer index retained\n";
+    std::string p = sl.debug_check();
+    if (!p.empty()) problems += p;
+    if (problems.size() > 2000) break;
+  }
+  return problems;
+}
+
 void Piece::serialize(pim::Buffer& out) const {
   BufWriter w{out};
   w.u64(id);

@@ -85,6 +85,10 @@ class TwoLayerIndex {
 
   std::size_t space_words() const;
 
+  // Deep structural check of every second-layer index (validity vectors,
+  // y-fast consistency). "" when healthy.
+  std::string debug_check() const;
+
  private:
   unsigned w_;
   std::unordered_map<std::uint64_t, fasttrie::SecondLayerIndex> first_;

@@ -10,6 +10,7 @@
 #include "core/parallel.hpp"
 #include "obs/counters.hpp"
 #include "obs/phase.hpp"
+#include "pimtrie/decompose.hpp"
 #include "pimtrie/detail.hpp"
 #include "trie/euler_partition.hpp"
 #include "trie/treefix.hpp"
@@ -26,21 +27,6 @@ std::atomic<std::uint64_t> g_instance{1};
 }
 
 namespace internal {
-
-// Generic rooted-tree recursive cut-node decomposition (paper Section
-// 4.4.1, Lemma 4.5): splits a tree into pieces of at most `bound` nodes;
-// the resulting piece tree has height O(log n). Nodes are indices into
-// `children`; `out_piece_of[v]` receives the piece index; pieces list
-// their nodes in (meta-tree) preorder with the piece root first.
-struct TreePieces {
-  struct P {
-    int parent_piece = -1;
-    int root = -1;
-    std::vector<int> nodes;  // preorder within the piece
-  };
-  std::vector<P> pieces;
-  std::vector<int> piece_of;
-};
 
 TreePieces decompose_tree(const std::vector<std::vector<int>>& children, int root,
                           std::size_t bound) {
@@ -77,7 +63,13 @@ TreePieces decompose_tree(const std::vector<std::vector<int>>& children, int roo
       out.pieces.push_back(std::move(p));
       return idx;
     }
-    // Cut node: deepest node whose effective subtree is >= (n+1)/2.
+    // Cut node: deepest node whose effective subtree exceeds (n+1)/2.
+    // The descent must be strict — with >= it can run to a leaf when a
+    // child subtree is exactly (n+1)/2 (e.g. a 2-chain), where cutting
+    // child edges removes nothing and the recursion never shrinks.
+    // Strictness keeps the lemma: at the stop node eff(v) > (n+1)/2, so
+    // the upper part n - eff(v) + 1 <= (n+1)/2, and every cut child
+    // subtree is <= (n+1)/2 by the stop condition.
     int v = r;
     for (;;) {
       int best = -1;
@@ -90,7 +82,7 @@ TreePieces decompose_tree(const std::vector<std::vector<int>>& children, int roo
           best = c;
         }
       }
-      if (best == -1 || best_sz < (n + 1) / 2) break;
+      if (best == -1 || best_sz <= (n + 1) / 2) break;
       v = best;
     }
     // Cut all of v's (effective) child edges (Lemma 4.5).
@@ -675,8 +667,144 @@ std::string PimTrie::debug_check() const {
       }
     }
   }
-  // Root-block entry reachable via some master root's tree.
+  // Host piece directory vs resident pieces: linkage, entry counts, the
+  // replicated child roots, and the two-layer index over each piece.
+  for (const auto& [pid, pinfo] : pieces_) {
+    auto& st = sys.module(pinfo.module).state<detail::ModuleState>(instance_);
+    auto pit = st.pieces.find(pid);
+    if (pit == st.pieces.end()) {
+      complain("piece " + std::to_string(pid) + " missing on module");
+      continue;
+    }
+    const Piece& pc = pit->second;
+    if (pc.id != pid) complain("piece " + std::to_string(pid) + " id mismatch");
+    // (The module-side parent_piece field may go stale when a child piece
+    // is re-homed by a split/rebuild; only the host directory is
+    // authoritative for piece linkage, so it is not checked here.)
+    if (pc.root_block != pinfo.root_block)
+      complain("piece " + std::to_string(pid) + " root block mismatch");
+    if (pc.entries.size() != pinfo.entries)
+      complain("piece " + std::to_string(pid) + " entry count host=" +
+               std::to_string(pinfo.entries) + " module=" + std::to_string(pc.entries.size()));
+    std::vector<PieceId> kids;
+    for (const auto& c : pc.children) kids.push_back(c.piece);
+    std::sort(kids.begin(), kids.end());
+    std::vector<PieceId> want = pinfo.children;
+    std::sort(want.begin(), want.end());
+    if (kids != want) complain("piece " + std::to_string(pid) + " child refs mismatch");
+    for (const auto& c : pc.children) {
+      auto cit = pieces_.find(c.piece);
+      if (cit == pieces_.end()) {
+        complain("piece " + std::to_string(pid) + " child ref to unknown piece " +
+                 std::to_string(c.piece));
+      } else {
+        if (cit->second.parent != pid)
+          complain("piece " + std::to_string(c.piece) + " parent link disagrees");
+        if (c.module != cit->second.module)
+          complain("piece " + std::to_string(pid) + " stale child module for " +
+                   std::to_string(c.piece));
+        if (c.root.block != cit->second.root_block)
+          complain("piece " + std::to_string(pid) + " stale child root for " +
+                   std::to_string(c.piece));
+      }
+    }
+    if (pc.index().size() != pc.entries.size() + pc.children.size())
+      complain("piece " + std::to_string(pid) + " index size mismatch");
+    std::string ip = pc.index().debug_check();
+    if (!ip.empty()) complain("piece " + std::to_string(pid) + " index: " + ip);
+    for (const auto& e : pc.entries) {
+      auto bit = blocks_.find(e.block);
+      if (bit == blocks_.end())
+        complain("piece " + std::to_string(pid) + " entry for unknown block " +
+                 std::to_string(e.block));
+      else if (bit->second.piece != pid)
+        complain("block " + std::to_string(e.block) + " directory piece disagrees with " +
+                 std::to_string(pid));
+    }
+  }
+  // Master replication: every module holds an identical replica of the
+  // host's master roots, with a matching index.
+  for (std::uint32_t m = 0; m < sys.p(); ++m) {
+    auto& mod = sys.module(m);
+    if (!mod.has_state<detail::ModuleState>(instance_)) continue;
+    const auto& mr = mod.state<detail::ModuleState>(instance_).master;
+    if (mr.roots.size() != master_roots_.size() ||
+        mr.piece_of.size() != master_roots_.size() ||
+        mr.module_of.size() != master_roots_.size()) {
+      complain("module " + std::to_string(m) + " master replica size mismatch");
+      continue;
+    }
+    for (std::size_t i = 0; i < master_roots_.size(); ++i) {
+      const MasterRoot& h = master_roots_[i];
+      if (mr.roots[i].block != h.root.block || mr.roots[i].root_hash != h.root.root_hash ||
+          mr.roots[i].root_depth != h.root.root_depth)
+        complain("module " + std::to_string(m) + " master root " + std::to_string(i) +
+                 " diverged");
+      if (mr.piece_of[i] != h.piece || mr.module_of[i] != h.module)
+        complain("module " + std::to_string(m) + " master routing " + std::to_string(i) +
+                 " diverged");
+    }
+    if (mr.index.size() != mr.roots.size())
+      complain("module " + std::to_string(m) + " master index size mismatch");
+  }
+  for (const MasterRoot& h : master_roots_) {
+    if (!pieces_.contains(h.piece))
+      complain("master root piece " + std::to_string(h.piece) + " not in directory");
+  }
+  // Key accounting: per-block directory key counts sum to n_keys_.
+  std::size_t keysum = 0;
+  for (const auto& [id, info] : blocks_) keysum += info.keys;
+  if (keysum != n_keys_)
+    complain("key count mismatch: directory sum " + std::to_string(keysum) + " vs n_keys " +
+             std::to_string(n_keys_));
   return problems;
+}
+
+std::string PimTrie::debug_check_deep() const {
+  auto& sys = *const_cast<pim::System*>(sys_);
+  std::string problems;
+  auto complain = [&](const std::string& s) {
+    if (problems.size() < 4000) problems += s + "\n";
+  };
+  // Exact host-directory accounting against the resident blocks; mirror
+  // stubs never carry values.
+  for (const auto& [id, info] : blocks_) {
+    auto& st = sys.module(info.module).state<detail::ModuleState>(instance_);
+    auto bit = st.blocks.find(id);
+    if (bit == st.blocks.end()) continue;  // debug_check() reports this
+    const Block& blk = bit->second;
+    if (info.space != blk.space_words())
+      complain("block " + std::to_string(id) + " space host=" + std::to_string(info.space) +
+               " actual=" + std::to_string(blk.space_words()));
+    if (info.keys != blk.trie.key_count())
+      complain("block " + std::to_string(id) + " keys host=" + std::to_string(info.keys) +
+               " actual=" + std::to_string(blk.trie.key_count()));
+    for (const auto& [n, cb] : blk.mirrors) {
+      if (blk.trie.node(n).has_value)
+        complain("block " + std::to_string(id) + " mirror stub carries a value");
+    }
+  }
+  // Occupancy: piece entries within the split bound; meta-block-tree
+  // heights within the scapegoat envelope (relaxed to the global piece
+  // count, which only loosens the log).
+  std::size_t height_bound = 2 * Config::log2_ceil(std::max<std::size_t>(pieces_.size(), 2)) + 4;
+  for (const auto& [pid, pinfo] : pieces_) {
+    if (pinfo.entries > cfg_.piece_bound())
+      complain("piece " + std::to_string(pid) + " over bound: " + std::to_string(pinfo.entries) +
+               " > " + std::to_string(cfg_.piece_bound()));
+    if (pinfo.depth > height_bound)
+      complain("piece " + std::to_string(pid) + " depth " + std::to_string(pinfo.depth) +
+               " exceeds height bound " + std::to_string(height_bound));
+  }
+  return problems;
+}
+
+void PimTrie::debug_corrupt(int kind) {
+  if (kind == 0) {
+    n_keys_ ^= 1;
+  } else if (!blocks_.empty()) {
+    blocks_.begin()->second.root_hash ^= 1;
+  }
 }
 
 }  // namespace ptrie::pimtrie

@@ -90,6 +90,16 @@ class PimTrie {
   std::vector<std::pair<core::BitString, trie::Value>> debug_collect() const;
   // Returns a human-readable violation description, or "" if healthy.
   std::string debug_check() const;
+  // Occupancy and accounting invariants that only hold when maintenance
+  // is enabled (no PTRIE_NO_MAINT / PTRIE_NO_PSPLIT kill switches): piece
+  // entry counts within piece_bound, meta-block-tree heights within the
+  // scapegoat envelope, and exact host-directory space/key accounting
+  // against the resident blocks. "" if healthy.
+  std::string debug_check_deep() const;
+  // Test-only fault injection for the fuzz harness's mutation tests
+  // (src/check): kind 0 flips the host key count, kind 1 flips one bit
+  // of a block's recorded root hash. Either must trip debug_check().
+  void debug_corrupt(int kind);
 
  private:
   // ---- host directories ----

@@ -14,6 +14,7 @@
 #include "obs/counters.hpp"
 #include "obs/env.hpp"
 #include "obs/phase.hpp"
+#include "pimtrie/decompose.hpp"
 #include "pimtrie/detail.hpp"
 #include "pimtrie/pim_trie.hpp"
 #include "trie/euler_partition.hpp"
@@ -24,20 +25,6 @@ using core::BitString;
 using trie::kNil;
 using trie::NodeId;
 using trie::Patricia;
-
-namespace internal {
-struct TreePieces {
-  struct P {
-    int parent_piece = -1;
-    int root = -1;
-    std::vector<int> nodes;
-  };
-  std::vector<P> pieces;
-  std::vector<int> piece_of;
-};
-TreePieces decompose_tree(const std::vector<std::vector<int>>& children, int root,
-                          std::size_t bound);
-}  // namespace internal
 
 namespace {
 // Maintenance kill switches (used by tests to isolate the matching
@@ -729,7 +716,10 @@ void PimTrie::remove_blocks(const std::vector<BlockId>& victims, const char* lab
 
   // One round: delete victim blocks; remove mirror stubs in surviving
   // parents of top-most victims; remove meta entries from their pieces.
+  // frame_parent mirrors the per-module frame order so the reply walk
+  // below can locate kRemoveMirror acks (kNone marks frames to skip).
   std::vector<pim::Buffer> buffers(sys_->p());
+  std::vector<std::vector<BlockId>> frame_parent(sys_->p());
   std::unordered_map<std::uint64_t, std::vector<BlockId>> by_piece;
   for (BlockId b : victims) {
     const auto& info = blocks_.at(b);
@@ -740,6 +730,7 @@ void PimTrie::remove_blocks(const std::vector<BlockId>& victims, const char* lab
       bw.u64(detail::kDeleteBlock);
       bw.u64(b);
       fw.end();
+      frame_parent[info.module].push_back(kNone);
     }
     if (info.parent != kNone && !victim_set.contains(info.parent)) {
       const auto& pinfo = blocks_.at(info.parent);
@@ -750,6 +741,7 @@ void PimTrie::remove_blocks(const std::vector<BlockId>& victims, const char* lab
       bw.u64(info.parent);
       bw.u64(b);
       fw.end();
+      frame_parent[pinfo.module].push_back(info.parent);
     }
     if (info.piece != kNone) by_piece[info.piece].push_back(b);
   }
@@ -764,9 +756,26 @@ void PimTrie::remove_blocks(const std::vector<BlockId>& victims, const char* lab
     bw.u64(ids.size());
     for (BlockId b : ids) bw.u64(b);
     fw.end();
+    frame_parent[module].push_back(kNone);
     pieces_.at(piece).entries -= std::min(pieces_.at(piece).entries, ids.size());
   }
-  detail::run_round(*sys_, label, std::move(buffers), instance_, hasher_, cfg_.w);
+  auto results =
+      detail::run_round(*sys_, label, std::move(buffers), instance_, hasher_, cfg_.w);
+  // Dropping a mirror stub shrinks the surviving parent block on the
+  // module; sync the host directory's space figure from the ack.
+  for (std::uint32_t m = 0; m < sys_->p(); ++m) {
+    BufReader r{results[m]};
+    for (BlockId parent : frame_parent[m]) {
+      std::uint64_t frame = r.u64();
+      std::size_t end = r.pos + frame;
+      if (parent != kNone) {
+        (void)r.u64();  // key count (unchanged by mirror removal)
+        (void)r.u64();  // remaining mirror count
+        blocks_.at(parent).space = r.u64();
+      }
+      r.pos = end;
+    }
+  }
 
   // Host directory cleanup.
   for (BlockId b : victims) {

@@ -173,6 +173,80 @@ TEST(RangePartitioned, SingleRoundPointOps) {
   EXPECT_EQ(sys.metrics().io_rounds(), 1u);
 }
 
+// ---- Delete-path edge cases across the baselines --------------------
+
+TEST(DistRadix, EraseDupAbsentAndReinsert) {
+  System sys(4, 70);
+  ptrie::baselines::DistributedRadixTree t(sys, /*span=*/4);
+  auto keys = ptrie::workload::uniform_keys(40, 48, 71);
+  std::vector<std::uint64_t> vals(keys.size(), 5);
+  t.build(keys, vals);
+
+  // Duplicates in one erase batch count once; absent keys are no-ops.
+  std::vector<BitString> batch{keys[0], keys[0], keys[1], keys[1], keys[1]};
+  for (auto& m : ptrie::workload::miss_queries(10, 48, 72)) batch.push_back(m);
+  t.batch_erase(batch);
+  EXPECT_EQ(t.key_count(), keys.size() - 2);
+  EXPECT_EQ(t.debug_check(), "");
+
+  // Repeat-delete of already-deleted keys: still a no-op.
+  t.batch_erase({keys[0], keys[1]});
+  EXPECT_EQ(t.key_count(), keys.size() - 2);
+
+  // Delete to empty, then re-insert into the retained chain skeleton.
+  t.batch_erase(keys);
+  EXPECT_EQ(t.key_count(), 0u);
+  EXPECT_EQ(t.debug_check(), "");
+  t.batch_insert(keys, vals);
+  EXPECT_EQ(t.key_count(), keys.size());
+  EXPECT_EQ(t.debug_check(), "");
+  auto got = t.batch_lcp(keys);
+  for (std::size_t i = 0; i < keys.size(); ++i) EXPECT_EQ(got[i], 48u) << i;
+}
+
+TEST(DistXFast, EraseDupAbsentAndReinsert) {
+  System sys(4, 80);
+  ptrie::baselines::DistributedXFastTrie t(sys, /*width=*/32);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 50; ++i) keys.push_back(i * 0x04030201u % (1ull << 32));
+  std::vector<std::uint64_t> vals(keys.size(), 9);
+  t.build(keys, vals);
+
+  t.batch_erase({keys[0], keys[0], keys[1], 0xDEADBEEFull % (1ull << 32), keys[1]});
+  EXPECT_EQ(t.key_count(), keys.size() - 2);
+  EXPECT_EQ(t.debug_check(), "");
+
+  t.batch_erase(keys);
+  EXPECT_EQ(t.key_count(), 0u);
+  EXPECT_EQ(t.debug_check(), "");
+  t.batch_insert(keys, vals);
+  EXPECT_EQ(t.key_count(), keys.size());
+  EXPECT_EQ(t.debug_check(), "");
+}
+
+TEST(RangePartitioned, EraseDupAbsentAndReinsert) {
+  System sys(4, 90);
+  ptrie::baselines::RangePartitionedIndex t(sys);
+  auto keys = ptrie::workload::uniform_keys(60, 40, 91);
+  std::vector<std::uint64_t> vals(keys.size(), 3);
+  t.build(keys, vals);
+
+  std::vector<BitString> batch{keys[2], keys[2], keys[3]};
+  for (auto& m : ptrie::workload::miss_queries(10, 40, 92)) batch.push_back(m);
+  t.batch_erase(batch);
+  EXPECT_EQ(t.key_count(), keys.size() - 2);
+  EXPECT_EQ(t.debug_check(), "");
+
+  t.batch_erase(keys);
+  EXPECT_EQ(t.key_count(), 0u);
+  EXPECT_EQ(t.debug_check(), "");
+  t.batch_insert(keys, vals);
+  EXPECT_EQ(t.key_count(), keys.size());
+  EXPECT_EQ(t.debug_check(), "");
+  auto st = t.batch_subtree({BitString()});
+  EXPECT_EQ(st[0].size(), keys.size());
+}
+
 TEST(RangePartitioned, SkewSerializesOneModule) {
   System sys(8, 21);
   ptrie::baselines::RangePartitionedIndex t(sys);

@@ -1,0 +1,218 @@
+// Unit tests for the differential fuzz harness itself (src/check):
+// oracle semantics against brute force, schedule generation and text
+// round-trip, deterministic replay, shrinking, and the test-only
+// corruption hooks that prove the invariant checks actually fire.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "check/adapters.hpp"
+#include "check/oracle.hpp"
+#include "check/runner.hpp"
+#include "check/schedule.hpp"
+#include "check/shrink.hpp"
+#include "core/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using ptrie::core::BitString;
+using ptrie::core::Rng;
+using namespace ptrie::check;
+
+// ---- Oracle ---------------------------------------------------------
+
+std::size_t brute_lcp(const std::vector<BitString>& keys, const BitString& q) {
+  std::size_t best = 0;
+  for (const auto& k : keys) best = std::max(best, k.lcp(q));
+  return best;
+}
+
+TEST(Oracle, MatchesBruteForce) {
+  Rng rng(77);
+  std::vector<BitString> keys;
+  Oracle o;
+  for (int i = 0; i < 200; ++i) {
+    std::size_t len = 1 + rng.below(40);
+    BitString k;
+    for (std::size_t b = 0; b < len; ++b) k.push_back(rng.coin());
+    if (o.insert(k, i)) keys.push_back(k);
+  }
+  ASSERT_EQ(o.size(), keys.size());
+
+  for (int i = 0; i < 200; ++i) {
+    std::size_t len = rng.below(44);
+    BitString q;
+    for (std::size_t b = 0; b < len; ++b) q.push_back(rng.coin());
+    EXPECT_EQ(o.lcp(q), brute_lcp(keys, q)) << q.to_binary();
+
+    auto st = o.subtree(q);
+    std::vector<BitString> want;
+    for (const auto& k : keys)
+      if (q.is_prefix_of(k)) want.push_back(k);
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(st.size(), want.size()) << q.to_binary();
+    for (std::size_t j = 0; j < st.size(); ++j) EXPECT_EQ(st[j].first, want[j]);
+  }
+}
+
+TEST(Oracle, BatchSemantics) {
+  Oracle o;
+  BitString k = BitString::from_binary("1010");
+  EXPECT_TRUE(o.insert(k, 1));
+  EXPECT_FALSE(o.insert(k, 2));  // duplicate: overwrite, not fresh
+  EXPECT_EQ(o.find(k).value(), 2u);
+  EXPECT_FALSE(o.erase(BitString::from_binary("0000")));  // absent: no-op
+  EXPECT_TRUE(o.erase(k));
+  EXPECT_FALSE(o.erase(k));  // second delete of same key: no-op
+  EXPECT_EQ(o.size(), 0u);
+  EXPECT_EQ(o.lcp(k), 0u);  // empty set
+}
+
+TEST(Oracle, LcpInRangeWindows) {
+  Oracle o;
+  for (const char* s : {"0001", "0100", "1000", "1100"})
+    o.insert(BitString::from_binary(s), 1);
+  BitString q = BitString::from_binary("0101");
+  BitString lo = BitString::from_binary("1");
+  // Unwindowed: best match is 0100 (lcp 3).
+  EXPECT_EQ(o.lcp(q), 3u);
+  // Restricted to keys >= 1...: only 1000/1100 visible (lcp 0).
+  EXPECT_EQ(o.lcp_in_range(q, &lo, nullptr), 0u);
+  BitString hi = BitString::from_binary("0011");
+  // Restricted to keys < 0011: only 0001 visible (lcp 1).
+  EXPECT_EQ(o.lcp_in_range(q, nullptr, &hi), 1u);
+}
+
+// ---- Schedule generation and serialization --------------------------
+
+TEST(Schedule, GenerationIsDeterministic) {
+  GenParams gp;
+  gp.n_batches = 12;
+  Schedule a = make_schedule("pimtrie", "cluster", 42, gp);
+  Schedule b = make_schedule("pimtrie", "cluster", 42, gp);
+  EXPECT_EQ(serialize(a), serialize(b));
+  Schedule c = make_schedule("pimtrie", "cluster", 43, gp);
+  EXPECT_NE(serialize(a), serialize(c));
+  EXPECT_EQ(a.batches.size(), 12u);
+  EXPECT_GT(a.op_count(), a.init_keys.size());
+}
+
+TEST(Schedule, TextRoundTrip) {
+  for (const char* profile : {"uniform", "zipf", "cluster", "dup"}) {
+    GenParams gp;
+    gp.n_batches = 8;
+    Schedule s = make_schedule("radix", profile, 9, gp);
+    std::string text = serialize(s);
+    Schedule back;
+    std::string err;
+    ASSERT_TRUE(parse(text, &back, &err)) << err;
+    EXPECT_EQ(serialize(back), text) << profile;
+    EXPECT_EQ(back.structure, s.structure);
+    EXPECT_EQ(back.p, s.p);
+    EXPECT_EQ(back.op_count(), s.op_count());
+  }
+}
+
+TEST(Schedule, ParseRejectsGarbage) {
+  Schedule s;
+  std::string err;
+  EXPECT_FALSE(parse("not a schedule", &s, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(parse("ptrie-fuzz-schedule v1\nstructure pimtrie\n", &s, &err));
+}
+
+// ---- Runner ---------------------------------------------------------
+
+TEST(Runner, AllStructuresPassOneSeed) {
+  GenParams gp;
+  gp.n_batches = 8;
+  gp.batch_cap = 10;
+  gp.init_n = 32;
+  for (const char* st : {"pimtrie", "radix", "xfast", "range"}) {
+    Schedule s = make_schedule(st, "uniform", 3, gp);
+    RunResult r = run_schedule(s);
+    EXPECT_TRUE(r.ok) << st << ": " << r.error;
+    EXPECT_GT(r.checks, 0u);
+  }
+}
+
+TEST(Runner, ReplayIsDeterministic) {
+  GenParams gp;
+  gp.n_batches = 10;
+  gp.batch_cap = 12;
+  gp.init_n = 32;
+  Schedule s = make_schedule("pimtrie", "zipf", 7, gp);
+  RunResult a = run_schedule(s);
+  RunResult b = run_schedule(s);
+  ASSERT_TRUE(a.ok) << a.error;
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.checks, b.checks);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.max_batch_rounds, b.max_batch_rounds);
+  EXPECT_DOUBLE_EQ(a.max_imbalance, b.max_imbalance);
+}
+
+// ---- Corruption hooks and shrinking ---------------------------------
+
+// The acceptance test for the whole harness: a deliberately broken
+// invariant must (a) be detected, (b) shrink to a minimal schedule that
+// (c) still fails, and (d) survive a serialize/parse round-trip.
+TEST(Shrink, CorruptionDetectedAndMinimized) {
+  GenParams gp;
+  gp.n_batches = 10;
+  gp.batch_cap = 10;
+  gp.init_n = 32;
+  for (int kind : {0, 1}) {
+    Schedule s = make_schedule("pimtrie", "uniform", 11, gp);
+    CheckOptions opt;
+    opt.corrupt_kind = kind;
+    RunResult r = run_schedule(s, opt);
+    ASSERT_FALSE(r.ok) << "corruption kind " << kind << " went undetected";
+
+    ShrinkStats st;
+    Schedule min = shrink(s, opt, /*max_runs=*/120, &st);
+    EXPECT_LE(min.op_count(), s.op_count());
+    EXPECT_GT(st.accepted, 0u);
+    RunResult mr = run_schedule(min, opt);
+    EXPECT_FALSE(mr.ok) << "minimized schedule no longer fails";
+
+    Schedule back;
+    std::string err;
+    ASSERT_TRUE(parse(serialize(min), &back, &err)) << err;
+    RunResult br = run_schedule(back, opt);
+    EXPECT_FALSE(br.ok) << "round-tripped schedule no longer fails";
+  }
+}
+
+TEST(Shrink, PassingScheduleIsReturnedUnchanged) {
+  GenParams gp;
+  gp.n_batches = 4;
+  gp.batch_cap = 6;
+  gp.init_n = 16;
+  Schedule s = make_schedule("range", "uniform", 2, gp);
+  ShrinkStats st;
+  Schedule out = shrink(s, CheckOptions{}, /*max_runs=*/50, &st);
+  EXPECT_EQ(serialize(out), serialize(s));
+}
+
+// Phantom-insert corruption (kind >= 2) diverges structure content from
+// the oracle for every adapter, not just PimTrie.
+TEST(Shrink, PhantomInsertCaughtOnBaselines) {
+  GenParams gp;
+  gp.n_batches = 6;
+  gp.batch_cap = 8;
+  gp.init_n = 24;
+  for (const char* stname : {"radix", "xfast", "range"}) {
+    Schedule s = make_schedule(stname, "uniform", 13, gp);
+    CheckOptions opt;
+    opt.corrupt_kind = 2;
+    RunResult r = run_schedule(s, opt);
+    EXPECT_FALSE(r.ok) << stname << ": phantom insert went undetected";
+  }
+}
+
+}  // namespace

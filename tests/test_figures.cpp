@@ -4,10 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "core/rng.hpp"
 #include "fasttrie/second_layer.hpp"
 #include "hash/poly_hash.hpp"
 #include "pim/system.hpp"
 #include "pimtrie/block.hpp"
+#include "pimtrie/decompose.hpp"
 #include "pimtrie/meta_index.hpp"
 #include "pimtrie/pim_trie.hpp"
 #include "trie/patricia.hpp"
@@ -169,6 +173,111 @@ TEST(Figure4, CutNodeHalvesFigureTree) {
   EXPECT_TRUE(exists);
 }
 
+// Shared checker for the Lemma 4.5 / 4.6 guarantees of a decomposition:
+// exact partition, per-piece size bound, connectivity (a node's tree
+// parent is in the same piece unless the node roots its piece, in which
+// case the parent lives in the parent piece), and piece-tree height.
+void check_decomposition(const std::vector<std::vector<int>>& children, int root,
+                         std::size_t bound,
+                         const ptrie::pimtrie::internal::TreePieces& ps) {
+  int n = static_cast<int>(children.size());
+  std::vector<int> parent(n, -1);
+  for (int v = 0; v < n; ++v)
+    for (int c : children[v]) parent[c] = v;
+
+  // Exact partition, consistent with piece_of.
+  ASSERT_EQ(ps.piece_of.size(), children.size());
+  std::vector<int> seen(n, 0);
+  for (std::size_t pi = 0; pi < ps.pieces.size(); ++pi) {
+    const auto& p = ps.pieces[pi];
+    EXPECT_LE(p.nodes.size(), bound) << "piece " << pi << " over bound";
+    EXPECT_FALSE(p.nodes.empty());
+    EXPECT_EQ(p.nodes.front(), p.root) << "piece root must lead its node list";
+    for (int v : p.nodes) {
+      ++seen[v];
+      EXPECT_EQ(ps.piece_of[v], static_cast<int>(pi));
+    }
+  }
+  for (int v = 0; v < n; ++v) EXPECT_EQ(seen[v], 1) << "node " << v;
+
+  // Connectivity and parent-piece links.
+  for (std::size_t pi = 0; pi < ps.pieces.size(); ++pi) {
+    const auto& p = ps.pieces[pi];
+    for (int v : p.nodes) {
+      if (v == p.root) {
+        if (v == root) {
+          EXPECT_EQ(p.parent_piece, -1);
+        } else {
+          ASSERT_GE(parent[v], 0);
+          EXPECT_EQ(p.parent_piece, ps.piece_of[parent[v]]);
+        }
+      } else {
+        ASSERT_GE(parent[v], 0) << "non-root piece node without tree parent";
+        EXPECT_EQ(ps.piece_of[parent[v]], static_cast<int>(pi))
+            << "piece " << pi << " is not connected at node " << v;
+      }
+    }
+  }
+
+  // Lemma 4.6: piece-tree height is O(log n). The recursive cut-node
+  // construction halves the remaining component each level, so height
+  // <= 2*ceil(log2 n) + 2 is a safe envelope.
+  int height = 0;
+  for (std::size_t pi = 0; pi < ps.pieces.size(); ++pi) {
+    int d = 0, at = static_cast<int>(pi);
+    while (ps.pieces[at].parent_piece != -1) {
+      at = ps.pieces[at].parent_piece;
+      ++d;
+      ASSERT_LE(d, n) << "parent_piece cycle";
+    }
+    height = std::max(height, d);
+  }
+  int lg = 0;
+  while ((1 << lg) < n) ++lg;
+  EXPECT_LE(height, 2 * lg + 2) << "piece tree too tall for n=" << n;
+}
+
+// Figure 4's worked example: the Figure 3 meta-tree cut with K_SMB = 3.
+// Golden structural facts asserted directly on decompose_tree's output.
+TEST(Figure4, DecomposeFigureTreeGolden) {
+  std::vector<std::vector<int>> children(12);
+  auto link = [&](int p, int c) { children[p].push_back(c); };
+  link(0, 1);
+  link(0, 2);
+  link(1, 3);
+  link(3, 7);
+  link(3, 11);
+  link(2, 4);
+  link(2, 5);
+  link(2, 6);
+  link(4, 8);
+  link(5, 9);
+  link(5, 10);
+
+  auto ps = ptrie::pimtrie::internal::decompose_tree(children, 0, /*bound=*/3);
+  check_decomposition(children, 0, 3, ps);
+  // 12 nodes, pieces of <= 3: at least ceil(12/3) = 4 pieces, and the
+  // cut-node recursion never needs more than one piece per node.
+  EXPECT_GE(ps.pieces.size(), 4u);
+  EXPECT_LE(ps.pieces.size(), 12u);
+  // The root's piece roots the piece tree.
+  EXPECT_EQ(ps.pieces[ps.piece_of[0]].parent_piece, -1);
+}
+
+// Property sweep backing the same lemmas: random trees, several bounds.
+TEST(Figure4, DecomposeRandomTrees) {
+  ptrie::core::Rng rng(404);
+  for (int n : {1, 2, 5, 13, 40, 100}) {
+    std::vector<std::vector<int>> children(n);
+    for (int v = 1; v < n; ++v)
+      children[rng.below(static_cast<std::uint64_t>(v))].push_back(v);
+    for (std::size_t bound : {std::size_t{1}, std::size_t{3}, std::size_t{7}}) {
+      auto ps = ptrie::pimtrie::internal::decompose_tree(children, 0, bound);
+      check_decomposition(children, 0, bound, ps);
+    }
+  }
+}
+
 TEST(Figure4, PieceBoundAndHeight) {
   // Random trees of several sizes: decompose with K_SMB = 3 (Figure 4's
   // lower bound) and check size bounds + O(log n) piece-tree height.
@@ -255,6 +364,69 @@ TEST(Figure5, PivotMatchingFindsRootViaChild) {
   EXPECT_EQ(ms[0].entry->block, 1u);        // resolved to R
   EXPECT_EQ(ms[0].point.abs_depth, 10u);
   EXPECT_GE(stats.verifications, 1u);
+}
+
+// Figure 5's two-layer lookup in isolation: roots sharing one S_pre
+// pivot land in the same first-layer bucket; the second layer resolves
+// a query window to the stored S_rem with the longest agreement ("the
+// root or one of its direct children"), and erasure re-exposes the
+// shorter sibling.
+TEST(Figure5, TwoLayerGoldenLookup) {
+  using namespace ptrie::pimtrie;
+  ptrie::hash::PolyHasher hasher(5);
+  const unsigned w = 8;
+
+  BitString spre = BitString::from_binary("10110011");  // one full chunk
+  auto entry_of = [&](const std::string& rem_bits, BlockId id) {
+    BitString s = spre;
+    s.append(BitString::from_binary(rem_bits));
+    MetaEntry e;
+    e.block = id;
+    e.module = 0;
+    e.root_hash = hasher.hash(s);
+    e.root_depth = s.size();
+    e.parent_block = kNone;
+    e.spre_hash = hasher.hash_prefix(s, spre.size());
+    e.srem = s.suffix(spre.size());
+    e.slast = s.suffix(s.size() - std::min<std::size_t>(w, s.size()));
+    return e;
+  };
+  MetaEntry shallow = entry_of("01", 1);   // S_rem = "01"
+  MetaEntry deep = entry_of("0110", 2);    // S_rem = "0110" (child chunkwise)
+
+  TwoLayerIndex idx(w);
+  idx.insert(hasher, shallow, {IndexPayload::kEntry, 0});
+  idx.insert(hasher, deep, {IndexPayload::kEntry, 1});
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx.debug_check(), "");
+
+  std::uint64_t fp = hasher.fingerprint(shallow.spre_hash);
+  ASSERT_TRUE(idx.has_pivot(fp));
+  EXPECT_FALSE(idx.has_pivot(fp ^ 1));
+
+  // Window continuing past both roots: the deeper S_rem wins.
+  auto got = idx.locate(fp, BitString::from_binary("011010"));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->first.to_binary(), "0110");
+  EXPECT_EQ(IndexPayload::decode(got->second).idx, 1u);
+
+  // Window ending exactly at the shallow root.
+  got = idx.locate(fp, BitString::from_binary("01"));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->first.to_binary(), "01");
+  EXPECT_EQ(IndexPayload::decode(got->second).idx, 0u);
+
+  // After erasing the deeper root the same long window resolves to the
+  // shallow sibling again.
+  idx.erase(hasher, deep);
+  EXPECT_EQ(idx.size(), 1u);
+  EXPECT_EQ(idx.debug_check(), "");
+  got = idx.locate(fp, BitString::from_binary("011010"));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->first.to_binary(), "01");
+
+  // Unknown pivot: no first-layer bucket, no answer.
+  EXPECT_FALSE(idx.locate(fp ^ 1, BitString::from_binary("01")).has_value());
 }
 
 }  // namespace

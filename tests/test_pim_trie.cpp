@@ -239,4 +239,120 @@ TEST(PimTrieRounds, LcpRoundsModest) {
   EXPECT_LE(sys.metrics().io_rounds(), 10u + 4u * Config::log2_ceil(16));
 }
 
+// ---- Delete-path edge cases -----------------------------------------
+
+TEST(PimTrieErase, DuplicateKeysInOneEraseBatch) {
+  System sys(4, 720);
+  Config cfg;
+  cfg.seed = 721;
+  PimTrie pt(sys, cfg);
+  auto keys = ptrie::workload::uniform_keys(60, 48, 722);
+  pt.build(keys, iota_values(keys.size()));
+
+  // Each victim listed three times: the batch must behave exactly like
+  // a single delete of each.
+  std::vector<BitString> victims;
+  for (int r = 0; r < 3; ++r)
+    for (std::size_t i = 0; i < 20; ++i) victims.push_back(keys[i]);
+  pt.batch_erase(victims);
+  EXPECT_EQ(pt.key_count(), keys.size() - 20);
+  EXPECT_EQ(pt.debug_check(), "");
+  EXPECT_EQ(pt.debug_check_deep(), "");
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_FALSE(pt.find(keys[i]).has_value());
+  for (std::size_t i = 20; i < keys.size(); ++i)
+    EXPECT_TRUE(pt.find(keys[i]).has_value()) << i;
+}
+
+TEST(PimTrieErase, AbsentAndMixedDeletes) {
+  System sys(4, 730);
+  Config cfg;
+  cfg.seed = 731;
+  PimTrie pt(sys, cfg);
+  auto keys = ptrie::workload::uniform_keys(50, 48, 732);
+  pt.build(keys, iota_values(keys.size()));
+
+  // Absent keys (near-misses and unrelated) interleaved with present
+  // ones; absent deletes must be no-ops.
+  std::vector<BitString> batch;
+  for (std::size_t i = 0; i < 10; ++i) batch.push_back(keys[i]);
+  for (auto& m : ptrie::workload::miss_queries(15, 48, 733)) batch.push_back(m);
+  for (std::size_t i = 0; i < 5; ++i) batch.push_back(keys[i].prefix(20));  // prefixes
+  pt.batch_erase(batch);
+  EXPECT_EQ(pt.key_count(), keys.size() - 10);
+  EXPECT_EQ(pt.debug_check(), "");
+  EXPECT_EQ(pt.debug_check_deep(), "");
+
+  // Deleting only absent keys changes nothing.
+  pt.batch_erase(ptrie::workload::miss_queries(20, 48, 734));
+  EXPECT_EQ(pt.key_count(), keys.size() - 10);
+  EXPECT_EQ(pt.debug_check(), "");
+}
+
+TEST(PimTrieErase, DeleteToEmptyAndReinsert) {
+  System sys(8, 740);
+  Config cfg;
+  cfg.seed = 741;
+  PimTrie pt(sys, cfg);
+  auto keys = ptrie::workload::variable_length_keys(200, 16, 100, 742);
+  pt.build(keys, iota_values(keys.size()));
+
+  // Erase everything: the cascade collapses the block tree down to the
+  // (kept) root block.
+  pt.batch_erase(keys);
+  EXPECT_EQ(pt.key_count(), 0u);
+  EXPECT_EQ(pt.debug_check(), "");
+  EXPECT_EQ(pt.debug_check_deep(), "");
+  EXPECT_TRUE(pt.debug_collect().empty());
+  EXPECT_FALSE(pt.find(keys[0]).has_value());
+  EXPECT_EQ(pt.batch_lcp({keys[0]})[0], 0u);
+
+  // Re-insert into the emptied structure and verify full content.
+  pt.batch_insert(keys, iota_values(keys.size()));
+  EXPECT_EQ(pt.key_count(), keys.size());
+  EXPECT_EQ(pt.debug_check(), "");
+  EXPECT_EQ(pt.debug_check_deep(), "");
+  auto got = pt.batch_lcp(keys);
+  for (std::size_t i = 0; i < keys.size(); ++i) EXPECT_EQ(got[i], keys[i].size()) << i;
+}
+
+// Regression: erasing a key whose emptied child block is garbage
+// collected must also refresh the surviving parent block's host-side
+// space figure (the mirror stub it held is gone). Found by ptrie_fuzz
+// seed 1; debug_check_deep flags the stale accounting.
+TEST(PimTrieErase, GcRefreshesParentSpaceAccounting) {
+  System sys(4, 750);
+  Config cfg;
+  cfg.seed = 751;
+  PimTrie pt(sys, cfg);
+  BitString chain = BitString::from_binary("000110001111111100010000111110101101"
+                                           "100010001001");
+  pt.build({chain}, {7});
+  pt.batch_erase({chain});
+  EXPECT_EQ(pt.key_count(), 0u);
+  EXPECT_EQ(pt.debug_check(), "");
+  EXPECT_EQ(pt.debug_check_deep(), "");
+}
+
+// Regression: subtree collection must close over the piece's meta
+// entries by parent links, not storage order — incremental inserts
+// append entries out of preorder. Found by ptrie_fuzz seed 1 (cluster):
+// a prefix-chain key in a grandchild block vanished from the answer.
+TEST(PimTrieSubtree, PrefixChainAfterInsertSplit) {
+  System sys(4, 123);
+  Config cfg;
+  cfg.seed = 999;
+  PimTrie pt(sys, cfg);
+  pt.build({BitString::from_binary("00"), BitString::from_binary("0011"),
+            BitString::from_binary("00111010")},
+           {1, 2, 3});
+  pt.batch_insert({BitString::from_binary("1")}, {4});
+  auto st = pt.batch_subtree({BitString::from_binary("0")});
+  ASSERT_EQ(st[0].size(), 3u);
+  EXPECT_EQ(st[0][0].first.to_binary(), "00");
+  EXPECT_EQ(st[0][1].first.to_binary(), "0011");
+  EXPECT_EQ(st[0][2].first.to_binary(), "00111010");
+  auto all = pt.batch_subtree({BitString()});
+  EXPECT_EQ(all[0].size(), 4u);
+}
+
 }  // namespace

@@ -6,14 +6,25 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
+#include "obs/env.hpp"
 #include "pim/system.hpp"
 #include "pimtrie/pim_trie.hpp"
 #include "trie/patricia.hpp"
 #include "workload/generators.hpp"
 
 namespace {
+
+// Iteration scale for the randomized sequences: the default keeps CI
+// fast; soak runs crank it up without a rebuild (e.g.
+// PTRIE_STRESS_ITERS=100 ctest -L stress).
+std::size_t stress_iters() {
+  return ptrie::obs::env::u64(
+      "PTRIE_STRESS_ITERS", 8,
+      "stress-test iterations per randomized sequence (default 8)");
+}
 
 using ptrie::core::BitString;
 using ptrie::core::Rng;
@@ -105,7 +116,8 @@ TEST_P(MixedOps, RandomizedSequence) {
     pt.build(keys, vals);
   }
 
-  for (int step = 0; step < 8; ++step) {
+  const int iters = static_cast<int>(stress_iters());
+  for (int step = 0; step < iters; ++step) {
     int op = static_cast<int>(rng.below(4));
     std::size_t batch = 30 + rng.below(60);
     if (op == 0) {  // insert
@@ -177,7 +189,10 @@ TEST(Stress, GrowShrinkGrow) {
 
   pt.build({keys.begin(), keys.begin() + 100},
            {vals.begin(), vals.begin() + 100});
-  for (int cycle = 0; cycle < 2; ++cycle) {
+  // Default two cycles; PTRIE_STRESS_ITERS scales churn depth (1 cycle
+  // per 4 iterations, minimum 2).
+  const int cycles = std::max<int>(2, static_cast<int>(stress_iters() / 4));
+  for (int cycle = 0; cycle < cycles; ++cycle) {
     pt.batch_insert({keys.begin() + 50, keys.end()}, {vals.begin() + 50, vals.end()});
     ASSERT_EQ(pt.key_count(), keys.size());
     ASSERT_EQ(pt.debug_check(), "");

@@ -1,0 +1,205 @@
+// Differential fuzz driver (see src/check/): generates deterministic
+// batch schedules from seeds, runs them against PimTrie and the Table-1
+// baselines with oracle cross-checks, invariant checks and cost
+// envelopes, and on failure greedily shrinks the schedule to a minimal
+// replayable file.
+//
+//   ptrie_fuzz --seed 7 --structure all --batches 30     # one seed, 4 structures
+//   ptrie_fuzz --seed 7 --seeds 10                       # seed matrix 7..16
+//   ptrie_fuzz --replay fail.sched                       # re-run a saved schedule
+//
+// Output is deterministic for a given command line (identical op and
+// check counts across runs and PTRIE_WORKERS settings); failures print
+// a replay command. Exit status: 0 all runs passed, 1 a check failed,
+// 2 usage/IO error.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/runner.hpp"
+#include "check/schedule.hpp"
+#include "check/shrink.hpp"
+
+namespace {
+
+using ptrie::check::CheckOptions;
+using ptrie::check::GenParams;
+using ptrie::check::kNoBatch;
+using ptrie::check::RunResult;
+using ptrie::check::Schedule;
+
+const char* kUsage =
+    "usage: ptrie_fuzz [options]\n"
+    "  --seed N          first seed (default 1)\n"
+    "  --seeds N         number of consecutive seeds (default 1)\n"
+    "  --structure S     pimtrie|radix|xfast|range|all (default all)\n"
+    "  --profile P       uniform|zipf|cluster|dup|auto|all (default auto:\n"
+    "                    profile cycles with the seed)\n"
+    "  --batches N       batches per schedule (default 30)\n"
+    "  --batch-cap N     max ops per batch (default 24)\n"
+    "  --init N          initial bulk-load keys (default 64)\n"
+    "  --no-deep         skip deep invariant checks\n"
+    "  --no-envelopes    skip round/imbalance cost envelopes\n"
+    "  --no-shrink       report the raw failing schedule, do not minimize\n"
+    "  --shrink-out F    write the minimized schedule here\n"
+    "                    (default ptrie_fuzz_min.sched)\n"
+    "  --corrupt K       fire the test-only corruption hook (kind K) after\n"
+    "                    every batch — the harness must catch it\n"
+    "  --corrupt-from B  first batch index the hook fires on (default 0)\n"
+    "  --replay FILE     run a saved schedule instead of generating\n"
+    "  --dump FILE       write the generated schedule(s) and exit\n";
+
+struct Args {
+  std::uint64_t seed = 1;
+  std::size_t seeds = 1;
+  std::string structure = "all";
+  std::string profile = "auto";
+  GenParams gp;
+  CheckOptions opt;
+  bool do_shrink = true;
+  std::string shrink_out = "ptrie_fuzz_min.sched";
+  std::string replay, dump;
+};
+
+bool parse_args(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    std::string f = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* v = nullptr;
+    if (f == "--seed" && (v = next())) a->seed = std::strtoull(v, nullptr, 10);
+    else if (f == "--seeds" && (v = next())) a->seeds = std::strtoull(v, nullptr, 10);
+    else if (f == "--structure" && (v = next())) a->structure = v;
+    else if (f == "--profile" && (v = next())) a->profile = v;
+    else if (f == "--batches" && (v = next()))
+      a->gp.n_batches = std::strtoull(v, nullptr, 10);
+    else if (f == "--batch-cap" && (v = next()))
+      a->gp.batch_cap = std::strtoull(v, nullptr, 10);
+    else if (f == "--init" && (v = next())) a->gp.init_n = std::strtoull(v, nullptr, 10);
+    else if (f == "--no-deep") a->opt.deep = false;
+    else if (f == "--no-envelopes") a->opt.envelopes = false;
+    else if (f == "--no-shrink") a->do_shrink = false;
+    else if (f == "--shrink-out" && (v = next())) a->shrink_out = v;
+    else if (f == "--corrupt" && (v = next()))
+      a->opt.corrupt_kind = static_cast<int>(std::strtol(v, nullptr, 10));
+    else if (f == "--corrupt-from" && (v = next()))
+      a->opt.corrupt_from = std::strtoull(v, nullptr, 10);
+    else if (f == "--replay" && (v = next())) a->replay = v;
+    else if (f == "--dump" && (v = next())) a->dump = v;
+    else {
+      std::fprintf(stderr, "ptrie_fuzz: bad argument '%s'\n%s", f.c_str(), kUsage);
+      return false;
+    }
+  }
+  return true;
+}
+
+// On failure: shrink (optionally), persist, and print the replay command.
+int report_failure(const Schedule& sched, const RunResult& r, const Args& a) {
+  std::string where = r.fail_batch == kNoBatch
+                          ? std::string("initial build")
+                          : "batch " + std::to_string(r.fail_batch) + " (" +
+                                ptrie::check::op_name(sched.batches[r.fail_batch].op) + ")";
+  std::printf("ptrie_fuzz: FAIL structure=%s profile=%s seed=%llu at %s\n",
+              sched.structure.c_str(), sched.profile.c_str(),
+              static_cast<unsigned long long>(sched.seed), where.c_str());
+  std::printf("  %s\n", r.error.c_str());
+
+  Schedule minimal = sched;
+  if (a.do_shrink) {
+    ptrie::check::ShrinkStats st;
+    minimal = ptrie::check::shrink(sched, a.opt, 400, &st);
+    RunResult mr = ptrie::check::run_schedule(minimal, a.opt);
+    std::printf("  shrunk: %zu -> %zu batches, %zu -> %zu ops (%zu re-runs); %s\n",
+                sched.batches.size(), minimal.batches.size(), sched.op_count(),
+                minimal.op_count(), st.runs, mr.ok ? "WARNING: no longer fails"
+                                                   : mr.error.c_str());
+  }
+  std::ofstream out(a.shrink_out);
+  if (out) {
+    out << ptrie::check::serialize(minimal);
+    std::string extra;
+    if (a.opt.corrupt_kind >= 0)
+      extra = " --corrupt " + std::to_string(a.opt.corrupt_kind) + " --corrupt-from " +
+              std::to_string(a.opt.corrupt_from);
+    std::printf("  replay with: ptrie_fuzz --replay %s%s\n", a.shrink_out.c_str(),
+                extra.c_str());
+  } else {
+    std::fprintf(stderr, "ptrie_fuzz: cannot write %s\n", a.shrink_out.c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse_args(argc, argv, &a)) return 2;
+
+  std::vector<Schedule> schedules;
+  if (!a.replay.empty()) {
+    std::ifstream in(a.replay);
+    if (!in) {
+      std::fprintf(stderr, "ptrie_fuzz: cannot read %s\n", a.replay.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    Schedule s;
+    std::string err;
+    if (!ptrie::check::parse(text.str(), &s, &err)) {
+      std::fprintf(stderr, "ptrie_fuzz: %s: %s\n", a.replay.c_str(), err.c_str());
+      return 2;
+    }
+    schedules.push_back(std::move(s));
+  } else {
+    static const char* kStructures[] = {"pimtrie", "radix", "xfast", "range"};
+    static const char* kProfiles[] = {"uniform", "zipf", "cluster", "dup"};
+    std::vector<std::string> structures, profiles;
+    if (a.structure == "all") structures.assign(kStructures, kStructures + 4);
+    else structures.push_back(a.structure);
+    if (a.profile == "all") profiles.assign(kProfiles, kProfiles + 4);
+    else profiles.push_back(a.profile);
+    for (std::size_t k = 0; k < a.seeds; ++k) {
+      std::uint64_t seed = a.seed + k;
+      for (const auto& st : structures)
+        for (auto pr : profiles) {
+          std::string profile = pr == "auto" ? kProfiles[seed % 4] : pr;
+          schedules.push_back(ptrie::check::make_schedule(st, profile, seed, a.gp));
+        }
+    }
+  }
+
+  if (!a.dump.empty()) {
+    std::ofstream out(a.dump);
+    if (!out) {
+      std::fprintf(stderr, "ptrie_fuzz: cannot write %s\n", a.dump.c_str());
+      return 2;
+    }
+    for (const auto& s : schedules) out << ptrie::check::serialize(s);
+    std::printf("ptrie_fuzz: dumped %zu schedule(s) to %s\n", schedules.size(),
+                a.dump.c_str());
+    return 0;
+  }
+
+  std::size_t ops = 0, checks = 0, max_rounds = 0;
+  double max_imb = 0.0;
+  for (const auto& sched : schedules) {
+    RunResult r = ptrie::check::run_schedule(sched, a.opt);
+    ops += r.ops;
+    checks += r.checks;
+    max_rounds = std::max(max_rounds, r.max_batch_rounds);
+    max_imb = std::max(max_imb, r.max_imbalance);
+    if (!r.ok) return report_failure(sched, r, a);
+  }
+  std::printf(
+      "ptrie_fuzz: OK runs=%zu ops=%zu checks=%zu max_batch_rounds=%zu "
+      "max_imbalance=%.3f\n",
+      schedules.size(), ops, checks, max_rounds, max_imb);
+  return 0;
+}
