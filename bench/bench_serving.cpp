@@ -1,0 +1,269 @@
+// Serving-mode benchmark (ROADMAP item 1): open-loop clients replay a
+// mixed read/write request stream against the streaming front-end and we
+// measure throughput, latency percentiles (vs offered load), the
+// pipeline-overlap ratio, and the batch-size distribution.
+//
+// Three dispatch modes over the SAME request stream:
+//   per-request : every request is its own batch (the library status quo
+//                 for serving individual concurrent requests — each op
+//                 pays the full per-batch round overhead)
+//   coalesced   : size/deadline coalescing, prepare and execute in
+//                 sequence on one thread
+//   pipelined   : coalescing plus the prepare(k+1) / execute(k) overlap
+//
+// All three produce byte-identical answers (arrival order is preserved
+// and preparation is state-independent); only batching and scheduling
+// differ. The final table replays fixed-size batches from a single
+// client so its model metrics (rounds, words/op, pim_time) are exactly
+// reproducible — that table is what ci/perf_gate.sh checks.
+//
+// Flags (besides the common --json):
+//   --ops N         requests per mode/load point      (default 3000)
+//   --clients C     open-loop client threads          (default 4)
+//   --rates a,b,..  offered loads in ops/s, 0 = saturating (default
+//                   20000,60000,0)
+//   --quick         CI smoke: fewer ops, two load points
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "pimtrie/pim_trie.hpp"
+#include "serve/server.hpp"
+#include "workload/generators.hpp"
+
+using namespace ptrie;
+
+namespace {
+
+struct Cfg {
+  std::size_t ops = 3000;
+  std::size_t clients = 4;
+  std::vector<double> rates = {20000, 60000, 0};
+  bool quick = false;
+};
+
+serve::Op to_serve_op(workload::ReqOp op) {
+  return static_cast<serve::Op>(static_cast<std::uint8_t>(op));
+}
+
+struct RunResult {
+  double ops_per_sec = 0;
+  double p50_us = 0, p99_us = 0;
+  serve::Server::Stats stats;
+  std::vector<double> lat_us;
+  // Answers, for cross-mode identity checking.
+  std::vector<std::size_t> lcps;
+  std::vector<std::uint64_t> gets;  // value or ~0 for miss
+};
+
+// Replays `reqs` open-loop at `rate` ops/s (0 = as fast as possible)
+// from cfg.clients threads, round-robin by request index so the global
+// submission order tracks the arrival schedule.
+RunResult run_mode(pimtrie::PimTrie& trie, const std::vector<workload::Request>& reqs,
+                   const Cfg& cfg, serve::Server::Options opt, double rate) {
+  serve::Server server(trie, opt);
+  auto arrivals = rate > 0 ? workload::poisson_arrivals(reqs.size(), rate, 42)
+                           : std::vector<std::uint64_t>(reqs.size(), 0);
+
+  std::vector<double> sched_ms(reqs.size(), 0);
+  std::vector<std::future<serve::Response>> futs(reqs.size());
+  auto t_base = server.start_time() + std::chrono::milliseconds(2);
+
+  auto client = [&](std::size_t c) {
+    for (std::size_t i = c; i < reqs.size(); i += cfg.clients) {
+      auto at = t_base + std::chrono::nanoseconds(arrivals[i]);
+      if (rate > 0) std::this_thread::sleep_until(at);
+      // Open loop: latency is measured from the *scheduled* arrival so
+      // queueing delay (coordinated omission) is charged to the server.
+      // At saturating load there is no schedule; use the submit instant.
+      sched_ms[i] =
+          rate > 0
+              ? std::chrono::duration<double, std::milli>(at - server.start_time()).count()
+              : server.now_ms();
+      futs[i] = server.submit(to_serve_op(reqs[i].op), reqs[i].key, reqs[i].value);
+    }
+  };
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < cfg.clients; ++c) threads.emplace_back(client, c);
+  for (auto& t : threads) t.join();
+  server.drain();
+
+  RunResult r;
+  r.lat_us.reserve(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    serve::Response resp = futs[i].get();
+    r.lat_us.push_back(std::max(0.0, resp.done_ms - sched_ms[i]) * 1000.0);
+    if (resp.op == serve::Op::kLcp) r.lcps.push_back(resp.lcp);
+    if (resp.op == serve::Op::kGet) r.gets.push_back(resp.value.value_or(~0ull));
+  }
+  r.stats = server.stats();
+  server.stop();
+  if (r.stats.span_ms > 0) r.ops_per_sec = double(reqs.size()) / (r.stats.span_ms / 1000.0);
+  std::vector<double> sorted = r.lat_us;
+  std::sort(sorted.begin(), sorted.end());
+  r.p50_us = bench::percentile_sorted(sorted, 50);
+  r.p99_us = bench::percentile_sorted(sorted, 99);
+  return r;
+}
+
+std::string rate_label(double rate) {
+  if (rate <= 0) return "max";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0fk", rate / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cfg cfg;
+  std::vector<char*> fwd;
+  fwd.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
+      cfg.ops = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      cfg.clients = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--rates") == 0 && i + 1 < argc) {
+      cfg.rates.clear();
+      for (const char* p = argv[++i]; *p;) {
+        cfg.rates.push_back(std::strtod(p, const_cast<char**>(&p)));
+        if (*p == ',') ++p;
+      }
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      cfg.quick = true;
+    } else {
+      fwd.push_back(argv[i]);
+    }
+  }
+  bench::init(static_cast<int>(fwd.size()), fwd.data());
+  if (cfg.quick) {
+    cfg.ops = std::min<std::size_t>(cfg.ops, 600);
+    cfg.rates = {30000, 0};
+  }
+  cfg.clients = std::max<std::size_t>(1, cfg.clients);
+
+  const std::size_t kP = 32, kN = 6000, kBits = 64;
+  std::printf("serving bench: P=%zu modules, n=%zu keys, %zu ops/mode, %zu clients\n", kP, kN,
+              cfg.ops, cfg.clients);
+
+  auto keys = workload::uniform_keys(kN, kBits, 101);
+  std::vector<std::uint64_t> vals(keys.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = i + 1;
+  workload::MixProfile mix;  // read-mostly tenants + 10% write tenant
+  auto reqs = workload::request_stream(keys, cfg.ops, mix, 202);
+
+  struct Mode {
+    const char* name;
+    serve::Server::Options opt;
+  };
+  serve::Server::Options perreq;
+  perreq.max_batch = 1;
+  perreq.pipelined = false;
+  serve::Server::Options coalesced;
+  coalesced.max_batch = 512;
+  coalesced.max_delay = std::chrono::microseconds(200);
+  coalesced.pipelined = false;
+  serve::Server::Options pipelined = coalesced;
+  pipelined.pipelined = true;
+  const Mode modes[] = {{"per-request", perreq}, {"coalesced", coalesced},
+                        {"pipelined", pipelined}};
+
+  bench::header("serving: throughput and latency vs offered load",
+                {"mode", "offered", "ops/s", "p50_us", "p99_us", "mean_batch", "overlap",
+                 "deadline%"});
+  double perreq_sat = 0, pipelined_sat = 0, coalesced_sat = 0;
+  for (const Mode& m : modes) {
+    for (double rate : cfg.rates) {
+      // Each (mode, load) point gets a fresh trie so write churn from
+      // earlier points cannot leak into later ones.
+      pim::System sys(kP, 7);
+      pimtrie::Config pcfg;
+      pcfg.seed = 9;
+      pimtrie::PimTrie trie(sys, pcfg);
+      trie.build(keys, vals);
+
+      RunResult r = run_mode(trie, reqs, cfg, m.opt, rate);
+      bench::cell(std::string(m.name));
+      bench::cell(rate_label(rate));
+      bench::cell(r.ops_per_sec);
+      bench::cell(r.p50_us);
+      bench::cell(r.p99_us);
+      bench::cell(r.stats.mean_batch());
+      bench::cell(bench::fmt(r.stats.overlap_ratio(), 3));
+      double closes = double(r.stats.close_size + r.stats.close_deadline +
+                             r.stats.close_flush);
+      bench::cell(closes > 0 ? 100.0 * double(r.stats.close_deadline) / closes : 0.0);
+      bench::endrow();
+
+      std::string tag = std::string(m.name) + "@" + rate_label(rate);
+      bench::histogram("lat/" + tag, r.lat_us, "us");
+      std::vector<double> bs(r.stats.batch_sizes.begin(), r.stats.batch_sizes.end());
+      bench::histogram("batch/" + tag, bs, "reqs");
+      if (rate <= 0) {
+        if (std::strcmp(m.name, "per-request") == 0) perreq_sat = r.ops_per_sec;
+        if (std::strcmp(m.name, "coalesced") == 0) coalesced_sat = r.ops_per_sec;
+        if (std::strcmp(m.name, "pipelined") == 0) pipelined_sat = r.ops_per_sec;
+      }
+    }
+  }
+
+  bench::header("serving: saturating-load speedup over per-request dispatch",
+                {"mode", "ops/s", "speedup"});
+  bench::cell(std::string("per-request"));
+  bench::cell(perreq_sat);
+  bench::cell(1.0);
+  bench::endrow();
+  bench::cell(std::string("coalesced"));
+  bench::cell(coalesced_sat);
+  bench::cell(perreq_sat > 0 ? coalesced_sat / perreq_sat : 0.0);
+  bench::endrow();
+  bench::cell(std::string("pipelined"));
+  bench::cell(pipelined_sat);
+  bench::cell(perreq_sat > 0 ? pipelined_sat / perreq_sat : 0.0);
+  bench::endrow();
+  std::printf("acceptance: pipelined >= 1.3x per-request at saturating load -> %s\n",
+              pipelined_sat >= 1.3 * perreq_sat ? "PASS" : "FAIL");
+
+  // Deterministic replay for the perf gate: one client, size-only batch
+  // closing, so batch composition (and hence every model metric) is
+  // exactly reproducible run to run.
+  {
+    bench::header("serving: fixed-batch replay (deterministic, perf-gate input)",
+                  {"batch", "ops", "rounds", "words/op", "io/op", "pim_time",
+                   "total_words"});
+    for (std::size_t batch : {64, 512}) {
+      pim::System sys(kP, 7);
+      pimtrie::Config pcfg;
+      pcfg.seed = 9;
+      pimtrie::PimTrie trie(sys, pcfg);
+      trie.build(keys, vals);
+      serve::Server::Options opt;
+      opt.max_batch = batch;
+      opt.max_delay = std::chrono::hours(2);  // never close on deadline
+      opt.pipelined = true;
+      auto c = bench::measure(sys, reqs.size(), [&] {
+        serve::Server server(trie, opt);
+        std::vector<std::future<serve::Response>> futs;
+        futs.reserve(reqs.size());
+        for (const auto& q : reqs)
+          futs.push_back(server.submit(to_serve_op(q.op), q.key, q.value));
+        server.drain();
+        server.stop();
+        for (auto& f : futs) f.get();
+      });
+      bench::cell(batch);
+      bench::cell(reqs.size());
+      bench::cell(c.rounds);
+      bench::cell(c.words_per_op);
+      bench::cell(c.io_time_per_op);
+      bench::cell(std::size_t(c.pim_time));
+      bench::cell(std::size_t(c.total_words));
+      bench::endrow();
+    }
+  }
+  return pipelined_sat >= 1.3 * perreq_sat ? 0 : 1;
+}

@@ -11,7 +11,9 @@
 // strings, numbers stay numbers) and appends the obs counter values, so
 // scripts never have to scrape the aligned text output.
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -100,9 +102,22 @@ struct Reporter {
     std::vector<std::string> cols;
     std::vector<std::vector<Cell>> rows;
   };
+  // Full latency distributions, not just scalar percentiles: log2-spaced
+  // buckets so report tooling can render latency-vs-load curves and
+  // tail shapes without access to the raw samples.
+  struct Histogram {
+    std::string name;
+    std::string unit;
+    std::size_t count = 0;
+    double min = 0, max = 0, mean = 0;
+    double p50 = 0, p90 = 0, p95 = 0, p99 = 0;
+    std::vector<double> bucket_le;         // upper bound per bucket
+    std::vector<std::size_t> bucket_count;
+  };
   std::string json_path;
   std::string binary;
   std::vector<Table> tables;
+  std::vector<Histogram> hists;
   bool row_open = false;
 
   static Reporter& instance() {
@@ -158,6 +173,29 @@ struct Reporter {
       out += tab.rows.empty() ? "]}" : "\n    ]}";
     }
     out += tables.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"histograms\": [";
+    for (std::size_t h = 0; h < hists.size(); ++h) {
+      const Histogram& hg = hists[h];
+      char buf[96];
+      out += h ? ",\n    {" : "\n    {";
+      out += "\"name\": " + json::escape(hg.name) + ", \"unit\": " + json::escape(hg.unit);
+      std::snprintf(buf, sizeof buf,
+                    ", \"count\": %zu, \"min\": %.6g, \"max\": %.6g, \"mean\": %.6g",
+                    hg.count, hg.min, hg.max, hg.mean);
+      out += buf;
+      std::snprintf(buf, sizeof buf,
+                    ", \"p50\": %.6g, \"p90\": %.6g, \"p95\": %.6g, \"p99\": %.6g",
+                    hg.p50, hg.p90, hg.p95, hg.p99);
+      out += buf;
+      out += ", \"buckets\": [";
+      for (std::size_t b = 0; b < hg.bucket_le.size(); ++b) {
+        std::snprintf(buf, sizeof buf, "{\"le\": %.6g, \"count\": %zu}", hg.bucket_le[b],
+                      hg.bucket_count[b]);
+        out += (b ? ", " : "") + std::string(buf);
+      }
+      out += "]}";
+    }
+    out += hists.empty() ? "],\n" : "\n  ],\n";
     out += "  \"counters\": {";
     auto counters = ptrie::obs::counters_snapshot();
     for (std::size_t i = 0; i < counters.size(); ++i) {
@@ -233,6 +271,58 @@ inline std::string fmt(double v, int prec = 2) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", prec, v);
   return buf;
+}
+
+// ---- latency histograms ----------------------------------------------
+
+inline double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  double rank = p / 100.0 * double(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - double(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+// Records a full distribution under `name` (log2-spaced buckets plus the
+// standard percentiles) and prints a one-line summary. The samples reach
+// the --json output as a "histograms" entry, so ptrie_report can render
+// latency-vs-load curves without the raw data.
+inline void histogram(const std::string& name, std::vector<double> values,
+                      const char* unit = "us") {
+  using detail::Reporter;
+  Reporter::Histogram h;
+  h.name = name;
+  h.unit = unit;
+  h.count = values.size();
+  if (!values.empty()) {
+    std::sort(values.begin(), values.end());
+    h.min = values.front();
+    h.max = values.back();
+    double sum = 0;
+    for (double v : values) sum += v;
+    h.mean = sum / double(values.size());
+    h.p50 = percentile_sorted(values, 50);
+    h.p90 = percentile_sorted(values, 90);
+    h.p95 = percentile_sorted(values, 95);
+    h.p99 = percentile_sorted(values, 99);
+    // Log2-spaced buckets from <=1 unit up past the max sample.
+    double le = 1.0;
+    while (le < h.max) le *= 2;
+    std::size_t n_buckets = 1;
+    for (double b = 1.0; b < le; b *= 2) ++n_buckets;
+    h.bucket_le.reserve(n_buckets);
+    h.bucket_count.assign(n_buckets, 0);
+    for (double b = 1.0, i = 0; i < double(n_buckets); b *= 2, ++i) h.bucket_le.push_back(b);
+    std::size_t bi = 0;
+    for (double v : values) {
+      while (bi + 1 < h.bucket_le.size() && v > h.bucket_le[bi]) ++bi;
+      ++h.bucket_count[bi];
+    }
+  }
+  std::printf("  hist %-28s n=%zu  p50=%.1f%s p90=%.1f%s p99=%.1f%s max=%.1f%s\n",
+              name.c_str(), h.count, h.p50, unit, h.p90, unit, h.p99, unit, h.max, unit);
+  Reporter::instance().hists.push_back(std::move(h));
 }
 
 }  // namespace bench

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # CI gate: full build + tests in the normal configuration, a fixed-seed
-# differential fuzz matrix, then sanitizer builds — AddressSanitizer
-# runs the unit-label tests plus the fuzz matrix; ThreadSanitizer runs
-# the parallel-runtime determinism suite with a multi-worker pool and
-# the fuzz matrix again (races in the batch pipeline show up there).
+# differential fuzz matrix, the perf gate against the checked-in
+# BENCH_*.json baselines, then sanitizer builds — AddressSanitizer runs
+# the unit- and serve-label tests plus the fuzz matrix; ThreadSanitizer
+# runs the parallel-runtime determinism suite (which includes the
+# serving pipeline's WorkerSweepServe tests) with a multi-worker pool,
+# a short bench_serving smoke, and the fuzz matrix again (races in the
+# batch pipeline and the serve coalescer show up there).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,21 +37,39 @@ grep -q 'LCP/MetaQuery/HashMatching-L1' "$OBS_TMP/trace_report.txt"
 ./build/tools/ptrie_report "$OBS_TMP/bench.json" >"$OBS_TMP/bench_report.txt"
 grep -q 'counters' "$OBS_TMP/bench_report.txt"
 
-echo "== address-sanitized build + unit tests + fuzz matrix =="
+echo "== serving smoke: latency histograms + curves render =="
+./build/bench/bench_serving --quick --json "$OBS_TMP/serving.json" >/dev/null
+./build/tools/ptrie_report "$OBS_TMP/serving.json" >"$OBS_TMP/serving_report.txt"
+grep -q 'latency vs offered load' "$OBS_TMP/serving_report.txt"
+grep -q 'lat/pipelined@max' "$OBS_TMP/serving_report.txt"
+
+echo "== perf gate: model metrics vs checked-in baselines =="
+ci/perf_gate.sh build
+
+echo "== address-sanitized build + unit/serve tests + fuzz matrix =="
 cmake -B build-asan -S . -DPTRIE_SANITIZE=address >/dev/null
-cmake --build build-asan -j "$JOBS" --target pimtrie_tests ptrie_fuzz
-ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L unit
+cmake --build build-asan -j "$JOBS" --target pimtrie_tests ptrie_fuzz bench_serving
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L 'unit|serve'
+# Serving smoke under ASan: coalescer + pipeline + promise plumbing.
+./build-asan/bench/bench_serving --quick --ops 200 >/dev/null
 ./build-asan/tools/ptrie_fuzz --seed 1 --seeds "$FUZZ_SEEDS" \
   --structure all --profile auto --batches 12 --batch-cap 12 --init 40 \
   --shrink-out build-asan/fuzz_min.sched
 
 echo "== thread-sanitized build + parallel determinism suite + fuzz matrix =="
 cmake -B build-tsan -S . -DPTRIE_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target pimtrie_tests ptrie_fuzz
-# WorkerSweep* covers the batch-pipeline suite and the trace byte-equality
-# suite (WorkerSweepTrace) in tests/test_obs.cpp.
+cmake --build build-tsan -j "$JOBS" --target pimtrie_tests ptrie_fuzz bench_serving
+# WorkerSweep* covers the batch-pipeline suite, the trace byte-equality
+# suite (WorkerSweepTrace) in tests/test_obs.cpp, and the serving
+# pipeline determinism suite (WorkerSweepServe) in tests/test_serve.cpp.
 PTRIE_WORKERS=8 ./build-tsan/tests/pimtrie_tests \
   --gtest_filter='WorkerSweep*'
+# Remaining serve tier (coalescer triggers, concurrent clients, serve
+# fuzz adapter) and a short bench_serving smoke under TSan: the open-loop
+# clients, coalescer, and pipeline threads all run concurrently here.
+PTRIE_WORKERS=8 ./build-tsan/tests/pimtrie_tests \
+  --gtest_filter='Serve*'
+PTRIE_WORKERS=8 ./build-tsan/bench/bench_serving --quick --ops 200 >/dev/null
 PTRIE_WORKERS=8 ./build-tsan/tools/ptrie_fuzz --seed 1 --seeds "$FUZZ_SEEDS" \
   --structure all --profile auto --batches 12 --batch-cap 12 --init 40 \
   --shrink-out build-tsan/fuzz_min.sched

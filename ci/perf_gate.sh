@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Perf gate (ROADMAP item 5c, first recorded trajectory point): re-runs
+# the deterministic benches and compares the machine-independent model
+# metrics (rounds, words/op, io, pim_time) against the checked-in
+# BENCH_*.json baselines via `ptrie_report --gate`. Fails when any gated
+# value grows by more than 15%. Wall-clock, throughput, and latency
+# columns are machine-dependent and are never gated.
+#
+# The serving baseline was produced with `bench_serving --quick --json`;
+# the gate re-runs with the same flags so the deterministic fixed-batch
+# replay table matches row for row. Regenerate baselines after an
+# intentional cost change with:
+#   build/bench/bench_table1_lcp --json BENCH_table1.json
+#   build/bench/bench_serving --quick --json BENCH_serving.json
+#
+# usage: ci/perf_gate.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD=${1:-build}
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== perf gate: bench_table1_lcp =="
+"$BUILD/bench/bench_table1_lcp" --json "$TMP/table1.json" >/dev/null
+"$BUILD/tools/ptrie_report" --gate BENCH_table1.json "$TMP/table1.json" --tol 0.15
+
+echo "== perf gate: bench_serving (quick) =="
+# bench_serving exits non-zero when the pipelined path falls below the
+# 1.3x saturating-load speedup acceptance, so the gate checks that too.
+"$BUILD/bench/bench_serving" --quick --json "$TMP/serving.json" >/dev/null
+"$BUILD/tools/ptrie_report" --gate BENCH_serving.json "$TMP/serving.json" --tol 0.15
+
+echo "perf gate: OK"

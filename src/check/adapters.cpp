@@ -1,6 +1,8 @@
 #include "check/adapters.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <future>
 
 #include "baselines/distributed_radix_tree.hpp"
 #include "baselines/distributed_xfast.hpp"
@@ -8,6 +10,7 @@
 #include "obs/env.hpp"
 #include "pimtrie/config.hpp"
 #include "pimtrie/pim_trie.hpp"
+#include "serve/server.hpp"
 
 namespace ptrie::check {
 
@@ -39,7 +42,7 @@ BitString phantom_key(int kind) {
 
 // ---- PimTrie --------------------------------------------------------
 
-class PimTrieAdapter final : public IndexAdapter {
+class PimTrieAdapter : public IndexAdapter {
  public:
   PimTrieAdapter(pim::System& sys, std::uint64_t seed) : sys_(&sys) {
     pimtrie::Config cfg;
@@ -109,9 +112,86 @@ class PimTrieAdapter final : public IndexAdapter {
     else pt_->batch_insert({phantom_key(kind)}, {0});
   }
 
- private:
+ protected:
   pim::System* sys_;
   std::unique_ptr<pimtrie::PimTrie> pt_;
+};
+
+// ---- PimTrie behind the serving front-end ---------------------------
+// Same trie, but every incremental op is routed through serve::Server
+// (one submit per key, then flush + drain) so fuzzer schedules exercise
+// the coalescer, the prepare/execute pipeline, and the future plumbing
+// end to end. Answers — and the round/imbalance envelopes inherited
+// from PimTrieAdapter — must stay byte-identical to the direct adapter.
+
+class ServeAdapter final : public PimTrieAdapter {
+ public:
+  ServeAdapter(pim::System& sys, std::uint64_t seed) : PimTrieAdapter(sys, seed) {
+    serve::Server::Options opt;
+    opt.max_batch = std::size_t(1) << 30;        // close on flush only
+    opt.max_delay = std::chrono::hours(2);       // never close on deadline
+    opt.max_backlog = 4;
+    opt.pipelined = true;
+    srv_ = std::make_unique<serve::Server>(*pt_, opt);
+  }
+  ~ServeAdapter() override { srv_->stop(); }
+  std::string name() const override { return "serve"; }
+
+  void insert(const std::vector<BitString>& keys,
+              const std::vector<std::uint64_t>& values) override {
+    std::vector<std::future<serve::Response>> futs;
+    futs.reserve(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      futs.push_back(srv_->submit(serve::Op::kInsert, keys[i], values[i]));
+    settle(futs);
+  }
+  void erase(const std::vector<BitString>& keys) override {
+    std::vector<std::future<serve::Response>> futs;
+    futs.reserve(keys.size());
+    for (const auto& k : keys) futs.push_back(srv_->submit(serve::Op::kErase, k));
+    settle(futs);
+  }
+  std::vector<std::size_t> lcp(const std::vector<BitString>& keys) override {
+    std::vector<std::future<serve::Response>> futs;
+    futs.reserve(keys.size());
+    for (const auto& k : keys) futs.push_back(srv_->submit(serve::Op::kLcp, k));
+    settle(futs);
+    std::vector<std::size_t> out;
+    out.reserve(futs.size());
+    for (auto& f : futs) out.push_back(f.get().lcp);
+    return out;
+  }
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> subtree(
+      const std::vector<BitString>& prefixes) override {
+    std::vector<std::future<serve::Response>> futs;
+    futs.reserve(prefixes.size());
+    for (const auto& p : prefixes) futs.push_back(srv_->submit(serve::Op::kSubtree, p));
+    settle(futs);
+    std::vector<std::vector<std::pair<BitString, std::uint64_t>>> out;
+    out.reserve(futs.size());
+    for (auto& f : futs) out.push_back(f.get().subtree);
+    return out;
+  }
+  std::vector<std::optional<std::uint64_t>> get(
+      const std::vector<BitString>& keys) override {
+    std::vector<std::future<serve::Response>> futs;
+    futs.reserve(keys.size());
+    for (const auto& k : keys) futs.push_back(srv_->submit(serve::Op::kGet, k));
+    settle(futs);
+    std::vector<std::optional<std::uint64_t>> out;
+    out.reserve(futs.size());
+    for (auto& f : futs) out.push_back(f.get().value);
+    return out;
+  }
+
+ private:
+  void settle(std::vector<std::future<serve::Response>>& futs) {
+    srv_->flush();
+    srv_->drain();
+    for (auto& f : futs) f.wait();
+  }
+
+  std::unique_ptr<serve::Server> srv_;
 };
 
 // ---- Distributed radix tree -----------------------------------------
@@ -346,6 +426,7 @@ class RangeAdapter final : public IndexAdapter {
 std::unique_ptr<IndexAdapter> make_adapter(const std::string& name, pim::System& sys,
                                            std::uint64_t seed) {
   if (name == "pimtrie") return std::make_unique<PimTrieAdapter>(sys, seed);
+  if (name == "serve") return std::make_unique<ServeAdapter>(sys, seed);
   if (name == "radix") return std::make_unique<RadixAdapter>(sys, seed);
   if (name == "xfast") return std::make_unique<XFastAdapter>(sys, seed);
   if (name == "range") return std::make_unique<RangeAdapter>(sys, seed);

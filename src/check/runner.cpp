@@ -184,7 +184,7 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
       }
       // Per-batch communication imbalance: only PimTrie claims skew
       // resistance, and only sizable batches are statistically meaningful.
-      if (s.structure == "pimtrie") {
+      if (s.structure == "pimtrie" || s.structure == "serve") {
         std::uint64_t total = after.words - before.words, mx = 0;
         for (std::size_t m = 0; m < after.module_words.size(); ++m)
           mx = std::max(mx, after.module_words[m] - before.module_words[m]);

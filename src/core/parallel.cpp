@@ -26,6 +26,9 @@ ThreadPool& ThreadPool::instance() {
 
 bool ThreadPool::in_parallel_region() { return tls_in_parallel; }
 
+SerialRegion::SerialRegion() : prev_(tls_in_parallel) { tls_in_parallel = true; }
+SerialRegion::~SerialRegion() { tls_in_parallel = prev_; }
+
 ThreadPool::ThreadPool(std::size_t nworkers) : nworkers_(std::max<std::size_t>(1, nworkers)) {
   spawn_workers();
 }
@@ -129,6 +132,10 @@ void ThreadPool::run_blocked(std::size_t n, std::size_t chunks,
     }
     return;
   }
+  // Whole-job serialization of concurrent top-level callers: a second
+  // thread entering here parks until the first job fully completes, so
+  // the single job slot (and the done/epoch protocol) is never shared.
+  std::lock_guard region(region_mu_);
   std::uint64_t tag;
   {
     std::lock_guard lock(mu_);

@@ -49,6 +49,12 @@ class ThreadPool {
 
   ~ThreadPool();
 
+  // Concurrent top-level parallel regions (e.g. the serving pipeline's
+  // prepare thread racing the executor thread) are legal: run_blocked
+  // serializes whole jobs on an internal region mutex, so the single job
+  // slot is never shared. Primitive outputs stay worker-count invariant,
+  // hence unchanged by the serialization order.
+
  private:
   explicit ThreadPool(std::size_t nworkers);
 
@@ -76,12 +82,30 @@ class ThreadPool {
 
   std::size_t nworkers_;
   std::vector<std::thread> threads_;
+  std::mutex region_mu_;  // serializes concurrent top-level callers
   std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   Job job_;
   std::uint64_t epoch_ = 0;
   bool stop_ = false;
+};
+
+// RAII guard that marks the calling thread as already-parallel, so every
+// primitive below runs inline (serially) on it for the guard's lifetime.
+// The serving pipeline wraps its preparation stage in one of these: the
+// prepared results are byte-identical (all primitives are worker-count
+// invariant, and serial == one worker) while the pool stays dedicated to
+// the executor thread it overlaps with.
+class SerialRegion {
+ public:
+  SerialRegion();
+  ~SerialRegion();
+  SerialRegion(const SerialRegion&) = delete;
+  SerialRegion& operator=(const SerialRegion&) = delete;
+
+ private:
+  bool prev_;
 };
 
 namespace detail {

@@ -63,6 +63,28 @@ class PimTrie {
   // Batch point reads: out[i] = value stored at keys[i], if present.
   std::vector<std::optional<trie::Value>> batch_get(const std::vector<core::BitString>& keys);
 
+  // ---- prepared batches (serving pipeline) ----
+  // Host-only preparation of a batch (Algorithm 1): sort + dedup +
+  // hashed query-trie build. Depends only on the batch keys and this
+  // instance's hash family — never on stored contents — so it is safe to
+  // run concurrently with another batch's execution; the serving
+  // front-end (src/serve) overlaps prepare(batch k+1) with the PIM
+  // rounds of batch k. Issues no rounds and touches no metrics.
+  trie::QueryTrie prepare_batch(const std::vector<core::BitString>& keys) const;
+
+  // Execute a batch from its prepared query trie. Each call is
+  // byte-identical — results, rounds, and metrics — to the plain batch_*
+  // call above when `qt` came from prepare_batch on the same keys.
+  std::vector<std::size_t> batch_lcp_prepared(const std::vector<core::BitString>& keys,
+                                              trie::QueryTrie qt);
+  void batch_insert_prepared(const std::vector<core::BitString>& keys,
+                             const std::vector<trie::Value>& values, trie::QueryTrie qt);
+  void batch_erase_prepared(const std::vector<core::BitString>& keys, trie::QueryTrie qt);
+  std::vector<std::vector<std::pair<core::BitString, trie::Value>>> batch_subtree_prepared(
+      const std::vector<core::BitString>& prefixes, trie::QueryTrie qt);
+  std::vector<std::optional<trie::Value>> batch_get_prepared(
+      const std::vector<core::BitString>& keys, trie::QueryTrie qt);
+
   // Single point read (sugar over batch_get).
   std::optional<trie::Value> find(const core::BitString& key);
 

@@ -595,11 +595,20 @@ PimTrie::MatchOutcome PimTrie::run_matching(trie::QueryTrie& qt, const char* lab
   return out;
 }
 
+trie::QueryTrie PimTrie::prepare_batch(const std::vector<BitString>& keys) const {
+  if (keys.empty()) return {};
+  return trie::build_query_trie(keys, hasher_);
+}
+
 std::vector<std::size_t> PimTrie::batch_lcp(const std::vector<BitString>& keys) {
+  return batch_lcp_prepared(keys, prepare_batch(keys));
+}
+
+std::vector<std::size_t> PimTrie::batch_lcp_prepared(const std::vector<BitString>& keys,
+                                                     trie::QueryTrie qt) {
   std::vector<std::size_t> out(keys.size(), 0);
   if (keys.empty() || root_block_ == kNone) return out;
   obs::Phase op_phase("LCP");
-  trie::QueryTrie qt = trie::build_query_trie(keys, hasher_);
   sys_->metrics().add_cpu_work(qt.cpu_work);
   MatchOutcome mo = run_matching(qt, "lcp", /*op_kind=*/0);
   core::parallel_for(
@@ -614,10 +623,14 @@ std::vector<std::size_t> PimTrie::batch_lcp(const std::vector<BitString>& keys) 
 
 std::vector<std::optional<trie::Value>> PimTrie::batch_get(
     const std::vector<BitString>& keys) {
+  return batch_get_prepared(keys, prepare_batch(keys));
+}
+
+std::vector<std::optional<trie::Value>> PimTrie::batch_get_prepared(
+    const std::vector<BitString>& keys, trie::QueryTrie qt) {
   std::vector<std::optional<trie::Value>> out(keys.size());
   if (keys.empty() || root_block_ == kNone) return out;
   obs::Phase op_phase("Get");
-  trie::QueryTrie qt = trie::build_query_trie(keys, hasher_);
   sys_->metrics().add_cpu_work(qt.cpu_work);
   MatchOutcome mo = run_matching(qt, "get", /*op_kind=*/3);
   std::unordered_map<NodeId, trie::Value> by_origin;
@@ -632,10 +645,14 @@ std::vector<std::optional<trie::Value>> PimTrie::batch_get(
 
 std::vector<std::vector<std::pair<BitString, trie::Value>>> PimTrie::batch_subtree(
     const std::vector<BitString>& prefixes) {
+  return batch_subtree_prepared(prefixes, prepare_batch(prefixes));
+}
+
+std::vector<std::vector<std::pair<BitString, trie::Value>>> PimTrie::batch_subtree_prepared(
+    const std::vector<BitString>& prefixes, trie::QueryTrie qt) {
   std::vector<std::vector<std::pair<BitString, trie::Value>>> out(prefixes.size());
   if (prefixes.empty() || root_block_ == kNone) return out;
   obs::Phase op_phase("Subtree");
-  trie::QueryTrie qt = trie::build_query_trie(prefixes, hasher_);
   sys_->metrics().add_cpu_work(qt.cpu_work);
   MatchOutcome mo = run_matching(qt, "subtree", /*op_kind=*/0);
 

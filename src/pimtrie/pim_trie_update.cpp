@@ -49,8 +49,21 @@ void PimTrie::batch_insert(const std::vector<BitString>& keys,
     build(keys, values);
     return;
   }
+  batch_insert_prepared(keys, values, prepare_batch(keys));
+}
+
+void PimTrie::batch_insert_prepared(const std::vector<BitString>& keys,
+                                    const std::vector<trie::Value>& values,
+                                    trie::QueryTrie qt) {
+  assert(keys.size() == values.size());
+  if (keys.empty()) return;
+  if (root_block_ == kNone) {
+    // First contents: the bulk-load path rebuilds its own partitioning
+    // structures, so the prepared query trie is simply dropped.
+    build(keys, values);
+    return;
+  }
   obs::Phase op_phase("Insert");
-  trie::QueryTrie qt = trie::build_query_trie(keys, hasher_);
   sys_->metrics().add_cpu_work(qt.cpu_work);
   // Replace slot indices with the actual values (last write wins).
   {
@@ -677,9 +690,12 @@ void PimTrie::rebuild_unbalanced_trees(const char* label) {
 }
 
 void PimTrie::batch_erase(const std::vector<BitString>& keys) {
+  batch_erase_prepared(keys, prepare_batch(keys));
+}
+
+void PimTrie::batch_erase_prepared(const std::vector<BitString>& keys, trie::QueryTrie qt) {
   if (keys.empty() || root_block_ == kNone) return;
   obs::Phase op_phase("Erase");
-  trie::QueryTrie qt = trie::build_query_trie(keys, hasher_);
   sys_->metrics().add_cpu_work(qt.cpu_work);
   run_matching(qt, "erase", /*op_kind=*/2);
 

@@ -1,0 +1,337 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/parallel.hpp"
+#include "obs/counters.hpp"
+#include "obs/phase.hpp"
+
+namespace ptrie::serve {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kInsert: return "insert";
+    case Op::kErase: return "erase";
+    case Op::kLcp: return "lcp";
+    case Op::kGet: return "get";
+    case Op::kSubtree: return "subtree";
+  }
+  return "?";
+}
+
+namespace {
+// Deadlines beyond this are treated as "no deadline" (tests use huge
+// max_delay to pin batch composition; adding it to now() would overflow).
+constexpr std::chrono::microseconds kNoDeadline = std::chrono::hours(1);
+}  // namespace
+
+Server::Server(pimtrie::PimTrie& trie) : Server(trie, Options()) {}
+
+Server::Server(pimtrie::PimTrie& trie, Options opt)
+    : trie_(&trie), opt_(opt), t0_(std::chrono::steady_clock::now()) {
+  opt_.max_batch = std::max<std::size_t>(1, opt_.max_batch);
+  opt_.max_backlog = std::max<std::size_t>(1, opt_.max_backlog);
+  if (opt_.pipelined) prep_thread_ = std::thread([this] { prep_loop(); });
+  exec_thread_ = std::thread([this] { exec_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+double Server::now_ms() const {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+void Server::close_open_locked(Close why) {
+  if (open_.empty()) return;
+  raw_q_.push_back(std::move(open_));
+  open_.clear();
+  {
+    std::lock_guard slk(stats_mu_);
+    switch (why) {
+      case Close::kSize: ++stats_.close_size; break;
+      case Close::kDeadline: ++stats_.close_deadline; break;
+      case Close::kFlush: ++stats_.close_flush; break;
+    }
+  }
+  cv_raw_.notify_all();
+}
+
+std::future<Response> Server::submit(Op op, core::BitString key, trie::Value value) {
+  PendingReq r;
+  r.op = op;
+  r.key = std::move(key);
+  r.value = value;
+  std::future<Response> fut = r.promise.get_future();
+  {
+    std::unique_lock lk(mu_);
+    assert(!stopping_ && "submit() after stop()");
+    cv_space_.wait(lk, [&] { return raw_q_.size() < opt_.max_backlog; });
+    if (open_.empty()) open_since_ = std::chrono::steady_clock::now();
+    ++submitted_;
+    open_.push_back(std::move(r));
+    if (open_.size() >= opt_.max_batch)
+      close_open_locked(Close::kSize);
+    else
+      cv_raw_.notify_one();  // (re)arm the deadline waiter
+  }
+  {
+    std::lock_guard slk(stats_mu_);
+    if (first_submit_ms_ < 0) first_submit_ms_ = now_ms();
+  }
+  obs::counter("serve/submitted").add();
+  return fut;
+}
+
+void Server::flush() {
+  std::lock_guard lk(mu_);
+  close_open_locked(Close::kFlush);
+}
+
+void Server::drain() {
+  flush();
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [&] { return completed_ == submitted_; });
+}
+
+void Server::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  cv_raw_.notify_all();
+  if (prep_thread_.joinable()) prep_thread_.join();
+  {
+    std::lock_guard lk(mu_);
+    prep_done_ = true;
+  }
+  cv_prep_.notify_all();
+  if (exec_thread_.joinable()) exec_thread_.join();
+  {
+    std::lock_guard lk(mu_);
+    stopped_ = true;
+  }
+}
+
+// Pops the next closed batch, closing the open batch when its deadline
+// expires (or unconditionally once stopping). Returns false when
+// stopping and fully drained of raw input.
+bool Server::next_raw(std::vector<PendingReq>* out) {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    if (!raw_q_.empty()) {
+      *out = std::move(raw_q_.front());
+      raw_q_.pop_front();
+      cv_space_.notify_all();
+      return true;
+    }
+    if (!open_.empty()) {
+      if (stopping_) {
+        close_open_locked(Close::kFlush);
+        continue;
+      }
+      if (opt_.max_delay >= kNoDeadline) {
+        cv_raw_.wait(lk);
+        continue;
+      }
+      auto deadline = open_since_ + opt_.max_delay;
+      if (cv_raw_.wait_until(lk, deadline) == std::cv_status::timeout && raw_q_.empty() &&
+          !open_.empty() && std::chrono::steady_clock::now() >= open_since_ + opt_.max_delay)
+        close_open_locked(Close::kDeadline);
+    } else {
+      if (stopping_) return false;
+      cv_raw_.wait(lk);
+    }
+  }
+}
+
+Server::Prepared Server::prepare(std::vector<PendingReq> raw) {
+  double a = now_ms();
+  Prepared p;
+  p.reqs = std::move(raw);
+  // Execution order within the batch: by default group the concurrent
+  // window by op kind (writes first, stable within a kind) so the large
+  // fixed per-batch cost of sparse writes amortizes; strict_order keeps
+  // the exact arrival interleaving instead.
+  std::vector<std::size_t> order(p.reqs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (!opt_.strict_order) {
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+      return static_cast<std::uint8_t>(p.reqs[x].op) < static_cast<std::uint8_t>(p.reqs[y].op);
+    });
+  }
+  for (std::size_t i : order) {
+    if (p.runs.empty() || p.runs.back().op != p.reqs[i].op)
+      p.runs.push_back(Run{p.reqs[i].op, {}, {}, {}, {}});
+    Run& run = p.runs.back();
+    run.idx.push_back(i);
+    run.keys.push_back(std::move(p.reqs[i].key));
+    if (run.op == Op::kInsert) run.values.push_back(p.reqs[i].value);
+  }
+  {
+    // Keep the pool dedicated to the executor unless asked otherwise;
+    // serial preparation produces byte-identical query tries.
+    std::optional<core::SerialRegion> serial;
+    if (!opt_.parallel_prepare) serial.emplace();
+    obs::Phase prep_phase("ServePrep");
+    for (Run& run : p.runs) run.qt = trie_->prepare_batch(run.keys);
+  }
+  double b = now_ms();
+  {
+    std::lock_guard slk(stats_mu_);
+    prep_iv_.push_back({a, b});
+    stats_.prep_ms += b - a;
+  }
+  obs::counter("serve/prepared_batches").add();
+  return p;
+}
+
+void Server::execute(Prepared p) {
+  double a = now_ms();
+  {
+    obs::Phase serve_phase("Serve");
+    for (Run& run : p.runs) {
+      switch (run.op) {
+        case Op::kInsert: {
+          trie_->batch_insert_prepared(run.keys, run.values, std::move(run.qt));
+          double done = now_ms();
+          for (std::size_t i : run.idx) {
+            Response r;
+            r.op = Op::kInsert;
+            r.done_ms = done;
+            p.reqs[i].promise.set_value(std::move(r));
+          }
+          break;
+        }
+        case Op::kErase: {
+          trie_->batch_erase_prepared(run.keys, std::move(run.qt));
+          double done = now_ms();
+          for (std::size_t i : run.idx) {
+            Response r;
+            r.op = Op::kErase;
+            r.done_ms = done;
+            p.reqs[i].promise.set_value(std::move(r));
+          }
+          break;
+        }
+        case Op::kLcp: {
+          auto out = trie_->batch_lcp_prepared(run.keys, std::move(run.qt));
+          double done = now_ms();
+          for (std::size_t j = 0; j < run.idx.size(); ++j) {
+            Response r;
+            r.op = Op::kLcp;
+            r.lcp = out[j];
+            r.done_ms = done;
+            p.reqs[run.idx[j]].promise.set_value(std::move(r));
+          }
+          break;
+        }
+        case Op::kGet: {
+          auto out = trie_->batch_get_prepared(run.keys, std::move(run.qt));
+          double done = now_ms();
+          for (std::size_t j = 0; j < run.idx.size(); ++j) {
+            Response r;
+            r.op = Op::kGet;
+            r.value = out[j];
+            r.done_ms = done;
+            p.reqs[run.idx[j]].promise.set_value(std::move(r));
+          }
+          break;
+        }
+        case Op::kSubtree: {
+          auto out = trie_->batch_subtree_prepared(run.keys, std::move(run.qt));
+          double done = now_ms();
+          for (std::size_t j = 0; j < run.idx.size(); ++j) {
+            Response r;
+            r.op = Op::kSubtree;
+            r.subtree = std::move(out[j]);
+            r.done_ms = done;
+            p.reqs[run.idx[j]].promise.set_value(std::move(r));
+          }
+          break;
+        }
+      }
+    }
+  }
+  double b = now_ms();
+  {
+    std::lock_guard slk(stats_mu_);
+    exec_iv_.push_back({a, b});
+    stats_.exec_ms += b - a;
+    stats_.batch_sizes.push_back(p.reqs.size());
+    stats_.ops += p.reqs.size();
+    ++stats_.batches;
+    stats_.runs += p.runs.size();
+    last_complete_ms_ = b;
+  }
+  obs::counter("serve/executed_batches").add();
+  obs::counter("serve/executed_ops").add(p.reqs.size());
+  {
+    std::lock_guard lk(mu_);
+    completed_ += p.reqs.size();
+  }
+  cv_done_.notify_all();
+}
+
+void Server::prep_loop() {
+  std::vector<PendingReq> raw;
+  while (next_raw(&raw)) {
+    Prepared p = prepare(std::move(raw));
+    {
+      std::unique_lock lk(mu_);
+      // Pipeline depth 1: at most one prepared batch waits ahead of the
+      // executor (the raw backlog bounds total run-ahead).
+      cv_prep_.wait(lk, [&] { return prep_q_.empty(); });
+      prep_q_.push_back(std::move(p));
+    }
+    cv_prep_.notify_all();
+  }
+}
+
+void Server::exec_loop() {
+  for (;;) {
+    Prepared p;
+    if (opt_.pipelined) {
+      {
+        std::unique_lock lk(mu_);
+        cv_prep_.wait(lk, [&] { return !prep_q_.empty() || prep_done_; });
+        if (prep_q_.empty()) return;  // prep exited and nothing left
+        p = std::move(prep_q_.front());
+        prep_q_.pop_front();
+      }
+      cv_prep_.notify_all();
+    } else {
+      std::vector<PendingReq> raw;
+      if (!next_raw(&raw)) return;
+      p = prepare(std::move(raw));
+    }
+    execute(std::move(p));
+  }
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard slk(stats_mu_);
+  Stats s = stats_;
+  s.span_ms = (first_submit_ms_ >= 0 && last_complete_ms_ > first_submit_ms_)
+                  ? last_complete_ms_ - first_submit_ms_
+                  : 0.0;
+  // Overlap: both stages emit time-ordered disjoint busy intervals; sum
+  // the pairwise intersections with a linear merge.
+  double overlap = 0;
+  std::size_t i = 0, j = 0;
+  while (i < prep_iv_.size() && j < exec_iv_.size()) {
+    double lo = std::max(prep_iv_[i].a, exec_iv_[j].a);
+    double hi = std::min(prep_iv_[i].b, exec_iv_[j].b);
+    if (hi > lo) overlap += hi - lo;
+    if (prep_iv_[i].b < exec_iv_[j].b)
+      ++i;
+    else
+      ++j;
+  }
+  s.overlap_ms = overlap;
+  return s;
+}
+
+}  // namespace ptrie::serve

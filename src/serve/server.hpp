@@ -1,0 +1,205 @@
+#pragma once
+// Streaming front-end over PimTrie (ROADMAP item 1): concurrent client
+// threads submit individual Insert/Delete/LCP/Get/SubtreeQuery requests
+// through future-based Sessions; a coalescer closes batches on size or
+// deadline triggers; a pipelined executor overlaps the host-CPU
+// preparation of batch k+1 (sort, dedup, query-trie build —
+// PimTrie::prepare_batch) with the PIM rounds of batch k.
+//
+// Execution model: a closed batch is split into homogeneous runs and
+// the runs are applied on a single executor thread via the *_prepared
+// entry points. By default runs are grouped by op kind (inserts, then
+// erases, then the read kinds; stable within each kind) — requests that
+// were coalesced into one window are concurrent, so this is a legal
+// linearization, and it is what lets tiny interleaved write stretches
+// amortize their large fixed per-batch cost. Options::strict_order
+// instead keeps exact arrival order (one run per maximal same-kind
+// stretch) for callers that pipeline dependent requests without
+// waiting on the returned futures.
+//
+// Preparation is state-independent (it reads only the batch keys and
+// the trie's hash family), so for a fixed batch composition the
+// answers, rounds, and metrics are byte-identical across
+// Options::pipelined on/off and any PTRIE_WORKERS. Only wall-clock
+// (and the Stats below) differ.
+//
+// Phase attribution: rounds issued by the executor carry a "Serve/"
+// prefix on their phase path (e.g. "Serve/LCP/MetaQuery/...") and the
+// preparation stage brackets itself in "ServePrep", so overlapped work
+// stays distinguishable in traces and per-phase rollups.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/bitstring.hpp"
+#include "pimtrie/pim_trie.hpp"
+#include "trie/query_trie.hpp"
+
+namespace ptrie::serve {
+
+enum class Op : std::uint8_t { kInsert, kErase, kLcp, kGet, kSubtree };
+
+const char* op_name(Op op);
+
+struct Response {
+  Op op = Op::kLcp;
+  std::size_t lcp = 0;                                           // kLcp
+  std::optional<trie::Value> value;                              // kGet
+  std::vector<std::pair<core::BitString, trie::Value>> subtree;  // kSubtree
+  // Completion stamp on the server clock (ms since Server construction;
+  // see now_ms()). Lets open-loop clients compute latency against their
+  // scheduled arrival time without a waiter thread per client.
+  double done_ms = 0;
+};
+
+class Server {
+ public:
+  struct Options {
+    std::size_t max_batch = 2048;              // size trigger
+    std::chrono::microseconds max_delay{500};  // deadline trigger
+    bool pipelined = true;  // overlap prepare(k+1) with execute(k)
+    // Closed-but-unexecuted batches the ingest side may run ahead by;
+    // submit() blocks (backpressure) once the backlog is full.
+    std::size_t max_backlog = 4;
+    // Let the preparation stage use the shared worker pool. Safe (the
+    // pool serializes concurrent regions) but on small machines serial
+    // preparation overlaps more cleanly with execution, so the default
+    // keeps the pool dedicated to the executor.
+    bool parallel_prepare = false;
+    // Keep exact arrival order within a batch (one run per maximal
+    // same-kind stretch) instead of the default group-by-kind epoch
+    // semantics described in the header comment.
+    bool strict_order = false;
+  };
+
+  explicit Server(pimtrie::PimTrie& trie);  // default Options
+  Server(pimtrie::PimTrie& trie, Options opt);
+  ~Server();  // stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Thread-safe; may block on backpressure. The future resolves when the
+  // request's coalesced batch finishes executing. Must not race stop().
+  std::future<Response> submit(Op op, core::BitString key, trie::Value value = 0);
+
+  // Closes the currently open batch immediately (no-op when empty).
+  void flush();
+  // flush(), then block until every submitted request has completed.
+  void drain();
+  // drain(), then join the pipeline threads. Idempotent; the destructor
+  // calls it. No submissions may follow.
+  void stop();
+
+  // Per-client sugar over submit().
+  class Session {
+   public:
+    std::future<Response> insert(core::BitString key, trie::Value value) {
+      return s_->submit(Op::kInsert, std::move(key), value);
+    }
+    std::future<Response> erase(core::BitString key) {
+      return s_->submit(Op::kErase, std::move(key));
+    }
+    std::future<Response> lcp(core::BitString key) {
+      return s_->submit(Op::kLcp, std::move(key));
+    }
+    std::future<Response> get(core::BitString key) {
+      return s_->submit(Op::kGet, std::move(key));
+    }
+    std::future<Response> subtree(core::BitString prefix) {
+      return s_->submit(Op::kSubtree, std::move(prefix));
+    }
+
+   private:
+    friend class Server;
+    explicit Session(Server* s) : s_(s) {}
+    Server* s_;
+  };
+  Session session() { return Session(this); }
+
+  struct Stats {
+    std::uint64_t ops = 0, batches = 0, runs = 0;
+    std::uint64_t close_size = 0, close_deadline = 0, close_flush = 0;
+    double prep_ms = 0;     // preparation-stage busy time
+    double exec_ms = 0;     // execution-stage busy time
+    double overlap_ms = 0;  // prep busy while exec concurrently busy
+    double span_ms = 0;     // first submit -> last completion
+    std::vector<std::size_t> batch_sizes;
+
+    double overlap_ratio() const { return exec_ms > 0 ? overlap_ms / exec_ms : 0.0; }
+    double mean_batch() const {
+      return batches ? static_cast<double>(ops) / static_cast<double>(batches) : 0.0;
+    }
+  };
+  // Consistent only when no request is in flight (after drain()/stop()).
+  Stats stats() const;
+
+  // Milliseconds since Server construction (the clock Response::done_ms
+  // and the Stats intervals are expressed in).
+  double now_ms() const;
+  std::chrono::steady_clock::time_point start_time() const { return t0_; }
+
+ private:
+  struct PendingReq {
+    Op op = Op::kLcp;
+    core::BitString key;
+    trie::Value value = 0;
+    std::promise<Response> promise;
+  };
+  struct Run {
+    Op op;
+    std::vector<std::size_t> idx;  // request indices, execution order
+    std::vector<core::BitString> keys;
+    std::vector<trie::Value> values;  // kInsert only
+    trie::QueryTrie qt;
+  };
+  struct Prepared {
+    std::vector<PendingReq> reqs;
+    std::vector<Run> runs;
+  };
+  struct Interval {
+    double a = 0, b = 0;  // ms since server start
+  };
+  enum class Close { kSize, kDeadline, kFlush };
+
+  void close_open_locked(Close why);
+  bool next_raw(std::vector<PendingReq>* out);
+  Prepared prepare(std::vector<PendingReq> raw);
+  void execute(Prepared p);
+  void prep_loop();
+  void exec_loop();
+
+  pimtrie::PimTrie* trie_;
+  Options opt_;
+  std::chrono::steady_clock::time_point t0_;
+
+  std::mutex mu_;
+  std::condition_variable cv_space_;  // backpressure: raw backlog has room
+  std::condition_variable cv_raw_;    // open/raw batch activity
+  std::condition_variable cv_prep_;   // prepared-queue activity
+  std::condition_variable cv_done_;   // completion progress
+  std::vector<PendingReq> open_;
+  std::chrono::steady_clock::time_point open_since_{};
+  std::deque<std::vector<PendingReq>> raw_q_;
+  std::deque<Prepared> prep_q_;
+  std::uint64_t submitted_ = 0, completed_ = 0;
+  bool stopping_ = false;
+  bool prep_done_ = false;
+  bool stopped_ = false;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+  std::vector<Interval> prep_iv_, exec_iv_;
+  double first_submit_ms_ = -1, last_complete_ms_ = 0;
+
+  std::thread prep_thread_, exec_thread_;
+};
+
+}  // namespace ptrie::serve

@@ -1,6 +1,7 @@
 #include "workload/generators.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "core/zipf.hpp"
@@ -138,6 +139,113 @@ std::vector<std::uint64_t> uniform_u64(std::size_t n, std::uint64_t seed) {
   while (out.size() < n) {
     std::uint64_t v = rng();
     if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+namespace {
+// Exponential inter-arrival gap in nanoseconds at `rate_per_sec`.
+std::uint64_t exp_gap_ns(Rng& rng, double rate_per_sec) {
+  if (rate_per_sec <= 0) return 0;
+  double u = rng.uniform();
+  if (u >= 1.0) u = 0.999999999;
+  double gap_s = -std::log(1.0 - u) / rate_per_sec;
+  return static_cast<std::uint64_t>(gap_s * 1e9);
+}
+}  // namespace
+
+std::vector<std::uint64_t> poisson_arrivals(std::size_t m, double rate_per_sec,
+                                            std::uint64_t seed) {
+  Rng rng(seed ^ 0xA881A17u);
+  std::vector<std::uint64_t> out;
+  out.reserve(m);
+  std::uint64_t t = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    t += exp_gap_ns(rng, rate_per_sec);
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> burst_arrivals(std::size_t m, double rate_per_sec,
+                                          double burst_factor, double period_ms,
+                                          std::uint64_t seed) {
+  Rng rng(seed ^ 0xB0657u);
+  constexpr double kDuty = 0.2;  // fraction of each period spent hot
+  burst_factor = std::max(1.0, burst_factor);
+  double hot = rate_per_sec * burst_factor;
+  // Mean preservation: duty*hot + (1-duty)*cold = rate.
+  double cold = (rate_per_sec - kDuty * hot) / (1.0 - kDuty);
+  cold = std::max(cold, rate_per_sec / 100.0);
+  const std::uint64_t period_ns = static_cast<std::uint64_t>(period_ms * 1e6);
+  const std::uint64_t hot_ns = static_cast<std::uint64_t>(kDuty * period_ms * 1e6);
+  std::vector<std::uint64_t> out;
+  out.reserve(m);
+  std::uint64_t t = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    bool in_hot = period_ns == 0 || (t % period_ns) < hot_ns;
+    t += exp_gap_ns(rng, in_hot ? hot : cold);
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<Request> request_stream(const std::vector<BitString>& data, std::size_t m,
+                                    const MixProfile& mix, std::uint64_t seed) {
+  Rng rng(seed ^ 0x5E64E57u);
+  core::ZipfSampler zipf(std::max<std::size_t>(1, data.size()), mix.zipf_theta);
+  double wsum = mix.insert + mix.erase + mix.lcp + mix.get + mix.subtree;
+  if (wsum <= 0) wsum = 1;
+  const double w_insert = mix.insert / wsum;
+  const double w_erase = w_insert + mix.erase / wsum;
+  const double w_lcp = w_erase + mix.lcp / wsum;
+  const double w_get = w_lcp + mix.get / wsum;
+
+  // Fresh churn pool for the write tenant: distinct keys, disjoint from
+  // `data` with overwhelming probability (independent random bits).
+  std::size_t n_writes = 0;
+  {
+    Rng probe(seed ^ 0x5E64E57u);
+    for (std::size_t i = 0; i < m; ++i)
+      if (probe.uniform() < w_erase) ++n_writes;
+  }
+  std::size_t key_bits = data.empty() ? 64 : data.front().size();
+  std::vector<BitString> pool = uniform_keys(std::max<std::size_t>(1, n_writes), key_bits,
+                                             seed ^ 0x9001u);
+
+  std::vector<Request> out;
+  out.reserve(m);
+  std::size_t next_fresh = 0;   // next unused pool key
+  std::size_t oldest_live = 0;  // oldest inserted-not-yet-erased pool key
+  for (std::size_t i = 0; i < m; ++i) {
+    double u = rng.uniform();
+    Request r;
+    if (u < w_insert) {
+      r.op = ReqOp::kInsert;
+      r.key = pool[std::min(next_fresh, pool.size() - 1)];
+      if (next_fresh + 1 < pool.size()) ++next_fresh;
+      r.value = i + 1;
+    } else if (u < w_erase) {
+      if (oldest_live < next_fresh) {
+        r.op = ReqOp::kErase;
+        r.key = pool[oldest_live++];
+      } else {
+        // Nothing of ours is live yet; issue a guaranteed-miss erase.
+        r.op = ReqOp::kErase;
+        r.key = random_bits(rng, key_bits);
+      }
+    } else if (u < w_lcp) {
+      r.op = ReqOp::kLcp;
+      r.key = data.empty() ? random_bits(rng, key_bits) : data[zipf.sample(rng)];
+    } else if (u < w_get) {
+      r.op = ReqOp::kGet;
+      r.key = data.empty() ? random_bits(rng, key_bits) : data[zipf.sample(rng)];
+    } else {
+      r.op = ReqOp::kSubtree;
+      const BitString& base = data.empty() ? pool.front() : data[zipf.sample(rng)];
+      r.key = base.prefix(std::min(mix.subtree_bits, base.size()));
+    }
+    out.push_back(std::move(r));
   }
   return out;
 }

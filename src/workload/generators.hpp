@@ -55,4 +55,48 @@ std::vector<core::BitString> ipv4_prefixes(std::size_t n, std::uint64_t seed);
 // Uniform 64-bit integer keys (for the x-fast baseline).
 std::vector<std::uint64_t> uniform_u64(std::size_t n, std::uint64_t seed);
 
+// Open-loop arrival processes (serving benchmarks) --------------------
+// Arrival offsets in nanoseconds from stream start for m requests; a
+// client replays them against a wall clock, so the offered load is
+// independent of service time (open loop, as Cuckoo-Trie's latency
+// methodology argues).
+
+// Poisson process with mean `rate_per_sec` (exponential inter-arrivals).
+std::vector<std::uint64_t> poisson_arrivals(std::size_t m, double rate_per_sec,
+                                            std::uint64_t seed);
+
+// On/off bursts: each `period_ms` cycle spends a 0.2 duty fraction in a
+// hot phase at `burst_factor` times the mean rate, with the cold-phase
+// rate chosen so the long-run mean stays `rate_per_sec` (cold rate
+// floors at 1/100th of the mean when burst_factor is extreme).
+std::vector<std::uint64_t> burst_arrivals(std::size_t m, double rate_per_sec,
+                                          double burst_factor, double period_ms,
+                                          std::uint64_t seed);
+
+// Mixed read/write tenant request streams -----------------------------
+// Op codes mirror serve::Op by position (workload stays independent of
+// the serving layer; benches map the enum explicitly).
+enum class ReqOp : std::uint8_t { kInsert, kErase, kLcp, kGet, kSubtree };
+
+struct Request {
+  ReqOp op = ReqOp::kLcp;
+  core::BitString key;
+  std::uint64_t value = 0;
+};
+
+struct MixProfile {
+  // Op weights (normalized internally). Defaults: read-mostly tenants
+  // with a 10% write tenant, the YCSB-flavored serving mix.
+  double insert = 0.05, erase = 0.05, lcp = 0.45, get = 0.40, subtree = 0.05;
+  double zipf_theta = 0.99;      // key-rank skew for read ops over `data`
+  std::size_t subtree_bits = 20; // prefix length for subtree queries
+};
+
+// m requests over the stored key set `data`: reads sample keys by
+// Zipf(zipf_theta) rank; inserts draw from a disjoint fresh-key pool and
+// erases retire the oldest still-live insert (so the live set stays near
+// |data| and every erase hits). Deterministic in (data, mix, seed).
+std::vector<Request> request_stream(const std::vector<core::BitString>& data, std::size_t m,
+                                    const MixProfile& mix, std::uint64_t seed);
+
 }  // namespace ptrie::workload

@@ -1,0 +1,331 @@
+// Serving front-end (src/serve): coalescing triggers, session sugar,
+// concurrent clients, and — the contract the pipeline optimization
+// rides on — byte-identical results and model metrics between the
+// pipelined executor and sequential execution, for any PTRIE_WORKERS.
+// The WorkerSweepServe suite name keeps these tests inside the TSan
+// CI's `--gtest_filter=WorkerSweep*` net.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "check/runner.hpp"
+#include "check/schedule.hpp"
+#include "core/parallel.hpp"
+#include "pimtrie/pim_trie.hpp"
+#include "serve/server.hpp"
+#include "workload/generators.hpp"
+
+using namespace ptrie;
+using core::BitString;
+using core::ThreadPool;
+
+namespace {
+
+serve::Op to_serve_op(workload::ReqOp op) {
+  return static_cast<serve::Op>(static_cast<std::uint8_t>(op));
+}
+
+struct StreamResult {
+  std::vector<std::size_t> lcps;
+  std::vector<std::uint64_t> gets;  // ~0 = miss
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> subtrees;
+  std::uint64_t rounds = 0, words = 0, pim_time = 0;
+  std::vector<std::pair<BitString, std::uint64_t>> contents;
+
+  bool operator==(const StreamResult& o) const {
+    return lcps == o.lcps && gets == o.gets && subtrees == o.subtrees &&
+           rounds == o.rounds && words == o.words && pim_time == o.pim_time &&
+           contents == o.contents;
+  }
+};
+
+// Builds a fresh trie, replays `reqs` through a Server (single-threaded
+// submission, size-only batch closing -> deterministic batch
+// composition), and captures every answer plus the model-metric deltas
+// and the final trie contents.
+StreamResult replay_stream(const std::vector<workload::Request>& reqs,
+                           const std::vector<BitString>& keys, serve::Server::Options opt) {
+  pim::System sys(16, 5);
+  pimtrie::Config cfg;
+  cfg.seed = 11;
+  pimtrie::PimTrie trie(sys, cfg);
+  std::vector<std::uint64_t> vals(keys.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = i + 1;
+  trie.build(keys, vals);
+
+  auto before = sys.metrics().snapshot();
+  StreamResult r;
+  {
+    serve::Server server(trie, opt);
+    std::vector<std::future<serve::Response>> futs;
+    futs.reserve(reqs.size());
+    for (const auto& q : reqs)
+      futs.push_back(server.submit(to_serve_op(q.op), q.key, q.value));
+    server.drain();
+    server.stop();
+    for (auto& f : futs) {
+      serve::Response resp = f.get();
+      switch (resp.op) {
+        case serve::Op::kLcp: r.lcps.push_back(resp.lcp); break;
+        case serve::Op::kGet: r.gets.push_back(resp.value.value_or(~0ull)); break;
+        case serve::Op::kSubtree: r.subtrees.push_back(std::move(resp.subtree)); break;
+        default: break;
+      }
+    }
+  }
+  auto after = sys.metrics().snapshot();
+  r.rounds = after.rounds - before.rounds;
+  r.words = after.words - before.words;
+  r.pim_time = after.pim_time - before.pim_time;
+  r.contents = trie.debug_collect();
+  std::sort(r.contents.begin(), r.contents.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return r;
+}
+
+class WorkerSweepServe : public ::testing::Test {
+ protected:
+  void TearDown() override { ThreadPool::instance().set_workers(1); }
+};
+
+}  // namespace
+
+// The tentpole contract: for a fixed batch composition, the pipelined
+// executor (prepare k+1 overlapped with execute k, prep on its own
+// thread) produces byte-identical answers, model metrics, and final
+// trie contents to sequential prepare+execute — at PTRIE_WORKERS 1, 4,
+// and the hardware count, and with the preparation stage either serial
+// or sharing the worker pool with the executor.
+TEST_F(WorkerSweepServe, PipelinedMatchesSequentialAcrossWorkerCounts) {
+  auto keys = workload::uniform_keys(400, 64, 31);
+  workload::MixProfile mix;
+  auto reqs = workload::request_stream(keys, 240, mix, 32);
+
+  serve::Server::Options base;
+  base.max_batch = 64;
+  base.max_delay = std::chrono::hours(2);  // size/flush closes only
+
+  serve::Server::Options seq = base;
+  seq.pipelined = false;
+  ThreadPool::instance().set_workers(1);
+  StreamResult want = replay_stream(reqs, keys, seq);
+  ASSERT_FALSE(want.lcps.empty());
+  ASSERT_FALSE(want.gets.empty());
+  ASSERT_GT(want.rounds, 0u);
+
+  const std::size_t hw = std::max(2u, std::thread::hardware_concurrency());
+  for (std::size_t w : {std::size_t(1), std::size_t(4), hw}) {
+    for (bool parallel_prepare : {false, true}) {
+      ThreadPool::instance().set_workers(w);
+      serve::Server::Options pipe = base;
+      pipe.pipelined = true;
+      pipe.parallel_prepare = parallel_prepare;
+      StreamResult got = replay_stream(reqs, keys, pipe);
+      EXPECT_TRUE(got == want) << "divergence at workers=" << w
+                               << " parallel_prepare=" << parallel_prepare;
+    }
+  }
+}
+
+// Sequential mode must itself be worker-count invariant (the pipeline
+// comparison above would not catch a bug common to both paths).
+TEST_F(WorkerSweepServe, SequentialInvariantAcrossWorkerCounts) {
+  auto keys = workload::uniform_keys(300, 64, 41);
+  workload::MixProfile mix;
+  auto reqs = workload::request_stream(keys, 160, mix, 42);
+  serve::Server::Options seq;
+  seq.max_batch = 32;
+  seq.max_delay = std::chrono::hours(2);
+  seq.pipelined = false;
+
+  ThreadPool::instance().set_workers(1);
+  StreamResult want = replay_stream(reqs, keys, seq);
+  for (std::size_t w : {std::size_t(2), std::size_t(4)}) {
+    ThreadPool::instance().set_workers(w);
+    EXPECT_TRUE(replay_stream(reqs, keys, seq) == want) << "workers=" << w;
+  }
+}
+
+TEST(ServeCoalescer, ClosesOnSizeTrigger) {
+  pim::System sys(8, 3);
+  pimtrie::Config cfg;
+  cfg.seed = 2;
+  pimtrie::PimTrie trie(sys, cfg);
+  auto keys = workload::uniform_keys(64, 64, 7);
+  std::vector<std::uint64_t> vals(keys.size(), 1);
+  trie.build(keys, vals);
+
+  serve::Server::Options opt;
+  opt.max_batch = 8;
+  opt.max_delay = std::chrono::hours(2);
+  serve::Server server(trie, opt);
+  std::vector<std::future<serve::Response>> futs;
+  for (std::size_t i = 0; i < 20; ++i)
+    futs.push_back(server.submit(serve::Op::kLcp, keys[i % keys.size()]));
+  server.drain();
+  auto st = server.stats();
+  server.stop();
+  EXPECT_EQ(st.ops, 20u);
+  EXPECT_EQ(st.close_size, 2u);   // two full batches of 8
+  EXPECT_EQ(st.close_flush, 1u);  // drain flushes the remaining 4
+  ASSERT_EQ(st.batch_sizes.size(), 3u);
+  EXPECT_EQ(st.batch_sizes[0], 8u);
+  EXPECT_EQ(st.batch_sizes[1], 8u);
+  EXPECT_EQ(st.batch_sizes[2], 4u);
+  for (auto& f : futs) f.get();
+}
+
+TEST(ServeCoalescer, ClosesOnDeadlineWithoutFlush) {
+  pim::System sys(8, 3);
+  pimtrie::Config cfg;
+  cfg.seed = 2;
+  pimtrie::PimTrie trie(sys, cfg);
+  auto keys = workload::uniform_keys(32, 64, 7);
+  std::vector<std::uint64_t> vals(keys.size(), 1);
+  trie.build(keys, vals);
+
+  serve::Server::Options opt;
+  opt.max_batch = 1 << 20;  // size trigger unreachable
+  opt.max_delay = std::chrono::milliseconds(2);
+  serve::Server server(trie, opt);
+  auto f0 = server.submit(serve::Op::kLcp, keys[0]);
+  auto f1 = server.submit(serve::Op::kGet, keys[1]);
+  // No flush: only the deadline can close the batch.
+  EXPECT_EQ(f0.get().lcp, keys[0].size());
+  EXPECT_EQ(f1.get().value.value_or(0), 1u);
+  auto st = server.stats();
+  server.stop();
+  EXPECT_GE(st.close_deadline, 1u);
+  EXPECT_EQ(st.close_flush, 0u);
+}
+
+TEST(ServeSession, RoundTripMatchesDirectTrie) {
+  auto keys = workload::uniform_keys(200, 64, 17);
+  std::vector<std::uint64_t> vals(keys.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = i + 1;
+
+  pim::System sys_direct(16, 5);
+  pimtrie::Config cfg;
+  cfg.seed = 4;
+  pimtrie::PimTrie direct(sys_direct, cfg);
+  direct.build(keys, vals);
+
+  pim::System sys_srv(16, 5);
+  pimtrie::PimTrie served(sys_srv, cfg);
+  served.build(keys, vals);
+  serve::Server server(served);
+  auto session = server.session();
+
+  auto fresh = workload::uniform_keys(8, 64, 99);
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    session.insert(fresh[i], 1000 + i).get();
+    ASSERT_EQ(session.get(fresh[i]).get().value.value_or(0), 1000 + i);
+  }
+  direct.batch_insert(fresh, [&] {
+    std::vector<std::uint64_t> v;
+    for (std::size_t i = 0; i < fresh.size(); ++i) v.push_back(1000 + i);
+    return v;
+  }());
+
+  for (std::size_t i = 0; i < 32; ++i) {
+    const BitString& k = keys[(i * 7) % keys.size()];
+    EXPECT_EQ(session.lcp(k).get().lcp, direct.batch_lcp({k})[0]);
+    EXPECT_EQ(session.get(k).get().value, direct.batch_get({k})[0]);
+    BitString prefix = k.prefix(6);
+    EXPECT_EQ(session.subtree(prefix).get().subtree, direct.batch_subtree({prefix})[0]);
+  }
+
+  session.erase(fresh[0]).get();
+  EXPECT_FALSE(session.get(fresh[0]).get().value.has_value());
+  server.stop();
+}
+
+TEST(ServeConcurrentClients, AnswersMatchDirect) {
+  auto keys = workload::uniform_keys(300, 64, 23);
+  std::vector<std::uint64_t> vals(keys.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = i + 1;
+
+  pim::System sys_direct(16, 5);
+  pimtrie::Config cfg;
+  cfg.seed = 6;
+  pimtrie::PimTrie direct(sys_direct, cfg);
+  direct.build(keys, vals);
+  auto want = direct.batch_lcp(keys);
+
+  pim::System sys_srv(16, 5);
+  pimtrie::PimTrie served(sys_srv, cfg);
+  served.build(keys, vals);
+  serve::Server::Options opt;
+  opt.max_batch = 37;  // odd size so batches straddle client boundaries
+  opt.max_delay = std::chrono::microseconds(200);
+  serve::Server server(served, opt);
+
+  constexpr std::size_t kClients = 4;
+  std::vector<std::future<serve::Response>> futs(keys.size());
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = c; i < keys.size(); i += kClients)
+        futs[i] = server.submit(serve::Op::kLcp, keys[i]);
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.drain();
+  for (std::size_t i = 0; i < keys.size(); ++i) EXPECT_EQ(futs[i].get().lcp, want[i]);
+  auto st = server.stats();
+  server.stop();
+  EXPECT_EQ(st.ops, keys.size());
+  EXPECT_GT(st.mean_batch(), 1.0);
+}
+
+TEST(ServeOrder, EpochGroupingVsStrictOrder) {
+  auto keys = workload::uniform_keys(64, 64, 53);
+  std::vector<std::uint64_t> vals(keys.size(), 7);
+
+  for (bool strict : {false, true}) {
+    pim::System sys(8, 3);
+    pimtrie::Config cfg;
+    cfg.seed = 8;
+    pimtrie::PimTrie trie(sys, cfg);
+    trie.build(keys, vals);
+
+    serve::Server::Options opt;
+    opt.max_batch = 1 << 20;
+    opt.max_delay = std::chrono::hours(2);
+    opt.strict_order = strict;
+    serve::Server server(trie, opt);
+    // One batch containing get(k) submitted BEFORE erase(k): strict
+    // arrival order answers the get from the pre-erase state; epoch
+    // grouping runs writes first, so the get misses.
+    auto get_f = server.submit(serve::Op::kGet, keys[0]);
+    auto erase_f = server.submit(serve::Op::kErase, keys[0]);
+    server.flush();
+    server.drain();
+    erase_f.get();
+    if (strict)
+      EXPECT_EQ(get_f.get().value.value_or(0), 7u);
+    else
+      EXPECT_FALSE(get_f.get().value.has_value());
+    server.stop();
+  }
+}
+
+// The fuzz harness's serve adapter: schedules driven through the
+// serving front-end must pass the same oracle, invariant, and envelope
+// checks as the direct PimTrie adapter.
+TEST(ServeFuzzAdapter, ScheduleSmoke) {
+  check::GenParams gp;
+  gp.n_batches = 10;
+  gp.batch_cap = 10;
+  gp.init_n = 32;
+  check::CheckOptions opt;
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    auto sched = check::make_schedule("serve", seed % 2 ? "zipf" : "uniform", seed, gp);
+    auto res = check::run_schedule(sched, opt);
+    EXPECT_TRUE(res.ok) << "seed " << seed << ": " << res.error;
+    EXPECT_GT(res.checks, 0u);
+  }
+}

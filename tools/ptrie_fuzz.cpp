@@ -38,7 +38,7 @@ const char* kUsage =
     "usage: ptrie_fuzz [options]\n"
     "  --seed N          first seed (default 1)\n"
     "  --seeds N         number of consecutive seeds (default 1)\n"
-    "  --structure S     pimtrie|radix|xfast|range|all (default all)\n"
+    "  --structure S     pimtrie|radix|xfast|range|serve|all (default all)\n"
     "  --profile P       uniform|zipf|cluster|dup|auto|all (default auto:\n"
     "                    profile cycles with the seed)\n"
     "  --batches N       batches per schedule (default 30)\n"
@@ -158,10 +158,10 @@ int main(int argc, char** argv) {
     }
     schedules.push_back(std::move(s));
   } else {
-    static const char* kStructures[] = {"pimtrie", "radix", "xfast", "range"};
+    static const char* kStructures[] = {"pimtrie", "radix", "xfast", "range", "serve"};
     static const char* kProfiles[] = {"uniform", "zipf", "cluster", "dup"};
     std::vector<std::string> structures, profiles;
-    if (a.structure == "all") structures.assign(kStructures, kStructures + 4);
+    if (a.structure == "all") structures.assign(kStructures, kStructures + 5);
     else structures.push_back(a.structure);
     if (a.profile == "all") profiles.assign(kProfiles, kProfiles + 4);
     else profiles.push_back(a.profile);

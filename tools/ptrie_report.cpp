@@ -269,6 +269,63 @@ int report_bench(const json::Value& root) {
     }
     std::printf("(%zu rows)\n", n_rows);
   }
+  // Full latency/batch-size distributions (bench::histogram): render the
+  // bucket shape, then join histograms named "<kind>/<mode>@<load>" into
+  // per-mode latency-vs-load curves.
+  if (const json::Value* hists = root.find("histograms");
+      hists && hists->kind == json::Value::Kind::kArray && !hists->arr.empty()) {
+    std::printf("\n== histograms ==\n");
+    for (const auto& h : hists->arr) {
+      const json::Value* name = h.find("name");
+      const json::Value* unit = h.find("unit");
+      const json::Value* buckets = h.find("buckets");
+      double p50 = h.find("p50") ? h.find("p50")->as_double() : 0;
+      double p99 = h.find("p99") ? h.find("p99")->as_double() : 0;
+      std::printf("%-32s n=%-7llu p50=%.1f%s p99=%.1f%s\n",
+                  name ? name->as_string().c_str() : "?",
+                  (unsigned long long)get_u64(h, "count"),
+                  p50, unit ? unit->as_string().c_str() : "",
+                  p99, unit ? unit->as_string().c_str() : "");
+      if (!buckets || buckets->kind != json::Value::Kind::kArray) continue;
+      std::uint64_t max = 0;
+      for (const auto& b : buckets->arr) max = std::max(max, get_u64(b, "count"));
+      bool seen = false;
+      for (const auto& b : buckets->arr) {
+        std::uint64_t c = get_u64(b, "count");
+        if (c == 0 && !seen) continue;  // skip the empty low tail
+        seen = true;
+        double le = b.find("le") ? b.find("le")->as_double() : 0;
+        std::size_t bar = max ? static_cast<std::size_t>(c * 40 / max) : 0;
+        std::printf("  <=%-12.6g %8llu |%s\n", le, (unsigned long long)c,
+                    std::string(bar, '#').c_str());
+      }
+    }
+    // latency-vs-load curves: lat/<mode>@<load> -> one line per point.
+    struct Point {
+      std::string mode, load;
+      double p50, p90, p99;
+    };
+    std::vector<Point> pts;
+    for (const auto& h : hists->arr) {
+      const json::Value* name = h.find("name");
+      if (!name) continue;
+      std::string n = name->as_string();
+      if (n.rfind("lat/", 0) != 0) continue;
+      auto at = n.find('@');
+      if (at == std::string::npos) continue;
+      pts.push_back({n.substr(4, at - 4), n.substr(at + 1),
+                     h.find("p50") ? h.find("p50")->as_double() : 0,
+                     h.find("p90") ? h.find("p90")->as_double() : 0,
+                     h.find("p99") ? h.find("p99")->as_double() : 0});
+    }
+    if (!pts.empty()) {
+      std::printf("\n== latency vs offered load ==\n");
+      std::printf("%-16s %-10s %12s %12s %12s\n", "mode", "load", "p50", "p90", "p99");
+      for (const auto& pt : pts)
+        std::printf("%-16s %-10s %12.1f %12.1f %12.1f\n", pt.mode.c_str(),
+                    pt.load.c_str(), pt.p50, pt.p90, pt.p99);
+    }
+  }
   if (const json::Value* counters = root.find("counters");
       counters && !counters->obj.empty()) {
     std::printf("\n== counters ==\n");
@@ -278,45 +335,156 @@ int report_bench(const json::Value& root) {
   return 0;
 }
 
-}  // namespace
+// ---- perf gate --------------------------------------------------------
+// Compares two bench --json files on the machine-independent model
+// columns only (rounds, words, IO/PIM time); wall-clock, throughput and
+// latency columns vary with host load and are never gated. Exit 1 when
+// a gated value regressed (grew) by more than `tol` relative.
 
-int main(int argc, char** argv) {
-  const char* path = nullptr;
-  long rounds_cap = 30;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
-      rounds_cap = std::strtol(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
-      std::printf("usage: ptrie_report <trace.json | bench.json> [--rounds N]\n");
-      return 0;
-    } else if (path == nullptr) {
-      path = argv[i];
-    } else {
-      std::fprintf(stderr, "unexpected argument %s\n", argv[i]);
-      return 2;
-    }
-  }
-  if (path == nullptr) {
-    std::fprintf(stderr, "usage: ptrie_report <trace.json | bench.json> [--rounds N]\n");
+bool gated_column(const std::string& name) {
+  static const char* kCols[] = {"rounds",      "words/op", "io/op",  "io_time",
+                                "pim_time",    "total_words", "words", "touched"};
+  for (const char* c : kCols)
+    if (name == c) return true;
+  return false;
+}
+
+int gate(const json::Value& base, const json::Value& fresh, double tol) {
+  const json::Value* bt = base.find("tables");
+  const json::Value* ft = fresh.find("tables");
+  if (!bt || !ft) {
+    std::fprintf(stderr, "gate: missing tables array\n");
     return 2;
   }
+  auto find_table = [](const json::Value& tables, const std::string& title)
+      -> const json::Value* {
+    for (const auto& t : tables.arr)
+      if (const json::Value* ti = t.find("title"); ti && ti->as_string() == title)
+        return &t;
+    return nullptr;
+  };
+  std::size_t checked = 0, failures = 0;
+  for (const auto& b : bt->arr) {
+    const json::Value* title = b.find("title");
+    if (!title) continue;
+    const json::Value* f = find_table(*ft, title->as_string());
+    if (!f) {
+      std::fprintf(stderr, "gate: FAIL table missing in fresh run: %s\n",
+                   title->as_string().c_str());
+      ++failures;
+      continue;
+    }
+    const json::Value* cols = b.find("columns");
+    const json::Value* brows = b.find("rows");
+    const json::Value* frows = f->find("rows");
+    if (!cols || !brows || !frows) continue;
+    if (brows->arr.size() != frows->arr.size()) {
+      std::fprintf(stderr, "gate: FAIL row count %zu -> %zu in: %s\n", brows->arr.size(),
+                   frows->arr.size(), title->as_string().c_str());
+      ++failures;
+      continue;
+    }
+    for (std::size_t r = 0; r < brows->arr.size(); ++r) {
+      const auto& brow = brows->arr[r].arr;
+      const auto& frow = frows->arr[r].arr;
+      std::string label;
+      for (std::size_t c = 0; c < brow.size() && c < cols->arr.size(); ++c)
+        if (brow[c].kind == json::Value::Kind::kString)
+          label += (label.empty() ? "" : "/") + brow[c].as_string();
+      for (std::size_t c = 0; c < brow.size() && c < frow.size() && c < cols->arr.size();
+           ++c) {
+        const std::string col = cols->arr[c].as_string();
+        if (!gated_column(col)) continue;
+        if (brow[c].kind == json::Value::Kind::kString) continue;
+        double bv = brow[c].as_double();
+        double fv = frow[c].as_double();
+        ++checked;
+        // Regression = growth; tiny absolute values are noise-proof.
+        if (fv > bv * (1.0 + tol) && fv - bv > 1e-9) {
+          std::fprintf(stderr,
+                       "gate: FAIL %s [%s] %s: %.6g -> %.6g (+%.1f%% > %.0f%%)\n",
+                       title->as_string().c_str(), label.c_str(), col.c_str(), bv, fv,
+                       100.0 * (fv - bv) / (bv > 0 ? bv : 1.0), 100.0 * tol);
+          ++failures;
+        }
+      }
+    }
+  }
+  std::printf("gate: %zu comparisons, %zu failures (tol %.0f%%)\n", checked, failures,
+              100.0 * tol);
+  if (checked == 0) {
+    std::fprintf(stderr, "gate: FAIL nothing compared — wrong files?\n");
+    return 2;
+  }
+  return failures ? 1 : 0;
+}
+
+}  // namespace
+
+namespace {
+
+const char* kUsage =
+    "usage: ptrie_report <trace.json | bench.json> [--rounds N]\n"
+    "       ptrie_report --gate <base.json> <fresh.json> [--tol 0.15]\n";
+
+bool load_json(const char* path, json::Value* root) {
   std::ifstream f(path);
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", path);
-    return 1;
+    return false;
   }
   std::ostringstream ss;
   ss << f.rdbuf();
-  std::string text = ss.str();
-
-  json::Value root;
   std::string error;
-  if (!json::parse(text, root, error)) {
+  if (!json::parse(ss.str(), *root, error)) {
     std::fprintf(stderr, "parse error in %s: %s\n", path, error.c_str());
-    return 1;
+    return false;
   }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<const char*> paths;
+  long rounds_cap = 30;
+  bool gate_mode = false;
+  double tol = 0.15;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds_cap = std::strtol(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--gate") == 0) {
+      gate_mode = true;
+    } else if (std::strcmp(argv[i], "--tol") == 0 && i + 1 < argc) {
+      tol = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf("%s", kUsage);
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unexpected argument %s\n%s", argv[i], kUsage);
+      return 2;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (gate_mode) {
+    if (paths.size() != 2) {
+      std::fprintf(stderr, "%s", kUsage);
+      return 2;
+    }
+    json::Value base, fresh;
+    if (!load_json(paths[0], &base) || !load_json(paths[1], &fresh)) return 2;
+    return gate(base, fresh, tol);
+  }
+  if (paths.size() != 1) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  json::Value root;
+  if (!load_json(paths[0], &root)) return 1;
   if (root.find("traceEvents")) return report_trace(root, rounds_cap);
   if (root.find("tables")) return report_bench(root);
-  std::fprintf(stderr, "%s: neither a PTRIE_TRACE file nor a bench --json file\n", path);
+  std::fprintf(stderr, "%s: neither a PTRIE_TRACE file nor a bench --json file\n",
+               paths[0]);
   return 1;
 }
