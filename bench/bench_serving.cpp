@@ -17,11 +17,21 @@
 // client so its model metrics (rounds, words/op, pim_time) are exactly
 // reproducible — that table is what ci/perf_gate.sh checks.
 //
+// The latency modes run with request-lifecycle telemetry forced on, so
+// every response carries its submit/close/prep/exec stamps and the bench
+// prints a per-stage latency breakdown (wall-clock, never gated). When
+// PTRIE_TRACE / PTRIE_METRICS are set, the same runs also export span
+// flames and per-tenant window snapshots — that is the CI observability
+// smoke (ci/check.sh). Telemetry never issues rounds, so model metrics
+// are identical with it on or off.
+//
 // Flags (besides the common --json):
 //   --ops N         requests per mode/load point      (default 3000)
 //   --clients C     open-loop client threads          (default 4)
 //   --rates a,b,..  offered loads in ops/s, 0 = saturating (default
 //                   20000,60000,0)
+//   --theta T       Zipf skew of the read key ranks   (default 0.99;
+//                   1.5 concentrates load for the skew-alert smoke)
 //   --quick         CI smoke: fewer ops, two load points
 
 #include <cstring>
@@ -30,6 +40,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "obs/trace.hpp"
 #include "pimtrie/pim_trie.hpp"
 #include "serve/server.hpp"
 #include "workload/generators.hpp"
@@ -42,6 +53,7 @@ struct Cfg {
   std::size_t ops = 3000;
   std::size_t clients = 4;
   std::vector<double> rates = {20000, 60000, 0};
+  double theta = 0.99;
   bool quick = false;
 };
 
@@ -54,6 +66,9 @@ struct RunResult {
   double p50_us = 0, p99_us = 0;
   serve::Server::Stats stats;
   std::vector<double> lat_us;
+  // Per-stage service latencies from the lifecycle stamps (telemetry is
+  // forced on for latency modes), measured submit -> done.
+  std::vector<double> queue_us, coalesce_us, prep_us, exec_us;
   // Answers, for cross-mode identity checking.
   std::vector<std::size_t> lcps;
   std::vector<std::uint64_t> gets;  // value or ~0 for miss
@@ -83,7 +98,8 @@ RunResult run_mode(pimtrie::PimTrie& trie, const std::vector<workload::Request>&
           rate > 0
               ? std::chrono::duration<double, std::milli>(at - server.start_time()).count()
               : server.now_ms();
-      futs[i] = server.submit(to_serve_op(reqs[i].op), reqs[i].key, reqs[i].value);
+      futs[i] = server.submit(to_serve_op(reqs[i].op), reqs[i].key, reqs[i].value,
+                              reqs[i].tenant);
     }
   };
   std::vector<std::thread> threads;
@@ -96,6 +112,12 @@ RunResult run_mode(pimtrie::PimTrie& trie, const std::vector<workload::Request>&
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     serve::Response resp = futs[i].get();
     r.lat_us.push_back(std::max(0.0, resp.done_ms - sched_ms[i]) * 1000.0);
+    if (resp.t.submit_ms > 0 || resp.t.close_ms > 0) {
+      r.queue_us.push_back((resp.t.close_ms - resp.t.submit_ms) * 1000.0);
+      r.coalesce_us.push_back((resp.t.prep_ms - resp.t.close_ms) * 1000.0);
+      r.prep_us.push_back((resp.t.exec_ms - resp.t.prep_ms) * 1000.0);
+      r.exec_us.push_back((resp.done_ms - resp.t.exec_ms) * 1000.0);
+    }
     if (resp.op == serve::Op::kLcp) r.lcps.push_back(resp.lcp);
     if (resp.op == serve::Op::kGet) r.gets.push_back(resp.value.value_or(~0ull));
   }
@@ -133,6 +155,8 @@ int main(int argc, char** argv) {
         cfg.rates.push_back(std::strtod(p, const_cast<char**>(&p)));
         if (*p == ',') ++p;
       }
+    } else if (std::strcmp(argv[i], "--theta") == 0 && i + 1 < argc) {
+      cfg.theta = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       cfg.quick = true;
     } else {
@@ -154,6 +178,7 @@ int main(int argc, char** argv) {
   std::vector<std::uint64_t> vals(keys.size());
   for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = i + 1;
   workload::MixProfile mix;  // read-mostly tenants + 10% write tenant
+  mix.zipf_theta = cfg.theta;
   auto reqs = workload::request_stream(keys, cfg.ops, mix, 202);
 
   struct Mode {
@@ -163,10 +188,29 @@ int main(int argc, char** argv) {
   serve::Server::Options perreq;
   perreq.max_batch = 1;
   perreq.pipelined = false;
+  // Lifecycle telemetry on for every latency mode: responses carry the
+  // stage stamps for the breakdown table below, and PTRIE_TRACE /
+  // PTRIE_METRICS (when set) get spans + window snapshots from the same
+  // runs. Model metrics are unaffected. When neither sink is active the
+  // skew detector is muted (alerts nobody can inspect would just spam
+  // warn logs on every plain bench run).
+  perreq.lifecycle = serve::Server::Options::Toggle::kOn;
+  const bool observed = obs::Trace::instance().enabled() ||
+                        !obs::env::str("PTRIE_METRICS",
+                                       "per-tenant serving metrics JSON-lines sink "
+                                       "(file path, or '-' for stderr)")
+                             .empty();
+  if (!observed) {
+    obs::AlertConfig mute;
+    mute.min_ops = ~0ull;
+    perreq.alerts = mute;
+  }
   serve::Server::Options coalesced;
   coalesced.max_batch = 512;
   coalesced.max_delay = std::chrono::microseconds(200);
   coalesced.pipelined = false;
+  coalesced.lifecycle = serve::Server::Options::Toggle::kOn;
+  coalesced.alerts = perreq.alerts;
   serve::Server::Options pipelined = coalesced;
   pipelined.pipelined = true;
   const Mode modes[] = {{"per-request", perreq}, {"coalesced", coalesced},
@@ -175,6 +219,18 @@ int main(int argc, char** argv) {
   bench::header("serving: throughput and latency vs offered load",
                 {"mode", "offered", "ops/s", "p50_us", "p99_us", "mean_batch", "overlap",
                  "deadline%"});
+  struct StageRow {
+    std::string mode, offered;
+    double queue = 0, coalesce = 0, prep = 0, exec = 0, service = 0;
+    std::size_t n = 0;
+  };
+  std::vector<StageRow> stage_rows;
+  auto mean = [](const std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    double s = 0;
+    for (double x : v) s += x;
+    return s / double(v.size());
+  };
   double perreq_sat = 0, pipelined_sat = 0, coalesced_sat = 0;
   for (const Mode& m : modes) {
     for (double rate : cfg.rates) {
@@ -203,12 +259,38 @@ int main(int argc, char** argv) {
       bench::histogram("lat/" + tag, r.lat_us, "us");
       std::vector<double> bs(r.stats.batch_sizes.begin(), r.stats.batch_sizes.end());
       bench::histogram("batch/" + tag, bs, "reqs");
+      StageRow sr;
+      sr.mode = m.name;
+      sr.offered = rate_label(rate);
+      sr.queue = mean(r.queue_us);
+      sr.coalesce = mean(r.coalesce_us);
+      sr.prep = mean(r.prep_us);
+      sr.exec = mean(r.exec_us);
+      sr.service = sr.queue + sr.coalesce + sr.prep + sr.exec;
+      sr.n = r.queue_us.size();
+      stage_rows.push_back(std::move(sr));
       if (rate <= 0) {
         if (std::strcmp(m.name, "per-request") == 0) perreq_sat = r.ops_per_sec;
         if (std::strcmp(m.name, "coalesced") == 0) coalesced_sat = r.ops_per_sec;
         if (std::strcmp(m.name, "pipelined") == 0) pipelined_sat = r.ops_per_sec;
       }
     }
+  }
+
+  // Mean service-time decomposition from the lifecycle stamps. Stages
+  // tile submit -> done, so queue+coalesce+prep+exec == service. Pure
+  // wall-clock: informative, never gated.
+  bench::header("serving: request-stage latency breakdown (mean us, wall-clock)",
+                {"mode", "offered", "queue", "coalesce", "prep", "exec", "service"});
+  for (const StageRow& sr : stage_rows) {
+    bench::cell(sr.mode);
+    bench::cell(sr.offered);
+    bench::cell(sr.queue);
+    bench::cell(sr.coalesce);
+    bench::cell(sr.prep);
+    bench::cell(sr.exec);
+    bench::cell(sr.service);
+    bench::endrow();
   }
 
   bench::header("serving: saturating-load speedup over per-request dispatch",
@@ -235,6 +317,12 @@ int main(int argc, char** argv) {
     bench::header("serving: fixed-batch replay (deterministic, perf-gate input)",
                   {"batch", "ops", "rounds", "words/op", "io/op", "pim_time",
                    "total_words"});
+    struct PhaseRow {
+      std::string label;  // "<batch>/<phase depth-2>"
+      std::size_t rounds = 0;
+      std::uint64_t total_words = 0, io_time = 0, pim_time = 0;
+    };
+    std::vector<PhaseRow> phase_rows;
     for (std::size_t batch : {64, 512}) {
       pim::System sys(kP, 7);
       pimtrie::Config pcfg;
@@ -250,7 +338,7 @@ int main(int argc, char** argv) {
         std::vector<std::future<serve::Response>> futs;
         futs.reserve(reqs.size());
         for (const auto& q : reqs)
-          futs.push_back(server.submit(to_serve_op(q.op), q.key, q.value));
+          futs.push_back(server.submit(to_serve_op(q.op), q.key, q.value, q.tenant));
         server.drain();
         server.stop();
         for (auto& f : futs) f.get();
@@ -262,6 +350,41 @@ int main(int argc, char** argv) {
       bench::cell(c.io_time_per_op);
       bench::cell(std::size_t(c.pim_time));
       bench::cell(std::size_t(c.total_words));
+      bench::endrow();
+      // Stage-attributed model cost: aggregate the replay's rounds by
+      // phase path collapsed to depth 2 ("Serve/LCP", "Serve/Insert",
+      // ...; build rounds carry other phases and drop out). Model
+      // metrics only, so rows are exactly reproducible — the second
+      // perf-gate table.
+      for (const auto& ru : sys.metrics().phase_rollups()) {
+        if (ru.phase.rfind("Serve", 0) != 0) continue;  // build etc.
+        std::string p2 = ru.phase;
+        std::size_t first = p2.find('/');
+        if (first != std::string::npos) {
+          std::size_t second = p2.find('/', first + 1);
+          if (second != std::string::npos) p2.resize(second);
+        }
+        std::string label = std::to_string(batch) + "/" + p2;
+        auto it = std::find_if(phase_rows.begin(), phase_rows.end(),
+                               [&](const PhaseRow& r) { return r.label == label; });
+        if (it == phase_rows.end()) {
+          phase_rows.push_back({label, 0, 0, 0, 0});
+          it = phase_rows.end() - 1;
+        }
+        it->rounds += ru.rounds;
+        it->total_words += ru.words;
+        it->io_time += ru.io_time;
+        it->pim_time += ru.pim_time;
+      }
+    }
+    bench::header("serving: per-stage model cost (deterministic, perf-gate input)",
+                  {"batch/phase", "rounds", "total_words", "io_time", "pim_time"});
+    for (const PhaseRow& pr : phase_rows) {
+      bench::cell(pr.label);
+      bench::cell(pr.rounds);
+      bench::cell(std::size_t(pr.total_words));
+      bench::cell(std::size_t(pr.io_time));
+      bench::cell(std::size_t(pr.pim_time));
       bench::endrow();
     }
   }

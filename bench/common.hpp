@@ -187,10 +187,13 @@ struct Reporter {
                     ", \"p50\": %.6g, \"p90\": %.6g, \"p95\": %.6g, \"p99\": %.6g",
                     hg.p50, hg.p90, hg.p95, hg.p99);
       out += buf;
+      // Explicit bound pairs: bucket b covers (gt, le]; the first bucket
+      // uses gt = -1 (i.e. everything at or below its `le`, which is 0 —
+      // the exact-zero bucket of log2_buckets).
       out += ", \"buckets\": [";
       for (std::size_t b = 0; b < hg.bucket_le.size(); ++b) {
-        std::snprintf(buf, sizeof buf, "{\"le\": %.6g, \"count\": %zu}", hg.bucket_le[b],
-                      hg.bucket_count[b]);
+        std::snprintf(buf, sizeof buf, "{\"gt\": %.6g, \"le\": %.6g, \"count\": %zu}",
+                      b ? hg.bucket_le[b - 1] : -1.0, hg.bucket_le[b], hg.bucket_count[b]);
         out += (b ? ", " : "") + std::string(buf);
       }
       out += "]}";
@@ -284,6 +287,31 @@ inline double percentile_sorted(const std::vector<double>& sorted, double p) {
   return sorted[lo] * (1 - frac) + sorted[hi] * frac;
 }
 
+// Bucket scheme shared by histogram() and its tests: bucket 0 is the
+// exact-zero bucket (le = 0, catching 0-valued samples explicitly), then
+// log2-spaced upper bounds 1, 2, 4, ... up to the first power of two at
+// or past the max sample. Bucket i > 0 covers (le[i-1], le[i]], so the
+// emitted `le` list is a complete, explicit bound schema — consumers
+// never have to re-derive the spacing. `sorted` must be ascending; the
+// counts always sum to sorted.size().
+inline void log2_buckets(const std::vector<double>& sorted, std::vector<double>* le,
+                         std::vector<std::size_t>* count) {
+  le->clear();
+  count->clear();
+  if (sorted.empty()) return;
+  double max = sorted.back();
+  le->push_back(0.0);
+  double top = 1.0;
+  while (top < max) top *= 2;
+  for (double b = 1.0; b <= top; b *= 2) le->push_back(b);
+  count->assign(le->size(), 0);
+  std::size_t bi = 0;
+  for (double v : sorted) {
+    while (bi + 1 < le->size() && v > (*le)[bi]) ++bi;
+    ++(*count)[bi];
+  }
+}
+
 // Records a full distribution under `name` (log2-spaced buckets plus the
 // standard percentiles) and prints a one-line summary. The samples reach
 // the --json output as a "histograms" entry, so ptrie_report can render
@@ -306,19 +334,7 @@ inline void histogram(const std::string& name, std::vector<double> values,
     h.p90 = percentile_sorted(values, 90);
     h.p95 = percentile_sorted(values, 95);
     h.p99 = percentile_sorted(values, 99);
-    // Log2-spaced buckets from <=1 unit up past the max sample.
-    double le = 1.0;
-    while (le < h.max) le *= 2;
-    std::size_t n_buckets = 1;
-    for (double b = 1.0; b < le; b *= 2) ++n_buckets;
-    h.bucket_le.reserve(n_buckets);
-    h.bucket_count.assign(n_buckets, 0);
-    for (double b = 1.0, i = 0; i < double(n_buckets); b *= 2, ++i) h.bucket_le.push_back(b);
-    std::size_t bi = 0;
-    for (double v : values) {
-      while (bi + 1 < h.bucket_le.size() && v > h.bucket_le[bi]) ++bi;
-      ++h.bucket_count[bi];
-    }
+    log2_buckets(values, &h.bucket_le, &h.bucket_count);
   }
   std::printf("  hist %-28s n=%zu  p50=%.1f%s p90=%.1f%s p99=%.1f%s max=%.1f%s\n",
               name.c_str(), h.count, h.p50, unit, h.p90, unit, h.p99, unit, h.max, unit);

@@ -43,6 +43,28 @@ echo "== serving smoke: latency histograms + curves render =="
 grep -q 'latency vs offered load' "$OBS_TMP/serving_report.txt"
 grep -q 'lat/pipelined@max' "$OBS_TMP/serving_report.txt"
 
+echo "== lifecycle smoke: spans + metrics sink + skew alerts =="
+# Adversarially skewed run (Zipf theta=1.5) with full lifecycle
+# telemetry: the Chrome trace must carry the serving span track, the
+# JSON-lines sink must parse and render through `ptrie_report --top`,
+# and the skew detector must fire at least one alert.
+PTRIE_TRACE="$OBS_TMP/serve_trace.json" PTRIE_METRICS="$OBS_TMP/serve_metrics.jsonl" \
+  ./build/bench/bench_serving --quick --rates 0 --theta 1.5 >/dev/null
+./build/tools/ptrie_report "$OBS_TMP/serve_trace.json" >"$OBS_TMP/serve_trace_report.txt"
+grep -q 'request lifecycle spans' "$OBS_TMP/serve_trace_report.txt"
+grep -q 'request' "$OBS_TMP/serve_trace_report.txt"
+./build/tools/ptrie_report --top "$OBS_TMP/serve_metrics.jsonl" >"$OBS_TMP/serve_top.txt"
+grep -q 'tenant' "$OBS_TMP/serve_top.txt"
+grep -q '"type":"alert"' "$OBS_TMP/serve_metrics.jsonl"
+# Uniform load (theta=0) must stay alert-free: the detector has no
+# false positives on the load it was tuned against.
+PTRIE_METRICS="$OBS_TMP/serve_uniform.jsonl" \
+  ./build/bench/bench_serving --quick --rates 0 --theta 0 >/dev/null
+if grep -q '"type":"alert"' "$OBS_TMP/serve_uniform.jsonl"; then
+  echo "FAIL: skew alert fired under uniform load" >&2
+  exit 1
+fi
+
 echo "== perf gate: model metrics vs checked-in baselines =="
 ci/perf_gate.sh build
 

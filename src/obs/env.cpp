@@ -37,6 +37,17 @@ struct Registry {
     pre("PTRIE_NO_PSPLIT", "disable piece splits + meta-tree rebuilds (keep block repartition)");
     pre("PTRIE_TRACE", "write a phase-attributed trace on exit (*.csv -> CSV, else Chrome JSON)");
     pre("PTRIE_TELEMETRY", "retain per-round per-module words/work for phase imbalance reports");
+    pre("PTRIE_METRICS",
+        "per-tenant serving metrics JSON-lines sink (file path, or '-' for stderr)");
+    pre("PTRIE_METRICS_INTERVAL_MS", "serving metrics snapshot period in ms (default 500)");
+    pre("PTRIE_SPAN_SAMPLE",
+        "sample 1-in-N serving requests into the trace as lifecycle spans (default 16; 1 = every request)");
+    pre("PTRIE_SPAN_SEED", "seed for the deterministic span-sampling hash (default 1)");
+    pre("PTRIE_ALERT_HOTKEY",
+        "skew alert when one key exceeds this fraction of a tenant's window ops (default 0.25)");
+    pre("PTRIE_ALERT_IMBALANCE",
+        "skew alert when window per-module word imbalance max/mean exceeds this (default 3.0)");
+    pre("PTRIE_ALERT_MIN_OPS", "minimum window ops before skew alerts can fire (default 50)");
   }
 
   void pre(const char* name, const char* help) {

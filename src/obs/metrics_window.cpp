@@ -1,0 +1,230 @@
+#include "obs/metrics_window.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/counters.hpp"
+#include "obs/env.hpp"
+
+namespace ptrie::obs {
+
+namespace {
+
+double env_f64(const char* name, double def, const char* help) {
+  std::string s = env::str(name, help);
+  if (s.empty()) return def;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  return end == s.c_str() ? def : v;
+}
+
+// Linear-interpolation percentile over an unsorted sample vector.
+double pct(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  double rank = p / 100.0 * double(v.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = rank - double(lo);
+  return v[lo] * (1 - frac) + v[hi] * frac;
+}
+
+void append_f(std::string* out, const char* key, double v, const char* fmt = "%.1f") {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\"%s\":", key);
+  *out += buf;
+  std::snprintf(buf, sizeof buf, fmt, v);
+  *out += buf;
+}
+
+void append_stage(std::string* out, const char* key, std::vector<double>& v) {
+  // Sort before building the argument list: snprintf argument evaluation
+  // order is unspecified, so back() must not race the pct() sorts.
+  std::sort(v.begin(), v.end());
+  double mx = v.empty() ? 0.0 : v.back();
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "\"%s\":{\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f,\"max\":%.1f}",
+                key, pct(v, 50), pct(v, 95), pct(v, 99), mx);
+  *out += buf;
+}
+
+}  // namespace
+
+AlertConfig AlertConfig::from_env() {
+  AlertConfig c;
+  c.hot_key_frac = env_f64(
+      "PTRIE_ALERT_HOTKEY", c.hot_key_frac,
+      "skew alert when one key exceeds this fraction of a tenant's window ops (default 0.25)");
+  c.module_imbalance = env_f64(
+      "PTRIE_ALERT_IMBALANCE", c.module_imbalance,
+      "skew alert when window per-module word imbalance max/mean exceeds this (default 3.0)");
+  c.min_ops = env::u64("PTRIE_ALERT_MIN_OPS", c.min_ops,
+                       "minimum window ops before skew alerts can fire (default 50)");
+  return c;
+}
+
+void MetricsWindow::record(const RequestSample& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantAgg& t = tenants_[s.tenant];
+  ++t.ops;
+  ++t.by_op[s.op];
+  t.queue.push_back(s.queue_us);
+  t.coalesce.push_back(s.coalesce_us);
+  t.prep.push_back(s.prep_us);
+  t.exec.push_back(s.exec_us);
+  t.total.push_back(s.total_us);
+  t.words += s.words;
+  t.batch_sum += s.batch_size;
+  auto it = t.key_counts.find(s.key_hash);
+  if (it != t.key_counts.end())
+    ++it->second;
+  else if (t.key_counts.size() < TenantAgg::kMaxKeys)
+    t.key_counts.emplace(s.key_hash, 1);
+}
+
+void MetricsWindow::record_batch_module_words(const std::vector<std::uint64_t>& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (module_words_.size() < delta.size()) module_words_.resize(delta.size(), 0);
+  for (std::size_t m = 0; m < delta.size(); ++m) module_words_[m] += delta[m];
+}
+
+std::uint64_t MetricsWindow::windows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_seq_;
+}
+
+std::vector<Alert> MetricsWindow::roll(double t_ms, const WindowGauges& g, std::string* out) {
+  std::map<std::uint32_t, TenantAgg> tenants;
+  std::vector<std::uint64_t> module_words;
+  std::uint64_t window;
+  double span_ms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tenants.swap(tenants_);
+    module_words.swap(module_words_);
+    window = window_seq_++;
+    span_ms = t_ms - last_roll_ms_;
+    last_roll_ms_ = t_ms;
+  }
+
+  std::uint64_t total_ops = 0;
+  for (const auto& [id, t] : tenants) total_ops += t.ops;
+
+  // ---- skew detector ----
+  std::vector<Alert> alerts;
+  double imbalance = 1.0;
+  if (!module_words.empty()) {
+    std::uint64_t max = 0, sum = 0;
+    for (std::uint64_t w : module_words) {
+      sum += w;
+      max = std::max(max, w);
+    }
+    double mean = double(sum) / double(module_words.size());
+    imbalance = mean > 0 ? double(max) / mean : 1.0;
+  }
+  if (total_ops >= cfg_.min_ops && imbalance > cfg_.module_imbalance) {
+    Alert a;
+    a.kind = "module_imbalance";
+    a.value = imbalance;
+    a.threshold = cfg_.module_imbalance;
+    a.window = window;
+    alerts.push_back(std::move(a));
+  }
+  for (auto& [id, t] : tenants) {
+    if (t.ops < cfg_.min_ops || t.key_counts.empty()) continue;
+    auto hot = std::max_element(
+        t.key_counts.begin(), t.key_counts.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    double frac = double(hot->second) / double(t.ops);
+    if (frac > cfg_.hot_key_frac) {
+      Alert a;
+      a.kind = "hot_key";
+      a.has_tenant = true;
+      a.tenant = id;
+      a.value = frac;
+      a.threshold = cfg_.hot_key_frac;
+      a.hot_hash = hot->first;
+      a.window = window;
+      alerts.push_back(std::move(a));
+    }
+  }
+  for (const Alert& a : alerts) {
+    counter(a.kind == "hot_key" ? "serve/alert_hot_key" : "serve/alert_imbalance").add();
+    std::string tenant = a.has_tenant ? std::to_string(a.tenant) : "-";
+    logf(LogLevel::kWarn, "skew",
+         "window %llu: %s alert value=%.3f threshold=%.3f tenant=%s",
+         (unsigned long long)a.window, a.kind.c_str(), a.value, a.threshold, tenant.c_str());
+  }
+
+  if (!out) return alerts;
+
+  // ---- JSON-lines rendering ----
+  char buf[256];
+  std::string& o = *out;
+  std::snprintf(buf, sizeof buf,
+                "{\"type\":\"window\",\"window\":%llu,\"t_ms\":%.1f,\"span_ms\":%.1f,"
+                "\"ops\":%llu,\"in_flight\":%llu,\"queue_depth\":%llu,"
+                "\"module_imbalance\":%.3f,\"alerts\":%zu}\n",
+                (unsigned long long)window, t_ms, span_ms, (unsigned long long)total_ops,
+                (unsigned long long)g.in_flight, (unsigned long long)g.queue_depth,
+                imbalance, alerts.size());
+  o += buf;
+  for (auto& [id, t] : tenants) {
+    if (t.ops == 0) continue;
+    std::snprintf(buf, sizeof buf, "{\"type\":\"tenant\",\"window\":%llu,\"t_ms\":%.1f,"
+                  "\"tenant\":%u,\"ops\":%llu,",
+                  (unsigned long long)window, t_ms, id, (unsigned long long)t.ops);
+    o += buf;
+    append_f(&o, "ops_per_sec", span_ms > 0 ? double(t.ops) / (span_ms / 1000.0) : 0.0);
+    o += ",\"by_op\":{";
+    bool first = true;
+    for (const auto& [op, n] : t.by_op) {
+      std::snprintf(buf, sizeof buf, "%s\"%s\":%llu", first ? "" : ",", op.c_str(),
+                    (unsigned long long)n);
+      o += buf;
+      first = false;
+    }
+    o += "},\"lat_us\":{";
+    append_stage(&o, "total", t.total);
+    o += ",";
+    append_stage(&o, "queue", t.queue);
+    o += ",";
+    append_stage(&o, "coalesce", t.coalesce);
+    o += ",";
+    append_stage(&o, "prep", t.prep);
+    o += ",";
+    append_stage(&o, "exec", t.exec);
+    o += "},";
+    append_f(&o, "words_per_op", t.words / double(t.ops));
+    o += ",";
+    append_f(&o, "mean_batch", double(t.batch_sum) / double(t.ops));
+    double hot_frac = 0;
+    std::uint64_t hot_hash = 0;
+    if (!t.key_counts.empty()) {
+      auto hot = std::max_element(
+          t.key_counts.begin(), t.key_counts.end(),
+          [](const auto& a, const auto& b) { return a.second < b.second; });
+      hot_frac = double(hot->second) / double(t.ops);
+      hot_hash = hot->first;
+    }
+    std::snprintf(buf, sizeof buf, ",\"hot_frac\":%.3f,\"hot_hash\":%llu}\n", hot_frac,
+                  (unsigned long long)hot_hash);
+    o += buf;
+  }
+  for (const Alert& a : alerts) {
+    std::snprintf(buf, sizeof buf, "{\"type\":\"alert\",\"window\":%llu,\"t_ms\":%.1f,"
+                  "\"kind\":\"%s\",",
+                  (unsigned long long)a.window, t_ms, a.kind.c_str());
+    o += buf;
+    if (a.has_tenant) {
+      std::snprintf(buf, sizeof buf, "\"tenant\":%u,", a.tenant);
+      o += buf;
+    }
+    std::snprintf(buf, sizeof buf, "\"value\":%.3f,\"threshold\":%.3f,\"hot_hash\":%llu}\n",
+                  a.value, a.threshold, (unsigned long long)a.hot_hash);
+    o += buf;
+  }
+  return alerts;
+}
+
+}  // namespace ptrie::obs

@@ -1,0 +1,107 @@
+#pragma once
+// Sliding-window serving telemetry: per-tenant / per-op throughput,
+// stage-latency percentiles (queue / coalesce / prep / exec / total),
+// words charged, batch occupancy, hot-key concentration — plus the skew
+// anomaly detector that watches per-module word imbalance and per-tenant
+// key concentration over each window and emits structured alerts when
+// configurable thresholds are crossed.
+//
+// The aggregator is passive and thread-safe: the serving executor calls
+// record() per completed request and record_batch_module_words() per
+// batch; a snapshot thread (owned by serve::Server) calls roll()
+// periodically, which closes the window and renders one JSON line per
+// tenant plus a global line and any alert lines — the PTRIE_METRICS
+// sink format that `ptrie_report --top` tails.
+//
+// Alert thresholds come from PTRIE_ALERT_* (see AlertConfig::from_env);
+// every alert also bumps an obs::counter and logs at warn level. The
+// caller is responsible for mirroring alerts into the trace as instant
+// events (serve::Server does, when tracing is on).
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ptrie::obs {
+
+struct AlertConfig {
+  // Alert when one key exceeds this fraction of a tenant's window ops.
+  double hot_key_frac = 0.25;
+  // Alert when the window's per-module word imbalance (max/mean over
+  // modules, writes+reads) exceeds this.
+  double module_imbalance = 3.0;
+  // Minimum ops in the window (per tenant for hot-key, global for
+  // imbalance) before an alert can fire — suppresses cold-start noise.
+  std::uint64_t min_ops = 50;
+
+  static AlertConfig from_env();  // PTRIE_ALERT_{HOTKEY,IMBALANCE,MIN_OPS}
+};
+
+// One completed request, as reported by the serving executor. Stage
+// intervals tile [submit, done]; `words` is the request's equal share of
+// its batch's model-word delta.
+struct RequestSample {
+  std::uint32_t tenant = 0;
+  const char* op = "?";  // static string (serve::op_name)
+  double queue_us = 0, coalesce_us = 0, prep_us = 0, exec_us = 0, total_us = 0;
+  double words = 0;
+  std::size_t batch_size = 0;
+  std::uint64_t key_hash = 0;
+};
+
+struct Alert {
+  std::string kind;  // "hot_key" | "module_imbalance"
+  bool has_tenant = false;
+  std::uint32_t tenant = 0;   // hot_key only
+  double value = 0;           // observed concentration / imbalance
+  double threshold = 0;
+  std::uint64_t hot_hash = 0; // hot_key only: hash of the offending key
+  std::uint64_t window = 0;
+};
+
+// Gauges sampled by the caller at roll time (they live in the server's
+// queueing state, not in per-request samples).
+struct WindowGauges {
+  std::uint64_t in_flight = 0;    // submitted, not yet completed
+  std::uint64_t queue_depth = 0;  // admitted, not yet executing
+};
+
+class MetricsWindow {
+ public:
+  explicit MetricsWindow(AlertConfig cfg = AlertConfig()) : cfg_(cfg) {}
+
+  void record(const RequestSample& s);
+  void record_batch_module_words(const std::vector<std::uint64_t>& delta);
+
+  // Closes the current window: evaluates the skew detector, appends the
+  // window's JSON lines (global "window" line, one "tenant" line per
+  // active tenant, one "alert" line per fired alert) to *out, and
+  // returns the alerts. `t_ms` is the roll timestamp (server clock).
+  std::vector<Alert> roll(double t_ms, const WindowGauges& g, std::string* out);
+
+  std::uint64_t windows() const;
+
+ private:
+  struct TenantAgg {
+    std::uint64_t ops = 0;
+    std::map<std::string, std::uint64_t> by_op;
+    std::vector<double> queue, coalesce, prep, exec, total;  // us
+    double words = 0;
+    std::uint64_t batch_sum = 0;
+    // Hot-key tracking, capped so adversarial key churn cannot balloon
+    // memory; overflowed keys only lower the reported concentration.
+    std::map<std::uint64_t, std::uint64_t> key_counts;
+    static constexpr std::size_t kMaxKeys = 4096;
+  };
+
+  mutable std::mutex mu_;
+  AlertConfig cfg_;
+  std::map<std::uint32_t, TenantAgg> tenants_;
+  std::vector<std::uint64_t> module_words_;  // window per-module word deltas
+  std::uint64_t window_seq_ = 0;
+  double last_roll_ms_ = 0;
+};
+
+}  // namespace ptrie::obs

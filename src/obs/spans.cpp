@@ -1,0 +1,18 @@
+#include "obs/spans.hpp"
+
+#include "obs/env.hpp"
+
+namespace ptrie::obs {
+
+std::uint64_t span_sample_from_env() {
+  return env::u64("PTRIE_SPAN_SAMPLE", 16,
+                  "sample 1-in-N serving requests into the trace as lifecycle spans "
+                  "(default 16; 1 = every request)");
+}
+
+std::uint64_t span_seed_from_env() {
+  return env::u64("PTRIE_SPAN_SEED", 1,
+                  "seed for the deterministic span-sampling hash (default 1)");
+}
+
+}  // namespace ptrie::obs

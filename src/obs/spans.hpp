@@ -1,0 +1,82 @@
+#pragma once
+// Request-lifecycle spans for the serving layer. A sampled request
+// renders in the Chrome trace as one parent slice (submit -> done) with
+// four children that exactly tile it:
+//
+//   queue     submit      -> batch close   (waiting in the open batch)
+//   coalesce  batch close -> prep start    (closed, waiting for the prep stage)
+//   prep      prep start  -> exec start    (host preparation + pipeline wait)
+//   exec      exec start  -> done          (PIM rounds of the batch)
+//
+// Spans live in the same trace stream as the model-time BSP rounds
+// (obs/trace.hpp) but on their own "serving" process track, stamped with
+// the server wall clock (microseconds since Server construction): the
+// simulator tracks stay byte-deterministic, and a serving run renders as
+// one flame view per sampled request.
+//
+// Sampling is 1-in-N on the request's global submission sequence number
+// through a fixed mixer, so the sampled *set* depends only on (seed, N,
+// submission order) — never on PTRIE_WORKERS, pipeline scheduling, or
+// wall-clock (asserted by tests/test_serve.cpp).
+
+#include <cstdint>
+#include <string>
+
+#include "core/bitstring.hpp"
+
+namespace ptrie::obs {
+
+// Chrome pid reserved for the serving-layer track (simulator systems are
+// registered 1..N; this sits far above them). tid 0 carries batch spans
+// and alert instants; tids 1..kSpanReqLanes carry request flames.
+constexpr std::uint32_t kServePid = 1000;
+constexpr std::uint32_t kSpanReqLanes = 8;
+
+struct SpanEvent {
+  enum class Kind : std::uint8_t { kComplete, kInstant };
+  Kind kind = Kind::kComplete;
+  std::uint32_t lane = 0;  // tid within the serving process track
+  std::string name;        // "req/lcp", "queue", "batch 7 exec", "alert/hot_key"
+  std::string cat;         // "request" | "stage" | "batch" | "alert"
+  double ts_us = 0;        // server clock, microseconds
+  double dur_us = 0;       // kComplete only
+  // Extra members for the Chrome "args" object, pre-rendered as JSON
+  // ("\"tenant\":3,\"batch\":7"); may be empty.
+  std::string args_json;
+};
+
+// SplitMix64 finalizer: the mixer behind span sampling and key hashing.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Order-independent-ish content hash of a key's bits (used for hot-key
+// concentration tracking; never for placement).
+inline std::uint64_t key_hash(const core::BitString& k) {
+  std::uint64_t h = 0x5E64E57ull ^ static_cast<std::uint64_t>(k.size());
+  for (std::size_t w = 0; w < k.word_count(); ++w) h = mix64(h ^ k.word(w));
+  return h;
+}
+
+// Deterministic 1-in-N sampler over request sequence numbers.
+class SpanSampler {
+ public:
+  SpanSampler() = default;
+  SpanSampler(std::uint64_t seed, std::uint64_t n) : seed_(seed), n_(n) {}
+
+  bool sampled(std::uint64_t seq) const { return n_ <= 1 || mix64(seed_ ^ seq) % n_ == 0; }
+  std::uint64_t every() const { return n_; }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::uint64_t n_ = 1;
+};
+
+// Env-configured defaults (PTRIE_SPAN_SAMPLE / PTRIE_SPAN_SEED).
+std::uint64_t span_sample_from_env();
+std::uint64_t span_seed_from_env();
+
+}  // namespace ptrie::obs

@@ -49,15 +49,26 @@ void Trace::record(TraceRound r) {
   rounds_.push_back(std::move(r));
 }
 
+void Trace::record_span(SpanEvent s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(s));
+}
+
 void Trace::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   rounds_.clear();
+  spans_.clear();
   system_p_.clear();
 }
 
 std::size_t Trace::round_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return rounds_.size();
+}
+
+std::size_t Trace::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
 }
 
 void Trace::write_chrome(std::ostream& out) const {
@@ -82,6 +93,20 @@ void Trace::write_chrome(std::ostream& out) const {
       sep();
       out << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << (kModuleTidBase + m)
           << ",\"name\":\"thread_name\",\"args\":{\"name\":\"module " << m << "\"}}";
+    }
+  }
+  // Serving-layer track metadata (only when spans were recorded).
+  if (!spans_.empty()) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":" << kServePid << ",\"tid\":0,\"name\":\"process_name\","
+        << "\"args\":{\"name\":\"serving\"}}";
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":" << kServePid
+        << ",\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"batches\"}}";
+    for (std::uint32_t l = 1; l <= kSpanReqLanes; ++l) {
+      sep();
+      out << "{\"ph\":\"M\",\"pid\":" << kServePid << ",\"tid\":" << l
+          << ",\"name\":\"thread_name\",\"args\":{\"name\":\"requests " << l << "\"}}";
     }
   }
   std::size_t round_idx = 0;
@@ -112,6 +137,21 @@ void Trace::write_chrome(std::ostream& out) const {
           << ",\"work\":" << work << "}}";
     }
     ++round_idx;
+  }
+  for (const auto& s : spans_) {
+    sep();
+    char ts[64];
+    std::snprintf(ts, sizeof ts, "%.3f", s.ts_us);
+    out << "{\"ph\":" << (s.kind == SpanEvent::Kind::kInstant ? "\"i\"" : "\"X\"")
+        << ",\"pid\":" << kServePid << ",\"tid\":" << s.lane << ",\"ts\":" << ts;
+    if (s.kind == SpanEvent::Kind::kInstant) {
+      out << ",\"s\":\"t\"";
+    } else {
+      std::snprintf(ts, sizeof ts, "%.3f", s.dur_us);
+      out << ",\"dur\":" << ts;
+    }
+    out << ",\"name\":" << json::escape(s.name) << ",\"cat\":" << json::escape(s.cat)
+        << ",\"args\":{" << s.args_json << "}}";
   }
   out << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
       << "\"clock\":\"pim-model-words\",\"source\":\"pim-trie simulator\"}}\n";

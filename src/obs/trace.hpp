@@ -15,11 +15,20 @@
 // host thread in issue order — so trace bytes are identical for any
 // PTRIE_WORKERS, matching the runtime's determinism contract.
 
+// Besides BSP rounds, the trace also carries request-lifecycle spans
+// from the serving layer (obs/spans.hpp): wall-clock slices on a
+// dedicated "serving" process track (pid kServePid), so a serving run
+// renders as request flames next to the deterministic simulator tracks.
+// Spans exist only when a Server runs with tracing on, so the
+// byte-determinism contract for pure simulator runs is untouched.
+
 #include <cstdint>
 #include <iosfwd>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/spans.hpp"
 
 namespace ptrie::obs {
 
@@ -54,10 +63,15 @@ class Trace {
 
   void record(TraceRound r);
 
-  // Drops all recorded rounds and restarts system ids at 1.
+  // Serving-layer lifecycle span (request/stage/batch slice or alert
+  // instant); rendered on the kServePid process track.
+  void record_span(SpanEvent s);
+
+  // Drops all recorded rounds and spans and restarts system ids at 1.
   void clear();
 
   std::size_t round_count() const;
+  std::size_t span_count() const;
 
   void write_chrome(std::ostream& out) const;
   void write_csv(std::ostream& out) const;
@@ -70,6 +84,7 @@ class Trace {
   std::string path_;  // exit-time destination ("" = none)
   mutable std::mutex mu_;
   std::vector<TraceRound> rounds_;
+  std::vector<SpanEvent> spans_;
   std::vector<std::size_t> system_p_;  // modules per registered system
   friend struct TraceAtExit;
   void flush_to_path() const;

@@ -89,6 +89,10 @@ class PimTrie {
   std::optional<trie::Value> find(const core::BitString& key);
 
   const Config& config() const { return cfg_; }
+  // The machine this trie issues rounds on (metrics inspection; the
+  // serving telemetry reads per-module word deltas at batch boundaries).
+  pim::System& system() { return *sys_; }
+  const pim::System& system() const { return *sys_; }
   std::size_t key_count() const { return n_keys_; }
   std::size_t block_count() const { return blocks_.size(); }
   std::size_t piece_count() const { return pieces_.size(); }

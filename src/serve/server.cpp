@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 #include "core/parallel.hpp"
 #include "obs/counters.hpp"
+#include "obs/env.hpp"
 #include "obs/phase.hpp"
+#include "obs/trace.hpp"
 
 namespace ptrie::serve {
 
@@ -32,6 +35,41 @@ Server::Server(pimtrie::PimTrie& trie, Options opt)
     : trie_(&trie), opt_(opt), t0_(std::chrono::steady_clock::now()) {
   opt_.max_batch = std::max<std::size_t>(1, opt_.max_batch);
   opt_.max_backlog = std::max<std::size_t>(1, opt_.max_backlog);
+
+  // Resolve the lifecycle-telemetry toggle (Options override, else env).
+  const bool trace_on = obs::Trace::instance().enabled();
+  std::string mpath = opt_.metrics_path;
+  if (mpath.empty())
+    mpath = obs::env::str("PTRIE_METRICS",
+                          "per-tenant serving metrics JSON-lines sink (file path, or '-' for stderr)");
+  switch (opt_.lifecycle) {
+    case Options::Toggle::kOff: lifecycle_on_ = false; break;
+    case Options::Toggle::kOn: lifecycle_on_ = true; break;
+    case Options::Toggle::kAuto: lifecycle_on_ = trace_on || !mpath.empty(); break;
+  }
+  if (lifecycle_on_) {
+    spans_on_ = trace_on;
+    sampler_ = obs::SpanSampler(
+        opt_.span_seed != 0 ? opt_.span_seed : obs::span_seed_from_env(),
+        opt_.span_sample != 0 ? opt_.span_sample : obs::span_sample_from_env());
+    window_ = std::make_unique<obs::MetricsWindow>(opt_.alerts ? *opt_.alerts
+                                                              : obs::AlertConfig::from_env());
+    if (!mpath.empty()) {
+      if (mpath == "-") {
+        metrics_file_ = stderr;
+      } else {
+        metrics_file_ = std::fopen(mpath.c_str(), "a");
+        metrics_close_ = metrics_file_ != nullptr;
+      }
+    }
+    if (opt_.metrics_interval.count() > 0)
+      metrics_interval_ = opt_.metrics_interval;
+    else
+      metrics_interval_ = std::chrono::milliseconds(obs::env::u64(
+          "PTRIE_METRICS_INTERVAL_MS", 500, "serving metrics snapshot period in ms (default 500)"));
+    metrics_thread_ = std::thread([this] { metrics_loop(); });
+  }
+
   if (opt_.pipelined) prep_thread_ = std::thread([this] { prep_loop(); });
   exec_thread_ = std::thread([this] { exec_loop(); });
 }
@@ -43,10 +81,29 @@ double Server::now_ms() const {
       .count();
 }
 
+std::uint64_t Server::queue_depth_locked() const {
+  std::uint64_t qd = open_.size();
+  for (const RawBatch& b : raw_q_) qd += b.reqs.size();
+  return qd;
+}
+
+void Server::refresh_gauges_locked() {
+  std::lock_guard slk(stats_mu_);
+  stats_.in_flight = submitted_ - completed_;
+  stats_.max_in_flight = std::max(stats_.max_in_flight, stats_.in_flight);
+  stats_.queue_depth = queue_depth_locked();
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, stats_.queue_depth);
+  stats_.max_backlog = std::max<std::uint64_t>(stats_.max_backlog, raw_q_.size());
+}
+
 void Server::close_open_locked(Close why) {
   if (open_.empty()) return;
-  raw_q_.push_back(std::move(open_));
+  RawBatch b;
+  b.reqs = std::move(open_);
   open_.clear();
+  b.id = next_batch_++;
+  if (lifecycle_on_) b.close_ms = now_ms();
+  raw_q_.push_back(std::move(b));
   {
     std::lock_guard slk(stats_mu_);
     switch (why) {
@@ -54,23 +111,32 @@ void Server::close_open_locked(Close why) {
       case Close::kDeadline: ++stats_.close_deadline; break;
       case Close::kFlush: ++stats_.close_flush; break;
     }
+    stats_.max_backlog = std::max<std::uint64_t>(stats_.max_backlog, raw_q_.size());
   }
   cv_raw_.notify_all();
 }
 
-std::future<Response> Server::submit(Op op, core::BitString key, trie::Value value) {
+std::future<Response> Server::submit(Op op, core::BitString key, trie::Value value,
+                                     std::uint32_t tenant) {
   PendingReq r;
   r.op = op;
   r.key = std::move(key);
   r.value = value;
+  r.tenant = tenant;
   std::future<Response> fut = r.promise.get_future();
   {
     std::unique_lock lk(mu_);
     assert(!stopping_ && "submit() after stop()");
     cv_space_.wait(lk, [&] { return raw_q_.size() < opt_.max_backlog; });
     if (open_.empty()) open_since_ = std::chrono::steady_clock::now();
-    ++submitted_;
+    r.seq = submitted_++;
+    if (lifecycle_on_) {
+      r.submit_ms = now_ms();
+      r.key_hash = obs::key_hash(r.key);
+      r.sampled = sampler_.sampled(r.seq);
+    }
     open_.push_back(std::move(r));
+    refresh_gauges_locked();
     if (open_.size() >= opt_.max_batch)
       close_open_locked(Close::kSize);
     else
@@ -109,16 +175,80 @@ void Server::stop() {
   }
   cv_prep_.notify_all();
   if (exec_thread_.joinable()) exec_thread_.join();
+  if (metrics_thread_.joinable()) {
+    {
+      std::lock_guard mlk(metrics_mu_);
+      metrics_stop_ = true;
+    }
+    metrics_cv_.notify_all();
+    metrics_thread_.join();
+    // Final roll: short runs still flush one complete window (tests and
+    // CI smoke rely on this; the thread itself may never have fired).
+    roll_window();
+  }
+  if (metrics_close_ && metrics_file_) {
+    std::fclose(metrics_file_);
+    metrics_file_ = nullptr;
+    metrics_close_ = false;
+  }
   {
     std::lock_guard lk(mu_);
     stopped_ = true;
   }
 }
 
+void Server::metrics_loop() {
+  std::unique_lock lk(metrics_mu_);
+  while (!metrics_stop_) {
+    if (metrics_cv_.wait_for(lk, metrics_interval_, [&] { return metrics_stop_; })) break;
+    lk.unlock();
+    roll_window();
+    lk.lock();
+  }
+}
+
+void Server::roll_window() {
+  if (!window_) return;
+  obs::WindowGauges g;
+  {
+    std::lock_guard lk(mu_);
+    g.in_flight = submitted_ - completed_;
+    g.queue_depth = queue_depth_locked();
+  }
+  std::string lines;
+  std::vector<obs::Alert> alerts =
+      window_->roll(now_ms(), g, metrics_file_ ? &lines : nullptr);
+  if (metrics_file_ && !lines.empty()) {
+    std::fwrite(lines.data(), 1, lines.size(), metrics_file_);
+    std::fflush(metrics_file_);
+  }
+  if (!alerts.empty()) {
+    {
+      std::lock_guard slk(stats_mu_);
+      stats_.alerts += alerts.size();
+    }
+    if (spans_on_) {
+      for (const obs::Alert& a : alerts) {
+        obs::SpanEvent ev;
+        ev.kind = obs::SpanEvent::Kind::kInstant;
+        ev.lane = 0;
+        ev.name = "alert/" + a.kind;
+        ev.cat = "alert";
+        ev.ts_us = now_ms() * 1000.0;
+        ev.args_json = "\"window\":" + std::to_string(a.window) +
+                       ",\"value\":" + std::to_string(a.value) +
+                       ",\"threshold\":" + std::to_string(a.threshold);
+        if (a.has_tenant) ev.args_json += ",\"tenant\":" + std::to_string(a.tenant);
+        obs::Trace::instance().record_span(std::move(ev));
+      }
+    }
+  }
+}
+
 // Pops the next closed batch, closing the open batch when its deadline
 // expires (or unconditionally once stopping). Returns false when
 // stopping and fully drained of raw input.
-bool Server::next_raw(std::vector<PendingReq>* out) {
+bool Server::next_raw(RawBatch* out) {
   std::unique_lock lk(mu_);
   for (;;) {
     if (!raw_q_.empty()) {
@@ -147,10 +277,13 @@ bool Server::next_raw(std::vector<PendingReq>* out) {
   }
 }
 
-Server::Prepared Server::prepare(std::vector<PendingReq> raw) {
+Server::Prepared Server::prepare(RawBatch raw) {
   double a = now_ms();
   Prepared p;
-  p.reqs = std::move(raw);
+  p.reqs = std::move(raw.reqs);
+  p.id = raw.id;
+  p.close_ms = raw.close_ms;
+  p.prep_start_ms = a;
   // Execution order within the batch: by default group the concurrent
   // window by op kind (writes first, stable within a kind) so the large
   // fixed per-batch cost of sparse writes amortizes; strict_order keeps
@@ -184,12 +317,102 @@ Server::Prepared Server::prepare(std::vector<PendingReq> raw) {
     prep_iv_.push_back({a, b});
     stats_.prep_ms += b - a;
   }
+  if (spans_on_) {
+    obs::SpanEvent ev;
+    ev.lane = 0;
+    ev.name = "batch " + std::to_string(p.id) + " prep";
+    ev.cat = "batch";
+    ev.ts_us = a * 1000.0;
+    ev.dur_us = (b - a) * 1000.0;
+    ev.args_json = "\"batch\":" + std::to_string(p.id) +
+                   ",\"size\":" + std::to_string(p.reqs.size()) +
+                   ",\"runs\":" + std::to_string(p.runs.size());
+    obs::Trace::instance().record_span(std::move(ev));
+  }
   obs::counter("serve/prepared_batches").add();
   return p;
 }
 
 void Server::execute(Prepared p) {
   double a = now_ms();
+  // Per-run model-word delta (executor thread owns the System between
+  // rounds, so reading cumulative metrics here is race-free). Feeds the
+  // skew detector's module-imbalance window and the per-request words
+  // charge (equal split over the run).
+  std::vector<std::uint64_t> words_before;
+  if (lifecycle_on_ && window_) words_before = trie_->system().metrics().per_module_words();
+  // Completes request i with its lifecycle stamps, metrics sample, and
+  // (when sampled) its trace flame.
+  auto finish = [&](std::size_t i, Response r, double done, double words_per_op) {
+    PendingReq& q = p.reqs[i];
+    r.done_ms = done;
+    if (lifecycle_on_) {
+      r.t.submit_ms = q.submit_ms;
+      r.t.close_ms = p.close_ms;
+      r.t.prep_ms = p.prep_start_ms;
+      r.t.exec_ms = a;
+      r.tenant = q.tenant;
+      r.seq = q.seq;
+      r.batch = p.id;
+      r.sampled = q.sampled;
+      if (window_) {
+        obs::RequestSample s;
+        s.tenant = q.tenant;
+        s.op = op_name(r.op);
+        s.queue_us = (p.close_ms - q.submit_ms) * 1000.0;
+        s.coalesce_us = (p.prep_start_ms - p.close_ms) * 1000.0;
+        s.prep_us = (a - p.prep_start_ms) * 1000.0;
+        s.exec_us = (done - a) * 1000.0;
+        s.total_us = (done - q.submit_ms) * 1000.0;
+        s.words = words_per_op;
+        s.batch_size = p.reqs.size();
+        s.key_hash = q.key_hash;
+        window_->record(s);
+      }
+      if (q.sampled && spans_on_) {
+        obs::Trace& tr = obs::Trace::instance();
+        const std::uint32_t lane =
+            1 + static_cast<std::uint32_t>(q.seq % obs::kSpanReqLanes);
+        auto slice = [&](const char* name, const char* cat, double t0, double t1,
+                         std::string args) {
+          obs::SpanEvent ev;
+          ev.lane = lane;
+          ev.name = name;
+          ev.cat = cat;
+          ev.ts_us = t0 * 1000.0;
+          ev.dur_us = (t1 - t0) * 1000.0;
+          ev.args_json = std::move(args);
+          tr.record_span(std::move(ev));
+        };
+        std::string args = "\"seq\":" + std::to_string(q.seq) +
+                           ",\"tenant\":" + std::to_string(q.tenant) +
+                           ",\"batch\":" + std::to_string(p.id);
+        std::string parent = std::string("req/") + op_name(r.op);
+        slice(parent.c_str(), "request", q.submit_ms, done, std::move(args));
+        slice("queue", "stage", q.submit_ms, p.close_ms, "");
+        slice("coalesce", "stage", p.close_ms, p.prep_start_ms, "");
+        slice("prep", "stage", p.prep_start_ms, a, "");
+        slice("exec", "stage", a, done, "");
+      }
+    }
+    q.promise.set_value(std::move(r));
+  };
+  // Model words charged per request of the just-executed run; also rolls
+  // the delta into the metrics window and advances words_before.
+  auto charge_run = [&](std::size_t run_ops) -> double {
+    if (!lifecycle_on_ || !window_ || run_ops == 0) return 0;
+    const std::vector<std::uint64_t>& now = trie_->system().metrics().per_module_words();
+    std::vector<std::uint64_t> delta(now.size(), 0);
+    std::uint64_t total = 0;
+    for (std::size_t m = 0; m < now.size(); ++m) {
+      std::uint64_t before = m < words_before.size() ? words_before[m] : 0;
+      delta[m] = now[m] - before;
+      total += delta[m];
+    }
+    window_->record_batch_module_words(delta);
+    words_before = now;
+    return static_cast<double>(total) / static_cast<double>(run_ops);
+  };
   {
     obs::Phase serve_phase("Serve");
     for (Run& run : p.runs) {
@@ -197,58 +420,58 @@ void Server::execute(Prepared p) {
         case Op::kInsert: {
           trie_->batch_insert_prepared(run.keys, run.values, std::move(run.qt));
           double done = now_ms();
+          double w = charge_run(run.idx.size());
           for (std::size_t i : run.idx) {
             Response r;
             r.op = Op::kInsert;
-            r.done_ms = done;
-            p.reqs[i].promise.set_value(std::move(r));
+            finish(i, std::move(r), done, w);
           }
           break;
         }
         case Op::kErase: {
           trie_->batch_erase_prepared(run.keys, std::move(run.qt));
           double done = now_ms();
+          double w = charge_run(run.idx.size());
           for (std::size_t i : run.idx) {
             Response r;
             r.op = Op::kErase;
-            r.done_ms = done;
-            p.reqs[i].promise.set_value(std::move(r));
+            finish(i, std::move(r), done, w);
           }
           break;
         }
         case Op::kLcp: {
           auto out = trie_->batch_lcp_prepared(run.keys, std::move(run.qt));
           double done = now_ms();
+          double w = charge_run(run.idx.size());
           for (std::size_t j = 0; j < run.idx.size(); ++j) {
             Response r;
             r.op = Op::kLcp;
             r.lcp = out[j];
-            r.done_ms = done;
-            p.reqs[run.idx[j]].promise.set_value(std::move(r));
+            finish(run.idx[j], std::move(r), done, w);
           }
           break;
         }
         case Op::kGet: {
           auto out = trie_->batch_get_prepared(run.keys, std::move(run.qt));
           double done = now_ms();
+          double w = charge_run(run.idx.size());
           for (std::size_t j = 0; j < run.idx.size(); ++j) {
             Response r;
             r.op = Op::kGet;
             r.value = out[j];
-            r.done_ms = done;
-            p.reqs[run.idx[j]].promise.set_value(std::move(r));
+            finish(run.idx[j], std::move(r), done, w);
           }
           break;
         }
         case Op::kSubtree: {
           auto out = trie_->batch_subtree_prepared(run.keys, std::move(run.qt));
           double done = now_ms();
+          double w = charge_run(run.idx.size());
           for (std::size_t j = 0; j < run.idx.size(); ++j) {
             Response r;
             r.op = Op::kSubtree;
             r.subtree = std::move(out[j]);
-            r.done_ms = done;
-            p.reqs[run.idx[j]].promise.set_value(std::move(r));
+            finish(run.idx[j], std::move(r), done, w);
           }
           break;
         }
@@ -256,6 +479,18 @@ void Server::execute(Prepared p) {
     }
   }
   double b = now_ms();
+  if (spans_on_) {
+    obs::SpanEvent ev;
+    ev.lane = 0;
+    ev.name = "batch " + std::to_string(p.id) + " exec";
+    ev.cat = "batch";
+    ev.ts_us = a * 1000.0;
+    ev.dur_us = (b - a) * 1000.0;
+    ev.args_json = "\"batch\":" + std::to_string(p.id) +
+                   ",\"size\":" + std::to_string(p.reqs.size()) +
+                   ",\"runs\":" + std::to_string(p.runs.size());
+    obs::Trace::instance().record_span(std::move(ev));
+  }
   {
     std::lock_guard slk(stats_mu_);
     exec_iv_.push_back({a, b});
@@ -271,12 +506,13 @@ void Server::execute(Prepared p) {
   {
     std::lock_guard lk(mu_);
     completed_ += p.reqs.size();
+    refresh_gauges_locked();
   }
   cv_done_.notify_all();
 }
 
 void Server::prep_loop() {
-  std::vector<PendingReq> raw;
+  RawBatch raw;
   while (next_raw(&raw)) {
     Prepared p = prepare(std::move(raw));
     {
@@ -303,7 +539,7 @@ void Server::exec_loop() {
       }
       cv_prep_.notify_all();
     } else {
-      std::vector<PendingReq> raw;
+      RawBatch raw;
       if (!next_raw(&raw)) return;
       p = prepare(std::move(raw));
     }

@@ -28,17 +28,34 @@
 // preparation stage brackets itself in "ServePrep", so overlapped work
 // stays distinguishable in traces and per-phase rollups.
 
+// Request-lifecycle observability (this layer's second job): when
+// tracing (PTRIE_TRACE) or the metrics sink (PTRIE_METRICS) is active —
+// or Options::lifecycle forces it — every request is stamped at
+// submit -> batch close -> prep start -> exec start -> done on the
+// server clock. Sampled requests export as span flames into the trace
+// (obs/spans.hpp), every completion feeds the per-tenant sliding-window
+// aggregator + skew detector (obs/metrics_window.hpp), and a background
+// snapshot thread emits periodic JSON-lines to the PTRIE_METRICS sink
+// (render live with `ptrie_report --top`). With both off, all of it
+// reduces to a few cached-bool branches: no stamps, no allocation, no
+// extra threads — and observability never changes execution, so answers
+// and model metrics are byte-identical whether it is on or off.
+
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "core/bitstring.hpp"
+#include "obs/metrics_window.hpp"
+#include "obs/spans.hpp"
 #include "pimtrie/pim_trie.hpp"
 #include "trie/query_trie.hpp"
 
@@ -57,6 +74,22 @@ struct Response {
   // see now_ms()). Lets open-loop clients compute latency against their
   // scheduled arrival time without a waiter thread per client.
   double done_ms = 0;
+
+  // Lifecycle stamps (server clock, ms). Populated only when lifecycle
+  // telemetry is active; zero otherwise. submit <= close <= prep <=
+  // exec <= done_ms, and the four stage intervals tile the request's
+  // end-to-end latency.
+  struct Timing {
+    double submit_ms = 0;  // accepted into the open batch
+    double close_ms = 0;   // its batch closed (size/deadline/flush)
+    double prep_ms = 0;    // host preparation of its batch began
+    double exec_ms = 0;    // PIM execution of its batch began
+  };
+  Timing t;
+  std::uint32_t tenant = 0;  // echoed from submit()
+  std::uint64_t seq = 0;     // global submission sequence number
+  std::uint64_t batch = 0;   // id of the coalesced batch that carried it
+  bool sampled = false;      // true when this request exported a trace span
 };
 
 class Server {
@@ -77,6 +110,24 @@ class Server {
     // same-kind stretch) instead of the default group-by-kind epoch
     // semantics described in the header comment.
     bool strict_order = false;
+
+    // ---- request-lifecycle telemetry ----
+    // kAuto: active iff PTRIE_TRACE or PTRIE_METRICS is set in the
+    // environment. kOn/kOff force it regardless (tests use kOn with an
+    // explicit metrics_path so the cached env registry never matters).
+    enum class Toggle : std::uint8_t { kAuto, kOff, kOn };
+    Toggle lifecycle = Toggle::kAuto;
+    // JSON-lines sink for window snapshots. Empty = take PTRIE_METRICS
+    // (no sink when that is unset too); "-" = stderr.
+    std::string metrics_path;
+    // Snapshot period. <=0 = take PTRIE_METRICS_INTERVAL_MS (500ms).
+    std::chrono::milliseconds metrics_interval{0};
+    // Span sampling: 1-in-N requests export trace flames. 0 = take
+    // PTRIE_SPAN_SAMPLE (16); 1 = every request.
+    std::uint64_t span_sample = 0;
+    std::uint64_t span_seed = 0;  // 0 = take PTRIE_SPAN_SEED (1)
+    // Skew-alert thresholds; unset = obs::AlertConfig::from_env().
+    std::optional<obs::AlertConfig> alerts;
   };
 
   explicit Server(pimtrie::PimTrie& trie);  // default Options
@@ -88,7 +139,10 @@ class Server {
 
   // Thread-safe; may block on backpressure. The future resolves when the
   // request's coalesced batch finishes executing. Must not race stop().
-  std::future<Response> submit(Op op, core::BitString key, trie::Value value = 0);
+  // `tenant` only labels the request for per-tenant metrics; it never
+  // affects execution.
+  std::future<Response> submit(Op op, core::BitString key, trie::Value value = 0,
+                               std::uint32_t tenant = 0);
 
   // Closes the currently open batch immediately (no-op when empty).
   void flush();
@@ -132,6 +186,17 @@ class Server {
     double overlap_ms = 0;  // prep busy while exec concurrently busy
     double span_ms = 0;     // first submit -> last completion
     std::vector<std::size_t> batch_sizes;
+    // Live gauges (always maintained, telemetry on or off): requests
+    // submitted but not yet completed, requests waiting in the open
+    // batch + closed-but-unprepared backlog, and high-water marks.
+    std::uint64_t in_flight = 0;
+    std::uint64_t max_in_flight = 0;
+    std::uint64_t queue_depth = 0;
+    std::uint64_t max_queue_depth = 0;
+    // Deepest the closed-batch backlog ever got (backpressure trigger
+    // is Options::max_backlog).
+    std::uint64_t max_backlog = 0;
+    std::uint64_t alerts = 0;  // skew alerts emitted by the detector
 
     double overlap_ratio() const { return exec_ms > 0 ? overlap_ms / exec_ms : 0.0; }
     double mean_batch() const {
@@ -152,6 +217,19 @@ class Server {
     core::BitString key;
     trie::Value value = 0;
     std::promise<Response> promise;
+    std::uint32_t tenant = 0;
+    std::uint64_t seq = 0;
+    // Lifecycle-only fields (zero / unused when telemetry is off). The
+    // key hash is taken at submit because prepare() moves the key out.
+    double submit_ms = 0;
+    std::uint64_t key_hash = 0;
+    bool sampled = false;
+  };
+  // A closed batch waiting for preparation, with its close-time stamps.
+  struct RawBatch {
+    std::vector<PendingReq> reqs;
+    std::uint64_t id = 0;
+    double close_ms = 0;  // lifecycle only
   };
   struct Run {
     Op op;
@@ -163,6 +241,9 @@ class Server {
   struct Prepared {
     std::vector<PendingReq> reqs;
     std::vector<Run> runs;
+    std::uint64_t id = 0;
+    double close_ms = 0;       // lifecycle only, from RawBatch
+    double prep_start_ms = 0;  // lifecycle only
   };
   struct Interval {
     double a = 0, b = 0;  // ms since server start
@@ -170,11 +251,19 @@ class Server {
   enum class Close { kSize, kDeadline, kFlush };
 
   void close_open_locked(Close why);
-  bool next_raw(std::vector<PendingReq>* out);
-  Prepared prepare(std::vector<PendingReq> raw);
+  bool next_raw(RawBatch* out);
+  Prepared prepare(RawBatch raw);
   void execute(Prepared p);
   void prep_loop();
   void exec_loop();
+  // Queue-depth under mu_ (open batch + closed-but-unprepared backlog).
+  std::uint64_t queue_depth_locked() const;
+  void refresh_gauges_locked();  // mu_ held; takes stats_mu_
+  // Closes the current metrics window: snapshots gauges, runs the skew
+  // detector, appends JSON lines to the sink, mirrors alerts into the
+  // trace. Called by the snapshot thread and once more at stop().
+  void roll_window();
+  void metrics_loop();
 
   pimtrie::PimTrie* trie_;
   Options opt_;
@@ -187,9 +276,10 @@ class Server {
   std::condition_variable cv_done_;   // completion progress
   std::vector<PendingReq> open_;
   std::chrono::steady_clock::time_point open_since_{};
-  std::deque<std::vector<PendingReq>> raw_q_;
+  std::deque<RawBatch> raw_q_;
   std::deque<Prepared> prep_q_;
   std::uint64_t submitted_ = 0, completed_ = 0;
+  std::uint64_t next_batch_ = 0;
   bool stopping_ = false;
   bool prep_done_ = false;
   bool stopped_ = false;
@@ -200,6 +290,20 @@ class Server {
   double first_submit_ms_ = -1, last_complete_ms_ = 0;
 
   std::thread prep_thread_, exec_thread_;
+
+  // ---- request-lifecycle telemetry (constructor-resolved; see the
+  // Options block). All false/null when inactive. ----
+  bool lifecycle_on_ = false;
+  bool spans_on_ = false;  // lifecycle_on_ && obs::Trace enabled
+  obs::SpanSampler sampler_;
+  std::unique_ptr<obs::MetricsWindow> window_;
+  std::FILE* metrics_file_ = nullptr;
+  bool metrics_close_ = false;  // we own metrics_file_
+  std::chrono::milliseconds metrics_interval_{500};
+  std::thread metrics_thread_;
+  std::mutex metrics_mu_;
+  std::condition_variable metrics_cv_;
+  bool metrics_stop_ = false;
 };
 
 }  // namespace ptrie::serve

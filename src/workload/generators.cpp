@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "core/zipf.hpp"
+#include "obs/spans.hpp"
 
 namespace ptrie::workload {
 
@@ -244,6 +245,15 @@ std::vector<Request> request_stream(const std::vector<BitString>& data, std::siz
       r.op = ReqOp::kSubtree;
       const BitString& base = data.empty() ? pool.front() : data[zipf.sample(rng)];
       r.key = base.prefix(std::min(mix.subtree_bits, base.size()));
+    }
+    // Tenant: writes are tenant 0; reads hash their key into one of
+    // read_tenants stable slices. Assigned without touching `rng`, so
+    // the op/key stream stays bit-identical to pre-tenant seeds.
+    if (r.op == ReqOp::kInsert || r.op == ReqOp::kErase) {
+      r.tenant = 0;
+    } else {
+      std::size_t slices = std::max<std::size_t>(1, mix.read_tenants);
+      r.tenant = 1 + static_cast<std::uint32_t>(obs::key_hash(r.key) % slices);
     }
     out.push_back(std::move(r));
   }

@@ -82,6 +82,12 @@ struct Request {
   ReqOp op = ReqOp::kLcp;
   core::BitString key;
   std::uint64_t value = 0;
+  // Issuing tenant: 0 is the write tenant (inserts/erases); reads carry
+  // 1..read_tenants, assigned by key hash so a tenant's working set is a
+  // stable slice of the key space (and a hot key skews exactly one
+  // tenant). Derived after generation — it never consumes randomness, so
+  // streams are bit-identical to pre-tenant versions for a fixed seed.
+  std::uint32_t tenant = 0;
 };
 
 struct MixProfile {
@@ -90,6 +96,7 @@ struct MixProfile {
   double insert = 0.05, erase = 0.05, lcp = 0.45, get = 0.40, subtree = 0.05;
   double zipf_theta = 0.99;      // key-rank skew for read ops over `data`
   std::size_t subtree_bits = 20; // prefix length for subtree queries
+  std::size_t read_tenants = 3;  // read traffic splits across this many tenants
 };
 
 // m requests over the stored key set `data`: reads sample keys by

@@ -1,0 +1,96 @@
+// bench/common.hpp histogram helpers: the log2 bucket scheme must carry
+// an explicit, complete bound schema — bucket 0 is the exact-zero bucket
+// (a 0-valued sample may not vanish or land in a positive bucket), the
+// remaining bounds are log2-spaced through the max sample, and the
+// counts always partition the sample set.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../bench/common.hpp"
+
+namespace {
+
+TEST(BenchCommon, Log2BucketsEmptyInput) {
+  std::vector<double> le;
+  std::vector<std::size_t> count;
+  bench::log2_buckets({}, &le, &count);
+  EXPECT_TRUE(le.empty());
+  EXPECT_TRUE(count.empty());
+}
+
+TEST(BenchCommon, Log2BucketsZeroSamplesLandInBucketZero) {
+  std::vector<double> le;
+  std::vector<std::size_t> count;
+  bench::log2_buckets({0.0, 0.0, 0.0}, &le, &count);
+  ASSERT_GE(le.size(), 1u);
+  EXPECT_EQ(le[0], 0.0);
+  EXPECT_EQ(count[0], 3u);
+  std::size_t sum = 0;
+  for (std::size_t c : count) sum += c;
+  EXPECT_EQ(sum, 3u);
+}
+
+TEST(BenchCommon, Log2BucketsPartitionMixedSamples) {
+  // 0 -> bucket 0 (le 0); 0.5, 1 -> (0,1]; 1.5 -> (1,2]; 4 -> (2,4].
+  std::vector<double> le;
+  std::vector<std::size_t> count;
+  bench::log2_buckets({0.0, 0.5, 1.0, 1.5, 4.0}, &le, &count);
+  ASSERT_EQ(le.size(), 4u);
+  EXPECT_EQ(le[0], 0.0);
+  EXPECT_EQ(le[1], 1.0);
+  EXPECT_EQ(le[2], 2.0);
+  EXPECT_EQ(le[3], 4.0);
+  ASSERT_EQ(count.size(), 4u);
+  EXPECT_EQ(count[0], 1u);
+  EXPECT_EQ(count[1], 2u);
+  EXPECT_EQ(count[2], 1u);
+  EXPECT_EQ(count[3], 1u);
+}
+
+TEST(BenchCommon, Log2BucketsBoundsCoverMaxAndCountsSum) {
+  std::vector<double> vals;
+  for (int i = 0; i < 200; ++i) vals.push_back(double(i) * 3.7);
+  std::sort(vals.begin(), vals.end());
+  std::vector<double> le;
+  std::vector<std::size_t> count;
+  bench::log2_buckets(vals, &le, &count);
+  ASSERT_EQ(le.size(), count.size());
+  ASSERT_GE(le.size(), 2u);
+  // Bounds: exact-zero bucket, then strictly doubling powers of two,
+  // ending at or past the max sample.
+  EXPECT_EQ(le[0], 0.0);
+  EXPECT_EQ(le[1], 1.0);
+  for (std::size_t b = 2; b < le.size(); ++b) EXPECT_EQ(le[b], 2.0 * le[b - 1]);
+  EXPECT_GE(le.back(), vals.back());
+  EXPECT_LT(le.back() / 2.0, vals.back());  // no trailing empty decades
+  // Counts partition the samples, and each sample is within its bucket.
+  std::size_t sum = 0;
+  for (std::size_t c : count) sum += c;
+  EXPECT_EQ(sum, vals.size());
+  std::size_t vi = 0;
+  for (std::size_t b = 0; b < le.size(); ++b) {
+    for (std::size_t k = 0; k < count[b]; ++k, ++vi) {
+      EXPECT_LE(vals[vi], le[b]);
+      if (b > 0) EXPECT_GT(vals[vi], le[b - 1]);
+    }
+  }
+}
+
+TEST(BenchCommon, HistogramKeepsZeroSampleAndSchema) {
+  bench::histogram("test/zero_edge", {0.0, 2.0, 5.0}, "us");
+  const auto& h = bench::detail::Reporter::instance().hists.back();
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.min, 0.0);
+  EXPECT_EQ(h.max, 5.0);
+  ASSERT_EQ(h.bucket_le.size(), h.bucket_count.size());
+  ASSERT_GE(h.bucket_le.size(), 2u);
+  EXPECT_EQ(h.bucket_le[0], 0.0);
+  EXPECT_EQ(h.bucket_count[0], 1u);  // the zero sample, explicitly
+  std::size_t sum = 0;
+  for (std::size_t c : h.bucket_count) sum += c;
+  EXPECT_EQ(sum, 3u);
+}
+
+}  // namespace

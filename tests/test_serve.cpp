@@ -8,12 +8,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <thread>
 #include <vector>
 
 #include "check/runner.hpp"
 #include "check/schedule.hpp"
 #include "core/parallel.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics_window.hpp"
+#include "obs/spans.hpp"
+#include "obs/trace.hpp"
 #include "pimtrie/pim_trie.hpp"
 #include "serve/server.hpp"
 #include "workload/generators.hpp"
@@ -311,6 +317,331 @@ TEST(ServeOrder, EpochGroupingVsStrictOrder) {
       EXPECT_FALSE(get_f.get().value.has_value());
     server.stop();
   }
+}
+
+// Live gauges (satellite of the lifecycle-observability PR): after a
+// drained run the in-flight and queue-depth gauges must read zero while
+// the high-water marks reflect the burst that passed through. With
+// single-threaded submission and size-only closes, the 8th submit sees
+// all 8 requests still uncompleted (no batch has closed yet), so both
+// marks are at least max_batch; the backlog mark is at least 1 because
+// every batch transits the raw queue.
+TEST(ServeStats, GaugesDrainToZeroWithHighWaterMarks) {
+  pim::System sys(8, 3);
+  pimtrie::Config cfg;
+  cfg.seed = 2;
+  pimtrie::PimTrie trie(sys, cfg);
+  auto keys = workload::uniform_keys(64, 64, 7);
+  std::vector<std::uint64_t> vals(keys.size(), 1);
+  trie.build(keys, vals);
+
+  serve::Server::Options opt;
+  opt.max_batch = 8;
+  opt.max_delay = std::chrono::hours(2);
+  serve::Server server(trie, opt);
+  std::vector<std::future<serve::Response>> futs;
+  for (std::size_t i = 0; i < 64; ++i)
+    futs.push_back(server.submit(serve::Op::kLcp, keys[i % keys.size()]));
+  server.drain();
+  auto st = server.stats();
+  server.stop();
+  for (auto& f : futs) f.get();
+
+  EXPECT_EQ(st.ops, 64u);
+  EXPECT_EQ(st.in_flight, 0u);
+  EXPECT_EQ(st.queue_depth, 0u);
+  EXPECT_GE(st.max_in_flight, 8u);
+  EXPECT_GE(st.max_queue_depth, 8u);
+  EXPECT_GE(st.max_backlog, 1u);
+  EXPECT_LE(st.max_backlog, opt.max_backlog);  // backpressure bound
+  EXPECT_EQ(st.alerts, 0u);                    // lifecycle off: no detector
+}
+
+// Span sampling is a pure function of (seed, N, submission sequence):
+// the sampled set must be identical at any worker count, with the
+// pipeline on or off, and must equal what SpanSampler says directly.
+TEST_F(WorkerSweepServe, SpanSamplingDeterministicAcrossWorkerCounts) {
+  auto keys = workload::uniform_keys(200, 64, 61);
+  workload::MixProfile mix;
+  auto reqs = workload::request_stream(keys, 150, mix, 62);
+
+  auto sampled_set = [&](std::size_t workers, bool pipelined) {
+    ThreadPool::instance().set_workers(workers);
+    pim::System sys(16, 5);
+    pimtrie::Config cfg;
+    cfg.seed = 11;
+    pimtrie::PimTrie trie(sys, cfg);
+    std::vector<std::uint64_t> vals(keys.size(), 1);
+    trie.build(keys, vals);
+    serve::Server::Options opt;
+    opt.max_batch = 32;
+    opt.max_delay = std::chrono::hours(2);
+    opt.pipelined = pipelined;
+    opt.lifecycle = serve::Server::Options::Toggle::kOn;
+    opt.span_sample = 4;
+    opt.span_seed = 7;
+    serve::Server server(trie, opt);
+    std::vector<std::future<serve::Response>> futs;
+    futs.reserve(reqs.size());
+    for (const auto& q : reqs)
+      futs.push_back(server.submit(to_serve_op(q.op), q.key, q.value, q.tenant));
+    server.drain();
+    server.stop();
+    std::vector<std::uint64_t> out;
+    for (auto& f : futs) {
+      serve::Response r = f.get();
+      if (r.sampled) out.push_back(r.seq);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  // Single-threaded submission pins seq == submission index.
+  std::vector<std::uint64_t> want;
+  obs::SpanSampler ref(7, 4);
+  for (std::uint64_t s = 0; s < reqs.size(); ++s)
+    if (ref.sampled(s)) want.push_back(s);
+  ASSERT_FALSE(want.empty());
+  ASSERT_LT(want.size(), reqs.size());  // 1-in-4 really samples a subset
+
+  for (std::size_t w : {std::size_t(1), std::size_t(4)})
+    for (bool pipe : {false, true})
+      EXPECT_EQ(sampled_set(w, pipe), want) << "workers=" << w << " pipelined=" << pipe;
+}
+
+// Lifecycle stamps are monotone and the four stage intervals tile
+// [submit, done] exactly; tenant and batch ids are echoed faithfully
+// (single-threaded submission + size-only closes pin batch assignment).
+TEST(ServeLifecycle, StampsTileLatencyAndEchoTenantBatch) {
+  pim::System sys(8, 3);
+  pimtrie::Config cfg;
+  cfg.seed = 3;
+  pimtrie::PimTrie trie(sys, cfg);
+  auto keys = workload::uniform_keys(48, 64, 19);
+  std::vector<std::uint64_t> vals(keys.size(), 1);
+  trie.build(keys, vals);
+
+  serve::Server::Options opt;
+  opt.max_batch = 16;
+  opt.max_delay = std::chrono::hours(2);
+  opt.lifecycle = serve::Server::Options::Toggle::kOn;
+  serve::Server server(trie, opt);
+  std::vector<std::future<serve::Response>> futs;
+  for (std::size_t i = 0; i < 48; ++i)
+    futs.push_back(server.submit(serve::Op::kLcp, keys[i], 0, 1 + i % 3));
+  server.drain();
+  server.stop();
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    serve::Response r = futs[i].get();
+    EXPECT_EQ(r.seq, i);
+    EXPECT_EQ(r.tenant, 1 + i % 3);
+    EXPECT_EQ(r.batch, i / 16);
+    EXPECT_GT(r.done_ms, 0.0);
+    EXPECT_LE(r.t.submit_ms, r.t.close_ms);
+    EXPECT_LE(r.t.close_ms, r.t.prep_ms);
+    EXPECT_LE(r.t.prep_ms, r.t.exec_ms);
+    EXPECT_LE(r.t.exec_ms, r.done_ms);
+    double stages = (r.t.close_ms - r.t.submit_ms) + (r.t.prep_ms - r.t.close_ms) +
+                    (r.t.exec_ms - r.t.prep_ms) + (r.done_ms - r.t.exec_ms);
+    EXPECT_NEAR(stages, r.done_ms - r.t.submit_ms, 1e-6);
+  }
+}
+
+// With lifecycle telemetry off (the default when neither env var is
+// set), responses carry no stamps at all — the zero-overhead contract.
+TEST(ServeLifecycle, OffByDefaultLeavesStampsZero) {
+  pim::System sys(8, 3);
+  pimtrie::Config cfg;
+  cfg.seed = 3;
+  pimtrie::PimTrie trie(sys, cfg);
+  auto keys = workload::uniform_keys(8, 64, 19);
+  std::vector<std::uint64_t> vals(keys.size(), 1);
+  trie.build(keys, vals);
+
+  serve::Server::Options opt;
+  opt.lifecycle = serve::Server::Options::Toggle::kOff;
+  serve::Server server(trie, opt);
+  auto f = server.submit(serve::Op::kLcp, keys[0], 0, 5);
+  server.drain();
+  server.stop();
+  serve::Response r = f.get();
+  EXPECT_EQ(r.t.submit_ms, 0.0);
+  EXPECT_EQ(r.t.close_ms, 0.0);
+  EXPECT_EQ(r.tenant, 0u);  // tenant label is telemetry-only
+  EXPECT_FALSE(r.sampled);
+  EXPECT_GT(r.done_ms, 0.0);  // done_ms predates the lifecycle work
+}
+
+// The metrics sink end to end: a skewed stream (one tenant hammering a
+// single key) must produce parseable window/tenant JSON lines and a
+// hot_key alert attributed to that tenant; a uniform stream fires none.
+TEST(ServeMetrics, HotKeyAlertFiresUnderSkewNotUniform) {
+  namespace json = ptrie::obs::json;
+  struct Outcome {
+    std::uint64_t stat_alerts = 0;
+    std::size_t windows = 0, tenant_lines = 0;
+    std::vector<json::Value> alerts;
+    std::uint64_t tenant1_ops = 0;
+  };
+  auto run = [&](bool skewed) -> Outcome {
+    pim::System sys(8, 3);
+    pimtrie::Config cfg;
+    cfg.seed = 5;
+    pimtrie::PimTrie trie(sys, cfg);
+    auto keys = workload::uniform_keys(64, 64, 29);
+    std::vector<std::uint64_t> vals(keys.size(), 1);
+    trie.build(keys, vals);
+
+    std::string path =
+        testing::TempDir() + (skewed ? "serve_metrics_skew.jsonl" : "serve_metrics_uni.jsonl");
+    std::remove(path.c_str());
+
+    serve::Server::Options opt;
+    opt.max_batch = 16;
+    opt.max_delay = std::chrono::hours(2);
+    opt.lifecycle = serve::Server::Options::Toggle::kOn;
+    opt.metrics_path = path;
+    // Interval far beyond the run: only the final roll at stop() emits,
+    // so exactly one window covers the whole stream.
+    opt.metrics_interval = std::chrono::milliseconds(60'000);
+    obs::AlertConfig ac;
+    ac.hot_key_frac = 0.25;
+    ac.module_imbalance = 1e9;  // isolate the hot-key detector
+    ac.min_ops = 20;
+    opt.alerts = ac;
+    {
+      serve::Server server(trie, opt);
+      std::vector<std::future<serve::Response>> futs;
+      for (std::size_t i = 0; i < 64; ++i)
+        futs.push_back(server.submit(serve::Op::kGet, skewed ? keys[0] : keys[i], 0, 1));
+      server.drain();
+      server.stop();
+      Outcome o;
+      o.stat_alerts = server.stats().alerts;
+      for (auto& f : futs) f.get();
+
+      std::ifstream in(path);
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        json::Value v;
+        std::string err;
+        EXPECT_TRUE(json::parse(line, v, err)) << err << "\n" << line;
+        const json::Value* type = v.find("type");
+        EXPECT_NE(type, nullptr);
+        if (!type) continue;
+        if (type->as_string() == "window") ++o.windows;
+        if (type->as_string() == "tenant") {
+          ++o.tenant_lines;
+          if (v.find("tenant")->as_int() == 1)
+            o.tenant1_ops = static_cast<std::uint64_t>(v.find("ops")->as_int());
+        }
+        if (type->as_string() == "alert") o.alerts.push_back(v);
+      }
+      std::remove(path.c_str());
+      return o;
+    }
+  };
+
+  Outcome skew = run(true);
+  EXPECT_EQ(skew.windows, 1u);
+  EXPECT_EQ(skew.tenant_lines, 1u);
+  EXPECT_EQ(skew.tenant1_ops, 64u);
+  ASSERT_GE(skew.alerts.size(), 1u);
+  EXPECT_EQ(skew.stat_alerts, skew.alerts.size());
+  for (const auto& a : skew.alerts) {
+    EXPECT_EQ(a.find("kind")->as_string(), "hot_key");
+    EXPECT_EQ(a.find("tenant")->as_int(), 1);
+    EXPECT_GT(a.find("value")->as_double(), 0.25);
+  }
+
+  Outcome uni = run(false);
+  EXPECT_EQ(uni.windows, 1u);
+  EXPECT_EQ(uni.tenant1_ops, 64u);
+  EXPECT_EQ(uni.alerts.size(), 0u);
+  EXPECT_EQ(uni.stat_alerts, 0u);
+}
+
+// Sampled requests render as flames in the Chrome trace whose four
+// stage children exactly tile the request parent, all on the dedicated
+// serving process track (pid kServePid), with batch prep/exec spans on
+// lane 0.
+class ServeSpans : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Trace::instance().clear();
+    obs::Trace::instance().force_enabled(true);
+  }
+  void TearDown() override {
+    obs::Trace::instance().force_enabled(false);
+    obs::Trace::instance().clear();
+    ThreadPool::instance().set_workers(1);
+  }
+};
+
+TEST_F(ServeSpans, FlameChildrenTileRequestParents) {
+  namespace json = ptrie::obs::json;
+  pim::System sys(8, 3);
+  pimtrie::Config cfg;
+  cfg.seed = 9;
+  pimtrie::PimTrie trie(sys, cfg);
+  auto keys = workload::uniform_keys(24, 64, 33);
+  std::vector<std::uint64_t> vals(keys.size(), 1);
+  trie.build(keys, vals);
+
+  serve::Server::Options opt;
+  opt.max_batch = 8;
+  opt.max_delay = std::chrono::hours(2);
+  opt.lifecycle = serve::Server::Options::Toggle::kOn;
+  opt.span_sample = 1;  // sample everything
+  opt.span_seed = 1;
+  {
+    serve::Server server(trie, opt);
+    std::vector<std::future<serve::Response>> futs;
+    for (std::size_t i = 0; i < 24; ++i)
+      futs.push_back(server.submit(serve::Op::kLcp, keys[i], 0, i % 2));
+    server.drain();
+    server.stop();
+    for (auto& f : futs) EXPECT_TRUE(f.get().sampled);
+  }
+
+  std::string text = obs::Trace::instance().chrome_json();
+  json::Value root;
+  std::string err;
+  ASSERT_TRUE(json::parse(text, root, err)) << err;
+  const json::Value* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::size_t n_req = 0, n_stage = 0, n_batch = 0;
+  double req_us = 0, stage_us = 0;
+  for (const auto& ev : events->arr) {
+    const json::Value* pid = ev.find("pid");
+    const json::Value* cat = ev.find("cat");
+    if (!pid || pid->as_int() != static_cast<std::int64_t>(obs::kServePid)) continue;
+    if (!cat || ev.find("ph")->as_string() != "X") continue;
+    const std::string c = cat->as_string();
+    if (c == "request") {
+      ++n_req;
+      req_us += ev.find("dur")->as_double();
+      // Request lanes are 1..kSpanReqLanes; batches live on lane 0.
+      std::int64_t tid = ev.find("tid")->as_int();
+      EXPECT_GE(tid, 1);
+      EXPECT_LE(tid, static_cast<std::int64_t>(obs::kSpanReqLanes));
+    } else if (c == "stage") {
+      ++n_stage;
+      stage_us += ev.find("dur")->as_double();
+    } else if (c == "batch") {
+      ++n_batch;
+      EXPECT_EQ(ev.find("tid")->as_int(), 0);
+    }
+  }
+  EXPECT_EQ(n_req, 24u);
+  EXPECT_EQ(n_stage, 4 * 24u);
+  EXPECT_EQ(n_batch, 2 * 3u);  // prep + exec per batch, 3 batches of 8
+  // The four children tile the parent; the JSON renders at 1ns
+  // resolution, so allow a few ns of rounding per request.
+  EXPECT_NEAR(stage_us, req_us, 0.1 * 24);
+  EXPECT_GT(req_us, 0.0);
 }
 
 // The fuzz harness's serve adapter: schedules driven through the

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "pimtrie/types.hpp"
@@ -91,6 +92,54 @@ TEST(Workload, Ipv4PrefixLengths) {
 TEST(Workload, UniformU64Distinct) {
   auto keys = ptrie::workload::uniform_u64(1000, 11);
   EXPECT_EQ(std::set<std::uint64_t>(keys.begin(), keys.end()).size(), 1000u);
+}
+
+// Tenant labeling on request streams: writes carry tenant 0, reads hash
+// into 1..read_tenants stably by key — and the assignment consumes no
+// randomness, so the (op, key, value) stream is bit-identical for a
+// fixed seed no matter how read_tenants is set.
+TEST(Workload, RequestStreamTenantsDeterministicAndSideEffectFree) {
+  auto data = ptrie::workload::uniform_keys(300, 64, 5);
+  ptrie::workload::MixProfile mix;  // read_tenants = 3
+  auto reqs = ptrie::workload::request_stream(data, 500, mix, 77);
+  ASSERT_EQ(reqs.size(), 500u);
+
+  std::map<std::string, std::uint32_t> key_tenant;
+  std::size_t writes = 0, reads = 0;
+  for (const auto& r : reqs) {
+    if (r.op == ptrie::workload::ReqOp::kInsert || r.op == ptrie::workload::ReqOp::kErase) {
+      ++writes;
+      EXPECT_EQ(r.tenant, 0u);
+    } else {
+      ++reads;
+      EXPECT_GE(r.tenant, 1u);
+      EXPECT_LE(r.tenant, mix.read_tenants);
+      // Stable slices: the same key always maps to the same tenant.
+      auto [it, fresh] = key_tenant.emplace(r.key.to_binary(), r.tenant);
+      if (!fresh) {
+        EXPECT_EQ(it->second, r.tenant) << "key changed tenant";
+      }
+    }
+  }
+  EXPECT_GT(writes, 0u);
+  EXPECT_GT(reads, 0u);
+
+  // With the default mix all three read tenants see traffic.
+  std::set<std::uint32_t> read_tenants;
+  for (const auto& r : reqs)
+    if (r.tenant != 0) read_tenants.insert(r.tenant);
+  EXPECT_EQ(read_tenants.size(), mix.read_tenants);
+
+  // Changing read_tenants relabels but never perturbs ops/keys/values.
+  ptrie::workload::MixProfile wide = mix;
+  wide.read_tenants = 7;
+  auto relabeled = ptrie::workload::request_stream(data, 500, wide, 77);
+  ASSERT_EQ(relabeled.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(relabeled[i].op, reqs[i].op);
+    EXPECT_TRUE(relabeled[i].key == reqs[i].key);
+    EXPECT_EQ(relabeled[i].value, reqs[i].value);
+  }
 }
 
 TEST(Wire, BufWriterReaderRoundTrip) {

@@ -5,18 +5,29 @@
 // detected by shape. For traces it prints per-phase breakdowns (rounds,
 // words, IO/PIM time, imbalance), a per-module balance heatmap, and a
 // round-by-round listing; for bench files it re-prints the tables and
-// counters.
+// counters. Traces from serving runs additionally carry request
+// lifecycle spans on a "serving" track — summarized separately, never
+// mixed into the model-metric breakdowns.
 //
 //   ptrie_report <file> [--rounds N]   (N = round listing cap, default 30;
 //                                       0 = suppress, -1 = unlimited)
+//
+// --top renders the PTRIE_METRICS JSON-lines sink (obs/metrics_window):
+// the latest window's per-tenant / per-stage table plus recent skew
+// alerts. One shot by default (CI-friendly); --follow tails the file and
+// re-renders as new windows land.
+//
+//   ptrie_report --top <metrics.jsonl> [--follow]
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/json.hpp"
@@ -76,10 +87,31 @@ int report_trace(const json::Value& root, long rounds_cap) {
     return 1;
   }
 
+  // Two passes: metadata first, so the "serving" process track (request
+  // lifecycle spans, wall-clock) is known before events are classified —
+  // its slices must not be misread as model-time rounds.
+  std::map<std::uint32_t, std::string> system_name;
+  for (const auto& ev : events->arr) {
+    const json::Value* ph = ev.find("ph");
+    if (!ph || ph->as_string() != "M") continue;
+    const json::Value* name = ev.find("name");
+    const json::Value* args = ev.find("args");
+    if (name && args && name->as_string() == "process_name")
+      if (const json::Value* n = args->find("name"))
+        system_name[static_cast<std::uint32_t>(get_u64(ev, "pid"))] = n->as_string();
+  }
+  auto is_serving = [&](std::uint32_t pid) {
+    auto it = system_name.find(pid);
+    return it != system_name.end() && it->second == "serving";
+  };
+
   std::vector<RoundRow> rounds;
   std::vector<ModuleSample> samples;
-  std::map<std::uint32_t, std::string> system_name;
   std::map<std::uint32_t, std::size_t> system_p;  // modules seen per system
+  // Serving-span tallies (by category) + alert instants.
+  std::map<std::string, std::pair<std::size_t, double>> span_agg;  // cat -> {n, dur_us}
+  std::vector<std::string> span_order;
+  std::vector<std::string> alert_names;
   for (const auto& ev : events->arr) {
     const json::Value* ph = ev.find("ph");
     if (!ph) continue;
@@ -87,11 +119,22 @@ int report_trace(const json::Value& root, long rounds_cap) {
     std::uint32_t tid = static_cast<std::uint32_t>(get_u64(ev, "tid"));
     if (ph->as_string() == "M") {
       const json::Value* name = ev.find("name");
-      const json::Value* args = ev.find("args");
-      if (name && args && name->as_string() == "process_name")
-        if (const json::Value* n = args->find("name")) system_name[pid] = n->as_string();
-      if (name && name->as_string() == "thread_name" && tid >= 1)
+      if (name && name->as_string() == "thread_name" && tid >= 1 && !is_serving(pid))
         system_p[pid] = std::max(system_p[pid], static_cast<std::size_t>(tid));
+      continue;
+    }
+    if (is_serving(pid)) {
+      std::string cat = ev.find("cat") ? ev.find("cat")->as_string() : "?";
+      if (ph->as_string() == "i" && cat == "alert") {
+        if (const json::Value* n = ev.find("name")) alert_names.push_back(n->as_string());
+        continue;
+      }
+      if (ph->as_string() != "X") continue;
+      double dur = ev.find("dur") ? ev.find("dur")->as_double() : 0;
+      if (!span_agg.count(cat)) span_order.push_back(cat);
+      auto& [n, d] = span_agg[cat];
+      ++n;
+      d += dur;
       continue;
     }
     if (ph->as_string() != "X") continue;
@@ -121,10 +164,34 @@ int report_trace(const json::Value& root, long rounds_cap) {
       system_p[pid] = std::max(system_p[pid], static_cast<std::size_t>(tid));
     }
   }
+  // Serving-track summary (request lifecycle spans; wall-clock us).
+  auto print_serving = [&] {
+    if (span_agg.empty() && alert_names.empty()) return;
+    std::printf("=== serving (request lifecycle spans) ===\n");
+    std::printf("%-12s %8s %14s %14s\n", "category", "spans", "total_us", "mean_us");
+    for (const auto& cat : span_order) {
+      const auto& [n, d] = span_agg[cat];
+      std::printf("%-12s %8zu %14.1f %14.1f\n", cat.c_str(), n, d, n ? d / double(n) : 0.0);
+    }
+    if (!alert_names.empty()) {
+      std::map<std::string, std::size_t> by_kind;
+      for (const auto& a : alert_names) ++by_kind[a];
+      std::printf("alerts:");
+      for (const auto& [kind, n] : by_kind) std::printf(" %s x%zu", kind.c_str(), n);
+      std::printf("\n");
+    }
+    std::printf("\n");
+  };
+
   if (rounds.empty()) {
+    if (!span_agg.empty() || !alert_names.empty()) {
+      print_serving();
+      return 0;
+    }
     std::fprintf(stderr, "trace has no rounds\n");
     return 1;
   }
+  print_serving();
 
   // Phase of each (system, round) for joining module samples.
   std::map<std::pair<std::uint32_t, std::size_t>, const RoundRow*> round_of;
@@ -335,6 +402,134 @@ int report_bench(const json::Value& root) {
   return 0;
 }
 
+// ---- ptrie_top: PTRIE_METRICS JSON-lines viewer -----------------------
+// Renders the latest window from a metrics sink: a global summary line,
+// the per-tenant / per-stage table, and recent skew alerts. The sink is
+// append-only JSONL (obs/metrics_window.cpp), so rendering is a single
+// forward parse keeping the last complete window.
+
+struct TopState {
+  json::Value window;                    // latest "window" line
+  std::vector<json::Value> tenants;      // "tenant" lines of that window
+  std::vector<json::Value> alerts;       // all "alert" lines, file order
+  std::size_t parsed = 0, bad = 0;
+};
+
+TopState parse_metrics_lines(const std::string& content) {
+  TopState st;
+  std::uint64_t latest = 0;
+  bool have_window = false;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    json::Value v;
+    std::string err;
+    if (!json::parse(line, v, err)) {
+      ++st.bad;
+      continue;
+    }
+    ++st.parsed;
+    const json::Value* type = v.find("type");
+    if (!type) continue;
+    std::uint64_t w = get_u64(v, "window");
+    if (type->as_string() == "window") {
+      if (!have_window || w >= latest) {
+        latest = w;
+        have_window = true;
+        st.window = std::move(v);
+        st.tenants.clear();  // tenant lines of older windows are stale
+      }
+    } else if (type->as_string() == "tenant") {
+      if (have_window && w == latest) st.tenants.push_back(std::move(v));
+    } else if (type->as_string() == "alert") {
+      st.alerts.push_back(std::move(v));
+    }
+  }
+  return st;
+}
+
+void render_top(const TopState& st) {
+  if (st.parsed == 0) {
+    std::printf("(no metrics lines yet)\n");
+    return;
+  }
+  const json::Value& w = st.window;
+  std::printf("window %llu  t=%.1fms  span=%.1fms  ops=%llu  in_flight=%llu  "
+              "queue_depth=%llu  module_imbalance=%.2f\n",
+              (unsigned long long)get_u64(w, "window"),
+              w.find("t_ms") ? w.find("t_ms")->as_double() : 0,
+              w.find("span_ms") ? w.find("span_ms")->as_double() : 0,
+              (unsigned long long)get_u64(w, "ops"),
+              (unsigned long long)get_u64(w, "in_flight"),
+              (unsigned long long)get_u64(w, "queue_depth"),
+              w.find("module_imbalance") ? w.find("module_imbalance")->as_double() : 0);
+  std::printf("%-7s %8s %10s %9s %9s %9s %9s %8s %7s %7s\n", "tenant", "ops", "ops/s",
+              "p50_us", "p95_us", "p99_us", "exec_p95", "w/op", "batch", "hot%");
+  for (const auto& t : st.tenants) {
+    const json::Value* lat = t.find("lat_us");
+    const json::Value* total = lat ? lat->find("total") : nullptr;
+    const json::Value* exec = lat ? lat->find("exec") : nullptr;
+    auto f = [](const json::Value* o, const char* k) {
+      const json::Value* v = o ? o->find(k) : nullptr;
+      return v ? v->as_double() : 0.0;
+    };
+    std::printf("%-7llu %8llu %10.0f %9.1f %9.1f %9.1f %9.1f %8.1f %7.1f %7.1f\n",
+                (unsigned long long)get_u64(t, "tenant"),
+                (unsigned long long)get_u64(t, "ops"),
+                t.find("ops_per_sec") ? t.find("ops_per_sec")->as_double() : 0,
+                f(total, "p50"), f(total, "p95"), f(total, "p99"), f(exec, "p95"),
+                t.find("words_per_op") ? t.find("words_per_op")->as_double() : 0,
+                t.find("mean_batch") ? t.find("mean_batch")->as_double() : 0,
+                100.0 * (t.find("hot_frac") ? t.find("hot_frac")->as_double() : 0));
+  }
+  if (!st.alerts.empty()) {
+    std::printf("-- alerts (%zu total, last %zu shown) --\n", st.alerts.size(),
+                std::min<std::size_t>(st.alerts.size(), 8));
+    std::size_t from = st.alerts.size() > 8 ? st.alerts.size() - 8 : 0;
+    for (std::size_t i = from; i < st.alerts.size(); ++i) {
+      const json::Value& a = st.alerts[i];
+      const json::Value* kind = a.find("kind");
+      std::printf("  window %-5llu %-18s value=%.3f threshold=%.3f",
+                  (unsigned long long)get_u64(a, "window"),
+                  kind ? kind->as_string().c_str() : "?",
+                  a.find("value") ? a.find("value")->as_double() : 0,
+                  a.find("threshold") ? a.find("threshold")->as_double() : 0);
+      if (a.find("tenant"))
+        std::printf(" tenant=%llu", (unsigned long long)get_u64(a, "tenant"));
+      std::printf("\n");
+    }
+  }
+  if (st.bad) std::printf("(%zu unparseable lines skipped)\n", st.bad);
+}
+
+int top_mode(const char* path, bool follow) {
+  auto slurp = [&](std::string* out) {
+    std::ifstream f(path);
+    if (!f) return false;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    *out = ss.str();
+    return true;
+  };
+  std::string content;
+  if (!slurp(&content)) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  render_top(parse_metrics_lines(content));
+  while (follow) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    std::string fresh;
+    if (!slurp(&fresh) || fresh.size() == content.size()) continue;
+    content = std::move(fresh);
+    std::printf("\033[H\033[2J");  // home + clear: live refresh
+    render_top(parse_metrics_lines(content));
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 // ---- perf gate --------------------------------------------------------
 // Compares two bench --json files on the machine-independent model
 // columns only (rounds, words, IO/PIM time); wall-clock, throughput and
@@ -425,6 +620,7 @@ namespace {
 
 const char* kUsage =
     "usage: ptrie_report <trace.json | bench.json> [--rounds N]\n"
+    "       ptrie_report --top <metrics.jsonl> [--follow]\n"
     "       ptrie_report --gate <base.json> <fresh.json> [--tol 0.15]\n";
 
 bool load_json(const char* path, json::Value* root) {
@@ -449,12 +645,17 @@ int main(int argc, char** argv) {
   std::vector<const char*> paths;
   long rounds_cap = 30;
   bool gate_mode = false;
+  bool top = false, follow = false;
   double tol = 0.15;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
       rounds_cap = std::strtol(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--gate") == 0) {
       gate_mode = true;
+    } else if (std::strcmp(argv[i], "--top") == 0) {
+      top = true;
+    } else if (std::strcmp(argv[i], "--follow") == 0) {
+      follow = true;
     } else if (std::strcmp(argv[i], "--tol") == 0 && i + 1 < argc) {
       tol = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
@@ -466,6 +667,13 @@ int main(int argc, char** argv) {
     } else {
       paths.push_back(argv[i]);
     }
+  }
+  if (top) {
+    if (paths.size() != 1) {
+      std::fprintf(stderr, "%s", kUsage);
+      return 2;
+    }
+    return top_mode(paths[0], follow);
   }
   if (gate_mode) {
     if (paths.size() != 2) {
