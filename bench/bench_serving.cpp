@@ -32,7 +32,16 @@
 //                   20000,60000,0)
 //   --theta T       Zipf skew of the read key ranks   (default 0.99;
 //                   1.5 concentrates load for the skew-alert smoke)
+//   --policy P      overload policy for the latency modes: block
+//                   (default, lossless), shed, deadline
+//   --backlog N     admission backlog cap (0 = library default)
+//   --deadline-ms D per-request deadline (0 = none; give deadlines to
+//                   requests so --policy deadline has estimates to shed)
 //   --quick         CI smoke: fewer ops, two load points
+//
+// Under the defaults (block policy, no deadlines) sheds are impossible:
+// every request is answered exactly as before the overload work — the
+// shed column is constant 0 and all answers are byte-identical.
 
 #include <cstring>
 #include <string>
@@ -54,6 +63,9 @@ struct Cfg {
   std::size_t clients = 4;
   std::vector<double> rates = {20000, 60000, 0};
   double theta = 0.99;
+  serve::OverloadPolicy policy = serve::OverloadPolicy::kBlock;
+  std::size_t backlog = 0;     // 0 = keep Options default
+  double deadline_ms = 0;      // 0 = requests carry no deadline
   bool quick = false;
 };
 
@@ -99,7 +111,7 @@ RunResult run_mode(pimtrie::PimTrie& trie, const std::vector<workload::Request>&
               ? std::chrono::duration<double, std::milli>(at - server.start_time()).count()
               : server.now_ms();
       futs[i] = server.submit(to_serve_op(reqs[i].op), reqs[i].key, reqs[i].value,
-                              reqs[i].tenant);
+                              reqs[i].tenant, cfg.deadline_ms);
     }
   };
   std::vector<std::thread> threads;
@@ -157,6 +169,22 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--theta") == 0 && i + 1 < argc) {
       cfg.theta = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+      std::string p = argv[++i];
+      if (p == "block") {
+        cfg.policy = serve::OverloadPolicy::kBlock;
+      } else if (p == "shed") {
+        cfg.policy = serve::OverloadPolicy::kShed;
+      } else if (p == "deadline") {
+        cfg.policy = serve::OverloadPolicy::kDeadlineAware;
+      } else {
+        std::fprintf(stderr, "--policy %s: expected block, shed, or deadline\n", p.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--backlog") == 0 && i + 1 < argc) {
+      cfg.backlog = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      cfg.deadline_ms = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       cfg.quick = true;
     } else {
@@ -213,12 +241,16 @@ int main(int argc, char** argv) {
   coalesced.alerts = perreq.alerts;
   serve::Server::Options pipelined = coalesced;
   pipelined.pipelined = true;
-  const Mode modes[] = {{"per-request", perreq}, {"coalesced", coalesced},
-                        {"pipelined", pipelined}};
+  Mode modes[] = {{"per-request", perreq}, {"coalesced", coalesced},
+                  {"pipelined", pipelined}};
+  for (Mode& m : modes) {
+    m.opt.overload_policy = cfg.policy;
+    if (cfg.backlog > 0) m.opt.max_backlog = cfg.backlog;
+  }
 
   bench::header("serving: throughput and latency vs offered load",
                 {"mode", "offered", "ops/s", "p50_us", "p99_us", "mean_batch", "overlap",
-                 "deadline%"});
+                 "deadline%", "shed"});
   struct StageRow {
     std::string mode, offered;
     double queue = 0, coalesce = 0, prep = 0, exec = 0, service = 0;
@@ -232,6 +264,7 @@ int main(int argc, char** argv) {
     return s / double(v.size());
   };
   double perreq_sat = 0, pipelined_sat = 0, coalesced_sat = 0;
+  std::uint64_t total_shed = 0;
   for (const Mode& m : modes) {
     for (double rate : cfg.rates) {
       // Each (mode, load) point gets a fresh trie so write churn from
@@ -253,7 +286,9 @@ int main(int argc, char** argv) {
       double closes = double(r.stats.close_size + r.stats.close_deadline +
                              r.stats.close_flush);
       bench::cell(closes > 0 ? 100.0 * double(r.stats.close_deadline) / closes : 0.0);
+      bench::cell(std::size_t(r.stats.shed));
       bench::endrow();
+      total_shed += r.stats.shed;
 
       std::string tag = std::string(m.name) + "@" + rate_label(rate);
       bench::histogram("lat/" + tag, r.lat_us, "us");
@@ -309,6 +344,9 @@ int main(int argc, char** argv) {
   bench::endrow();
   std::printf("acceptance: pipelined >= 1.3x per-request at saturating load -> %s\n",
               pipelined_sat >= 1.3 * perreq_sat ? "PASS" : "FAIL");
+  // Summed over the latency modes only (the deterministic shed table
+  // below always sheds by construction); ci/check.sh greps this line.
+  std::printf("overload: latency-mode sheds=%llu\n", (unsigned long long)total_shed);
 
   // Deterministic replay for the perf gate: one client, size-only batch
   // closing, so batch composition (and hence every model metric) is
@@ -385,6 +423,45 @@ int main(int argc, char** argv) {
       bench::cell(std::size_t(pr.total_words));
       bench::cell(std::size_t(pr.io_time));
       bench::cell(std::size_t(pr.pim_time));
+      bench::endrow();
+    }
+  }
+
+  // Deterministic shed decisions: the pipeline is paused while a single
+  // thread submits, so admission reduces to backlog arithmetic under
+  // kShed — exactly max_backlog requests are admitted (backlog 0 admits
+  // none: capacity is zero before the clamp that only kBlock needs) and
+  // the rest shed. Timer-free and thread-free, hence gate-safe.
+  {
+    bench::header("serving: shed decisions at full backlog (deterministic, perf-gate input)",
+                  {"backlog", "submitted", "admitted", "shed"});
+    pim::System sys(kP, 7);
+    pimtrie::Config pcfg;
+    pcfg.seed = 9;
+    pimtrie::PimTrie trie(sys, pcfg);
+    trie.build(keys, vals);  // reads only below, so one build serves all rows
+    for (std::size_t backlog : {std::size_t(0), std::size_t(1), std::size_t(4)}) {
+      serve::Server::Options opt;
+      opt.max_batch = 1;  // one raw-queue slot per admitted request
+      opt.pipelined = true;
+      opt.overload_policy = serve::OverloadPolicy::kShed;
+      opt.max_backlog = backlog;
+      serve::Server server(trie, opt);
+      server.debug_pause_pipeline();
+      const std::size_t kSubmits = 24;
+      std::vector<std::future<serve::Response>> futs;
+      futs.reserve(kSubmits);
+      for (std::size_t i = 0; i < kSubmits; ++i)
+        futs.push_back(server.submit(serve::Op::kLcp, keys[i % keys.size()]));
+      server.debug_resume_pipeline();
+      server.drain();
+      std::size_t shed = 0;
+      for (auto& f : futs) shed += f.get().status == serve::Status::kShed ? 1 : 0;
+      server.stop();
+      bench::cell(backlog);
+      bench::cell(kSubmits);
+      bench::cell(kSubmits - shed);
+      bench::cell(shed);
       bench::endrow();
     }
   }

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI gate: full build + tests in the normal configuration, a fixed-seed
-# differential fuzz matrix, the perf gate against the checked-in
-# BENCH_*.json baselines, then sanitizer builds — AddressSanitizer runs
+# differential fuzz matrix, fault-injection and overload smokes (the
+# fuzz oracle under injected faults, shed-vs-block admission behavior),
+# the perf gate against the checked-in BENCH_*.json baselines, then
+# sanitizer builds — AddressSanitizer runs
 # the unit- and serve-label tests plus the fuzz matrix; ThreadSanitizer
 # runs the parallel-runtime determinism suite (which includes the
 # serving pipeline's WorkerSweepServe tests) with a multi-worker pool,
@@ -65,6 +67,42 @@ if grep -q '"type":"alert"' "$OBS_TMP/serve_uniform.jsonl"; then
   exit 1
 fi
 
+echo "== fault-injection smoke: recoverable noise + hard read-phase faults =="
+# Noise plan: every injected fault recovers within the retry budget, so
+# the full differential oracle still applies — the run must be green AND
+# must actually have retried (retries > 0 proves faults were injected).
+./build/tools/ptrie_fuzz --seed 3 --seeds 2 --structure pimtrie --batches 10 \
+  --batch-cap 12 --init 40 --fault-rate 0.02 \
+  --shrink-out "$OBS_TMP/fuzz_noise_min.sched" | tee "$OBS_TMP/fuzz_noise.txt"
+grep -Eq 'retries=[1-9]' "$OBS_TMP/fuzz_noise.txt"
+# Hard plan: every Serve-phase reply corrupts forever, so the affected
+# requests must fail honestly (faulted > 0) while everything that reports
+# OK still matches the reference — zero silent wrong answers.
+./build/tools/ptrie_fuzz --seed 5 --structure serve --batches 10 --batch-cap 12 \
+  --init 40 --faults 'corrupt@phase=Serve/,count=always' \
+  --shrink-out "$OBS_TMP/fuzz_hard_min.sched" | tee "$OBS_TMP/fuzz_hard.txt"
+grep -Eq 'faulted=[1-9]' "$OBS_TMP/fuzz_hard.txt"
+# Env hook: PTRIE_FAULTS reaches every System without flag plumbing.
+# Stalls deliver intact data (they only charge model words), so the
+# serving smoke must still pass end to end.
+PTRIE_FAULTS='stall@phase=Serve/,words=100' \
+  ./build/bench/bench_serving --quick --ops 200 --rates 0 >/dev/null
+
+echo "== overload smoke: shed policy rejects, default policy stays lossless =="
+# Tiny backlog + kShed at saturating load: admission must reject work
+# and the bench must stay live end to end. The speedup acceptance is
+# meaningless when most requests shed, so ignore the exit code and
+# assert on the latency-mode shed summary instead (the deterministic
+# shed table at the end always sheds by construction, so the raw
+# serve/shed counter would never be zero).
+./build/bench/bench_serving --quick --ops 300 --rates 0 --policy shed --backlog 2 \
+  >"$OBS_TMP/serving_shed.txt" || true
+grep -Eq 'latency-mode sheds=[1-9]' "$OBS_TMP/serving_shed.txt"
+# Moderate uniform load under the default kBlock policy: lossless — not
+# a single shed.
+./build/bench/bench_serving --quick --ops 300 --theta 0 >"$OBS_TMP/serving_block.txt"
+grep -Eq 'latency-mode sheds=0$' "$OBS_TMP/serving_block.txt"
+
 echo "== perf gate: model metrics vs checked-in baselines =="
 ci/perf_gate.sh build
 
@@ -77,6 +115,11 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L 'unit|serve'
 ./build-asan/tools/ptrie_fuzz --seed 1 --seeds "$FUZZ_SEEDS" \
   --structure all --profile auto --batches 12 --batch-cap 12 --init 40 \
   --shrink-out build-asan/fuzz_min.sched
+# Fault-injection under ASan: the corrupt/drop/retry paths copy and
+# re-deliver reply buffers — exactly where a lifetime bug would hide.
+./build-asan/tools/ptrie_fuzz --seed 2 --seeds 2 --structure pimtrie \
+  --batches 10 --batch-cap 12 --init 40 --fault-rate 0.02 \
+  --shrink-out build-asan/fuzz_faults_min.sched
 
 echo "== thread-sanitized build + parallel determinism suite + fuzz matrix =="
 cmake -B build-tsan -S . -DPTRIE_SANITIZE=thread >/dev/null
@@ -95,5 +138,11 @@ PTRIE_WORKERS=8 ./build-tsan/bench/bench_serving --quick --ops 200 >/dev/null
 PTRIE_WORKERS=8 ./build-tsan/tools/ptrie_fuzz --seed 1 --seeds "$FUZZ_SEEDS" \
   --structure all --profile auto --batches 12 --batch-cap 12 --init 40 \
   --shrink-out build-tsan/fuzz_min.sched
+# Hard Serve-phase faults under TSan: per-run failure resolution races
+# against concurrent submitters and the pipeline threads.
+PTRIE_WORKERS=8 ./build-tsan/tools/ptrie_fuzz --seed 5 --structure serve \
+  --batches 8 --batch-cap 10 --init 30 \
+  --faults 'corrupt@phase=Serve/,count=always' \
+  --shrink-out build-tsan/fuzz_faults_min.sched
 
 echo "all checks passed"

@@ -155,10 +155,10 @@ class ServeAdapter final : public PimTrieAdapter {
     std::vector<std::future<serve::Response>> futs;
     futs.reserve(keys.size());
     for (const auto& k : keys) futs.push_back(srv_->submit(serve::Op::kLcp, k));
-    settle(futs);
+    auto rs = settle(futs);
     std::vector<std::size_t> out;
-    out.reserve(futs.size());
-    for (auto& f : futs) out.push_back(f.get().lcp);
+    out.reserve(rs.size());
+    for (auto& r : rs) out.push_back(r.lcp);
     return out;
   }
   std::vector<std::vector<std::pair<BitString, std::uint64_t>>> subtree(
@@ -166,10 +166,10 @@ class ServeAdapter final : public PimTrieAdapter {
     std::vector<std::future<serve::Response>> futs;
     futs.reserve(prefixes.size());
     for (const auto& p : prefixes) futs.push_back(srv_->submit(serve::Op::kSubtree, p));
-    settle(futs);
+    auto rs = settle(futs);
     std::vector<std::vector<std::pair<BitString, std::uint64_t>>> out;
-    out.reserve(futs.size());
-    for (auto& f : futs) out.push_back(f.get().subtree);
+    out.reserve(rs.size());
+    for (auto& r : rs) out.push_back(std::move(r.subtree));
     return out;
   }
   std::vector<std::optional<std::uint64_t>> get(
@@ -177,21 +177,31 @@ class ServeAdapter final : public PimTrieAdapter {
     std::vector<std::future<serve::Response>> futs;
     futs.reserve(keys.size());
     for (const auto& k : keys) futs.push_back(srv_->submit(serve::Op::kGet, k));
-    settle(futs);
+    auto rs = settle(futs);
     std::vector<std::optional<std::uint64_t>> out;
-    out.reserve(futs.size());
-    for (auto& f : futs) out.push_back(f.get().value);
+    out.reserve(rs.size());
+    for (auto& r : rs) out.push_back(r.value);
     return out;
   }
 
+  std::vector<std::uint8_t> last_statuses() const override { return last_statuses_; }
+
  private:
-  void settle(std::vector<std::future<serve::Response>>& futs) {
+  std::vector<serve::Response> settle(std::vector<std::future<serve::Response>>& futs) {
     srv_->flush();
     srv_->drain();
-    for (auto& f : futs) f.wait();
+    std::vector<serve::Response> out;
+    out.reserve(futs.size());
+    last_statuses_.assign(futs.size(), 0);
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+      out.push_back(futs[i].get());
+      last_statuses_[i] = static_cast<std::uint8_t>(out.back().status);
+    }
+    return out;
   }
 
   std::unique_ptr<serve::Server> srv_;
+  std::vector<std::uint8_t> last_statuses_;
 };
 
 // ---- Distributed radix tree -----------------------------------------

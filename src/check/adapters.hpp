@@ -85,6 +85,14 @@ class IndexAdapter {
   // the oracle) so the harness's checks must fire. Used by the mutation
   // tests that prove the harness detects and shrinks real corruption.
   virtual void corrupt(int kind) = 0;
+
+  // Per-request status of this adapter's most recent batch op — values
+  // are serve::Status codes (0 = kOk). Empty = everything succeeded.
+  // Direct adapters either succeed wholesale or throw, so only the
+  // serving adapter reports per-request degradation; under a fault plan
+  // the runner skips oracle comparison for non-OK requests (the contract
+  // is "right answer or honest failure", never silent wrongness).
+  virtual std::vector<std::uint8_t> last_statuses() const { return {}; }
 };
 
 // name: pimtrie | radix | xfast | range. Returns nullptr for unknown

@@ -4,6 +4,7 @@
 
 #include "check/adapters.hpp"
 #include "check/oracle.hpp"
+#include "pim/fault.hpp"
 #include "pim/system.hpp"
 
 namespace ptrie::check {
@@ -38,6 +39,17 @@ std::string diff_lists(const std::vector<std::pair<BitString, std::uint64_t>>& g
 RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
   RunResult res;
   pim::System sys(s.p, s.seed * 0x9E3779B97F4A7C15ull + 0xC43C5);
+  const bool faults = !s.faults.empty();
+  if (faults) {
+    pim::FaultPlan plan;
+    std::string perr;
+    if (!pim::FaultPlan::parse(s.faults, &plan, &perr)) {
+      res.ok = false;
+      res.error = "bad fault plan: " + perr;
+      return res;
+    }
+    sys.set_fault_plan(std::move(plan));
+  }
   auto adapter = make_adapter(s.structure, sys, s.seed);
   if (!adapter) {
     res.ok = false;
@@ -45,11 +57,46 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
     return res;
   }
   Oracle live, ever;
+  // Retry backoff charges extra model words and a failed run skews the
+  // per-batch word split, so the cost envelopes only hold fault-free.
+  const bool envelopes = opt.envelopes && !faults;
 
   auto fail = [&](std::size_t batch, std::string why) {
     res.ok = false;
     res.fail_batch = batch;
     res.error = std::move(why);
+  };
+
+  // Under a fault plan the direct adapters surface unrecoverable faults
+  // as pim::FaultError from inside the batch (the serving adapter instead
+  // resolves the affected requests with a non-OK status and never
+  // throws). Either way the failure is honest, so the runner skips
+  // comparison for the affected requests instead of crashing. Anything
+  // other than FaultError still propagates — that is a real bug.
+  auto guarded = [&](auto&& fn) -> bool {  // true = batch ran to completion
+    if (!faults) {
+      fn();
+      return true;
+    }
+    try {
+      fn();
+      return true;
+    } catch (const pim::FaultError&) {
+      return false;
+    }
+  };
+
+  // After a write batch failed (or partially failed) the structure's
+  // state is whatever rounds completed — graceful degradation, not
+  // corruption. Re-adopt its actual contents as the oracle's truth so
+  // every later OK answer is still checked against what the structure
+  // really stores.
+  auto resync = [&]() {
+    live = Oracle();
+    for (const auto& [k, v] : adapter->collect()) {
+      live.insert(k, v);
+      ever.insert(k, v);
+    }
   };
 
   // Post-batch checks: differential key count, structural invariants,
@@ -75,7 +122,9 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
     }
     if (content) {
       ++res.checks;
-      if (std::string d = diff_lists(adapter->collect(), live.all()); !d.empty()) {
+      std::vector<std::pair<BitString, std::uint64_t>> got;
+      if (!guarded([&] { got = adapter->collect(); })) return true;  // enumeration faulted
+      if (std::string d = diff_lists(got, live.all()); !d.empty()) {
         fail(bi, "content mismatch: " + d);
         return false;
       }
@@ -88,10 +137,14 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
     std::vector<BitString> tkeys;
     tkeys.reserve(s.init_keys.size());
     for (const auto& k : s.init_keys) tkeys.push_back(adapter->transform(k));
-    adapter->build(tkeys, s.init_values);
-    for (std::size_t i = 0; i < tkeys.size(); ++i) {
-      live.insert(tkeys[i], s.init_values[i]);
-      ever.insert(tkeys[i], s.init_values[i]);
+    if (guarded([&] { adapter->build(tkeys, s.init_values); })) {
+      for (std::size_t i = 0; i < tkeys.size(); ++i) {
+        live.insert(tkeys[i], s.init_values[i]);
+        ever.insert(tkeys[i], s.init_values[i]);
+      }
+    } else {
+      res.faulted += tkeys.size();
+      resync();
     }
     res.ops += tkeys.size();
     if (opt.corrupt_kind >= 0 && opt.corrupt_from == 0 && s.batches.empty())
@@ -113,23 +166,58 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
 
     auto before = sys.metrics().snapshot();
     bool query_ok = true;
+    // Per-request statuses of the batch just run (serve adapter only;
+    // empty = everything OK). Non-OK requests are honest failures: they
+    // are counted, not compared.
+    std::vector<std::uint8_t> st;
+    auto skip_faulted = [&](std::size_t i) {
+      if (i < st.size() && st[i] != 0) {
+        ++res.faulted;
+        return true;
+      }
+      return false;
+    };
     switch (b.op) {
       case OpKind::kInsert: {
-        adapter->insert(tkeys, b.values);
-        for (std::size_t i = 0; i < tkeys.size(); ++i) {
-          live.insert(tkeys[i], b.values[i]);
-          ever.insert(tkeys[i], b.values[i]);
+        bool ran = guarded([&] { adapter->insert(tkeys, b.values); });
+        st = adapter->last_statuses();
+        std::size_t bad = 0;
+        for (std::uint8_t v : st)
+          if (v != 0) ++bad;
+        if (!ran || bad > 0) {
+          res.faulted += ran ? bad : tkeys.size();
+          resync();
+        } else {
+          for (std::size_t i = 0; i < tkeys.size(); ++i) {
+            live.insert(tkeys[i], b.values[i]);
+            ever.insert(tkeys[i], b.values[i]);
+          }
         }
         break;
       }
       case OpKind::kErase: {
-        adapter->erase(tkeys);
-        for (const auto& k : tkeys) live.erase(k);
+        bool ran = guarded([&] { adapter->erase(tkeys); });
+        st = adapter->last_statuses();
+        std::size_t bad = 0;
+        for (std::uint8_t v : st)
+          if (v != 0) ++bad;
+        if (!ran || bad > 0) {
+          res.faulted += ran ? bad : tkeys.size();
+          resync();
+        } else {
+          for (const auto& k : tkeys) live.erase(k);
+        }
         break;
       }
       case OpKind::kLcp: {
-        auto got = adapter->lcp(tkeys);
+        std::vector<std::size_t> got;
+        if (!guarded([&] { got = adapter->lcp(tkeys); })) {
+          res.faulted += tkeys.size();
+          break;
+        }
+        st = adapter->last_statuses();
         for (std::size_t i = 0; i < tkeys.size() && query_ok; ++i) {
+          if (skip_faulted(i)) continue;
           ++res.checks;
           if (std::string e = adapter->check_lcp(tkeys[i], got[i], live, ever);
               !e.empty()) {
@@ -140,8 +228,14 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
         break;
       }
       case OpKind::kSubtree: {
-        auto got = adapter->subtree(tkeys);
+        std::vector<std::vector<std::pair<BitString, std::uint64_t>>> got;
+        if (!guarded([&] { got = adapter->subtree(tkeys); })) {
+          res.faulted += tkeys.size();
+          break;
+        }
+        st = adapter->last_statuses();
         for (std::size_t i = 0; i < tkeys.size() && query_ok; ++i) {
+          if (skip_faulted(i)) continue;
           ++res.checks;
           if (std::string d = diff_lists(got[i], adapter->expect_subtree(tkeys[i], live));
               !d.empty()) {
@@ -152,8 +246,14 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
         break;
       }
       case OpKind::kGet: {
-        auto got = adapter->get(tkeys);
+        std::vector<std::optional<std::uint64_t>> got;
+        if (!guarded([&] { got = adapter->get(tkeys); })) {
+          res.faulted += tkeys.size();
+          break;
+        }
+        st = adapter->last_statuses();
         for (std::size_t i = 0; i < tkeys.size() && query_ok; ++i) {
+          if (skip_faulted(i)) continue;
           ++res.checks;
           auto want = live.find(tkeys[i]);
           if (got[i] != want) {
@@ -166,20 +266,24 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
         break;
       }
     }
-    if (!query_ok) return res;
+    if (!query_ok) {
+      res.fault_retries = sys.fault_stats().retries;
+      return res;
+    }
 
     // Cost envelopes over the batch's own rounds (checks and the
     // corruption hook below issue rounds of their own, measured never).
     auto after = sys.metrics().snapshot();
     std::size_t batch_rounds = after.rounds - before.rounds;
     res.max_batch_rounds = std::max(res.max_batch_rounds, batch_rounds);
-    if (opt.envelopes) {
+    if (envelopes) {
       ++res.checks;
       std::size_t cap = adapter->round_envelope(b.op, max_bits);
       if (batch_rounds > cap) {
         fail(bi, std::string(op_name(b.op)) + " batch took " +
                      std::to_string(batch_rounds) + " rounds, envelope " +
                      std::to_string(cap));
+        res.fault_retries = sys.fault_stats().retries;
         return res;
       }
       // Per-batch communication imbalance: only PimTrie claims skew
@@ -197,6 +301,7 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
           if (imb > bound) {
             fail(bi, "per-batch comm imbalance " + std::to_string(imb) + " > bound " +
                          std::to_string(bound));
+            res.fault_retries = sys.fault_stats().retries;
             return res;
           }
         }
@@ -208,9 +313,13 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
 
     bool content = (opt.content_every != 0 && (bi + 1) % opt.content_every == 0) ||
                    bi + 1 == s.batches.size();
-    if (!post_checks(bi, content)) return res;
+    if (!post_checks(bi, content)) {
+      res.fault_retries = sys.fault_stats().retries;
+      return res;
+    }
   }
   res.rounds = sys.metrics().io_rounds();
+  res.fault_retries = sys.fault_stats().retries;
   return res;
 }
 

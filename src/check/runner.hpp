@@ -40,6 +40,12 @@ struct RunResult {
   std::size_t rounds = 0;  // total IO rounds issued (determinism probe)
   std::size_t max_batch_rounds = 0;  // worst per-batch rounds seen
   double max_imbalance = 0.0;        // worst per-batch comm imbalance seen
+  // Fault-plan accounting (zero when the schedule carries no plan):
+  // requests that honestly reported a non-OK status (skipped by the
+  // differential oracle — the contract is "right answer or honest
+  // failure") and PIM reply retries that recovered transparently.
+  std::size_t faulted = 0;
+  std::uint64_t fault_retries = 0;
 };
 
 RunResult run_schedule(const Schedule& s, const CheckOptions& opt = {});

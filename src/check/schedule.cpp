@@ -195,6 +195,7 @@ std::string serialize(const Schedule& s) {
       out << "\n";
     }
   }
+  if (!s.faults.empty()) out << "faults " << s.faults << "\n";
   out << "end\n";
   return out.str();
 }
@@ -244,7 +245,13 @@ bool parse(const std::string& text, Schedule* out, std::string* error) {
     }
     s.batches.push_back(std::move(batch));
   }
-  if (!(in >> tag) || tag != "end") return fail("missing end marker");
+  if (!(in >> tag)) return fail("missing end marker");
+  if (tag == "faults") {
+    // Single whitespace-free token (the pim::FaultPlan text format).
+    if (!(in >> s.faults)) return fail("missing fault plan token");
+    if (!(in >> tag)) return fail("missing end marker");
+  }
+  if (tag != "end") return fail("missing end marker");
   *out = std::move(s);
   return true;
 }

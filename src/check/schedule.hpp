@@ -35,6 +35,10 @@ struct Schedule {
   std::vector<core::BitString> init_keys;
   std::vector<std::uint64_t> init_values;
   std::vector<Batch> batches;
+  // Optional pim::FaultPlan token (see pim/fault.hpp text format) the
+  // runner installs before replaying; empty = no fault injection. Rides
+  // in the schedule so failing fault runs shrink and replay verbatim.
+  std::string faults;
 
   std::size_t op_count() const;  // init keys + sum of batch sizes
 };

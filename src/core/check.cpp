@@ -1,0 +1,24 @@
+#include "core/check.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ptrie::core::detail {
+
+void check_fail(const char* expr, const char* file, int line, const char* fmt, ...) {
+  char msg[512];
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(msg, sizeof msg, fmt, ap);
+  va_end(ap);
+  // Strip the directory: the basename is enough to locate the check and
+  // keeps messages stable across build trees.
+  const char* base = file;
+  for (const char* p = file; *p; ++p)
+    if (*p == '/') base = p + 1;
+  char what[640];
+  std::snprintf(what, sizeof what, "check failed at %s:%d: %s [%s]", base, line, msg, expr);
+  throw CheckError(what);
+}
+
+}  // namespace ptrie::core::detail

@@ -1,0 +1,41 @@
+#pragma once
+// Structured runtime checks for external inputs: PTRIE_CHECK validates a
+// condition and throws CheckError (with file:line and a printf-formatted
+// context message) when it fails. Unlike assert() these survive release
+// builds — they guard inputs that cross a trust boundary (wire-format
+// messages parsed by module kernels, caller-supplied machine shapes),
+// where a violated precondition must become a reportable error the
+// serving layer can degrade on, never undefined behavior.
+//
+//   PTRIE_CHECK(it != blocks.end(), "m%zu: unknown block id %llu",
+//               mod.id(), (unsigned long long)id);
+//
+// Internal invariants that only a bug in this codebase can violate keep
+// using assert().
+
+#include <stdexcept>
+#include <string>
+
+namespace ptrie {
+
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+namespace core::detail {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 4, 5)))
+#endif
+[[noreturn]] void check_fail(const char* expr, const char* file, int line, const char* fmt,
+                             ...);
+
+}  // namespace core::detail
+}  // namespace ptrie
+
+#define PTRIE_CHECK(cond, ...)                                                     \
+  do {                                                                             \
+    if (!(cond))                                                                   \
+      ::ptrie::core::detail::check_fail(#cond, __FILE__, __LINE__, __VA_ARGS__);   \
+  } while (0)

@@ -78,4 +78,41 @@ std::uint64_t Crc64::combine(std::uint64_t crc_a, std::uint64_t crc_b,
   return ~ab_reg;
 }
 
+namespace {
+
+struct Crc64Table {
+  std::uint64_t t[256];
+  Crc64Table() {
+    for (unsigned b = 0; b < 256; ++b) {
+      std::uint64_t state = static_cast<std::uint64_t>(b) << 56;
+      for (int i = 0; i < 8; ++i) {
+        bool msb = (state >> 63) & 1;
+        state <<= 1;
+        if (msb) state ^= Crc64::kPoly;
+      }
+      t[b] = state;
+    }
+  }
+};
+
+const Crc64Table& table() {
+  static const Crc64Table tab;
+  return tab;
+}
+
+}  // namespace
+
+std::uint64_t crc64_words(const std::uint64_t* data, std::size_t n) {
+  const auto& tab = table();
+  std::uint64_t state = ~0ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t w = data[i];
+    for (int b = 0; b < 8; ++b) {
+      std::uint8_t byte = static_cast<std::uint8_t>(w >> (8 * b));
+      state = (state << 8) ^ tab.t[static_cast<std::uint8_t>(state >> 56) ^ byte];
+    }
+  }
+  return ~state;
+}
+
 }  // namespace ptrie::hash

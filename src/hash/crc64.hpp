@@ -45,4 +45,10 @@ class Crc64 {
   std::array<Matrix, 64> shiftp_;  // shift1_^(2^k) for k = 0..63
 };
 
+// Fast table-driven CRC-64 (same ECMA-182 polynomial, MSB-first) over a
+// word buffer. Used to checksum PIM reply payloads so injected or real
+// transfer corruption is detected instead of silently served. Bytes are
+// consumed little-endian within each word, matching in-memory layout.
+std::uint64_t crc64_words(const std::uint64_t* data, std::size_t n);
+
 }  // namespace ptrie::hash

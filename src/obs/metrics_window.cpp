@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string_view>
 
 #include "obs/counters.hpp"
 #include "obs/env.hpp"
@@ -60,6 +61,9 @@ AlertConfig AlertConfig::from_env() {
       "skew alert when window per-module word imbalance max/mean exceeds this (default 3.0)");
   c.min_ops = env::u64("PTRIE_ALERT_MIN_OPS", c.min_ops,
                        "minimum window ops before skew alerts can fire (default 50)");
+  c.shed_frac = env_f64(
+      "PTRIE_ALERT_SHED", c.shed_frac,
+      "overload alert when shed requests exceed this fraction of window admissions (default 0.05)");
   return c;
 }
 
@@ -80,6 +84,16 @@ void MetricsWindow::record(const RequestSample& s) {
     ++it->second;
   else if (t.key_counts.size() < TenantAgg::kMaxKeys)
     t.key_counts.emplace(s.key_hash, 1);
+  if (s.status != nullptr && std::string_view(s.status) == "failed") ++t.failed;
+}
+
+void MetricsWindow::record_admission(std::uint32_t tenant, const char* what) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantAgg& t = tenants_[tenant];
+  if (std::string_view(what) == "shed")
+    ++t.shed;
+  else
+    ++t.expired;
 }
 
 void MetricsWindow::record_batch_module_words(const std::vector<std::uint64_t>& delta) {
@@ -107,8 +121,13 @@ std::vector<Alert> MetricsWindow::roll(double t_ms, const WindowGauges& g, std::
     last_roll_ms_ = t_ms;
   }
 
-  std::uint64_t total_ops = 0;
-  for (const auto& [id, t] : tenants) total_ops += t.ops;
+  std::uint64_t total_ops = 0, total_shed = 0, total_expired = 0, total_failed = 0;
+  for (const auto& [id, t] : tenants) {
+    total_ops += t.ops;
+    total_shed += t.shed;
+    total_expired += t.expired;
+    total_failed += t.failed;
+  }
 
   // ---- skew detector ----
   std::vector<Alert> alerts;
@@ -148,8 +167,23 @@ std::vector<Alert> MetricsWindow::roll(double t_ms, const WindowGauges& g, std::
       alerts.push_back(std::move(a));
     }
   }
+  // Overload detector: shed fraction of this window's admission attempts.
+  if (total_shed > 0 && total_ops + total_shed >= cfg_.min_ops) {
+    double frac = double(total_shed) / double(total_ops + total_shed);
+    if (frac > cfg_.shed_frac) {
+      Alert a;
+      a.kind = "shed_rate";
+      a.value = frac;
+      a.threshold = cfg_.shed_frac;
+      a.window = window;
+      alerts.push_back(std::move(a));
+    }
+  }
   for (const Alert& a : alerts) {
-    counter(a.kind == "hot_key" ? "serve/alert_hot_key" : "serve/alert_imbalance").add();
+    counter(a.kind == "hot_key"            ? "serve/alert_hot_key"
+            : a.kind == "module_imbalance" ? "serve/alert_imbalance"
+                                           : "serve/alert_shed_rate")
+        .add();
     std::string tenant = a.has_tenant ? std::to_string(a.tenant) : "-";
     logf(LogLevel::kWarn, "skew",
          "window %llu: %s alert value=%.3f threshold=%.3f tenant=%s",
@@ -159,21 +193,27 @@ std::vector<Alert> MetricsWindow::roll(double t_ms, const WindowGauges& g, std::
   if (!out) return alerts;
 
   // ---- JSON-lines rendering ----
-  char buf[256];
+  char buf[384];
   std::string& o = *out;
   std::snprintf(buf, sizeof buf,
                 "{\"type\":\"window\",\"window\":%llu,\"t_ms\":%.1f,\"span_ms\":%.1f,"
                 "\"ops\":%llu,\"in_flight\":%llu,\"queue_depth\":%llu,"
+                "\"shed\":%llu,\"expired\":%llu,\"failed\":%llu,"
                 "\"module_imbalance\":%.3f,\"alerts\":%zu}\n",
                 (unsigned long long)window, t_ms, span_ms, (unsigned long long)total_ops,
                 (unsigned long long)g.in_flight, (unsigned long long)g.queue_depth,
-                imbalance, alerts.size());
+                (unsigned long long)total_shed, (unsigned long long)total_expired,
+                (unsigned long long)total_failed, imbalance, alerts.size());
   o += buf;
   for (auto& [id, t] : tenants) {
-    if (t.ops == 0) continue;
+    // Tenants whose window was all sheds/expiries still get a line — an
+    // all-shed tenant is exactly the one an operator needs to see.
+    if (t.ops == 0 && t.shed == 0 && t.expired == 0 && t.failed == 0) continue;
     std::snprintf(buf, sizeof buf, "{\"type\":\"tenant\",\"window\":%llu,\"t_ms\":%.1f,"
-                  "\"tenant\":%u,\"ops\":%llu,",
-                  (unsigned long long)window, t_ms, id, (unsigned long long)t.ops);
+                  "\"tenant\":%u,\"ops\":%llu,\"shed\":%llu,\"expired\":%llu,\"failed\":%llu,",
+                  (unsigned long long)window, t_ms, id, (unsigned long long)t.ops,
+                  (unsigned long long)t.shed, (unsigned long long)t.expired,
+                  (unsigned long long)t.failed);
     o += buf;
     append_f(&o, "ops_per_sec", span_ms > 0 ? double(t.ops) / (span_ms / 1000.0) : 0.0);
     o += ",\"by_op\":{";
@@ -195,12 +235,12 @@ std::vector<Alert> MetricsWindow::roll(double t_ms, const WindowGauges& g, std::
     o += ",";
     append_stage(&o, "exec", t.exec);
     o += "},";
-    append_f(&o, "words_per_op", t.words / double(t.ops));
+    append_f(&o, "words_per_op", t.ops > 0 ? t.words / double(t.ops) : 0.0);
     o += ",";
-    append_f(&o, "mean_batch", double(t.batch_sum) / double(t.ops));
+    append_f(&o, "mean_batch", t.ops > 0 ? double(t.batch_sum) / double(t.ops) : 0.0);
     double hot_frac = 0;
     std::uint64_t hot_hash = 0;
-    if (!t.key_counts.empty()) {
+    if (!t.key_counts.empty() && t.ops > 0) {
       auto hot = std::max_element(
           t.key_counts.begin(), t.key_counts.end(),
           [](const auto& a, const auto& b) { return a.second < b.second; });

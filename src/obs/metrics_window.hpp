@@ -35,8 +35,11 @@ struct AlertConfig {
   // Minimum ops in the window (per tenant for hot-key, global for
   // imbalance) before an alert can fire — suppresses cold-start noise.
   std::uint64_t min_ops = 50;
+  // Alert when shed requests exceed this fraction of the window's
+  // admission attempts (ops + shed) — the overload signal.
+  double shed_frac = 0.05;
 
-  static AlertConfig from_env();  // PTRIE_ALERT_{HOTKEY,IMBALANCE,MIN_OPS}
+  static AlertConfig from_env();  // PTRIE_ALERT_{HOTKEY,IMBALANCE,MIN_OPS,SHED}
 };
 
 // One completed request, as reported by the serving executor. Stage
@@ -44,7 +47,8 @@ struct AlertConfig {
 // its batch's model-word delta.
 struct RequestSample {
   std::uint32_t tenant = 0;
-  const char* op = "?";  // static string (serve::op_name)
+  const char* op = "?";      // static string (serve::op_name)
+  const char* status = "ok"; // static string (serve::status_name)
   double queue_us = 0, coalesce_us = 0, prep_us = 0, exec_us = 0, total_us = 0;
   double words = 0;
   std::size_t batch_size = 0;
@@ -52,7 +56,7 @@ struct RequestSample {
 };
 
 struct Alert {
-  std::string kind;  // "hot_key" | "module_imbalance"
+  std::string kind;  // "hot_key" | "module_imbalance" | "shed_rate"
   bool has_tenant = false;
   std::uint32_t tenant = 0;   // hot_key only
   double value = 0;           // observed concentration / imbalance
@@ -74,6 +78,9 @@ class MetricsWindow {
 
   void record(const RequestSample& s);
   void record_batch_module_words(const std::vector<std::uint64_t>& delta);
+  // Admission-path outcomes that never reach the executor (so carry no
+  // stage timings): `what` is "shed" or "expired".
+  void record_admission(std::uint32_t tenant, const char* what);
 
   // Closes the current window: evaluates the skew detector, appends the
   // window's JSON lines (global "window" line, one "tenant" line per
@@ -90,6 +97,9 @@ class MetricsWindow {
     std::vector<double> queue, coalesce, prep, exec, total;  // us
     double words = 0;
     std::uint64_t batch_sum = 0;
+    // Overload / fault outcomes (shed + expired never executed; failed
+    // executed but resolved with Status::kFailed).
+    std::uint64_t shed = 0, expired = 0, failed = 0;
     // Hot-key tracking, capped so adversarial key churn cannot balloon
     // memory; overflowed keys only lower the reported concentration.
     std::map<std::uint64_t, std::uint64_t> key_counts;

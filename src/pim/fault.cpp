@@ -1,0 +1,276 @@
+#include "pim/fault.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "core/check.hpp"
+
+namespace ptrie::pim {
+
+namespace {
+
+// splitmix64-style finalizer; used to derive deterministic per-coordinate
+// noise decisions from (seed, round, module).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t next = s.find(sep, pos);
+    if (next == std::string::npos) next = s.size();
+    out.push_back(s.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_double(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+std::optional<FaultKind> FaultPlan::match(std::uint64_t round, const std::string& phase,
+                                          std::uint32_t module, std::uint32_t attempt,
+                                          std::uint64_t* magnitude) const {
+  for (const FaultSpec& s : specs) {
+    if (s.round != FaultSpec::kAnyRound && s.round != round) continue;
+    if (s.module != FaultSpec::kAnyModule && s.module != module) continue;
+    if (!s.phase.empty() && !starts_with(phase, s.phase)) continue;
+    if (s.count != FaultSpec::kForever && attempt >= s.count) continue;
+    *magnitude = s.magnitude;
+    return s.kind;
+  }
+  if (noise_rate > 0.0 && attempt < noise_count) {
+    std::uint64_t h = mix64(noise_seed ^ mix64(round * 0x10001ull + module));
+    // Top 53 bits as a uniform double in [0, 1).
+    double u = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    if (u < noise_rate) {
+      std::uint64_t h2 = mix64(h);
+      *magnitude = h2 >> 1;
+      return (h2 & 1) ? FaultKind::kCorrupt : FaultKind::kDrop;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string FaultPlan::serialize() const {
+  std::ostringstream os;
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ';';
+    first = false;
+  };
+  for (const FaultSpec& s : specs) {
+    sep();
+    os << fault_kind_name(s.kind) << '@';
+    bool field = false;
+    auto comma = [&] {
+      if (field) os << ',';
+      field = true;
+    };
+    if (s.round != FaultSpec::kAnyRound) {
+      comma();
+      os << "round=" << s.round;
+    }
+    if (!s.phase.empty()) {
+      comma();
+      os << "phase=" << s.phase;
+    }
+    if (s.module != FaultSpec::kAnyModule) {
+      comma();
+      os << "module=" << s.module;
+    }
+    if (s.count == FaultSpec::kForever) {
+      comma();
+      os << "count=always";
+    } else if (s.count != 1) {
+      comma();
+      os << "count=" << s.count;
+    }
+    if (s.magnitude != 0) {
+      comma();
+      os << (s.kind == FaultKind::kStall ? "words=" : "bit=") << s.magnitude;
+    }
+    if (!field) os << "count=1";  // degenerate all-default spec still round-trips
+  }
+  if (noise_rate > 0.0) {
+    sep();
+    os << "noise@seed=" << noise_seed << ",rate=" << noise_rate;
+    if (noise_count != 1) os << ",count=" << noise_count;
+  }
+  if (max_retries != 3) {
+    sep();
+    os << "retries=" << max_retries;
+  }
+  if (backoff_words != 64) {
+    sep();
+    os << "backoff=" << backoff_words;
+  }
+  return os.str();
+}
+
+bool FaultPlan::parse(const std::string& text, FaultPlan* out, std::string* err) {
+  FaultPlan plan;
+  for (const std::string& directive : split(text, ';')) {
+    if (directive.empty()) {
+      if (text.empty()) break;  // whole-empty input reported below
+      if (err) *err = "fault plan '" + text + "': empty directive";
+      return false;
+    }
+    std::size_t at = directive.find('@');
+    std::string head = directive.substr(0, at == std::string::npos ? directive.size() : at);
+    std::string body = at == std::string::npos ? std::string() : directive.substr(at + 1);
+
+    if (at == std::string::npos) {
+      // retries=N / backoff=N scalar directives.
+      std::size_t eq = head.find('=');
+      if (eq == std::string::npos) {
+        if (err) *err = "fault directive '" + directive + "': expected kind@... or key=value";
+        return false;
+      }
+      std::string key = head.substr(0, eq);
+      std::uint64_t v = 0;
+      if (!parse_u64(head.substr(eq + 1), &v)) {
+        if (err) *err = "fault directive '" + directive + "': bad number";
+        return false;
+      }
+      if (key == "retries") {
+        plan.max_retries = static_cast<std::uint32_t>(v);
+      } else if (key == "backoff") {
+        plan.backoff_words = v;
+      } else {
+        if (err) *err = "fault directive '" + directive + "': unknown key '" + key + "'";
+        return false;
+      }
+      continue;
+    }
+
+    if (head == "noise") {
+      for (const std::string& kv : split(body, ',')) {
+        if (kv.empty()) continue;
+        std::size_t eq = kv.find('=');
+        std::string key = eq == std::string::npos ? kv : kv.substr(0, eq);
+        std::string val = eq == std::string::npos ? std::string() : kv.substr(eq + 1);
+        std::uint64_t v = 0;
+        if (key == "seed" && parse_u64(val, &v)) {
+          plan.noise_seed = v;
+        } else if (key == "rate") {
+          double r = 0.0;
+          if (!parse_double(val, &r) || r < 0.0 || r > 1.0) {
+            if (err) *err = "noise rate '" + val + "' not in [0,1]";
+            return false;
+          }
+          plan.noise_rate = r;
+        } else if (key == "count" && parse_u64(val, &v)) {
+          plan.noise_count = static_cast<std::uint32_t>(v);
+        } else {
+          if (err) *err = "noise directive: bad field '" + kv + "'";
+          return false;
+        }
+      }
+      continue;
+    }
+
+    FaultSpec spec;
+    if (head == "stall") {
+      spec.kind = FaultKind::kStall;
+      spec.magnitude = 1000;  // default stall: 1000 extra words
+    } else if (head == "drop") {
+      spec.kind = FaultKind::kDrop;
+    } else if (head == "corrupt") {
+      spec.kind = FaultKind::kCorrupt;
+    } else {
+      if (err) *err = "unknown fault kind '" + head + "'";
+      return false;
+    }
+    for (const std::string& kv : split(body, ',')) {
+      if (kv.empty()) continue;
+      std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        if (err) *err = "fault field '" + kv + "': expected key=value";
+        return false;
+      }
+      std::string key = kv.substr(0, eq);
+      std::string val = kv.substr(eq + 1);
+      std::uint64_t v = 0;
+      if (key == "round" && parse_u64(val, &v)) {
+        spec.round = v;
+      } else if (key == "module" && parse_u64(val, &v)) {
+        spec.module = static_cast<std::uint32_t>(v);
+      } else if (key == "phase") {
+        spec.phase = val;
+      } else if (key == "count") {
+        if (val == "always") {
+          spec.count = FaultSpec::kForever;
+        } else if (parse_u64(val, &v)) {
+          spec.count = static_cast<std::uint32_t>(v);
+        } else {
+          if (err) *err = "fault count '" + val + "': expected number or 'always'";
+          return false;
+        }
+      } else if ((key == "words" || key == "bit" || key == "magnitude") && parse_u64(val, &v)) {
+        spec.magnitude = v;
+      } else {
+        if (err) *err = "fault field '" + kv + "': unknown key or bad value";
+        return false;
+      }
+    }
+    plan.specs.push_back(std::move(spec));
+  }
+  if (!plan.enabled() && plan.max_retries == 3 && plan.backoff_words == 64) {
+    if (err) *err = "fault plan '" + text + "' contains no directives";
+    return false;
+  }
+  *out = std::move(plan);
+  return true;
+}
+
+std::optional<FaultPlan> FaultPlan::from_env() {
+  const char* v = std::getenv("PTRIE_FAULTS");
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  FaultPlan plan;
+  std::string err;
+  PTRIE_CHECK(parse(v, &plan, &err), "PTRIE_FAULTS: %s", err.c_str());
+  return plan;
+}
+
+}  // namespace ptrie::pim

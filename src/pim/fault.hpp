@@ -1,0 +1,123 @@
+#pragma once
+// Deterministic PIM fault injection. A FaultPlan describes, ahead of time,
+// which (round, phase, module) coordinates misbehave and how:
+//
+//   stall    — the module's reply transfer takes extra model-time words
+//              (a latency spike; data arrives intact)
+//   drop     — the reply transfer is lost; the host notices (transfer
+//              layer reports no data) and retries
+//   corrupt  — a single bit of the reply payload (or of its checksum
+//              word) is flipped in flight; the crc64 reply checksum is
+//              expected to catch it, triggering a retry
+//
+// Plans are seeded and deterministic: the same plan against the same
+// schedule injects the same faults regardless of PTRIE_WORKERS, so fuzz
+// failures replay exactly. Plans come from the PTRIE_FAULTS env var or
+// are installed programmatically (System::set_fault_plan). Text format,
+// ';'-separated directives in one token:
+//
+//   corrupt@round=5,module=2,count=2;stall@phase=Serve/LCP,words=5000
+//   noise@seed=7,rate=0.01,count=2;retries=4;backoff=128
+//
+// Selectors: round= (absolute round sequence number), phase= (prefix
+// match on the obs phase path), module= (module id); omitted selectors
+// match anything. count=N fires on the first N matching delivery
+// attempts per (round, module) coordinate (count=always never stops —
+// such a fault exhausts retries and fails the round for the modules it
+// hits). 'noise' sprinkles random drop/corrupt faults over all
+// coordinates at the given rate, each recoverable within `count`
+// attempts. 'retries'/'backoff' override the executor's retry budget
+// and base backoff charge (words, doubled per attempt).
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ptrie::pim {
+
+enum class FaultKind : std::uint8_t { kStall, kDrop, kCorrupt };
+
+const char* fault_kind_name(FaultKind k);
+
+struct FaultSpec {
+  static constexpr std::uint64_t kAnyRound = ~0ull;
+  static constexpr std::uint32_t kAnyModule = ~0u;
+  static constexpr std::uint32_t kForever = ~0u;
+
+  FaultKind kind = FaultKind::kDrop;
+  std::uint64_t round = kAnyRound;  // absolute round sequence number
+  std::string phase;                // prefix match on phase path; empty = any
+  std::uint32_t module = kAnyModule;
+  std::uint32_t count = 1;       // attempts affected per (round, module); kForever = always
+  std::uint64_t magnitude = 0;   // stall: extra words; corrupt: bit index hint
+};
+
+struct FaultStats {
+  std::uint64_t stalls = 0;           // stall faults applied
+  std::uint64_t drops = 0;            // reply transfers dropped
+  std::uint64_t corruptions = 0;      // bits flipped in flight
+  std::uint64_t crc_mismatches = 0;   // corruptions caught by the reply checksum
+  std::uint64_t retries = 0;          // reply re-transfers issued
+  std::uint64_t backoff_words = 0;    // model words charged to backoff
+  std::uint64_t failed_rounds = 0;    // rounds abandoned after retry exhaustion
+};
+
+// Thrown by System::round when a module's reply cannot be delivered within
+// the retry budget. Metrics for the round are already recorded when this
+// is thrown; module state is consistent (kernels ran exactly once).
+class FaultError : public std::runtime_error {
+ public:
+  FaultError(std::string what, std::uint64_t round, std::uint32_t module, std::string label)
+      : std::runtime_error(std::move(what)),
+        round_(round),
+        module_(module),
+        label_(std::move(label)) {}
+
+  std::uint64_t round() const { return round_; }
+  std::uint32_t module() const { return module_; }
+  const std::string& label() const { return label_; }
+
+ private:
+  std::uint64_t round_;
+  std::uint32_t module_;
+  std::string label_;
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+
+  // Background noise: deterministic pseudo-random drop/corrupt faults at
+  // `noise_rate` per (round, module) delivery, each affecting the first
+  // `noise_count` attempts (so noise_count <= retries stays recoverable).
+  std::uint64_t noise_seed = 0;
+  double noise_rate = 0.0;
+  std::uint32_t noise_count = 1;
+
+  // Executor retry budget and base backoff charge in model words.
+  std::uint32_t max_retries = 3;
+  std::uint64_t backoff_words = 64;
+
+  bool enabled() const { return !specs.empty() || noise_rate > 0.0; }
+
+  // Decides the fate of delivery `attempt` (0-based) of module `module`'s
+  // reply in round `round` running under `phase`. Returns the fault to
+  // apply, filling *magnitude, or nullopt for a clean delivery.
+  std::optional<FaultKind> match(std::uint64_t round, const std::string& phase,
+                                 std::uint32_t module, std::uint32_t attempt,
+                                 std::uint64_t* magnitude) const;
+
+  std::string serialize() const;
+
+  // Parses the text format above. Returns false and fills *err on bad
+  // input; *out is untouched on failure.
+  static bool parse(const std::string& text, FaultPlan* out, std::string* err);
+
+  // Builds a plan from PTRIE_FAULTS, or nullopt when unset/empty. Throws
+  // CheckError on a malformed value (a typo'd fault plan silently running
+  // fault-free would defeat the point).
+  static std::optional<FaultPlan> from_env();
+};
+
+}  // namespace ptrie::pim

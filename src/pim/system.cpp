@@ -1,8 +1,11 @@
 #include "pim/system.hpp"
 
-#include <cassert>
+#include <cstdio>
 
+#include "core/check.hpp"
 #include "core/parallel.hpp"
+#include "hash/crc64.hpp"
+#include "obs/counters.hpp"
 #include "obs/env.hpp"
 #include "obs/phase.hpp"
 #include "obs/trace.hpp"
@@ -18,7 +21,7 @@ bool telemetry_requested() {
 }  // namespace
 
 System::System(std::size_t p, std::uint64_t seed) : metrics_(p), placement_rng_(seed) {
-  assert(p >= 1);
+  PTRIE_CHECK(p >= 1, "System needs at least one module (p=%zu)", p);
   core::Rng seeder(seed ^ 0xD1B54A32D192ED03ull);
   modules_.reserve(p);
   for (std::size_t i = 0; i < p; ++i) modules_.emplace_back(i, seeder());
@@ -30,12 +33,32 @@ System::System(std::size_t p, std::uint64_t seed) : metrics_(p), placement_rng_(
   } else if (telemetry_requested()) {
     metrics_.set_round_detail(true);
   }
+  if (auto plan = FaultPlan::from_env()) set_fault_plan(std::move(*plan));
+}
+
+void System::set_fault_plan(FaultPlan plan) {
+  fault_plan_ = std::move(plan);
+  if (retries_override_) fault_plan_.max_retries = *retries_override_;
+  faults_on_ = fault_plan_.enabled();
+}
+
+void System::clear_fault_plan() {
+  fault_plan_ = FaultPlan{};
+  faults_on_ = false;
+}
+
+void System::set_fault_retries(std::uint32_t n) {
+  retries_override_ = n;
+  fault_plan_.max_retries = n;
 }
 
 std::vector<Buffer> System::round(const std::string& label, std::vector<Buffer> to_modules,
                                   const std::function<Buffer(Module&, Buffer)>& kernel,
                                   bool launch_all) {
-  assert(to_modules.size() == p());
+  PTRIE_CHECK(to_modules.size() == p(),
+              "round '%s': to_modules has %zu entries for a %zu-module machine",
+              label.c_str(), to_modules.size(), p());
+  const std::uint64_t rseq = round_seq_++;
   std::vector<Buffer> results(p());
 
   std::string phase = obs::Phase::current_path();
@@ -68,6 +91,16 @@ std::vector<Buffer> System::round(const std::string& label, std::vector<Buffer> 
       },
       /*grain=*/1);
 
+  // Reply delivery: with a fault plan active, transfers may stall, drop,
+  // or corrupt; retries re-charge the reply words plus exponential backoff.
+  // Kernels already ran exactly once — only the read-back is replayed.
+  std::optional<std::size_t> failed_module;
+  if (faults_on_) {
+    std::vector<std::uint64_t> extra =
+        deliver_replies(rseq, phase, launched, results, &failed_module);
+    for (std::size_t k = 0; k < launched.size(); ++k) words[k] += extra[k];
+  }
+
   metrics_.begin_round(label, std::move(phase));
   // record_module(i, 0, 0) is a no-op, so recording only launched modules
   // yields metrics identical to the old full sweep. `launched` ascends,
@@ -76,7 +109,82 @@ std::vector<Buffer> System::round(const std::string& label, std::vector<Buffer> 
     metrics_.record_module(launched[k], words[k], work[k]);
   metrics_.end_round();
   if (trace_id_ != 0) record_trace(ts);
+
+  if (failed_module) {
+    ++fault_stats_.failed_rounds;
+    obs::counter("pim/fault_failed_rounds").add(1);
+    char what[256];
+    std::snprintf(what, sizeof what,
+                  "PIM reply from module %zu lost in round %llu ('%s'): retries exhausted",
+                  *failed_module, static_cast<unsigned long long>(rseq), label.c_str());
+    throw FaultError(what, rseq, static_cast<std::uint32_t>(*failed_module), label);
+  }
   return results;
+}
+
+std::vector<std::uint64_t> System::deliver_replies(std::uint64_t rseq, const std::string& phase,
+                                                   const std::vector<std::size_t>& launched,
+                                                   std::vector<Buffer>& results,
+                                                   std::optional<std::size_t>* failed_module) {
+  std::vector<std::uint64_t> extra(launched.size(), 0);
+  const std::uint32_t max_retries = fault_plan_.max_retries;
+  for (std::size_t k = 0; k < launched.size(); ++k) {
+    std::size_t i = launched[k];
+    std::uint32_t module = static_cast<std::uint32_t>(i);
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      std::uint64_t mag = 0;
+      std::optional<FaultKind> f = fault_plan_.match(rseq, phase, module, attempt, &mag);
+      if (!f) break;  // clean delivery
+      if (*f == FaultKind::kStall) {
+        // Latency spike: data arrives intact after `mag` extra word-times.
+        ++fault_stats_.stalls;
+        obs::counter("pim/fault_stalls").add(1);
+        extra[k] += mag;
+        break;
+      }
+      bool detected;
+      if (*f == FaultKind::kDrop) {
+        ++fault_stats_.drops;
+        obs::counter("pim/fault_drops").add(1);
+        detected = true;  // a missing transfer is always noticed
+      } else {
+        // Corrupt: actually flip one bit of the transferred frame (payload
+        // words followed by their crc64 checksum word) and honestly check
+        // whether the checksum catches it. A slip-through delivers the
+        // corrupted payload so downstream oracles can expose silent
+        // wrongness — detection must never be assumed.
+        ++fault_stats_.corruptions;
+        obs::counter("pim/fault_corruptions").add(1);
+        const Buffer& reply = results[i];
+        std::uint64_t sent_crc = hash::crc64_words(reply.data(), reply.size());
+        Buffer frame = reply;
+        frame.push_back(sent_crc);
+        std::uint64_t bit = mag % (64ull * frame.size());
+        frame[bit / 64] ^= (std::uint64_t{1} << (bit % 64));
+        std::uint64_t got_crc = frame.back();
+        frame.pop_back();
+        detected = hash::crc64_words(frame.data(), frame.size()) != got_crc;
+        if (!detected) {
+          results[i] = std::move(frame);
+          break;
+        }
+        ++fault_stats_.crc_mismatches;
+        obs::counter("pim/fault_crc_mismatches").add(1);
+      }
+      (void)detected;
+      if (attempt >= max_retries) {
+        if (!failed_module->has_value()) *failed_module = i;
+        break;
+      }
+      // Retry: re-transfer the reply, plus an exponential backoff charge.
+      std::uint64_t backoff = fault_plan_.backoff_words << attempt;
+      extra[k] += results[i].size() + backoff;
+      ++fault_stats_.retries;
+      fault_stats_.backoff_words += backoff;
+      obs::counter("pim/fault_retries").add(1);
+    }
+  }
+  return extra;
 }
 
 void System::record_trace(std::uint64_t ts) {

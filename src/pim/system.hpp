@@ -10,9 +10,11 @@
 // modules (they are independent by construction).
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "pim/fault.hpp"
 #include "pim/metrics.hpp"
 #include "pim/module.hpp"
 
@@ -54,15 +56,47 @@ class System {
   // Uniformly random module id (placement of blocks, Lemma 2.1 setting).
   std::size_t random_module() { return placement_rng_.below(p()); }
 
+  // --- Deterministic fault injection (see pim/fault.hpp) -------------------
+  // A plan installs automatically from PTRIE_FAULTS at construction; these
+  // override it programmatically. With no plan active, round() takes the
+  // exact pre-fault code path and results stay byte-identical.
+  void set_fault_plan(FaultPlan plan);
+  void clear_fault_plan();
+  // Active plan, or nullptr when fault injection is off.
+  const FaultPlan* fault_plan() const { return faults_on_ ? &fault_plan_ : nullptr; }
+  const FaultStats& fault_stats() const { return fault_stats_; }
+  // Overrides the retry budget of the current plan and of any plan
+  // installed later (serving Options::max_retries plumbs through here).
+  void set_fault_retries(std::uint32_t n);
+  // Absolute sequence number of the next round (FaultSpec::round selects
+  // on the value a round observes, i.e. the current counter at its entry).
+  std::uint64_t round_seq() const { return round_seq_; }
+
  private:
   // Ships the just-ended round (metrics_.rounds().back()) to obs::Trace.
   void record_trace(std::uint64_t ts);
+
+  // Applies the fault plan to the reply transfers of one just-executed
+  // round: stalls/drops/corruptions with CRC detection and bounded retry.
+  // Returns extra model words charged per launched module; sets
+  // *failed_module to the first module whose retries were exhausted (or
+  // leaves it untouched). Kernels are never re-run.
+  std::vector<std::uint64_t> deliver_replies(std::uint64_t rseq, const std::string& phase,
+                                             const std::vector<std::size_t>& launched,
+                                             std::vector<Buffer>& results,
+                                             std::optional<std::size_t>* failed_module);
 
   std::vector<Module> modules_;
   Metrics metrics_;
   core::Rng placement_rng_;
   // Track id in the global obs::Trace (0 = tracing off at construction).
   std::uint32_t trace_id_ = 0;
+
+  FaultPlan fault_plan_;
+  FaultStats fault_stats_;
+  bool faults_on_ = false;
+  std::optional<std::uint32_t> retries_override_;
+  std::uint64_t round_seq_ = 0;
 };
 
 }  // namespace ptrie::pim

@@ -4,8 +4,7 @@
 
 #include "pimtrie/detail.hpp"
 
-#include <cassert>
-
+#include "core/check.hpp"
 #include "obs/counters.hpp"
 
 namespace {
@@ -25,6 +24,18 @@ using trie::kNil;
 using trie::NodeId;
 
 namespace {
+
+// Looks up a wire-supplied id in a module-resident map. Ids arrive in host
+// messages — across a trust boundary — so a stale or corrupted id must
+// surface as a structured error with module context, not release-mode UB.
+template <class Map>
+typename Map::mapped_type& require(Map& m, std::uint64_t id, const char* what,
+                                   std::size_t mod_id) {
+  auto it = m.find(id);
+  PTRIE_CHECK(it != m.end(), "m%zu: %s %llu not resident", mod_id, what,
+              static_cast<unsigned long long>(id));
+  return it->second;
+}
 
 void write_match_lens(BufWriter& w, const std::vector<MatchLen>& lens) {
   w.u64(lens.size());
@@ -96,10 +107,9 @@ pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
       }
       case kFetchBlock: {
         BlockId id = r.u64();
-        auto it = st.blocks.find(id);
-        assert(it != st.blocks.end());
-        it->second.serialize(out);
-        work += it->second.space_words() / 4 + 1;
+        const Block& blk = require(st.blocks, id, "block", mod.id());
+        blk.serialize(out);
+        work += blk.space_words() / 4 + 1;
         break;
       }
       case kMatchBlock: {
@@ -108,9 +118,7 @@ pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
         // 4.4.3) — fingerprints must agree or this span is a collision.
         std::uint64_t expect_fp = r.u64();
         QueryPiece q = QueryPiece::deserialize(r);
-        auto it = st.blocks.find(id);
-        assert(it != st.blocks.end());
-        const Block& blk = it->second;
+        const Block& blk = require(st.blocks, id, "block", mod.id());
         bool ok = hasher.fingerprint(blk.root_hash) == expect_fp &&
                   blk.root_depth == q.root_depth;
         // Bit-level check of the root context (S_last style).
@@ -131,9 +139,7 @@ pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
         BlockId id = r.u64();
         std::uint64_t expect_fp = r.u64();
         QueryPiece q = QueryPiece::deserialize(r);
-        auto it = st.blocks.find(id);
-        assert(it != st.blocks.end());
-        Block& blk = it->second;
+        Block& blk = require(st.blocks, id, "block", mod.id());
         bool ok = hasher.fingerprint(blk.root_hash) == expect_fp &&
                   blk.root_depth == q.root_depth;
         bw.u64(ok ? 1 : 0);
@@ -152,9 +158,7 @@ pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
         BlockId id = r.u64();
         std::uint64_t expect_fp = r.u64();
         QueryPiece q = QueryPiece::deserialize(r);
-        auto it = st.blocks.find(id);
-        assert(it != st.blocks.end());
-        Block& blk = it->second;
+        Block& blk = require(st.blocks, id, "block", mod.id());
         bool ok = hasher.fingerprint(blk.root_hash) == expect_fp &&
                   blk.root_depth == q.root_depth;
         bw.u64(ok ? 1 : 0);
@@ -173,9 +177,7 @@ pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
         BlockId id = r.u64();
         std::uint64_t expect_fp = r.u64();
         QueryPiece q = QueryPiece::deserialize(r);
-        auto it = st.blocks.find(id);
-        assert(it != st.blocks.end());
-        const Block& blk = it->second;
+        const Block& blk = require(st.blocks, id, "block", mod.id());
         bool ok = hasher.fingerprint(blk.root_hash) == expect_fp &&
                   blk.root_depth == q.root_depth;
         bw.u64(ok ? 1 : 0);
@@ -195,9 +197,7 @@ pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
         BlockId id = r.u64();
         std::uint64_t abs_depth = r.u64();
         BitString suffix = r.bits();
-        auto it = st.blocks.find(id);
-        assert(it != st.blocks.end());
-        const Block& blk = it->second;
+        const Block& blk = require(st.blocks, id, "block", mod.id());
         // Walk the suffix from the block root to locate the position.
         trie::Position pos{blk.trie.root(), 0};
         std::size_t walked;
@@ -225,9 +225,7 @@ pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
       case kRemoveMirror: {
         BlockId id = r.u64();
         BlockId child = r.u64();
-        auto it = st.blocks.find(id);
-        assert(it != st.blocks.end());
-        Block& blk = it->second;
+        Block& blk = require(st.blocks, id, "block", mod.id());
         NodeId stub = kNil;
         for (const auto& [node, cb] : blk.mirrors)
           if (cb == child) stub = node;
@@ -263,18 +261,15 @@ pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
       }
       case kFetchPiece: {
         PieceId id = r.u64();
-        auto it = st.pieces.find(id);
-        assert(it != st.pieces.end());
-        it->second.serialize(out);
-        work += it->second.wire_words() / 4 + 1;
+        const Piece& piece = require(st.pieces, id, "piece", mod.id());
+        piece.serialize(out);
+        work += piece.wire_words() / 4 + 1;
         break;
       }
       case kMatchPiece: {
         PieceId id = r.u64();
         QueryPiece q = QueryPiece::deserialize(r);
-        auto it = st.pieces.find(id);
-        assert(it != st.pieces.end());
-        const Piece& piece = it->second;
+        const Piece& piece = require(st.pieces, id, "piece", mod.id());
         HashMatchStats hms;
         auto matches = hash_match(
             q, piece.index(), hasher, w,
@@ -302,9 +297,7 @@ pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
       }
       case kFetchPieceChildren: {
         PieceId id = r.u64();
-        auto it = st.pieces.find(id);
-        assert(it != st.pieces.end());
-        const Piece& piece = it->second;
+        const Piece& piece = require(st.pieces, id, "piece", mod.id());
         bw.u64(piece.children.size());
         for (const auto& c : piece.children) c.serialize(out);
         work += piece.children.size() * 4 + 1;
@@ -313,21 +306,18 @@ pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
       case kPieceAddEntries: {
         PieceId id = r.u64();
         std::uint64_t n = r.u64();
-        auto it = st.pieces.find(id);
-        assert(it != st.pieces.end());
+        Piece& piece = require(st.pieces, id, "piece", mod.id());
         for (std::uint64_t i = 0; i < n; ++i)
-          it->second.entries.push_back(MetaEntry::deserialize(r));
-        it->second.build_index(hasher, w);
-        work += it->second.entries.size() * 4 + 1;
-        bw.u64(it->second.entries.size());
+          piece.entries.push_back(MetaEntry::deserialize(r));
+        piece.build_index(hasher, w);
+        work += piece.entries.size() * 4 + 1;
+        bw.u64(piece.entries.size());
         break;
       }
       case kPieceRemoveEntries: {
         PieceId id = r.u64();
         std::uint64_t n = r.u64();
-        auto it = st.pieces.find(id);
-        assert(it != st.pieces.end());
-        Piece& piece = it->second;
+        Piece& piece = require(st.pieces, id, "piece", mod.id());
         std::vector<BlockId> victims(n);
         for (auto& v : victims) v = r.u64();
         std::erase_if(piece.entries, [&](const MetaEntry& e) {
@@ -343,13 +333,12 @@ pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
       case kPieceSetChildren: {
         PieceId id = r.u64();
         std::uint64_t n = r.u64();
-        auto it = st.pieces.find(id);
-        assert(it != st.pieces.end());
-        it->second.children.clear();
+        Piece& piece = require(st.pieces, id, "piece", mod.id());
+        piece.children.clear();
         for (std::uint64_t i = 0; i < n; ++i)
-          it->second.children.push_back(ChildPieceRef::deserialize(r));
-        it->second.build_index(hasher, w);
-        work += it->second.children.size() * 4 + 1;
+          piece.children.push_back(ChildPieceRef::deserialize(r));
+        piece.build_index(hasher, w);
+        work += piece.children.size() * 4 + 1;
         bw.u64(1);
         break;
       }
@@ -357,24 +346,22 @@ pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
         PieceId id = r.u64();
         BlockId block = r.u64();
         BlockId new_parent = r.u64();
-        auto it = st.pieces.find(id);
-        assert(it != st.pieces.end());
-        for (auto& e : it->second.entries)
+        Piece& piece = require(st.pieces, id, "piece", mod.id());
+        for (auto& e : piece.entries)
           if (e.block == block) e.parent_block = new_parent;
-        for (auto& c : it->second.children)
+        for (auto& c : piece.children)
           if (c.root.block == block) c.root.parent_block = new_parent;
-        work += it->second.entries.size() + it->second.children.size();
+        work += piece.entries.size() + piece.children.size();
         bw.u64(1);
         break;
       }
       case kPieceDropChildRef: {
         PieceId id = r.u64();
         PieceId child = r.u64();
-        auto it = st.pieces.find(id);
-        assert(it != st.pieces.end());
-        auto& kids = it->second.children;
+        Piece& piece = require(st.pieces, id, "piece", mod.id());
+        auto& kids = piece.children;
         std::erase_if(kids, [&](const ChildPieceRef& c) { return c.piece == child; });
-        it->second.build_index(hasher, w);
+        piece.build_index(hasher, w);
         work += kids.size() + 1;
         bw.u64(1);
         break;
@@ -382,9 +369,7 @@ pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
       case kCollectSubtree: {
         PieceId id = r.u64();
         BlockId target = r.u64();
-        auto it = st.pieces.find(id);
-        assert(it != st.pieces.end());
-        const Piece& piece = it->second;
+        const Piece& piece = require(st.pieces, id, "piece", mod.id());
         // Entries of this piece whose meta-tree ancestor chain (within
         // the piece) reaches `target`, or the target itself. Incremental
         // inserts append entries in arbitrary order, so close over the
@@ -479,7 +464,9 @@ pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
     }
 
     fw.end();
-    assert(r.pos == frame_end);
+    PTRIE_CHECK(r.pos == frame_end,
+                "m%zu: op %d frame over/under-read (pos %zu, frame end %zu)", mod.id(),
+                static_cast<int>(op), r.pos, frame_end);
     r.pos = frame_end;
   }
 

@@ -23,6 +23,16 @@ const char* op_name(Op op) {
   return "?";
 }
 
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kShed: return "shed";
+    case Status::kDeadlineExceeded: return "deadline_exceeded";
+    case Status::kFailed: return "failed";
+  }
+  return "?";
+}
+
 namespace {
 // Deadlines beyond this are treated as "no deadline" (tests use huge
 // max_delay to pin batch composition; adding it to now() would overflow).
@@ -34,7 +44,11 @@ Server::Server(pimtrie::PimTrie& trie) : Server(trie, Options()) {}
 Server::Server(pimtrie::PimTrie& trie, Options opt)
     : trie_(&trie), opt_(opt), t0_(std::chrono::steady_clock::now()) {
   opt_.max_batch = std::max<std::size_t>(1, opt_.max_batch);
-  opt_.max_backlog = std::max<std::size_t>(1, opt_.max_backlog);
+  // Under kBlock a zero backlog would deadlock submit, so clamp; under
+  // the shed policies max_backlog = 0 is meaningful (shed everything).
+  if (opt_.overload_policy == OverloadPolicy::kBlock)
+    opt_.max_backlog = std::max<std::size_t>(1, opt_.max_backlog);
+  if (opt_.max_retries) trie_->system().set_fault_retries(*opt_.max_retries);
 
   // Resolve the lifecycle-telemetry toggle (Options override, else env).
   const bool trace_on = obs::Trace::instance().enabled();
@@ -117,30 +131,89 @@ void Server::close_open_locked(Close why) {
 }
 
 std::future<Response> Server::submit(Op op, core::BitString key, trie::Value value,
-                                     std::uint32_t tenant) {
+                                     std::uint32_t tenant, double deadline_ms) {
   PendingReq r;
   r.op = op;
   r.key = std::move(key);
   r.value = value;
   r.tenant = tenant;
   std::future<Response> fut = r.promise.get_future();
+  const double deadline = deadline_ms > 0 ? deadline_ms : opt_.default_deadline_ms;
+  // Admission decision under mu_; a shed request is resolved outside the
+  // lock. Shed requests still consume a sequence number and count as
+  // completed immediately, so drain() and the in-flight gauge stay exact.
+  const char* shed_why = nullptr;
+  bool deadline_shed = false;
   {
     std::unique_lock lk(mu_);
-    assert(!stopping_ && "submit() after stop()");
-    cv_space_.wait(lk, [&] { return raw_q_.size() < opt_.max_backlog; });
-    if (open_.empty()) open_since_ = std::chrono::steady_clock::now();
-    r.seq = submitted_++;
-    if (lifecycle_on_) {
-      r.submit_ms = now_ms();
-      r.key_hash = obs::key_hash(r.key);
-      r.sampled = sampler_.sampled(r.seq);
+    if (opt_.overload_policy == OverloadPolicy::kBlock) {
+      // Lossless backpressure; stopping_ breaks the wait so a submit
+      // racing stop() resolves kShed instead of sleeping forever.
+      cv_space_.wait(lk, [&] { return raw_q_.size() < opt_.max_backlog || stopping_; });
+      if (stopping_) shed_why = "server stopping";
+    } else if (stopping_) {
+      shed_why = "server stopping";
+    } else if (raw_q_.size() >= opt_.max_backlog) {
+      shed_why = "backlog full";
+    } else if (opt_.tenant_cap > 0 && tenant_queued_[tenant] >= opt_.tenant_cap) {
+      shed_why = "tenant queue cap";
+    } else if (opt_.overload_policy == OverloadPolicy::kDeadlineAware && deadline > 0) {
+      // Estimated wait: batches already queued ahead (closed backlog,
+      // the open batch, and this request's own batch) each cost about
+      // one recent batch execution. No history yet = no estimate.
+      double ewma = ewma_batch_ms_.load(std::memory_order_relaxed);
+      if (ewma > 0) {
+        double est = static_cast<double>(raw_q_.size() + (open_.empty() ? 0 : 1) + 1) * ewma;
+        if (est > deadline) {
+          shed_why = "deadline unmeetable";
+          deadline_shed = true;
+        }
+      }
     }
-    open_.push_back(std::move(r));
-    refresh_gauges_locked();
-    if (open_.size() >= opt_.max_batch)
-      close_open_locked(Close::kSize);
-    else
-      cv_raw_.notify_one();  // (re)arm the deadline waiter
+    r.seq = submitted_++;
+    if (shed_why == nullptr) {
+      if (open_.empty()) open_since_ = std::chrono::steady_clock::now();
+      if (deadline > 0) r.deadline_at_ms = now_ms() + deadline;
+      if (lifecycle_on_) {
+        r.submit_ms = now_ms();
+        r.key_hash = obs::key_hash(r.key);
+        r.sampled = sampler_.sampled(r.seq);
+      }
+      ++tenant_queued_[tenant];
+      open_.push_back(std::move(r));
+      refresh_gauges_locked();
+      if (open_.size() >= opt_.max_batch)
+        close_open_locked(Close::kSize);
+      else
+        cv_raw_.notify_one();  // (re)arm the deadline waiter
+    }
+  }
+  if (shed_why != nullptr) {
+    {
+      std::lock_guard slk(stats_mu_);
+      ++stats_.shed;
+      if (deadline_shed) ++stats_.shed_deadline;
+      ++shed_by_tenant_[tenant];
+    }
+    obs::counter("serve/shed").add();
+    if (window_) window_->record_admission(tenant, "shed");
+    Response resp;
+    resp.op = op;
+    resp.status = Status::kShed;
+    resp.error = shed_why;
+    resp.tenant = tenant;
+    resp.seq = r.seq;
+    resp.done_ms = now_ms();
+    r.promise.set_value(std::move(resp));
+    // Completion accounting last: once drain() can observe completed_ ==
+    // submitted_, every stat above is already in place.
+    {
+      std::lock_guard lk(mu_);
+      ++completed_;
+      refresh_gauges_locked();
+    }
+    cv_done_.notify_all();
+    return fut;
   }
   {
     std::lock_guard slk(stats_mu_);
@@ -162,12 +235,20 @@ void Server::drain() {
 }
 
 void Server::stop() {
+  // Serialize concurrent stop() callers (destructor vs explicit stop);
+  // the second caller waits for the first to finish, then returns.
+  std::lock_guard stop_lk(stop_mu_);
   {
     std::lock_guard lk(mu_);
     if (stopped_) return;
     stopping_ = true;
+    paused_ = false;  // a paused pipeline must still drain and exit
   }
   cv_raw_.notify_all();
+  // Submitters blocked on backpressure must observe stopping_ (they
+  // resolve their request kShed); without this wake a submit racing
+  // stop() would wait on cv_space_ forever.
+  cv_space_.notify_all();
   if (prep_thread_.joinable()) prep_thread_.join();
   {
     std::lock_guard lk(mu_);
@@ -245,15 +326,36 @@ void Server::roll_window() {
   }
 }
 
+void Server::debug_pause_pipeline() {
+  std::lock_guard lk(mu_);
+  paused_ = true;
+}
+
+void Server::debug_resume_pipeline() {
+  {
+    std::lock_guard lk(mu_);
+    paused_ = false;
+  }
+  cv_raw_.notify_all();
+}
+
 // Pops the next closed batch, closing the open batch when its deadline
 // expires (or unconditionally once stopping). Returns false when
 // stopping and fully drained of raw input.
 bool Server::next_raw(RawBatch* out) {
   std::unique_lock lk(mu_);
   for (;;) {
+    if (paused_ && !stopping_) {
+      cv_raw_.wait(lk, [&] { return !paused_ || stopping_; });
+      continue;
+    }
     if (!raw_q_.empty()) {
       *out = std::move(raw_q_.front());
       raw_q_.pop_front();
+      for (const PendingReq& q : out->reqs) {
+        auto it = tenant_queued_.find(q.tenant);
+        if (it != tenant_queued_.end() && it->second > 0) --it->second;
+      }
       cv_space_.notify_all();
       return true;
     }
@@ -284,6 +386,44 @@ Server::Prepared Server::prepare(RawBatch raw) {
   p.id = raw.id;
   p.close_ms = raw.close_ms;
   p.prep_start_ms = a;
+  // Deadline check at coalesce time: requests that expired while queued
+  // are dropped here — before any host prep or PIM round is spent on
+  // them — and resolve kDeadlineExceeded immediately.
+  std::vector<char> dead(p.reqs.size(), 0);
+  std::size_t n_dead = 0;
+  for (std::size_t i = 0; i < p.reqs.size(); ++i) {
+    PendingReq& q = p.reqs[i];
+    if (q.deadline_at_ms > 0 && a > q.deadline_at_ms) {
+      dead[i] = 1;
+      ++n_dead;
+      Response resp;
+      resp.op = q.op;
+      resp.status = Status::kDeadlineExceeded;
+      resp.error = "deadline expired while queued";
+      resp.tenant = q.tenant;
+      resp.seq = q.seq;
+      resp.batch = p.id;
+      resp.done_ms = a;
+      if (window_) window_->record_admission(q.tenant, "expired");
+      q.promise.set_value(std::move(resp));
+    }
+  }
+  p.live = p.reqs.size() - n_dead;
+  if (n_dead > 0) {
+    // Stats before the completion signal: a drain() returning on this
+    // notify must already see the expiries accounted.
+    {
+      std::lock_guard slk(stats_mu_);
+      stats_.expired += n_dead;
+    }
+    obs::counter("serve/deadline_expired").add(n_dead);
+    {
+      std::lock_guard lk(mu_);
+      completed_ += n_dead;
+      refresh_gauges_locked();
+    }
+    cv_done_.notify_all();
+  }
   // Execution order within the batch: by default group the concurrent
   // window by op kind (writes first, stable within a kind) so the large
   // fixed per-batch cost of sparse writes amortizes; strict_order keeps
@@ -296,6 +436,7 @@ Server::Prepared Server::prepare(RawBatch raw) {
     });
   }
   for (std::size_t i : order) {
+    if (dead[i]) continue;
     if (p.runs.empty() || p.runs.back().op != p.reqs[i].op)
       p.runs.push_back(Run{p.reqs[i].op, {}, {}, {}, {}});
     Run& run = p.runs.back();
@@ -359,6 +500,7 @@ void Server::execute(Prepared p) {
         obs::RequestSample s;
         s.tenant = q.tenant;
         s.op = op_name(r.op);
+        s.status = status_name(r.status);
         s.queue_us = (p.close_ms - q.submit_ms) * 1000.0;
         s.coalesce_us = (p.prep_start_ms - p.close_ms) * 1000.0;
         s.prep_us = (a - p.prep_start_ms) * 1000.0;
@@ -413,9 +555,33 @@ void Server::execute(Prepared p) {
     words_before = now;
     return static_cast<double>(total) / static_cast<double>(run_ops);
   };
+  // Degrades a run whose PIM execution failed (retry budget exhausted —
+  // pim::FaultError — or a structured PTRIE_CHECK violation): only the
+  // requests of this run resolve kFailed; sibling runs and later batches
+  // proceed. Writes may have partially applied before the failing round;
+  // callers see kFailed and must treat their effect as undefined.
+  auto fail_run = [&](const Run& run, const char* what) {
+    double done = now_ms();
+    double w = charge_run(run.idx.size());  // faulted rounds still cost words
+    for (std::size_t i : run.idx) {
+      Response r;
+      r.op = run.op;
+      r.status = Status::kFailed;
+      r.error = what;
+      finish(i, std::move(r), done, w);
+    }
+    {
+      std::lock_guard slk(stats_mu_);
+      stats_.failed += run.idx.size();
+    }
+    obs::counter("serve/failed_ops").add(run.idx.size());
+    obs::logf(obs::LogLevel::kWarn, "serve", "batch %llu %s run failed (%zu reqs): %s",
+              static_cast<unsigned long long>(p.id), op_name(run.op), run.idx.size(), what);
+  };
   {
     obs::Phase serve_phase("Serve");
     for (Run& run : p.runs) {
+      try {
       switch (run.op) {
         case Op::kInsert: {
           trie_->batch_insert_prepared(run.keys, run.values, std::move(run.qt));
@@ -476,9 +642,18 @@ void Server::execute(Prepared p) {
           break;
         }
       }
+      } catch (const std::exception& e) {
+        fail_run(run, e.what());
+      }
     }
   }
   double b = now_ms();
+  {
+    // Recent-batch execution-time estimate for kDeadlineAware admission.
+    double prev = ewma_batch_ms_.load(std::memory_order_relaxed);
+    ewma_batch_ms_.store(prev > 0 ? 0.8 * prev + 0.2 * (b - a) : (b - a),
+                         std::memory_order_relaxed);
+  }
   if (spans_on_) {
     obs::SpanEvent ev;
     ev.lane = 0;
@@ -495,17 +670,17 @@ void Server::execute(Prepared p) {
     std::lock_guard slk(stats_mu_);
     exec_iv_.push_back({a, b});
     stats_.exec_ms += b - a;
-    stats_.batch_sizes.push_back(p.reqs.size());
-    stats_.ops += p.reqs.size();
+    stats_.batch_sizes.push_back(p.live);
+    stats_.ops += p.live;
     ++stats_.batches;
     stats_.runs += p.runs.size();
     last_complete_ms_ = b;
   }
   obs::counter("serve/executed_batches").add();
-  obs::counter("serve/executed_ops").add(p.reqs.size());
+  obs::counter("serve/executed_ops").add(p.live);
   {
     std::lock_guard lk(mu_);
-    completed_ += p.reqs.size();
+    completed_ += p.live;
     refresh_gauges_locked();
   }
   cv_done_.notify_all();
@@ -550,6 +725,8 @@ void Server::exec_loop() {
 Server::Stats Server::stats() const {
   std::lock_guard slk(stats_mu_);
   Stats s = stats_;
+  s.shed_by_tenant.assign(shed_by_tenant_.begin(), shed_by_tenant_.end());
+  std::sort(s.shed_by_tenant.begin(), s.shed_by_tenant.end());
   s.span_ms = (first_submit_ms_ >= 0 && last_complete_ms_ > first_submit_ms_)
                   ? last_complete_ms_ - first_submit_ms_
                   : 0.0;

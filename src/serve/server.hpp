@@ -41,6 +41,7 @@
 // extra threads — and observability never changes execution, so answers
 // and model metrics are byte-identical whether it is on or off.
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -50,7 +51,10 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/bitstring.hpp"
@@ -65,8 +69,25 @@ enum class Op : std::uint8_t { kInsert, kErase, kLcp, kGet, kSubtree };
 
 const char* op_name(Op op);
 
+// Terminal state of a request. Anything other than kOk means the answer
+// fields are unset: kShed = rejected at admission (overload policy),
+// kDeadlineExceeded = expired in queue before execution, kFailed = its
+// batch hit an unrecoverable PIM fault (see pim/fault.hpp).
+enum class Status : std::uint8_t { kOk = 0, kShed, kDeadlineExceeded, kFailed };
+
+const char* status_name(Status s);
+
+// What submit() does when the closed-batch backlog is full:
+//   kBlock         — wait for space (default; lossless backpressure)
+//   kShed          — resolve the request immediately with Status::kShed
+//   kDeadlineAware — kShed, and additionally reject requests whose
+//                    deadline cannot be met by the estimated queue wait
+enum class OverloadPolicy : std::uint8_t { kBlock, kShed, kDeadlineAware };
+
 struct Response {
   Op op = Op::kLcp;
+  Status status = Status::kOk;
+  std::string error;  // human-readable cause when status != kOk
   std::size_t lcp = 0;                                           // kLcp
   std::optional<trie::Value> value;                              // kGet
   std::vector<std::pair<core::BitString, trie::Value>> subtree;  // kSubtree
@@ -111,6 +132,22 @@ class Server {
     // semantics described in the header comment.
     bool strict_order = false;
 
+    // ---- overload protection ----
+    // Reaction to a full backlog (and, for kDeadlineAware, to unmeetable
+    // deadlines). kBlock preserves the original lossless behavior.
+    OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+    // Deadline applied to requests submitted without an explicit one
+    // (ms from submission; 0 = none). Expired requests are dropped when
+    // their batch is prepared and resolve kDeadlineExceeded.
+    double default_deadline_ms = 0;
+    // Per-tenant cap on queued (admitted, not yet executing) requests
+    // under the shed policies; 0 = no cap. Keeps one hot tenant from
+    // consuming the whole backlog and starving the rest.
+    std::size_t tenant_cap = 0;
+    // Override for the PIM fault-retry budget (pim::FaultPlan
+    // max_retries); unset = keep the plan's own value.
+    std::optional<std::uint32_t> max_retries;
+
     // ---- request-lifecycle telemetry ----
     // kAuto: active iff PTRIE_TRACE or PTRIE_METRICS is set in the
     // environment. kOn/kOff force it regardless (tests use kOn with an
@@ -137,12 +174,16 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Thread-safe; may block on backpressure. The future resolves when the
-  // request's coalesced batch finishes executing. Must not race stop().
-  // `tenant` only labels the request for per-tenant metrics; it never
-  // affects execution.
+  // Thread-safe; may block on backpressure under OverloadPolicy::kBlock
+  // (under the shed policies it never blocks — the future resolves
+  // immediately with Status::kShed instead). The future resolves when
+  // the request's coalesced batch finishes executing. Safe against a
+  // concurrent stop(): racing submissions resolve kShed. `tenant` labels
+  // the request for per-tenant metrics and admission accounting; it
+  // never affects execution. `deadline_ms` (0 = Options default) bounds
+  // how long the request may wait before execution begins.
   std::future<Response> submit(Op op, core::BitString key, trie::Value value = 0,
-                               std::uint32_t tenant = 0);
+                               std::uint32_t tenant = 0, double deadline_ms = 0);
 
   // Closes the currently open batch immediately (no-op when empty).
   void flush();
@@ -197,6 +238,15 @@ class Server {
     // is Options::max_backlog).
     std::uint64_t max_backlog = 0;
     std::uint64_t alerts = 0;  // skew alerts emitted by the detector
+    // Overload / fault outcomes. `shed` counts all kShed resolutions
+    // (shed_deadline of which were kDeadlineAware estimate rejections),
+    // `expired` counts kDeadlineExceeded, `failed` counts kFailed.
+    std::uint64_t shed = 0;
+    std::uint64_t shed_deadline = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t failed = 0;
+    // (tenant, shed count), sorted by tenant id.
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> shed_by_tenant;
 
     double overlap_ratio() const { return exec_ms > 0 ? overlap_ms / exec_ms : 0.0; }
     double mean_batch() const {
@@ -211,6 +261,13 @@ class Server {
   double now_ms() const;
   std::chrono::steady_clock::time_point start_time() const { return t0_; }
 
+  // Test/bench hook: freeze the pipeline before it pops the next closed
+  // batch, so a fixed submission sequence produces deterministic shed
+  // decisions (the backlog cannot drain mid-sequence). Requests already
+  // being executed finish normally.
+  void debug_pause_pipeline();
+  void debug_resume_pipeline();
+
  private:
   struct PendingReq {
     Op op = Op::kLcp;
@@ -219,6 +276,9 @@ class Server {
     std::promise<Response> promise;
     std::uint32_t tenant = 0;
     std::uint64_t seq = 0;
+    // Absolute expiry on the server clock (0 = no deadline). Stamped at
+    // submit regardless of telemetry; checked when the batch is prepared.
+    double deadline_at_ms = 0;
     // Lifecycle-only fields (zero / unused when telemetry is off). The
     // key hash is taken at submit because prepare() moves the key out.
     double submit_ms = 0;
@@ -242,6 +302,10 @@ class Server {
     std::vector<PendingReq> reqs;
     std::vector<Run> runs;
     std::uint64_t id = 0;
+    // Requests still live (not expired at prepare time); drives the
+    // executor-side completion accounting. Expired entries keep their
+    // slot in `reqs` but appear in no run and are already resolved.
+    std::size_t live = 0;
     double close_ms = 0;       // lifecycle only, from RawBatch
     double prep_start_ms = 0;  // lifecycle only
   };
@@ -283,9 +347,21 @@ class Server {
   bool stopping_ = false;
   bool prep_done_ = false;
   bool stopped_ = false;
+  bool paused_ = false;  // debug_pause_pipeline()
+  // Queued-but-not-executing requests per tenant (admission accounting
+  // for Options::tenant_cap). Guarded by mu_.
+  std::unordered_map<std::uint32_t, std::uint64_t> tenant_queued_;
+  // Serializes concurrent stop() callers (the destructor races tests
+  // that call stop() explicitly).
+  std::mutex stop_mu_;
+
+  // EWMA of recent batch execution time, the kDeadlineAware wait
+  // estimator. Written by the executor, read by submit().
+  std::atomic<double> ewma_batch_ms_{0};
 
   mutable std::mutex stats_mu_;
   Stats stats_;
+  std::unordered_map<std::uint32_t, std::uint64_t> shed_by_tenant_;
   std::vector<Interval> prep_iv_, exec_iv_;
   double first_submit_ms_ = -1, last_complete_ms_ = 0;
 

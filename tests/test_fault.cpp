@@ -1,0 +1,244 @@
+// Fault-injection layer tests: plan text round-trip and rejection, CRC64
+// reply checksums, recoverable corrupt/drop faults (byte-identical
+// results after retry), retry exhaustion (FaultError with coordinates,
+// module state intact), stall word accounting, noise determinism, and
+// the PTRIE_CHECK / PTRIE_FAULTS plumbing.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/check.hpp"
+#include "hash/crc64.hpp"
+#include "pim/fault.hpp"
+#include "pim/system.hpp"
+
+namespace {
+
+using ptrie::pim::Buffer;
+using ptrie::pim::FaultError;
+using ptrie::pim::FaultKind;
+using ptrie::pim::FaultPlan;
+using ptrie::pim::FaultSpec;
+using ptrie::pim::System;
+
+// One deterministic round touching every module: module m receives
+// {m + 1} and replies {m + 11, 3 * (m + 1), seq}.
+std::vector<Buffer> probe_round(System& sys, std::uint64_t seq) {
+  std::vector<Buffer> to(sys.p());
+  for (std::size_t m = 0; m < sys.p(); ++m) to[m] = {m + 1};
+  return sys.round("probe", std::move(to), [seq](ptrie::pim::Module& m, Buffer in) {
+    return Buffer{in[0] + 10, in[0] * 3, seq};
+  });
+}
+
+TEST(FaultPlan, ParseRoundTrip) {
+  const char* plans[] = {
+      "drop@module=2",
+      "corrupt@round=5,module=2,count=2",
+      "stall@phase=Serve/LCP,words=5000",
+      "drop@count=always;retries=4;backoff=128",
+      "noise@seed=7,rate=0.01,count=2",
+      "corrupt@bit=129;noise@seed=1,rate=0.5;retries=9",
+  };
+  for (const char* text : plans) {
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(FaultPlan::parse(text, &plan, &err)) << text << ": " << err;
+    EXPECT_TRUE(plan.enabled()) << text;
+    // serialize() must re-parse to an identical serialization (fixpoint).
+    std::string once = plan.serialize();
+    FaultPlan again;
+    ASSERT_TRUE(FaultPlan::parse(once, &again, &err)) << once << ": " << err;
+    EXPECT_EQ(once, again.serialize()) << text;
+  }
+}
+
+TEST(FaultPlan, ParseRejectsMalformed) {
+  const char* bad[] = {
+      "",                       // empty
+      "explode@module=1",       // unknown kind
+      "drop@module=",           // missing value
+      "drop@modul=1",           // unknown key
+      "noise@rate=nope",        // non-numeric
+      "retries=",               // missing scalar value
+      "drop@module=1;;",        // empty directive
+  };
+  for (const char* text : bad) {
+    FaultPlan plan;
+    std::string err;
+    EXPECT_FALSE(FaultPlan::parse(text, &plan, &err)) << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+}
+
+TEST(FaultPlan, CountGatesPerAttempt) {
+  FaultPlan plan;
+  FaultSpec s;
+  s.kind = FaultKind::kDrop;
+  s.count = 2;
+  plan.specs.push_back(s);
+  std::uint64_t mag = 0;
+  EXPECT_EQ(plan.match(0, "", 0, 0, &mag), FaultKind::kDrop);
+  EXPECT_EQ(plan.match(0, "", 0, 1, &mag), FaultKind::kDrop);
+  EXPECT_EQ(plan.match(0, "", 0, 2, &mag), std::nullopt);  // retry 2 is clean
+}
+
+TEST(FaultPlan, SelectorsRestrictCoordinates) {
+  FaultPlan plan;
+  FaultSpec s;
+  s.kind = FaultKind::kStall;
+  s.round = 7;
+  s.module = 3;
+  s.phase = "Serve/";
+  s.magnitude = 99;
+  plan.specs.push_back(s);
+  std::uint64_t mag = 0;
+  EXPECT_EQ(plan.match(7, "Serve/LCP", 3, 0, &mag), FaultKind::kStall);
+  EXPECT_EQ(mag, 99u);
+  EXPECT_EQ(plan.match(8, "Serve/LCP", 3, 0, &mag), std::nullopt);   // wrong round
+  EXPECT_EQ(plan.match(7, "Serve/LCP", 2, 0, &mag), std::nullopt);   // wrong module
+  EXPECT_EQ(plan.match(7, "Maint/GC", 3, 0, &mag), std::nullopt);    // wrong phase
+}
+
+TEST(FaultCrc, SingleBitFlipsAlwaysDetected) {
+  Buffer reply = {0x0123456789ABCDEFull, 0, ~0ull, 42};
+  std::uint64_t crc = ptrie::hash::crc64_words(reply.data(), reply.size());
+  for (std::size_t bit = 0; bit < 64 * reply.size(); ++bit) {
+    Buffer mut = reply;
+    mut[bit / 64] ^= 1ull << (bit % 64);
+    EXPECT_NE(ptrie::hash::crc64_words(mut.data(), mut.size()), crc) << "bit " << bit;
+  }
+  // Empty replies checksum too (frame is just the CRC word).
+  EXPECT_EQ(ptrie::hash::crc64_words(nullptr, 0), ptrie::hash::crc64_words(nullptr, 0));
+}
+
+TEST(FaultSystem, CorruptRecoversByteIdentical) {
+  System clean(4, 7);
+  System faulty(4, 7);
+  FaultPlan plan;
+  FaultSpec s;
+  s.kind = FaultKind::kCorrupt;
+  s.count = 1;  // first attempt corrupted, retry delivers
+  plan.specs.push_back(s);
+  faulty.set_fault_plan(plan);
+
+  for (std::uint64_t r = 0; r < 3; ++r)
+    EXPECT_EQ(probe_round(faulty, r), probe_round(clean, r)) << "round " << r;
+
+  const auto& st = faulty.fault_stats();
+  EXPECT_EQ(st.corruptions, 3 * 4u);     // every module, every round
+  EXPECT_EQ(st.crc_mismatches, 3 * 4u);  // every flip caught
+  EXPECT_EQ(st.retries, 3 * 4u);         // one retry per corruption
+  EXPECT_EQ(st.failed_rounds, 0u);
+  // Retries are charged: the faulty run must cost strictly more words.
+  EXPECT_GT(faulty.metrics().total_comm_words(), clean.metrics().total_comm_words());
+}
+
+TEST(FaultSystem, DropForeverExhaustsRetriesAndThrows) {
+  System sys(4, 7);
+  FaultPlan plan;
+  FaultSpec s;
+  s.kind = FaultKind::kDrop;
+  s.module = 1;
+  s.count = FaultSpec::kForever;
+  plan.specs.push_back(s);
+  plan.max_retries = 2;
+  sys.set_fault_plan(plan);
+
+  try {
+    probe_round(sys, 0);
+    FAIL() << "round with an unrecoverable drop must throw FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.module(), 1u);
+    EXPECT_EQ(e.round(), 0u);
+    EXPECT_EQ(e.label(), "probe");
+    EXPECT_NE(std::string(e.what()).find("module 1"), std::string::npos);
+  }
+  const auto& st = sys.fault_stats();
+  EXPECT_EQ(st.failed_rounds, 1u);
+  EXPECT_EQ(st.drops, 3u);    // initial attempt + 2 retries
+  EXPECT_EQ(st.retries, 2u);  // budget respected
+  // Metrics stay consistent: the failed round is still recorded.
+  EXPECT_EQ(sys.metrics().io_rounds(), 1u);
+  EXPECT_EQ(sys.round_seq(), 1u);
+  // Only module 1 faults; clearing the plan restores clean delivery.
+  sys.clear_fault_plan();
+  EXPECT_EQ(sys.fault_plan(), nullptr);
+  EXPECT_EQ(probe_round(sys, 1)[2], (Buffer{13, 9, 1}));
+}
+
+TEST(FaultSystem, StallChargesOnlyTargetModule) {
+  System clean(4, 7);
+  System faulty(4, 7);
+  FaultPlan plan;
+  FaultSpec s;
+  s.kind = FaultKind::kStall;
+  s.module = 2;
+  s.magnitude = 500;
+  s.count = FaultSpec::kForever;
+  plan.specs.push_back(s);
+  faulty.set_fault_plan(plan);
+
+  EXPECT_EQ(probe_round(faulty, 0), probe_round(clean, 0));  // data intact
+  auto fw = faulty.metrics().snapshot().module_words;
+  auto cw = clean.metrics().snapshot().module_words;
+  ASSERT_EQ(fw.size(), cw.size());
+  for (std::size_t m = 0; m < fw.size(); ++m)
+    EXPECT_EQ(fw[m], cw[m] + (m == 2 ? 500u : 0u)) << "module " << m;
+  EXPECT_EQ(faulty.fault_stats().stalls, 1u);
+  EXPECT_EQ(faulty.fault_stats().retries, 0u);  // stalls deliver, no retry
+}
+
+TEST(FaultSystem, NoiseIsDeterministic) {
+  FaultPlan plan;
+  plan.noise_seed = 42;
+  plan.noise_rate = 0.5;
+  plan.noise_count = 2;  // recoverable within the default retry budget
+  auto run = [&] {
+    System sys(8, 7);
+    System clean(8, 7);
+    sys.set_fault_plan(plan);
+    for (std::uint64_t r = 0; r < 10; ++r)
+      EXPECT_EQ(probe_round(sys, r), probe_round(clean, r));
+    return sys.fault_stats();
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_GT(a.drops + a.corruptions, 0u);  // rate 0.5 over 80 deliveries
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.corruptions, b.corruptions);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.failed_rounds, 0u);
+}
+
+TEST(FaultSystem, InstallsFromEnv) {
+  ASSERT_EQ(setenv("PTRIE_FAULTS", "stall@module=0,words=10", 1), 0);
+  {
+    System sys(2, 7);
+    ASSERT_NE(sys.fault_plan(), nullptr);
+    EXPECT_EQ(sys.fault_plan()->specs.size(), 1u);
+  }
+  ASSERT_EQ(setenv("PTRIE_FAULTS", "not a plan", 1), 0);
+  EXPECT_THROW(System(2, 7), ptrie::CheckError);
+  ASSERT_EQ(unsetenv("PTRIE_FAULTS"), 0);
+  System sys(2, 7);
+  EXPECT_EQ(sys.fault_plan(), nullptr);
+}
+
+TEST(CheckMacro, ThrowsWithContext) {
+  EXPECT_NO_THROW(PTRIE_CHECK(1 + 1 == 2, "fine"));
+  try {
+    PTRIE_CHECK(false, "round %d module %s", 7, "m3");
+    FAIL() << "PTRIE_CHECK(false) must throw";
+  } catch (const ptrie::CheckError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("round 7 module m3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("test_fault.cpp"), std::string::npos) << msg;
+  }
+  // Structured message parsing errors surface as CheckError in release
+  // builds too (System's p >= 1 precondition goes through the same path).
+  EXPECT_THROW(System(0, 7), ptrie::CheckError);
+}
+
+}  // namespace

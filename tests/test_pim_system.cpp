@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.hpp"
 #include "pim/system.hpp"
 
 namespace {
@@ -10,6 +11,24 @@ namespace {
 using ptrie::pim::Buffer;
 using ptrie::pim::Module;
 using ptrie::pim::System;
+
+// Malformed external input is a structured error surviving release
+// builds (PTRIE_CHECK), not an assert: a to_modules vector of the wrong
+// arity names the sizes involved, and the system stays usable.
+TEST(PimSystem, WrongToModulesArityThrowsCheckError) {
+  System sys(4);
+  std::vector<Buffer> to(3);  // p() is 4
+  try {
+    sys.round("bad", std::move(to), [](Module&, Buffer in) { return in; });
+    FAIL() << "round() with wrong to_modules size must throw";
+  } catch (const ptrie::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("to_modules"), std::string::npos) << e.what();
+  }
+  EXPECT_EQ(sys.metrics().io_rounds(), 0u);  // nothing was charged
+  auto ok = sys.round("good", std::vector<Buffer>(4), [](Module&, Buffer in) { return in; },
+                      true);
+  EXPECT_EQ(ok.size(), 4u);
+}
 
 TEST(PimSystem, RoundEchoesAndCounts) {
   System sys(4);

@@ -644,6 +644,371 @@ TEST_F(ServeSpans, FlameChildrenTileRequestParents) {
   EXPECT_GT(req_us, 0.0);
 }
 
+namespace {
+
+// Small pre-built trie + server factory for the overload tests.
+struct OverloadRig {
+  pim::System sys{8, 3};
+  pimtrie::PimTrie trie;
+  std::vector<BitString> keys;
+
+  explicit OverloadRig(std::uint64_t key_seed = 7)
+      : trie(sys,
+             [] {
+               pimtrie::Config cfg;
+               cfg.seed = 2;
+               return cfg;
+             }()),
+        keys(workload::uniform_keys(64, 64, key_seed)) {
+    std::vector<std::uint64_t> vals(keys.size(), 1);
+    trie.build(keys, vals);
+  }
+};
+
+}  // namespace
+
+// With the pipeline paused, a fixed submission sequence produces exact,
+// deterministic shed decisions: max_batch=1 turns every admitted submit
+// into one backlog entry, so exactly max_backlog requests are admitted
+// and the rest shed with per-tenant attribution.
+TEST(ServeOverload, ShedPolicyDeterministicCounts) {
+  OverloadRig rig;
+  serve::Server::Options opt;
+  opt.max_batch = 1;
+  opt.max_delay = std::chrono::hours(2);
+  opt.max_backlog = 4;
+  opt.overload_policy = serve::OverloadPolicy::kShed;
+  serve::Server server(rig.trie, opt);
+  server.debug_pause_pipeline();
+
+  std::vector<std::future<serve::Response>> futs;
+  for (std::size_t i = 0; i < 10; ++i)
+    futs.push_back(server.submit(serve::Op::kLcp, rig.keys[i], 0, 3));
+  // Shed futures resolve immediately, even while the pipeline is frozen.
+  for (std::size_t i = 4; i < 10; ++i) {
+    serve::Response r = futs[i].get();
+    EXPECT_EQ(r.status, serve::Status::kShed) << i;
+    EXPECT_EQ(r.error, "backlog full");
+    EXPECT_EQ(r.seq, i);
+  }
+  server.debug_resume_pipeline();
+  server.drain();
+  auto st = server.stats();
+  server.stop();
+  for (std::size_t i = 0; i < 4; ++i) {
+    serve::Response r = futs[i].get();
+    EXPECT_EQ(r.status, serve::Status::kOk) << i;
+    EXPECT_EQ(r.lcp, rig.keys[i].size());
+  }
+  EXPECT_EQ(st.shed, 6u);
+  EXPECT_EQ(st.shed_deadline, 0u);
+  EXPECT_EQ(st.ops, 4u);
+  ASSERT_EQ(st.shed_by_tenant.size(), 1u);
+  EXPECT_EQ(st.shed_by_tenant[0], (std::pair<std::uint32_t, std::uint64_t>{3u, 6u}));
+}
+
+// Backlog edges. max_backlog=0 under a shed policy is meaningful (shed
+// everything — a drain valve); max_backlog=1 admits exactly one batch.
+// Under kBlock, 0 still clamps to 1 (a zero-capacity blocking queue
+// would deadlock).
+TEST(ServeOverload, BacklogZeroAndOneEdges) {
+  {
+    OverloadRig rig;
+    serve::Server::Options opt;
+    opt.max_batch = 1;
+    opt.max_delay = std::chrono::hours(2);
+    opt.max_backlog = 0;
+    opt.overload_policy = serve::OverloadPolicy::kShed;
+    serve::Server server(rig.trie, opt);
+    std::vector<std::future<serve::Response>> futs;
+    for (std::size_t i = 0; i < 5; ++i)
+      futs.push_back(server.submit(serve::Op::kLcp, rig.keys[i]));
+    for (auto& f : futs) EXPECT_EQ(f.get().status, serve::Status::kShed);
+    server.drain();  // nothing admitted: returns immediately
+    auto st = server.stats();
+    server.stop();
+    EXPECT_EQ(st.shed, 5u);
+    EXPECT_EQ(st.ops, 0u);
+  }
+  {
+    OverloadRig rig;
+    serve::Server::Options opt;
+    opt.max_batch = 1;
+    opt.max_delay = std::chrono::hours(2);
+    opt.max_backlog = 1;
+    opt.overload_policy = serve::OverloadPolicy::kShed;
+    serve::Server server(rig.trie, opt);
+    server.debug_pause_pipeline();
+    auto ok = server.submit(serve::Op::kLcp, rig.keys[0]);
+    auto shed = server.submit(serve::Op::kLcp, rig.keys[1]);
+    EXPECT_EQ(shed.get().status, serve::Status::kShed);
+    server.debug_resume_pipeline();
+    server.drain();
+    server.stop();
+    EXPECT_EQ(ok.get().status, serve::Status::kOk);
+  }
+  {
+    // kBlock + max_backlog=0: clamped, must not deadlock.
+    OverloadRig rig;
+    serve::Server::Options opt;
+    opt.max_batch = 1;
+    opt.max_delay = std::chrono::hours(2);
+    opt.max_backlog = 0;
+    opt.overload_policy = serve::OverloadPolicy::kBlock;
+    serve::Server server(rig.trie, opt);
+    auto f = server.submit(serve::Op::kLcp, rig.keys[0]);
+    server.drain();
+    server.stop();
+    EXPECT_EQ(f.get().status, serve::Status::kOk);
+  }
+}
+
+// A per-tenant cap keeps one hot tenant from consuming the whole
+// backlog: its overflow sheds while another tenant still gets in.
+TEST(ServeOverload, TenantCapShedsOnlyTheHotTenant) {
+  OverloadRig rig;
+  serve::Server::Options opt;
+  opt.max_batch = 1;
+  opt.max_delay = std::chrono::hours(2);
+  opt.max_backlog = 8;
+  opt.tenant_cap = 2;
+  opt.overload_policy = serve::OverloadPolicy::kShed;
+  serve::Server server(rig.trie, opt);
+  server.debug_pause_pipeline();
+  std::vector<std::future<serve::Response>> hot, cold;
+  for (std::size_t i = 0; i < 5; ++i)
+    hot.push_back(server.submit(serve::Op::kLcp, rig.keys[i], 0, 1));
+  cold.push_back(server.submit(serve::Op::kLcp, rig.keys[9], 0, 2));
+  server.debug_resume_pipeline();
+  server.drain();
+  auto st = server.stats();
+  server.stop();
+  EXPECT_EQ(hot[0].get().status, serve::Status::kOk);
+  EXPECT_EQ(hot[1].get().status, serve::Status::kOk);
+  for (std::size_t i = 2; i < 5; ++i) {
+    serve::Response r = hot[i].get();
+    EXPECT_EQ(r.status, serve::Status::kShed) << i;
+    EXPECT_EQ(r.error, "tenant queue cap");
+  }
+  EXPECT_EQ(cold[0].get().status, serve::Status::kOk);
+  ASSERT_EQ(st.shed_by_tenant.size(), 1u);
+  EXPECT_EQ(st.shed_by_tenant[0].first, 1u);
+  EXPECT_EQ(st.shed_by_tenant[0].second, 3u);
+}
+
+// Requests whose deadline passes while the pipeline is frozen are
+// dropped at prepare time — before any host prep or PIM round — and
+// resolve kDeadlineExceeded.
+TEST(ServeOverload, DeadlineExpiresWhileQueued) {
+  OverloadRig rig;
+  serve::Server::Options opt;
+  opt.max_batch = 1;
+  opt.max_delay = std::chrono::hours(2);
+  opt.max_backlog = 16;
+  serve::Server server(rig.trie, opt);  // kBlock: expiry is policy-independent
+  server.debug_pause_pipeline();
+  std::vector<std::future<serve::Response>> futs;
+  for (std::size_t i = 0; i < 5; ++i)
+    futs.push_back(server.submit(serve::Op::kLcp, rig.keys[i], 0, 0, /*deadline_ms=*/1.0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.debug_resume_pipeline();
+  server.drain();
+  auto st = server.stats();
+  server.stop();
+  for (auto& f : futs) {
+    serve::Response r = f.get();
+    EXPECT_EQ(r.status, serve::Status::kDeadlineExceeded);
+    EXPECT_EQ(r.error, "deadline expired while queued");
+  }
+  EXPECT_EQ(st.expired, 5u);
+  EXPECT_EQ(st.ops, 0u);   // nothing reached execution
+  EXPECT_EQ(st.shed, 0u);  // expiry is not admission shedding
+}
+
+// kDeadlineAware: once the batch-time EWMA is warm, a request whose
+// deadline is far below the estimated queue wait is shed at submit.
+TEST(ServeOverload, DeadlineAwareShedsUnmeetableDeadlines) {
+  OverloadRig rig;
+  serve::Server::Options opt;
+  opt.max_batch = 1;
+  opt.max_delay = std::chrono::hours(2);
+  opt.max_backlog = 16;
+  opt.overload_policy = serve::OverloadPolicy::kDeadlineAware;
+  serve::Server server(rig.trie, opt);
+  // Warm the EWMA with executed batches.
+  for (std::size_t i = 0; i < 8; ++i)
+    server.submit(serve::Op::kLcp, rig.keys[i]).wait();
+  server.drain();
+  // Freeze, queue three batches ahead, then ask for the impossible.
+  server.debug_pause_pipeline();
+  std::vector<std::future<serve::Response>> queued;
+  for (std::size_t i = 0; i < 3; ++i)
+    queued.push_back(server.submit(serve::Op::kLcp, rig.keys[i]));
+  auto doomed = server.submit(serve::Op::kLcp, rig.keys[9], 0, 0, /*deadline_ms=*/1e-7);
+  serve::Response r = doomed.get();  // resolves immediately, pipeline still frozen
+  EXPECT_EQ(r.status, serve::Status::kShed);
+  EXPECT_EQ(r.error, "deadline unmeetable");
+  server.debug_resume_pipeline();
+  server.drain();
+  auto st = server.stats();
+  server.stop();
+  for (auto& f : queued) EXPECT_EQ(f.get().status, serve::Status::kOk);
+  EXPECT_EQ(st.shed, 1u);
+  EXPECT_EQ(st.shed_deadline, 1u);
+}
+
+// stop() is idempotent, safe to race from several threads, and a submit
+// arriving at/after stop resolves kShed instead of hanging — including
+// a submitter already blocked on kBlock backpressure.
+TEST(ServeOverload, StopIsIdempotentAndConcurrentSubmitSheds) {
+  OverloadRig rig;
+  serve::Server::Options opt;
+  opt.max_batch = 1;
+  opt.max_delay = std::chrono::hours(2);
+  opt.max_backlog = 1;
+  opt.overload_policy = serve::OverloadPolicy::kBlock;
+  serve::Server server(rig.trie, opt);
+  server.debug_pause_pipeline();
+  auto first = server.submit(serve::Op::kLcp, rig.keys[0]);  // fills the backlog
+  std::thread blocked([&] {
+    // Blocks on backpressure until stop() wakes it; must resolve kShed,
+    // never wait on cv_space_ forever.
+    EXPECT_EQ(server.submit(serve::Op::kLcp, rig.keys[1]).get().status,
+              serve::Status::kShed);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::thread racer([&] { server.stop(); });
+  server.stop();
+  racer.join();
+  blocked.join();
+  server.stop();  // idempotent after the fact
+  EXPECT_EQ(first.get().status, serve::Status::kOk);  // queued work still drains
+  serve::Response late = server.submit(serve::Op::kLcp, rig.keys[2]).get();
+  EXPECT_EQ(late.status, serve::Status::kShed);
+  EXPECT_EQ(late.error, "server stopping");
+}
+
+// Shed decisions are part of the deterministic contract: for a fixed
+// submission sequence against a frozen pipeline, the per-request status
+// vector and the shed accounting are byte-identical across worker
+// counts and pipelined on/off.
+TEST_F(WorkerSweepServe, ShedDecisionsWorkerInvariant) {
+  auto run = [](std::size_t workers, bool pipelined) {
+    ThreadPool::instance().set_workers(workers);
+    OverloadRig rig;
+    serve::Server::Options opt;
+    opt.max_batch = 1;
+    opt.max_delay = std::chrono::hours(2);
+    opt.max_backlog = 3;
+    opt.overload_policy = serve::OverloadPolicy::kShed;
+    opt.pipelined = pipelined;
+    serve::Server server(rig.trie, opt);
+    server.debug_pause_pipeline();
+    std::vector<std::future<serve::Response>> futs;
+    for (std::size_t i = 0; i < 9; ++i)
+      futs.push_back(server.submit(serve::Op::kLcp, rig.keys[i], 0, i % 2));
+    server.debug_resume_pipeline();
+    server.drain();
+    auto st = server.stats();
+    server.stop();
+    std::vector<std::pair<serve::Status, std::size_t>> out;
+    for (auto& f : futs) {
+      serve::Response r = f.get();
+      out.emplace_back(r.status, r.status == serve::Status::kOk ? r.lcp : 0);
+    }
+    return std::make_tuple(out, st.shed, st.shed_by_tenant);
+  };
+  auto want = run(1, false);
+  EXPECT_EQ(std::get<1>(want), 6u);
+  for (std::size_t w : {std::size_t(1), std::size_t(4)})
+    for (bool pipe : {false, true})
+      EXPECT_TRUE(run(w, pipe) == want) << "workers=" << w << " pipelined=" << pipe;
+}
+
+// Graceful degradation under an unrecoverable PIM fault: only the runs
+// whose phase the plan targets fail (their requests resolve kFailed with
+// the fault's context); sibling runs in the same batch answer correctly
+// and the server keeps serving afterwards.
+TEST(ServeFault, HardFaultFailsOnlyTargetedRunAndServerSurvives) {
+  OverloadRig rig;
+  {
+    pim::FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(pim::FaultPlan::parse("corrupt@phase=Serve/LCP,count=always", &plan, &err))
+        << err;
+    rig.sys.set_fault_plan(std::move(plan));
+  }
+  serve::Server::Options opt;
+  opt.max_batch = 1 << 20;
+  opt.max_delay = std::chrono::hours(2);
+  opt.max_retries = 1;  // plumbs through to the System's retry budget
+  serve::Server server(rig.trie, opt);
+
+  std::vector<std::future<serve::Response>> lcps, gets;
+  for (std::size_t i = 0; i < 6; ++i) {
+    lcps.push_back(server.submit(serve::Op::kLcp, rig.keys[i]));
+    gets.push_back(server.submit(serve::Op::kGet, rig.keys[i]));
+  }
+  server.flush();
+  server.drain();
+  for (auto& f : lcps) {
+    serve::Response r = f.get();
+    EXPECT_EQ(r.status, serve::Status::kFailed);
+    EXPECT_NE(r.error.find("module"), std::string::npos) << r.error;
+  }
+  for (auto& f : gets) {
+    serve::Response r = f.get();
+    EXPECT_EQ(r.status, serve::Status::kOk);
+    EXPECT_EQ(r.value.value_or(0), 1u);
+  }
+  auto st = server.stats();
+  EXPECT_EQ(st.failed, 6u);
+  EXPECT_GT(rig.sys.fault_stats().failed_rounds, 0u);
+
+  // Clear the plan: the same server answers LCPs again.
+  rig.sys.clear_fault_plan();
+  auto ok = server.submit(serve::Op::kLcp, rig.keys[0]);
+  server.flush();
+  server.drain();
+  server.stop();
+  serve::Response r = ok.get();
+  EXPECT_EQ(r.status, serve::Status::kOk);
+  EXPECT_EQ(r.lcp, rig.keys[0].size());
+}
+
+// A recoverable fault plan (count below the retry budget) must be
+// invisible to answers: every request kOk, retries accounted, nothing
+// failed.
+TEST(ServeFault, RecoverableFaultsAreTransparent) {
+  OverloadRig rig;
+  {
+    pim::FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(pim::FaultPlan::parse("drop@phase=Serve/,count=2", &plan, &err)) << err;
+    rig.sys.set_fault_plan(std::move(plan));
+  }
+  serve::Server::Options opt;
+  opt.max_batch = 1 << 20;
+  opt.max_delay = std::chrono::hours(2);
+  opt.max_retries = 3;
+  serve::Server server(rig.trie, opt);
+  std::vector<std::future<serve::Response>> futs;
+  for (std::size_t i = 0; i < 8; ++i)
+    futs.push_back(server.submit(serve::Op::kLcp, rig.keys[i]));
+  server.flush();
+  server.drain();
+  auto st = server.stats();
+  server.stop();
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    serve::Response r = futs[i].get();
+    EXPECT_EQ(r.status, serve::Status::kOk) << i;
+    EXPECT_EQ(r.lcp, rig.keys[i].size()) << i;
+  }
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_GT(rig.sys.fault_stats().retries, 0u);
+  EXPECT_EQ(rig.sys.fault_stats().failed_rounds, 0u);
+}
+
 // The fuzz harness's serve adapter: schedules driven through the
 // serving front-end must pass the same oracle, invariant, and envelope
 // checks as the direct PimTrie adapter.

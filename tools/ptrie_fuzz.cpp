@@ -25,6 +25,7 @@
 #include "check/runner.hpp"
 #include "check/schedule.hpp"
 #include "check/shrink.hpp"
+#include "pim/fault.hpp"
 
 namespace {
 
@@ -53,7 +54,15 @@ const char* kUsage =
     "                    every batch — the harness must catch it\n"
     "  --corrupt-from B  first batch index the hook fires on (default 0)\n"
     "  --replay FILE     run a saved schedule instead of generating\n"
-    "  --dump FILE       write the generated schedule(s) and exit\n";
+    "  --dump FILE       write the generated schedule(s) and exit\n"
+    "  --faults PLAN     install this pim::FaultPlan token on every run\n"
+    "                    (rides in the schedule, so failures shrink and\n"
+    "                    replay with the plan intact)\n"
+    "  --fault-rate R    per-schedule recoverable noise plan: each reply\n"
+    "                    transfer faults with probability R on its first\n"
+    "                    two attempts (< the retry budget, so every fault\n"
+    "                    recovers and the full oracle still applies),\n"
+    "                    seeded by the schedule seed\n";
 
 struct Args {
   std::uint64_t seed = 1;
@@ -65,6 +74,8 @@ struct Args {
   bool do_shrink = true;
   std::string shrink_out = "ptrie_fuzz_min.sched";
   std::string replay, dump;
+  std::string faults;
+  double fault_rate = 0.0;
 };
 
 bool parse_args(int argc, char** argv, Args* a) {
@@ -91,6 +102,8 @@ bool parse_args(int argc, char** argv, Args* a) {
       a->opt.corrupt_from = std::strtoull(v, nullptr, 10);
     else if (f == "--replay" && (v = next())) a->replay = v;
     else if (f == "--dump" && (v = next())) a->dump = v;
+    else if (f == "--faults" && (v = next())) a->faults = v;
+    else if (f == "--fault-rate" && (v = next())) a->fault_rate = std::strtod(v, nullptr);
     else {
       std::fprintf(stderr, "ptrie_fuzz: bad argument '%s'\n%s", f.c_str(), kUsage);
       return false;
@@ -140,6 +153,16 @@ int report_failure(const Schedule& sched, const RunResult& r, const Args& a) {
 int main(int argc, char** argv) {
   Args a;
   if (!parse_args(argc, argv, &a)) return 2;
+  if (!a.faults.empty()) {
+    // Validate once up front so a typo fails with the parser's message
+    // instead of one identical error per schedule.
+    ptrie::pim::FaultPlan plan;
+    std::string err;
+    if (!ptrie::pim::FaultPlan::parse(a.faults, &plan, &err)) {
+      std::fprintf(stderr, "ptrie_fuzz: bad --faults plan: %s\n", err.c_str());
+      return 2;
+    }
+  }
 
   std::vector<Schedule> schedules;
   if (!a.replay.empty()) {
@@ -175,6 +198,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Fault plans ride inside the schedule so shrunk/replayed failures keep
+  // them. --faults overrides whatever the schedule carried; --fault-rate
+  // derives a recoverable per-schedule noise plan from the schedule seed
+  // (count=2 < the default retry budget of 3, so every injected fault is
+  // retried away and the differential oracle still checks every answer).
+  for (auto& s : schedules) {
+    if (!a.faults.empty()) {
+      s.faults = a.faults;
+    } else if (a.fault_rate > 0 && s.faults.empty()) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "noise@seed=%llu,rate=%g,count=2",
+                    static_cast<unsigned long long>(s.seed * 0x9E3779B9ull + 0xF417),
+                    a.fault_rate);
+      s.faults = buf;
+    }
+  }
+
   if (!a.dump.empty()) {
     std::ofstream out(a.dump);
     if (!out) {
@@ -187,19 +227,23 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::size_t ops = 0, checks = 0, max_rounds = 0;
+  std::size_t ops = 0, checks = 0, max_rounds = 0, faulted = 0;
+  std::uint64_t retries = 0;
   double max_imb = 0.0;
   for (const auto& sched : schedules) {
     RunResult r = ptrie::check::run_schedule(sched, a.opt);
     ops += r.ops;
     checks += r.checks;
+    faulted += r.faulted;
+    retries += r.fault_retries;
     max_rounds = std::max(max_rounds, r.max_batch_rounds);
     max_imb = std::max(max_imb, r.max_imbalance);
     if (!r.ok) return report_failure(sched, r, a);
   }
   std::printf(
       "ptrie_fuzz: OK runs=%zu ops=%zu checks=%zu max_batch_rounds=%zu "
-      "max_imbalance=%.3f\n",
-      schedules.size(), ops, checks, max_rounds, max_imb);
+      "max_imbalance=%.3f faulted=%zu retries=%llu\n",
+      schedules.size(), ops, checks, max_rounds, max_imb, faulted,
+      static_cast<unsigned long long>(retries));
   return 0;
 }

@@ -456,16 +456,21 @@ void render_top(const TopState& st) {
   }
   const json::Value& w = st.window;
   std::printf("window %llu  t=%.1fms  span=%.1fms  ops=%llu  in_flight=%llu  "
-              "queue_depth=%llu  module_imbalance=%.2f\n",
+              "queue_depth=%llu  module_imbalance=%.2f  shed=%llu  expired=%llu  "
+              "failed=%llu\n",
               (unsigned long long)get_u64(w, "window"),
               w.find("t_ms") ? w.find("t_ms")->as_double() : 0,
               w.find("span_ms") ? w.find("span_ms")->as_double() : 0,
               (unsigned long long)get_u64(w, "ops"),
               (unsigned long long)get_u64(w, "in_flight"),
               (unsigned long long)get_u64(w, "queue_depth"),
-              w.find("module_imbalance") ? w.find("module_imbalance")->as_double() : 0);
-  std::printf("%-7s %8s %10s %9s %9s %9s %9s %8s %7s %7s\n", "tenant", "ops", "ops/s",
-              "p50_us", "p95_us", "p99_us", "exec_p95", "w/op", "batch", "hot%");
+              w.find("module_imbalance") ? w.find("module_imbalance")->as_double() : 0,
+              (unsigned long long)get_u64(w, "shed"),
+              (unsigned long long)get_u64(w, "expired"),
+              (unsigned long long)get_u64(w, "failed"));
+  std::printf("%-7s %8s %10s %6s %6s %6s %9s %9s %9s %9s %8s %7s %7s\n", "tenant",
+              "ops", "ops/s", "shed", "exp", "fail", "p50_us", "p95_us", "p99_us",
+              "exec_p95", "w/op", "batch", "hot%");
   for (const auto& t : st.tenants) {
     const json::Value* lat = t.find("lat_us");
     const json::Value* total = lat ? lat->find("total") : nullptr;
@@ -474,10 +479,14 @@ void render_top(const TopState& st) {
       const json::Value* v = o ? o->find(k) : nullptr;
       return v ? v->as_double() : 0.0;
     };
-    std::printf("%-7llu %8llu %10.0f %9.1f %9.1f %9.1f %9.1f %8.1f %7.1f %7.1f\n",
+    std::printf("%-7llu %8llu %10.0f %6llu %6llu %6llu %9.1f %9.1f %9.1f %9.1f %8.1f "
+                "%7.1f %7.1f\n",
                 (unsigned long long)get_u64(t, "tenant"),
                 (unsigned long long)get_u64(t, "ops"),
                 t.find("ops_per_sec") ? t.find("ops_per_sec")->as_double() : 0,
+                (unsigned long long)get_u64(t, "shed"),
+                (unsigned long long)get_u64(t, "expired"),
+                (unsigned long long)get_u64(t, "failed"),
                 f(total, "p50"), f(total, "p95"), f(total, "p99"), f(exec, "p95"),
                 t.find("words_per_op") ? t.find("words_per_op")->as_double() : 0,
                 t.find("mean_batch") ? t.find("mean_batch")->as_double() : 0,
@@ -537,8 +546,11 @@ int top_mode(const char* path, bool follow) {
 // a gated value regressed (grew) by more than `tol` relative.
 
 bool gated_column(const std::string& name) {
+  // "shed" is a deterministic admission count (bench_serving's shed table
+  // runs with the pipeline paused), so it gates like the model columns.
   static const char* kCols[] = {"rounds",      "words/op", "io/op",  "io_time",
-                                "pim_time",    "total_words", "words", "touched"};
+                                "pim_time",    "total_words", "words", "touched",
+                                "shed"};
   for (const char* c : kCols)
     if (name == c) return true;
   return false;
