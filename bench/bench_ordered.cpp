@@ -1,0 +1,225 @@
+// Ordered-operation cost model: Predecessor/Successor and bounded
+// RangeScan/TopKByPrefix on PIM-trie vs the bitstring baselines. The
+// headline claims this bench pins down:
+//   - pred/succ cost two match passes + one bounded descent: rounds stay
+//     O(log P), independent of where the neighbor lives;
+//   - RangeScan rounds are independent of the scan width (the cover is
+//     resolved in one batched sweep) — only words/op grows, linearly
+//     with the keys shipped back;
+//   - the radix baseline pays its per-level rounds, the range-partitioned
+//     baseline stays flat but ships whole candidate modules.
+// All printed columns except wall-clock are deterministic model metrics,
+// so ci/perf_gate.sh replays this binary against BENCH_ordered.json.
+
+#include <algorithm>
+
+#include "baselines/distributed_radix_tree.hpp"
+#include "baselines/range_partitioned.hpp"
+#include "common.hpp"
+#include "pimtrie/pim_trie.hpp"
+#include "workload/generators.hpp"
+
+using namespace ptrie;
+
+namespace {
+
+constexpr std::size_t kP = 16;
+constexpr std::size_t kKeys = 4000;
+constexpr std::size_t kQueries = 256;
+constexpr std::size_t kScans = 32;
+
+struct Fixture {
+  std::vector<core::BitString> keys;    // unsorted, as built
+  std::vector<core::BitString> sorted;  // ascending, for width-controlled scans
+  std::vector<std::uint64_t> vals;
+  std::vector<core::BitString> queries;
+};
+
+Fixture make_fixture() {
+  Fixture f;
+  // 64-bit keys: chunk-aligned for the span-4 radix baseline, so all
+  // three structures answer the identical exact queries.
+  f.keys = workload::uniform_keys(kKeys, 64, 71);
+  f.vals.resize(f.keys.size());
+  for (std::size_t i = 0; i < f.vals.size(); ++i) f.vals[i] = i;
+  f.sorted = f.keys;
+  std::sort(f.sorted.begin(), f.sorted.end());
+  f.queries = workload::zipf_queries(f.keys, kQueries / 2, 0.9, 72);
+  for (auto& q : workload::miss_queries(kQueries - f.queries.size(), 64, 73))
+    f.queries.push_back(q);
+  return f;
+}
+
+// One row of the pred/succ table for an already-built structure.
+template <class F>
+void neighbor_row(pim::System& sys, const char* stname, const char* opname,
+                  std::size_t n, F&& run) {
+  auto cost = bench::measure(sys, n, run);
+  bench::cell(std::string(stname));
+  bench::cell(std::string(opname));
+  bench::cell(cost.rounds);
+  bench::cell(cost.words_per_op);
+  bench::endrow();
+}
+
+// One row of the scan table: `run` executes the batch of kScans scans
+// and returns the total number of keys it shipped back.
+template <class F>
+void scan_row(pim::System& sys, const char* stname, std::size_t width, F&& run) {
+  std::size_t result_keys = 0;
+  auto cost = bench::measure(sys, kScans, [&] { result_keys = run(); });
+  bench::cell(std::string(stname));
+  bench::cell(width);
+  bench::cell(result_keys);
+  bench::cell(cost.rounds);
+  bench::cell(cost.words_per_op);
+  bench::cell(result_keys ? double(cost.total_words) / double(result_keys) : 0.0);
+  bench::endrow();
+}
+
+// Width-controlled scan bounds: kScans disjoint windows of `width`
+// consecutive sorted keys, spread across the key space.
+void scan_bounds(const Fixture& f, std::size_t width, std::vector<core::BitString>* los,
+                 std::vector<core::BitString>* his, std::vector<std::size_t>* limits) {
+  los->clear();
+  his->clear();
+  limits->clear();
+  std::size_t stride = f.sorted.size() / kScans;
+  for (std::size_t s = 0; s < kScans; ++s) {
+    std::size_t lo = s * stride;
+    std::size_t hi = std::min(lo + width - 1, f.sorted.size() - 1);
+    los->push_back(f.sorted[lo]);
+    his->push_back(f.sorted[hi]);
+    limits->push_back(f.sorted.size());  // unbounded: measure the full width
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  std::printf("Ordered operations cost model (P=%zu, n=%zu, %zu queries, %zu scans)\n",
+              kP, kKeys, kQueries, kScans);
+  Fixture f = make_fixture();
+
+  bench::header("Predecessor/Successor (batch of 256)",
+                {"struct", "op", "rounds", "words/op"});
+  {
+    pim::System sys(kP, 74);
+    pimtrie::Config cfg;
+    cfg.seed = 75;
+    pimtrie::PimTrie t(sys, cfg);
+    t.build(f.keys, f.vals);
+    neighbor_row(sys, "pim-trie", "pred", f.queries.size(),
+                 [&] { t.batch_pred(f.queries); });
+    neighbor_row(sys, "pim-trie", "succ", f.queries.size(),
+                 [&] { t.batch_succ(f.queries); });
+  }
+  {
+    pim::System sys(kP, 74);
+    baselines::DistributedRadixTree t(sys, 4);
+    t.build(f.keys, f.vals);
+    neighbor_row(sys, "radix", "pred", f.queries.size(),
+                 [&] { t.batch_pred(f.queries); });
+    neighbor_row(sys, "radix", "succ", f.queries.size(),
+                 [&] { t.batch_succ(f.queries); });
+  }
+  {
+    pim::System sys(kP, 74);
+    baselines::RangePartitionedIndex t(sys);
+    t.build(f.keys, f.vals);
+    neighbor_row(sys, "range-part", "pred", f.queries.size(),
+                 [&] { t.batch_pred(f.queries); });
+    neighbor_row(sys, "range-part", "succ", f.queries.size(),
+                 [&] { t.batch_succ(f.queries); });
+  }
+
+  bench::header("RangeScan rounds/words vs scan width (32 scans each)",
+                {"struct", "width", "result_keys", "rounds", "words/op", "words/result"});
+  static const std::size_t kWidths[] = {16, 256, 2048};
+  for (std::size_t width : kWidths) {
+    std::vector<core::BitString> los, his;
+    std::vector<std::size_t> limits;
+    scan_bounds(f, width, &los, &his, &limits);
+    auto total = [](const auto& lists) {
+      std::size_t n = 0;
+      for (const auto& l : lists) n += l.size();
+      return n;
+    };
+    {
+      pim::System sys(kP, 76);
+      pimtrie::Config cfg;
+      cfg.seed = 75;
+      pimtrie::PimTrie t(sys, cfg);
+      t.build(f.keys, f.vals);
+      scan_row(sys, "pim-trie", width,
+               [&] { return total(t.batch_range(los, his, limits)); });
+    }
+    {
+      pim::System sys(kP, 76);
+      baselines::DistributedRadixTree t(sys, 4);
+      t.build(f.keys, f.vals);
+      scan_row(sys, "radix", width,
+               [&] { return total(t.batch_range(los, his, limits)); });
+    }
+    {
+      pim::System sys(kP, 76);
+      baselines::RangePartitionedIndex t(sys);
+      t.build(f.keys, f.vals);
+      scan_row(sys, "range-part", width,
+               [&] { return total(t.batch_range(los, his, limits)); });
+    }
+  }
+
+  bench::header("TopKByPrefix (32 queries, 8-bit prefixes, k=32)",
+                {"struct", "result_keys", "rounds", "words/op"});
+  {
+    std::vector<core::BitString> prefixes;
+    std::vector<std::size_t> ks;
+    for (std::size_t s = 0; s < kScans; ++s) {
+      prefixes.push_back(f.sorted[s * (f.sorted.size() / kScans)].prefix(8));
+      ks.push_back(32);
+    }
+    auto total = [](const auto& lists) {
+      std::size_t n = 0;
+      for (const auto& l : lists) n += l.size();
+      return n;
+    };
+    {
+      pim::System sys(kP, 77);
+      pimtrie::Config cfg;
+      cfg.seed = 75;
+      pimtrie::PimTrie t(sys, cfg);
+      t.build(f.keys, f.vals);
+      std::size_t res = 0;
+      auto cost = bench::measure(sys, kScans, [&] { res = total(t.batch_topk(prefixes, ks)); });
+      bench::cell(std::string("pim-trie"));
+      bench::cell(res);
+      bench::cell(cost.rounds);
+      bench::cell(cost.words_per_op);
+      bench::endrow();
+    }
+    {
+      pim::System sys(kP, 77);
+      baselines::DistributedRadixTree t(sys, 4);
+      t.build(f.keys, f.vals);
+      std::size_t res = 0;
+      auto cost = bench::measure(sys, kScans, [&] { res = total(t.batch_topk(prefixes, ks)); });
+      bench::cell(std::string("radix"));
+      bench::cell(res);
+      bench::cell(cost.rounds);
+      bench::cell(cost.words_per_op);
+      bench::endrow();
+    }
+  }
+
+  std::printf(
+      "shape check: pred/succ and every scan width resolve in O(log P)-bounded "
+      "rounds on pim-trie — widening the scan 128x moves words/op, not rounds, "
+      "and words/result falls toward O(1) as cover overhead amortizes. The "
+      "radix baseline pays per-level rounds and per-level traffic on the same "
+      "covers. The range-partitioned baseline looks cheapest here by design — "
+      "uniform keys are its best case; its skew collapse is bench_load_balance's "
+      "story, not this one.\n");
+  return 0;
+}

@@ -25,6 +25,11 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 echo "== differential fuzz: seed matrix over all structures =="
 ./build/tools/ptrie_fuzz --seed 1 --seeds 20 --structure all --profile all \
   --shrink-out build/fuzz_min.sched
+# Same matrix with the op mix biased toward the ordered operations
+# (pred/succ/range/topk), so the ordered covers and their envelopes get
+# a deep differential sweep, not just the ~30% share of the default mix.
+./build/tools/ptrie_fuzz --seed 1 --seeds 20 --structure all --profile all \
+  --ordered --shrink-out build/fuzz_ordered_min.sched
 
 echo "== observability smoke: trace + bench JSON round-trip =="
 OBS_TMP="$(mktemp -d)"
@@ -120,6 +125,12 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L 'unit|serve'
 ./build-asan/tools/ptrie_fuzz --seed 2 --seeds 2 --structure pimtrie \
   --batches 10 --batch-cap 12 --init 40 --fault-rate 0.02 \
   --shrink-out build-asan/fuzz_faults_min.sched
+# Ordered ops under ASan: the scan answers are assembled from per-piece
+# reply buffers (cover probes, kSeekBlock descents, host merges) — the
+# natural home for an out-of-bounds or use-after-move.
+./build-asan/tools/ptrie_fuzz --seed 1 --seeds "$FUZZ_SEEDS" \
+  --structure all --profile auto --ordered --batches 12 --batch-cap 12 \
+  --init 40 --shrink-out build-asan/fuzz_ordered_min.sched
 
 echo "== thread-sanitized build + parallel determinism suite + fuzz matrix =="
 cmake -B build-tsan -S . -DPTRIE_SANITIZE=thread >/dev/null
@@ -144,5 +155,11 @@ PTRIE_WORKERS=8 ./build-tsan/tools/ptrie_fuzz --seed 5 --structure serve \
   --batches 8 --batch-cap 10 --init 30 \
   --faults 'corrupt@phase=Serve/,count=always' \
   --shrink-out build-tsan/fuzz_faults_min.sched
+# Ordered ops under TSan: range/topk requests ride the same coalescer
+# batches as writes, so the multi-worker pool races scan assembly
+# against insert/erase application here.
+PTRIE_WORKERS=8 ./build-tsan/tools/ptrie_fuzz --seed 1 --seeds "$FUZZ_SEEDS" \
+  --structure all --profile auto --ordered --batches 12 --batch-cap 12 \
+  --init 40 --shrink-out build-tsan/fuzz_ordered_min.sched
 
 echo "all checks passed"

@@ -12,6 +12,7 @@
 # intentional cost change with:
 #   build/bench/bench_table1_lcp --json BENCH_table1.json
 #   build/bench/bench_serving --quick --json BENCH_serving.json
+#   build/bench/bench_ordered --json BENCH_ordered.json
 #
 # usage: ci/perf_gate.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -31,5 +32,11 @@ echo "== perf gate: bench_serving (quick) =="
 # 1.3x saturating-load speedup acceptance, so the gate checks that too.
 "$BUILD/bench/bench_serving" --quick --json "$TMP/serving.json" >/dev/null
 "$BUILD/tools/ptrie_report" --gate BENCH_serving.json "$TMP/serving.json" --tol 0.15
+
+echo "== perf gate: bench_ordered =="
+# Ordered-op cost model: pred/succ rounds and the range-scan
+# rounds-vs-width table (rounds must stay flat as the width grows).
+"$BUILD/bench/bench_ordered" --json "$TMP/ordered.json" >/dev/null
+"$BUILD/tools/ptrie_report" --gate BENCH_ordered.json "$TMP/ordered.json" --tol 0.15
 
 echo "perf gate: OK"

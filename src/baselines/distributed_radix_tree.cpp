@@ -1,11 +1,15 @@
 #include "baselines/distributed_radix_tree.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <functional>
+#include <string>
+#include <unordered_map>
 
 #include "core/parallel.hpp"
 #include "obs/phase.hpp"
+#include "trie/ordered_cover.hpp"
 
 namespace ptrie::baselines {
 
@@ -679,6 +683,121 @@ DistributedRadixTree::batch_subtree(const std::vector<BitString>& prefixes) {
   for (auto& res : out)
     std::sort(res.begin(), res.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+namespace {
+// Deduplicating accumulator for the cover prefixes of a batch of
+// ordered queries; one subtree sweep resolves them all.
+struct PrefixPool {
+  std::vector<BitString> prefixes;
+  std::unordered_map<std::string, std::size_t> index;
+  std::size_t add(const BitString& p) {
+    auto [it, fresh] = index.emplace(p.to_binary(), prefixes.size());
+    if (fresh) prefixes.push_back(p);
+    return it->second;
+  }
+};
+
+// batch_subtree anchors at chunk granularity; keep only true extensions.
+std::vector<std::pair<BitString, std::uint64_t>> filter_extensions(
+    const std::vector<std::pair<BitString, std::uint64_t>>& hits, const BitString& prefix) {
+  std::vector<std::pair<BitString, std::uint64_t>> out;
+  for (const auto& [k, v] : hits)
+    if (prefix.is_prefix_of(k)) out.emplace_back(k, v);
+  return out;
+}
+
+std::optional<std::pair<BitString, std::uint64_t>> exact_hit(
+    const std::vector<std::pair<BitString, std::uint64_t>>& hits, const BitString& key) {
+  for (const auto& [k, v] : hits)
+    if (k.size() == key.size() && key.is_prefix_of(k)) return std::make_pair(k, v);
+  return std::nullopt;
+}
+}  // namespace
+
+std::vector<std::optional<std::pair<BitString, std::uint64_t>>>
+DistributedRadixTree::batch_pred(const std::vector<BitString>& keys) {
+  return batch_neighbor(keys, /*dir=*/1);
+}
+
+std::vector<std::optional<std::pair<BitString, std::uint64_t>>>
+DistributedRadixTree::batch_succ(const std::vector<BitString>& keys) {
+  return batch_neighbor(keys, /*dir=*/0);
+}
+
+std::vector<std::optional<std::pair<BitString, std::uint64_t>>>
+DistributedRadixTree::batch_neighbor(const std::vector<BitString>& keys, int dir) {
+  std::vector<std::optional<std::pair<BitString, std::uint64_t>>> out(keys.size());
+  if (root_ == 0) return out;
+  obs::Phase op_phase(dir ? "Pred" : "Succ");
+  std::vector<std::vector<trie::CoverPiece>> cands(keys.size());
+  PrefixPool pool;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    cands[i] = dir ? trie::pred_candidates(keys[i]) : trie::succ_candidates(keys[i]);
+    for (const auto& c : cands[i]) pool.add(c.prefix);
+  }
+  auto hits = batch_subtree(pool.prefixes);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    for (const auto& c : cands[i]) {
+      const auto& h = hits[pool.index.at(c.prefix.to_binary())];
+      if (c.subtree) {
+        auto ext = filter_extensions(h, c.prefix);
+        if (ext.empty()) continue;
+        out[i] = dir ? ext.back() : ext.front();  // hits are ascending
+        break;
+      }
+      if (auto e = exact_hit(h, c.prefix)) {
+        out[i] = *e;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::pair<BitString, std::uint64_t>>>
+DistributedRadixTree::batch_range(const std::vector<BitString>& los,
+                                  const std::vector<BitString>& his,
+                                  const std::vector<std::size_t>& limits) {
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> out(los.size());
+  if (root_ == 0) return out;
+  obs::Phase op_phase("Range");
+  std::vector<std::vector<trie::CoverPiece>> covers(los.size());
+  PrefixPool pool;
+  for (std::size_t i = 0; i < los.size(); ++i) {
+    if (limits[i] == 0) continue;
+    covers[i] = trie::range_cover(los[i], his[i]);
+    for (const auto& c : covers[i]) pool.add(c.prefix);
+  }
+  auto hits = batch_subtree(pool.prefixes);
+  for (std::size_t i = 0; i < los.size(); ++i) {
+    for (const auto& c : covers[i]) {
+      if (out[i].size() >= limits[i]) break;
+      const auto& h = hits[pool.index.at(c.prefix.to_binary())];
+      if (c.subtree) {
+        auto ext = filter_extensions(h, c.prefix);
+        std::size_t take = std::min(ext.size(), limits[i] - out[i].size());
+        out[i].insert(out[i].end(), ext.begin(), ext.begin() + take);
+      } else if (auto e = exact_hit(h, c.prefix)) {
+        out[i].push_back(*e);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::pair<BitString, std::uint64_t>>>
+DistributedRadixTree::batch_topk(const std::vector<BitString>& prefixes,
+                                 const std::vector<std::size_t>& ks) {
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> out(prefixes.size());
+  if (root_ == 0) return out;
+  obs::Phase op_phase("TopK");
+  auto hits = batch_subtree(prefixes);
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    out[i] = filter_extensions(hits[i], prefixes[i]);
+    if (out[i].size() > ks[i]) out[i].resize(ks[i]);
+  }
   return out;
 }
 

@@ -34,6 +34,22 @@ class DistributedRadixTree {
   std::vector<std::vector<std::pair<core::BitString, std::uint64_t>>> batch_subtree(
       const std::vector<core::BitString>& prefixes);
 
+  // Ordered operations, composed host-side from the cover decomposition
+  // (trie/ordered_cover.hpp) and one batched subtree sweep: the node
+  // wire format and kernels are untouched. batch_subtree anchors at the
+  // last full span-chunk of a prefix, so its answers are a superset of
+  // the candidate's subtree; the host filters to true extensions before
+  // taking extrema / assembling, keeping the answers exact.
+  std::vector<std::optional<std::pair<core::BitString, std::uint64_t>>> batch_pred(
+      const std::vector<core::BitString>& keys);
+  std::vector<std::optional<std::pair<core::BitString, std::uint64_t>>> batch_succ(
+      const std::vector<core::BitString>& keys);
+  std::vector<std::vector<std::pair<core::BitString, std::uint64_t>>> batch_range(
+      const std::vector<core::BitString>& los, const std::vector<core::BitString>& his,
+      const std::vector<std::size_t>& limits);
+  std::vector<std::vector<std::pair<core::BitString, std::uint64_t>>> batch_topk(
+      const std::vector<core::BitString>& prefixes, const std::vector<std::size_t>& ks);
+
   unsigned span() const { return span_; }
   std::size_t key_count() const { return n_keys_; }
   std::size_t node_count() const { return n_nodes_; }
@@ -61,6 +77,8 @@ class DistributedRadixTree {
   };
 
   std::uint64_t new_node();
+  std::vector<std::optional<std::pair<core::BitString, std::uint64_t>>> batch_neighbor(
+      const std::vector<core::BitString>& keys, int dir);
 
   pim::System* sys_;
   unsigned span_;

@@ -270,6 +270,188 @@ DistributedXFastTrie::batch_subtree(
   return out;
 }
 
+namespace {
+// Shared host-side reduce for the pred/succ broadcast: per module one
+// (found, key, value) triple per query.
+std::vector<std::optional<std::pair<std::uint64_t, std::uint64_t>>> reduce_neighbor(
+    const std::vector<pim::Buffer>& results, std::size_t n, bool want_max) {
+  std::vector<std::optional<std::pair<std::uint64_t, std::uint64_t>>> out(n);
+  for (const auto& buf : results) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (buf[3 * i] == 0) continue;
+      std::uint64_t key = buf[3 * i + 1], value = buf[3 * i + 2];
+      if (!out[i] || (want_max ? out[i]->first < key : key < out[i]->first))
+        out[i] = std::make_pair(key, value);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<std::optional<std::pair<std::uint64_t, std::uint64_t>>>
+DistributedXFastTrie::batch_pred(const std::vector<std::uint64_t>& keys) {
+  obs::Phase op_phase("Pred");
+  std::uint64_t inst = instance_;
+  auto results = sys_->broadcast_round(
+      "xfast.pred", pim::Buffer(keys), [inst](pim::Module& m, pim::Buffer in) {
+        auto& st = m.state<XFastModuleState>(inst);
+        pim::Buffer out;
+        for (std::uint64_t x : in) {
+          bool found = false;
+          std::uint64_t bk = 0, bv = 0;
+          for (const auto& [key, value] : st.leaves) {
+            if (key < x && (!found || bk < key)) {
+              found = true;
+              bk = key;
+              bv = value;
+            }
+            m.work(1);
+          }
+          out.push_back(found ? 1 : 0);
+          out.push_back(bk);
+          out.push_back(bv);
+        }
+        return out;
+      });
+  return reduce_neighbor(results, keys.size(), /*want_max=*/true);
+}
+
+std::vector<std::optional<std::pair<std::uint64_t, std::uint64_t>>>
+DistributedXFastTrie::batch_succ(const std::vector<std::uint64_t>& keys) {
+  obs::Phase op_phase("Succ");
+  std::uint64_t inst = instance_;
+  auto results = sys_->broadcast_round(
+      "xfast.succ", pim::Buffer(keys), [inst](pim::Module& m, pim::Buffer in) {
+        auto& st = m.state<XFastModuleState>(inst);
+        pim::Buffer out;
+        for (std::uint64_t x : in) {
+          bool found = false;
+          std::uint64_t bk = 0, bv = 0;
+          for (const auto& [key, value] : st.leaves) {
+            if (key > x && (!found || key < bk)) {
+              found = true;
+              bk = key;
+              bv = value;
+            }
+            m.work(1);
+          }
+          out.push_back(found ? 1 : 0);
+          out.push_back(bk);
+          out.push_back(bv);
+        }
+        return out;
+      });
+  return reduce_neighbor(results, keys.size(), /*want_max=*/false);
+}
+
+std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+DistributedXFastTrie::batch_range(const std::vector<std::uint64_t>& los,
+                                  const std::vector<std::uint64_t>& his,
+                                  const std::vector<std::size_t>& limits) {
+  obs::Phase op_phase("Range");
+  std::uint64_t inst = instance_;
+  pim::Buffer payload;
+  for (std::size_t i = 0; i < los.size(); ++i) {
+    payload.push_back(los[i]);
+    payload.push_back(his[i]);
+    payload.push_back(limits[i]);
+  }
+  // Each module sorts its local in-range leaves and ships only its
+  // `limit` smallest: the global `limit` smallest are a subset of the
+  // per-module `limit` smallest, so the host merge stays exact.
+  auto results = sys_->broadcast_round(
+      "xfast.range", payload, [inst](pim::Module& m, pim::Buffer in) {
+        auto& st = m.state<XFastModuleState>(inst);
+        pim::Buffer out;
+        for (std::size_t q = 0; q + 2 < in.size() + 0; q += 3) {
+          std::uint64_t lo = in[q], hi = in[q + 1], limit = in[q + 2];
+          std::vector<std::pair<std::uint64_t, std::uint64_t>> matches;
+          for (const auto& [key, value] : st.leaves) {
+            if (key >= lo && key <= hi) matches.emplace_back(key, value);
+            m.work(1);
+          }
+          std::sort(matches.begin(), matches.end());
+          if (matches.size() > limit) matches.resize(limit);
+          out.push_back(matches.size());
+          for (const auto& [key, value] : matches) {
+            out.push_back(key);
+            out.push_back(value);
+          }
+        }
+        return out;
+      });
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> out(los.size());
+  for (const auto& buf : results) {
+    std::size_t i = 0;
+    for (std::size_t q = 0; q < los.size(); ++q) {
+      std::uint64_t count = buf[i++];
+      for (std::uint64_t k = 0; k < count; ++k) {
+        out[q].emplace_back(buf[i], buf[i + 1]);
+        i += 2;
+      }
+    }
+  }
+  for (std::size_t q = 0; q < out.size(); ++q) {
+    std::sort(out[q].begin(), out[q].end());
+    if (out[q].size() > limits[q]) out[q].resize(limits[q]);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+DistributedXFastTrie::batch_topk(
+    const std::vector<std::pair<std::uint64_t, unsigned>>& prefixes,
+    const std::vector<std::size_t>& ks) {
+  obs::Phase op_phase("TopK");
+  std::uint64_t inst = instance_;
+  pim::Buffer payload;
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    payload.push_back(prefixes[i].first);
+    payload.push_back(prefixes[i].second);
+    payload.push_back(ks[i]);
+  }
+  unsigned width = width_;
+  auto results = sys_->broadcast_round(
+      "xfast.topk", payload, [inst, width](pim::Module& m, pim::Buffer in) {
+        auto& st = m.state<XFastModuleState>(inst);
+        pim::Buffer out;
+        for (std::size_t q = 0; q + 2 < in.size() + 0; q += 3) {
+          std::uint64_t prefix = in[q], k = in[q + 2];
+          unsigned len = static_cast<unsigned>(in[q + 1]);
+          std::vector<std::pair<std::uint64_t, std::uint64_t>> matches;
+          for (const auto& [key, value] : st.leaves) {
+            bool match = len == 0 || (key >> (width - len)) == prefix;
+            if (match) matches.emplace_back(key, value);
+            m.work(1);
+          }
+          std::sort(matches.begin(), matches.end());
+          if (matches.size() > k) matches.resize(k);
+          out.push_back(matches.size());
+          for (const auto& [key, value] : matches) {
+            out.push_back(key);
+            out.push_back(value);
+          }
+        }
+        return out;
+      });
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> out(prefixes.size());
+  for (const auto& buf : results) {
+    std::size_t i = 0;
+    for (std::size_t q = 0; q < prefixes.size(); ++q) {
+      std::uint64_t count = buf[i++];
+      for (std::uint64_t k = 0; k < count; ++k) {
+        out[q].emplace_back(buf[i], buf[i + 1]);
+        i += 2;
+      }
+    }
+  }
+  for (std::size_t q = 0; q < out.size(); ++q) {
+    std::sort(out[q].begin(), out[q].end());
+    if (out[q].size() > ks[q]) out[q].resize(ks[q]);
+  }
+  return out;
+}
+
 std::string DistributedXFastTrie::debug_check() const {
   std::string problems;
   auto complain = [&](const std::string& s) {

@@ -7,7 +7,9 @@
 // supported (the (#) restriction in Table 1).
 
 #include <cstdint>
+#include <optional>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/bitstring.hpp"
@@ -35,6 +37,22 @@ class DistributedXFastTrie {
   // round; O(L_S) response words (Table 1's Subtree column).
   std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> batch_subtree(
       const std::vector<std::pair<std::uint64_t, unsigned>>& prefixes);
+
+  // Ordered operations over the integer key order (identical to the
+  // fixed-width bitstring order). Each is one broadcast scan round: the
+  // leaves are hash-scattered, so every module holds an arbitrary
+  // sample of the key space and must be consulted; modules answer from
+  // their local leaf table and the host reduces / merges.
+  std::vector<std::optional<std::pair<std::uint64_t, std::uint64_t>>> batch_pred(
+      const std::vector<std::uint64_t>& keys);
+  std::vector<std::optional<std::pair<std::uint64_t, std::uint64_t>>> batch_succ(
+      const std::vector<std::uint64_t>& keys);
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> batch_range(
+      const std::vector<std::uint64_t>& los, const std::vector<std::uint64_t>& his,
+      const std::vector<std::size_t>& limits);
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> batch_topk(
+      const std::vector<std::pair<std::uint64_t, unsigned>>& prefixes,
+      const std::vector<std::size_t>& ks);
 
   unsigned width() const { return width_; }
   std::size_t key_count() const { return n_keys_; }

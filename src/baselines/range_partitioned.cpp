@@ -241,6 +241,179 @@ RangePartitionedIndex::batch_subtree(const std::vector<BitString>& prefixes) {
   return out;
 }
 
+std::vector<std::optional<std::pair<BitString, std::uint64_t>>>
+RangePartitionedIndex::batch_pred(const std::vector<BitString>& keys) {
+  return batch_neighbor(keys, /*dir=*/1);
+}
+
+std::vector<std::optional<std::pair<BitString, std::uint64_t>>>
+RangePartitionedIndex::batch_succ(const std::vector<BitString>& keys) {
+  return batch_neighbor(keys, /*dir=*/0);
+}
+
+std::vector<std::optional<std::pair<BitString, std::uint64_t>>>
+RangePartitionedIndex::batch_neighbor(const std::vector<BitString>& keys, int dir) {
+  obs::Phase op_phase(dir ? "Pred" : "Succ");
+  std::uint64_t inst = instance_;
+  std::uint64_t d = static_cast<std::uint64_t>(dir);
+  // Broadcast: a query's true neighbor can sit on the far side of a
+  // separator (e.g. pred of a range's minimum), so every module answers
+  // from its local trie and the host keeps the best.
+  std::vector<pim::Buffer> buffers(sys_->p());
+  for (std::size_t mdl = 0; mdl < sys_->p(); ++mdl) {
+    BufWriter w{buffers[mdl]};
+    for (const auto& key : keys) w.bits(key);
+  }
+  auto results = sys_->round(dir ? "range.pred" : "range.succ", std::move(buffers),
+                             [inst, d](pim::Module& m, pim::Buffer in) {
+                               auto& st = m.state<RangeModuleState>(inst);
+                               BufReader r{in};
+                               pim::Buffer out;
+                               while (!r.done()) {
+                                 BitString key = r.bits();
+                                 auto ans = d ? st.local.pred(key) : st.local.succ(key);
+                                 BufWriter w{out};
+                                 w.u64(ans ? 1 : 0);
+                                 if (ans) {
+                                   w.bits(ans->first);
+                                   w.u64(ans->second);
+                                 }
+                                 m.work(key.word_count() + 2);
+                               }
+                               return out;
+                             });
+  std::vector<std::optional<std::pair<BitString, std::uint64_t>>> out(keys.size());
+  for (std::size_t mdl = 0; mdl < sys_->p(); ++mdl) {
+    BufReader r{results[mdl]};
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (!r.u64()) continue;
+      BitString k = r.bits();
+      std::uint64_t v = r.u64();
+      if (!out[i] || (dir ? out[i]->first < k : k < out[i]->first))
+        out[i] = std::make_pair(std::move(k), v);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::pair<BitString, std::uint64_t>>>
+RangePartitionedIndex::batch_range(const std::vector<BitString>& los,
+                                   const std::vector<BitString>& his,
+                                   const std::vector<std::size_t>& limits) {
+  obs::Phase op_phase("Range");
+  std::uint64_t inst = instance_;
+  std::vector<pim::Buffer> buffers(sys_->p());
+  std::vector<std::vector<std::size_t>> sent(sys_->p());
+  for (std::size_t i = 0; i < los.size(); ++i) {
+    if (his[i] < los[i] || limits[i] == 0) continue;
+    // Routing is monotone, so every key in [lo, hi] lives on the module
+    // span [route(lo), route(hi)].
+    std::uint32_t first = route(los[i]);
+    std::uint32_t last = route(his[i]);
+    for (std::uint32_t mdl = first; mdl <= last && mdl < sys_->p(); ++mdl) {
+      BufWriter w{buffers[mdl]};
+      w.bits(los[i]);
+      w.bits(his[i]);
+      w.u64(limits[i]);
+      sent[mdl].push_back(i);
+    }
+  }
+  auto results = sys_->round(
+      "range.range", std::move(buffers), [inst](pim::Module& m, pim::Buffer in) {
+        auto& st = m.state<RangeModuleState>(inst);
+        BufReader r{in};
+        pim::Buffer out;
+        while (!r.done()) {
+          BitString lo = r.bits();
+          BitString hi = r.bits();
+          std::uint64_t limit = r.u64();
+          auto matches = st.local.range(lo, hi, limit);
+          BufWriter w{out};
+          w.u64(matches.size());
+          for (const auto& [k, v] : matches) {
+            w.bits(k);
+            w.u64(v);
+          }
+          m.work(lo.word_count() + hi.word_count() + matches.size() + 2);
+        }
+        return out;
+      });
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> out(los.size());
+  // Module order is key order, and each module's answer is ascending, so
+  // plain concatenation in module order is the ascending range.
+  for (std::size_t mdl = 0; mdl < sys_->p(); ++mdl) {
+    BufReader r{results[mdl]};
+    for (std::size_t k = 0; k < sent[mdl].size(); ++k) {
+      std::uint64_t count = r.u64();
+      for (std::uint64_t j = 0; j < count; ++j) {
+        BitString key = r.bits();
+        std::uint64_t value = r.u64();
+        out[sent[mdl][k]].emplace_back(std::move(key), value);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (out[i].size() > limits[i]) out[i].resize(limits[i]);
+  return out;
+}
+
+std::vector<std::vector<std::pair<BitString, std::uint64_t>>>
+RangePartitionedIndex::batch_topk(const std::vector<BitString>& prefixes,
+                                  const std::vector<std::size_t>& ks) {
+  obs::Phase op_phase("TopK");
+  std::uint64_t inst = instance_;
+  std::vector<pim::Buffer> buffers(sys_->p());
+  std::vector<std::vector<std::size_t>> sent(sys_->p());
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    if (ks[i] == 0) continue;
+    // Same module span as batch_subtree: [prefix, prefix + 64 ones].
+    std::uint32_t first = route(prefixes[i]);
+    BitString hi = prefixes[i];
+    for (int b = 0; b < 64; ++b) hi.push_back(true);
+    std::uint32_t last = route(hi);
+    for (std::uint32_t mdl = first; mdl <= last && mdl < sys_->p(); ++mdl) {
+      BufWriter w{buffers[mdl]};
+      w.bits(prefixes[i]);
+      w.u64(ks[i]);
+      sent[mdl].push_back(i);
+    }
+  }
+  auto results = sys_->round(
+      "range.topk", std::move(buffers), [inst](pim::Module& m, pim::Buffer in) {
+        auto& st = m.state<RangeModuleState>(inst);
+        BufReader r{in};
+        pim::Buffer out;
+        while (!r.done()) {
+          BitString prefix = r.bits();
+          std::uint64_t k = r.u64();
+          auto matches = st.local.topk(prefix, k);
+          BufWriter w{out};
+          w.u64(matches.size());
+          for (const auto& [key, v] : matches) {
+            w.bits(key);
+            w.u64(v);
+          }
+          m.work(prefix.word_count() + matches.size() + 2);
+        }
+        return out;
+      });
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> out(prefixes.size());
+  for (std::size_t mdl = 0; mdl < sys_->p(); ++mdl) {
+    BufReader r{results[mdl]};
+    for (std::size_t k = 0; k < sent[mdl].size(); ++k) {
+      std::uint64_t count = r.u64();
+      for (std::uint64_t j = 0; j < count; ++j) {
+        BitString key = r.bits();
+        std::uint64_t value = r.u64();
+        out[sent[mdl][k]].emplace_back(std::move(key), value);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (out[i].size() > ks[i]) out[i].resize(ks[i]);
+  return out;
+}
+
 std::string RangePartitionedIndex::debug_check() const {
   std::string problems;
   auto complain = [&](const std::string& s) {

@@ -32,6 +32,21 @@ class RangePartitionedIndex {
   std::vector<std::vector<std::pair<core::BitString, std::uint64_t>>> batch_subtree(
       const std::vector<core::BitString>& prefixes);
 
+  // Ordered operations. Pred/succ broadcast each query to every module
+  // (the true neighbor can live across a separator from the query's own
+  // range) and reduce the per-module answers host-side; range and top-k
+  // route to the module span covering the interval and concatenate the
+  // per-module ascending answers in module order.
+  std::vector<std::optional<std::pair<core::BitString, std::uint64_t>>> batch_pred(
+      const std::vector<core::BitString>& keys);
+  std::vector<std::optional<std::pair<core::BitString, std::uint64_t>>> batch_succ(
+      const std::vector<core::BitString>& keys);
+  std::vector<std::vector<std::pair<core::BitString, std::uint64_t>>> batch_range(
+      const std::vector<core::BitString>& los, const std::vector<core::BitString>& his,
+      const std::vector<std::size_t>& limits);
+  std::vector<std::vector<std::pair<core::BitString, std::uint64_t>>> batch_topk(
+      const std::vector<core::BitString>& prefixes, const std::vector<std::size_t>& ks);
+
   std::size_t key_count() const { return n_keys_; }
   std::size_t space_words() const;
   // The sorted separator keys (P-1 or fewer): module m owns the keys k
@@ -46,6 +61,8 @@ class RangePartitionedIndex {
 
  private:
   std::uint32_t route(const core::BitString& key) const;
+  std::vector<std::optional<std::pair<core::BitString, std::uint64_t>>> batch_neighbor(
+      const std::vector<core::BitString>& keys, int dir);
 
   pim::System* sys_;
   std::uint64_t instance_;

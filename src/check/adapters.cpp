@@ -73,6 +73,24 @@ class PimTrieAdapter : public IndexAdapter {
     return pt_->batch_get(keys);
   }
 
+  std::vector<std::optional<std::pair<BitString, std::uint64_t>>> pred(
+      const std::vector<BitString>& keys) override {
+    return pt_->batch_pred(keys);
+  }
+  std::vector<std::optional<std::pair<BitString, std::uint64_t>>> succ(
+      const std::vector<BitString>& keys) override {
+    return pt_->batch_succ(keys);
+  }
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> range(
+      const std::vector<BitString>& los, const std::vector<BitString>& his,
+      const std::vector<std::size_t>& limits) override {
+    return pt_->batch_range(los, his, limits);
+  }
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> topk(
+      const std::vector<BitString>& prefixes, const std::vector<std::size_t>& ks) override {
+    return pt_->batch_topk(prefixes, ks);
+  }
+
   std::size_t key_count() const override { return pt_->key_count(); }
   std::string check() const override { return pt_->debug_check(); }
   std::string deep_check() const override {
@@ -100,6 +118,19 @@ class PimTrieAdapter : public IndexAdapter {
       case OpKind::kSubtree:
         // Phase A/B as for LCP plus the per-level block-tree descent.
         return 16 + 6 * lg + 2 * pt_->block_count() + 8;
+      case OpKind::kPred:
+      case OpKind::kSucc:
+        // One match pass over the cover candidates, one exact-probe get
+        // pass, then the kSeekBlock extremum descent (bounded by the
+        // block-tree depth, so 2 * block_count is a safe roof).
+        return 2 * (16 + 6 * lg) + 2 * pt_->block_count() + 16;
+      case OpKind::kRange:
+        // One get pass for the cover's exact pieces plus one subtree
+        // sweep for its subtree pieces.
+        return 2 * (16 + 6 * lg) + 2 * pt_->block_count() + 16;
+      case OpKind::kTopK:
+        // Exactly one subtree sweep.
+        return 16 + 6 * lg + 2 * pt_->block_count() + 16;
       default:
         // Insert/erase add maintenance (re-partitioning, piece splits,
         // scapegoat rebuilds, master broadcast).
@@ -184,9 +215,55 @@ class ServeAdapter final : public PimTrieAdapter {
     return out;
   }
 
+  std::vector<std::optional<std::pair<BitString, std::uint64_t>>> pred(
+      const std::vector<BitString>& keys) override {
+    return neighbor(serve::Op::kPred, keys);
+  }
+  std::vector<std::optional<std::pair<BitString, std::uint64_t>>> succ(
+      const std::vector<BitString>& keys) override {
+    return neighbor(serve::Op::kSucc, keys);
+  }
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> range(
+      const std::vector<BitString>& los, const std::vector<BitString>& his,
+      const std::vector<std::size_t>& limits) override {
+    std::vector<std::future<serve::Response>> futs;
+    futs.reserve(los.size());
+    for (std::size_t i = 0; i < los.size(); ++i)
+      futs.push_back(srv_->submit(serve::Op::kRange, los[i], his[i], limits[i]));
+    return scans(futs);
+  }
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> topk(
+      const std::vector<BitString>& prefixes, const std::vector<std::size_t>& ks) override {
+    std::vector<std::future<serve::Response>> futs;
+    futs.reserve(prefixes.size());
+    for (std::size_t i = 0; i < prefixes.size(); ++i)
+      futs.push_back(srv_->submit(serve::Op::kTopK, prefixes[i], BitString(), ks[i]));
+    return scans(futs);
+  }
+
   std::vector<std::uint8_t> last_statuses() const override { return last_statuses_; }
 
  private:
+  std::vector<std::optional<std::pair<BitString, std::uint64_t>>> neighbor(
+      serve::Op op, const std::vector<BitString>& keys) {
+    std::vector<std::future<serve::Response>> futs;
+    futs.reserve(keys.size());
+    for (const auto& k : keys) futs.push_back(srv_->submit(op, k));
+    auto rs = settle(futs);
+    std::vector<std::optional<std::pair<BitString, std::uint64_t>>> out;
+    out.reserve(rs.size());
+    for (auto& r : rs) out.push_back(std::move(r.neighbor));
+    return out;
+  }
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> scans(
+      std::vector<std::future<serve::Response>>& futs) {
+    auto rs = settle(futs);
+    std::vector<std::vector<std::pair<BitString, std::uint64_t>>> out;
+    out.reserve(rs.size());
+    for (auto& r : rs) out.push_back(std::move(r.subtree));
+    return out;
+  }
+
   std::vector<serve::Response> settle(std::vector<std::future<serve::Response>>& futs) {
     srv_->flush();
     srv_->drain();
@@ -239,6 +316,24 @@ class RadixAdapter final : public IndexAdapter {
     return rt_.batch_subtree(prefixes);
   }
 
+  std::vector<std::optional<std::pair<BitString, std::uint64_t>>> pred(
+      const std::vector<BitString>& keys) override {
+    return rt_.batch_pred(keys);
+  }
+  std::vector<std::optional<std::pair<BitString, std::uint64_t>>> succ(
+      const std::vector<BitString>& keys) override {
+    return rt_.batch_succ(keys);
+  }
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> range(
+      const std::vector<BitString>& los, const std::vector<BitString>& his,
+      const std::vector<std::size_t>& limits) override {
+    return rt_.batch_range(los, his, limits);
+  }
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> topk(
+      const std::vector<BitString>& prefixes, const std::vector<std::size_t>& ks) override {
+    return rt_.batch_topk(prefixes, ks);
+  }
+
   std::size_t key_count() const override { return rt_.key_count(); }
   std::string check() const override { return rt_.debug_check(); }
 
@@ -264,10 +359,13 @@ class RadixAdapter final : public IndexAdapter {
 
   std::size_t round_envelope(OpKind op, std::size_t max_bits) const override {
     std::size_t hops = max_bits / kSpan + 2;
-    if (op == OpKind::kSubtree) {
+    if (op == OpKind::kSubtree || op == OpKind::kPred || op == OpKind::kSucc ||
+        op == OpKind::kRange || op == OpKind::kTopK) {
       // Walk to the anchor (query hops) plus one BFS round per stored
       // level below it — bounded by the deepest key ever inserted, not
-      // by the query length.
+      // by the query length. The ordered ops are composed host-side
+      // from exactly one batched subtree sweep over the cover's
+      // candidate prefixes, so the same envelope applies.
       std::size_t levels = max_stored_bits_ / kSpan + 2;
       return hops + levels + 8;
     }
@@ -339,6 +437,29 @@ class XFastAdapter final : public IndexAdapter {
     return out;
   }
 
+  std::vector<std::optional<std::pair<BitString, std::uint64_t>>> pred(
+      const std::vector<BitString>& keys) override {
+    return from_neighbor(xf_.batch_pred(to_ints(keys)));
+  }
+  std::vector<std::optional<std::pair<BitString, std::uint64_t>>> succ(
+      const std::vector<BitString>& keys) override {
+    return from_neighbor(xf_.batch_succ(to_ints(keys)));
+  }
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> range(
+      const std::vector<BitString>& los, const std::vector<BitString>& his,
+      const std::vector<std::size_t>& limits) override {
+    return from_lists(xf_.batch_range(to_ints(los), to_ints(his), limits));
+  }
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> topk(
+      const std::vector<BitString>& prefixes, const std::vector<std::size_t>& ks) override {
+    std::vector<std::pair<std::uint64_t, unsigned>> qs;
+    for (const auto& p : prefixes) {
+      unsigned len = static_cast<unsigned>(p.size());
+      qs.emplace_back(len == 0 ? 0 : p.word(0) >> (kWidth - len), len);
+    }
+    return from_lists(xf_.batch_topk(qs, ks));
+  }
+
   std::size_t key_count() const override { return xf_.key_count(); }
   std::string check() const override { return xf_.debug_check(); }
 
@@ -361,6 +482,24 @@ class XFastAdapter final : public IndexAdapter {
     std::vector<std::uint64_t> out;
     out.reserve(keys.size());
     for (const auto& k : keys) out.push_back(k.word(0));
+    return out;
+  }
+  // Fixed-width integer answers map back to 64-bit strings; integer
+  // order equals bitstring order at equal width, so ascending stays
+  // ascending and no re-sort is needed.
+  static std::vector<std::optional<std::pair<BitString, std::uint64_t>>> from_neighbor(
+      const std::vector<std::optional<std::pair<std::uint64_t, std::uint64_t>>>& in) {
+    std::vector<std::optional<std::pair<BitString, std::uint64_t>>> out(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+      if (in[i]) out[i] = {BitString::from_uint(in[i]->first, kWidth), in[i]->second};
+    return out;
+  }
+  static std::vector<std::vector<std::pair<BitString, std::uint64_t>>> from_lists(
+      const std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>& in) {
+    std::vector<std::vector<std::pair<BitString, std::uint64_t>>> out(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+      for (const auto& [k, v] : in[i])
+        out[i].emplace_back(BitString::from_uint(k, kWidth), v);
     return out;
   }
 
@@ -390,6 +529,28 @@ class RangeAdapter final : public IndexAdapter {
   std::vector<std::vector<std::pair<BitString, std::uint64_t>>> subtree(
       const std::vector<BitString>& prefixes) override {
     return rp_.batch_subtree(prefixes);
+  }
+
+  // Unlike LCP (windowed to the routed module), the ordered ops are
+  // exact: pred/succ broadcast so a neighbor across a separator is
+  // still found, and range/topk span every module their answer could
+  // live on.
+  std::vector<std::optional<std::pair<BitString, std::uint64_t>>> pred(
+      const std::vector<BitString>& keys) override {
+    return rp_.batch_pred(keys);
+  }
+  std::vector<std::optional<std::pair<BitString, std::uint64_t>>> succ(
+      const std::vector<BitString>& keys) override {
+    return rp_.batch_succ(keys);
+  }
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> range(
+      const std::vector<BitString>& los, const std::vector<BitString>& his,
+      const std::vector<std::size_t>& limits) override {
+    return rp_.batch_range(los, his, limits);
+  }
+  std::vector<std::vector<std::pair<BitString, std::uint64_t>>> topk(
+      const std::vector<BitString>& prefixes, const std::vector<std::size_t>& ks) override {
+    return rp_.batch_topk(prefixes, ks);
   }
 
   std::size_t key_count() const override { return rp_.key_count(); }

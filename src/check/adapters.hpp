@@ -53,6 +53,20 @@ class IndexAdapter {
     return std::vector<std::optional<std::uint64_t>>(keys.size());
   }
 
+  // Ordered operations (strict bitstring order over transformed keys).
+  // Every structure answers these exactly against its live contents, so
+  // the runner compares them straight against the oracle — no per-
+  // structure acceptance hook is needed.
+  virtual std::vector<std::optional<std::pair<core::BitString, std::uint64_t>>> pred(
+      const std::vector<core::BitString>& keys) = 0;
+  virtual std::vector<std::optional<std::pair<core::BitString, std::uint64_t>>> succ(
+      const std::vector<core::BitString>& keys) = 0;
+  virtual std::vector<std::vector<std::pair<core::BitString, std::uint64_t>>> range(
+      const std::vector<core::BitString>& los, const std::vector<core::BitString>& his,
+      const std::vector<std::size_t>& limits) = 0;
+  virtual std::vector<std::vector<std::pair<core::BitString, std::uint64_t>>> topk(
+      const std::vector<core::BitString>& prefixes, const std::vector<std::size_t>& ks) = 0;
+
   virtual std::size_t key_count() const = 0;
   // Structural invariants ("" when healthy). deep_check() covers the
   // occupancy/accounting invariants that only hold with maintenance on.

@@ -54,6 +54,40 @@ std::vector<std::pair<BitString, std::uint64_t>> Oracle::subtree(
   return out;
 }
 
+std::optional<std::pair<BitString, std::uint64_t>> Oracle::pred(const BitString& x) const {
+  auto it = map_.lower_bound(x);  // first key >= x; the one before is < x
+  if (it == map_.begin()) return std::nullopt;
+  --it;
+  return std::make_pair(it->first, it->second);
+}
+
+std::optional<std::pair<BitString, std::uint64_t>> Oracle::succ(const BitString& x) const {
+  auto it = map_.upper_bound(x);
+  if (it == map_.end()) return std::nullopt;
+  return std::make_pair(it->first, it->second);
+}
+
+std::vector<std::pair<BitString, std::uint64_t>> Oracle::range(const BitString& lo,
+                                                               const BitString& hi,
+                                                               std::size_t limit) const {
+  std::vector<std::pair<BitString, std::uint64_t>> out;
+  for (auto it = map_.lower_bound(lo); it != map_.end() && out.size() < limit; ++it) {
+    if (hi < it->first) break;
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+std::vector<std::pair<BitString, std::uint64_t>> Oracle::topk(const BitString& prefix,
+                                                              std::size_t k) const {
+  std::vector<std::pair<BitString, std::uint64_t>> out;
+  for (auto it = map_.lower_bound(prefix); it != map_.end() && out.size() < k; ++it) {
+    if (!prefix.is_prefix_of(it->first)) break;
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
 std::vector<std::pair<BitString, std::uint64_t>> Oracle::all() const {
   return {map_.begin(), map_.end()};
 }

@@ -42,6 +42,20 @@ class Oracle {
   std::vector<std::pair<core::BitString, std::uint64_t>> subtree(
       const core::BitString& prefix) const;
 
+  // Ordered reference answers (strict; the map's key order is exactly
+  // the bitstring order every structure promises).
+  std::optional<std::pair<core::BitString, std::uint64_t>> pred(
+      const core::BitString& x) const;
+  std::optional<std::pair<core::BitString, std::uint64_t>> succ(
+      const core::BitString& x) const;
+  // Stored pairs in [lo, hi] inclusive, ascending, truncated to `limit`
+  // (limit 0 or lo > hi = empty).
+  std::vector<std::pair<core::BitString, std::uint64_t>> range(
+      const core::BitString& lo, const core::BitString& hi, std::size_t limit) const;
+  // First k stored pairs under `prefix`, ascending.
+  std::vector<std::pair<core::BitString, std::uint64_t>> topk(
+      const core::BitString& prefix, std::size_t k) const;
+
   // Every stored pair in lexicographic order.
   std::vector<std::pair<core::BitString, std::uint64_t>> all() const;
 

@@ -154,14 +154,24 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
 
   for (std::size_t bi = 0; bi < s.batches.size(); ++bi) {
     const Batch& b = s.batches[bi];
+    const bool prefix_op = b.op == OpKind::kSubtree || b.op == OpKind::kTopK;
     std::vector<BitString> tkeys;
     tkeys.reserve(b.keys.size());
     std::size_t max_bits = 0;
     for (const auto& k : b.keys) {
-      tkeys.push_back(b.op == OpKind::kSubtree ? adapter->transform_prefix(k)
-                                               : adapter->transform(k));
+      tkeys.push_back(prefix_op ? adapter->transform_prefix(k) : adapter->transform(k));
       max_bits = std::max(max_bits, tkeys.back().size());
     }
+    // Range upper bounds transform like keys; limits/k ride in aux.
+    std::vector<BitString> tkeys2;
+    if (b.op == OpKind::kRange) {
+      tkeys2.reserve(b.keys2.size());
+      for (const auto& k : b.keys2) {
+        tkeys2.push_back(adapter->transform(k));
+        max_bits = std::max(max_bits, tkeys2.back().size());
+      }
+    }
+    std::vector<std::size_t> limits(b.aux.begin(), b.aux.end());
     res.ops += tkeys.size();
 
     auto before = sys.metrics().snapshot();
@@ -260,6 +270,72 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
             fail(bi, "get(" + key_str(tkeys[i]) + ") = " +
                          (got[i] ? std::to_string(*got[i]) : "absent") + ", oracle says " +
                          (want ? std::to_string(*want) : "absent"));
+            query_ok = false;
+          }
+        }
+        break;
+      }
+      case OpKind::kPred:
+      case OpKind::kSucc: {
+        const bool is_pred = b.op == OpKind::kPred;
+        std::vector<std::optional<std::pair<BitString, std::uint64_t>>> got;
+        if (!guarded(
+                [&] { got = is_pred ? adapter->pred(tkeys) : adapter->succ(tkeys); })) {
+          res.faulted += tkeys.size();
+          break;
+        }
+        st = adapter->last_statuses();
+        for (std::size_t i = 0; i < tkeys.size() && query_ok; ++i) {
+          if (skip_faulted(i)) continue;
+          ++res.checks;
+          auto want = is_pred ? live.pred(tkeys[i]) : live.succ(tkeys[i]);
+          bool same =
+              got[i].has_value() == want.has_value() &&
+              (!got[i] ||
+               (got[i]->first == want->first && got[i]->second == want->second));
+          if (!same) {
+            fail(bi, std::string(op_name(b.op)) + "(" + key_str(tkeys[i]) + ") = " +
+                         (got[i] ? key_str(got[i]->first) : "absent") +
+                         ", oracle says " + (want ? key_str(want->first) : "absent"));
+            query_ok = false;
+          }
+        }
+        break;
+      }
+      case OpKind::kRange: {
+        std::vector<std::vector<std::pair<BitString, std::uint64_t>>> got;
+        if (!guarded([&] { got = adapter->range(tkeys, tkeys2, limits); })) {
+          res.faulted += tkeys.size();
+          break;
+        }
+        st = adapter->last_statuses();
+        for (std::size_t i = 0; i < tkeys.size() && query_ok; ++i) {
+          if (skip_faulted(i)) continue;
+          ++res.checks;
+          if (std::string d =
+                  diff_lists(got[i], live.range(tkeys[i], tkeys2[i], limits[i]));
+              !d.empty()) {
+            fail(bi, "range(" + key_str(tkeys[i]) + ", " + key_str(tkeys2[i]) +
+                         ", limit " + std::to_string(limits[i]) + "): " + d);
+            query_ok = false;
+          }
+        }
+        break;
+      }
+      case OpKind::kTopK: {
+        std::vector<std::vector<std::pair<BitString, std::uint64_t>>> got;
+        if (!guarded([&] { got = adapter->topk(tkeys, limits); })) {
+          res.faulted += tkeys.size();
+          break;
+        }
+        st = adapter->last_statuses();
+        for (std::size_t i = 0; i < tkeys.size() && query_ok; ++i) {
+          if (skip_faulted(i)) continue;
+          ++res.checks;
+          if (std::string d = diff_lists(got[i], live.topk(tkeys[i], limits[i]));
+              !d.empty()) {
+            fail(bi, "topk(" + key_str(tkeys[i]) + ", k " + std::to_string(limits[i]) +
+                         "): " + d);
             query_ok = false;
           }
         }

@@ -17,6 +17,10 @@ const char* op_name(OpKind op) {
     case OpKind::kLcp: return "lcp";
     case OpKind::kSubtree: return "subtree";
     case OpKind::kGet: return "get";
+    case OpKind::kPred: return "pred";
+    case OpKind::kSucc: return "succ";
+    case OpKind::kRange: return "range";
+    case OpKind::kTopK: return "topk";
   }
   return "?";
 }
@@ -25,7 +29,8 @@ namespace {
 
 bool op_from_name(const std::string& s, OpKind* out) {
   for (OpKind op : {OpKind::kInsert, OpKind::kErase, OpKind::kLcp, OpKind::kSubtree,
-                    OpKind::kGet}) {
+                    OpKind::kGet, OpKind::kPred, OpKind::kSucc, OpKind::kRange,
+                    OpKind::kTopK}) {
     if (s == op_name(op)) {
       *out = op;
       return true;
@@ -150,19 +155,47 @@ Schedule make_schedule(const std::string& structure, const std::string& profile,
   for (std::size_t b = 0; b < gp.n_batches; ++b) {
     Batch batch;
     std::uint64_t roll = rng.below(100);
-    if (roll < 30) batch.op = OpKind::kInsert;
-    else if (roll < 55) batch.op = OpKind::kErase;
-    else if (roll < 75) batch.op = OpKind::kLcp;
-    else if (roll < 85) batch.op = OpKind::kSubtree;
-    else batch.op = with_get ? OpKind::kGet : OpKind::kLcp;
+    if (gp.ordered_bias) {
+      // Ordered-op grammar: a thin write/query tail keeps the structure
+      // churning, but ~70% of batches are ordered operations.
+      if (roll < 14) batch.op = OpKind::kInsert;
+      else if (roll < 24) batch.op = OpKind::kErase;
+      else if (roll < 30) batch.op = with_get ? OpKind::kGet : OpKind::kLcp;
+      else if (roll < 48) batch.op = OpKind::kPred;
+      else if (roll < 66) batch.op = OpKind::kSucc;
+      else if (roll < 84) batch.op = OpKind::kRange;
+      else batch.op = OpKind::kTopK;
+    } else {
+      if (roll < 26) batch.op = OpKind::kInsert;
+      else if (roll < 46) batch.op = OpKind::kErase;
+      else if (roll < 60) batch.op = OpKind::kLcp;
+      else if (roll < 68) batch.op = OpKind::kSubtree;
+      else if (roll < 76) batch.op = with_get ? OpKind::kGet : OpKind::kLcp;
+      else if (roll < 82) batch.op = OpKind::kPred;
+      else if (roll < 88) batch.op = OpKind::kSucc;
+      else if (roll < 94) batch.op = OpKind::kRange;
+      else batch.op = OpKind::kTopK;
+    }
 
-    if (batch.op == OpKind::kSubtree) {
-      // Subtree answers can be large; keep these batches narrow and use
-      // prefixes of pool keys (plus the occasional empty/full prefix).
+    if (batch.op == OpKind::kSubtree || batch.op == OpKind::kTopK) {
+      // Subtree/top-k answers key off prefixes; keep these batches
+      // narrow and use prefixes of pool keys (plus the occasional
+      // empty/full prefix). Top-k draws k = 0 on purpose sometimes.
       std::size_t n = 1 + rng.below(4);
       for (std::size_t i = 0; i < n; ++i) {
         const BitString& base = pool_pick();
         batch.keys.push_back(base.prefix(rng.below(base.size() + 1)));
+        if (batch.op == OpKind::kTopK)
+          batch.aux.push_back(rng.below(10) == 0 ? 0 : 1 + rng.below(16));
+      }
+    } else if (batch.op == OpKind::kRange) {
+      // Bounds are two independent draws, deliberately unsorted so
+      // hi < lo (empty answer) is exercised; limits include zero.
+      std::size_t n = 1 + rng.below(6);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.keys.push_back(draw_key());
+        batch.keys2.push_back(draw_key());
+        batch.aux.push_back(rng.below(8) == 0 ? 0 : 1 + rng.below(48));
       }
     } else {
       std::size_t n = 1 + rng.below(gp.batch_cap);
@@ -192,6 +225,8 @@ std::string serialize(const Schedule& s) {
     for (std::size_t i = 0; i < b.keys.size(); ++i) {
       out << key_token(b.keys[i]);
       if (b.op == OpKind::kInsert) out << " " << b.values[i];
+      if (b.op == OpKind::kRange) out << " " << key_token(b.keys2[i]) << " " << b.aux[i];
+      if (b.op == OpKind::kTopK) out << " " << b.aux[i];
       out << "\n";
     }
   }
@@ -242,6 +277,20 @@ bool parse(const std::string& text, Schedule* out, std::string* error) {
         if (!(in >> v)) return fail("missing insert value");
         batch.values.push_back(v);
       }
+      if (batch.op == OpKind::kRange) {
+        std::string htok;
+        BitString hi;
+        std::uint64_t lim;
+        if (!(in >> htok) || !parse_key(htok, &hi)) return fail("bad range hi key");
+        if (!(in >> lim)) return fail("missing range limit");
+        batch.keys2.push_back(std::move(hi));
+        batch.aux.push_back(lim);
+      }
+      if (batch.op == OpKind::kTopK) {
+        std::uint64_t kk;
+        if (!(in >> kk)) return fail("missing topk k");
+        batch.aux.push_back(kk);
+      }
     }
     s.batches.push_back(std::move(batch));
   }
@@ -253,6 +302,29 @@ bool parse(const std::string& text, Schedule* out, std::string* error) {
   }
   if (tag != "end") return fail("missing end marker");
   *out = std::move(s);
+  return true;
+}
+
+bool parse_all(const std::string& text, std::vector<Schedule>* out, std::string* error) {
+  // Each schedule opens with the full header line; split on it. A dump
+  // from --seeds N is exactly N serialized schedules concatenated, so
+  // the split points are unambiguous (keys are '0'/'1'/'-' tokens and
+  // can never contain the header string).
+  static const char kHeader[] = "ptrie-fuzz-schedule v1";
+  std::vector<std::size_t> starts;
+  for (std::size_t pos = text.find(kHeader); pos != std::string::npos;
+       pos = text.find(kHeader, pos + 1))
+    starts.push_back(pos);
+  if (starts.empty()) {
+    if (error) *error = "bad header (want 'ptrie-fuzz-schedule v1')";
+    return false;
+  }
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    std::size_t end = i + 1 < starts.size() ? starts[i + 1] : text.size();
+    Schedule s;
+    if (!parse(text.substr(starts[i], end - starts[i]), &s, error)) return false;
+    out->push_back(std::move(s));
+  }
   return true;
 }
 

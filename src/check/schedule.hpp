@@ -16,7 +16,19 @@
 
 namespace ptrie::check {
 
-enum class OpKind { kInsert, kErase, kLcp, kSubtree, kGet };
+enum class OpKind {
+  kInsert,
+  kErase,
+  kLcp,
+  kSubtree,
+  kGet,
+  // Ordered operations (strict bitstring order): predecessor/successor
+  // point queries, inclusive bounded range scans, first-k-under-prefix.
+  kPred,
+  kSucc,
+  kRange,
+  kTopK,
+};
 
 const char* op_name(OpKind op);
 
@@ -25,6 +37,13 @@ struct Batch {
   std::vector<core::BitString> keys;
   // Parallel to keys; meaningful for kInsert only.
   std::vector<std::uint64_t> values;
+  // Parallel to keys; the inclusive upper bound for kRange only. The
+  // generator deliberately does NOT sort the pair, so hi < lo (empty
+  // answer) is a first-class schedule case.
+  std::vector<core::BitString> keys2;
+  // Parallel to keys; the result cap for kRange / the k for kTopK.
+  // Zero is generated on purpose (empty-answer path).
+  std::vector<std::uint64_t> aux;
 };
 
 struct Schedule {
@@ -48,6 +67,9 @@ struct GenParams {
   std::size_t batch_cap = 24;  // max keys per batch
   std::size_t init_n = 64;     // initial bulk-load size
   std::size_t max_bits = 96;   // longest generated key
+  // Skew the op mix toward the ordered operations (~70% of batches are
+  // pred/succ/range/topk) — the ordered-op fuzz grammar.
+  bool ordered_bias = false;
 };
 
 // Deterministic schedule from (structure, profile, seed). Key material
@@ -61,5 +83,14 @@ Schedule make_schedule(const std::string& structure, const std::string& profile,
 // input; serialize(parse(s)) == s for schedules produced here.
 std::string serialize(const Schedule& s);
 bool parse(const std::string& text, Schedule* out, std::string* error);
+
+// Parses a file holding one or more concatenated schedules (what
+// `ptrie_fuzz --seeds N --dump` writes — each starts with its own
+// "ptrie-fuzz-schedule v1" header). parse() stops at the first `end`
+// marker, so replaying a multi-schedule dump through it silently ran
+// only the first schedule; replay paths must use this instead. The
+// round-trip fixpoint is: dump == concat(serialize(s) for s in
+// parse_all(dump)).
+bool parse_all(const std::string& text, std::vector<Schedule>* out, std::string* error);
 
 }  // namespace ptrie::check

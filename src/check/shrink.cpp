@@ -6,12 +6,16 @@ namespace ptrie::check {
 
 namespace {
 
-// Removes [start, start+len) from a batch's keys (and values, when the
-// batch carries them).
+// Removes [start, start+len) from a batch's keys (and the parallel
+// values / range-hi / limit vectors, when the batch carries them).
 void drop_ops(Batch* b, std::size_t start, std::size_t len) {
   b->keys.erase(b->keys.begin() + start, b->keys.begin() + start + len);
   if (!b->values.empty())
     b->values.erase(b->values.begin() + start, b->values.begin() + start + len);
+  if (!b->keys2.empty())
+    b->keys2.erase(b->keys2.begin() + start, b->keys2.begin() + start + len);
+  if (!b->aux.empty())
+    b->aux.erase(b->aux.begin() + start, b->aux.begin() + start + len);
 }
 
 }  // namespace

@@ -38,6 +38,10 @@ enum Op : std::uint64_t {
 
   kStoreMaster,   // master roots -> ack
   kMatchMaster,   // QueryPiece -> resolved matches against master
+
+  kSeekBlock,     // block_id, suffix bits, dir (0 min / 1 max) -> one
+                  // extremum-descent step: miss | found(path, value) |
+                  // descend(child_block, path) at a mirror stub
 };
 
 struct MasterReplica {

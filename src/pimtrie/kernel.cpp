@@ -222,6 +222,83 @@ pim::Buffer kernel(pim::Module& mod, pim::Buffer in, std::uint64_t instance,
         }
         break;
       }
+      case kSeekBlock: {
+        BlockId id = r.u64();
+        BitString suffix = r.bits();
+        std::uint64_t dir = r.u64();  // 0 = min, 1 = max
+        const Block& blk = require(st.blocks, id, "block", mod.id());
+        trie::Position pos{blk.trie.root(), 0};
+        std::size_t walked;
+        std::tie(walked, pos) = blk.trie.lcp(suffix);
+        work += suffix.size() / 64 + 2;
+        if (walked != suffix.size()) {
+          bw.u64(0);  // miss: nothing in this block extends the seek point
+          break;
+        }
+        // Mid-edge match: every key below the seek point runs through
+        // pos.node, reached via the unmatched tail of its edge.
+        BitString path0;
+        if (pos.above > 0) {
+          const BitString& edge = blk.trie.node(pos.node).edge;
+          path0 = edge.suffix(edge.size() - pos.above);
+        }
+        struct Item {
+          NodeId n;
+          std::uint32_t post;  // max order: emit own value after children
+          BitString path;      // bits below the seek point
+        };
+        std::vector<Item> stack{{pos.node, 0, std::move(path0)}};
+        std::uint64_t kind = 0;
+        while (!stack.empty() && kind == 0) {
+          Item it = std::move(stack.back());
+          stack.pop_back();
+          ++work;
+          const auto& n = blk.trie.node(it.n);
+          if (it.post) {
+            if (n.has_value) {
+              bw.u64(kind = 1);
+              bw.bits(it.path);
+              bw.u64(n.value);
+            }
+            continue;
+          }
+          if (blk.is_mirror(it.n)) {
+            // A stub's content (its own key included) lives in the child
+            // block; the host continues the descent there.
+            bw.u64(kind = 2);
+            bw.u64(blk.mirrors.at(it.n));
+            bw.bits(it.path);
+            continue;
+          }
+          if (dir == 0) {
+            // Min order: the node's own key is a prefix of everything
+            // below it, then the 0-subtree, then the 1-subtree.
+            if (n.has_value) {
+              bw.u64(kind = 1);
+              bw.bits(it.path);
+              bw.u64(n.value);
+              continue;
+            }
+            for (int b = 1; b >= 0; --b) {
+              if (n.child[b] == kNil) continue;
+              BitString cp = it.path;
+              cp.append(blk.trie.node(n.child[b]).edge);
+              stack.push_back({n.child[b], 0, std::move(cp)});
+            }
+          } else {
+            // Max order: 1-subtree, then 0-subtree, then the own key.
+            stack.push_back({it.n, 1, it.path});
+            for (int b = 0; b <= 1; ++b) {
+              if (n.child[b] == kNil) continue;
+              BitString cp = it.path;
+              cp.append(blk.trie.node(n.child[b]).edge);
+              stack.push_back({n.child[b], 0, std::move(cp)});
+            }
+          }
+        }
+        if (kind == 0) bw.u64(0);  // no stored key under the seek point
+        break;
+      }
       case kRemoveMirror: {
         BlockId id = r.u64();
         BlockId child = r.u64();

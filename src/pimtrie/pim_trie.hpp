@@ -63,6 +63,25 @@ class PimTrie {
   // Batch point reads: out[i] = value stored at keys[i], if present.
   std::vector<std::optional<trie::Value>> batch_get(const std::vector<core::BitString>& keys);
 
+  // ---- ordered operations (strict bitstring order) ----
+  // out[i] = greatest stored pair < keys[i] / least stored pair >
+  // keys[i], if any. Decomposed into O(|key|) disjoint cover candidates
+  // (trie/ordered_cover.hpp); candidate viability is resolved by one
+  // matching pass, then the winning subtree candidate's extremum is
+  // found by per-block kSeekBlock descent rounds ("ordered.seek*").
+  std::vector<std::optional<std::pair<core::BitString, trie::Value>>> batch_pred(
+      const std::vector<core::BitString>& keys);
+  std::vector<std::optional<std::pair<core::BitString, trie::Value>>> batch_succ(
+      const std::vector<core::BitString>& keys);
+  // out[i] = stored pairs in [los[i], his[i]] inclusive, ascending,
+  // truncated to limits[i] (lo > hi or limit 0 = empty).
+  std::vector<std::vector<std::pair<core::BitString, trie::Value>>> batch_range(
+      const std::vector<core::BitString>& los, const std::vector<core::BitString>& his,
+      const std::vector<std::size_t>& limits);
+  // out[i] = first ks[i] stored pairs under prefixes[i], ascending.
+  std::vector<std::vector<std::pair<core::BitString, trie::Value>>> batch_topk(
+      const std::vector<core::BitString>& prefixes, const std::vector<std::size_t>& ks);
+
   // ---- prepared batches (serving pipeline) ----
   // Host-only preparation of a batch (Algorithm 1): sort + dedup +
   // hashed query-trie build. Depends only on the batch keys and this
@@ -180,6 +199,10 @@ class PimTrie {
 
   std::vector<CriticalRoot> match_critical_roots(trie::QueryTrie& qt, const char* label);
   MatchOutcome run_matching(trie::QueryTrie& qt, const char* label, int op_kind);
+  // Shared pred/succ engine: dir 0 seeks the first viable candidate's
+  // minimum (successor), dir 1 the maximum (predecessor).
+  std::vector<std::optional<std::pair<core::BitString, trie::Value>>> batch_seek_extremum(
+      const std::vector<core::BitString>& keys, int dir);
 
   // ---- maintenance ----
   void repartition_oversized_blocks(const std::vector<BlockId>& oversized, const char* label);

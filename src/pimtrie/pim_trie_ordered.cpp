@@ -1,0 +1,259 @@
+// PimTrie ordered operations (Predecessor / Successor / RangeScan /
+// TopKByPrefix). Each query is decomposed into the cover pieces of
+// trie/ordered_cover.hpp; a single matching pass (the same Phase A-C
+// pipeline the read operations use) resolves which subtree pieces are
+// non-empty, exact pieces are resolved by batch_get, and the winning
+// subtree piece of a pred/succ query is walked to its extremum by
+// per-block kSeekBlock descent rounds that cross block boundaries at
+// mirror stubs. Range and top-k reuse the SubtreeQuery collection
+// machinery wholesale and assemble the per-piece answers host-side.
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "obs/phase.hpp"
+#include "pimtrie/detail.hpp"
+#include "pimtrie/pim_trie.hpp"
+#include "trie/ordered_cover.hpp"
+
+namespace ptrie::pimtrie {
+
+using core::BitString;
+using trie::CoverPiece;
+using trie::NodeId;
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+// Key for deduplicating candidate prefixes across queries. BitString
+// has no std::hash; the canonical text form is cheap at cover sizes.
+std::string bs_key(const BitString& s) { return s.to_binary(); }
+
+}  // namespace
+
+// Shared machinery for batch_pred / batch_succ. `dir` is 0 for the
+// subtree minimum (successor) and 1 for the maximum (predecessor).
+std::vector<std::optional<std::pair<BitString, trie::Value>>> PimTrie::batch_pred(
+    const std::vector<BitString>& keys) {
+  return batch_seek_extremum(keys, /*dir=*/1);
+}
+
+std::vector<std::optional<std::pair<BitString, trie::Value>>> PimTrie::batch_succ(
+    const std::vector<BitString>& keys) {
+  return batch_seek_extremum(keys, /*dir=*/0);
+}
+
+std::vector<std::optional<std::pair<BitString, trie::Value>>> PimTrie::batch_seek_extremum(
+    const std::vector<BitString>& keys, int dir) {
+  std::vector<std::optional<std::pair<BitString, trie::Value>>> out(keys.size());
+  if (keys.empty() || root_block_ == kNone) return out;
+  obs::Phase op_phase(dir ? "Pred" : "Succ");
+
+  // Per-query candidate lists, plus the union of subtree / exact
+  // candidate prefixes across the batch (deduped).
+  std::vector<std::vector<CoverPiece>> cands(keys.size());
+  std::vector<BitString> sub_prefixes, exact_prefixes;
+  std::unordered_map<std::string, std::size_t> sub_idx, exact_idx;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    cands[i] = dir ? trie::pred_candidates(keys[i]) : trie::succ_candidates(keys[i]);
+    for (const CoverPiece& c : cands[i]) {
+      auto& idx = c.subtree ? sub_idx : exact_idx;
+      auto& list = c.subtree ? sub_prefixes : exact_prefixes;
+      if (idx.emplace(bs_key(c.prefix), list.size()).second) list.push_back(c.prefix);
+    }
+  }
+
+  // One matching pass over the subtree candidates decides viability:
+  // match_len is the exact LCP of the candidate prefix against the
+  // stored set (verified + redone on collisions), so match_len >=
+  // |prefix| iff some stored key extends the prefix.
+  std::vector<bool> viable(sub_prefixes.size(), false);
+  std::vector<BlockId> span_block(sub_prefixes.size(), kNone);
+  if (!sub_prefixes.empty()) {
+    trie::QueryTrie qt = prepare_batch(sub_prefixes);
+    sys_->metrics().add_cpu_work(qt.cpu_work);
+    MatchOutcome mo = run_matching(qt, "ordered", /*op_kind=*/0);
+    for (std::size_t i = 0; i < sub_prefixes.size(); ++i) {
+      NodeId node = qt.key_node[qt.sorted_slot_of_input[i]];
+      if (mo.match_len[node] < sub_prefixes[i].size()) continue;
+      std::size_t si = mo.span_of[node];
+      if (si == kNpos) continue;
+      viable[i] = true;
+      span_block[i] = mo.spans[si].block;
+    }
+  }
+  std::vector<std::optional<trie::Value>> exact_hits;
+  if (!exact_prefixes.empty()) exact_hits = batch_get(exact_prefixes);
+
+  // Walk each query's candidate list in order; the first viable piece
+  // holds the answer. Exact winners answer immediately; subtree winners
+  // need an extremum descent, deduped by prefix. Misses during the
+  // descent (possible only if the structure is inconsistent) simply
+  // fall through to the query's next candidate on the next pass.
+  struct SeekState {
+    BlockId block = kNone;
+    BitString suffix;  // candidate bits below the current block's root
+    BitString acc;     // absolute key bits resolved so far
+    bool done = false;
+    bool found = false;
+    trie::Value value = 0;
+  };
+  std::vector<std::size_t> cursor(keys.size(), 0);
+  std::vector<bool> resolved(keys.size(), false);
+  int epoch = 0;
+  for (;;) {
+    std::vector<SeekState> seeks;
+    std::unordered_map<std::string, std::size_t> seek_of;         // prefix -> seek
+    std::vector<std::pair<std::size_t, std::size_t>> query_seek;  // (query, seek)
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (resolved[i]) continue;
+      while (cursor[i] < cands[i].size()) {
+        const CoverPiece& c = cands[i][cursor[i]];
+        if (c.subtree) {
+          std::size_t ci = sub_idx.at(bs_key(c.prefix));
+          if (viable[ci]) {
+            auto [it, fresh] = seek_of.emplace(bs_key(c.prefix), seeks.size());
+            if (fresh) {
+              SeekState st;
+              st.block = span_block[ci];
+              st.suffix = c.prefix.suffix(blocks_.at(st.block).root_depth);
+              st.acc = c.prefix;
+              seeks.push_back(std::move(st));
+            }
+            query_seek.emplace_back(i, it->second);
+            break;
+          }
+        } else {
+          const auto& hit = exact_hits[exact_idx.at(bs_key(c.prefix))];
+          if (hit) {
+            out[i] = std::make_pair(c.prefix, *hit);
+            resolved[i] = true;
+            break;
+          }
+        }
+        ++cursor[i];
+      }
+      if (cursor[i] >= cands[i].size()) resolved[i] = true;  // no answer
+    }
+    if (seeks.empty()) break;
+
+    // Descent rounds: each active seek asks its current block for the
+    // subtree extremum under its suffix; a mirror-stub reply hops to
+    // the child block. Depth is bounded by the block-tree height.
+    for (int round = 0; round < 64; ++round) {
+      std::vector<pim::Buffer> buffers(sys_->p());
+      std::vector<std::pair<std::size_t, std::uint32_t>> pend;
+      for (std::size_t i = 0; i < seeks.size(); ++i) {
+        if (seeks[i].done) continue;
+        std::uint32_t module = blocks_.at(seeks[i].block).module;
+        detail::FrameWriter fw{buffers[module]};
+        fw.begin();
+        BufWriter bw{buffers[module]};
+        bw.u64(detail::kSeekBlock);
+        bw.u64(seeks[i].block);
+        bw.bits(seeks[i].suffix);
+        bw.u64(static_cast<std::uint64_t>(dir));
+        fw.end();
+        pend.emplace_back(i, module);
+      }
+      if (pend.empty()) break;
+      std::string lbl =
+          "ordered.seek" + std::to_string(epoch) + "." + std::to_string(round);
+      auto results = detail::run_round(*sys_, lbl.c_str(), std::move(buffers), instance_,
+                                       hasher_, cfg_.w);
+      std::vector<BufReader> readers;
+      for (const auto& buf : results) readers.push_back(BufReader{buf});
+      for (auto [i, module] : pend) {
+        BufReader& r = readers[module];
+        std::uint64_t frame = r.u64();
+        std::size_t end = r.pos + frame;
+        std::uint64_t kind = r.u64();
+        SeekState& st = seeks[i];
+        if (kind == 0) {
+          st.done = true;  // miss: candidate non-viable after all
+        } else if (kind == 1) {
+          st.acc.append(r.bits());
+          st.value = r.u64();
+          st.done = true;
+          st.found = true;
+        } else {
+          BlockId child = r.u64();
+          st.acc.append(r.bits());
+          st.block = child;
+          st.suffix = BitString();
+        }
+        r.pos = end;
+      }
+    }
+    for (auto [q, si] : query_seek) {
+      if (seeks[si].found) {
+        out[q] = std::make_pair(seeks[si].acc, seeks[si].value);
+        resolved[q] = true;
+      } else {
+        ++cursor[q];  // miss: try the query's next candidate
+      }
+    }
+    ++epoch;
+  }
+  return out;
+}
+
+std::vector<std::vector<std::pair<BitString, trie::Value>>> PimTrie::batch_range(
+    const std::vector<BitString>& los, const std::vector<BitString>& his,
+    const std::vector<std::size_t>& limits) {
+  std::vector<std::vector<std::pair<BitString, trie::Value>>> out(los.size());
+  if (los.empty() || root_block_ == kNone) return out;
+  obs::Phase op_phase("Range");
+
+  // Decompose every query into its disjoint ascending cover, then
+  // resolve all exact pieces with one point-read batch and all subtree
+  // pieces with one SubtreeQuery batch.
+  std::vector<std::vector<CoverPiece>> covers(los.size());
+  std::vector<BitString> sub_prefixes, exact_prefixes;
+  std::unordered_map<std::string, std::size_t> sub_idx, exact_idx;
+  for (std::size_t i = 0; i < los.size(); ++i) {
+    if (limits[i] == 0) continue;
+    covers[i] = trie::range_cover(los[i], his[i]);
+    for (const CoverPiece& c : covers[i]) {
+      auto& idx = c.subtree ? sub_idx : exact_idx;
+      auto& list = c.subtree ? sub_prefixes : exact_prefixes;
+      if (idx.emplace(bs_key(c.prefix), list.size()).second) list.push_back(c.prefix);
+    }
+  }
+  std::vector<std::optional<trie::Value>> exact_hits;
+  if (!exact_prefixes.empty()) exact_hits = batch_get(exact_prefixes);
+  std::vector<std::vector<std::pair<BitString, trie::Value>>> sub_hits;
+  if (!sub_prefixes.empty()) sub_hits = batch_subtree(sub_prefixes);
+
+  // Assemble: the cover pieces are disjoint and ascending, so plain
+  // concatenation in piece order is the ascending range, truncated to
+  // the per-query limit.
+  for (std::size_t i = 0; i < los.size(); ++i) {
+    for (const CoverPiece& c : covers[i]) {
+      if (out[i].size() >= limits[i]) break;
+      if (c.subtree) {
+        const auto& hits = sub_hits[sub_idx.at(bs_key(c.prefix))];
+        std::size_t take = std::min(hits.size(), limits[i] - out[i].size());
+        out[i].insert(out[i].end(), hits.begin(), hits.begin() + take);
+      } else {
+        const auto& hit = exact_hits[exact_idx.at(bs_key(c.prefix))];
+        if (hit) out[i].emplace_back(c.prefix, *hit);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::pair<BitString, trie::Value>>> PimTrie::batch_topk(
+    const std::vector<BitString>& prefixes, const std::vector<std::size_t>& ks) {
+  std::vector<std::vector<std::pair<BitString, trie::Value>>> out(prefixes.size());
+  if (prefixes.empty() || root_block_ == kNone) return out;
+  obs::Phase op_phase("TopK");
+  out = batch_subtree(prefixes);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (out[i].size() > ks[i]) out[i].resize(ks[i]);
+  return out;
+}
+
+}  // namespace ptrie::pimtrie

@@ -19,6 +19,10 @@ const char* op_name(Op op) {
     case Op::kLcp: return "lcp";
     case Op::kGet: return "get";
     case Op::kSubtree: return "subtree";
+    case Op::kPred: return "pred";
+    case Op::kSucc: return "succ";
+    case Op::kRange: return "range";
+    case Op::kTopK: return "topk";
   }
   return "?";
 }
@@ -81,14 +85,48 @@ Server::Server(pimtrie::PimTrie& trie, Options opt)
     else
       metrics_interval_ = std::chrono::milliseconds(obs::env::u64(
           "PTRIE_METRICS_INTERVAL_MS", 500, "serving metrics snapshot period in ms (default 500)"));
-    metrics_thread_ = std::thread([this] { metrics_loop(); });
   }
 
+  start();
+}
+
+Server::~Server() {
+  stop();
+  if (metrics_close_ && metrics_file_) {
+    std::fclose(metrics_file_);
+    metrics_file_ = nullptr;
+    metrics_close_ = false;
+  }
+}
+
+void Server::start() {
+  {
+    std::lock_guard lk(mu_);
+    if (exec_thread_.joinable()) return;  // already running
+    stopping_ = false;
+    stopped_ = false;
+    prep_done_ = false;
+    paused_ = false;
+    // A new serving episode starts with its own high-water marks: the
+    // peaks reset to the current gauge values (zero after a drained
+    // stop()), while the lifetime counters keep accumulating.
+    std::lock_guard slk(stats_mu_);
+    stats_.in_flight = submitted_ - completed_;
+    stats_.max_in_flight = stats_.in_flight;
+    stats_.queue_depth = queue_depth_locked();
+    stats_.max_queue_depth = stats_.queue_depth;
+    stats_.max_backlog = raw_q_.size();
+  }
+  if (lifecycle_on_) {
+    {
+      std::lock_guard mlk(metrics_mu_);
+      metrics_stop_ = false;
+    }
+    metrics_thread_ = std::thread([this] { metrics_loop(); });
+  }
   if (opt_.pipelined) prep_thread_ = std::thread([this] { prep_loop(); });
   exec_thread_ = std::thread([this] { exec_loop(); });
 }
-
-Server::~Server() { stop(); }
 
 double Server::now_ms() const {
   return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0_)
@@ -137,6 +175,24 @@ std::future<Response> Server::submit(Op op, core::BitString key, trie::Value val
   r.key = std::move(key);
   r.value = value;
   r.tenant = tenant;
+  return submit_impl(std::move(r), deadline_ms);
+}
+
+std::future<Response> Server::submit(Op op, core::BitString key, core::BitString key2,
+                                     std::size_t limit, std::uint32_t tenant,
+                                     double deadline_ms) {
+  PendingReq r;
+  r.op = op;
+  r.key = std::move(key);
+  r.key2 = std::move(key2);
+  r.limit = std::min(limit, opt_.max_scan);
+  r.tenant = tenant;
+  return submit_impl(std::move(r), deadline_ms);
+}
+
+std::future<Response> Server::submit_impl(PendingReq r, double deadline_ms) {
+  const Op op = r.op;
+  const std::uint32_t tenant = r.tenant;
   std::future<Response> fut = r.promise.get_future();
   const double deadline = deadline_ms > 0 ? deadline_ms : opt_.default_deadline_ms;
   // Admission decision under mu_; a shed request is resolved outside the
@@ -265,12 +321,9 @@ void Server::stop() {
     metrics_thread_.join();
     // Final roll: short runs still flush one complete window (tests and
     // CI smoke rely on this; the thread itself may never have fired).
+    // The sink file stays open so a later start() keeps appending; the
+    // destructor closes it.
     roll_window();
-  }
-  if (metrics_close_ && metrics_file_) {
-    std::fclose(metrics_file_);
-    metrics_file_ = nullptr;
-    metrics_close_ = false;
   }
   {
     std::lock_guard lk(mu_);
@@ -438,19 +491,25 @@ Server::Prepared Server::prepare(RawBatch raw) {
   for (std::size_t i : order) {
     if (dead[i]) continue;
     if (p.runs.empty() || p.runs.back().op != p.reqs[i].op)
-      p.runs.push_back(Run{p.reqs[i].op, {}, {}, {}, {}});
+      p.runs.push_back(Run{p.reqs[i].op, {}, {}, {}, {}, {}, {}});
     Run& run = p.runs.back();
     run.idx.push_back(i);
     run.keys.push_back(std::move(p.reqs[i].key));
+    if (run.op == Op::kRange) run.keys2.push_back(std::move(p.reqs[i].key2));
+    if (run.op == Op::kRange || run.op == Op::kTopK)
+      run.limits.push_back(p.reqs[i].limit);
     if (run.op == Op::kInsert) run.values.push_back(p.reqs[i].value);
   }
   {
     // Keep the pool dedicated to the executor unless asked otherwise;
-    // serial preparation produces byte-identical query tries.
+    // serial preparation produces byte-identical query tries. Ordered
+    // runs skip this: their cover decomposition builds fresh query
+    // tries inside the batch_* call itself.
     std::optional<core::SerialRegion> serial;
     if (!opt_.parallel_prepare) serial.emplace();
     obs::Phase prep_phase("ServePrep");
-    for (Run& run : p.runs) run.qt = trie_->prepare_batch(run.keys);
+    for (Run& run : p.runs)
+      if (!ordered_op(run.op)) run.qt = trie_->prepare_batch(run.keys);
   }
   double b = now_ms();
   {
@@ -636,6 +695,44 @@ void Server::execute(Prepared p) {
           for (std::size_t j = 0; j < run.idx.size(); ++j) {
             Response r;
             r.op = Op::kSubtree;
+            r.subtree = std::move(out[j]);
+            finish(run.idx[j], std::move(r), done, w);
+          }
+          break;
+        }
+        case Op::kPred:
+        case Op::kSucc: {
+          auto out = run.op == Op::kPred ? trie_->batch_pred(run.keys)
+                                         : trie_->batch_succ(run.keys);
+          double done = now_ms();
+          double w = charge_run(run.idx.size());
+          for (std::size_t j = 0; j < run.idx.size(); ++j) {
+            Response r;
+            r.op = run.op;
+            r.neighbor = std::move(out[j]);
+            finish(run.idx[j], std::move(r), done, w);
+          }
+          break;
+        }
+        case Op::kRange: {
+          auto out = trie_->batch_range(run.keys, run.keys2, run.limits);
+          double done = now_ms();
+          double w = charge_run(run.idx.size());
+          for (std::size_t j = 0; j < run.idx.size(); ++j) {
+            Response r;
+            r.op = Op::kRange;
+            r.subtree = std::move(out[j]);
+            finish(run.idx[j], std::move(r), done, w);
+          }
+          break;
+        }
+        case Op::kTopK: {
+          auto out = trie_->batch_topk(run.keys, run.limits);
+          double done = now_ms();
+          double w = charge_run(run.idx.size());
+          for (std::size_t j = 0; j < run.idx.size(); ++j) {
+            Response r;
+            r.op = Op::kTopK;
             r.subtree = std::move(out[j]);
             finish(run.idx[j], std::move(r), done, w);
           }

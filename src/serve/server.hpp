@@ -65,9 +65,24 @@
 
 namespace ptrie::serve {
 
-enum class Op : std::uint8_t { kInsert, kErase, kLcp, kGet, kSubtree };
+enum class Op : std::uint8_t {
+  kInsert,
+  kErase,
+  kLcp,
+  kGet,
+  kSubtree,
+  kPred,   // strict predecessor in bitstring order
+  kSucc,   // strict successor
+  kRange,  // inclusive [key, key2], ascending, truncated to `limit`
+  kTopK,   // first `limit` pairs under prefix `key`, ascending
+};
 
 const char* op_name(Op op);
+
+// The ordered read kinds execute through the non-prepared PimTrie entry
+// points (their cover decomposition builds its own query tries), so
+// their runs skip the preparation stage.
+inline bool ordered_op(Op op) { return op >= Op::kPred; }
 
 // Terminal state of a request. Anything other than kOk means the answer
 // fields are unset: kShed = rejected at admission (overload policy),
@@ -90,7 +105,11 @@ struct Response {
   std::string error;  // human-readable cause when status != kOk
   std::size_t lcp = 0;                                           // kLcp
   std::optional<trie::Value> value;                              // kGet
-  std::vector<std::pair<core::BitString, trie::Value>> subtree;  // kSubtree
+  // kSubtree, and the list answers of kRange / kTopK (ascending,
+  // truncated to the request's limit).
+  std::vector<std::pair<core::BitString, trie::Value>> subtree;
+  // kPred / kSucc: the neighboring stored pair, absent when none.
+  std::optional<std::pair<core::BitString, trie::Value>> neighbor;
   // Completion stamp on the server clock (ms since Server construction;
   // see now_ms()). Lets open-loop clients compute latency against their
   // scheduled arrival time without a waiter thread per client.
@@ -131,6 +150,10 @@ class Server {
     // same-kind stretch) instead of the default group-by-kind epoch
     // semantics described in the header comment.
     bool strict_order = false;
+    // Per-request cap on kRange / kTopK result limits: a submitted
+    // limit is clamped to this, bounding the response volume a single
+    // scan request can pull through the pipeline.
+    std::size_t max_scan = 65536;
 
     // ---- overload protection ----
     // Reaction to a full backlog (and, for kDeadlineAware, to unmeetable
@@ -171,6 +194,14 @@ class Server {
   Server(pimtrie::PimTrie& trie, Options opt);
   ~Server();  // stop()
 
+  // (Re)starts the pipeline threads. The constructor calls it; after a
+  // stop() it brings the server back up for a fresh serving episode:
+  // lifetime counters (submitted/completed/ops) carry over, but the
+  // high-water gauges (max_in_flight, max_queue_depth, max_backlog)
+  // reset to the current — post-drain, zero — values so each episode's
+  // peaks are its own. No-op while already running.
+  void start();
+
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
@@ -184,6 +215,13 @@ class Server {
   // how long the request may wait before execution begins.
   std::future<Response> submit(Op op, core::BitString key, trie::Value value = 0,
                                std::uint32_t tenant = 0, double deadline_ms = 0);
+  // Two-key / limited submission for the ordered kinds: kRange uses
+  // (key = lo, key2 = hi, limit), kTopK uses (key = prefix, limit = k),
+  // kPred / kSucc ignore key2 and limit. `limit` is clamped to
+  // Options::max_scan.
+  std::future<Response> submit(Op op, core::BitString key, core::BitString key2,
+                               std::size_t limit, std::uint32_t tenant = 0,
+                               double deadline_ms = 0);
 
   // Closes the currently open batch immediately (no-op when empty).
   void flush();
@@ -210,6 +248,18 @@ class Server {
     }
     std::future<Response> subtree(core::BitString prefix) {
       return s_->submit(Op::kSubtree, std::move(prefix));
+    }
+    std::future<Response> pred(core::BitString key) {
+      return s_->submit(Op::kPred, std::move(key));
+    }
+    std::future<Response> succ(core::BitString key) {
+      return s_->submit(Op::kSucc, std::move(key));
+    }
+    std::future<Response> range(core::BitString lo, core::BitString hi, std::size_t limit) {
+      return s_->submit(Op::kRange, std::move(lo), std::move(hi), limit);
+    }
+    std::future<Response> topk(core::BitString prefix, std::size_t k) {
+      return s_->submit(Op::kTopK, std::move(prefix), core::BitString(), k);
     }
 
    private:
@@ -272,6 +322,8 @@ class Server {
   struct PendingReq {
     Op op = Op::kLcp;
     core::BitString key;
+    core::BitString key2;    // kRange upper bound
+    std::size_t limit = 0;   // kRange / kTopK result cap (post-clamp)
     trie::Value value = 0;
     std::promise<Response> promise;
     std::uint32_t tenant = 0;
@@ -295,8 +347,10 @@ class Server {
     Op op;
     std::vector<std::size_t> idx;  // request indices, execution order
     std::vector<core::BitString> keys;
-    std::vector<trie::Value> values;  // kInsert only
-    trie::QueryTrie qt;
+    std::vector<core::BitString> keys2;  // kRange only
+    std::vector<std::size_t> limits;     // kRange / kTopK only
+    std::vector<trie::Value> values;     // kInsert only
+    trie::QueryTrie qt;                  // unused for ordered_op kinds
   };
   struct Prepared {
     std::vector<PendingReq> reqs;
@@ -314,6 +368,7 @@ class Server {
   };
   enum class Close { kSize, kDeadline, kFlush };
 
+  std::future<Response> submit_impl(PendingReq r, double deadline_ms);
   void close_open_locked(Close why);
   bool next_raw(RawBatch* out);
   Prepared prepare(RawBatch raw);

@@ -1,0 +1,141 @@
+#pragma once
+// Shared decomposition math for the ordered operations (Predecessor /
+// Successor / RangeScan): every structure answers them by reducing the
+// query to a short list of *pieces* over the key space, each either an
+// exact key probe or a whole-subtree probe, ordered so the first viable
+// piece (or the concatenation of all pieces) yields the answer. The
+// order is bitstring-lexicographic with a proper prefix sorting before
+// its extensions (core::BitString::operator<).
+//
+// The same piece lists drive PimTrie (one match pass for viability, a
+// per-block extremum descent for the winner), the baselines (piece
+// probes over their own subtree machinery), and the test oracle — so a
+// bug in this header is caught by the differential fuzzer on every
+// structure at once.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/bitstring.hpp"
+
+namespace ptrie::trie {
+
+struct CoverPiece {
+  core::BitString prefix;
+  // true: the piece is the whole subtree under `prefix`; false: the
+  // piece is the single key `prefix` itself (exact probe).
+  bool subtree = false;
+};
+
+// Successor candidates for strict succ(x), ascending by their minimal
+// element: every stored key k > x lies in exactly one candidate
+// subtree, and candidates earlier in the list contain strictly smaller
+// keys. No exact pieces: a key > x is never a proper prefix of x.
+//   succ(x) = min of the first non-empty candidate subtree.
+inline std::vector<CoverPiece> succ_candidates(const core::BitString& x) {
+  std::vector<CoverPiece> out;
+  // Extensions of x: x.0... sorts before x.1... and both are > x.
+  for (int b = 0; b < 2; ++b) {
+    CoverPiece p;
+    p.prefix = x;
+    p.prefix.push_back(b != 0);
+    p.subtree = true;
+    out.push_back(std::move(p));
+  }
+  // Keys diverging upward at bit j (x[j] = 0, key bit 1): the larger j,
+  // the longer the shared prefix with x, the smaller the keys.
+  for (std::size_t j = x.size(); j-- > 0;) {
+    if (x.bit(j)) continue;
+    CoverPiece p;
+    p.prefix = x.prefix(j);
+    p.prefix.push_back(true);
+    p.subtree = true;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+// Predecessor candidates for strict pred(x), descending by their
+// maximal element. A key k < x either diverges low at some bit j
+// (x[j] = 1, key bit 0: the subtree pieces) or is a proper prefix of x
+// (the exact pieces). At a given j the subtree piece's keys extend the
+// exact piece's key, so the subtree piece sorts first.
+//   pred(x) = max of the first viable candidate (a present exact key,
+//   or a non-empty subtree).
+inline std::vector<CoverPiece> pred_candidates(const core::BitString& x) {
+  std::vector<CoverPiece> out;
+  for (std::size_t j = x.size(); j-- > 0;) {
+    if (x.bit(j)) {
+      CoverPiece p;
+      p.prefix = x.prefix(j);
+      p.prefix.push_back(false);
+      p.subtree = true;
+      out.push_back(std::move(p));
+    }
+    CoverPiece e;
+    e.prefix = x.prefix(j);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+// Disjoint ascending cover of the inclusive key interval [lo, hi]:
+// concatenating the pieces' contents in list order enumerates exactly
+// the stored keys k with lo <= k <= hi in ascending order. Empty when
+// lo > hi. The piece count is O(|lo| + |hi|).
+inline std::vector<CoverPiece> range_cover(const core::BitString& lo,
+                                           const core::BitString& hi) {
+  std::vector<CoverPiece> out;
+  if (hi < lo) return out;
+  if (lo == hi) {
+    out.push_back(CoverPiece{lo, false});
+    return out;
+  }
+  std::size_t f = lo.lcp(hi);
+  if (f == lo.size()) {
+    // lo is a proper prefix of hi: every key in (lo, hi] extends lo.
+    out.push_back(CoverPiece{lo, false});
+    for (std::size_t j = f; j < hi.size(); ++j) {
+      if (j > f) out.push_back(CoverPiece{hi.prefix(j), false});
+      if (hi.bit(j)) {
+        CoverPiece p;
+        p.prefix = hi.prefix(j);
+        p.prefix.push_back(false);
+        p.subtree = true;
+        out.push_back(std::move(p));
+      }
+    }
+    out.push_back(CoverPiece{hi, false});
+    return out;
+  }
+  // Fork: lo[f] = 0, hi[f] = 1. Lower half: keys >= lo extending
+  // lo[0..f].0 — the subtree of lo itself, then divergences upward.
+  out.push_back(CoverPiece{lo, true});
+  for (std::size_t j = lo.size(); j-- > f + 1;) {
+    if (lo.bit(j)) continue;
+    CoverPiece p;
+    p.prefix = lo.prefix(j);
+    p.prefix.push_back(true);
+    p.subtree = true;
+    out.push_back(std::move(p));
+  }
+  // The divergence pieces above were generated deepest-first (ascending
+  // keys need earliest-divergence last)... they must ascend: larger j
+  // diverges later, hence *smaller* keys, so deepest-first IS ascending.
+  // Upper half: keys <= hi extending hi[0..f].1 — prefixes of hi and
+  // divergences downward, exactly the proper-prefix case from f+1 on.
+  for (std::size_t j = f + 1; j < hi.size(); ++j) {
+    out.push_back(CoverPiece{hi.prefix(j), false});
+    if (hi.bit(j)) {
+      CoverPiece p;
+      p.prefix = hi.prefix(j);
+      p.prefix.push_back(false);
+      p.subtree = true;
+      out.push_back(std::move(p));
+    }
+  }
+  out.push_back(CoverPiece{hi, false});
+  return out;
+}
+
+}  // namespace ptrie::trie

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "trie/ordered_cover.hpp"
+
 namespace ptrie::trie {
 
 using core::BitString;
@@ -274,6 +276,107 @@ std::vector<std::pair<BitString, Value>> Patricia::subtree(const BitString& pref
   // The DFS above emits in preorder which for tries is lexicographic,
   // except the stack pops reverse sibling order; we pushed right-first so
   // left pops first — already lexicographic.
+  return out;
+}
+
+std::optional<std::pair<NodeId, BitString>> Patricia::cover_node(
+    const BitString& prefix) const {
+  NodeId cur = root_;
+  std::size_t pos = 0;
+  while (pos < prefix.size()) {
+    int b = prefix.bit(pos) ? 1 : 0;
+    NodeId child = nodes_[cur].child[b];
+    if (child == kNil) return std::nullopt;
+    const BitString& edge = nodes_[child].edge;
+    std::size_t m = prefix.lcp_at(pos, edge);
+    pos += m;
+    if (m == edge.size()) {
+      cur = child;
+      continue;
+    }
+    if (pos != prefix.size()) return std::nullopt;  // diverged mid-edge
+    cur = child;  // prefix ends inside child's edge: subtree(prefix) = subtree(child)
+    break;
+  }
+  return std::make_pair(cur, node_string(cur));
+}
+
+std::optional<std::pair<BitString, Value>> Patricia::min_at(NodeId id,
+                                                            BitString base) const {
+  for (;;) {
+    const Node& n = nodes_[id];
+    // The node's own key is a prefix of everything below it: minimal.
+    if (n.has_value) return std::make_pair(std::move(base), n.value);
+    NodeId next = n.child[0] != kNil ? n.child[0] : n.child[1];
+    if (next == kNil) return std::nullopt;  // bare valueless root
+    base.append(nodes_[next].edge);
+    id = next;
+  }
+}
+
+std::optional<std::pair<BitString, Value>> Patricia::max_at(NodeId id,
+                                                            BitString base) const {
+  for (;;) {
+    const Node& n = nodes_[id];
+    // Any child's keys extend this node's own key, so the maximum lives
+    // on the rightmost descent; leaves always carry values.
+    NodeId next = n.child[1] != kNil ? n.child[1] : n.child[0];
+    if (next == kNil) {
+      if (n.has_value) return std::make_pair(std::move(base), n.value);
+      return std::nullopt;  // bare valueless root
+    }
+    base.append(nodes_[next].edge);
+    id = next;
+  }
+}
+
+std::optional<std::pair<BitString, Value>> Patricia::pred(const BitString& x) const {
+  for (const CoverPiece& c : pred_candidates(x)) {
+    if (c.subtree) {
+      if (auto at = cover_node(c.prefix)) {
+        if (auto best = max_at(at->first, std::move(at->second))) return best;
+      }
+    } else if (auto v = find(c.prefix)) {
+      return std::make_pair(c.prefix, *v);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<BitString, Value>> Patricia::succ(const BitString& x) const {
+  for (const CoverPiece& c : succ_candidates(x)) {
+    if (auto at = cover_node(c.prefix)) {
+      if (auto best = min_at(at->first, std::move(at->second))) return best;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<BitString, Value>> Patricia::range(const BitString& lo,
+                                                         const BitString& hi,
+                                                         std::size_t limit) const {
+  std::vector<std::pair<BitString, Value>> out;
+  if (limit == 0) return out;
+  for (const CoverPiece& c : range_cover(lo, hi)) {
+    if (out.size() >= limit) break;
+    if (c.subtree) {
+      for (auto& kv : subtree(c.prefix)) {
+        if (out.size() >= limit) break;
+        out.push_back(std::move(kv));
+      }
+    } else if (auto v = find(c.prefix)) {
+      out.emplace_back(c.prefix, *v);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<BitString, Value>> Patricia::topk(const BitString& prefix,
+                                                        std::size_t k) const {
+  std::vector<std::pair<BitString, Value>> out;
+  if (k == 0) return out;
+  out = subtree(prefix);
+  if (out.size() > k) out.resize(k);
   return out;
 }
 

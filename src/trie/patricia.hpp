@@ -73,6 +73,20 @@ class Patricia {
   // lexicographic order.
   std::vector<std::pair<core::BitString, Value>> subtree(const core::BitString& prefix) const;
 
+  // --- ordered operations (strict, bitstring-lexicographic order with
+  // a proper prefix sorting before its extensions) ---
+  // Largest stored key < x / smallest stored key > x, or nullopt.
+  std::optional<std::pair<core::BitString, Value>> pred(const core::BitString& x) const;
+  std::optional<std::pair<core::BitString, Value>> succ(const core::BitString& x) const;
+  // Stored keys in [lo, hi] inclusive, ascending, truncated to `limit`
+  // entries (limit 0 = empty; lo > hi = empty).
+  std::vector<std::pair<core::BitString, Value>> range(const core::BitString& lo,
+                                                       const core::BitString& hi,
+                                                       std::size_t limit) const;
+  // First k stored keys under `prefix`, ascending (k 0 = empty).
+  std::vector<std::pair<core::BitString, Value>> topk(const core::BitString& prefix,
+                                                      std::size_t k) const;
+
   // --- batch construction (Algorithm 1) ---
   // Keys must be sorted and distinct; lcp[i] = LCP(keys[i-1], keys[i]),
   // lcp[0] = 0. Linear work via the rightmost-path stack.
@@ -133,6 +147,16 @@ class Patricia {
 
  private:
   void free_node(NodeId id);
+  // Smallest / largest stored key in the subtree of `id` (whose full
+  // string is `base`), or nullopt for a bare valueless root.
+  std::optional<std::pair<core::BitString, Value>> min_at(NodeId id,
+                                                          core::BitString base) const;
+  std::optional<std::pair<core::BitString, Value>> max_at(NodeId id,
+                                                          core::BitString base) const;
+  // Subtree root covering `prefix` (node + its full string), or nullopt
+  // when nothing extends `prefix`.
+  std::optional<std::pair<NodeId, core::BitString>> cover_node(
+      const core::BitString& prefix) const;
   void add_edge_bits(std::int64_t delta) {
     L_bits_ = static_cast<std::size_t>(static_cast<std::int64_t>(L_bits_) + delta);
   }

@@ -199,6 +199,125 @@ TEST(Shrink, PassingScheduleIsReturnedUnchanged) {
   EXPECT_EQ(serialize(out), serialize(s));
 }
 
+// ---- Ordered-op schedules -------------------------------------------
+
+// Ordered-biased generation must emit the new op kinds with aligned
+// parallel arrays (keys2 for range his, aux for limits/ks) and survive
+// the text round-trip byte-identically — the replay format is the
+// contract failing seeds are shipped in.
+TEST(Schedule, OrderedRoundTripIsExact) {
+  for (const char* profile : {"uniform", "zipf", "cluster", "dup"}) {
+    GenParams gp;
+    gp.n_batches = 16;
+    gp.batch_cap = 8;
+    gp.init_n = 20;
+    gp.ordered_bias = true;
+    Schedule s = make_schedule("pimtrie", profile, 21, gp);
+    std::size_t ordered = 0;
+    for (const auto& b : s.batches) {
+      if (b.op == OpKind::kPred || b.op == OpKind::kSucc) ++ordered;
+      if (b.op == OpKind::kRange) {
+        ++ordered;
+        ASSERT_EQ(b.keys2.size(), b.keys.size());
+        ASSERT_EQ(b.aux.size(), b.keys.size());
+      }
+      if (b.op == OpKind::kTopK) {
+        ++ordered;
+        ASSERT_EQ(b.aux.size(), b.keys.size());
+      }
+    }
+    EXPECT_GT(ordered, s.batches.size() / 2) << profile;
+    std::string text = serialize(s);
+    Schedule back;
+    std::string err;
+    ASSERT_TRUE(parse(text, &back, &err)) << err;
+    EXPECT_EQ(serialize(back), text) << profile;
+  }
+}
+
+// Regression for the lossy dump/replay round-trip: parse() stops at the
+// first `end` marker, so a multi-schedule dump used to replay only its
+// first schedule. parse_all() must recover every schedule (fault tokens
+// included) and re-serializing them must reproduce the dump byte for
+// byte — dump -> parse_all -> dump is a fixpoint.
+TEST(Schedule, ParseAllIsAFixpointOnMultiScheduleDumps) {
+  GenParams gp;
+  gp.n_batches = 5;
+  gp.batch_cap = 6;
+  gp.init_n = 12;
+  gp.ordered_bias = true;
+  std::string dump;
+  std::size_t n = 0;
+  for (const char* stname : {"pimtrie", "serve", "xfast"}) {
+    Schedule s = make_schedule(stname, "uniform", 30 + n, gp);
+    if (n == 1) s.faults = "noise@seed=9,rate=0.05,count=2";
+    dump += serialize(s);
+    ++n;
+  }
+  std::vector<Schedule> all;
+  std::string err;
+  ASSERT_TRUE(parse_all(dump, &all, &err)) << err;
+  ASSERT_EQ(all.size(), n);
+  EXPECT_EQ(all[1].faults, "noise@seed=9,rate=0.05,count=2");
+  std::string again;
+  for (const auto& s : all) again += serialize(s);
+  EXPECT_EQ(again, dump);
+
+  // The old single-schedule parse() only sees the first schedule —
+  // that is exactly the lossiness parse_all exists to fix.
+  Schedule first;
+  ASSERT_TRUE(parse(dump, &first, &err)) << err;
+  EXPECT_EQ(serialize(first), serialize(all[0]));
+}
+
+// Ordered-biased schedules pass the full differential run (oracle,
+// invariants, round envelopes) on every structure.
+TEST(Runner, OrderedAllStructuresPassOneSeed) {
+  GenParams gp;
+  gp.n_batches = 8;
+  gp.batch_cap = 8;
+  gp.init_n = 32;
+  gp.ordered_bias = true;
+  for (const char* stname : {"pimtrie", "radix", "xfast", "range", "serve"}) {
+    Schedule s = make_schedule(stname, "cluster", 6, gp);
+    RunResult r = run_schedule(s);
+    EXPECT_TRUE(r.ok) << stname << ": " << r.error;
+    EXPECT_GT(r.checks, 0u) << stname;
+  }
+}
+
+// Shrinking an ordered schedule must keep keys2/aux aligned with keys
+// while it drops op slices — a misaligned slice would crash or change
+// the failure instead of minimizing it.
+TEST(Shrink, OrderedScheduleShrinksAndStillFails) {
+  GenParams gp;
+  gp.n_batches = 10;
+  gp.batch_cap = 8;
+  gp.init_n = 24;
+  gp.ordered_bias = true;
+  Schedule s = make_schedule("pimtrie", "uniform", 19, gp);
+  CheckOptions opt;
+  opt.corrupt_kind = 2;  // phantom insert: content diverges from oracle
+  RunResult r = run_schedule(s, opt);
+  ASSERT_FALSE(r.ok) << "corruption went undetected on ordered schedule";
+  ShrinkStats st;
+  Schedule min = shrink(s, opt, /*max_runs=*/120, &st);
+  for (const auto& b : min.batches) {
+    if (b.op == OpKind::kRange) {
+      ASSERT_EQ(b.keys2.size(), b.keys.size());
+    }
+    if (b.op == OpKind::kRange || b.op == OpKind::kTopK) {
+      ASSERT_EQ(b.aux.size(), b.keys.size());
+    }
+  }
+  RunResult mr = run_schedule(min, opt);
+  EXPECT_FALSE(mr.ok) << "minimized ordered schedule no longer fails";
+  Schedule back;
+  std::string err;
+  ASSERT_TRUE(parse(serialize(min), &back, &err)) << err;
+  EXPECT_FALSE(run_schedule(back, opt).ok);
+}
+
 // Phantom-insert corruption (kind >= 2) diverges structure content from
 // the oracle for every adapter, not just PimTrie.
 TEST(Shrink, PhantomInsertCaughtOnBaselines) {

@@ -1,0 +1,588 @@
+// Ordered operations (Predecessor / Successor / RangeScan / TopKByPrefix)
+// across PimTrie, the three Table-1 baselines, and the serving front-end:
+// property tests against the std::map-backed oracle over the four fuzz key
+// profiles, the boundary matrix (empty structure, single key, lo > hi,
+// limit = 0, absent prefix, min/max keys, empty-string queries), the cover
+// decomposition the host-side composition rests on, and worker-count
+// byte-identity of the ordered pipeline (WorkerSweepOrdered — picked up by
+// the TSan WorkerSweep* filter in ci/check.sh).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "baselines/distributed_radix_tree.hpp"
+#include "baselines/distributed_xfast.hpp"
+#include "baselines/range_partitioned.hpp"
+#include "check/oracle.hpp"
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
+#include "pim/system.hpp"
+#include "pimtrie/pim_trie.hpp"
+#include "serve/server.hpp"
+#include "trie/ordered_cover.hpp"
+#include "workload/generators.hpp"
+
+using namespace ptrie;
+using core::BitString;
+using core::Rng;
+
+namespace {
+
+// Key pools mirroring the fuzz profiles (src/check/schedule.cpp).
+std::vector<BitString> profile_pool(const std::string& profile, std::uint64_t seed) {
+  std::vector<BitString> pool;
+  if (profile == "cluster") {
+    for (auto& k : workload::shared_prefix_keys(96, 40, 24, seed)) pool.push_back(k);
+    for (auto& k : workload::caterpillar_keys(24, 5, seed + 1)) pool.push_back(k);
+  } else if (profile == "dup") {
+    for (auto& k : workload::variable_length_keys(12, 8, 40, seed)) pool.push_back(k);
+  } else {  // uniform, zipf
+    for (auto& k : workload::uniform_keys(96, 48, seed)) pool.push_back(k);
+    for (auto& k : workload::variable_length_keys(48, 4, 80, seed + 1)) pool.push_back(k);
+  }
+  return pool;
+}
+
+// Hit / near-miss / miss query mix over a pool. The zipf profile skews
+// the pool picks so hot keys dominate.
+std::vector<BitString> profile_queries(const std::vector<BitString>& pool,
+                                       const std::string& profile, std::size_t n,
+                                       std::uint64_t seed) {
+  std::vector<BitString> zipf;
+  if (profile == "zipf") zipf = workload::zipf_queries(pool, n, 0.99, seed);
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 5);
+  std::vector<BitString> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t roll = rng.below(10);
+    if (roll < 5) {
+      out.push_back(zipf.empty() ? pool[rng.below(pool.size())] : zipf[i % zipf.size()]);
+    } else if (roll < 8 && !pool.empty()) {
+      // Near miss: flip one bit of a pool key.
+      const BitString& base = pool[rng.below(pool.size())];
+      if (base.empty()) {
+        out.emplace_back();
+        continue;
+      }
+      std::size_t j = rng.below(base.size());
+      BitString q = base.prefix(j);
+      q.push_back(!base.bit(j));
+      q.append_slice(base, j + 1, base.size() - j - 1);
+      out.push_back(q);
+    } else {
+      std::size_t len = rng.below(60);
+      BitString q;
+      for (std::size_t b = 0; b < len; ++b) q.push_back(rng.coin());
+      out.push_back(q);
+    }
+  }
+  return out;
+}
+
+using Neighbor = std::optional<std::pair<BitString, std::uint64_t>>;
+using KvList = std::vector<std::pair<BitString, std::uint64_t>>;
+
+void expect_neighbor_eq(const Neighbor& got, const Neighbor& want, const char* what,
+                        const BitString& q) {
+  ASSERT_EQ(got.has_value(), want.has_value())
+      << what << "(" << q.to_binary() << ") presence";
+  if (got) {
+    EXPECT_EQ(got->first, want->first) << what << "(" << q.to_binary() << ") key";
+    EXPECT_EQ(got->second, want->second) << what << "(" << q.to_binary() << ") value";
+  }
+}
+
+// Runs the full differential sweep (pred/succ/range/topk vs the oracle)
+// for one PimTrie + oracle pair.
+void sweep_pimtrie(pimtrie::PimTrie& t, const check::Oracle& o,
+                   const std::vector<BitString>& queries, std::uint64_t seed) {
+  auto preds = t.batch_pred(queries);
+  auto succs = t.batch_succ(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expect_neighbor_eq(preds[i], o.pred(queries[i]), "pred", queries[i]);
+    expect_neighbor_eq(succs[i], o.succ(queries[i]), "succ", queries[i]);
+  }
+
+  Rng rng(seed);
+  std::vector<BitString> los, his, prefixes;
+  std::vector<std::size_t> limits, ks;
+  for (std::size_t i = 0; i + 1 < queries.size(); i += 2) {
+    los.push_back(queries[i]);
+    his.push_back(queries[i + 1]);
+    limits.push_back(i % 9 == 0 ? 0 : rng.below(40));
+    prefixes.push_back(queries[i].prefix(rng.below(queries[i].size() + 1)));
+    ks.push_back(i % 11 == 0 ? 0 : rng.below(20));
+  }
+  auto ranges = t.batch_range(los, his, limits);
+  auto topks = t.batch_topk(prefixes, ks);
+  for (std::size_t i = 0; i < los.size(); ++i) {
+    EXPECT_EQ(ranges[i], o.range(los[i], his[i], limits[i]))
+        << "range(" << los[i].to_binary() << ", " << his[i].to_binary() << ", "
+        << limits[i] << ")";
+    EXPECT_EQ(topks[i], o.topk(prefixes[i], ks[i]))
+        << "topk(" << prefixes[i].to_binary() << ", " << ks[i] << ")";
+  }
+}
+
+}  // namespace
+
+// ---- PimTrie property tests over the four fuzz profiles --------------
+
+TEST(OrderedPimTrie, MatchesOracleAcrossProfiles) {
+  std::uint64_t seed = 31;
+  for (const char* profile : {"uniform", "zipf", "cluster", "dup"}) {
+    auto pool = profile_pool(profile, seed);
+    Rng rng(seed * 7 + 3);
+    pim::System sys(8, seed);
+    pimtrie::Config cfg;
+    cfg.seed = seed + 2;
+    pimtrie::PimTrie t(sys, cfg);
+    check::Oracle o;
+
+    std::vector<BitString> keys(pool.begin(), pool.begin() + pool.size() * 2 / 3);
+    std::vector<std::uint64_t> vals;
+    for (std::size_t i = 0; i < keys.size(); ++i) vals.push_back(rng());
+    t.build(keys, vals);
+    for (std::size_t i = 0; i < keys.size(); ++i) o.insert(keys[i], vals[i]);
+
+    auto queries = profile_queries(pool, profile, 60, seed + 9);
+    sweep_pimtrie(t, o, queries, seed + 13);
+
+    // Mutate: insert the held-out tail, erase a third of the originals,
+    // and sweep again — ordered answers must track the live set.
+    std::vector<BitString> extra(pool.begin() + pool.size() * 2 / 3, pool.end());
+    std::vector<std::uint64_t> evals;
+    for (std::size_t i = 0; i < extra.size(); ++i) evals.push_back(rng());
+    t.batch_insert(extra, evals);
+    for (std::size_t i = 0; i < extra.size(); ++i) o.insert(extra[i], evals[i]);
+    std::vector<BitString> gone(keys.begin(), keys.begin() + keys.size() / 3);
+    t.batch_erase(gone);
+    for (const auto& k : gone) o.erase(k);
+
+    sweep_pimtrie(t, o, queries, seed + 17);
+    EXPECT_EQ(t.debug_check(), "") << profile;
+    ++seed;
+  }
+}
+
+// ---- Boundary matrix -------------------------------------------------
+
+TEST(OrderedPimTrie, EmptyTrieAnswersEmpty) {
+  pim::System sys(4, 3);
+  pimtrie::Config cfg;
+  cfg.seed = 1;
+  pimtrie::PimTrie t(sys, cfg);
+  BitString q = BitString::from_binary("1010");
+  EXPECT_FALSE(t.batch_pred({q})[0].has_value());
+  EXPECT_FALSE(t.batch_succ({q})[0].has_value());
+  EXPECT_FALSE(t.batch_pred({BitString()})[0].has_value());
+  EXPECT_TRUE(t.batch_range({BitString()}, {q}, {10})[0].empty());
+  EXPECT_TRUE(t.batch_topk({BitString()}, {5})[0].empty());
+}
+
+TEST(OrderedPimTrie, BoundaryCases) {
+  pim::System sys(4, 5);
+  pimtrie::Config cfg;
+  cfg.seed = 9;
+  pimtrie::PimTrie t(sys, cfg);
+  // min = "000", max = "111"; "" would sort below everything stored.
+  std::vector<BitString> keys = {
+      BitString::from_binary("000"), BitString::from_binary("0101"),
+      BitString::from_binary("011"), BitString::from_binary("10"),
+      BitString::from_binary("111")};
+  std::vector<std::uint64_t> vals = {1, 2, 3, 4, 5};
+  t.build(keys, vals);
+
+  // pred of the minimum and succ of the maximum are absent (strict).
+  EXPECT_FALSE(t.batch_pred({keys.front()})[0].has_value());
+  EXPECT_FALSE(t.batch_succ({keys.back()})[0].has_value());
+  // pred("") is absent — the empty string precedes every key; succ("")
+  // is the stored minimum.
+  EXPECT_FALSE(t.batch_pred({BitString()})[0].has_value());
+  auto s = t.batch_succ({BitString()})[0];
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->first, keys.front());
+  // Strictness on a stored key: neighbors, not the key itself.
+  auto p1 = t.batch_pred({keys[2]})[0];
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->first, keys[1]);
+  auto s1 = t.batch_succ({keys[2]})[0];
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_EQ(s1->first, keys[3]);
+
+  // lo > hi and limit = 0 are empty; a wide range with a generous limit
+  // returns everything in order.
+  EXPECT_TRUE(t.batch_range({keys[3]}, {keys[0]}, {10})[0].empty());
+  EXPECT_TRUE(t.batch_range({keys[0]}, {keys[4]}, {0})[0].empty());
+  auto all = t.batch_range({BitString()}, {BitString::from_binary("1111")}, {100})[0];
+  ASSERT_EQ(all.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) EXPECT_EQ(all[i].first, keys[i]);
+  // Inclusive bounds: [011, 10] returns exactly the two endpoint keys.
+  auto mid = t.batch_range({keys[2]}, {keys[3]}, {10})[0];
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_EQ(mid[0].first, keys[2]);
+  EXPECT_EQ(mid[1].first, keys[3]);
+  // Limit truncation keeps the smallest elements.
+  auto lim = t.batch_range({BitString()}, {BitString::from_binary("1111")}, {2})[0];
+  ASSERT_EQ(lim.size(), 2u);
+  EXPECT_EQ(lim[0].first, keys[0]);
+  EXPECT_EQ(lim[1].first, keys[1]);
+
+  // Absent prefix and k truncation for topk.
+  EXPECT_TRUE(t.batch_topk({BitString::from_binary("110")}, {8})[0].empty());
+  auto tk = t.batch_topk({BitString::from_binary("0")}, {2})[0];
+  ASSERT_EQ(tk.size(), 2u);
+  EXPECT_EQ(tk[0].first, keys[0]);
+  EXPECT_EQ(tk[1].first, keys[1]);
+}
+
+TEST(OrderedPimTrie, SingleKeyTrie) {
+  pim::System sys(2, 7);
+  pimtrie::Config cfg;
+  cfg.seed = 3;
+  pimtrie::PimTrie t(sys, cfg);
+  BitString k = BitString::from_binary("0110");
+  t.build({k}, {42});
+  EXPECT_FALSE(t.batch_pred({k})[0].has_value());
+  EXPECT_FALSE(t.batch_succ({k})[0].has_value());
+  auto below = t.batch_pred({BitString::from_binary("1")})[0];
+  ASSERT_TRUE(below.has_value());
+  EXPECT_EQ(below->first, k);
+  EXPECT_EQ(below->second, 42u);
+  auto above = t.batch_succ({BitString::from_binary("0")})[0];
+  ASSERT_TRUE(above.has_value());
+  EXPECT_EQ(above->first, k);
+  auto r = t.batch_range({k}, {k}, {5})[0];
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].first, k);
+}
+
+// ---- Cover decomposition (the unit the host compositions rest on) ----
+
+TEST(OrderedCover, CandidatesAndRangeCoverReconstructOracle) {
+  Rng rng(91);
+  check::Oracle o;
+  for (int i = 0; i < 150; ++i) {
+    std::size_t len = rng.below(24);
+    BitString k;
+    for (std::size_t b = 0; b < len; ++b) k.push_back(rng.coin());
+    o.insert(k, i);
+  }
+  auto piece_list = [&](const BitString& prefix, bool exact) {
+    KvList out;
+    if (exact) {
+      if (auto v = o.find(prefix)) out.emplace_back(prefix, *v);
+    } else {
+      out = o.subtree(prefix);
+    }
+    return out;
+  };
+  for (int i = 0; i < 120; ++i) {
+    std::size_t len = rng.below(26);
+    BitString x;
+    for (std::size_t b = 0; b < len; ++b) x.push_back(rng.coin());
+
+    // succ candidates are ascending and disjoint: the first non-empty
+    // piece's minimum is the successor.
+    Neighbor got_s;
+    for (const auto& c : trie::succ_candidates(x)) {
+      auto l = piece_list(c.prefix, !c.subtree);
+      if (!l.empty()) {
+        got_s = l.front();
+        break;
+      }
+    }
+    expect_neighbor_eq(got_s, o.succ(x), "cover-succ", x);
+
+    // pred candidates are descending: first non-empty piece's maximum.
+    Neighbor got_p;
+    for (const auto& c : trie::pred_candidates(x)) {
+      auto l = piece_list(c.prefix, !c.subtree);
+      if (!l.empty()) {
+        got_p = l.back();
+        break;
+      }
+    }
+    expect_neighbor_eq(got_p, o.pred(x), "cover-pred", x);
+
+    // range_cover pieces are disjoint and ascending: concatenation is
+    // exactly the oracle's inclusive range answer.
+    std::size_t len2 = rng.below(26);
+    BitString y;
+    for (std::size_t b = 0; b < len2; ++b) y.push_back(rng.coin());
+    const BitString& lo = x < y ? x : y;
+    const BitString& hi = x < y ? y : x;
+    KvList got;
+    for (const auto& c : trie::range_cover(lo, hi))
+      for (auto& kv : piece_list(c.prefix, !c.subtree)) got.push_back(kv);
+    EXPECT_EQ(got, o.range(lo, hi, static_cast<std::size_t>(-1)))
+        << lo.to_binary() << " .. " << hi.to_binary();
+    // Reversed bounds must yield an empty cover.
+    if (lo != hi) {
+      EXPECT_TRUE(trie::range_cover(hi, lo).empty());
+    }
+  }
+}
+
+// ---- Baselines vs oracle ---------------------------------------------
+
+TEST(OrderedBaselines, RangePartitionedMatchesOracle) {
+  for (std::uint64_t seed : {2u, 9u}) {
+    auto pool = profile_pool(seed % 2 ? "cluster" : "uniform", seed);
+    Rng rng(seed);
+    pim::System sys(8, seed);
+    baselines::RangePartitionedIndex rp(sys, seed);
+    check::Oracle o;
+    std::vector<std::uint64_t> vals;
+    for (std::size_t i = 0; i < pool.size(); ++i) vals.push_back(rng());
+    rp.build(pool, vals);
+    for (std::size_t i = 0; i < pool.size(); ++i) o.insert(pool[i], vals[i]);
+
+    auto qs = profile_queries(pool, "uniform", 40, seed + 4);
+    auto p = rp.batch_pred(qs);
+    auto s = rp.batch_succ(qs);
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      expect_neighbor_eq(p[i], o.pred(qs[i]), "rp-pred", qs[i]);
+      expect_neighbor_eq(s[i], o.succ(qs[i]), "rp-succ", qs[i]);
+    }
+    std::vector<BitString> los, his, prefixes;
+    std::vector<std::size_t> lims, ks;
+    for (std::size_t i = 0; i + 1 < qs.size(); i += 2) {
+      los.push_back(qs[i]);
+      his.push_back(qs[i + 1]);
+      lims.push_back(i % 7 == 0 ? 0 : rng.below(30));
+      prefixes.push_back(qs[i].prefix(rng.below(qs[i].size() + 1)));
+      ks.push_back(rng.below(12));
+    }
+    auto r = rp.batch_range(los, his, lims);
+    auto tk = rp.batch_topk(prefixes, ks);
+    for (std::size_t i = 0; i < los.size(); ++i) {
+      EXPECT_EQ(r[i], o.range(los[i], his[i], lims[i])) << i;
+      EXPECT_EQ(tk[i], o.topk(prefixes[i], ks[i])) << i;
+    }
+  }
+}
+
+TEST(OrderedBaselines, RadixMatchesOracleOnChunkAlignedKeys) {
+  constexpr unsigned kSpan = 4;
+  auto trunc = [](const BitString& k) { return k.prefix(k.size() / kSpan * kSpan); };
+  Rng rng(17);
+  pim::System sys(8, 21);
+  baselines::DistributedRadixTree rt(sys, kSpan);
+  check::Oracle o;
+  auto pool = profile_pool("uniform", 33);
+  std::vector<BitString> keys;
+  std::vector<std::uint64_t> vals;
+  for (const auto& k : pool) {
+    keys.push_back(trunc(k));
+    vals.push_back(rng());
+  }
+  rt.build(keys, vals);
+  for (std::size_t i = 0; i < keys.size(); ++i) o.insert(keys[i], vals[i]);
+
+  auto raw = profile_queries(pool, "uniform", 40, 77);
+  std::vector<BitString> qs;
+  for (const auto& q : raw) qs.push_back(trunc(q));
+  auto p = rt.batch_pred(qs);
+  auto s = rt.batch_succ(qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    expect_neighbor_eq(p[i], o.pred(qs[i]), "rx-pred", qs[i]);
+    expect_neighbor_eq(s[i], o.succ(qs[i]), "rx-succ", qs[i]);
+  }
+  std::vector<BitString> los, his, prefixes;
+  std::vector<std::size_t> lims, ks;
+  for (std::size_t i = 0; i + 1 < qs.size(); i += 2) {
+    los.push_back(qs[i]);
+    his.push_back(qs[i + 1]);
+    lims.push_back(rng.below(30));
+    // Top-k prefixes are arbitrary-length (not chunk-aligned): the host
+    // filter must still deliver exact extension answers.
+    prefixes.push_back(raw[i].prefix(rng.below(raw[i].size() + 1)));
+    ks.push_back(rng.below(12));
+  }
+  auto r = rt.batch_range(los, his, lims);
+  auto tk = rt.batch_topk(prefixes, ks);
+  for (std::size_t i = 0; i < los.size(); ++i) {
+    EXPECT_EQ(r[i], o.range(los[i], his[i], lims[i])) << i;
+    EXPECT_EQ(tk[i], o.topk(prefixes[i], ks[i])) << i;
+  }
+}
+
+TEST(OrderedBaselines, XFastMatchesStdMap) {
+  Rng rng(41);
+  pim::System sys(8, 13);
+  baselines::DistributedXFastTrie xf(sys, 64);
+  std::map<std::uint64_t, std::uint64_t> o;
+  std::vector<std::uint64_t> keys, vals;
+  for (int i = 0; i < 120; ++i) {
+    keys.push_back(rng());
+    vals.push_back(rng() >> 8);
+  }
+  xf.build(keys, vals);
+  for (std::size_t i = 0; i < keys.size(); ++i) o[keys[i]] = vals[i];
+
+  std::vector<std::uint64_t> qs;
+  for (int i = 0; i < 50; ++i)
+    qs.push_back(i % 3 == 0 ? keys[rng.below(keys.size())] : rng());
+  auto p = xf.batch_pred(qs);
+  auto s = xf.batch_succ(qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    std::optional<std::pair<std::uint64_t, std::uint64_t>> wp, ws;
+    auto it = o.lower_bound(qs[i]);
+    if (it != o.begin()) wp = *std::prev(it);
+    auto u = o.upper_bound(qs[i]);
+    if (u != o.end()) ws = *u;
+    EXPECT_EQ(p[i], wp) << i;
+    EXPECT_EQ(s[i], ws) << i;
+  }
+  std::vector<std::uint64_t> los, his;
+  std::vector<std::size_t> lims;
+  for (int i = 0; i < 25; ++i) {
+    std::uint64_t a = rng(), b = rng();
+    los.push_back(std::min(a, b));
+    his.push_back(std::max(a, b));
+    lims.push_back(i % 6 == 0 ? 0 : rng.below(30));
+  }
+  auto r = xf.batch_range(los, his, lims);
+  for (std::size_t i = 0; i < los.size(); ++i) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> want;
+    for (auto it = o.lower_bound(los[i]);
+         it != o.end() && it->first <= his[i] && want.size() < lims[i]; ++it)
+      want.push_back(*it);
+    EXPECT_EQ(r[i], want) << i;
+  }
+  std::vector<std::pair<std::uint64_t, unsigned>> prefixes;
+  std::vector<std::size_t> ks;
+  for (int i = 0; i < 20; ++i) {
+    unsigned len = static_cast<unsigned>(rng.below(9));
+    prefixes.emplace_back(len == 0 ? 0 : keys[rng.below(keys.size())] >> (64 - len), len);
+    ks.push_back(rng.below(14));
+  }
+  auto tk = xf.batch_topk(prefixes, ks);
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> want;
+    for (const auto& [k, v] : o) {
+      bool match =
+          prefixes[i].second == 0 || (k >> (64 - prefixes[i].second)) == prefixes[i].first;
+      if (match && want.size() < ks[i]) want.emplace_back(k, v);
+    }
+    EXPECT_EQ(tk[i], want) << i;
+  }
+}
+
+// ---- Serving front-end -----------------------------------------------
+
+TEST(OrderedServe, SessionFuturesMatchDirectTrie) {
+  auto keys = workload::uniform_keys(150, 48, 57);
+  std::vector<std::uint64_t> vals(keys.size());
+  std::iota(vals.begin(), vals.end(), 1);
+
+  pim::System sys_direct(8, 5);
+  pimtrie::Config cfg;
+  cfg.seed = 6;
+  pimtrie::PimTrie direct(sys_direct, cfg);
+  direct.build(keys, vals);
+
+  pim::System sys_srv(8, 5);
+  pimtrie::PimTrie served(sys_srv, cfg);
+  served.build(keys, vals);
+  serve::Server server(served);
+  auto session = server.session();
+
+  std::sort(keys.begin(), keys.end());
+  for (std::size_t i = 0; i < 24; ++i) {
+    const BitString& q = keys[(i * 13) % keys.size()];
+    auto pr = session.pred(q).get();
+    EXPECT_EQ(pr.status, serve::Status::kOk);
+    EXPECT_EQ(pr.neighbor, direct.batch_pred({q})[0]);
+    auto sr = session.succ(q).get();
+    EXPECT_EQ(sr.neighbor, direct.batch_succ({q})[0]);
+    const BitString& q2 = keys[(i * 29) % keys.size()];
+    const BitString& lo = q < q2 ? q : q2;
+    const BitString& hi = q < q2 ? q2 : q;
+    std::size_t limit = i % 5 == 0 ? 0 : i + 1;  // per-request result limit
+    auto rr = session.range(lo, hi, limit).get();
+    EXPECT_EQ(rr.subtree, direct.batch_range({lo}, {hi}, {limit})[0]);
+    auto tr = session.topk(q.prefix(4), i % 7).get();
+    EXPECT_EQ(tr.subtree, direct.batch_topk({q.prefix(4)}, {i % 7})[0]);
+  }
+  // Ordered ops interleave with writes through the same coalescer:
+  // erase a key, then its former neighbors must skip over it.
+  BitString victim = keys[keys.size() / 2];
+  session.erase(victim).get();
+  direct.batch_erase({victim});
+  auto pv = session.pred(keys[keys.size() / 2 + 1]).get();
+  EXPECT_EQ(pv.neighbor, direct.batch_pred({keys[keys.size() / 2 + 1]})[0]);
+  server.stop();
+}
+
+// ---- Worker-count byte-identity --------------------------------------
+
+namespace {
+
+struct OrderedPipelineResult {
+  std::vector<Neighbor> preds, succs;
+  std::vector<KvList> ranges, topks;
+  pim::Metrics::Snapshot metrics;
+};
+
+OrderedPipelineResult run_ordered_pipeline(std::size_t workers) {
+  core::ThreadPool::instance().set_workers(workers);
+  pim::System sys(16, 99);
+  pimtrie::Config cfg;
+  cfg.seed = 12;
+  pimtrie::PimTrie t(sys, cfg);
+  auto keys = workload::uniform_keys(600, 80, 8);
+  std::vector<std::uint64_t> vals(keys.size());
+  std::iota(vals.begin(), vals.end(), 10);
+  t.build(keys, vals);
+  auto extra = workload::shared_prefix_keys(200, 40, 32, 9);
+  std::vector<std::uint64_t> evals(extra.size(), 3);
+  t.batch_insert(extra, evals);
+
+  auto queries = workload::zipf_queries(keys, 120, 0.9, 10);
+  for (auto& q : workload::miss_queries(60, 80, 11)) queries.push_back(q);
+  std::vector<BitString> los, his, prefixes;
+  std::vector<std::size_t> limits, ks;
+  for (std::size_t i = 0; i + 1 < queries.size(); i += 2) {
+    los.push_back(queries[i]);
+    his.push_back(queries[i + 1]);
+    limits.push_back(i % 3 + 5);
+    prefixes.push_back(queries[i].prefix(10));
+    ks.push_back(i % 4 + 1);
+  }
+
+  OrderedPipelineResult r;
+  r.preds = t.batch_pred(queries);
+  r.succs = t.batch_succ(queries);
+  r.ranges = t.batch_range(los, his, limits);
+  r.topks = t.batch_topk(prefixes, ks);
+  r.metrics = sys.metrics().snapshot();
+  return r;
+}
+
+}  // namespace
+
+class WorkerSweepOrdered : public ::testing::Test {
+ protected:
+  void TearDown() override { core::ThreadPool::instance().set_workers(1); }
+};
+
+TEST_F(WorkerSweepOrdered, ByteIdenticalAcrossWorkerCounts) {
+  OrderedPipelineResult base = run_ordered_pipeline(1);
+  for (std::size_t w : {2, 8}) {
+    OrderedPipelineResult got = run_ordered_pipeline(w);
+    ASSERT_EQ(got.preds, base.preds) << "workers=" << w;
+    ASSERT_EQ(got.succs, base.succs) << "workers=" << w;
+    ASSERT_EQ(got.ranges, base.ranges) << "workers=" << w;
+    ASSERT_EQ(got.topks, base.topks) << "workers=" << w;
+    EXPECT_EQ(got.metrics.rounds, base.metrics.rounds) << "workers=" << w;
+    EXPECT_EQ(got.metrics.words, base.metrics.words) << "workers=" << w;
+    EXPECT_EQ(got.metrics.pim_time, base.metrics.pim_time) << "workers=" << w;
+  }
+}

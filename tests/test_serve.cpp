@@ -357,6 +357,54 @@ TEST(ServeStats, GaugesDrainToZeroWithHighWaterMarks) {
   EXPECT_EQ(st.alerts, 0u);                    // lifecycle off: no detector
 }
 
+// Regression: the high-water marks (max_in_flight, max_queue_depth,
+// max_backlog) are episode gauges — stop() + start() begins a new
+// episode, so a restarted server's peaks must not carry over from the
+// previous run. Counters (ops, batches) keep accumulating.
+TEST(ServeStats, HighWaterMarksResetOnRestart) {
+  pim::System sys(8, 3);
+  pimtrie::Config cfg;
+  cfg.seed = 2;
+  pimtrie::PimTrie trie(sys, cfg);
+  auto keys = workload::uniform_keys(64, 64, 7);
+  std::vector<std::uint64_t> vals(keys.size(), 1);
+  trie.build(keys, vals);
+
+  serve::Server::Options opt;
+  opt.max_batch = 8;
+  opt.max_delay = std::chrono::hours(2);
+  serve::Server server(trie, opt);
+  std::vector<std::future<serve::Response>> futs;
+  for (std::size_t i = 0; i < 64; ++i)
+    futs.push_back(server.submit(serve::Op::kLcp, keys[i % keys.size()]));
+  server.drain();
+  auto before = server.stats();
+  server.stop();
+  for (auto& f : futs) f.get();
+  ASSERT_GE(before.max_in_flight, 8u);
+  ASSERT_GE(before.max_backlog, 1u);
+
+  server.start();
+  auto fresh = server.stats();
+  EXPECT_EQ(fresh.max_in_flight, fresh.in_flight);
+  EXPECT_EQ(fresh.max_queue_depth, fresh.queue_depth);
+  EXPECT_EQ(fresh.max_backlog, 0u);
+  EXPECT_EQ(fresh.ops, before.ops);  // counters survive the restart
+
+  // The restarted episode records its own (smaller) peaks and still
+  // answers correctly.
+  auto f = server.submit(serve::Op::kGet, keys[0]);
+  server.drain();
+  auto r = f.get();
+  EXPECT_EQ(r.status, serve::Status::kOk);
+  ASSERT_TRUE(r.value.has_value());
+  EXPECT_EQ(*r.value, 1u);
+  auto after = server.stats();
+  EXPECT_EQ(after.ops, before.ops + 1);
+  EXPECT_LT(after.max_in_flight, before.max_in_flight);
+  server.stop();
+}
+
 // Span sampling is a pure function of (seed, N, submission sequence):
 // the sampled set must be identical at any worker count, with the
 // pipeline on or off, and must equal what SpanSampler says directly.

@@ -45,6 +45,8 @@ const char* kUsage =
     "  --batches N       batches per schedule (default 30)\n"
     "  --batch-cap N     max ops per batch (default 24)\n"
     "  --init N          initial bulk-load keys (default 64)\n"
+    "  --ordered         bias the op mix toward the ordered operations\n"
+    "                    (pred/succ/range/topk make up ~70%% of batches)\n"
     "  --no-deep         skip deep invariant checks\n"
     "  --no-envelopes    skip round/imbalance cost envelopes\n"
     "  --no-shrink       report the raw failing schedule, do not minimize\n"
@@ -92,6 +94,7 @@ bool parse_args(int argc, char** argv, Args* a) {
     else if (f == "--batch-cap" && (v = next()))
       a->gp.batch_cap = std::strtoull(v, nullptr, 10);
     else if (f == "--init" && (v = next())) a->gp.init_n = std::strtoull(v, nullptr, 10);
+    else if (f == "--ordered") a->gp.ordered_bias = true;
     else if (f == "--no-deep") a->opt.deep = false;
     else if (f == "--no-envelopes") a->opt.envelopes = false;
     else if (f == "--no-shrink") a->do_shrink = false;
@@ -173,13 +176,14 @@ int main(int argc, char** argv) {
     }
     std::ostringstream text;
     text << in.rdbuf();
-    Schedule s;
+    // A dump file may hold several concatenated schedules (--seeds N
+    // --dump); parse_all replays every one of them, where parse() would
+    // silently stop at the first `end` marker.
     std::string err;
-    if (!ptrie::check::parse(text.str(), &s, &err)) {
+    if (!ptrie::check::parse_all(text.str(), &schedules, &err)) {
       std::fprintf(stderr, "ptrie_fuzz: %s: %s\n", a.replay.c_str(), err.c_str());
       return 2;
     }
-    schedules.push_back(std::move(s));
   } else {
     static const char* kStructures[] = {"pimtrie", "radix", "xfast", "range", "serve"};
     static const char* kProfiles[] = {"uniform", "zipf", "cluster", "dup"};
