@@ -59,6 +59,7 @@ void neighbor_row(pim::System& sys, const char* stname, const char* opname,
   bench::cell(std::string(opname));
   bench::cell(cost.rounds);
   bench::cell(cost.words_per_op);
+  bench::cell(cost.model_ms);
   bench::endrow();
 }
 
@@ -74,6 +75,7 @@ void scan_row(pim::System& sys, const char* stname, std::size_t width, F&& run) 
   bench::cell(cost.rounds);
   bench::cell(cost.words_per_op);
   bench::cell(result_keys ? double(cost.total_words) / double(result_keys) : 0.0);
+  bench::cell(cost.model_ms);
   bench::endrow();
 }
 
@@ -103,7 +105,7 @@ int main(int argc, char** argv) {
   Fixture f = make_fixture();
 
   bench::header("Predecessor/Successor (batch of 256)",
-                {"struct", "op", "rounds", "words/op"});
+                {"struct", "op", "rounds", "words/op", "model_ms"});
   {
     pim::System sys(kP, 74);
     pimtrie::Config cfg;
@@ -135,7 +137,8 @@ int main(int argc, char** argv) {
   }
 
   bench::header("RangeScan rounds/words vs scan width (32 scans each)",
-                {"struct", "width", "result_keys", "rounds", "words/op", "words/result"});
+                {"struct", "width", "result_keys", "rounds", "words/op", "words/result",
+                 "model_ms"});
   static const std::size_t kWidths[] = {16, 256, 2048};
   for (std::size_t width : kWidths) {
     std::vector<core::BitString> los, his;
@@ -172,7 +175,7 @@ int main(int argc, char** argv) {
   }
 
   bench::header("TopKByPrefix (32 queries, 8-bit prefixes, k=32)",
-                {"struct", "result_keys", "rounds", "words/op"});
+                {"struct", "result_keys", "rounds", "words/op", "model_ms"});
   {
     std::vector<core::BitString> prefixes;
     std::vector<std::size_t> ks;
@@ -197,6 +200,7 @@ int main(int argc, char** argv) {
       bench::cell(res);
       bench::cell(cost.rounds);
       bench::cell(cost.words_per_op);
+      bench::cell(cost.model_ms);
       bench::endrow();
     }
     {
@@ -209,6 +213,7 @@ int main(int argc, char** argv) {
       bench::cell(res);
       bench::cell(cost.rounds);
       bench::cell(cost.words_per_op);
+      bench::cell(cost.model_ms);
       bench::endrow();
     }
   }

@@ -250,7 +250,7 @@ int main(int argc, char** argv) {
 
   bench::header("serving: throughput and latency vs offered load",
                 {"mode", "offered", "ops/s", "p50_us", "p99_us", "mean_batch", "overlap",
-                 "deadline%", "shed"});
+                 "deadline%", "shed", "model_ms"});
   struct StageRow {
     std::string mode, offered;
     double queue = 0, coalesce = 0, prep = 0, exec = 0, service = 0;
@@ -275,6 +275,7 @@ int main(int argc, char** argv) {
       pimtrie::PimTrie trie(sys, pcfg);
       trie.build(keys, vals);
 
+      auto model_before = sys.metrics().modelled_ns();
       RunResult r = run_mode(trie, reqs, cfg, m.opt, rate);
       bench::cell(std::string(m.name));
       bench::cell(rate_label(rate));
@@ -287,6 +288,7 @@ int main(int argc, char** argv) {
                              r.stats.close_flush);
       bench::cell(closes > 0 ? 100.0 * double(r.stats.close_deadline) / closes : 0.0);
       bench::cell(std::size_t(r.stats.shed));
+      bench::cell(double(sys.metrics().modelled_ns() - model_before) / 1e6);
       bench::endrow();
       total_shed += r.stats.shed;
 
@@ -354,11 +356,11 @@ int main(int argc, char** argv) {
   {
     bench::header("serving: fixed-batch replay (deterministic, perf-gate input)",
                   {"batch", "ops", "rounds", "words/op", "io/op", "pim_time",
-                   "total_words"});
+                   "total_words", "model_ms"});
     struct PhaseRow {
       std::string label;  // "<batch>/<phase depth-2>"
       std::size_t rounds = 0;
-      std::uint64_t total_words = 0, io_time = 0, pim_time = 0;
+      std::uint64_t total_words = 0, io_time = 0, pim_time = 0, modelled_ns = 0;
     };
     std::vector<PhaseRow> phase_rows;
     for (std::size_t batch : {64, 512}) {
@@ -388,6 +390,7 @@ int main(int argc, char** argv) {
       bench::cell(c.io_time_per_op);
       bench::cell(std::size_t(c.pim_time));
       bench::cell(std::size_t(c.total_words));
+      bench::cell(c.model_ms);
       bench::endrow();
       // Stage-attributed model cost: aggregate the replay's rounds by
       // phase path collapsed to depth 2 ("Serve/LCP", "Serve/Insert",
@@ -406,23 +409,26 @@ int main(int argc, char** argv) {
         auto it = std::find_if(phase_rows.begin(), phase_rows.end(),
                                [&](const PhaseRow& r) { return r.label == label; });
         if (it == phase_rows.end()) {
-          phase_rows.push_back({label, 0, 0, 0, 0});
+          phase_rows.push_back({label, 0, 0, 0, 0, 0});
           it = phase_rows.end() - 1;
         }
         it->rounds += ru.rounds;
         it->total_words += ru.words;
         it->io_time += ru.io_time;
         it->pim_time += ru.pim_time;
+        it->modelled_ns += ru.modelled_ns;
       }
     }
     bench::header("serving: per-stage model cost (deterministic, perf-gate input)",
-                  {"batch/phase", "rounds", "total_words", "io_time", "pim_time"});
+                  {"batch/phase", "rounds", "total_words", "io_time", "pim_time",
+                   "model_ms"});
     for (const PhaseRow& pr : phase_rows) {
       bench::cell(pr.label);
       bench::cell(pr.rounds);
       bench::cell(std::size_t(pr.total_words));
       bench::cell(std::size_t(pr.io_time));
       bench::cell(std::size_t(pr.pim_time));
+      bench::cell(double(pr.modelled_ns) / 1e6);
       bench::endrow();
     }
   }

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   // ---- sweep key length l at fixed P ----
   {
     bench::header("LCP vs key length l (P=16, n=2000 keys, batch=1000)",
-                  {"l(bits)", "struct", "rounds", "words/op", "pred.rounds"});
+                  {"l(bits)", "struct", "rounds", "words/op", "pred.rounds", "model_ms"});
     for (std::size_t l : {64, 256, 1024}) {
       std::size_t n = 2000, batch = 1000;
       auto keys = workload::uniform_keys(n, l, 1);
@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
         bench::cell(c.rounds);
         bench::cell(c.words_per_op);
         bench::cell("l/s=" + std::to_string(l / kSpan));
+        bench::cell(c.model_ms);
         bench::endrow();
       }
       if (l == 64) {  // x-fast supports only l = O(w)
@@ -61,6 +62,7 @@ int main(int argc, char** argv) {
         bench::cell(c.rounds);
         bench::cell(c.words_per_op);
         bench::cell("log l=6");
+        bench::cell(c.model_ms);
         bench::endrow();
       }
       {
@@ -76,6 +78,7 @@ int main(int argc, char** argv) {
         bench::cell(c.rounds);
         bench::cell(c.words_per_op);
         bench::cell("log P=4");
+        bench::cell(c.model_ms);
         bench::endrow();
       }
     }
@@ -86,7 +89,7 @@ int main(int argc, char** argv) {
   // ---- sweep P at fixed l ----
   {
     bench::header("LCP vs machine size P (l=256, n=2000, batch=1000)",
-                  {"P", "struct", "rounds", "words/op", "log2(P)"});
+                  {"P", "struct", "rounds", "words/op", "log2(P)", "model_ms"});
     for (std::size_t p : {4, 16, 64}) {
       std::size_t n = 2000, batch = 1000, l = 256;
       auto keys = workload::uniform_keys(n, l, 21);
@@ -102,6 +105,7 @@ int main(int argc, char** argv) {
         bench::cell(c.rounds);
         bench::cell(c.words_per_op);
         bench::cell(bench::fmt(std::log2(double(p)), 1));
+        bench::cell(c.model_ms);
         bench::endrow();
       }
       {
@@ -117,6 +121,7 @@ int main(int argc, char** argv) {
         bench::cell(c.rounds);
         bench::cell(c.words_per_op);
         bench::cell(bench::fmt(std::log2(double(p)), 1));
+        bench::cell(c.model_ms);
         bench::endrow();
       }
     }

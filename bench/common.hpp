@@ -35,7 +35,8 @@ struct OpCost {
   double imbalance = 1.0;     // max/mean per-module words for the op
   std::uint64_t total_words = 0;
   std::uint64_t pim_time = 0;
-  double wall_ms = 0;  // host wall-clock; the model metrics above stay machine-independent
+  double wall_ms = 0;   // host wall-clock; the model metrics above stay machine-independent
+  double model_ms = 0;  // modelled wall-clock (wallclock backend only; 0 elsewhere)
 
   static OpCost delta(const ptrie::pim::Metrics::Snapshot& before, ptrie::pim::System& sys,
                       std::size_t n_ops) {
@@ -43,6 +44,7 @@ struct OpCost {
     OpCost c;
     c.rounds = after.rounds - before.rounds;
     c.total_words = after.words - before.words;
+    c.model_ms = double(after.modelled_ns - before.modelled_ns) / 1e6;
     c.words_per_op = n_ops ? double(c.total_words) / double(n_ops) : 0;
     c.io_time_per_op = n_ops ? double(after.io_time - before.io_time) / double(n_ops) : 0;
     c.pim_time = after.pim_time - before.pim_time;

@@ -2,7 +2,9 @@
 # CI gate: full build + tests in the normal configuration, a fixed-seed
 # differential fuzz matrix, fault-injection and overload smokes (the
 # fuzz oracle under injected faults, shed-vs-block admission behavior),
-# the perf gate against the checked-in BENCH_*.json baselines, then
+# backend smokes (wallclock model_ms flow, threaded-vs-exact digest
+# differential), the perf gate against the checked-in BENCH_*.json
+# baselines, the docs-vs-code gate (ci/doc_check.sh), then
 # sanitizer builds — AddressSanitizer runs
 # the unit- and serve-label tests plus the fuzz matrix; ThreadSanitizer
 # runs the parallel-runtime determinism suite (which includes the
@@ -108,12 +110,38 @@ grep -Eq 'latency-mode sheds=[1-9]' "$OBS_TMP/serving_shed.txt"
 ./build/bench/bench_serving --quick --ops 300 --theta 0 >"$OBS_TMP/serving_block.txt"
 grep -Eq 'latency-mode sheds=0$' "$OBS_TMP/serving_block.txt"
 
+echo "== backend smoke: wallclock + threaded execute the bench stack =="
+# wallclock: same execution, plus modelled milliseconds must flow into
+# the model_ms bench columns (nonzero on at least one pim-trie row).
+PTRIE_BACKEND=wallclock ./build/bench/bench_table1_lcp \
+  --json "$OBS_TMP/wallclock.json" >"$OBS_TMP/wallclock.txt"
+grep -q 'model_ms' "$OBS_TMP/wallclock.txt"
+grep -Eq 'pim-trie +[0-9]+ +[0-9.]+ +log P=[0-9]+ +0\.[0-9]*[1-9]' "$OBS_TMP/wallclock.txt" \
+  || grep -Eq '"model_ms"' "$OBS_TMP/wallclock.json"
+# threaded: per-module worker threads + real barriers must survive the
+# serving front-end (its pipeline threads submit rounds concurrently).
+PTRIE_BACKEND=threaded ./build/bench/bench_serving --quick --ops 200 --rates 0 >/dev/null
+# Backend differential fuzz: threaded vs exact digests over the seed
+# matrix, with and without recoverable fault noise.
+./build/tools/ptrie_fuzz --seed 1 --seeds 10 --structure pimtrie --profile auto \
+  --backend threaded --batches 12 --batch-cap 12 --init 40 \
+  --shrink-out "$OBS_TMP/fuzz_backend_min.sched"
+./build/tools/ptrie_fuzz --seed 4 --seeds 3 --structure pimtrie --backend threaded \
+  --batches 10 --batch-cap 12 --init 40 --fault-rate 0.02 \
+  --shrink-out "$OBS_TMP/fuzz_backend_faults_min.sched"
+./build/tools/ptrie_fuzz --seed 11 --seeds 4 --structure pimtrie --profile auto \
+  --backend wallclock --batches 12 --batch-cap 12 --init 40 \
+  --shrink-out "$OBS_TMP/fuzz_backend_wc_min.sched"
+
 echo "== perf gate: model metrics vs checked-in baselines =="
 ci/perf_gate.sh build
 
+echo "== doc check: env-var table + named paths =="
+ci/doc_check.sh build
+
 echo "== address-sanitized build + unit/serve tests + fuzz matrix =="
 cmake -B build-asan -S . -DPTRIE_SANITIZE=address >/dev/null
-cmake --build build-asan -j "$JOBS" --target pimtrie_tests ptrie_fuzz bench_serving
+cmake --build build-asan -j "$JOBS" --target pimtrie_tests ptrie_fuzz ptrie_report bench_serving
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L 'unit|serve'
 # Serving smoke under ASan: coalescer + pipeline + promise plumbing.
 ./build-asan/bench/bench_serving --quick --ops 200 >/dev/null
@@ -131,10 +159,15 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L 'unit|serve'
 ./build-asan/tools/ptrie_fuzz --seed 1 --seeds "$FUZZ_SEEDS" \
   --structure all --profile auto --ordered --batches 12 --batch-cap 12 \
   --init 40 --shrink-out build-asan/fuzz_ordered_min.sched
+# Threaded backend under ASan: worker threads move buffers in and out of
+# the shared round state — lifetime bugs in the rendezvous live here.
+./build-asan/tools/ptrie_fuzz --seed 1 --seeds "$FUZZ_SEEDS" \
+  --structure pimtrie --profile auto --backend threaded --batches 12 \
+  --batch-cap 12 --init 40 --shrink-out build-asan/fuzz_backend_min.sched
 
 echo "== thread-sanitized build + parallel determinism suite + fuzz matrix =="
 cmake -B build-tsan -S . -DPTRIE_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target pimtrie_tests ptrie_fuzz bench_serving
+cmake --build build-tsan -j "$JOBS" --target pimtrie_tests ptrie_fuzz ptrie_report bench_serving
 # WorkerSweep* covers the batch-pipeline suite, the trace byte-equality
 # suite (WorkerSweepTrace) in tests/test_obs.cpp, and the serving
 # pipeline determinism suite (WorkerSweepServe) in tests/test_serve.cpp.
@@ -161,5 +194,18 @@ PTRIE_WORKERS=8 ./build-tsan/tools/ptrie_fuzz --seed 5 --structure serve \
 PTRIE_WORKERS=8 ./build-tsan/tools/ptrie_fuzz --seed 1 --seeds "$FUZZ_SEEDS" \
   --structure all --profile auto --ordered --batches 12 --batch-cap 12 \
   --init 40 --shrink-out build-tsan/fuzz_ordered_min.sched
+# Threaded backend under TSan: every module a real thread, every round a
+# real barrier — the whole point of the backend is to let TSan see the
+# machine's concurrency, so the backend suite and the differential fuzz
+# both run here. Data races in the rendezvous or in kernels that touch a
+# neighboring module's arena surface as TSan reports, not as flaky bugs.
+PTRIE_WORKERS=8 ./build-tsan/tests/pimtrie_tests --gtest_filter='Backend*'
+PTRIE_WORKERS=8 ./build-tsan/tools/ptrie_fuzz --seed 1 --seeds "$FUZZ_SEEDS" \
+  --structure pimtrie --profile auto --backend threaded --batches 12 \
+  --batch-cap 12 --init 40 --shrink-out build-tsan/fuzz_backend_min.sched
+PTRIE_WORKERS=8 ./build-tsan/tools/ptrie_fuzz --seed 4 --seeds 2 \
+  --structure pimtrie --backend threaded --batches 10 --batch-cap 12 \
+  --init 40 --fault-rate 0.02 \
+  --shrink-out build-tsan/fuzz_backend_faults_min.sched
 
 echo "all checks passed"

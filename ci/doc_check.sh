@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Docs-vs-code consistency gate. Two directions:
+#
+#   1. Every PTRIE_* environment variable the binary registers
+#      (`ptrie_report --env`, backed by the obs::env registry) must be
+#      documented in README.md's knob reference table — an undocumented
+#      knob is a doc bug, and this is what keeps the table complete as
+#      knobs are added.
+#   2. Every src/ (or bench/, tools/, ci/, tests/) path that README.md,
+#      DESIGN.md, or EXPERIMENTS.md names must exist — renames and
+#      deletions must update the docs in the same change.
+#
+# usage: ci/doc_check.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD=${1:-build}
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+REPORT="$BUILD/tools/ptrie_report"
+if [[ ! -x "$REPORT" ]]; then
+  echo "doc_check: $REPORT not built (run cmake --build $BUILD first)" >&2
+  exit 2
+fi
+
+fail=0
+
+echo "== doc check: registered env vars documented in README =="
+vars=$("$REPORT" --env | grep -oE '^  PTRIE_[A-Z0-9_]+' | tr -d ' ')
+[[ -n "$vars" ]] || { echo "doc_check: --env listed no variables" >&2; exit 2; }
+for v in $vars; do
+  if ! grep -q "$v" README.md; then
+    echo "doc_check: FAIL env var $v is registered but not documented in README.md" >&2
+    fail=1
+  fi
+done
+
+echo "== doc check: file paths named in docs exist =="
+docs=(README.md DESIGN.md EXPERIMENTS.md)
+paths=$(grep -ohE '\b(src|bench|tools|tests|ci)/[A-Za-z0-9_/.-]+\.(hpp|cpp|sh|md|json)\b' \
+  "${docs[@]}" | sort -u)
+for p in $paths; do
+  if [[ ! -e "$p" ]]; then
+    echo "doc_check: FAIL docs name $p but it does not exist" >&2
+    fail=1
+  fi
+done
+
+if [[ $fail -ne 0 ]]; then
+  echo "doc_check: FAILED" >&2
+  exit 1
+fi
+echo "doc_check: OK ($(echo "$vars" | wc -w) env vars, $(echo "$paths" | wc -w) paths)"

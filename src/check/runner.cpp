@@ -34,11 +34,38 @@ std::string diff_lists(const std::vector<std::pair<BitString, std::uint64_t>>& g
   return std::string();
 }
 
+// FNV-1a accumulator for RunResult::digest: every answer a run produces
+// feeds through here, so two runs agree byte-for-byte iff digests match.
+struct Mixer {
+  std::uint64_t h = 1469598103934665603ull;
+  void byte(std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    for (char c : s) byte(static_cast<std::uint8_t>(c));
+  }
+  void key(const BitString& k) { str(k.to_binary()); }
+  void list(const std::vector<std::pair<BitString, std::uint64_t>>& l) {
+    u64(l.size());
+    for (const auto& [k, v] : l) {
+      key(k);
+      u64(v);
+    }
+  }
+};
+
 }  // namespace
 
 RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
   RunResult res;
-  pim::System sys(s.p, s.seed * 0x9E3779B97F4A7C15ull + 0xC43C5);
+  Mixer dg;
+  pim::System sys(s.p, s.seed * 0x9E3779B97F4A7C15ull + 0xC43C5,
+                  opt.backend ? *opt.backend : pim::backend_from_env());
   const bool faults = !s.faults.empty();
   if (faults) {
     pim::FaultPlan plan;
@@ -124,6 +151,7 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
       ++res.checks;
       std::vector<std::pair<BitString, std::uint64_t>> got;
       if (!guarded([&] { got = adapter->collect(); })) return true;  // enumeration faulted
+      dg.list(got);
       if (std::string d = diff_lists(got, live.all()); !d.empty()) {
         fail(bi, "content mismatch: " + d);
         return false;
@@ -226,6 +254,7 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
           break;
         }
         st = adapter->last_statuses();
+        for (std::size_t v : got) dg.u64(v);
         for (std::size_t i = 0; i < tkeys.size() && query_ok; ++i) {
           if (skip_faulted(i)) continue;
           ++res.checks;
@@ -244,6 +273,7 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
           break;
         }
         st = adapter->last_statuses();
+        for (const auto& l : got) dg.list(l);
         for (std::size_t i = 0; i < tkeys.size() && query_ok; ++i) {
           if (skip_faulted(i)) continue;
           ++res.checks;
@@ -262,6 +292,10 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
           break;
         }
         st = adapter->last_statuses();
+        for (const auto& v : got) {
+          dg.u64(v.has_value() ? 1 : 0);
+          if (v) dg.u64(*v);
+        }
         for (std::size_t i = 0; i < tkeys.size() && query_ok; ++i) {
           if (skip_faulted(i)) continue;
           ++res.checks;
@@ -285,6 +319,13 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
           break;
         }
         st = adapter->last_statuses();
+        for (const auto& v : got) {
+          dg.u64(v.has_value() ? 1 : 0);
+          if (v) {
+            dg.key(v->first);
+            dg.u64(v->second);
+          }
+        }
         for (std::size_t i = 0; i < tkeys.size() && query_ok; ++i) {
           if (skip_faulted(i)) continue;
           ++res.checks;
@@ -309,6 +350,7 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
           break;
         }
         st = adapter->last_statuses();
+        for (const auto& l : got) dg.list(l);
         for (std::size_t i = 0; i < tkeys.size() && query_ok; ++i) {
           if (skip_faulted(i)) continue;
           ++res.checks;
@@ -329,6 +371,7 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
           break;
         }
         st = adapter->last_statuses();
+        for (const auto& l : got) dg.list(l);
         for (std::size_t i = 0; i < tkeys.size() && query_ok; ++i) {
           if (skip_faulted(i)) continue;
           ++res.checks;
@@ -342,6 +385,11 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
         break;
       }
     }
+    // Digest the batch's observable outcome beyond the answers mixed in
+    // above: the op, the per-request statuses, and (below) its rounds.
+    dg.u64(static_cast<std::uint64_t>(b.op));
+    dg.u64(st.size());
+    for (std::uint8_t v : st) dg.byte(v);
     if (!query_ok) {
       res.fault_retries = sys.fault_stats().retries;
       return res;
@@ -351,6 +399,7 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
     // corruption hook below issue rounds of their own, measured never).
     auto after = sys.metrics().snapshot();
     std::size_t batch_rounds = after.rounds - before.rounds;
+    dg.u64(batch_rounds);
     res.max_batch_rounds = std::max(res.max_batch_rounds, batch_rounds);
     if (envelopes) {
       ++res.checks;
@@ -396,6 +445,7 @@ RunResult run_schedule(const Schedule& s, const CheckOptions& opt) {
   }
   res.rounds = sys.metrics().io_rounds();
   res.fault_retries = sys.fault_stats().retries;
+  res.digest = dg.h;
   return res;
 }
 

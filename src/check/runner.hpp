@@ -9,9 +9,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "check/schedule.hpp"
+#include "pim/backend.hpp"
 
 namespace ptrie::check {
 
@@ -29,6 +31,10 @@ struct CheckOptions {
   // hooked batch and shrinks to a minimal schedule.
   int corrupt_kind = -1;
   std::size_t corrupt_from = 0;
+  // Execution backend for the schedule's System; unset = PTRIE_BACKEND
+  // (default exact). The `ptrie_fuzz --backend` differential runs the
+  // same schedule once per backend and compares RunResult::digest.
+  std::optional<pim::BackendKind> backend;
 };
 
 struct RunResult {
@@ -46,6 +52,11 @@ struct RunResult {
   // failure") and PIM reply retries that recovered transparently.
   std::size_t faulted = 0;
   std::uint64_t fault_retries = 0;
+  // FNV-1a digest over every answer the run produced (query results,
+  // per-request statuses, per-batch round counts, content snapshots).
+  // Two runs of one schedule agree byte-for-byte iff digests agree —
+  // the backend differential's equality probe. Valid only when ok.
+  std::uint64_t digest = 0;
 };
 
 RunResult run_schedule(const Schedule& s, const CheckOptions& opt = {});

@@ -48,6 +48,13 @@ struct Registry {
     pre("PTRIE_ALERT_IMBALANCE",
         "skew alert when window per-module word imbalance max/mean exceeds this (default 3.0)");
     pre("PTRIE_ALERT_MIN_OPS", "minimum window ops before skew alerts can fire (default 50)");
+    pre("PTRIE_ALERT_SHED",
+        "overload alert when shed requests exceed this fraction of window admissions (default 0.05)");
+    pre("PTRIE_BACKEND", "execution backend: exact (default), wallclock, threaded");
+    pre("PTRIE_FAULTS",
+        "deterministic PIM fault plan, e.g. 'corrupt@round=5,module=2;retries=4' (pim/fault.hpp)");
+    pre("PTRIE_BENCH_N", "key count for bench_host_scaling datasets (default 1000000)");
+    pre("PTRIE_STRESS_ITERS", "stress-test iterations per randomized sequence (default 8)");
   }
 
   void pre(const char* name, const char* help) {

@@ -119,7 +119,9 @@ void Trace::write_chrome(std::ostream& out) const {
         << ",\"cat\":" << json::escape(cat) << ",\"args\":{\"round\":" << round_idx
         << ",\"total_words\":" << r.total_words << ",\"io_time\":" << r.io_dur
         << ",\"total_work\":" << r.total_work << ",\"pim_time\":" << r.pim_dur
-        << ",\"touched_modules\":" << r.touched << "}}";
+        << ",\"touched_modules\":" << r.touched;
+    if (r.modelled_ns != 0) out << ",\"modelled_ns\":" << r.modelled_ns;
+    out << "}}";
     // Per-module lanes: words define the span; work rides in args. The
     // work vector is sparse and may touch modules the word vector does
     // not (and vice versa), so join by walking both.

@@ -42,6 +42,10 @@ struct TraceRound {
   std::uint64_t total_words = 0;
   std::uint64_t total_work = 0;
   std::uint32_t touched = 0;
+  // Modelled wall-clock ns (wallclock backend; 0 elsewhere). Emitted as
+  // a round arg only when nonzero so exact-backend traces keep their
+  // pre-backend bytes.
+  std::uint64_t modelled_ns = 0;
   // Sparse per-module detail, index order (only touched modules).
   std::vector<std::pair<std::uint32_t, std::uint64_t>> module_words;
   std::vector<std::pair<std::uint32_t, std::uint64_t>> module_work;

@@ -1,0 +1,107 @@
+#include "pim/backend.hpp"
+
+#include <cstdlib>
+
+#include "core/check.hpp"
+#include "core/parallel.hpp"
+
+namespace ptrie::pim {
+
+const char* backend_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kExact: return "exact";
+    case BackendKind::kWallclock: return "wallclock";
+    case BackendKind::kThreaded: return "threaded";
+  }
+  return "?";
+}
+
+std::optional<BackendKind> parse_backend(const std::string& name) {
+  if (name == "exact") return BackendKind::kExact;
+  if (name == "wallclock") return BackendKind::kWallclock;
+  if (name == "threaded") return BackendKind::kThreaded;
+  return std::nullopt;
+}
+
+BackendKind backend_from_env() {
+  // Raw getenv, not the caching obs::env registry: like PTRIE_FAULTS,
+  // this is read fresh at every System construction so tests (and
+  // embedders) can flip backends mid-process. The registry pre-registers
+  // PTRIE_BACKEND for `ptrie_report --env` completeness.
+  const char* v = std::getenv("PTRIE_BACKEND");
+  if (v == nullptr || *v == '\0') return BackendKind::kExact;
+  std::optional<BackendKind> kind = parse_backend(v);
+  PTRIE_CHECK(kind.has_value(), "PTRIE_BACKEND='%s' is not exact|wallclock|threaded", v);
+  return *kind;
+}
+
+namespace {
+
+// Shared by the exact and wallclock backends: the original System::round
+// execution — kernels of launched modules run under the host pool with
+// grain 1, each touching only its own module. Moved here verbatim so
+// `exact` stays byte-identical to the pre-backend simulator.
+void pooled_execute(std::vector<Module>& modules, const std::vector<std::size_t>& launched,
+                    std::vector<Buffer>& to_modules,
+                    const std::function<Buffer(Module&, Buffer)>& kernel,
+                    std::vector<Buffer>& results, std::vector<std::uint64_t>& words,
+                    std::vector<std::uint64_t>& work) {
+  core::parallel_for(
+      0, launched.size(),
+      [&](std::size_t k) {
+        std::size_t i = launched[k];
+        std::uint64_t in_words = to_modules[i].size();
+        modules[i].drain_work();  // isolate this round's work
+        results[i] = kernel(modules[i], std::move(to_modules[i]));
+        work[k] = modules[i].drain_work();
+        words[k] = in_words + results[i].size();
+      },
+      /*grain=*/1);
+}
+
+class ExactBackend final : public Backend {
+ public:
+  BackendKind kind() const override { return BackendKind::kExact; }
+  void execute(std::vector<Module>& modules, const std::vector<std::size_t>& launched,
+               std::vector<Buffer>& to_modules,
+               const std::function<Buffer(Module&, Buffer)>& kernel,
+               std::vector<Buffer>& results, std::vector<std::uint64_t>& words,
+               std::vector<std::uint64_t>& work) override {
+    pooled_execute(modules, launched, to_modules, kernel, results, words, work);
+  }
+};
+
+class WallclockBackend final : public Backend {
+ public:
+  BackendKind kind() const override { return BackendKind::kWallclock; }
+  void execute(std::vector<Module>& modules, const std::vector<std::size_t>& launched,
+               std::vector<Buffer>& to_modules,
+               const std::function<Buffer(Module&, Buffer)>& kernel,
+               std::vector<Buffer>& results, std::vector<std::uint64_t>& words,
+               std::vector<std::uint64_t>& work) override {
+    pooled_execute(modules, launched, to_modules, kernel, results, words, work);
+  }
+  std::uint64_t round_ns(std::uint64_t max_words, std::uint64_t max_work) const override {
+    return model_.round_ns(max_words, max_work);
+  }
+
+ private:
+  CostModel model_;
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<Backend> make_threaded_backend();  // backend_threaded.cpp
+}
+
+std::unique_ptr<Backend> make_backend(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kExact: return std::make_unique<ExactBackend>();
+    case BackendKind::kWallclock: return std::make_unique<WallclockBackend>();
+    case BackendKind::kThreaded: return detail::make_threaded_backend();
+  }
+  return std::make_unique<ExactBackend>();
+}
+
+}  // namespace ptrie::pim

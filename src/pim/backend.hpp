@@ -1,0 +1,102 @@
+#pragma once
+// Execution-backend seam for the PIM machine (ROADMAP item 2). A
+// Backend owns *how* one BSP round's kernels run and *what wall-clock
+// cost the round is modelled to take*; pim::System owns everything else
+// (launch-set selection, fault delivery, metrics, tracing), so all
+// three backends share identical round semantics by construction:
+//
+//   exact     — the original word-accounting simulator: kernels run via
+//               the shared core::parallel pool, no modelled time. The
+//               default; byte-identical to the pre-backend System.
+//   wallclock — same execution as exact, plus each completed round is
+//               charged calibrated UPMEM-shaped nanoseconds (constants
+//               + citations in pim/cost_model.hpp), surfaced as
+//               RoundStats::modelled_ns / Metrics::modelled_ns().
+//   threaded  — each module is a real worker thread with its private
+//               arena (its Module), and IO rounds are actual barriers:
+//               the submitting thread publishes the round, every worker
+//               rendezvouses, launched workers run their own module's
+//               kernel, and the round ends when all workers ack. The
+//               simulator becomes a parallel machine instead of a
+//               round-robin loop; results are byte-identical to exact.
+//
+// Invariants every backend must uphold (asserted by the fuzz
+// differential `ptrie_fuzz --backend` and tests/test_backend.cpp):
+//   1. Determinism: identical inputs produce identical results, words,
+//      and work, regardless of PTRIE_WORKERS or scheduling.
+//   2. Isolation: a kernel for module i touches only modules[i].
+//   3. Exactly-once: each launched module's kernel runs exactly once
+//      per round (fault injection replays transfers, never kernels).
+//   4. Attribution: words[k] = input words + reply words of
+//      launched[k]; work[k] = the work its kernel drained.
+//
+// Selection: PTRIE_BACKEND=exact|wallclock|threaded (default exact),
+// or programmatically via System(p, seed, kind) / System::set_backend /
+// serve::Server::Options::backend.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pim/cost_model.hpp"
+#include "pim/module.hpp"
+
+namespace ptrie::pim {
+
+using Buffer = std::vector<std::uint64_t>;
+
+enum class BackendKind : std::uint8_t { kExact, kWallclock, kThreaded };
+
+// "exact" | "wallclock" | "threaded".
+const char* backend_name(BackendKind kind);
+
+// Parses a backend name; nullopt on anything unrecognized.
+std::optional<BackendKind> parse_backend(const std::string& name);
+
+// Reads PTRIE_BACKEND (default kExact). Throws ptrie::CheckError on an
+// unrecognized value — a typo'd backend silently running exact would
+// invalidate every wall-clock number downstream.
+BackendKind backend_from_env();
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual BackendKind kind() const = 0;
+  const char* name() const { return backend_name(kind()); }
+
+  // Runs the kernels of one BSP round. `launched` holds the ascending
+  // module indices this round touches; for each position k with
+  // i = launched[k] the backend must set
+  //   results[i] = kernel(modules[i], std::move(to_modules[i]))
+  //   words[k]   = to_modules[i].size() before the move + results[i].size()
+  //   work[k]    = modules[i] work drained across the kernel call
+  // exactly as the exact backend does (invariants 1-4 above). Called
+  // from one submitting thread at a time per System.
+  virtual void execute(std::vector<Module>& modules,
+                       const std::vector<std::size_t>& launched,
+                       std::vector<Buffer>& to_modules,
+                       const std::function<Buffer(Module&, Buffer)>& kernel,
+                       std::vector<Buffer>& results, std::vector<std::uint64_t>& words,
+                       std::vector<std::uint64_t>& work) = 0;
+
+  // Modelled wall-clock charge (ns) for a completed round whose
+  // most-loaded module moved `max_words` words and ran `max_work`
+  // instructions. 0 = this backend does not model time (exact,
+  // threaded). Must be monotone in both arguments.
+  virtual std::uint64_t round_ns(std::uint64_t max_words, std::uint64_t max_work) const {
+    (void)max_words;
+    (void)max_work;
+    return 0;
+  }
+};
+
+// Factory. The threaded backend spawns its per-module workers lazily on
+// first execute(), so constructing a System never pays for threads it
+// does not use.
+std::unique_ptr<Backend> make_backend(BackendKind kind);
+
+}  // namespace ptrie::pim

@@ -1,0 +1,129 @@
+// The `threaded` execution backend (pim/backend.hpp): one OS worker
+// thread per PIM module, holding that module as its private arena, with
+// every IO round an actual two-phase barrier. The submitting thread
+// publishes the round context under the mutex and bumps a generation
+// counter; every worker wakes, runs its own module's kernel iff the
+// module is in the round's launch set, and acks; the round completes
+// when all workers have acked. All cross-thread data flows through the
+// barrier's mutex, so the backend is TSan-clean, and each worker writes
+// only its own module's slots (results[i], words[k], work[k]), so
+// results are byte-identical to the exact backend for any scheduling.
+//
+// Workers spawn lazily on the first execute() and join in the
+// destructor, so Systems that never round (or never select this
+// backend) pay nothing.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pim/backend.hpp"
+
+namespace ptrie::pim {
+namespace detail {
+
+namespace {
+
+class ThreadedBackend final : public Backend {
+ public:
+  ~ThreadedBackend() override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  BackendKind kind() const override { return BackendKind::kThreaded; }
+
+  void execute(std::vector<Module>& modules, const std::vector<std::size_t>& launched,
+               std::vector<Buffer>& to_modules,
+               const std::function<Buffer(Module&, Buffer)>& kernel,
+               std::vector<Buffer>& results, std::vector<std::uint64_t>& words,
+               std::vector<std::uint64_t>& work) override {
+    ensure_workers(modules.size());
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      modules_ = &modules;
+      to_ = &to_modules;
+      kernel_ = &kernel;
+      results_ = &results;
+      words_ = &words;
+      work_ = &work;
+      // Per-module slot in the round's accounting vectors; -1 = idle
+      // this round. Written under the mutex, read by workers after the
+      // generation bump, so the barrier orders it.
+      slot_.assign(modules.size(), -1);
+      for (std::size_t k = 0; k < launched.size(); ++k)
+        slot_[launched[k]] = static_cast<long>(k);
+      pending_ = threads_.size();
+      ++gen_;
+    }
+    cv_start_.notify_all();
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return pending_ == 0; });
+  }
+
+ private:
+  void ensure_workers(std::size_t p) {
+    if (!threads_.empty()) return;
+    threads_.reserve(p);
+    for (std::size_t i = 0; i < p; ++i)
+      threads_.emplace_back([this, i] { worker(i); });
+  }
+
+  void worker(std::size_t i) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      long k;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_start_.wait(lk, [&] { return stop_ || gen_ != seen; });
+        if (stop_) return;
+        seen = gen_;
+        k = slot_[i];
+      }
+      if (k >= 0) {
+        Module& m = (*modules_)[i];
+        Buffer in = std::move((*to_)[i]);
+        std::uint64_t in_words = in.size();
+        m.drain_work();  // isolate this round's work
+        (*results_)[i] = (*kernel_)(m, std::move(in));
+        (*work_)[static_cast<std::size_t>(k)] = m.drain_work();
+        (*words_)[static_cast<std::size_t>(k)] = in_words + (*results_)[i].size();
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (--pending_ == 0) cv_done_.notify_one();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_start_, cv_done_;
+  std::vector<std::thread> threads_;
+  std::vector<long> slot_;
+  std::uint64_t gen_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+
+  // Round context, valid between the generation bump and the last ack.
+  std::vector<Module>* modules_ = nullptr;
+  std::vector<Buffer>* to_ = nullptr;
+  const std::function<Buffer(Module&, Buffer)>* kernel_ = nullptr;
+  std::vector<Buffer>* results_ = nullptr;
+  std::vector<std::uint64_t>* words_ = nullptr;
+  std::vector<std::uint64_t>* work_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_threaded_backend() {
+  return std::make_unique<ThreadedBackend>();
+}
+
+}  // namespace detail
+}  // namespace ptrie::pim

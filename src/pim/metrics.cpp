@@ -44,6 +44,12 @@ void Metrics::end_round() {
   rounds_.push_back(std::move(current_));
 }
 
+void Metrics::charge_modelled_ns(std::uint64_t ns) {
+  assert(!in_round_ && !rounds_.empty());
+  rounds_.back().modelled_ns += ns;
+  modelled_ns_ += ns;
+}
+
 namespace {
 double imbalance(const std::vector<std::uint64_t>& v) {
   if (v.empty()) return 1.0;
@@ -79,6 +85,7 @@ std::vector<PhaseRollup> Metrics::phase_rollups() const {
     pr.work += r.total_work;
     pr.pim_time += r.max_work;
     pr.touched_modules += r.touched_modules;
+    pr.modelled_ns += r.modelled_ns;
     for (const auto& [m, w] : r.module_words) phase_module_words[it->second][m] += w;
   }
   if (round_detail_)
@@ -90,7 +97,7 @@ std::vector<PhaseRollup> Metrics::phase_rollups() const {
 void Metrics::reset() {
   rounds_.clear();
   in_round_ = false;
-  io_time_ = total_words_ = pim_time_ = total_work_ = cpu_work_ = 0;
+  io_time_ = total_words_ = pim_time_ = total_work_ = cpu_work_ = modelled_ns_ = 0;
   std::fill(per_module_words_.begin(), per_module_words_.end(), 0);
   std::fill(per_module_work_.begin(), per_module_work_.end(), 0);
 }

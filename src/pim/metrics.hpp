@@ -31,6 +31,10 @@ struct RoundStats {
   std::uint64_t total_work = 0;    // sum over modules of PIM work
   std::uint64_t max_work = 0;      // max over modules (the round's PIM time)
   std::size_t touched_modules = 0;
+  // Modelled wall-clock duration of the round in nanoseconds. 0 unless
+  // the wallclock execution backend is active (pim/cost_model.hpp), so
+  // exact-backend metrics stay byte-identical to the pre-backend ones.
+  std::uint64_t modelled_ns = 0;
   // Sparse per-module detail in module-index order; retained only when
   // Metrics::set_round_detail(true) (opt-in: it costs memory per round).
   std::vector<std::pair<std::uint32_t, std::uint64_t>> module_words;
@@ -46,6 +50,7 @@ struct PhaseRollup {
   std::uint64_t work = 0;      // sum of total_work
   std::uint64_t pim_time = 0;  // sum of per-round max work
   std::size_t touched_modules = 0;  // sum over rounds
+  std::uint64_t modelled_ns = 0;    // sum of modelled round durations (wallclock backend)
   // Distribution of this phase's per-module word totals (p50/p95/p99/max
   // + max/mean imbalance). Meaningful only when round detail was on;
   // otherwise a default (balanced) summary.
@@ -63,6 +68,11 @@ class Metrics {
 
   void add_cpu_work(std::uint64_t w) { cpu_work_ += w; }
 
+  // Attributes modelled wall-clock nanoseconds to the round that just
+  // ended (rounds().back()). Only the wallclock backend charges this;
+  // with no charges everything modelled_ns-related reads 0.
+  void charge_modelled_ns(std::uint64_t ns);
+
   // Opt-in retention of per-round per-module vectors (phase imbalance,
   // trace export). Off by default: with it off, metrics behave exactly
   // as before this knob existed.
@@ -75,6 +85,8 @@ class Metrics {
   std::uint64_t pim_time() const { return pim_time_; }        // sum of per-round max work
   std::uint64_t total_pim_work() const { return total_work_; }
   std::uint64_t cpu_work() const { return cpu_work_; }
+  // Total modelled wall-clock ns across rounds (0 unless wallclock backend).
+  std::uint64_t modelled_ns() const { return modelled_ns_; }
 
   const std::vector<std::uint64_t>& per_module_words() const { return per_module_words_; }
   const std::vector<std::uint64_t>& per_module_work() const { return per_module_work_; }
@@ -98,10 +110,11 @@ class Metrics {
     std::size_t rounds = 0;
     std::uint64_t io_time = 0, words = 0, pim_time = 0, pim_work = 0, cpu = 0;
     std::vector<std::uint64_t> module_words;
+    std::uint64_t modelled_ns = 0;
   };
   Snapshot snapshot() const {
     return {io_rounds(), io_time(),       total_comm_words(), pim_time(),
-            total_pim_work(), cpu_work(), per_module_words_};
+            total_pim_work(), cpu_work(), per_module_words_,  modelled_ns()};
   }
 
  private:
@@ -110,7 +123,7 @@ class Metrics {
   bool in_round_ = false;
   bool round_detail_ = false;
   std::uint64_t io_time_ = 0, total_words_ = 0, pim_time_ = 0, total_work_ = 0,
-                cpu_work_ = 0;
+                cpu_work_ = 0, modelled_ns_ = 0;
   std::vector<std::uint64_t> per_module_words_;
   std::vector<std::uint64_t> per_module_work_;
 };

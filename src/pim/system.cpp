@@ -20,7 +20,11 @@ bool telemetry_requested() {
 }
 }  // namespace
 
-System::System(std::size_t p, std::uint64_t seed) : metrics_(p), placement_rng_(seed) {
+System::System(std::size_t p, std::uint64_t seed)
+    : System(p, seed, backend_from_env()) {}
+
+System::System(std::size_t p, std::uint64_t seed, BackendKind backend)
+    : backend_(make_backend(backend)), metrics_(p), placement_rng_(seed) {
   PTRIE_CHECK(p >= 1, "System needs at least one module (p=%zu)", p);
   core::Rng seeder(seed ^ 0xD1B54A32D192ED03ull);
   modules_.reserve(p);
@@ -79,17 +83,7 @@ std::vector<Buffer> System::round(const std::string& label, std::vector<Buffer> 
   }
 
   std::vector<std::uint64_t> words(launched.size(), 0), work(launched.size(), 0);
-  core::parallel_for(
-      0, launched.size(),
-      [&](std::size_t k) {
-        std::size_t i = launched[k];
-        std::uint64_t in_words = to_modules[i].size();
-        modules_[i].drain_work();  // isolate this round's work
-        results[i] = kernel(modules_[i], std::move(to_modules[i]));
-        work[k] = modules_[i].drain_work();
-        words[k] = in_words + results[i].size();
-      },
-      /*grain=*/1);
+  backend_->execute(modules_, launched, to_modules, kernel, results, words, work);
 
   // Reply delivery: with a fault plan active, transfers may stall, drop,
   // or corrupt; retries re-charge the reply words plus exponential backoff.
@@ -108,6 +102,14 @@ std::vector<Buffer> System::round(const std::string& label, std::vector<Buffer> 
   for (std::size_t k = 0; k < launched.size(); ++k)
     metrics_.record_module(launched[k], words[k], work[k]);
   metrics_.end_round();
+  // Wall-clock charge (wallclock backend only; 0 elsewhere). Uses the
+  // round's straggler words/work — including fault-retry re-transfers,
+  // which on hardware really would re-occupy the rank channel.
+  {
+    const RoundStats& r = metrics_.rounds().back();
+    std::uint64_t ns = backend_->round_ns(r.max_words, r.max_work);
+    if (ns != 0) metrics_.charge_modelled_ns(ns);
+  }
   if (trace_id_ != 0) record_trace(ts);
 
   if (failed_module) {
@@ -199,6 +201,7 @@ void System::record_trace(std::uint64_t ts) {
   tr.total_words = r.total_words;
   tr.total_work = r.total_work;
   tr.touched = static_cast<std::uint32_t>(r.touched_modules);
+  tr.modelled_ns = r.modelled_ns;
   tr.module_words = r.module_words;
   tr.module_work = r.module_work;
   obs::Trace::instance().record(std::move(tr));

@@ -10,10 +10,12 @@
 // modules (they are independent by construction).
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "pim/backend.hpp"
 #include "pim/fault.hpp"
 #include "pim/metrics.hpp"
 #include "pim/module.hpp"
@@ -30,11 +32,23 @@ using Buffer = std::vector<std::uint64_t>;
 
 class System {
  public:
+  // Selects the execution backend from PTRIE_BACKEND (default exact);
+  // see pim/backend.hpp. Every pre-backend construction site keeps its
+  // exact byte-identical behaviour because exact is the default.
   System(std::size_t p, std::uint64_t seed = 0xC0FFEE);
+  // Explicit-backend overload for programmatic selection (tests, serving).
+  System(std::size_t p, std::uint64_t seed, BackendKind backend);
 
   std::size_t p() const { return modules_.size(); }
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
+
+  // --- Execution backend ---------------------------------------------------
+  // Swapping backends between rounds is safe: the backend owns only the
+  // kernel-execution step, never cross-round state.
+  void set_backend(BackendKind kind) { backend_ = make_backend(kind); }
+  BackendKind backend_kind() const { return backend_->kind(); }
+  const Backend& backend() const { return *backend_; }
 
   // One BSP round. `to_modules[i]` is pushed to module i (empty = module
   // not launched unless `launch_all`); the kernel returns the buffer read
@@ -87,6 +101,7 @@ class System {
                                              std::optional<std::size_t>* failed_module);
 
   std::vector<Module> modules_;
+  std::unique_ptr<Backend> backend_;
   Metrics metrics_;
   core::Rng placement_rng_;
   // Track id in the global obs::Trace (0 = tracing off at construction).

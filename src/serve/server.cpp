@@ -53,6 +53,7 @@ Server::Server(pimtrie::PimTrie& trie, Options opt)
   if (opt_.overload_policy == OverloadPolicy::kBlock)
     opt_.max_backlog = std::max<std::size_t>(1, opt_.max_backlog);
   if (opt_.max_retries) trie_->system().set_fault_retries(*opt_.max_retries);
+  if (opt_.backend) trie_->system().set_backend(*opt_.backend);
 
   // Resolve the lifecycle-telemetry toggle (Options override, else env).
   const bool trace_on = obs::Trace::instance().enabled();

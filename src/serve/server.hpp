@@ -59,6 +59,7 @@
 
 #include "core/bitstring.hpp"
 #include "obs/metrics_window.hpp"
+#include "pim/backend.hpp"
 #include "obs/spans.hpp"
 #include "pimtrie/pim_trie.hpp"
 #include "trie/query_trie.hpp"
@@ -170,6 +171,12 @@ class Server {
     // Override for the PIM fault-retry budget (pim::FaultPlan
     // max_retries); unset = keep the plan's own value.
     std::optional<std::uint32_t> max_retries;
+
+    // ---- execution backend ----
+    // Overrides the trie's System execution backend (pim/backend.hpp)
+    // before the pipeline starts; unset = keep whatever the System was
+    // constructed with (PTRIE_BACKEND, default exact).
+    std::optional<pim::BackendKind> backend;
 
     // ---- request-lifecycle telemetry ----
     // kAuto: active iff PTRIE_TRACE or PTRIE_METRICS is set in the

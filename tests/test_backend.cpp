@@ -1,0 +1,238 @@
+// Unit tests for the execution-backend seam (pim/backend.hpp): name
+// parsing and PTRIE_BACKEND selection, exact-vs-threaded byte identity
+// across PTRIE_WORKERS, wallclock cost-model monotonicity and result
+// identity, and fault-plan retry/CRC accounting identical on every
+// backend. The heavyweight cross-backend probe is the full differential
+// runner (check::run_schedule + RunResult::digest) — the same equality
+// machinery `ptrie_fuzz --backend` uses — so these tests and the fuzz
+// CI lines assert the same contract.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "check/runner.hpp"
+#include "check/schedule.hpp"
+#include "core/check.hpp"
+#include "core/parallel.hpp"
+#include "pim/backend.hpp"
+#include "pim/cost_model.hpp"
+#include "pim/fault.hpp"
+#include "pim/system.hpp"
+
+namespace {
+
+using ptrie::core::ThreadPool;
+using ptrie::pim::Backend;
+using ptrie::pim::BackendKind;
+using ptrie::pim::Buffer;
+using ptrie::pim::CostModel;
+using ptrie::pim::Module;
+using ptrie::pim::System;
+
+// ---- selection ------------------------------------------------------
+
+TEST(Backend, NamesRoundTrip) {
+  for (BackendKind k : {BackendKind::kExact, BackendKind::kWallclock, BackendKind::kThreaded}) {
+    auto parsed = ptrie::pim::parse_backend(ptrie::pim::backend_name(k));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(ptrie::pim::parse_backend("").has_value());
+  EXPECT_FALSE(ptrie::pim::parse_backend("Exact").has_value());  // case-sensitive
+  EXPECT_FALSE(ptrie::pim::parse_backend("gpu").has_value());
+}
+
+TEST(Backend, EnvSelectionAndRejection) {
+  ASSERT_EQ(unsetenv("PTRIE_BACKEND"), 0);
+  EXPECT_EQ(ptrie::pim::backend_from_env(), BackendKind::kExact);
+  ASSERT_EQ(setenv("PTRIE_BACKEND", "wallclock", 1), 0);
+  EXPECT_EQ(ptrie::pim::backend_from_env(), BackendKind::kWallclock);
+  // A typo must fail loudly, not silently run exact: every wall-clock
+  // number downstream would be zeros.
+  ASSERT_EQ(setenv("PTRIE_BACKEND", "wallclok", 1), 0);
+  try {
+    (void)ptrie::pim::backend_from_env();
+    FAIL() << "bad PTRIE_BACKEND must throw";
+  } catch (const ptrie::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("PTRIE_BACKEND"), std::string::npos) << e.what();
+  }
+  ASSERT_EQ(unsetenv("PTRIE_BACKEND"), 0);
+}
+
+TEST(Backend, SystemReportsItsBackend) {
+  System sys(4, 7, BackendKind::kThreaded);
+  EXPECT_EQ(sys.backend_kind(), BackendKind::kThreaded);
+  EXPECT_STREQ(sys.backend().name(), "threaded");
+  sys.set_backend(BackendKind::kWallclock);
+  EXPECT_EQ(sys.backend_kind(), BackendKind::kWallclock);
+}
+
+// ---- wallclock cost model -------------------------------------------
+
+TEST(Backend, CostModelIsMonotone) {
+  CostModel m;
+  std::uint64_t probes[] = {0, 1, 7, 64, 4096, 1u << 20};
+  for (std::uint64_t w1 : probes)
+    for (std::uint64_t k1 : probes)
+      for (std::uint64_t w2 : probes)
+        for (std::uint64_t k2 : probes)
+          if (w2 >= w1 && k2 >= k1)
+            EXPECT_GE(m.round_ns(w2, k2), m.round_ns(w1, k1))
+                << w1 << "," << k1 << " -> " << w2 << "," << k2;
+  // An all-idle round is skipped by System and never charged; a launched
+  // round always pays at least the fixed launch+sync latency.
+  EXPECT_GE(m.round_ns(0, 0), m.round_latency_ns);
+}
+
+TEST(Backend, WallclockChargesRoundsExactDoesNot) {
+  System exact(4, 7, BackendKind::kExact);
+  System wall(4, 7, BackendKind::kWallclock);
+  auto probe = [](System& sys) {
+    std::vector<Buffer> to(4);
+    to[1] = {10, 20, 30};
+    to[3] = {7};
+    return sys.round("probe", std::move(to), [](Module& m, Buffer in) {
+      m.work(in.size());
+      return in;
+    });
+  };
+  EXPECT_EQ(probe(exact), probe(wall));  // identical execution...
+  EXPECT_EQ(exact.metrics().modelled_ns(), 0u);
+  // ...but only wallclock charges time: the round's straggler moved
+  // 3+3=6 words and ran 3 work units.
+  CostModel m;
+  EXPECT_EQ(wall.metrics().modelled_ns(), m.round_ns(6, 3));
+  EXPECT_EQ(wall.metrics().rounds().back().modelled_ns, m.round_ns(6, 3));
+
+  // An all-idle round charges nothing on any backend.
+  wall.round("idle", std::vector<Buffer>(4), [](Module&, Buffer in) { return in; });
+  EXPECT_EQ(wall.metrics().modelled_ns(), m.round_ns(6, 3));
+}
+
+// ---- cross-backend byte identity ------------------------------------
+
+// Runs one generated schedule on every backend and asserts the full
+// answer digest (query results, statuses, per-batch round counts,
+// content snapshots) plus the model metrics agree with exact.
+void expect_backends_agree(const std::string& structure, const std::string& profile,
+                           std::uint64_t seed, const std::string& faults = "") {
+  ptrie::check::GenParams gp;
+  gp.n_batches = 10;
+  gp.batch_cap = 16;
+  gp.init_n = 48;
+  ptrie::check::Schedule s = ptrie::check::make_schedule(structure, profile, seed, gp);
+  s.faults = faults;
+
+  ptrie::check::CheckOptions opt;
+  opt.backend = BackendKind::kExact;
+  ptrie::check::RunResult ref = ptrie::check::run_schedule(s, opt);
+  ASSERT_TRUE(ref.ok) << ref.error;
+
+  for (BackendKind k : {BackendKind::kWallclock, BackendKind::kThreaded}) {
+    opt.backend = k;
+    ptrie::check::RunResult got = ptrie::check::run_schedule(s, opt);
+    const char* name = ptrie::pim::backend_name(k);
+    ASSERT_TRUE(got.ok) << name << ": " << got.error;
+    EXPECT_EQ(got.digest, ref.digest) << name;
+    EXPECT_EQ(got.ops, ref.ops) << name;
+    EXPECT_EQ(got.checks, ref.checks) << name;
+    EXPECT_EQ(got.rounds, ref.rounds) << name;
+    EXPECT_EQ(got.max_batch_rounds, ref.max_batch_rounds) << name;
+    EXPECT_EQ(got.faulted, ref.faulted) << name;
+    EXPECT_EQ(got.fault_retries, ref.fault_retries) << name;
+  }
+}
+
+class BackendSweep : public ::testing::Test {
+ protected:
+  void TearDown() override { ThreadPool::instance().set_workers(1); }
+};
+
+TEST_F(BackendSweep, ThreadedMatchesExactAcrossWorkerCounts) {
+  // The threaded backend spawns its own per-module workers, but kernels
+  // may still use the shared pool internally — identity must hold for
+  // any PTRIE_WORKERS setting.
+  for (std::size_t w : {1u, 2u, 3u, 8u}) {
+    ThreadPool::instance().set_workers(w);
+    expect_backends_agree("pimtrie", "zipf", 100 + w);
+  }
+}
+
+TEST_F(BackendSweep, AllProfilesAgree) {
+  std::uint64_t seed = 200;
+  for (const char* profile : {"uniform", "zipf", "cluster", "dup"})
+    expect_backends_agree("pimtrie", profile, seed++);
+}
+
+TEST_F(BackendSweep, FaultPlansRetryIdenticallyOnEveryBackend) {
+  // Recoverable noise (count=2 < default retry budget 3): every injected
+  // drop/corrupt is retried away, and the retry/CRC accounting — not
+  // just the answers — must agree bit-for-bit across backends.
+  expect_backends_agree("pimtrie", "zipf", 300, "noise@seed=41,rate=0.05,count=2");
+  expect_backends_agree("pimtrie", "uniform", 301, "corrupt@module=1,count=3;retries=4");
+}
+
+TEST_F(BackendSweep, FaultStatsMatchAtSystemLevel) {
+  ptrie::pim::FaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(
+      ptrie::pim::FaultPlan::parse("noise@seed=9,rate=0.3,count=1;retries=3", &plan, &err))
+      << err;
+  auto run = [&](BackendKind k) {
+    System sys(4, 11, k);
+    sys.set_fault_plan(plan);
+    for (int r = 0; r < 20; ++r) {
+      std::vector<Buffer> to(4);
+      for (std::size_t i = 0; i < 4; ++i) to[i] = {std::uint64_t(r), i, 42};
+      sys.round("p", std::move(to), [](Module& m, Buffer in) {
+        m.work(in.size());
+        in.push_back(in[0] + in[1]);
+        return in;
+      });
+    }
+    return sys.fault_stats();
+  };
+  auto ref = run(BackendKind::kExact);
+  EXPECT_GT(ref.retries, 0u);  // the plan actually fired
+  for (BackendKind k : {BackendKind::kWallclock, BackendKind::kThreaded}) {
+    auto got = run(k);
+    EXPECT_EQ(got.drops, ref.drops);
+    EXPECT_EQ(got.corruptions, ref.corruptions);
+    EXPECT_EQ(got.crc_mismatches, ref.crc_mismatches);
+    EXPECT_EQ(got.retries, ref.retries);
+    EXPECT_EQ(got.backoff_words, ref.backoff_words);
+    EXPECT_EQ(got.failed_rounds, ref.failed_rounds);
+  }
+}
+
+TEST(Backend, ThreadedMatchesExactMetricsSnapshot) {
+  auto drive = [](BackendKind k) {
+    System sys(8, 3, k);
+    for (int r = 0; r < 6; ++r) {
+      std::vector<Buffer> to(8);
+      for (int i = 0; i <= r; ++i) to[std::size_t(i)] = Buffer(std::size_t(3 + i), 5);
+      sys.round("mix", std::move(to), [](Module& m, Buffer in) {
+        m.work(2 * in.size());
+        Buffer out;
+        for (std::uint64_t v : in) out.push_back(v * 2 + 1);
+        return out;
+      });
+    }
+    return sys.metrics().snapshot();
+  };
+  auto a = drive(BackendKind::kExact);
+  auto b = drive(BackendKind::kThreaded);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.io_time, b.io_time);
+  EXPECT_EQ(a.words, b.words);
+  EXPECT_EQ(a.pim_time, b.pim_time);
+  EXPECT_EQ(a.pim_work, b.pim_work);
+  EXPECT_EQ(a.module_words, b.module_words);
+  EXPECT_EQ(a.modelled_ns, b.modelled_ns);  // both zero: neither models time
+  EXPECT_EQ(a.modelled_ns, 0u);
+}
+
+}  // namespace

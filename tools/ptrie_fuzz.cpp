@@ -64,7 +64,11 @@ const char* kUsage =
     "                    transfer faults with probability R on its first\n"
     "                    two attempts (< the retry budget, so every fault\n"
     "                    recovers and the full oracle still applies),\n"
-    "                    seeded by the schedule seed\n";
+    "                    seeded by the schedule seed\n"
+    "  --backend B       backend differential: run every schedule twice —\n"
+    "                    once on the exact backend, once on B (wallclock|\n"
+    "                    threaded) — and require byte-identical results\n"
+    "                    (answer digest, statuses, round counts)\n";
 
 struct Args {
   std::uint64_t seed = 1;
@@ -78,6 +82,8 @@ struct Args {
   std::string replay, dump;
   std::string faults;
   double fault_rate = 0.0;
+  // Backend-differential mode: compare this backend against exact.
+  std::optional<ptrie::pim::BackendKind> backend;
 };
 
 bool parse_args(int argc, char** argv, Args* a) {
@@ -107,6 +113,14 @@ bool parse_args(int argc, char** argv, Args* a) {
     else if (f == "--dump" && (v = next())) a->dump = v;
     else if (f == "--faults" && (v = next())) a->faults = v;
     else if (f == "--fault-rate" && (v = next())) a->fault_rate = std::strtod(v, nullptr);
+    else if (f == "--backend" && (v = next())) {
+      a->backend = ptrie::pim::parse_backend(v);
+      if (!a->backend) {
+        std::fprintf(stderr, "ptrie_fuzz: unknown backend '%s' (exact|wallclock|threaded)\n",
+                     v);
+        return false;
+      }
+    }
     else {
       std::fprintf(stderr, "ptrie_fuzz: bad argument '%s'\n%s", f.c_str(), kUsage);
       return false;
@@ -234,8 +248,11 @@ int main(int argc, char** argv) {
   std::size_t ops = 0, checks = 0, max_rounds = 0, faulted = 0;
   std::uint64_t retries = 0;
   double max_imb = 0.0;
+  const bool differential = a.backend && *a.backend != ptrie::pim::BackendKind::kExact;
   for (const auto& sched : schedules) {
-    RunResult r = ptrie::check::run_schedule(sched, a.opt);
+    CheckOptions opt = a.opt;
+    if (a.backend) opt.backend = *a.backend;
+    RunResult r = ptrie::check::run_schedule(sched, opt);
     ops += r.ops;
     checks += r.checks;
     faulted += r.faulted;
@@ -243,11 +260,47 @@ int main(int argc, char** argv) {
     max_rounds = std::max(max_rounds, r.max_batch_rounds);
     max_imb = std::max(max_imb, r.max_imbalance);
     if (!r.ok) return report_failure(sched, r, a);
+    if (differential) {
+      // Reference run on the exact backend; every observable outcome
+      // must match the candidate's byte for byte. Differential
+      // mismatches are not shrunk — the full two-run context is the
+      // diagnosis, and shrinking would only re-run one backend.
+      opt.backend = ptrie::pim::BackendKind::kExact;
+      RunResult ref = ptrie::check::run_schedule(sched, opt);
+      auto mismatch = [&](const char* what, std::uint64_t got, std::uint64_t want) {
+        std::printf(
+            "ptrie_fuzz: FAIL backend differential %s vs exact: structure=%s "
+            "profile=%s seed=%llu: %s %llu vs %llu\n",
+            ptrie::pim::backend_name(*a.backend), sched.structure.c_str(),
+            sched.profile.c_str(), static_cast<unsigned long long>(sched.seed), what,
+            static_cast<unsigned long long>(got), static_cast<unsigned long long>(want));
+        return 1;
+      };
+      if (!ref.ok) {
+        std::printf("ptrie_fuzz: FAIL backend differential: exact reference failed: %s\n",
+                    ref.error.c_str());
+        return 1;
+      }
+      if (r.digest != ref.digest) return mismatch("digest", r.digest, ref.digest);
+      if (r.ops != ref.ops) return mismatch("ops", r.ops, ref.ops);
+      if (r.checks != ref.checks) return mismatch("checks", r.checks, ref.checks);
+      if (r.rounds != ref.rounds) return mismatch("rounds", r.rounds, ref.rounds);
+      if (r.max_batch_rounds != ref.max_batch_rounds)
+        return mismatch("max_batch_rounds", r.max_batch_rounds, ref.max_batch_rounds);
+      if (r.faulted != ref.faulted) return mismatch("faulted", r.faulted, ref.faulted);
+      if (r.fault_retries != ref.fault_retries)
+        return mismatch("fault_retries", r.fault_retries, ref.fault_retries);
+    }
   }
   std::printf(
-      "ptrie_fuzz: OK runs=%zu ops=%zu checks=%zu max_batch_rounds=%zu "
+      "ptrie_fuzz: OK runs=%zu%s ops=%zu checks=%zu max_batch_rounds=%zu "
       "max_imbalance=%.3f faulted=%zu retries=%llu\n",
-      schedules.size(), ops, checks, max_rounds, max_imb, faulted,
+      schedules.size(),
+      differential ? (std::string(" (x2: ") + ptrie::pim::backend_name(*a.backend) +
+                      " vs exact)")
+                         .c_str()
+                   : "",
+      ops, checks, max_rounds, max_imb, faulted,
       static_cast<unsigned long long>(retries));
   return 0;
 }

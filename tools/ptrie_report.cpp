@@ -28,8 +28,10 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
+#include "obs/env.hpp"
 #include "obs/json.hpp"
 
 namespace json = ptrie::obs::json;
@@ -41,6 +43,7 @@ struct RoundRow {
   std::size_t round = 0;
   std::string label, phase;
   std::uint64_t ts = 0, io = 0, pim = 0, words = 0, work = 0, touched = 0;
+  std::uint64_t model_ns = 0;  // wallclock-backend traces only
 };
 
 struct ModuleSample {
@@ -52,7 +55,7 @@ struct ModuleSample {
 
 struct PhaseAgg {
   std::size_t rounds = 0;
-  std::uint64_t words = 0, io = 0, work = 0, pim = 0, touched = 0;
+  std::uint64_t words = 0, io = 0, work = 0, pim = 0, touched = 0, model_ns = 0;
   std::vector<std::uint64_t> module_words;  // dense, sized to max module + 1
 };
 
@@ -152,6 +155,7 @@ int report_trace(const json::Value& root, long rounds_cap) {
       r.work = get_u64(*args, "total_work");
       r.pim = get_u64(*args, "pim_time");
       r.touched = get_u64(*args, "touched_modules");
+      r.model_ns = get_u64(*args, "modelled_ns");
       rounds.push_back(std::move(r));
     } else {
       ModuleSample s;
@@ -212,7 +216,7 @@ int report_trace(const json::Value& root, long rounds_cap) {
 
     std::vector<std::string> order;
     std::map<std::string, PhaseAgg> agg;
-    std::uint64_t tot_words = 0, tot_io = 0, tot_work = 0, tot_pim = 0;
+    std::uint64_t tot_words = 0, tot_io = 0, tot_work = 0, tot_pim = 0, tot_ns = 0;
     std::size_t tot_rounds = 0, tot_touched = 0;
     for (const auto& r : rounds) {
       if (r.system != sys) continue;
@@ -225,12 +229,14 @@ int report_trace(const json::Value& root, long rounds_cap) {
       a.work += r.work;
       a.pim += r.pim;
       a.touched += r.touched;
+      a.model_ns += r.model_ns;
       ++tot_rounds;
       tot_words += r.words;
       tot_io += r.io;
       tot_work += r.work;
       tot_pim += r.pim;
       tot_touched += r.touched;
+      tot_ns += r.model_ns;
     }
     bool have_modules = false;
     for (const auto& s : samples) {
@@ -245,21 +251,30 @@ int report_trace(const json::Value& root, long rounds_cap) {
       have_modules = true;
     }
 
+    // model_ms appears only when the trace carries wallclock-backend
+    // charges, so exact-backend reports render exactly as before.
+    const bool have_ms = tot_ns != 0;
     std::printf("\n-- per-phase breakdown --\n");
-    std::printf("%-36s %8s %12s %12s %12s %10s %10s\n", "phase", "rounds", "words",
+    std::printf("%-36s %8s %12s %12s %12s %10s %10s", "phase", "rounds", "words",
                 "io_time", "pim_time", "touched", "imbal");
+    if (have_ms) std::printf(" %12s", "model_ms");
+    std::printf("\n");
     for (const auto& key : order) {
       const PhaseAgg& a = agg[key];
       char imbal[16] = "-";
       if (have_modules && p > 0)
         std::snprintf(imbal, sizeof imbal, "%.2f", imbalance_of(a.module_words, p));
-      std::printf("%-36s %8zu %12llu %12llu %12llu %10llu %10s\n", key.c_str(), a.rounds,
+      std::printf("%-36s %8zu %12llu %12llu %12llu %10llu %10s", key.c_str(), a.rounds,
                   (unsigned long long)a.words, (unsigned long long)a.io,
                   (unsigned long long)a.pim, (unsigned long long)a.touched, imbal);
+      if (have_ms) std::printf(" %12.3f", double(a.model_ns) / 1e6);
+      std::printf("\n");
     }
-    std::printf("%-36s %8zu %12llu %12llu %12llu %10zu\n", "TOTAL", tot_rounds,
+    std::printf("%-36s %8zu %12llu %12llu %12llu %10zu", "TOTAL", tot_rounds,
                 (unsigned long long)tot_words, (unsigned long long)tot_io,
                 (unsigned long long)tot_pim, tot_touched);
+    if (have_ms) std::printf(" %10s %12.3f", "", double(tot_ns) / 1e6);
+    std::printf("\n");
 
     if (have_modules && p > 0) {
       std::printf("\n-- per-module balance heatmap (words; scale ' .:-=+*#%%@') --\n");
@@ -581,15 +596,49 @@ int gate(const json::Value& base, const json::Value& fresh, double tol) {
       ++failures;
       continue;
     }
+    const std::string title_str = title->as_string();
+    const char* tname = title_str.c_str();
     const json::Value* cols = b.find("columns");
     const json::Value* brows = b.find("rows");
+    const json::Value* fcols = f->find("columns");
     const json::Value* frows = f->find("rows");
-    if (!cols || !brows || !frows) continue;
+    // A malformed side is a loud failure, never a silent skip: a gate
+    // that "passes" because a key vanished has stopped gating anything.
+    bool shaped = true;
+    for (auto [v, side, key] : {std::tuple{cols, "baseline", "columns"},
+                                std::tuple{brows, "baseline", "rows"},
+                                std::tuple{fcols, "candidate", "columns"},
+                                std::tuple{frows, "candidate", "rows"}}) {
+      if (v) continue;
+      std::fprintf(stderr, "gate: FAIL %s table '%s' has no '%s' key\n", side, tname, key);
+      ++failures;
+      shaped = false;
+    }
+    if (!shaped) continue;
     if (brows->arr.size() != frows->arr.size()) {
       std::fprintf(stderr, "gate: FAIL row count %zu -> %zu in: %s\n", brows->arr.size(),
-                   frows->arr.size(), title->as_string().c_str());
+                   frows->arr.size(), tname);
       ++failures;
       continue;
+    }
+    // Resolve each gated baseline column by NAME in the candidate's
+    // column list: the candidate may append new (ungated) columns, but a
+    // gated baseline column it no longer reports fails by name.
+    std::vector<long> fresh_idx(cols->arr.size(), -1);
+    for (std::size_t c = 0; c < cols->arr.size(); ++c) {
+      const std::string col = cols->arr[c].as_string();
+      if (!gated_column(col)) continue;
+      for (std::size_t fc = 0; fc < fcols->arr.size(); ++fc)
+        if (fcols->arr[fc].as_string() == col) {
+          fresh_idx[c] = static_cast<long>(fc);
+          break;
+        }
+      if (fresh_idx[c] < 0) {
+        std::fprintf(stderr,
+                     "gate: FAIL baseline column '%s' missing from candidate run in: %s\n",
+                     col.c_str(), tname);
+        ++failures;
+      }
     }
     for (std::size_t r = 0; r < brows->arr.size(); ++r) {
       const auto& brow = brows->arr[r].arr;
@@ -598,19 +647,24 @@ int gate(const json::Value& base, const json::Value& fresh, double tol) {
       for (std::size_t c = 0; c < brow.size() && c < cols->arr.size(); ++c)
         if (brow[c].kind == json::Value::Kind::kString)
           label += (label.empty() ? "" : "/") + brow[c].as_string();
-      for (std::size_t c = 0; c < brow.size() && c < frow.size() && c < cols->arr.size();
-           ++c) {
+      for (std::size_t c = 0; c < brow.size() && c < cols->arr.size(); ++c) {
+        if (fresh_idx[c] < 0) continue;  // ungated, or already failed above
         const std::string col = cols->arr[c].as_string();
-        if (!gated_column(col)) continue;
         if (brow[c].kind == json::Value::Kind::kString) continue;
+        if (static_cast<std::size_t>(fresh_idx[c]) >= frow.size()) {
+          std::fprintf(stderr, "gate: FAIL %s [%s] %s: cell missing from candidate row\n",
+                       tname, label.c_str(), col.c_str());
+          ++failures;
+          continue;
+        }
         double bv = brow[c].as_double();
-        double fv = frow[c].as_double();
+        double fv = frow[static_cast<std::size_t>(fresh_idx[c])].as_double();
         ++checked;
         // Regression = growth; tiny absolute values are noise-proof.
         if (fv > bv * (1.0 + tol) && fv - bv > 1e-9) {
           std::fprintf(stderr,
                        "gate: FAIL %s [%s] %s: %.6g -> %.6g (+%.1f%% > %.0f%%)\n",
-                       title->as_string().c_str(), label.c_str(), col.c_str(), bv, fv,
+                       tname, label.c_str(), col.c_str(), bv, fv,
                        100.0 * (fv - bv) / (bv > 0 ? bv : 1.0), 100.0 * tol);
           ++failures;
         }
@@ -633,7 +687,8 @@ namespace {
 const char* kUsage =
     "usage: ptrie_report <trace.json | bench.json> [--rounds N]\n"
     "       ptrie_report --top <metrics.jsonl> [--follow]\n"
-    "       ptrie_report --gate <base.json> <fresh.json> [--tol 0.15]\n";
+    "       ptrie_report --gate <base.json> <fresh.json> [--tol 0.15]\n"
+    "       ptrie_report --env    (list every recognized PTRIE_* variable)\n";
 
 bool load_json(const char* path, json::Value* root) {
   std::ifstream f(path);
@@ -666,6 +721,12 @@ int main(int argc, char** argv) {
       gate_mode = true;
     } else if (std::strcmp(argv[i], "--top") == 0) {
       top = true;
+    } else if (std::strcmp(argv[i], "--env") == 0) {
+      // The registry pre-registers every known variable, so this listing
+      // is complete without running anything; ci/doc_check.sh diffs it
+      // against the README reference table.
+      ptrie::obs::env::dump(stdout);
+      return 0;
     } else if (std::strcmp(argv[i], "--follow") == 0) {
       follow = true;
     } else if (std::strcmp(argv[i], "--tol") == 0 && i + 1 < argc) {
